@@ -1,0 +1,36 @@
+"""Shared pytest-benchmark configuration for the experiment benches.
+
+Every bench regenerates one of the paper's tables/figures, prints the
+formatted rows (run pytest with ``-s`` to see them), and asserts the
+headline shape so a bench run doubles as a reproduction check.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--print-results",
+        action="store_true",
+        default=False,
+        help="print each experiment's formatted table/figure output",
+    )
+
+
+@pytest.fixture
+def show(request, capsys):
+    """Printer honoring --print-results."""
+    enabled = request.config.getoption("--print-results")
+
+    def _show(text: str) -> None:
+        if enabled:
+            with capsys.disabled():
+                print("\n" + text)
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

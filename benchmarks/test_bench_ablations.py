@@ -1,0 +1,32 @@
+"""Benches: the ablation/extension studies beyond the paper's tables."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    ablation_kv_attention,
+    ablation_sensitivity,
+    ablation_sw_opts,
+)
+from repro.hw.sensitivity import conclusions_robust
+
+
+def test_bench_ablation_sw_opts(benchmark, show):
+    rows = run_once(benchmark, ablation_sw_opts.run)
+    show(ablation_sw_opts.format_result(rows))
+    assert rows[0].table_mbytes / rows[-1].table_mbytes >= 4.0
+    assert rows[0].precompute_mops / rows[-1].precompute_mops >= 64
+
+
+def test_bench_ablation_kv_attention(benchmark, show):
+    rows = run_once(benchmark, ablation_kv_attention.run)
+    show(ablation_kv_attention.format_result(rows))
+    for r in rows:
+        # LUT adds only table rounding, far below the cache-quant damage
+        # (except at 8-bit caches, where both are tiny).
+        assert r.lut_rel_error < 0.02
+    assert rows[-1].memory_reduction >= 8.0
+
+
+def test_bench_sensitivity(benchmark, show):
+    reports = run_once(benchmark, ablation_sensitivity.run)
+    show(ablation_sensitivity.format_result(reports))
+    assert conclusions_robust(reports)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 4 (kernel performance gap)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04_kernel_gap
+
+
+def test_bench_fig04(benchmark, show):
+    rows = run_once(benchmark, fig04_kernel_gap.run)
+    show(fig04_kernel_gap.format_result(rows))
+    gemv = [r for r in rows if r.batch == 1]
+    assert all(3.0 <= r.cutlass_speedup <= 4.3 for r in gemv)
+    big = [r for r in rows if r.batch >= 1024]
+    assert any(r.lutgemm_speedup is None for r in big)  # Seg. Error
+    assert all(
+        r.lutgemm_speedup is None or r.lutgemm_speedup < 0.05 for r in big
+    )

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 13 (area vs weight bit-width)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_weight_scaling
+
+
+def test_bench_fig13(benchmark, show):
+    series = run_once(benchmark, fig13_weight_scaling.run)
+    show(fig13_weight_scaling.format_result(series))
+    by = {s.label: s for s in series}
+    mac = by["MAC WFP16AFP16"].areas_um2[1]
+    ltc = by["LUT WINTXAFP16 LUT Tensor Core"]
+    conv = by["LUT WINTXAFP16 Conventional"]
+    add = by["ADD WINTXAFP16"]
+    # ADD wins only at 1-2 bits; conventional loses past 2; LTC wins to 6.
+    assert add.areas_um2[1] < mac and add.areas_um2[2] < mac
+    assert add.areas_um2[4] > mac
+    assert conv.areas_um2[4] > mac
+    assert ltc.areas_um2[4] < mac
+    assert ltc.areas_um2[8] > mac

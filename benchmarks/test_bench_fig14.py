@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 14 (tensor-core MNK Pareto panels)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig14_tensor_core_pareto
+from repro.hw.dotprod import DotProductKind
+
+
+def test_bench_fig14(benchmark, show):
+    panels = run_once(benchmark, fig14_tensor_core_pareto.run)
+    show(fig14_tensor_core_pareto.format_result(panels))
+    assert len(panels) == 12
+    assert all(p.winner is DotProductKind.LUT_TENSOR_CORE for p in panels)
+    w1fp16 = next(
+        p for p in panels
+        if p.weight_bits == 1 and p.act_dtype.name == "fp16"
+    )
+    assert w1fp16.best[DotProductKind.LUT_TENSOR_CORE].mnk == (2, 64, 4)
+    # 4x-6x-class reduction at W1 (paper's headline).
+    lut = w1fp16.best[DotProductKind.LUT_TENSOR_CORE]
+    mac = w1fp16.best[DotProductKind.MAC]
+    assert mac.area_um2 / lut.area_um2 >= 4.0
+    assert mac.power_mw / lut.power_mw >= 4.0

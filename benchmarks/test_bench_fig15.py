@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 15 (Accel-Sim-style kernel study)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig15_kernel_sim
+
+
+def test_bench_fig15(benchmark, show):
+    rows = run_once(benchmark, fig15_kernel_sim.run)
+    show(fig15_kernel_sim.format_result(rows))
+    cublas = next(r for r in rows if r.label == "A100 cuBLAS")
+    assert 0.8 * 312 <= cublas.achieved_tflops <= 312
+    # LUT 1X W1AFP16 matches cuBLAS with a fraction of the area.
+    lut1 = next(
+        r for r in rows
+        if r.array_scale == 1 and r.weight_bits == 1 and r.act_bits == 16
+    )
+    assert abs(lut1.achieved_tflops - cublas.achieved_tflops) < 0.15 * (
+        cublas.achieved_tflops
+    )
+    # Register scaling matters at 8X.
+    w1_8x = [r for r in rows if r.weight_bits == 1 and r.act_bits == 16
+             and r.array_scale == 8]
+    stock = next(r for r in w1_8x if r.reg_scale == 1.0)
+    wide = next(r for r in w1_8x if r.reg_scale == 8.0)
+    assert wide.achieved_tflops > 1.2 * stock.achieved_tflops

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 17 (end-to-end inference speedups)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig17_e2e_speedup
+
+
+def test_bench_fig17(benchmark, show):
+    cells = run_once(benchmark, fig17_e2e_speedup.run)
+    show(fig17_e2e_speedup.format_result(cells))
+    peak = fig17_e2e_speedup.max_speedup(cells)
+    assert 6.0 <= peak <= 13.0  # paper: up to 8.2x
+    # Every LUT configuration beats the FP16 baseline.
+    lut_cells = [c for c in cells if "DRM" in c.config]
+    assert all(c.speedup > 1.0 for c in lut_cells)

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 18 (LUT TC vs LUT-GEMM comparison)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig18_lutgemm_compare
+
+
+def test_bench_fig18(benchmark, show):
+    rows = run_once(benchmark, fig18_lutgemm_compare.run)
+    show(fig18_lutgemm_compare.format_result(rows))
+    s = fig18_lutgemm_compare.summary(rows)
+    # Paper: LUT TC up to 1.42x faster GEMV, 72.2x faster GEMM.
+    assert 1.2 <= s["max_gemv_ltc_vs_lutgemm"] <= 3.5
+    assert 40.0 <= s["max_gemm_ltc_vs_lutgemm"] <= 120.0
+    # LUT-GEMM only ever helps on GEMV.
+    for r in rows:
+        if r.mode == "gemm" and r.lutgemm_speedup is not None:
+            assert r.lutgemm_speedup < 0.05
+        if r.mode == "gemv":
+            assert r.ltc_speedup >= (r.lutgemm_speedup or 0.0) * 0.99

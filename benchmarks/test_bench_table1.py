@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 1 (overall comparison)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_overall
+
+
+def test_bench_table1(benchmark, show):
+    rows = run_once(benchmark, table1_overall.run)
+    show(table1_overall.format_result(rows))
+    assert len(rows) == 7
+    base, int8, lut4, lut8 = rows[:4]
+    assert base.decode_ms > int8.decode_ms > lut4.decode_ms > lut8.decode_ms
+    assert 3.0 <= base.decode_ms / lut8.decode_ms <= 7.0  # paper 5.51x
+    assert lut8.tc_area_per_sm_mm2 < base.tc_area_per_sm_mm2

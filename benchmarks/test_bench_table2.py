@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 2 (UNPU ablation)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_unpu
+
+
+def test_bench_table2(benchmark, show):
+    rows = run_once(benchmark, table2_unpu.run)
+    show(table2_unpu.format_result(rows))
+    for row, target in zip(rows, (1.0, 1.317, 1.351, 1.440)):
+        assert row.normalized_compute_intensity == pytest.approx(
+            target, rel=0.12
+        )

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 4 (precompute fusion)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4_fusion
+
+
+def test_bench_table4(benchmark, show):
+    rows = run_once(benchmark, table4_fusion.run)
+    show(table4_fusion.format_result(rows))
+    naive, fused = table4_fusion.mean_overheads(rows)
+    assert 12.0 <= naive <= 28.0  # paper: 16.47% / 24.41%
+    assert 0.5 <= fused <= 5.0    # paper: 2.62% / 2.52%

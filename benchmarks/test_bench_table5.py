@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 5 (table quantization accuracy)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table5_tablequant
+
+
+def test_bench_table5(benchmark, show):
+    result = run_once(benchmark, table5_tablequant.run)
+    show(table5_tablequant.format_result(result))
+    fp = result.row("FP full-size")
+    small = result.row("FP half-size")
+    quant = result.row("W2A-FP")
+    assert fp.perplexity < quant.perplexity < small.perplexity
+    assert result.table_quant_ppl_delta_pct < 1.0  # paper: ~0.1%

@@ -1,0 +1,65 @@
+"""Hardware design-space exploration with the PPA model.
+
+Walks the paper's hardware methodology: pick the lookup length K with a
+dot-product-unit sweep (Fig. 11), compare design styles at DP4 level
+(Fig. 12), then sweep tensor-core MNK factorizations and extract the
+Pareto frontier (Fig. 14) — landing on the elongated M2 N64 K4 array.
+
+Run:  python examples/hardware_dse.py
+"""
+
+from repro.datatypes import FP16, INT8
+from repro.hw.dotprod import DotProductKind, dp_unit_cost
+from repro.hw.dse import best_by_area_power, pareto_frontier, sweep_mnk
+
+
+def main() -> None:
+    print("=" * 64)
+    print("Step 1 — choose K (LUT DP unit, W1 weights)")
+    print("=" * 64)
+    for act in (FP16, INT8):
+        densities = {
+            k: dp_unit_cost(
+                DotProductKind.LUT_TENSOR_CORE, k, act, 1
+            ).compute_density_tflops_mm2
+            for k in range(2, 9)
+        }
+        peak = max(densities, key=densities.get)
+        row = "  ".join(f"K{k}:{v:5.1f}" for k, v in densities.items())
+        print(f"A={act.name:<9} {row}  -> peak K={peak}")
+
+    print()
+    print("=" * 64)
+    print("Step 2 — DP4 design styles (A=FP16)")
+    print("=" * 64)
+    for kind in (DotProductKind.MAC, DotProductKind.ADD_SERIAL,
+                 DotProductKind.LUT_CONVENTIONAL,
+                 DotProductKind.LUT_TENSOR_CORE):
+        wb = 16 if kind is DotProductKind.MAC else 1
+        unit = dp_unit_cost(kind, 4, FP16, min(wb, 8), include_post=False)
+        print(f"{kind.value:<18} {unit.compute_density_tflops_mm2:7.2f} "
+              f"TFLOPs/mm^2  {unit.power_mw:6.3f} mW")
+
+    print()
+    print("=" * 64)
+    print("Step 3 — tensor-core MNK sweep (W1 x AFP16, 512 lanes)")
+    print("=" * 64)
+    points = sweep_mnk(DotProductKind.LUT_TENSOR_CORE, FP16, 1)
+    frontier = pareto_frontier(points)
+    best = best_by_area_power(points)
+    print(f"swept {len(points)} configurations; "
+          f"{len(frontier)} on the Pareto frontier:")
+    for p in frontier:
+        marker = "  <== min area x power" if p.mnk == best.mnk else ""
+        print(f"  MNK={str(p.mnk):<14} area {p.area_um2:9.0f} um^2  "
+              f"power {p.power_mw:6.2f} mW{marker}")
+
+    mac_best = best_by_area_power(sweep_mnk(DotProductKind.MAC, FP16, 1))
+    print(f"\nMAC optimum {mac_best.mnk}: {mac_best.area_um2:.0f} um^2, "
+          f"{mac_best.power_mw:.2f} mW")
+    print(f"LUT vs MAC reduction: area {mac_best.area_um2 / best.area_um2:.1f}x,"
+          f" power {mac_best.power_mw / best.power_mw:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: LUT-based mpGEMM in five minutes.
+
+Quantizes a weight matrix to 2 bits, reinterprets it onto the symmetric
+grid, and runs activations through the LUT pipeline — showing that the
+result matches the dequantization-based reference exactly, and that INT8
+table quantization (the only lossy knob) costs ~1e-3 relative error.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    LutMpGemmEngine,
+    dequant_mpgemm_reference,
+    quantize_weights,
+    reinterpret_symmetric,
+)
+from repro.datatypes import FP16, INT8
+from repro.lut.mpgemm import LutMpGemmConfig
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    out_features, in_features, batch = 512, 1024, 8
+    weights = rng.normal(size=(out_features, in_features))
+    activations = rng.normal(size=(batch, in_features))
+
+    # 1. Offline: quantize weights to 2-bit unsigned affine codes.
+    qw = quantize_weights(weights, bits=2, axis=0)
+    print(f"weights: {weights.shape} -> {qw.bits}-bit codes, "
+          f"{qw.codes.nbytes // 8} packed bytes equivalent")
+
+    # 2. Offline: reinterpret onto the symmetric odd grid (Eq. 2). The
+    #    dequantized values are preserved exactly.
+    rw = reinterpret_symmetric(qw)
+    assert np.allclose(rw.dequantize(), qw.dequantize(), rtol=1e-12)
+    print(f"reinterpreted codes in {{{rw.codes.min()}..{rw.codes.max()}}}, "
+          "all odd — every bit-plane is ±1")
+
+    # 3. Online: run the LUT pipeline (symmetrized tables, bit-serial
+    #    lookups) and compare against the dequantization reference.
+    engine = LutMpGemmEngine(rw, LutMpGemmConfig(act_dtype=FP16))
+    out_lut = engine.matmul(activations)
+    out_ref = dequant_mpgemm_reference(activations, qw, act_dtype=FP16)
+    print(f"LUT vs dequant reference max |err|: "
+          f"{np.abs(out_lut - out_ref).max():.2e} (exact)")
+
+    # 4. Enable INT8 table quantization (the hardware configuration).
+    engine8 = LutMpGemmEngine(
+        rw, LutMpGemmConfig(act_dtype=FP16, table_dtype=INT8)
+    )
+    out_int8 = engine8.matmul(activations)
+    rel = np.abs(out_int8 - out_ref).max() / np.abs(out_ref).max()
+    print(f"with INT8 tables, relative error: {rel:.2e} "
+          "(negligible — Table 5's claim)")
+
+    # 5. The table the hardware sees: 8 entries per 4 activations.
+    table = engine8.precompute(activations[:1])
+    print(f"precomputed table shape (M, groups, entries): {table.shape}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Reproduction of *LUT Tensor Core* (ISCA 2025).
+
+A pure-Python implementation of the paper's full system: the LUT-based
+mixed-precision GEMM (mpGEMM) algorithm with its software optimizations,
+a gate-level hardware PPA cost model, GPU kernel and end-to-end inference
+simulators, a tile-based compilation stack with the LMMA instruction set,
+all evaluated baselines, and an accuracy-evaluation substrate.
+
+The most commonly used entry points are re-exported here::
+
+    from repro import (
+        DataType, quantize_weights, reinterpret_symmetric,
+        LutMpGemmEngine, lut_mpgemm, dequant_mpgemm_reference,
+        LmmaInstruction,
+    )
+"""
+
+from repro.datatypes import DataType, FP16, FP8_E4M3, FP8_E5M2, INT8, INT16
+from repro.quant import (
+    QuantizedWeight,
+    quantize_weights,
+    dequantize,
+    reinterpret_symmetric,
+    to_bitplanes,
+    from_bitplanes,
+)
+from repro.lut import (
+    LutMpGemmEngine,
+    lut_mpgemm,
+    dequant_mpgemm_reference,
+    precompute_table,
+    precompute_symmetric_table,
+)
+from repro.isa import LmmaInstruction, MmaInstruction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataType",
+    "FP16",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "INT8",
+    "INT16",
+    "QuantizedWeight",
+    "quantize_weights",
+    "dequantize",
+    "reinterpret_symmetric",
+    "to_bitplanes",
+    "from_bitplanes",
+    "LutMpGemmEngine",
+    "lut_mpgemm",
+    "dequant_mpgemm_reference",
+    "precompute_table",
+    "precompute_symmetric_table",
+    "LmmaInstruction",
+    "MmaInstruction",
+    "__version__",
+]

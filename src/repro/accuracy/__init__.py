@@ -1,0 +1,41 @@
+"""Accuracy-evaluation substrate (paper Table 5's substitution).
+
+The paper measures LLAMA2-7B perplexity/task accuracy under 2-bit weight
+quantization (BitDistiller QAT) with and without INT8 table quantization.
+Without the proprietary-scale assets we reproduce the *claim* — "INT8
+table quantization adds negligible loss on top of low-bit weights" — on a
+transparent substrate:
+
+- :mod:`repro.accuracy.data` — a synthetic Zipf/Markov language with
+  learnable structure;
+- :mod:`repro.accuracy.model` — a small decoder-only transformer LM in
+  pure NumPy with hand-written backprop (gradient-checked in tests);
+- :mod:`repro.accuracy.quantize_model` — post-training 2-bit weight
+  quantization and straight-through-estimator QAT fine-tuning, plus an
+  inference mode that routes every linear layer through the LUT mpGEMM
+  engine with INT8 tables;
+- :mod:`repro.accuracy.metrics` — perplexity and next-token accuracy.
+"""
+
+from repro.accuracy.data import SyntheticLanguage
+from repro.accuracy.model import TransformerLM, TransformerConfig
+from repro.accuracy.quantize_model import (
+    quantize_lm_weights,
+    qat_finetune,
+    LinearMode,
+)
+from repro.accuracy.metrics import perplexity, next_token_accuracy
+from repro.accuracy.tasks import TaskSuite, TASK_NAMES
+
+__all__ = [
+    "SyntheticLanguage",
+    "TransformerLM",
+    "TransformerConfig",
+    "quantize_lm_weights",
+    "qat_finetune",
+    "LinearMode",
+    "perplexity",
+    "next_token_accuracy",
+    "TaskSuite",
+    "TASK_NAMES",
+]

@@ -1,0 +1,51 @@
+"""Evaluation metrics: perplexity and next-token accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accuracy.model import TransformerLM, _softmax
+from repro.errors import AccuracyError
+
+
+def _eval_batches(tokens: np.ndarray, ctx: int, limit: int):
+    """Non-overlapping evaluation windows over a held-out stream."""
+    windows = min((tokens.size - 1) // ctx, limit)
+    if windows < 1:
+        raise AccuracyError("evaluation stream too short")
+    inputs = np.stack(
+        [tokens[i * ctx:(i + 1) * ctx] for i in range(windows)]
+    )
+    targets = np.stack(
+        [tokens[i * ctx + 1:(i + 1) * ctx + 1] for i in range(windows)]
+    )
+    return inputs, targets
+
+
+def perplexity(
+    model: TransformerLM,
+    tokens: np.ndarray,
+    executor=None,
+    max_windows: int = 64,
+) -> float:
+    """exp(mean NLL) over non-overlapping windows of the token stream."""
+    inputs, targets = _eval_batches(tokens, model.config.ctx, max_windows)
+    logits = model.forward(inputs, executor=executor)
+    probs = _softmax(logits)
+    batch, t, _ = logits.shape
+    idx = (np.arange(batch)[:, None], np.arange(t)[None, :], targets)
+    nll = -np.log(np.maximum(probs[idx], 1e-12))
+    return float(np.exp(nll.mean()))
+
+
+def next_token_accuracy(
+    model: TransformerLM,
+    tokens: np.ndarray,
+    executor=None,
+    max_windows: int = 64,
+) -> float:
+    """Top-1 next-token accuracy (the zero-shot task-accuracy proxy)."""
+    inputs, targets = _eval_batches(tokens, model.config.ctx, max_windows)
+    logits = model.forward(inputs, executor=executor)
+    predictions = logits.argmax(axis=-1)
+    return float((predictions == targets).mean())

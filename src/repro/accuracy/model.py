@@ -1,0 +1,344 @@
+"""A decoder-only transformer LM in pure NumPy with manual backprop.
+
+Small by design (the Table 5 substitution runs on CPU in seconds), but a
+real transformer: token+position embeddings, pre-norm blocks with causal
+single-head self-attention and a ReLU MLP, a final layer norm, and a
+linear head. Every gradient is hand-derived and verified against
+numerical differentiation in ``tests/accuracy/test_model.py``.
+
+Linear layers route through a pluggable executor so inference can run
+with (a) full-precision weights, (b) dequantized low-bit weights, or
+(c) the LUT mpGEMM engine with INT8 tables — which is exactly the
+comparison Table 5 makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import AccuracyError
+
+#: Executor signature: (activations_2d, weight (out, in)) -> output_2d.
+LinearExecutor = Callable[[np.ndarray, "Param"], np.ndarray]
+
+
+@dataclass
+class Param:
+    """A trainable tensor with its gradient accumulator."""
+
+    value: np.ndarray
+    grad: np.ndarray = field(init=False)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.value = np.asarray(self.value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture of the toy LM."""
+
+    vocab: int = 64
+    dim: int = 32
+    blocks: int = 2
+    ctx: int = 16
+    mlp_ratio: int = 4
+
+    def __post_init__(self) -> None:
+        if min(self.vocab, self.dim, self.blocks, self.ctx) < 1:
+            raise AccuracyError("config dims must be positive")
+
+
+def _layernorm_forward(x: np.ndarray, gain: np.ndarray, bias: np.ndarray):
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + 1e-5)
+    xhat = (x - mu) * inv
+    return xhat * gain + bias, (xhat, inv, gain)
+
+
+def _layernorm_backward(dout: np.ndarray, cache) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    xhat, inv, gain = cache
+    dgain = (dout * xhat).sum(axis=tuple(range(dout.ndim - 1)))
+    dbias = dout.sum(axis=tuple(range(dout.ndim - 1)))
+    dxhat = dout * gain
+    n = xhat.shape[-1]
+    dx = (
+        dxhat
+        - dxhat.mean(axis=-1, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+    ) * inv
+    return dx, dgain, dbias
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def _default_executor(x: np.ndarray, weight: Param) -> np.ndarray:
+    return x @ weight.value.T
+
+
+class TransformerLM:
+    """The toy decoder-only LM."""
+
+    def __init__(self, config: TransformerConfig, seed: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        d, v = config.dim, config.vocab
+        scale = 0.08
+
+        def p(shape, name):
+            return Param(rng.normal(scale=scale, size=shape), name=name)
+
+        self.tok_emb = p((v, d), "tok_emb")
+        self.pos_emb = p((config.ctx, d), "pos_emb")
+        self.blocks = []
+        for i in range(config.blocks):
+            self.blocks.append({
+                "ln1_g": Param(np.ones(d), name=f"b{i}.ln1_g"),
+                "ln1_b": Param(np.zeros(d), name=f"b{i}.ln1_b"),
+                "wq": p((d, d), f"b{i}.wq"),
+                "wk": p((d, d), f"b{i}.wk"),
+                "wv": p((d, d), f"b{i}.wv"),
+                "wo": p((d, d), f"b{i}.wo"),
+                "ln2_g": Param(np.ones(d), name=f"b{i}.ln2_g"),
+                "ln2_b": Param(np.zeros(d), name=f"b{i}.ln2_b"),
+                "w1": p((config.mlp_ratio * d, d), f"b{i}.w1"),
+                "b1": Param(np.zeros(config.mlp_ratio * d), name=f"b{i}.b1"),
+                "w2": p((d, config.mlp_ratio * d), f"b{i}.w2"),
+                "b2": Param(np.zeros(d), name=f"b{i}.b2"),
+            })
+        self.ln_f_g = Param(np.ones(d), name="ln_f_g")
+        self.ln_f_b = Param(np.zeros(d), name="ln_f_b")
+        self.head = p((v, d), "head")
+        self._cache: dict | None = None
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Param]:
+        params = [self.tok_emb, self.pos_emb, self.ln_f_g, self.ln_f_b,
+                  self.head]
+        for block in self.blocks:
+            params.extend(block.values())
+        return params
+
+    #: Parameters treated as quantizable "linear weights" (the matmul
+    #: weights of attention, MLP, and the LM head — what weight-only
+    #: quantization targets).
+    def linear_weights(self) -> list[Param]:
+        weights = []
+        for block in self.blocks:
+            weights.extend(
+                [block["wq"], block["wk"], block["wv"], block["wo"],
+                 block["w1"], block["w2"]]
+            )
+        weights.append(self.head)
+        return weights
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        tokens: np.ndarray,
+        executor: LinearExecutor | None = None,
+    ) -> np.ndarray:
+        """Logits of shape (batch, T, vocab); caches for backward.
+
+        *executor* overrides how ``x @ W.T`` is computed for the
+        quantizable linear weights (used by the LUT inference mode);
+        training always uses the default executor.
+        """
+        run = executor or _default_executor
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise AccuracyError("tokens must be (batch, T)")
+        batch, t = tokens.shape
+        if t > self.config.ctx:
+            raise AccuracyError(f"sequence {t} exceeds context {self.config.ctx}")
+        d = self.config.dim
+
+        cache: dict = {"tokens": tokens, "blocks": []}
+        x = self.tok_emb.value[tokens] + self.pos_emb.value[:t]
+        mask = np.triu(np.full((t, t), -1e30), k=1)
+
+        for block in self.blocks:
+            bc: dict = {}
+            bc["x_in"] = x
+            ln1, bc["ln1"] = _layernorm_forward(
+                x, block["ln1_g"].value, block["ln1_b"].value
+            )
+            bc["ln1_out"] = ln1
+            flat = ln1.reshape(-1, d)
+            q = run(flat, block["wq"]).reshape(batch, t, d)
+            k = run(flat, block["wk"]).reshape(batch, t, d)
+            v = run(flat, block["wv"]).reshape(batch, t, d)
+            bc["q"], bc["k"], bc["v"] = q, k, v
+            scores = q @ k.transpose(0, 2, 1) / np.sqrt(d) + mask
+            probs = _softmax(scores)
+            bc["probs"] = probs
+            attn = probs @ v
+            bc["attn"] = attn
+            proj = run(attn.reshape(-1, d), block["wo"]).reshape(batch, t, d)
+            x = x + proj
+
+            bc["x_mid"] = x
+            ln2, bc["ln2"] = _layernorm_forward(
+                x, block["ln2_g"].value, block["ln2_b"].value
+            )
+            bc["ln2_out"] = ln2
+            h = run(ln2.reshape(-1, d), block["w1"]) + block["b1"].value
+            bc["h_pre"] = h
+            h = np.maximum(h, 0.0)
+            bc["h"] = h
+            mlp = run(h, block["w2"]) + block["b2"].value
+            x = x + mlp.reshape(batch, t, d)
+            cache["blocks"].append(bc)
+
+        cache["x_final_in"] = x
+        ln_f, cache["ln_f"] = _layernorm_forward(
+            x, self.ln_f_g.value, self.ln_f_b.value
+        )
+        cache["ln_f_out"] = ln_f
+        logits = run(ln_f.reshape(-1, d), self.head).reshape(
+            batch, t, self.config.vocab
+        )
+        cache["logits"] = logits
+        self._cache = cache
+        return logits
+
+    # ------------------------------------------------------------------
+    def loss(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """Mean cross-entropy (nats per token)."""
+        probs = _softmax(logits)
+        batch, t, _ = logits.shape
+        idx = (np.arange(batch)[:, None], np.arange(t)[None, :], targets)
+        nll = -np.log(np.maximum(probs[idx], 1e-12))
+        if self._cache is not None and self._cache.get("logits") is logits:
+            self._cache["probs_out"] = probs
+            self._cache["targets"] = targets
+        return float(nll.mean())
+
+    def backward(self) -> None:
+        """Accumulate gradients for the last forward+loss call."""
+        cache = self._cache
+        if cache is None or "probs_out" not in cache:
+            raise AccuracyError("backward() requires forward() then loss()")
+        tokens = cache["tokens"]
+        batch, t = tokens.shape
+        d = self.config.dim
+        count = batch * t
+
+        probs = cache["probs_out"].copy()
+        idx = (np.arange(batch)[:, None], np.arange(t)[None, :],
+               cache["targets"])
+        probs[idx] -= 1.0
+        dlogits = probs / count
+
+        flat_lnf = cache["ln_f_out"].reshape(-1, d)
+        dflat = dlogits.reshape(-1, self.config.vocab)
+        self.head.grad += dflat.T @ flat_lnf
+        dlnf = (dflat @ self.head.value).reshape(batch, t, d)
+        dx, dg, db = _layernorm_backward(dlnf, cache["ln_f"])
+        self.ln_f_g.grad += dg
+        self.ln_f_b.grad += db
+
+        for block, bc in zip(reversed(self.blocks), reversed(cache["blocks"])):
+            # MLP branch.
+            dmlp = dx.reshape(-1, d)
+            block["b2"].grad += dmlp.sum(axis=0)
+            block["w2"].grad += dmlp.T @ bc["h"]
+            dh = dmlp @ block["w2"].value
+            dh = dh * (bc["h_pre"] > 0)
+            block["b1"].grad += dh.sum(axis=0)
+            flat_ln2 = bc["ln2_out"].reshape(-1, d)
+            block["w1"].grad += dh.T @ flat_ln2
+            dln2 = (dh @ block["w1"].value).reshape(batch, t, d)
+            dmid, dg2, db2 = _layernorm_backward(dln2, bc["ln2"])
+            block["ln2_g"].grad += dg2
+            block["ln2_b"].grad += db2
+            dx = dx + dmid
+
+            # Attention branch.
+            dproj = dx.reshape(-1, d)
+            block["wo"].grad += dproj.T @ bc["attn"].reshape(-1, d)
+            dattn = (dproj @ block["wo"].value).reshape(batch, t, d)
+            dprobs = dattn @ bc["v"].transpose(0, 2, 1)
+            dv = bc["probs"].transpose(0, 2, 1) @ dattn
+            p = bc["probs"]
+            dscores = p * (dprobs - (dprobs * p).sum(axis=-1, keepdims=True))
+            dq = dscores @ bc["k"] / np.sqrt(d)
+            dk = dscores.transpose(0, 2, 1) @ bc["q"] / np.sqrt(d)
+            flat_ln1 = bc["ln1_out"].reshape(-1, d)
+            block["wq"].grad += dq.reshape(-1, d).T @ flat_ln1
+            block["wk"].grad += dk.reshape(-1, d).T @ flat_ln1
+            block["wv"].grad += dv.reshape(-1, d).T @ flat_ln1
+            dln1 = (
+                dq.reshape(-1, d) @ block["wq"].value
+                + dk.reshape(-1, d) @ block["wk"].value
+                + dv.reshape(-1, d) @ block["wv"].value
+            ).reshape(batch, t, d)
+            din, dg1, db1 = _layernorm_backward(dln1, bc["ln1"])
+            block["ln1_g"].grad += dg1
+            block["ln1_b"].grad += db1
+            dx = dx + din
+
+        demb = dx
+        np.add.at(self.tok_emb.grad, tokens, demb)
+        self.pos_emb.grad[:t] += demb.sum(axis=0)
+
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+
+@dataclass
+class AdamOptimizer:
+    """Plain Adam."""
+
+    params: list[Param]
+    lr: float = 3e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+
+    def __post_init__(self) -> None:
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for i, p in enumerate(self.params):
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * p.grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * p.grad**2
+            mhat = self._m[i] / (1 - self.beta1**self._t)
+            vhat = self._v[i] / (1 - self.beta2**self._t)
+            p.value -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+
+def train_lm(
+    model: TransformerLM,
+    batches,
+    steps: int = 400,
+    lr: float = 3e-3,
+) -> list[float]:
+    """Train *model* on a batch iterator; returns the loss curve."""
+    optimizer = AdamOptimizer(model.parameters(), lr=lr)
+    losses = []
+    for _ in range(steps):
+        inputs, targets = next(batches)
+        model.zero_grad()
+        logits = model.forward(inputs)
+        losses.append(model.loss(logits, targets))
+        model.backward()
+        optimizer.step()
+    return losses

@@ -1,0 +1,126 @@
+"""Model-level quantization and the LUT inference path (Table 5).
+
+- :func:`quantize_lm_weights` — post-training 2-bit (or any-bit) symmetric
+  per-channel quantization of every linear weight;
+- :func:`qat_finetune` — straight-through-estimator fine-tuning
+  (BitDistiller-style QAT-lite): forward with quantized weights,
+  gradients flow to the latent full-precision weights;
+- :func:`make_executor` — linear executors for the three Table 5 rows:
+  full precision, dequantized low-bit, and LUT mpGEMM with INT8 tables.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.accuracy.model import AdamOptimizer, Param, TransformerLM
+from repro.datatypes.formats import INT8
+from repro.errors import AccuracyError
+from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+from repro.quant.weight import QuantizedWeight, quantize_weights
+
+
+class LinearMode(enum.Enum):
+    """How linear layers execute at inference time."""
+
+    FP = "fp"                      # original weights
+    QUANT_DEQUANT = "quant"        # low-bit weights, dequant matmul
+    LUT_INT8_TABLE = "lut_int8"    # low-bit weights via LUT + INT8 tables
+
+
+def _quantize_param(param: Param, bits: int) -> QuantizedWeight:
+    return quantize_weights(param.value, bits, axis=0, symmetric=True)
+
+
+def quantize_lm_weights(model: TransformerLM, bits: int = 2) -> dict[str, QuantizedWeight]:
+    """Quantize every linear weight; returns {param_name: QuantizedWeight}."""
+    if not 1 <= bits <= 8:
+        raise AccuracyError("weight bits must be in 1..8")
+    return {
+        w.name: _quantize_param(w, bits) for w in model.linear_weights()
+    }
+
+
+def apply_quantized_weights(
+    model: TransformerLM, quantized: dict[str, QuantizedWeight]
+) -> None:
+    """Overwrite linear weights with their dequantized values (in place)."""
+    for w in model.linear_weights():
+        if w.name in quantized:
+            w.value[...] = quantized[w.name].dequantize()
+
+
+def make_executor(
+    model: TransformerLM,
+    mode: LinearMode,
+    bits: int = 2,
+    lut_k: int = 4,
+):
+    """Build a linear executor implementing *mode* for *model*.
+
+    The LUT executor builds one :class:`LutMpGemmEngine` per linear
+    weight (offline, like real deployment) with INT8 table quantization
+    enabled, so inference numerics match the LUT Tensor Core pipeline.
+    """
+    if mode is LinearMode.FP:
+        return None
+    quantized = quantize_lm_weights(model, bits)
+    if mode is LinearMode.QUANT_DEQUANT:
+        dequantized = {
+            name: qw.dequantize() for name, qw in quantized.items()
+        }
+
+        def dequant_executor(x: np.ndarray, weight: Param) -> np.ndarray:
+            w = dequantized.get(weight.name)
+            if w is None:
+                return x @ weight.value.T
+            return x @ w.T
+
+        return dequant_executor
+
+    config = LutMpGemmConfig(k=lut_k, table_dtype=INT8)
+    engines = {
+        name: LutMpGemmEngine(qw, config) for name, qw in quantized.items()
+    }
+
+    def lut_executor(x: np.ndarray, weight: Param) -> np.ndarray:
+        engine = engines.get(weight.name)
+        if engine is None:
+            return x @ weight.value.T
+        return engine.matmul(x)
+
+    return lut_executor
+
+
+def qat_finetune(
+    model: TransformerLM,
+    batches,
+    bits: int = 2,
+    steps: int = 200,
+    lr: float = 1e-3,
+) -> list[float]:
+    """Straight-through-estimator QAT.
+
+    Each step: stash the latent weights, overwrite with their quantized
+    values, run forward/backward (so the loss sees quantization), restore
+    the latent weights, and apply the gradient to them (STE: d quant/d w
+    treated as identity).
+    """
+    optimizer = AdamOptimizer(model.parameters(), lr=lr)
+    losses: list[float] = []
+    linear = model.linear_weights()
+    for _ in range(steps):
+        inputs, targets = next(batches)
+        model.zero_grad()
+        stash = [w.value.copy() for w in linear]
+        for w in linear:
+            w.value[...] = _quantize_param(w, bits).dequantize()
+        logits = model.forward(inputs)
+        losses.append(model.loss(logits, targets))
+        model.backward()
+        for w, original in zip(linear, stash):
+            w.value[...] = original
+        optimizer.step()
+    return losses

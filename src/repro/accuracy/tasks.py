@@ -1,0 +1,73 @@
+"""Multi-task evaluation suite (the zero-shot task-battery analogue).
+
+Table 5 reports accuracy on five zero-shot tasks (HellaSwag, BoolQ,
+OpenbookQA, PIQA, WinoGrande). The substituted analogue: five *distinct*
+synthetic languages sharing one vocabulary. The LM trains on a mixture
+and is evaluated per language; the per-task next-token accuracies play
+the role of the zero-shot battery — in particular, the claim that table
+quantization leaves every task's score unchanged can be tested per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accuracy.data import SyntheticLanguage
+from repro.accuracy.metrics import next_token_accuracy
+from repro.accuracy.model import TransformerLM
+from repro.errors import AccuracyError
+
+#: Task names mirroring the paper's battery.
+TASK_NAMES = ("HS", "BQ", "OQ", "PQ", "WGe")
+
+
+@dataclass
+class TaskSuite:
+    """Five synthetic languages over a shared vocabulary."""
+
+    vocab: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Distinct structure per task: different branching and skew.
+        self.languages = {
+            name: SyntheticLanguage(
+                vocab=self.vocab,
+                branching=4 + 2 * i,
+                zipf_alpha=1.0 + 0.15 * i,
+                seed=self.seed + 101 * (i + 1),
+            )
+            for i, name in enumerate(TASK_NAMES)
+        }
+
+    def mixture_stream(self, length: int, seed: int = 1) -> np.ndarray:
+        """A training stream interleaving chunks of every task."""
+        if length < len(TASK_NAMES) * 64:
+            raise AccuracyError("stream too short for the mixture")
+        chunk = length // len(TASK_NAMES)
+        pieces = [
+            lang.sample(chunk, seed=seed + i)
+            for i, lang in enumerate(self.languages.values())
+        ]
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(pieces))
+        return np.concatenate([pieces[i] for i in order])
+
+    def evaluate(
+        self,
+        model: TransformerLM,
+        executor=None,
+        eval_length: int = 2000,
+        seed: int = 7,
+    ) -> dict[str, float]:
+        """Per-task next-token accuracy plus the battery average."""
+        scores = {}
+        for i, (name, lang) in enumerate(self.languages.items()):
+            stream = lang.sample(eval_length, seed=seed + i)
+            scores[name] = next_token_accuracy(
+                model, stream, executor=executor
+            )
+        scores["Avg."] = float(np.mean([scores[n] for n in TASK_NAMES]))
+        return scores

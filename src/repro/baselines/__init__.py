@@ -1,0 +1,27 @@
+"""Kernel baselines: cuBLAS, CUTLASS dequant-mpGEMM, and LUT-GEMM.
+
+Analytical performance models of the three software kernels the paper
+compares against on the A100 (Figs. 4 and 18). Each model encodes the
+*mechanism* that produces the paper's measured shape:
+
+- **cuBLAS** — uniform FP16 GEMM on tensor cores: compute-bound at large
+  batch, weight-traffic-bound at batch 1.
+- **CUTLASS dequant mpGEMM** — low-bit weights in memory (so GEMV wins
+  ~4x at W4) but compute at FP16 rate plus a dequantization overhead
+  growing with batch (register pressure + conversion instructions).
+- **LUT-GEMM** — tables on CUDA cores (no tensor cores): fine for
+  memory-bound GEMV, catastrophic for compute-bound GEMM; large batches
+  additionally spill tables and segfault for some shapes (the paper's
+  "Seg. Error" annotations).
+"""
+
+from repro.baselines.cublas import cublas_gemm_time_s
+from repro.baselines.cutlass import cutlass_dequant_time_s
+from repro.baselines.lutgemm import LutGemmResult, lutgemm_time_s
+
+__all__ = [
+    "cublas_gemm_time_s",
+    "cutlass_dequant_time_s",
+    "LutGemmResult",
+    "lutgemm_time_s",
+]

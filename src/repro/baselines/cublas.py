@@ -1,0 +1,28 @@
+"""cuBLAS FP16 GEMM performance model (the Fig. 4 / Fig. 18 reference)."""
+
+from __future__ import annotations
+
+from repro.models.workloads import GemmShape
+from repro.sim.gpu_specs import A100, GpuSpec
+from repro.sim.memory import MemoryModel
+
+
+def cublas_gemm_time_s(
+    shape: GemmShape,
+    spec: GpuSpec = A100,
+    compute_efficiency: float = 0.90,
+) -> float:
+    """Wall time of a WFP16·AFP16 GEMM under a roofline + launch model.
+
+    cuBLAS kernels on big GEMMs achieve ~90% of tensor-core peak; small-M
+    problems (GEMV) are bound by streaming the FP16 weight matrix.
+    """
+    memory = MemoryModel(spec)
+    compute = shape.flops / (spec.fp16_tflops * 1e12 * compute_efficiency)
+    traffic = (
+        shape.activation_bytes(16)
+        + shape.weight_bytes(16)
+        + shape.output_bytes(16)
+    )
+    mem = memory.dram_time_s(traffic)
+    return max(compute, mem) + spec.launch_overhead_us * 1e-6

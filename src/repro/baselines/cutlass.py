@@ -1,0 +1,43 @@
+"""CUTLASS dequantization-based mpGEMM model (Fig. 2b / Fig. 4).
+
+Weights stream at their low-bit width (the GEMV win), but every weight
+element must be dequantized to FP16 before the tensor-core MMA. The
+conversion instructions contend with the MMA pipeline, so the effective
+compute rate drops below cuBLAS — mildly at moderate batch, more at very
+large batch where the extra registers for conversion buffers reduce
+occupancy (the Fig. 4c regression).
+"""
+
+from __future__ import annotations
+
+from repro.models.workloads import GemmShape
+from repro.sim.gpu_specs import A100, GpuSpec
+from repro.sim.memory import MemoryModel
+
+#: Compute-rate derate from interleaved dequantization instructions.
+_DEQUANT_COMPUTE_PENALTY = 0.78
+#: Additional occupancy-driven derate at very large batch.
+_LARGE_BATCH_PENALTY = 0.62
+_LARGE_BATCH_THRESHOLD = 2048
+
+
+def cutlass_dequant_time_s(
+    shape: GemmShape,
+    weight_bits: int = 4,
+    spec: GpuSpec = A100,
+    compute_efficiency: float = 0.90,
+) -> float:
+    """Wall time of the dequantization-based mpGEMM kernel."""
+    memory = MemoryModel(spec)
+    rate = spec.fp16_tflops * 1e12 * compute_efficiency
+    rate *= _DEQUANT_COMPUTE_PENALTY
+    if shape.m >= _LARGE_BATCH_THRESHOLD:
+        rate *= _LARGE_BATCH_PENALTY
+    compute = shape.flops / rate
+    traffic = (
+        shape.activation_bytes(16)
+        + shape.weight_bytes(weight_bits)
+        + shape.output_bytes(16)
+    )
+    mem = memory.dram_time_s(traffic)
+    return max(compute, mem) + spec.launch_overhead_us * 1e-6

@@ -1,0 +1,71 @@
+"""LUT-GEMM (Park et al.) software kernel model (Figs. 4 and 18).
+
+LUT-GEMM computes mpGEMM on **CUDA cores** via per-tile lookup tables:
+
+- batch 1 (GEMV): the kernel is weight-traffic-bound, so low-bit weights
+  give a solid speedup over cuBLAS — though below the dequant kernel's,
+  because table construction and uncoalesced lookups eat bandwidth;
+- large batch (GEMM): lookups cannot use tensor cores, so throughput is
+  capped by the CUDA-core rate further degraded by shared-memory bank
+  conflicts — orders of magnitude below cuBLAS (the paper's 0.01-0.02x);
+- very large batches duplicate tables across more thread blocks until the
+  working set exceeds what the kernel handles — the paper observes
+  segmentation faults (Fig. 4's "Seg. Error"), which we model as a
+  failure flag on the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.workloads import GemmShape
+from repro.sim.gpu_specs import A100, GpuSpec
+from repro.sim.memory import MemoryModel
+
+#: Fraction of CUDA-core throughput achieved under bank conflicts.
+_LOOKUP_EFFICIENCY = 0.16
+#: GEMV bandwidth efficiency (table build + uncoalesced gathers).
+_GEMV_BW_EFFICIENCY = 0.55
+#: Reduction depth beyond which the GEMM-path kernel's per-block tables
+#: spill past local memory and crash (the paper's "Seg. Error" bars land
+#: on the deepest-K shape, LLAMA2-70B's FFN-down with K = 28672).
+_SEGFAULT_K_THRESHOLD = 16384
+
+
+@dataclass(frozen=True)
+class LutGemmResult:
+    """Outcome of the LUT-GEMM model: a time or a crash."""
+
+    time_s: float | None
+    segfault: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.segfault and self.time_s is not None
+
+
+def lutgemm_time_s(
+    shape: GemmShape,
+    weight_bits: int = 4,
+    spec: GpuSpec = A100,
+) -> LutGemmResult:
+    """Wall time (or crash) of the LUT-GEMM kernel."""
+    memory = MemoryModel(spec)
+    # Table working set: 8 FP16 entries per 4-element group per row of M,
+    # duplicated across resident thread blocks.
+    groups = shape.k / 4.0
+    table_bytes = shape.m * groups * 8 * 2.0
+    if shape.m >= 1024 and shape.k > _SEGFAULT_K_THRESHOLD:
+        return LutGemmResult(time_s=None, segfault=True)
+
+    cuda_rate = spec.cuda_tflops * 1e12 * _LOOKUP_EFFICIENCY
+    compute = shape.flops / cuda_rate
+    traffic = (
+        shape.activation_bytes(16)
+        + shape.weight_bytes(weight_bits)
+        + shape.output_bytes(16)
+        + table_bytes
+    )
+    mem = traffic / (spec.dram_gbs * 1e9 * _GEMV_BW_EFFICIENCY)
+    time = max(compute, mem) + spec.launch_overhead_us * 1e-6
+    return LutGemmResult(time_s=time)

@@ -1,0 +1,47 @@
+"""Welder/Roller/TVM-style compilation stack (paper Section 3.3).
+
+- :mod:`repro.compiler.dfg` — dataflow-graph IR: tensors, operators,
+  graphs, traversal and validation.
+- :mod:`repro.compiler.passes` — graph passes: the mpGEMM ->
+  precompute + LUT-mpGEMM **DFG transformation** and Welder-style
+  element-wise **operator fusion**.
+- :mod:`repro.compiler.tiling` — rTile-like tile enumeration driven by
+  memory footprint rather than shape (the paper's fix for mixed-dtype
+  tiling).
+- :mod:`repro.compiler.scheduler` — picks thread-block/warp tiles for a
+  GEMM on a GPU spec and binds LMMA/MMA instructions.
+- :mod:`repro.compiler.codegen` — emits the kernel programs the
+  simulators execute.
+"""
+
+from repro.compiler.dfg import DataflowGraph, OpKind, Operator, TensorSpec
+from repro.compiler.passes import (
+    split_mpgemm_pass,
+    fuse_elementwise_pass,
+    FusionGroup,
+    fusion_groups,
+)
+from repro.compiler.tiling import TileConfig, enumerate_tiles, tile_memory_bytes
+from repro.compiler.scheduler import Schedule, schedule_gemm
+from repro.compiler.codegen import KernelProgram, generate_kernel
+from repro.compiler.model_compiler import CompiledModel, compile_layer
+
+__all__ = [
+    "DataflowGraph",
+    "OpKind",
+    "Operator",
+    "TensorSpec",
+    "split_mpgemm_pass",
+    "fuse_elementwise_pass",
+    "FusionGroup",
+    "fusion_groups",
+    "TileConfig",
+    "enumerate_tiles",
+    "tile_memory_bytes",
+    "Schedule",
+    "schedule_gemm",
+    "KernelProgram",
+    "generate_kernel",
+    "CompiledModel",
+    "compile_layer",
+]

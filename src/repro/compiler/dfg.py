@@ -1,0 +1,199 @@
+"""Dataflow-graph IR.
+
+A :class:`DataflowGraph` is a DAG of :class:`Operator` nodes connected by
+named tensors (:class:`TensorSpec`). The IR carries exactly what the
+passes and simulators need: operator kind, tensor shapes/dtypes, FLOPs,
+and byte counts — not executable kernels (execution semantics live in
+:mod:`repro.lut` and are bound at codegen time).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.datatypes.formats import DataType, FP16
+from repro.errors import CompilerError
+
+
+class OpKind(enum.Enum):
+    """Operator categories recognized by the passes and simulators."""
+
+    MPGEMM = "mpgemm"          # low-bit weight x high-precision activation
+    GEMM = "gemm"              # uniform-precision matmul (e.g. attention)
+    PRECOMPUTE = "precompute"  # LUT table build (produced by the DFG pass)
+    LUT_MPGEMM = "lut_mpgemm"  # table-consuming mpGEMM (produced by the pass)
+    ELEMENTWISE = "elementwise"  # add, mul, activation functions
+    NORM = "norm"              # layernorm / rmsnorm (row reductions)
+    SOFTMAX = "softmax"
+    EMBEDDING = "embedding"
+
+    @property
+    def is_elementwise_like(self) -> bool:
+        """Kinds fusable into neighbouring element-wise chains."""
+        return self in (OpKind.ELEMENTWISE, OpKind.PRECOMPUTE)
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named tensor with shape and storage dtype."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DataType = FP16
+    #: Storage bits override for sub-byte packed data (e.g. INT2 weights).
+    bits_override: int | None = None
+
+    @property
+    def elements(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def bits(self) -> int:
+        return self.bits_override if self.bits_override is not None else self.dtype.bits
+
+    @property
+    def bytes(self) -> float:
+        return self.elements * self.bits / 8.0
+
+
+@dataclass
+class Operator:
+    """One DFG node."""
+
+    name: str
+    kind: OpKind
+    inputs: tuple[TensorSpec, ...]
+    outputs: tuple[TensorSpec, ...]
+    flops: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def input_bytes(self) -> float:
+        return sum(t.bytes for t in self.inputs)
+
+    @property
+    def output_bytes(self) -> float:
+        return sum(t.bytes for t in self.outputs)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.input_bytes + self.output_bytes
+
+
+class DataflowGraph:
+    """A DAG of operators connected by tensor names.
+
+    Tensors are identified by name: an operator consuming tensor ``t``
+    depends on the operator producing ``t``. Graph inputs are tensors no
+    operator produces.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._ops: list[Operator] = []
+        self._producers: dict[str, Operator] = {}
+
+    def add(self, op: Operator) -> Operator:
+        """Append *op*, checking name uniqueness and single production."""
+        if any(existing.name == op.name for existing in self._ops):
+            raise CompilerError(f"duplicate operator name {op.name!r}")
+        for out in op.outputs:
+            if out.name in self._producers:
+                raise CompilerError(f"tensor {out.name!r} produced twice")
+        self._ops.append(op)
+        for out in op.outputs:
+            self._producers[out.name] = op
+        return op
+
+    def __iter__(self) -> Iterator[Operator]:
+        return iter(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def operators(self) -> tuple[Operator, ...]:
+        return tuple(self._ops)
+
+    def producer_of(self, tensor_name: str) -> Operator | None:
+        return self._producers.get(tensor_name)
+
+    def consumers_of(self, tensor_name: str) -> list[Operator]:
+        return [
+            op for op in self._ops
+            if any(t.name == tensor_name for t in op.inputs)
+        ]
+
+    def predecessors(self, op: Operator) -> list[Operator]:
+        preds = []
+        for t in op.inputs:
+            producer = self._producers.get(t.name)
+            if producer is not None and producer not in preds:
+                preds.append(producer)
+        return preds
+
+    def successors(self, op: Operator) -> list[Operator]:
+        out_names = {t.name for t in op.outputs}
+        succs = []
+        for candidate in self._ops:
+            if any(t.name in out_names for t in candidate.inputs):
+                succs.append(candidate)
+        return succs
+
+    def graph_inputs(self) -> list[TensorSpec]:
+        seen: dict[str, TensorSpec] = {}
+        for op in self._ops:
+            for t in op.inputs:
+                if t.name not in self._producers and t.name not in seen:
+                    seen[t.name] = t
+        return list(seen.values())
+
+    def graph_outputs(self) -> list[TensorSpec]:
+        consumed = {
+            t.name for op in self._ops for t in op.inputs
+        }
+        outs = []
+        for op in self._ops:
+            for t in op.outputs:
+                if t.name not in consumed:
+                    outs.append(t)
+        return outs
+
+    def topological_order(self) -> list[Operator]:
+        """Operators in dependency order; raises on cycles."""
+        indegree: dict[str, int] = {op.name: 0 for op in self._ops}
+        for op in self._ops:
+            for pred in self.predecessors(op):
+                indegree[op.name] += 1
+        ready = [op for op in self._ops if indegree[op.name] == 0]
+        order: list[Operator] = []
+        while ready:
+            op = ready.pop(0)
+            order.append(op)
+            for succ in self.successors(op):
+                indegree[succ.name] -= 1
+                if indegree[succ.name] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._ops):
+            raise CompilerError(f"cycle detected in graph {self.name!r}")
+        return order
+
+    def validate(self) -> None:
+        """Check the graph is a well-formed DAG (raises otherwise)."""
+        self.topological_order()
+
+    @property
+    def total_flops(self) -> float:
+        return sum(op.flops for op in self._ops)
+
+    def clone_without(self, names: Iterable[str]) -> "DataflowGraph":
+        """A copy excluding the named operators (used by passes)."""
+        excluded = set(names)
+        clone = DataflowGraph(self.name)
+        for op in self._ops:
+            if op.name not in excluded:
+                clone.add(op)
+        return clone

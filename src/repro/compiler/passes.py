@@ -1,0 +1,183 @@
+"""Graph passes: the DFG transformation and Welder-style operator fusion.
+
+**DFG transformation** (:func:`split_mpgemm_pass`, Section 3.1.1 / 3.3.2):
+every ``MPGEMM`` operator is replaced by a ``PRECOMPUTE`` operator (table
+build over the activation tensor) feeding a ``LUT_MPGEMM`` operator. The
+precompute runs once per activation tile and is broadcast, eliminating the
+per-LUT-unit redundancy of conventional hardware.
+
+**Operator fusion** (:func:`fuse_elementwise_pass`): element-wise-like
+operators (including ``PRECOMPUTE``) are merged into their producer's
+fusion group, removing the intermediate tensor's round-trip to memory.
+Fusion never changes values — only the traffic accounting used by the
+end-to-end simulator (Table 4's mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes.formats import INT8
+from repro.errors import CompilerError
+from repro.compiler.dfg import DataflowGraph, OpKind, Operator, TensorSpec
+
+#: Lookup-group length of the LUT pipeline (paper: K = 4).
+LUT_GROUP_K = 4
+#: Table entries after symmetrization.
+TABLE_ENTRIES = 1 << (LUT_GROUP_K - 1)
+#: Table storage bits after INT8 table quantization.
+TABLE_BITS = INT8.bits
+
+
+def split_mpgemm_pass(graph: DataflowGraph) -> DataflowGraph:
+    """Replace each MPGEMM with PRECOMPUTE + LUT_MPGEMM.
+
+    The precompute output is a table tensor of shape
+    ``(M, K / LUT_GROUP_K, TABLE_ENTRIES)`` stored at ``TABLE_BITS``; the
+    LUT-mpGEMM consumes the table plus the packed low-bit weights.
+    """
+    out = DataflowGraph(graph.name + "+split")
+    for op in graph.topological_order():
+        if op.kind is not OpKind.MPGEMM:
+            out.add(op)
+            continue
+        activation, weight = op.inputs
+        m, k = activation.shape
+        if k % LUT_GROUP_K != 0:
+            raise CompilerError(
+                f"{op.name}: K={k} not divisible by lut group {LUT_GROUP_K}"
+            )
+        groups = k // LUT_GROUP_K
+        table = TensorSpec(
+            f"{op.name}.table", (m, groups, TABLE_ENTRIES), INT8
+        )
+        # Table precompute: one signed-sum network pass over the
+        # activations (2**(K-1) adds of K-length patterns per group, but
+        # computed incrementally: ~1 add per entry).
+        precompute_flops = float(m * groups * TABLE_ENTRIES)
+        out.add(
+            Operator(
+                name=f"{op.name}.precompute",
+                kind=OpKind.PRECOMPUTE,
+                inputs=(activation,),
+                outputs=(table,),
+                flops=precompute_flops,
+                attrs={"k": LUT_GROUP_K, "source": op.name},
+            )
+        )
+        out.add(
+            Operator(
+                name=op.name,
+                kind=OpKind.LUT_MPGEMM,
+                inputs=(table, weight),
+                outputs=op.outputs,
+                flops=op.flops,
+                attrs={**op.attrs, "lut_k": LUT_GROUP_K},
+            )
+        )
+    out.validate()
+    return out
+
+
+@dataclass
+class FusionGroup:
+    """A set of operators executed as one kernel."""
+
+    operators: list[Operator] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return "+".join(op.name for op in self.operators)
+
+    @property
+    def anchor(self) -> Operator:
+        """The non-element-wise operator the group is built around (or the
+        first operator for pure element-wise chains)."""
+        for op in self.operators:
+            if not op.kind.is_elementwise_like:
+                return op
+        return self.operators[0]
+
+    @property
+    def flops(self) -> float:
+        return sum(op.flops for op in self.operators)
+
+    def external_bytes(self, graph: DataflowGraph) -> float:
+        """Bytes crossing the kernel boundary after fusion.
+
+        Tensors produced *and* consumed entirely inside the group stay in
+        registers/shared memory and are not counted.
+        """
+        internal = {
+            t.name for op in self.operators for t in op.outputs
+        }
+        member_names = {op.name for op in self.operators}
+        read = 0.0
+        for op in self.operators:
+            for t in op.inputs:
+                if t.name not in internal:
+                    read += t.bytes
+        written = 0.0
+        for op in self.operators:
+            for t in op.outputs:
+                consumers = graph.consumers_of(t.name)
+                escapes = (not consumers) or any(
+                    c.name not in member_names for c in consumers
+                )
+                if escapes:
+                    written += t.bytes
+        return read + written
+
+
+def fusion_groups(graph: DataflowGraph) -> list[FusionGroup]:
+    """Partition *graph* into fusion groups (Welder-style greedy tiling).
+
+    Strategy: walk in topological order; an element-wise-like operator
+    joins its producer's group when it is the producer tensor's only
+    consumer; a non-element-wise operator absorbs a directly preceding
+    element-wise chain (prologue fusion, used for precompute) and any
+    element-wise epilogue.
+    """
+    order = graph.topological_order()
+    group_of: dict[str, FusionGroup] = {}
+    groups: list[FusionGroup] = []
+
+    for op in order:
+        target: FusionGroup | None = None
+        preds = graph.predecessors(op)
+        if len(preds) >= 1:
+            # Fuse with the producer of the first input when that edge is
+            # private (single consumer) and one side is element-wise-like.
+            producer = graph.producer_of(op.inputs[0].name)
+            if producer is not None:
+                sole_consumer = (
+                    len(graph.consumers_of(op.inputs[0].name)) == 1
+                )
+                fusable = op.kind.is_elementwise_like or (
+                    producer.kind.is_elementwise_like
+                    and _group_has_no_anchor(group_of[producer.name])
+                )
+                if sole_consumer and fusable:
+                    target = group_of[producer.name]
+        if target is None:
+            target = FusionGroup()
+            groups.append(target)
+        target.operators.append(op)
+        group_of[op.name] = target
+    return groups
+
+
+def _group_has_no_anchor(group: FusionGroup) -> bool:
+    return all(op.kind.is_elementwise_like for op in group.operators)
+
+
+def fuse_elementwise_pass(graph: DataflowGraph) -> list[FusionGroup]:
+    """Alias of :func:`fusion_groups` kept for pipeline readability."""
+    return fusion_groups(graph)
+
+
+def graph_traffic_bytes(graph: DataflowGraph, fused: bool) -> float:
+    """Total memory traffic of the graph, with or without fusion."""
+    if fused:
+        return sum(g.external_bytes(graph) for g in fusion_groups(graph))
+    return sum(op.total_bytes for op in graph)

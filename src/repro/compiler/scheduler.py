@@ -1,0 +1,113 @@
+"""Tile scheduling: bind a GEMM/mpGEMM to block/warp tiles + instructions.
+
+Implements the Roller-style selection loop: enumerate feasible rTiles
+(by memory footprint), score each by a fast analytical model (arithmetic
+intensity and occupancy), and bind the warp tile to MMA or LMMA
+instructions. The chosen :class:`Schedule` is what codegen lowers and the
+kernel simulator executes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compiler.tiling import (
+    TileConfig,
+    arithmetic_intensity,
+    enumerate_tiles,
+)
+from repro.datatypes.formats import DataType, FP16, dtype_from_name
+from repro.errors import CompilerError
+from repro.isa.lmma import LmmaInstruction, default_lmma_for
+from repro.isa.mma import A100_MMA_SHAPES, MmaInstruction
+from repro.models.workloads import GemmShape
+from repro.sim.gpu_specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A fully bound kernel schedule for one GEMM."""
+
+    shape: GemmShape
+    tile: TileConfig
+    instruction: LmmaInstruction | MmaInstruction
+    uses_lut: bool
+
+    @property
+    def instructions_per_block_k_iter(self) -> int:
+        ins = self.instruction
+        per_warp_m = self.tile.warp_m // ins.m
+        per_warp_n = self.tile.warp_n // ins.n
+        per_k = max(self.tile.block_k // ins.k, 1)
+        return per_warp_m * per_warp_n * per_k * self.tile.warps
+
+    @property
+    def k_iterations(self) -> int:
+        return math.ceil(self.shape.k / self.tile.block_k)
+
+    @property
+    def blocks(self) -> int:
+        return math.ceil(self.shape.m / self.tile.block_m) * math.ceil(
+            self.shape.n / self.tile.block_n
+        )
+
+
+def _score(tile: TileConfig, shape: GemmShape, act_bits: int,
+           weight_bits: int, spec: GpuSpec) -> float:
+    """Roller-style score: intensity, penalized for bad wave quantization."""
+    intensity = arithmetic_intensity(tile, act_bits, weight_bits)
+    blocks = math.ceil(shape.m / tile.block_m) * math.ceil(
+        shape.n / tile.block_n
+    )
+    waves = max(math.ceil(blocks / spec.sms), 1)
+    utilization = blocks / (waves * spec.sms)
+    padding = (
+        (math.ceil(shape.m / tile.block_m) * tile.block_m / shape.m)
+        * (math.ceil(shape.n / tile.block_n) * tile.block_n / shape.n)
+    )
+    return intensity * utilization / padding
+
+
+def schedule_gemm(
+    shape: GemmShape,
+    spec: GpuSpec,
+    act_dtype: DataType = FP16,
+    weight_bits: int = 16,
+    use_lut: bool = False,
+) -> Schedule:
+    """Pick the best tile + instruction for *shape* on *spec*.
+
+    With ``use_lut`` the warp tile is bound to an LMMA instruction whose
+    shape matches the LUT tensor core (M2 N64 K4 family); otherwise to the
+    GPU's native MMA shape for the activation dtype.
+    """
+    if use_lut and spec.lut is None:
+        raise CompilerError(f"{spec.name} has no LUT extension to schedule for")
+    streamed_w_bits = weight_bits if use_lut else act_dtype.bits
+    tiles = enumerate_tiles(
+        shape.m, shape.n, shape.k,
+        act_bits=act_dtype.bits,
+        weight_bits=streamed_w_bits,
+        smem_budget_bytes=spec.smem_bytes_per_sm,
+        reg_budget_bytes=spec.regfile_bytes_per_sm,
+        table_bits=8 if use_lut else None,
+    )
+    if not tiles:
+        raise CompilerError(f"no feasible tile for {shape} on {spec.name}")
+    best_tile = max(
+        tiles, key=lambda t: _score(t, shape, act_dtype.bits,
+                                    streamed_w_bits, spec)
+    )
+    if use_lut:
+        w_dtype = dtype_from_name(f"int{weight_bits}")
+        n_dim = 64 if best_tile.warp_n >= 64 else max(best_tile.warp_n, 32)
+        instruction: LmmaInstruction | MmaInstruction = default_lmma_for(
+            w_dtype, act_dtype, shape=(2, n_dim, 4)
+        )
+    else:
+        key = "fp16" if act_dtype.is_float else "int8"
+        instruction = A100_MMA_SHAPES[key]
+    return Schedule(
+        shape=shape, tile=best_tile, instruction=instruction, uses_lut=use_lut
+    )

@@ -1,0 +1,138 @@
+"""rTile-style tile enumeration driven by memory footprint.
+
+Conventional GEMM tiling assumes both operands share a dtype; mpGEMM does
+not (FP16 activations vs INT1-4 weights), so the paper represents tiles by
+*memory size* rather than shape (Section 3.3.2). A :class:`TileConfig`
+records the thread-block and warp tile shapes; :func:`tile_memory_bytes`
+computes its shared-memory/register footprint given the operand formats,
+and :func:`enumerate_tiles` yields every configuration that fits a GPU's
+budgets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CompilerError
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Thread-block and warp tiling of a GEMM."""
+
+    block_m: int
+    block_n: int
+    block_k: int
+    warp_m: int
+    warp_n: int
+    stages: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.block_m, self.block_n, self.block_k) < 1:
+            raise CompilerError("tile dims must be positive")
+        if self.block_m % self.warp_m or self.block_n % self.warp_n:
+            raise CompilerError("warp tile must divide block tile")
+
+    @property
+    def warps(self) -> int:
+        return (self.block_m // self.warp_m) * (self.block_n // self.warp_n)
+
+    @property
+    def threads(self) -> int:
+        return self.warps * 32
+
+
+def tile_memory_bytes(
+    tile: TileConfig,
+    act_bits: int,
+    weight_bits: int,
+    table_bits: int | None = None,
+    lut_k: int = 4,
+) -> dict[str, float]:
+    """Memory footprint of one thread block running *tile*.
+
+    Returns shared-memory bytes (operand staging, double-buffered by
+    ``stages``) and register bytes (accumulators + LUT tables when
+    ``table_bits`` is given).
+    """
+    a_tile = tile.block_m * tile.block_k * act_bits / 8.0
+    w_tile = tile.block_n * tile.block_k * weight_bits / 8.0
+    smem = tile.stages * (a_tile + w_tile)
+    accum_regs = tile.block_m * tile.block_n * 4.0  # fp32 accumulators
+    table_regs = 0.0
+    if table_bits is not None:
+        entries = 1 << (lut_k - 1)
+        groups = tile.block_k / lut_k
+        # One table set per block-M row and K-group, duplicated per warp
+        # along N (the broadcast penalty of software LUT; the LUT Tensor
+        # Core broadcasts in hardware so only one copy is needed).
+        table_regs = tile.block_m * groups * entries * table_bits / 8.0
+    return {
+        "smem_bytes": smem,
+        "accum_reg_bytes": accum_regs,
+        "table_reg_bytes": table_regs,
+        "reg_bytes": accum_regs + table_regs,
+    }
+
+
+_BLOCK_M = (16, 32, 64, 128, 256)
+_BLOCK_N = (32, 64, 128, 256, 512)
+_BLOCK_K = (16, 32, 64)
+_WARP = (16, 32, 64, 128, 256)
+
+
+def enumerate_tiles(
+    m: int,
+    n: int,
+    k: int,
+    act_bits: int,
+    weight_bits: int,
+    smem_budget_bytes: float,
+    reg_budget_bytes: float,
+    table_bits: int | None = None,
+    lut_k: int = 4,
+) -> list[TileConfig]:
+    """All tile configs that fit the budgets for an (M, N, K) problem."""
+    if min(m, n, k) < 1:
+        raise CompilerError("problem dims must be positive")
+    tiles: list[TileConfig] = []
+    for bm in _BLOCK_M:
+        if bm > max(m, 16) * 2:
+            continue
+        for bn in _BLOCK_N:
+            if bn > max(n, 32) * 2:
+                continue
+            for bk in _BLOCK_K:
+                if bk > k:
+                    continue
+                for wm in _WARP:
+                    if wm > bm or bm % wm:
+                        continue
+                    for wn in _WARP:
+                        if wn > bn or bn % wn:
+                            continue
+                        tile = TileConfig(bm, bn, bk, wm, wn)
+                        if not 1 <= tile.warps <= 16:
+                            continue
+                        cost = tile_memory_bytes(
+                            tile, act_bits, weight_bits, table_bits, lut_k
+                        )
+                        if cost["smem_bytes"] > smem_budget_bytes:
+                            continue
+                        if cost["reg_bytes"] > reg_budget_bytes:
+                            continue
+                        tiles.append(tile)
+    return tiles
+
+
+def arithmetic_intensity(
+    tile: TileConfig, act_bits: int, weight_bits: int
+) -> float:
+    """FLOPs per byte of main-memory traffic for one block K-iteration."""
+    flops = 2.0 * tile.block_m * tile.block_n * tile.block_k
+    bytes_moved = (
+        tile.block_m * tile.block_k * act_bits
+        + tile.block_n * tile.block_k * weight_bits
+    ) / 8.0
+    return flops / bytes_moved

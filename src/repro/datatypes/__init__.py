@@ -1,0 +1,67 @@
+"""Numeric-format substrate.
+
+The paper's mpGEMM operates on a menagerie of formats: FP16/FP8 and
+INT16/INT8 activations, INT1..INT8 weights, INT8-quantized lookup tables.
+This package provides:
+
+- :class:`DataType` descriptors with a registry (:func:`dtype_from_name`),
+- a generic minifloat codec (:mod:`repro.datatypes.float_codec`) that
+  rounds any real value to the nearest representable value of an arbitrary
+  (exponent, mantissa) format with round-to-nearest-even,
+- integer rounding/saturation helpers (:mod:`repro.datatypes.integer`).
+"""
+
+from repro.datatypes.formats import (
+    DataType,
+    FP32,
+    FP16,
+    BF16,
+    FP8_E4M3,
+    FP8_E5M2,
+    INT16,
+    INT8,
+    INT4,
+    INT2,
+    INT1,
+    UINT8,
+    UINT4,
+    UINT2,
+    UINT1,
+    dtype_from_name,
+    register_dtype,
+    all_dtypes,
+)
+from repro.datatypes.float_codec import MinifloatCodec, quantize_to_format
+from repro.datatypes.integer import (
+    int_range,
+    saturate,
+    round_half_even,
+    quantize_to_int,
+)
+
+__all__ = [
+    "DataType",
+    "FP32",
+    "FP16",
+    "BF16",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "INT16",
+    "INT8",
+    "INT4",
+    "INT2",
+    "INT1",
+    "UINT8",
+    "UINT4",
+    "UINT2",
+    "UINT1",
+    "dtype_from_name",
+    "register_dtype",
+    "all_dtypes",
+    "MinifloatCodec",
+    "quantize_to_format",
+    "int_range",
+    "saturate",
+    "round_half_even",
+    "quantize_to_int",
+]

@@ -1,0 +1,128 @@
+"""Generic minifloat codec.
+
+Quantizes real values to an arbitrary (sign, exponent, mantissa) float
+format with round-to-nearest-even, saturating to the format's largest
+finite magnitude. This is how the library simulates FP16 and FP8
+activations (and INT8-quantized LUT entries are handled separately in
+:mod:`repro.datatypes.integer`).
+
+The codec is vectorized over NumPy arrays and is exact for formats up to
+FP32-sized, which covers everything in the paper (FP16, FP8-E4M3,
+FP8-E5M2, BF16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datatypes.formats import DataType
+from repro.errors import DataTypeError
+
+
+@dataclass(frozen=True)
+class MinifloatCodec:
+    """Round values to a minifloat format described by a :class:`DataType`.
+
+    The codec supports subnormals and uses round-to-nearest-even, matching
+    IEEE-754 behaviour for the standard formats. Values whose magnitude
+    exceeds :attr:`max_value` saturate (no infinities are produced); this
+    matches the saturating conversions used by low-bit inference kernels.
+    """
+
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.dtype.is_float:
+            raise DataTypeError(f"{self.dtype.name} is not a float format")
+
+    @property
+    def exponent_bias(self) -> int:
+        return (1 << (self.dtype.exponent_bits - 1)) - 1
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest unbiased exponent of a finite normal value."""
+        # E4M3 follows the OCP FP8 convention of reclaiming the top
+        # exponent for finite values (only S.1111.111 is NaN).
+        if self.dtype.name == "fp8_e4m3":
+            return (1 << self.dtype.exponent_bits) - 1 - self.exponent_bias
+        return (1 << self.dtype.exponent_bits) - 2 - self.exponent_bias
+
+    @property
+    def min_normal_exponent(self) -> int:
+        return 1 - self.exponent_bias
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        mant = self.dtype.mantissa_bits
+        frac = 2.0 - 2.0 ** (-mant)
+        if self.dtype.name == "fp8_e4m3":
+            # top code reserved for NaN: largest finite is 1.111_0 pattern
+            frac = 2.0 - 2.0 ** (1 - mant)
+        return frac * 2.0 ** self.max_exponent
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive representable magnitude."""
+        return 2.0 ** (self.min_normal_exponent - self.dtype.mantissa_bits)
+
+    def quantize(self, values: np.ndarray | float) -> np.ndarray:
+        """Round *values* to the nearest representable value (as float64)."""
+        arr = np.asarray(values, dtype=np.float64)
+        if self.dtype.name == "fp32":
+            return arr.astype(np.float32).astype(np.float64)
+        if self.dtype.name == "fp16":
+            clipped = np.clip(arr, -self.max_value, self.max_value)
+            return clipped.astype(np.float16).astype(np.float64)
+
+        out = np.zeros_like(arr)
+        finite = np.isfinite(arr)
+        sign = np.sign(arr)
+        mag = np.abs(np.where(finite, arr, 0.0))
+
+        # Exponent of each magnitude; subnormals share the minimum exponent.
+        with np.errstate(divide="ignore"):
+            exp = np.floor(np.log2(np.where(mag > 0, mag, 1.0)))
+        exp = np.maximum(exp, float(self.min_normal_exponent))
+
+        # Round the significand to mantissa_bits fractional bits, using
+        # NumPy's banker's rounding (round half to even).
+        scale = 2.0 ** (exp - self.dtype.mantissa_bits)
+        quantized = np.round(mag / scale) * scale
+        # Rounding may bump the magnitude to the next binade (e.g. 1.1111
+        # -> 10.000); the representation stays exact, so no fixup needed.
+        quantized = np.minimum(quantized, self.max_value)
+        out = sign * quantized
+        out = np.where(mag == 0.0, 0.0, out)
+        out = np.where(finite, out, np.sign(np.asarray(values)) * self.max_value)
+        return out
+
+    def representable_values(self) -> np.ndarray:
+        """All non-negative representable values, ascending (for tests)."""
+        mant = self.dtype.mantissa_bits
+        values = [0.0]
+        # Subnormals.
+        for frac in range(1, 1 << mant):
+            values.append(frac * self.min_subnormal)
+        # Normals.
+        for e in range(self.min_normal_exponent, self.max_exponent + 1):
+            for frac in range(1 << mant):
+                value = (1.0 + frac / (1 << mant)) * 2.0 ** e
+                if value <= self.max_value:
+                    values.append(value)
+        return np.array(sorted(set(values)))
+
+
+_CODEC_CACHE: dict[str, MinifloatCodec] = {}
+
+
+def quantize_to_format(values: np.ndarray | float, dtype: DataType) -> np.ndarray:
+    """Round *values* to *dtype*'s grid (float formats only), cached codec."""
+    codec = _CODEC_CACHE.get(dtype.name)
+    if codec is None:
+        codec = MinifloatCodec(dtype)
+        _CODEC_CACHE[dtype.name] = codec
+    return codec.quantize(values)

@@ -1,0 +1,176 @@
+"""Data-type descriptors and the global format registry.
+
+A :class:`DataType` is a small frozen record describing a numeric format:
+its name, total bit width, whether it is a float (and if so, its exponent /
+mantissa split), and whether an integer format is signed.
+
+The registry maps the names used throughout the paper's evaluation
+(``fp16``, ``fp8_e4m3``, ``int8`` ...) plus the paper's W/A shorthand
+(``WINT1AFP16``) to descriptors; see :func:`dtype_from_name` and
+:func:`parse_wa_pair`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import DataTypeError
+
+
+@dataclass(frozen=True)
+class DataType:
+    """Description of a numeric storage format.
+
+    Parameters
+    ----------
+    name:
+        Canonical lower-case name, e.g. ``"fp16"`` or ``"int4"``.
+    bits:
+        Total storage width in bits.
+    is_float:
+        ``True`` for floating-point formats.
+    exponent_bits / mantissa_bits:
+        Exponent and explicit-mantissa widths for float formats. The sign
+        bit is implicit, so ``1 + exponent_bits + mantissa_bits == bits``.
+    signed:
+        For integer formats, whether the representation is signed
+        (two's complement).
+    """
+
+    name: str
+    bits: int
+    is_float: bool = False
+    exponent_bits: int = 0
+    mantissa_bits: int = 0
+    signed: bool = True
+    aliases: tuple[str, ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise DataTypeError(f"{self.name}: bits must be positive")
+        if self.is_float:
+            expected = 1 + self.exponent_bits + self.mantissa_bits
+            if expected != self.bits:
+                raise DataTypeError(
+                    f"{self.name}: 1 + {self.exponent_bits}e + "
+                    f"{self.mantissa_bits}m != {self.bits} bits"
+                )
+
+    @property
+    def is_integer(self) -> bool:
+        return not self.is_float
+
+    @property
+    def min_int(self) -> int:
+        """Smallest representable integer (integer formats only)."""
+        if self.is_float:
+            raise DataTypeError(f"{self.name} is not an integer format")
+        if self.signed:
+            return -(1 << (self.bits - 1))
+        return 0
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable integer (integer formats only)."""
+        if self.is_float:
+            raise DataTypeError(f"{self.name} is not an integer format")
+        if self.signed:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+    @property
+    def num_values(self) -> int:
+        """Number of distinct codes (2**bits)."""
+        return 1 << self.bits
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+_REGISTRY: dict[str, DataType] = {}
+
+
+def register_dtype(dtype: DataType) -> DataType:
+    """Register *dtype* under its name and aliases; returns the dtype.
+
+    Re-registering the same descriptor is a no-op; registering a
+    conflicting descriptor under an existing name raises
+    :class:`DataTypeError`.
+    """
+    for key in (dtype.name, *dtype.aliases):
+        key = key.lower()
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing != dtype:
+            raise DataTypeError(f"dtype name {key!r} already registered")
+        _REGISTRY[key] = dtype
+    return dtype
+
+
+def dtype_from_name(name: str) -> DataType:
+    """Look up a registered :class:`DataType` by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise DataTypeError(f"unknown dtype {name!r}") from None
+
+
+def all_dtypes() -> tuple[DataType, ...]:
+    """All registered dtypes (deduplicated, registration order)."""
+    seen: dict[int, DataType] = {}
+    for dtype in _REGISTRY.values():
+        seen.setdefault(id(dtype), dtype)
+    return tuple(seen.values())
+
+
+FP32 = register_dtype(
+    DataType("fp32", 32, is_float=True, exponent_bits=8, mantissa_bits=23,
+             aliases=("float32",))
+)
+FP16 = register_dtype(
+    DataType("fp16", 16, is_float=True, exponent_bits=5, mantissa_bits=10,
+             aliases=("float16", "half"))
+)
+BF16 = register_dtype(
+    DataType("bf16", 16, is_float=True, exponent_bits=8, mantissa_bits=7,
+             aliases=("bfloat16",))
+)
+FP8_E4M3 = register_dtype(
+    DataType("fp8_e4m3", 8, is_float=True, exponent_bits=4, mantissa_bits=3,
+             aliases=("fp8", "e4m3"))
+)
+FP8_E5M2 = register_dtype(
+    DataType("fp8_e5m2", 8, is_float=True, exponent_bits=5, mantissa_bits=2,
+             aliases=("e5m2",))
+)
+INT16 = register_dtype(DataType("int16", 16))
+INT8 = register_dtype(DataType("int8", 8))
+INT4 = register_dtype(DataType("int4", 4))
+INT2 = register_dtype(DataType("int2", 2))
+INT1 = register_dtype(DataType("int1", 1))
+UINT8 = register_dtype(DataType("uint8", 8, signed=False))
+UINT4 = register_dtype(DataType("uint4", 4, signed=False))
+UINT2 = register_dtype(DataType("uint2", 2, signed=False))
+UINT1 = register_dtype(DataType("uint1", 1, signed=False))
+
+
+_WA_PATTERN = re.compile(
+    r"^W(?P<w>[A-Z0-9_]+?)A(?P<a>[A-Z0-9_]+)$", re.IGNORECASE
+)
+
+
+def parse_wa_pair(spec: str) -> tuple[DataType, DataType]:
+    """Parse the paper's ``W<dt>A<dt>`` shorthand into (weight, activation).
+
+    >>> parse_wa_pair("WINT1AFP16")
+    (DataType(name='int1', ...), DataType(name='fp16', ...))
+    """
+    match = _WA_PATTERN.match(spec.strip())
+    if match is None:
+        raise DataTypeError(f"cannot parse W/A pair from {spec!r}")
+    return dtype_from_name(match.group("w")), dtype_from_name(match.group("a"))
+
+
+def wa_name(weight: DataType, activation: DataType) -> str:
+    """Format a (weight, activation) pair in the paper's shorthand."""
+    return f"W{weight.name.upper()}A{activation.name.upper()}"

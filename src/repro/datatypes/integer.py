@@ -1,0 +1,42 @@
+"""Integer rounding/saturation helpers used by quantizers and the LUT path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.formats import DataType
+from repro.errors import DataTypeError
+
+
+def int_range(bits: int, signed: bool = True) -> tuple[int, int]:
+    """(min, max) representable by a *bits*-wide integer."""
+    if bits <= 0:
+        raise DataTypeError("bits must be positive")
+    if signed:
+        return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return 0, (1 << bits) - 1
+
+
+def saturate(values: np.ndarray, bits: int, signed: bool = True) -> np.ndarray:
+    """Clip integer *values* into the representable range."""
+    lo, hi = int_range(bits, signed)
+    return np.clip(values, lo, hi)
+
+
+def round_half_even(values: np.ndarray | float) -> np.ndarray:
+    """Round to nearest integer, ties to even (NumPy's default)."""
+    return np.round(np.asarray(values, dtype=np.float64))
+
+
+def quantize_to_int(
+    values: np.ndarray, scale: float | np.ndarray, dtype: DataType
+) -> np.ndarray:
+    """Quantize real *values* to ``round(values / scale)`` saturated to *dtype*.
+
+    Returns an int64 array of integer codes; ``codes * scale`` recovers the
+    dequantized approximation.
+    """
+    if dtype.is_float:
+        raise DataTypeError(f"{dtype.name} is not an integer format")
+    codes = round_half_even(np.asarray(values, dtype=np.float64) / scale)
+    return saturate(codes, dtype.bits, dtype.signed).astype(np.int64)

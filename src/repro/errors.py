@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Subclasses are grouped by the
+subsystem that raises them.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class DataTypeError(ReproError):
+    """Raised for unknown, malformed, or unsupported numeric formats."""
+
+
+class QuantizationError(ReproError):
+    """Raised when a quantization request is invalid (bad bits, axis, ...)."""
+
+
+class LutError(ReproError):
+    """Raised for invalid LUT configurations (group size, table shape, ...)."""
+
+
+class IsaError(ReproError):
+    """Raised for malformed or illegal LMMA/MMA instructions."""
+
+
+class HardwareModelError(ReproError):
+    """Raised for invalid hardware-model configurations."""
+
+
+class CompilerError(ReproError):
+    """Raised by the DFG / scheduling / codegen stack."""
+
+
+class SimulationError(ReproError):
+    """Raised by the kernel and end-to-end simulators."""
+
+
+class AccuracyError(ReproError):
+    """Raised by the accuracy-evaluation substrate."""

@@ -1,0 +1,32 @@
+"""Ablation: robustness of the hardware conclusions to model constants."""
+
+from __future__ import annotations
+
+from repro.hw.sensitivity import (
+    SensitivityReport,
+    conclusions_robust,
+    run_sensitivity,
+)
+
+
+def run() -> list[SensitivityReport]:
+    return run_sensitivity()
+
+
+def format_result(reports: list[SensitivityReport]) -> str:
+    lines = [
+        "Sensitivity of the hardware conclusions to model assumptions",
+        f"{'perturbation':<22} {'LUT wins':>9} {'obj ratio':>10} "
+        f"{'best MNK':>12} {'peak K (i8/f16)':>16}",
+    ]
+    for r in reports:
+        lines.append(
+            f"{r.label:<22} {str(r.lut_wins_w1_fp16):>9} "
+            f"{r.lut_vs_mac_objective_ratio:>9.1f}x "
+            f"{str(r.lut_best_mnk):>12} "
+            f"{r.int8_peak_k}/{r.fp16_peak_k:>13}"
+        )
+    lines.append(
+        f"all headline conclusions robust: {conclusions_robust(reports)}"
+    )
+    return "\n".join(lines)

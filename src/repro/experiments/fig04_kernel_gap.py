@@ -1,0 +1,69 @@
+"""Figure 4: mpGEMM kernel performance gap on the A100.
+
+LUT-based software kernels (LUT-GEMM) underperform dequantization-based
+kernels (CUTLASS) on GPUs: competitive only at batch 1, orders of
+magnitude slower (or crashing) at batch 1024/4096.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import (
+    cublas_gemm_time_s,
+    cutlass_dequant_time_s,
+    lutgemm_time_s,
+)
+from repro.models.workloads import FIG4_SHAPES, GemmShape
+
+BATCH_SIZES = (1, 1024, 4096)
+WEIGHT_BITS = 4  # the figure's WINT4AFP16 configuration
+
+
+@dataclass(frozen=True)
+class KernelGapRow:
+    """Speedups vs cuBLAS for one (shape, batch) cell."""
+
+    shape_label: str
+    batch: int
+    cutlass_speedup: float
+    lutgemm_speedup: float | None  # None = segmentation error
+
+
+def run(batch_sizes: tuple[int, ...] = BATCH_SIZES) -> list[KernelGapRow]:
+    rows: list[KernelGapRow] = []
+    for batch in batch_sizes:
+        for base_shape in FIG4_SHAPES:
+            shape = base_shape.with_batch(batch)
+            t_cublas = cublas_gemm_time_s(shape)
+            t_cutlass = cutlass_dequant_time_s(shape, WEIGHT_BITS)
+            lut = lutgemm_time_s(shape, WEIGHT_BITS)
+            rows.append(
+                KernelGapRow(
+                    shape_label=base_shape.label,
+                    batch=batch,
+                    cutlass_speedup=t_cublas / t_cutlass,
+                    lutgemm_speedup=(
+                        t_cublas / lut.time_s if lut.ok else None
+                    ),
+                )
+            )
+    return rows
+
+
+def format_result(rows: list[KernelGapRow]) -> str:
+    lines = [
+        "Figure 4: mpGEMM kernels vs cuBLAS WFP16AFP16 (A100, WINT4AFP16)",
+        f"{'shape':>6} {'batch':>6} {'CUTLASS':>9} {'LUT-GEMM':>10}",
+    ]
+    for row in rows:
+        lut = (
+            f"{row.lutgemm_speedup:.2f}x"
+            if row.lutgemm_speedup is not None
+            else "Seg.Err"
+        )
+        lines.append(
+            f"{row.shape_label:>6} {row.batch:>6} "
+            f"{row.cutlass_speedup:>8.2f}x {lut:>10}"
+        )
+    return "\n".join(lines)

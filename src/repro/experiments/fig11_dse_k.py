@@ -1,0 +1,55 @@
+"""Figure 11: design-space exploration along the K axis.
+
+Compute density of the LUT-based dot-product unit vs lookup group length
+K for W1 weights across activation formats. Integer activations peak at
+K = 4; FP16 peaks at K = 5 but is within a few percent at K = 4, so the
+paper adopts K = 4 everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.formats import DataType, FP16, FP8_E4M3, INT16, INT8
+from repro.hw.dotprod import DotProductKind, dp_compute_density
+
+K_RANGE = tuple(range(2, 9))
+ACT_DTYPES = (FP16, INT16, FP8_E4M3, INT8)
+
+
+@dataclass(frozen=True)
+class KSweepSeries:
+    """One curve of the figure."""
+
+    act_dtype: DataType
+    densities: dict[int, float]  # K -> TFLOPs/mm^2
+
+    @property
+    def peak_k(self) -> int:
+        return max(self.densities, key=self.densities.get)
+
+
+def run(k_range: tuple[int, ...] = K_RANGE) -> list[KSweepSeries]:
+    series = []
+    for act in ACT_DTYPES:
+        densities = {
+            k: dp_compute_density(
+                DotProductKind.LUT_TENSOR_CORE, k, act, weight_bits=1
+            )
+            for k in k_range
+        }
+        series.append(KSweepSeries(act_dtype=act, densities=densities))
+    return series
+
+
+def format_result(series: list[KSweepSeries]) -> str:
+    ks = sorted(next(iter(series)).densities)
+    header = "Figure 11: LUT DP-unit compute density (TFLOPs/mm^2) vs K"
+    lines = [header, "series".ljust(16) + " ".join(f"K={k:<6}" for k in ks)
+             + "peak"]
+    for s in series:
+        row = f"WINT1A{s.act_dtype.name.upper():<10}"
+        row += " ".join(f"{s.densities[k]:<8.1f}" for k in ks)
+        row += f"K={s.peak_k}"
+        lines.append(row)
+    return "\n".join(lines)

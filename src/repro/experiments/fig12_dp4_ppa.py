@@ -1,0 +1,65 @@
+"""Figure 12: DP4-unit PPA across MAC / ADD / LUT implementations.
+
+Compute density and power of a 4-element dot-product unit at TSMC 28 nm,
+no psum stage, for the paper's six configurations. Anchors: MAC
+WFP16AFP16 ~ 3.39 TFLOPs/mm^2, LUT WINT1AFP16 ~ 61.55 TFLOPs/mm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.formats import DataType, FP16, FP8_E4M3
+from repro.hw.dotprod import DotProductKind, dp_unit_cost
+
+
+@dataclass(frozen=True)
+class Dp4Row:
+    label: str
+    kind: DotProductKind
+    act_dtype: DataType
+    weight_bits: int
+    compute_density_tflops_mm2: float
+    power_mw: float
+
+
+_CONFIGS = (
+    ("WFP16AFP16 MAC", DotProductKind.MAC, FP16, 16),
+    ("WINT1AFP16 ADD", DotProductKind.ADD_SERIAL, FP16, 1),
+    ("WINT1AFP16 LUT", DotProductKind.LUT_TENSOR_CORE, FP16, 1),
+    ("WFP8AFP8 MAC", DotProductKind.MAC, FP8_E4M3, 8),
+    ("WINT1AFP8 ADD", DotProductKind.ADD_SERIAL, FP8_E4M3, 1),
+    ("WINT1AFP8 LUT", DotProductKind.LUT_TENSOR_CORE, FP8_E4M3, 1),
+)
+
+
+def run() -> list[Dp4Row]:
+    rows = []
+    for label, kind, act, w_bits in _CONFIGS:
+        unit = dp_unit_cost(
+            kind, 4, act, weight_bits=min(w_bits, 8), include_post=False
+        )
+        rows.append(
+            Dp4Row(
+                label=label,
+                kind=kind,
+                act_dtype=act,
+                weight_bits=w_bits,
+                compute_density_tflops_mm2=unit.compute_density_tflops_mm2,
+                power_mw=unit.power_mw,
+            )
+        )
+    return rows
+
+
+def format_result(rows: list[Dp4Row]) -> str:
+    lines = [
+        "Figure 12: DP4 compute density and power @ 28nm (no psum)",
+        f"{'config':<18} {'TFLOPs/mm^2':>12} {'power (mW)':>11}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.label:<18} {row.compute_density_tflops_mm2:>12.2f} "
+            f"{row.power_mw:>11.3f}"
+        )
+    return "\n".join(lines)

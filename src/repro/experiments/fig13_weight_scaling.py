@@ -1,0 +1,64 @@
+"""Figure 13: DP4 area vs weight bit-width (WINTx x AFP16, N = 4 share).
+
+Iso-throughput area of MAC / ADD / conventional-LUT / LUT-Tensor-Core DP4
+units as the weight width scales from 1 to 16 bits. Conventional LUT
+loses its advantage past 2 bits; the co-designed unit wins up to 6 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.formats import FP16
+from repro.hw.dotprod import (
+    DotProductKind,
+    DotProdParams,
+    dp_unit_cost,
+    iso_throughput_area,
+)
+
+WEIGHT_BITS = (1, 2, 4, 8, 16)
+#: The paper's experiment shares tables across an N = 4 neighbourhood.
+PARAMS = DotProdParams(ltc_share=4, conventional_share=4)
+
+
+@dataclass(frozen=True)
+class WeightScalingSeries:
+    label: str
+    areas_um2: dict[int, float]  # weight bits -> iso-throughput area
+
+
+def run(weight_bits: tuple[int, ...] = WEIGHT_BITS) -> list[WeightScalingSeries]:
+    mac_area = dp_unit_cost(
+        DotProductKind.MAC, 4, FP16, params=PARAMS
+    ).area_um2
+    series = [
+        WeightScalingSeries(
+            "MAC WFP16AFP16", {wb: mac_area for wb in weight_bits}
+        )
+    ]
+    for label, kind in (
+        ("ADD WINTXAFP16", DotProductKind.ADD_SERIAL),
+        ("LUT WINTXAFP16 Conventional", DotProductKind.LUT_CONVENTIONAL),
+        ("LUT WINTXAFP16 LUT Tensor Core", DotProductKind.LUT_TENSOR_CORE),
+    ):
+        areas = {}
+        for wb in weight_bits:
+            unit = dp_unit_cost(kind, 4, FP16, wb, params=PARAMS)
+            areas[wb] = iso_throughput_area(unit, PARAMS)
+        series.append(WeightScalingSeries(label, areas))
+    return series
+
+
+def format_result(series: list[WeightScalingSeries]) -> str:
+    bits = sorted(next(iter(series)).areas_um2)
+    lines = [
+        "Figure 13: DP4 iso-throughput area (um^2) vs weight bits, A=FP16",
+        "design".ljust(32) + " ".join(f"INT{b:<7}" for b in bits),
+    ]
+    for s in series:
+        lines.append(
+            s.label.ljust(32)
+            + " ".join(f"{s.areas_um2[b]:<10.0f}" for b in bits)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Figure 14: tensor-core PPA Pareto across MNK, dtypes, and designs.
+
+Twelve panels (4 activation formats x 3 weight widths); each sweeps every
+power-of-two (M, N, K) factorization of a 512-lane array for the LUT /
+ADD / MAC designs and reports the Pareto frontier plus the minimum
+area x power point. The LUT design dominates, and its optimum is the
+elongated M2 N64 K4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.formats import DataType, FP16, FP8_E4M3, INT16, INT8
+from repro.hw.dotprod import DotProductKind
+from repro.hw.dse import DsePoint, best_by_area_power, pareto_frontier, sweep_mnk
+
+ACT_DTYPES = (FP16, FP8_E4M3, INT16, INT8)
+WEIGHT_BITS = (1, 2, 4)
+DESIGNS = (
+    DotProductKind.LUT_TENSOR_CORE,
+    DotProductKind.ADD_SERIAL,
+    DotProductKind.MAC,
+)
+
+
+@dataclass(frozen=True)
+class ParetoPanel:
+    """One of the 12 subplots."""
+
+    act_dtype: DataType
+    weight_bits: int
+    best: dict[DotProductKind, DsePoint]
+    frontier_sizes: dict[DotProductKind, int]
+
+    @property
+    def winner(self) -> DotProductKind:
+        return min(
+            self.best,
+            key=lambda kind: self.best[kind].area_um2 * self.best[kind].power_mw,
+        )
+
+
+def run(
+    act_dtypes: tuple[DataType, ...] = ACT_DTYPES,
+    weight_bits: tuple[int, ...] = WEIGHT_BITS,
+) -> list[ParetoPanel]:
+    panels = []
+    for act in act_dtypes:
+        for wb in weight_bits:
+            best: dict[DotProductKind, DsePoint] = {}
+            frontier_sizes: dict[DotProductKind, int] = {}
+            for design in DESIGNS:
+                points = sweep_mnk(design, act, wb)
+                best[design] = best_by_area_power(points)
+                frontier_sizes[design] = len(pareto_frontier(points))
+            panels.append(
+                ParetoPanel(
+                    act_dtype=act,
+                    weight_bits=wb,
+                    best=best,
+                    frontier_sizes=frontier_sizes,
+                )
+            )
+    return panels
+
+
+def format_result(panels: list[ParetoPanel]) -> str:
+    lines = [
+        "Figure 14: min area x power per design (512-lane tensor core)",
+        f"{'panel':<20} {'design':<8} {'MNK':>12} {'area um^2':>11} "
+        f"{'power mW':>9} {'winner':>7}",
+    ]
+    for panel in panels:
+        label = f"WINT{panel.weight_bits}A{panel.act_dtype.name.upper()}"
+        for design in DESIGNS:
+            point = panel.best[design]
+            mark = "  <--" if design is panel.winner else ""
+            lines.append(
+                f"{label:<20} {design.value[:7]:<8} "
+                f"{str(point.mnk):>12} {point.area_um2:>11.0f} "
+                f"{point.power_mw:>9.2f}{mark}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Figure 17: end-to-end LLM inference speedups (A100 and RTX 3090).
+
+Normalized speedup vs the WFP16AFP16 baseline for OPT-175B, BLOOM-176B,
+and LLAMA2-70B under prefill (BS1-SEQ2048/4096) and decode (BS1024-SEQ1):
+the real-GPU stand-in (R), the tile model (M), and LUT Tensor Core
+configurations WINT1/2/4 x AINT8 at 4x/8x array with double registers
+(DRM). The paper reports speedups up to 8.2x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.formats import FP16, INT8
+from repro.models.configs import BLOOM_176B, LLAMA2_70B, OPT_175B, ModelConfig
+from repro.models.transformer import InferencePhase
+from repro.sim.groundtruth import GroundTruthSimulator
+from repro.sim.gpu_specs import A100, RTX3090, GpuSpec, with_lut_extension
+from repro.sim.tile_sim import PrecomputeMode, TileSimulator
+
+MODELS = (OPT_175B, BLOOM_176B, LLAMA2_70B)
+PHASES = (
+    ("BS1SEQ2048", 1, 2048, InferencePhase.PREFILL),
+    ("BS1024SEQ1", 1024, 1, InferencePhase.DECODE),
+)
+LUT_CONFIGS = tuple(
+    (f"WINT{wb}AINT8_{scale}x_DRM", wb, scale)
+    for wb in (1, 2, 4)
+    for scale in (4, 8)
+)
+
+
+@dataclass(frozen=True)
+class SpeedupCell:
+    model: str
+    gpu: str
+    phase: str
+    config: str
+    speedup: float
+
+
+def run(
+    models: tuple[ModelConfig, ...] = MODELS,
+    gpus: tuple[GpuSpec, ...] = (A100, RTX3090),
+) -> list[SpeedupCell]:
+    cells: list[SpeedupCell] = []
+    for gpu in gpus:
+        baseline_sim = TileSimulator(gpu)
+        reference = GroundTruthSimulator(gpu)
+        for model in models:
+            for phase_label, batch, seqlen, phase in PHASES:
+                base_ms = baseline_sim.time_model(
+                    model, batch, seqlen, phase, act_dtype=FP16
+                ).total_ms
+
+                def emit(config: str, ms: float) -> None:
+                    cells.append(SpeedupCell(
+                        model=model.name, gpu=gpu.name, phase=phase_label,
+                        config=config, speedup=base_ms / ms,
+                    ))
+
+                emit("WFP16AFP16_M", base_ms)
+                emit("WFP16AFP16_R", reference.time_model(
+                    model, batch, seqlen, phase, act_dtype=FP16).total_ms)
+                emit("WINT8AINT8_M", baseline_sim.time_model(
+                    model, batch, seqlen, phase, act_dtype=INT8).total_ms)
+                emit("WINT8AINT8_R", reference.time_model(
+                    model, batch, seqlen, phase, act_dtype=INT8).total_ms)
+                for config, weight_bits, scale in LUT_CONFIGS:
+                    spec = with_lut_extension(
+                        gpu, array_scale=scale, reg_scale=2.0,
+                        weight_bits=weight_bits,
+                    )
+                    ms = TileSimulator(spec).time_model(
+                        model, batch, seqlen, phase,
+                        weight_bits=weight_bits, act_dtype=INT8,
+                        precompute=PrecomputeMode.FUSED,
+                    ).total_ms
+                    emit(config, ms)
+    return cells
+
+
+def max_speedup(cells: list[SpeedupCell]) -> float:
+    return max(c.speedup for c in cells)
+
+
+def format_result(cells: list[SpeedupCell]) -> str:
+    lines = [
+        "Figure 17: normalized speedup vs WFP16AFP16_M",
+        f"{'gpu':<8} {'model':<12} {'phase':<11} {'config':<20} {'speedup':>8}",
+    ]
+    for c in cells:
+        lines.append(
+            f"{c.gpu:<8} {c.model:<12} {c.phase:<11} {c.config:<20} "
+            f"{c.speedup:>7.2f}x"
+        )
+    lines.append(f"max speedup = {max_speedup(cells):.2f}x (paper: up to 8.2x)")
+    return "\n".join(lines)

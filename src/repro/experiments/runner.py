@@ -1,0 +1,46 @@
+"""Experiment runner: regenerate any (or all) paper tables/figures.
+
+Usage::
+
+    python -m repro.experiments.runner            # list experiments
+    python -m repro.experiments.runner fig11 table2
+    python -m repro.experiments.runner all
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by key and return its formatted output."""
+    module = ALL_EXPERIMENTS[name]
+    result = module.run()
+    return module.format_result(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("available experiments:", ", ".join(ALL_EXPERIMENTS))
+        print("usage: python -m repro.experiments.runner <name>... | all")
+        return 0
+    names = list(ALL_EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.perf_counter()
+        output = run_experiment(name)
+        elapsed = time.perf_counter() - started
+        print(f"\n=== {name} ({elapsed:.1f}s) " + "=" * 40)
+        print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

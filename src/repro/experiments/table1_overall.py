@@ -1,0 +1,139 @@
+"""Table 1: overall comparison on BitNet-b1.58-3B.
+
+Latency (prefill BS1-SEQ2048 and decode BS1024-SEQ1), peak throughput,
+tensor-core area per SM, compute density, and energy efficiency for:
+A100 FP16 TC (LLAMA-3B FP16), A100 INT8 TC, A100-LUT-4X/8X (WINT2AINT8),
+H100 FP8 TC, H100-LUT-4X/8X (WINT2AFP8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.formats import DataType, FP16, FP8_E4M3, INT8
+from repro.hw.dotprod import DotProductKind
+from repro.hw.tensor_core import TensorCoreConfig, tensor_core_cost
+from repro.models.configs import BITNET_3B, LLAMA_3B
+from repro.models.transformer import InferencePhase
+from repro.sim.gpu_specs import A100, H100, GpuSpec, with_lut_extension
+from repro.sim.tile_sim import PrecomputeMode, TileSimulator
+
+#: Tensor cores per SM on the modelled GPUs.
+TCS_PER_SM = 4
+
+
+@dataclass(frozen=True)
+class OverallRow:
+    label: str
+    model: str
+    prefill_ms: float
+    decode_ms: float
+    peak_tflops: float
+    tc_area_per_sm_mm2: float
+    compute_density: float  # T(FL)OPs per mm^2
+    energy_efficiency: float  # T(FL)OPs per W
+
+
+def _tc_ppa(kind: DotProductKind, act: DataType, weight_bits: int,
+            arrays_per_tc: float) -> tuple[float, float, float]:
+    """(area_mm2_per_sm, density, efficiency) for the TC configuration."""
+    mnk = (2, 64, 4) if kind is DotProductKind.LUT_TENSOR_CORE else (8, 4, 16)
+    config = TensorCoreConfig(
+        kind, *mnk, act_dtype=act,
+        weight_bits=weight_bits if kind is DotProductKind.LUT_TENSOR_CORE else 1,
+    )
+    cost = tensor_core_cost(config)
+    area_per_sm = cost.area_mm2 * arrays_per_tc * TCS_PER_SM
+    return area_per_sm, cost.compute_density_tflops_mm2, (
+        cost.energy_efficiency_tflops_w
+    )
+
+
+def run() -> list[OverallRow]:
+    rows: list[OverallRow] = []
+
+    def simulate(spec: GpuSpec, weight_bits: int, act: DataType,
+                 model, precompute: PrecomputeMode) -> tuple[float, float]:
+        sim = TileSimulator(spec)
+        prefill = sim.model_inference_ms(
+            model, 1, 2048, InferencePhase.PREFILL,
+            weight_bits=weight_bits, act_dtype=act, precompute=precompute,
+        )
+        decode = sim.model_inference_ms(
+            model, 1024, 1, InferencePhase.DECODE,
+            weight_bits=weight_bits, act_dtype=act, precompute=precompute,
+        )
+        return prefill, decode
+
+    # A100 FP16 TC on the FP16 LLAMA-3B reference model.
+    prefill, decode = simulate(A100, 16, FP16, LLAMA_3B, PrecomputeMode.NONE)
+    area, density, eff = _tc_ppa(DotProductKind.MAC, FP16, 16, 0.5)
+    rows.append(OverallRow(
+        "A100 FP16 TC (WFP16AFP16)", LLAMA_3B.name, prefill, decode,
+        A100.fp16_tflops, area, density, eff,
+    ))
+
+    # A100 INT8 TC: BitNet W2 dequantized to INT8 matmuls.
+    prefill, decode = simulate(A100, 16, INT8, BITNET_3B, PrecomputeMode.NONE)
+    area, density, eff = _tc_ppa(DotProductKind.MAC, INT8, 8, 0.5)
+    rows.append(OverallRow(
+        "A100 INT8 TC (WINT2AINT8)", BITNET_3B.name, prefill, decode,
+        A100.int8_tops, area, density, eff,
+    ))
+
+    # A100-LUT 4X/8X running WINT2AINT8.
+    for scale in (4, 8):
+        spec = with_lut_extension(A100, scale, reg_scale=2.0, weight_bits=2)
+        prefill, decode = simulate(spec, 2, INT8, BITNET_3B,
+                                   PrecomputeMode.FUSED)
+        area, density, eff = _tc_ppa(
+            DotProductKind.LUT_TENSOR_CORE, INT8, 2, scale / 2.0
+        )
+        rows.append(OverallRow(
+            f"A100-LUT-{scale}X (WINT2AINT8)", BITNET_3B.name, prefill,
+            decode, A100.int8_tops * scale / 2, area, density, eff,
+        ))
+
+    # H100 FP8 TC and H100-LUT.
+    prefill, decode = simulate(H100, 16, FP8_E4M3, BITNET_3B,
+                               PrecomputeMode.NONE)
+    area, density, eff = _tc_ppa(DotProductKind.MAC, FP8_E4M3, 8, 0.5)
+    rows.append(OverallRow(
+        "H100 FP8 TC (WFP8AFP8)", BITNET_3B.name, prefill, decode,
+        H100.peak_tflops(act_bits=8), area, density, eff,
+    ))
+    for scale in (4, 8):
+        spec = with_lut_extension(H100, scale, reg_scale=2.0, weight_bits=2)
+        prefill, decode = simulate(spec, 2, FP8_E4M3, BITNET_3B,
+                                   PrecomputeMode.FUSED)
+        area, density, eff = _tc_ppa(
+            DotProductKind.LUT_TENSOR_CORE, FP8_E4M3, 2, scale / 2.0
+        )
+        rows.append(OverallRow(
+            f"H100-LUT-{scale}X (WINT2AFP8)", BITNET_3B.name, prefill,
+            decode, H100.peak_tflops(act_bits=8) * scale / 2, area,
+            density, eff,
+        ))
+    return rows
+
+
+def format_result(rows: list[OverallRow]) -> str:
+    lines = [
+        "Table 1: overall comparison (BitNet-b1.58-3B)",
+        f"{'config':<28} {'prefill':>9} {'decode':>8} {'peak':>7} "
+        f"{'area/SM':>8} {'dens.':>7} {'eff.':>7}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.label:<28} {r.prefill_ms:>7.2f}ms {r.decode_ms:>6.2f}ms "
+            f"{r.peak_tflops:>6.0f}T {r.tc_area_per_sm_mm2:>7.3f}mm2 "
+            f"{r.compute_density:>7.2f} {r.energy_efficiency:>7.2f}"
+        )
+    base = rows[0]
+    best = min(rows[1:4], key=lambda r: r.decode_ms)
+    lines.append(
+        f"max A100 inference speedup vs FP16: "
+        f"prefill {base.prefill_ms / best.prefill_ms:.2f}x, "
+        f"decode {base.decode_ms / best.decode_ms:.2f}x (paper: up to 5.51x)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Table 2: comparison with UNPU (WINT2AINT8 tensor-core case study)."""
+
+from __future__ import annotations
+
+from repro.hw.unpu import AblationRow, unpu_ablation
+
+#: The paper's reported ladder, for side-by-side display.
+PAPER_LADDER = {
+    "UNPU (DSE Enabled)": (17271.71, 1.000, 23.39, 1.000),
+    "+ Weight Reinterpretation": (13116.60, 1.317, 17.98, 1.301),
+    "+ Negation Circuit Elimination": (12780.05, 1.351, 17.37, 1.347),
+    "LUT Tensor Core (Proposed)": (11991.29, 1.440, 16.22, 1.442),
+}
+
+
+def run() -> list[AblationRow]:
+    return unpu_ablation()
+
+
+def format_result(rows: list[AblationRow]) -> str:
+    lines = [
+        "Table 2: UNPU ablation (WINT2AINT8, M*N*K = 512, DSE per step)",
+        f"{'configuration':<34} {'MNK':>12} {'area um^2':>10} "
+        f"{'power mW':>9} {'CI':>6} {'PE':>6} {'paper CI':>9}",
+    ]
+    for row in rows:
+        paper = PAPER_LADDER.get(row.label)
+        paper_ci = f"{paper[1]:.3f}" if paper else "-"
+        lines.append(
+            f"{row.label:<34} {str(row.mnk):>12} {row.area_um2:>10.1f} "
+            f"{row.power_mw:>9.3f} {row.normalized_compute_intensity:>6.3f} "
+            f"{row.normalized_power_efficiency:>6.3f} {paper_ci:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Table 3: feature comparison with accelerators for quantized DNNs.
+
+A static catalogue (the paper's qualitative table) plus measured numbers
+from our models where applicable: the LUT Tensor Core's energy
+efficiency is pulled live from the hardware model rather than hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.formats import INT8
+from repro.hw.dotprod import DotProductKind
+from repro.hw.tensor_core import TensorCoreConfig, tensor_core_cost
+
+
+@dataclass(frozen=True)
+class AcceleratorRow:
+    name: str
+    act_formats: str
+    weight_formats: str
+    compute_engine: str
+    process: str
+    energy_efficiency: str
+    compiler_stack: bool
+    eval_models: str
+
+
+def _ltc_energy_efficiency() -> str:
+    config = TensorCoreConfig(
+        DotProductKind.LUT_TENSOR_CORE, 2, 64, 4, INT8, weight_bits=1
+    )
+    cost = tensor_core_cost(config)
+    return (
+        f"{cost.energy_efficiency_tflops_w:.1f} TOPs/W @ model DC "
+        f"(WINT1AINT8)"
+    )
+
+
+def run() -> list[AcceleratorRow]:
+    return [
+        AcceleratorRow(
+            "UNPU", "INT16", "INT1-INT16", "LUT", "65nm",
+            "27 TOPs/W @0.9V (WINT1AINT16)", False, "VGG-16, AlexNet",
+        ),
+        AcceleratorRow(
+            "Ant", "flint4", "flint4", "flint-flint MAC", "28nm",
+            "N/A", False, "ResNet, BERT",
+        ),
+        AcceleratorRow(
+            "Mokey", "FP16/32, INT4", "INT3/4", "Multi Counter", "65nm",
+            "N/A", False, "BERT, Ro/DeBERTa",
+        ),
+        AcceleratorRow(
+            "FIGNA", "FP16/32, BF16", "INT4/8", "Pre-aligned INT MAC",
+            "28nm", "2.19x FP16-FP16 (WINT4AFP16)", False,
+            "BERT, BLOOM, OPT",
+        ),
+        AcceleratorRow(
+            "LUT Tensor Core", "FP/INT8, FP/INT16", "INT1-INT4", "LUT",
+            "28nm", _ltc_energy_efficiency(), True,
+            "LLAMA, BitNet, BLOOM, OPT",
+        ),
+    ]
+
+
+def format_result(rows: list[AcceleratorRow]) -> str:
+    lines = ["Table 3: accelerators for quantized models"]
+    for row in rows:
+        lines.append(
+            f"- {row.name}: act {row.act_formats}; wgt {row.weight_formats}; "
+            f"engine {row.compute_engine}; {row.process}; "
+            f"eff {row.energy_efficiency}; "
+            f"compiler {'yes' if row.compiler_stack else 'no'}; "
+            f"models {row.eval_models}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Gate-level hardware PPA (power / performance / area) cost model.
+
+Replaces the paper's Verilog + Design Compiler + TSMC 28 nm flow with an
+analytical model in NAND2-gate-equivalents (GE):
+
+- :mod:`repro.hw.tech` — process constants (GE area/energy, flip-flop and
+  SRAM-bit costs, frequency);
+- :mod:`repro.hw.units` — primitive circuit costs (integer/float adders and
+  multipliers, MUX trees, barrel shifters, registers);
+- :mod:`repro.hw.dotprod` — dot-product-unit builders: MAC, bit-serial ADD,
+  conventional LUT, and the paper's LUT Tensor Core unit;
+- :mod:`repro.hw.tensor_core` — tensor-core-level composition (M x N lanes,
+  tables amortized across N, operand registers, I/O energy);
+- :mod:`repro.hw.dse` — design-space sweeps and Pareto extraction;
+- :mod:`repro.hw.unpu` — the UNPU baseline with the paper's ablation
+  switches (Table 2).
+"""
+
+from repro.hw.tech import TechnologyModel, TSMC28
+from repro.hw.units import CircuitCost
+from repro.hw.dotprod import (
+    DotProductKind,
+    dp_unit_cost,
+    dp_compute_density,
+    iso_throughput_area,
+)
+from repro.hw.tensor_core import (
+    TensorCoreConfig,
+    TensorCoreCost,
+    tensor_core_cost,
+)
+from repro.hw.dse import (
+    pareto_frontier,
+    sweep_mnk,
+    best_by_area_power,
+)
+from repro.hw.unpu import UnpuConfig, unpu_ablation
+from repro.hw.sensitivity import run_sensitivity, conclusions_robust
+
+__all__ = [
+    "TechnologyModel",
+    "TSMC28",
+    "CircuitCost",
+    "DotProductKind",
+    "dp_unit_cost",
+    "dp_compute_density",
+    "iso_throughput_area",
+    "TensorCoreConfig",
+    "TensorCoreCost",
+    "tensor_core_cost",
+    "pareto_frontier",
+    "sweep_mnk",
+    "best_by_area_power",
+    "UnpuConfig",
+    "unpu_ablation",
+    "run_sensitivity",
+    "conclusions_robust",
+]

@@ -1,0 +1,329 @@
+"""Dot-product-unit cost models (paper Figs. 11-13).
+
+Four design styles are modelled:
+
+- **MAC** — the conventional Tensor Core datapath: K multipliers + an
+  adder tree at the activation precision. For uniform GEMM both operands
+  share the activation format; for mpGEMM the MAC baseline dequantizes
+  weights upstream, so its datapath cost is independent of weight bits.
+- **ADD** — bit-serial (Stripes-style): per cycle, a sign-controlled adder
+  tree combines ±activations selected by one weight bit-plane; a result
+  takes ``W_BIT`` cycles.
+- **LUT conventional** — table precompute adjacent to the unit (shared
+  over a small ``N`` neighbourhood), full ``2**K`` table at activation
+  width, ``2**K``-way MUX.
+- **LUT Tensor Core** — the paper's unit: precompute offloaded to software
+  (no precompute circuitry), table symmetrized to ``2**(K-1)`` entries and
+  quantized to INT8, MUX halved, negation circuit folded into the
+  accumulator's add/sub control via offline weight remapping.
+
+All bit-serial styles report ``cycles_per_result = W_BIT``;
+:func:`iso_throughput_area` replicates the per-lane datapath (sharing
+tables) to compare designs at equal throughput, which is how Fig. 13's
+area axis is constructed.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.datatypes.formats import DataType, FP16
+from repro.errors import HardwareModelError
+from repro.hw.tech import TSMC28, TechnologyModel
+from repro.hw.units import (
+    CircuitCost,
+    ZERO_COST,
+    adder_for,
+    adder_tree,
+    barrel_shifter,
+    fp_adder,
+    int_addsub,
+    multiplier_for,
+    mux,
+    register,
+)
+
+
+class DotProductKind(enum.Enum):
+    """Datapath style of a dot-product unit."""
+
+    MAC = "mac"
+    ADD_SERIAL = "add"
+    LUT_CONVENTIONAL = "lut_conventional"
+    LUT_TENSOR_CORE = "lut_tensor_core"
+
+
+@dataclass(frozen=True)
+class DotProdParams:
+    """Tunable constants of the dot-product cost model.
+
+    The defaults are calibrated against the paper's anchors; tests in
+    ``tests/hw`` pin the resulting figure shapes (peaks, crossovers),
+    not individual constants.
+    """
+
+    #: Width of table entries after INT8 table quantization.
+    table_bits: int = 8
+    #: Control/FSM overhead per unit, in GE.
+    ctrl_ge: float = 150.0
+    #: Guard bits on integer accumulators beyond table + shift width.
+    accum_guard_bits: int = 4
+    #: Fraction of the rescale datapath charged per lane (the per-table
+    #: scale multiply can be time-shared across the serial cycles).
+    rescale_amortization: float = 1.0
+    #: Rescale stations per output lane at the tensor-core level: psums
+    #: drain through a time-shared conversion pipeline. Float outputs
+    #: convert once per table (per-table scales change every group), so
+    #: they need denser stations than integer outputs, whose scale folds
+    #: into the final output quantization.
+    tc_rescale_share_float: float = 1.0 / 4.0
+    tc_rescale_share_int: float = 1.0 / 16.0
+    #: Share factor for conventional-LUT precompute + table (the paper's
+    #: N = 4 neighbourhood; 1 for a standalone unit).
+    conventional_share: int = 4
+    #: Share factor for the LUT Tensor Core table at the DP level
+    #: (1 = standalone micro-benchmark unit).
+    ltc_share: int = 1
+
+
+DEFAULT_PARAMS = DotProdParams()
+
+
+@dataclass(frozen=True)
+class DotProductCost:
+    """PPA result for one dot-product unit."""
+
+    kind: DotProductKind
+    k: int
+    act_dtype: DataType
+    weight_bits: int
+    cost: CircuitCost
+    breakdown: dict[str, CircuitCost] = field(compare=False, default_factory=dict)
+    cycles_per_result: int = 1
+    tech: TechnologyModel = TSMC28
+
+    @property
+    def area_um2(self) -> float:
+        return self.tech.area_um2(self.cost.total_ge)
+
+    @property
+    def power_mw(self) -> float:
+        return self.tech.power_mw(self.cost.logic_ge, self.cost.storage_ge)
+
+    @property
+    def flops_per_cycle(self) -> float:
+        """Equivalent FLOPs per clock (2 per MAC, serialized over W bits)."""
+        return 2.0 * self.k / self.cycles_per_result
+
+    @property
+    def tflops(self) -> float:
+        return self.flops_per_cycle * self.tech.frequency_ghz / 1000.0
+
+    @property
+    def compute_density_tflops_mm2(self) -> float:
+        """TFLOPs per mm² at the technology's clock."""
+        area_mm2 = self.area_um2 / 1.0e6
+        return self.tflops / area_mm2
+
+    @property
+    def energy_efficiency_tflops_w(self) -> float:
+        """TFLOPs per watt (dynamic power only, like the paper's DC data)."""
+        return self.tflops / (self.power_mw / 1000.0)
+
+
+def _accum_bits(
+    act_dtype: DataType, params: DotProdParams, weight_bits: int = 1
+) -> int:
+    """Integer psum width: entry width + bit-serial shift room + guard."""
+    if act_dtype.is_float:
+        base = params.table_bits
+    else:
+        base = min(act_dtype.bits + 2, params.table_bits + 4)
+    return base + weight_bits + params.accum_guard_bits
+
+
+def _rescale_cost(act_dtype: DataType, params: DotProdParams) -> CircuitCost:
+    """Per-lane cost of turning integer lookups back into scaled outputs.
+
+    Float activations: the INT8 table entry must be multiplied by the
+    per-table FP scale and accumulated in float — an INT8 x FP multiplier
+    plus an FP adder. Integer activations: a shift/scale and an integer
+    accumulate; far cheaper. This asymmetry is what moves the optimal K
+    from 4 (INT) to 5 (FP) in Fig. 11.
+    """
+    from repro.datatypes.formats import INT8
+
+    if act_dtype.is_float:
+        cost = multiplier_for(INT8, act_dtype) + fp_adder(act_dtype)
+        out_reg = register(act_dtype.bits)
+    else:
+        width = _accum_bits(act_dtype, params)
+        cost = int_addsub(width) + barrel_shifter(width, 8)
+        out_reg = register(width)
+    return params.rescale_amortization * cost + out_reg
+
+
+def _serial_psum_int(
+    act_dtype: DataType, weight_bits: int, params: DotProdParams
+) -> CircuitCost:
+    """Integer shift-accumulate stage of a LUT lane (no register)."""
+    width = _accum_bits(act_dtype, params, weight_bits)
+    return int_addsub(width) + barrel_shifter(width, max(weight_bits, 2))
+
+
+def _serial_psum(act_dtype: DataType, weight_bits: int, params: DotProdParams) -> CircuitCost:
+    """Bit-serial shift-accumulate stage (FSM shifter + psum add/sub + reg)."""
+    width = _accum_bits(act_dtype, params, weight_bits)
+    shifter = barrel_shifter(width, max(weight_bits, 2))
+    return int_addsub(width) + shifter + register(width)
+
+
+def dp_unit_cost(
+    kind: DotProductKind,
+    k: int,
+    act_dtype: DataType = FP16,
+    weight_bits: int = 1,
+    tech: TechnologyModel = TSMC28,
+    params: DotProdParams = DEFAULT_PARAMS,
+    include_post: bool = True,
+) -> DotProductCost:
+    """Cost of one K-element dot-product unit of the given *kind*.
+
+    ``include_post=False`` drops the psum/rescale stage, matching the
+    paper's "No Psum" DP4 micro-benchmark (Fig. 12).
+    """
+    if k < 1:
+        raise HardwareModelError("k must be >= 1")
+    if weight_bits < 1:
+        raise HardwareModelError("weight_bits must be >= 1")
+    breakdown: dict[str, CircuitCost] = {}
+    cycles = 1
+
+    if kind is DotProductKind.MAC:
+        # Dequantized weights share the activation format, so the MAC
+        # datapath is a uniform-precision multiply-add tree.
+        breakdown["multipliers"] = k * multiplier_for(act_dtype, act_dtype)
+        breakdown["adder_tree"] = adder_tree(act_dtype, k)
+        breakdown["operand_regs"] = register(2 * k * act_dtype.bits)
+        if include_post:
+            breakdown["psum"] = adder_for(act_dtype) + register(
+                max(act_dtype.bits, 32)
+            )
+            breakdown["ctrl"] = CircuitCost(logic_ge=params.ctrl_ge / 2)
+
+    elif kind is DotProductKind.ADD_SERIAL:
+        cycles = weight_bits
+        # Sign-controlled adder tree over one weight bit-plane.
+        breakdown["adder_tree"] = adder_tree(act_dtype, k, addsub=True)
+        breakdown["sign_ctrl"] = CircuitCost(logic_ge=1.0 * k)
+        breakdown["operand_regs"] = register(k * act_dtype.bits + k * weight_bits)
+        if include_post:
+            breakdown["psum"] = _serial_psum(act_dtype, weight_bits, params)
+            if act_dtype.is_float:
+                # Shift of a float psum is an exponent adjust.
+                breakdown["psum"] = breakdown["psum"] + adder_for(act_dtype)
+            breakdown["ctrl"] = CircuitCost(logic_ge=params.ctrl_ge)
+
+    elif kind is DotProductKind.LUT_CONVENTIONAL:
+        cycles = weight_bits
+        entries = 1 << k
+        table_width = act_dtype.bits
+        share = params.conventional_share
+        # Precompute adjacent to the unit: a signed-sum network producing
+        # all 2**k combinations (one adder per non-trivial entry).
+        precompute = max(entries - k, 1) * adder_for(act_dtype, addsub=True)
+        table = register(entries * table_width)
+        breakdown["precompute"] = (1.0 / share) * precompute
+        breakdown["table"] = (1.0 / share) * table
+        breakdown["mux"] = mux(entries, table_width)
+        # Tables on the raw {0, 1} interpretation are not symmetric, so a
+        # negation stage and a zero-point correction unit remain per lane.
+        breakdown["negation"] = CircuitCost(logic_ge=1.2 * table_width)
+        breakdown["zero_point"] = int_addsub(
+            _accum_bits(act_dtype, params, weight_bits)
+        ) + register(act_dtype.bits)
+        breakdown["weight_regs"] = register(k * weight_bits)
+        if include_post:
+            breakdown["psum"] = _serial_psum(act_dtype, weight_bits, params)
+            if act_dtype.is_float:
+                breakdown["psum"] = breakdown["psum"] + adder_for(act_dtype)
+            breakdown["ctrl"] = CircuitCost(logic_ge=params.ctrl_ge)
+
+    elif kind is DotProductKind.LUT_TENSOR_CORE:
+        cycles = weight_bits
+        entries = 1 << (k - 1)  # symmetrized table
+        table_width = params.table_bits
+        share = params.ltc_share
+        breakdown["table"] = (1.0 / share) * register(entries * table_width)
+        breakdown["mux"] = mux(entries, table_width)
+        breakdown["weight_regs"] = register(k * weight_bits)
+        # Negation circuit eliminated by offline remapping (Eq. 6): the
+        # MSB only drives the accumulator's existing add/sub control.
+        if include_post:
+            width = _accum_bits(act_dtype, params, weight_bits)
+            psum = _serial_psum_int(act_dtype, weight_bits, params) + register(width)
+            breakdown["psum"] = psum
+            breakdown["rescale"] = _rescale_cost(act_dtype, params)
+            breakdown["ctrl"] = CircuitCost(logic_ge=params.ctrl_ge)
+    else:  # pragma: no cover - exhaustive enum
+        raise HardwareModelError(f"unknown dot-product kind {kind}")
+
+    total = ZERO_COST
+    for part in breakdown.values():
+        total = total + part
+    return DotProductCost(
+        kind=kind,
+        k=k,
+        act_dtype=act_dtype,
+        weight_bits=weight_bits,
+        cost=total,
+        breakdown=breakdown,
+        cycles_per_result=cycles,
+        tech=tech,
+    )
+
+
+def dp_compute_density(
+    kind: DotProductKind,
+    k: int,
+    act_dtype: DataType = FP16,
+    weight_bits: int = 1,
+    tech: TechnologyModel = TSMC28,
+    params: DotProdParams = DEFAULT_PARAMS,
+    include_post: bool = True,
+) -> float:
+    """Convenience: compute density (TFLOPs/mm²) of one unit."""
+    return dp_unit_cost(
+        kind, k, act_dtype, weight_bits, tech, params, include_post
+    ).compute_density_tflops_mm2
+
+
+def iso_throughput_area(
+    unit: DotProductCost, params: DotProdParams = DEFAULT_PARAMS
+) -> float:
+    """Area (µm²) at MAC-equal throughput.
+
+    Bit-serial designs produce one result every ``W_BIT`` cycles; matching
+    a MAC unit's rate takes ``W_BIT`` parallel lanes. Tables are shared
+    across the replicas (the replicas process different bit-planes of the
+    *same* activations), so only the non-table datapath replicates.
+    """
+    if unit.cycles_per_result == 1:
+        return unit.area_um2
+    replicas = unit.cycles_per_result
+    # Tables/precompute serve all bit-plane replicas (same activations);
+    # the rescale station serves one *output* regardless of replication
+    # (replicas are partial contributions to the same accumulator).
+    shared = (
+        unit.breakdown.get("table", ZERO_COST)
+        + unit.breakdown.get("precompute", ZERO_COST)
+        + unit.breakdown.get("rescale", ZERO_COST)
+    )
+    replicated = CircuitCost(
+        logic_ge=unit.cost.logic_ge - shared.logic_ge,
+        storage_ge=unit.cost.storage_ge - shared.storage_ge,
+    )
+    total_ge = shared.total_ge + replicas * replicated.total_ge
+    return unit.tech.area_um2(total_ge)

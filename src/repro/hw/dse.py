@@ -1,0 +1,121 @@
+"""Design-space exploration utilities (paper Section 4.2).
+
+Provides the MNK sweep used for Fig. 14 (all power-of-two factorizations
+of a fixed array size), Pareto-frontier extraction over (area, power),
+and the argmin-area-x-power selection the paper draws as dashed contours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.datatypes.formats import DataType, FP16
+from repro.errors import HardwareModelError
+from repro.hw.dotprod import DEFAULT_PARAMS, DotProductKind, DotProdParams
+from repro.hw.tensor_core import TensorCoreConfig, TensorCoreCost, tensor_core_cost
+
+
+@dataclass(frozen=True)
+class DsePoint:
+    """One evaluated configuration in the design space."""
+
+    config: TensorCoreConfig
+    cost: TensorCoreCost
+
+    @property
+    def mnk(self) -> tuple[int, int, int]:
+        return (self.config.m, self.config.n, self.config.k)
+
+    @property
+    def area_um2(self) -> float:
+        return self.cost.area_um2
+
+    @property
+    def power_mw(self) -> float:
+        return self.cost.power_mw
+
+
+def _power_of_two_factorizations(
+    array_size: int, max_k: int
+) -> Iterable[tuple[int, int, int]]:
+    m = 1
+    while m <= array_size:
+        n = 1
+        while m * n <= array_size:
+            if array_size % (m * n) == 0:
+                k = array_size // (m * n)
+                if k <= max_k and (k & (k - 1)) == 0:
+                    yield (m, n, k)
+            n *= 2
+        m *= 2
+
+
+def sweep_mnk(
+    kind: DotProductKind,
+    act_dtype: DataType = FP16,
+    weight_bits: int = 1,
+    array_size: int = 512,
+    max_k: int = 32,
+    params: DotProdParams = DEFAULT_PARAMS,
+) -> list[DsePoint]:
+    """Evaluate every power-of-two (M, N, K) with ``M*N*K == array_size``.
+
+    ``max_k`` bounds the reduction length; LUT cores are additionally
+    capped at K = 8 by the register-resident-table rule.
+    """
+    if array_size < 1:
+        raise HardwareModelError("array_size must be positive")
+    points: list[DsePoint] = []
+    kind_max_k = min(max_k, 8) if kind in (
+        DotProductKind.LUT_TENSOR_CORE, DotProductKind.LUT_CONVENTIONAL
+    ) else max_k
+    for m, n, k in _power_of_two_factorizations(array_size, kind_max_k):
+        if k < 2:
+            continue
+        config = TensorCoreConfig(
+            kind=kind,
+            m=m,
+            n=n,
+            k=k,
+            act_dtype=act_dtype,
+            weight_bits=weight_bits,
+            params=params,
+        )
+        points.append(DsePoint(config=config, cost=tensor_core_cost(config)))
+    return points
+
+
+def pareto_frontier(points: Sequence[DsePoint]) -> list[DsePoint]:
+    """Non-dominated subset under (minimize area, minimize power).
+
+    A point is dominated if another point is <= in both coordinates and
+    strictly < in at least one.
+    """
+    frontier: list[DsePoint] = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            if (
+                other.area_um2 <= candidate.area_um2
+                and other.power_mw <= candidate.power_mw
+                and (
+                    other.area_um2 < candidate.area_um2
+                    or other.power_mw < candidate.power_mw
+                )
+            ):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(candidate)
+    frontier.sort(key=lambda p: (p.area_um2, p.power_mw))
+    return frontier
+
+
+def best_by_area_power(points: Sequence[DsePoint]) -> DsePoint:
+    """The paper's DSE objective: argmin area x power."""
+    if not points:
+        raise HardwareModelError("no DSE points to select from")
+    return min(points, key=lambda p: p.area_um2 * p.power_mw)

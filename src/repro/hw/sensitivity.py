@@ -1,0 +1,120 @@
+"""Sensitivity analysis of the hardware model's conclusions.
+
+The PPA model rests on calibrated constants: control overhead, rescale
+station sharing, accumulator guard bits, table width. This module
+perturbs those assumptions and re-runs the headline design-space
+conclusions, demonstrating that the paper's qualitative results — the
+LUT design winning min(area x power), the elongated M2 N64 K4 optimum,
+and the K ~ 4 sweet spot — are properties of the design structure
+(exponential tables, amortized broadcast, bit-serial lanes), not of the
+specific calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.datatypes.formats import DataType, FP16, INT8
+from repro.hw.dotprod import (
+    DEFAULT_PARAMS,
+    DotProductKind,
+    DotProdParams,
+    dp_unit_cost,
+)
+from repro.hw.dse import best_by_area_power, sweep_mnk
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Outcome of one perturbed-assumption run."""
+
+    label: str
+    params: DotProdParams
+    lut_wins_w1_fp16: bool
+    lut_vs_mac_objective_ratio: float
+    lut_best_mnk: tuple[int, int, int]
+    int8_peak_k: int
+    fp16_peak_k: int
+
+
+def _peak_k(act: DataType, params: DotProdParams) -> int:
+    densities = {
+        k: dp_unit_cost(
+            DotProductKind.LUT_TENSOR_CORE, k, act, 1, params=params
+        ).compute_density_tflops_mm2
+        for k in range(2, 9)
+    }
+    return max(densities, key=densities.get)
+
+
+def default_perturbations() -> dict[str, DotProdParams]:
+    """±50%-class perturbations of every calibrated model assumption."""
+    base = DEFAULT_PARAMS
+    return {
+        "baseline": base,
+        "ctrl x2": replace(base, ctrl_ge=base.ctrl_ge * 2.0),
+        "ctrl /2": replace(base, ctrl_ge=base.ctrl_ge / 2.0),
+        "guard +2 bits": replace(
+            base, accum_guard_bits=base.accum_guard_bits + 2
+        ),
+        "guard -2 bits": replace(
+            base, accum_guard_bits=max(base.accum_guard_bits - 2, 0)
+        ),
+        "rescale stations x2": replace(
+            base,
+            tc_rescale_share_float=min(base.tc_rescale_share_float * 2, 1.0),
+            tc_rescale_share_int=min(base.tc_rescale_share_int * 2, 1.0),
+        ),
+        "rescale stations /2": replace(
+            base,
+            tc_rescale_share_float=base.tc_rescale_share_float / 2,
+            tc_rescale_share_int=base.tc_rescale_share_int / 2,
+        ),
+    }
+
+
+def run_sensitivity(
+    perturbations: dict[str, DotProdParams] | None = None,
+) -> list[SensitivityReport]:
+    """Re-evaluate headline conclusions under each parameter set."""
+    if perturbations is None:
+        perturbations = default_perturbations()
+    reports = []
+    for label, params in perturbations.items():
+        lut = best_by_area_power(
+            sweep_mnk(DotProductKind.LUT_TENSOR_CORE, FP16, 1, params=params)
+        )
+        mac = best_by_area_power(
+            sweep_mnk(DotProductKind.MAC, FP16, 1, params=params)
+        )
+        lut_objective = lut.area_um2 * lut.power_mw
+        mac_objective = mac.area_um2 * mac.power_mw
+        reports.append(
+            SensitivityReport(
+                label=label,
+                params=params,
+                lut_wins_w1_fp16=lut_objective < mac_objective,
+                lut_vs_mac_objective_ratio=mac_objective / lut_objective,
+                lut_best_mnk=lut.mnk,
+                int8_peak_k=_peak_k(INT8, params),
+                fp16_peak_k=_peak_k(FP16, params),
+            )
+        )
+    return reports
+
+
+def conclusions_robust(reports: list[SensitivityReport]) -> bool:
+    """True iff every perturbation preserves the headline conclusions:
+    LUT wins, the optimum stays elongated (N >= 8M with K = 4), and the
+    DP-unit sweet spot stays in the K = 3..5 neighbourhood."""
+    for r in reports:
+        m, n, k = r.lut_best_mnk
+        if not r.lut_wins_w1_fp16:
+            return False
+        if k != 4 or n < 8 * m:
+            return False
+        if r.int8_peak_k not in (3, 4, 5):
+            return False
+        if r.fp16_peak_k not in (4, 5, 6):
+            return False
+    return True

@@ -1,0 +1,91 @@
+"""Process-technology constants for the gate-level PPA model.
+
+The model counts NAND2 gate equivalents (GE) and converts to area and
+dynamic power with per-node constants. The defaults approximate a TSMC
+28 nm HPC library at 1 GHz — the node and frequency the paper synthesizes
+at — and were calibrated so the model lands on the paper's absolute
+anchors (MAC FP16 DP4 ~ 3.4 TFLOPs/mm², LUT W1A16 DP4 ~ 60 TFLOPs/mm²).
+
+Only *relative* PPA across designs matters for the conclusions; see
+DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Area/energy conversion constants for one process node.
+
+    Attributes
+    ----------
+    name:
+        Node label, e.g. ``"tsmc28"``.
+    ge_area_um2:
+        Area of one NAND2-equivalent gate in square microns.
+    ge_energy_fj:
+        Dynamic energy of one GE toggling once, in femtojoules.
+    ff_ge:
+        Flip-flop cost in GE (area); storage cells are denser than the
+        ~6-GE standard-cell DFF because LUT tables can use latch arrays.
+    logic_activity / storage_activity:
+        Mean switching-activity factors applied to combinational logic and
+        to storage cells when computing dynamic power.
+    wire_energy_fj_per_bit_mm:
+        Interconnect energy for broadcast wiring, per bit per millimetre.
+    frequency_ghz:
+        Synthesis target clock.
+    """
+
+    name: str = "tsmc28"
+    ge_area_um2: float = 0.49
+    ge_energy_fj: float = 2.2
+    ff_ge: float = 4.0
+    logic_activity: float = 0.18
+    storage_activity: float = 0.08
+    wire_energy_fj_per_bit_mm: float = 25.0
+    frequency_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ge_area_um2 <= 0 or self.ge_energy_fj <= 0:
+            raise HardwareModelError("technology constants must be positive")
+        if self.frequency_ghz <= 0:
+            raise HardwareModelError("frequency must be positive")
+
+    def area_um2(self, gates: float) -> float:
+        """Convert a GE count to area in µm²."""
+        return gates * self.ge_area_um2
+
+    def power_mw(self, logic_ge: float, storage_ge: float = 0.0) -> float:
+        """Dynamic power in mW for the given logic/storage GE counts.
+
+        power = GE * activity * E_ge * f; 1 GE at 1 GHz toggling every
+        cycle with E = 1 fJ dissipates 1 µW.
+        """
+        freq = self.frequency_ghz
+        logic_uw = logic_ge * self.logic_activity * self.ge_energy_fj * freq
+        storage_uw = storage_ge * self.storage_activity * self.ge_energy_fj * freq
+        return (logic_uw + storage_uw) / 1000.0
+
+    def scaled(self, **overrides: float) -> "TechnologyModel":
+        """A copy with some constants overridden (for sensitivity studies)."""
+        params = {
+            "name": self.name,
+            "ge_area_um2": self.ge_area_um2,
+            "ge_energy_fj": self.ge_energy_fj,
+            "ff_ge": self.ff_ge,
+            "logic_activity": self.logic_activity,
+            "storage_activity": self.storage_activity,
+            "wire_energy_fj_per_bit_mm": self.wire_energy_fj_per_bit_mm,
+            "frequency_ghz": self.frequency_ghz,
+        }
+        params.update(overrides)
+        return TechnologyModel(**params)
+
+
+#: Default node used throughout the evaluation (the paper's node).
+TSMC28 = TechnologyModel()

@@ -1,0 +1,291 @@
+"""Tensor-core-level PPA composition (paper Figs. 9 and 14, Table 1).
+
+A tensor core of shape ``(M, N, K)`` computes
+``O[M, N] += A[M, K] x W[N, K]`` per (bit-serial) cycle. Per Fig. 9, the
+LUT-based array consists of:
+
+- ``M`` tables of ``2**(K-1)`` entries (table-shared parallelism: each
+  entry broadcast to ``N`` MUX units),
+- ``N`` grouped binary weight sets of ``K`` bits (query-shared
+  parallelism: each set broadcast to ``M`` MUX units),
+- ``M x N`` MUX-based lanes with bit-serial accumulators.
+
+The paper's Eq. 7/8: total table size ``M * 2**(K-1) * LUT_BIT`` and
+grouped weight size ``K * N * W_BIT``.
+
+The elongated-tile result (optimal ``M2 N64 K4``) emerges from the
+structure: tables grow with ``M * 2**(K-1)``, MUX lanes with ``M * N``,
+weight registers with ``K * N``, and I/O with the operand perimeter — so
+a long-N, small-M, K=4 array minimizes area x power at fixed
+``M * N * K``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.datatypes.formats import DataType, FP16
+from repro.errors import HardwareModelError
+from repro.hw.dotprod import (
+    DEFAULT_PARAMS,
+    DotProductKind,
+    DotProdParams,
+    _accum_bits,
+    _rescale_cost,
+)
+from repro.hw.tech import TSMC28, TechnologyModel
+from repro.hw.units import (
+    CircuitCost,
+    ZERO_COST,
+    adder_for,
+    adder_tree,
+    barrel_shifter,
+    int_adder,
+    int_addsub,
+    multiplier_for,
+    mux,
+    register,
+)
+
+
+@dataclass(frozen=True)
+class TensorCoreConfig:
+    """Shape + datapath style of one tensor core."""
+
+    kind: DotProductKind
+    m: int
+    n: int
+    k: int
+    act_dtype: DataType = FP16
+    weight_bits: int = 1
+    iso_throughput: bool = True
+    params: DotProdParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise HardwareModelError("tensor core dims must be positive")
+        if self.kind is DotProductKind.LUT_TENSOR_CORE and self.k > 8:
+            raise HardwareModelError(
+                "LUT tensor core k > 8 would need a 128+-entry table"
+            )
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.m * self.n * self.k
+
+    @property
+    def serial_cycles(self) -> int:
+        if self.kind is DotProductKind.MAC:
+            return 1
+        return self.weight_bits
+
+
+@dataclass(frozen=True)
+class TensorCoreCost:
+    """PPA of one tensor core."""
+
+    config: TensorCoreConfig
+    cost: CircuitCost
+    breakdown: dict[str, CircuitCost] = field(compare=False, default_factory=dict)
+    wire_power_mw: float = 0.0
+    tech: TechnologyModel = TSMC28
+
+    @property
+    def area_um2(self) -> float:
+        return self.tech.area_um2(self.cost.total_ge)
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1.0e6
+
+    @property
+    def power_mw(self) -> float:
+        return (
+            self.tech.power_mw(self.cost.logic_ge, self.cost.storage_ge)
+            + self.wire_power_mw
+        )
+
+    @property
+    def flops_per_cycle(self) -> float:
+        cfg = self.config
+        flops = 2.0 * cfg.macs_per_cycle
+        if cfg.iso_throughput:
+            return flops
+        return flops / cfg.serial_cycles
+
+    @property
+    def tflops(self) -> float:
+        return self.flops_per_cycle * self.tech.frequency_ghz / 1000.0
+
+    @property
+    def compute_density_tflops_mm2(self) -> float:
+        return self.tflops / self.area_mm2
+
+    @property
+    def energy_efficiency_tflops_w(self) -> float:
+        return self.tflops / (self.power_mw / 1000.0)
+
+    @property
+    def area_power_product(self) -> float:
+        """The DSE objective of Fig. 14 (µm² x mW)."""
+        return self.area_um2 * self.power_mw
+
+
+def _lut_tc_breakdown(cfg: TensorCoreConfig) -> tuple[dict[str, CircuitCost], float]:
+    params = cfg.params
+    entries = 1 << (cfg.k - 1)
+    tb = params.table_bits
+    replicas = cfg.weight_bits if cfg.iso_throughput else 1
+    lanes = cfg.m * cfg.n * replicas
+    outputs = cfg.m * cfg.n
+    breakdown: dict[str, CircuitCost] = {}
+    # Tables: M per array, shared by all N lanes and all bit-plane
+    # replicas. Double-buffered: the next tile's tables (precomputed in
+    # software) load while the current ones are consumed.
+    breakdown["table"] = 2.0 * register(cfg.m * entries * tb)
+    breakdown["mux"] = lanes * mux(entries, tb)
+    breakdown["weight_regs"] = register(cfg.k * cfg.n * cfg.weight_bits * replicas)
+    width = _accum_bits(cfg.act_dtype, params, cfg.weight_bits)
+    # Bit-plane replicas combine through a small adder tree into one
+    # shift-accumulator per output element.
+    combine = max(replicas - 1, 0) * int_adder(width)
+    psum = int_addsub(width) + barrel_shifter(width, max(cfg.weight_bits, 2))
+    breakdown["psum"] = outputs * (psum + combine) + register(outputs * width)
+    # Rescale stations are time-shared: psums drain once per tile
+    # K-iteration, so one station serves many lanes.
+    share = (
+        params.tc_rescale_share_float
+        if cfg.act_dtype.is_float
+        else params.tc_rescale_share_int
+    )
+    stations = max(outputs * share, 1.0)
+    breakdown["rescale"] = stations * _rescale_cost(cfg.act_dtype, params)
+    breakdown["ctrl"] = CircuitCost(logic_ge=params.ctrl_ge * (1 + 0.05 * lanes))
+
+    # Broadcast wiring power: each of M*entries table words drives a wire
+    # spanning the N lanes; each weight set spans M lanes.
+    tech = TSMC28
+    span_mm = 0.004 * cfg.n  # lane pitch ~4 µm in the modelled node
+    table_bits_moved = cfg.m * entries * tb
+    weight_span_mm = 0.004 * cfg.m
+    weight_bits_moved = cfg.k * cfg.n * replicas
+    wire_fj = (
+        table_bits_moved * span_mm + weight_bits_moved * weight_span_mm
+    ) * tech.wire_energy_fj_per_bit_mm
+    wire_power_mw = wire_fj * tech.frequency_ghz * tech.storage_activity / 1.0e6
+    return breakdown, wire_power_mw
+
+
+def _mac_tc_breakdown(cfg: TensorCoreConfig) -> tuple[dict[str, CircuitCost], float]:
+    act = cfg.act_dtype
+    lanes = cfg.m * cfg.n
+    breakdown: dict[str, CircuitCost] = {}
+    breakdown["multipliers"] = lanes * cfg.k * multiplier_for(act, act)
+    breakdown["adder_tree"] = lanes * adder_tree(act, cfg.k)
+    accum_bits = max(act.bits, 32) if act.is_float else 32
+    breakdown["psum"] = lanes * (adder_for(act) + register(accum_bits))
+    breakdown["operand_regs"] = register(
+        (cfg.m * cfg.k + cfg.n * cfg.k) * act.bits
+    )
+    breakdown["ctrl"] = CircuitCost(logic_ge=cfg.params.ctrl_ge * (1 + 0.05 * lanes))
+    tech = TSMC28
+    # Operand broadcast: A rows span N, B columns span M.
+    wire_fj = (
+        cfg.m * cfg.k * act.bits * 0.004 * cfg.n
+        + cfg.n * cfg.k * act.bits * 0.004 * cfg.m
+    ) * tech.wire_energy_fj_per_bit_mm
+    wire_power_mw = wire_fj * tech.frequency_ghz * tech.logic_activity / 1.0e6
+    return breakdown, wire_power_mw
+
+
+def _add_tc_breakdown(cfg: TensorCoreConfig) -> tuple[dict[str, CircuitCost], float]:
+    act = cfg.act_dtype
+    params = cfg.params
+    replicas = cfg.weight_bits if cfg.iso_throughput else 1
+    lanes = cfg.m * cfg.n * replicas
+    breakdown: dict[str, CircuitCost] = {}
+    breakdown["adder_tree"] = lanes * adder_tree(act, cfg.k, addsub=True)
+    breakdown["sign_ctrl"] = CircuitCost(logic_ge=1.0 * lanes * cfg.k)
+    width = _accum_bits(act, params, cfg.weight_bits)
+    outputs = cfg.m * cfg.n
+    combine = max(replicas - 1, 0) * (
+        adder_for(act) if act.is_float else int_adder(width)
+    )
+    psum = int_addsub(width) + barrel_shifter(width, max(cfg.weight_bits, 2))
+    if act.is_float:
+        psum = psum + adder_for(act)
+    breakdown["psum"] = outputs * (psum + combine) + register(outputs * width)
+    breakdown["operand_regs"] = register(
+        cfg.m * cfg.k * act.bits + cfg.n * cfg.k * cfg.weight_bits * replicas
+    )
+    breakdown["ctrl"] = CircuitCost(logic_ge=params.ctrl_ge * (1 + 0.05 * lanes))
+    tech = TSMC28
+    wire_fj = (
+        cfg.m * cfg.k * act.bits * 0.004 * cfg.n
+        + cfg.n * cfg.k * cfg.weight_bits * replicas * 0.004 * cfg.m
+    ) * tech.wire_energy_fj_per_bit_mm
+    wire_power_mw = wire_fj * tech.frequency_ghz * tech.logic_activity / 1.0e6
+    return breakdown, wire_power_mw
+
+
+def _lut_conventional_tc_breakdown(
+    cfg: TensorCoreConfig,
+) -> tuple[dict[str, CircuitCost], float]:
+    act = cfg.act_dtype
+    params = cfg.params
+    entries = 1 << cfg.k
+    tb = act.bits  # full-precision table, no table quantization
+    replicas = cfg.weight_bits if cfg.iso_throughput else 1
+    lanes = cfg.m * cfg.n * replicas
+    breakdown: dict[str, CircuitCost] = {}
+    # On-array precompute adjacent to the tables (one station per table).
+    breakdown["precompute"] = cfg.m * max(entries - cfg.k, 1) * adder_for(
+        act, addsub=True
+    )
+    breakdown["table"] = register(cfg.m * entries * tb)
+    breakdown["mux"] = lanes * mux(entries, tb)
+    breakdown["negation"] = lanes * CircuitCost(logic_ge=1.2 * tb)
+    breakdown["weight_regs"] = register(cfg.k * cfg.n * cfg.weight_bits * replicas)
+    width = _accum_bits(act, params, cfg.weight_bits)
+    outputs = cfg.m * cfg.n
+    combine = max(replicas - 1, 0) * (
+        adder_for(act) if act.is_float else int_adder(width)
+    )
+    psum = int_addsub(width) + barrel_shifter(width, max(cfg.weight_bits, 2))
+    if act.is_float:
+        psum = psum + adder_for(act)
+    breakdown["psum"] = outputs * (psum + combine) + register(outputs * width)
+    breakdown["ctrl"] = CircuitCost(logic_ge=params.ctrl_ge * (1 + 0.05 * lanes))
+    tech = TSMC28
+    wire_fj = (
+        cfg.m * entries * tb * 0.004 * cfg.n
+        + cfg.k * cfg.n * cfg.weight_bits * replicas * 0.004 * cfg.m
+    ) * tech.wire_energy_fj_per_bit_mm
+    wire_power_mw = wire_fj * tech.frequency_ghz * tech.storage_activity / 1.0e6
+    return breakdown, wire_power_mw
+
+
+_BUILDERS = {
+    DotProductKind.MAC: _mac_tc_breakdown,
+    DotProductKind.ADD_SERIAL: _add_tc_breakdown,
+    DotProductKind.LUT_CONVENTIONAL: _lut_conventional_tc_breakdown,
+    DotProductKind.LUT_TENSOR_CORE: _lut_tc_breakdown,
+}
+
+
+def tensor_core_cost(
+    config: TensorCoreConfig, tech: TechnologyModel = TSMC28
+) -> TensorCoreCost:
+    """PPA of a tensor core described by *config*."""
+    breakdown, wire_power = _BUILDERS[config.kind](config)
+    total = ZERO_COST
+    for part in breakdown.values():
+        total = total + part
+    return TensorCoreCost(
+        config=config,
+        cost=total,
+        breakdown=breakdown,
+        wire_power_mw=wire_power,
+        tech=tech,
+    )

@@ -1,0 +1,181 @@
+"""Primitive circuit cost models (gate-equivalent counts).
+
+Each builder returns a :class:`CircuitCost` with separate logic and
+storage GE counts, so the technology model can apply different activity
+factors. Gate counts follow standard-cell rules of thumb:
+
+- full adder ~ 5 GE/bit (carry-lookahead overhead folded in),
+- array multiplier ~ 6 GE per partial-product bit,
+- 2:1 MUX ~ 1 GE/bit, a W-way tree costs (W-1) 2:1 stages,
+- barrel shifter ~ 1 GE per bit per stage,
+- float add/mul decomposed into align/normalize shifters, significand
+  adder/multiplier, exponent logic and rounding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.datatypes.formats import DataType
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class CircuitCost:
+    """Gate-equivalent cost of a circuit block."""
+
+    logic_ge: float = 0.0
+    storage_ge: float = 0.0
+
+    @property
+    def total_ge(self) -> float:
+        return self.logic_ge + self.storage_ge
+
+    def __add__(self, other: "CircuitCost") -> "CircuitCost":
+        return CircuitCost(
+            self.logic_ge + other.logic_ge, self.storage_ge + other.storage_ge
+        )
+
+    def __mul__(self, factor: float) -> "CircuitCost":
+        return CircuitCost(self.logic_ge * factor, self.storage_ge * factor)
+
+    __rmul__ = __mul__
+
+
+ZERO_COST = CircuitCost()
+
+
+def int_adder(bits: int) -> CircuitCost:
+    """Two's-complement adder."""
+    if bits < 1:
+        raise HardwareModelError("adder width must be >= 1")
+    return CircuitCost(logic_ge=5.0 * bits)
+
+
+def int_addsub(bits: int) -> CircuitCost:
+    """Adder/subtractor: adder plus an XOR row and carry-in control."""
+    return CircuitCost(logic_ge=6.0 * bits)
+
+
+def int_multiplier(bits_a: int, bits_b: int) -> CircuitCost:
+    """Array multiplier: ~6 GE per partial-product bit."""
+    if min(bits_a, bits_b) < 1:
+        raise HardwareModelError("multiplier widths must be >= 1")
+    return CircuitCost(logic_ge=6.0 * bits_a * bits_b)
+
+
+def mux(ways: int, width: int) -> CircuitCost:
+    """W-way one-hot/binary MUX of *width*-bit words."""
+    if ways < 1:
+        raise HardwareModelError("mux needs >= 1 way")
+    return CircuitCost(logic_ge=max(ways - 1, 0) * width * 1.0)
+
+
+def barrel_shifter(width: int, positions: int) -> CircuitCost:
+    """Barrel shifter over *positions* shift amounts."""
+    if positions <= 1:
+        return ZERO_COST
+    stages = math.ceil(math.log2(positions))
+    return CircuitCost(logic_ge=width * stages * 1.0)
+
+
+def register(width: int, ff_ge: float = 4.0) -> CircuitCost:
+    """A *width*-bit register file fragment (DFF/latch array)."""
+    return CircuitCost(storage_ge=width * ff_ge)
+
+
+def _mantissa_bits(fmt: DataType) -> int:
+    # +1 for the implicit leading one.
+    return fmt.mantissa_bits + 1
+
+
+def fp_adder(fmt: DataType) -> CircuitCost:
+    """Floating-point adder for format *fmt*.
+
+    align shifter + significand add + normalize shifter (leading-zero
+    count folded in) + exponent compare/adjust + rounding.
+    """
+    if not fmt.is_float:
+        raise HardwareModelError(f"{fmt.name} is not a float format")
+    mant = _mantissa_bits(fmt)
+    exp = fmt.exponent_bits
+    align = barrel_shifter(mant + 3, mant + 3).logic_ge
+    normalize = barrel_shifter(mant + 3, mant + 3).logic_ge
+    significand = int_adder(mant + 3).logic_ge
+    lzc = 1.5 * mant
+    exponent = 10.0 * exp
+    rounding = 2.0 * mant
+    return CircuitCost(
+        logic_ge=align + normalize + significand + lzc + exponent + rounding
+    )
+
+
+def fp_multiplier(fmt_a: DataType, fmt_b: DataType | None = None) -> CircuitCost:
+    """Floating-point multiplier (possibly mixed formats)."""
+    fmt_b = fmt_b or fmt_a
+    if not (fmt_a.is_float and fmt_b.is_float):
+        raise HardwareModelError("fp_multiplier expects float formats")
+    mant = int_multiplier(_mantissa_bits(fmt_a), _mantissa_bits(fmt_b)).logic_ge
+    exp = int_adder(max(fmt_a.exponent_bits, fmt_b.exponent_bits) + 1).logic_ge
+    rounding = 2.0 * (_mantissa_bits(fmt_a) + _mantissa_bits(fmt_b)) / 2.0
+    return CircuitCost(logic_ge=mant + exp + rounding)
+
+
+def multiplier_for(fmt_a: DataType, fmt_b: DataType) -> CircuitCost:
+    """Multiplier for any format pair (int x int, fp x fp, int x fp).
+
+    An int x fp multiplier treats the integer as a fixed-point significand
+    (FIGNA-style pre-aligned integer unit).
+    """
+    if fmt_a.is_float and fmt_b.is_float:
+        return fp_multiplier(fmt_a, fmt_b)
+    if not fmt_a.is_float and not fmt_b.is_float:
+        return int_multiplier(fmt_a.bits, fmt_b.bits)
+    fp_fmt = fmt_a if fmt_a.is_float else fmt_b
+    int_fmt = fmt_b if fmt_a.is_float else fmt_a
+    mant = int_multiplier(_mantissa_bits(fp_fmt), max(int_fmt.bits, 1)).logic_ge
+    exp = int_adder(fp_fmt.exponent_bits + 1).logic_ge
+    return CircuitCost(logic_ge=mant + exp + 1.5 * _mantissa_bits(fp_fmt))
+
+
+def adder_for(fmt: DataType, addsub: bool = False) -> CircuitCost:
+    """Adder (or adder/subtractor) for an int or float format."""
+    if fmt.is_float:
+        base = fp_adder(fmt)
+        if addsub:
+            # Sign-flip on a float operand is a single XOR on the sign bit.
+            base = base + CircuitCost(logic_ge=1.0)
+        return base
+    return int_addsub(fmt.bits) if addsub else int_adder(fmt.bits)
+
+
+def accumulator_width(fmt: DataType, terms: int) -> int:
+    """Accumulator width that avoids overflow over *terms* additions."""
+    if fmt.is_float:
+        return fmt.bits
+    return fmt.bits + max(1, math.ceil(math.log2(max(terms, 2))))
+
+
+def adder_tree(fmt: DataType, leaves: int, addsub: bool = False) -> CircuitCost:
+    """A balanced reduction tree over *leaves* operands.
+
+    Float trees use fixed-width FP adders; integer trees widen one bit
+    per level (level ``l`` has ``leaves / 2**(l+1)`` adders of width
+    ``fmt.bits + l + 1``), which is what makes deep integer reductions
+    more expensive than ``(leaves - 1) x`` the leaf adder.
+    """
+    if leaves < 2:
+        return ZERO_COST
+    if fmt.is_float:
+        return (leaves - 1) * adder_for(fmt, addsub=addsub)
+    total = ZERO_COST
+    count = leaves
+    level = 0
+    builder = int_addsub if addsub else int_adder
+    while count > 1:
+        adders = count // 2
+        total = total + adders * builder(fmt.bits + level + 1)
+        count = count - adders
+        level += 1
+    return total

@@ -1,0 +1,200 @@
+"""UNPU baseline and the paper's ablation ladder (Table 2).
+
+UNPU (Lee et al., JSSC'19) is the prior state-of-the-art LUT-based DNN
+accelerator. Relative to the paper's design it lacks:
+
+1. **weight reinterpretation** — its tables cover all ``2**K`` patterns
+   (full size), so tables, MUX trees, and the on-array precompute network
+   are twice as large;
+2. **negation-circuit elimination** — each lane carries conditional
+   negation logic;
+3. **DFG transformation + kernel fusion** — table precompute runs on
+   dedicated on-array circuitry (one station per lane neighbourhood)
+   instead of being folded into the software pipeline.
+
+:func:`unpu_ablation` reproduces Table 2 by starting from the UNPU
+configuration and flipping one optimization at a time. The modelled array
+is the bit-serial array itself (weights are processed over ``W_BIT``
+cycles, no replication), matching the paper's Tensor Core case study at
+``M x N x K = 512``. Throughput is identical across rows, so normalized
+compute intensity and power efficiency are pure area and power ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.formats import DataType, INT8
+from repro.errors import HardwareModelError
+from repro.hw.dotprod import (
+    DEFAULT_PARAMS,
+    DotProductKind,
+    DotProdParams,
+    _rescale_cost,
+)
+from repro.hw.tech import TSMC28, TechnologyModel
+from repro.hw.tensor_core import TensorCoreConfig, TensorCoreCost
+from repro.hw.units import (
+    CircuitCost,
+    ZERO_COST,
+    adder_for,
+    barrel_shifter,
+    int_addsub,
+    mux,
+    register,
+)
+
+#: Lanes served by one on-array precompute station in the UNPU model.
+PRECOMPUTE_NEIGHBOURHOOD = 16
+
+
+@dataclass(frozen=True)
+class UnpuConfig:
+    """Feature switches separating UNPU from the LUT Tensor Core."""
+
+    weight_reinterpretation: bool = False
+    negation_elimination: bool = False
+    software_precompute: bool = False
+    act_dtype: DataType = INT8
+    weight_bits: int = 2
+    array_size: int = 512
+    params: DotProdParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if self.negation_elimination and not self.weight_reinterpretation:
+            raise HardwareModelError(
+                "negation elimination requires the symmetric (reinterpreted) "
+                "table; Eq. 6 folds the complement into remapped weights"
+            )
+
+    @property
+    def label(self) -> str:
+        if (
+            self.weight_reinterpretation
+            and self.negation_elimination
+            and self.software_precompute
+        ):
+            return "LUT Tensor Core (Proposed)"
+        if self.weight_reinterpretation and self.negation_elimination:
+            return "+ Negation Circuit Elimination"
+        if self.weight_reinterpretation:
+            return "+ Weight Reinterpretation"
+        return "UNPU (DSE Enabled)"
+
+
+def _unpu_tc_cost(
+    mnk: tuple[int, int, int], cfg: UnpuConfig, tech: TechnologyModel = TSMC28
+) -> TensorCoreCost:
+    """Cost of one LUT array under the given feature switches."""
+    m, n, k = mnk
+    params = cfg.params
+    act = cfg.act_dtype
+    lanes = m * n
+    entries = 1 << (k - 1) if cfg.weight_reinterpretation else 1 << k
+    tb = params.table_bits
+
+    breakdown: dict[str, CircuitCost] = {}
+    breakdown["table"] = register(m * entries * tb)
+    breakdown["mux"] = lanes * mux(entries, tb)
+    if not cfg.negation_elimination:
+        breakdown["negation"] = lanes * CircuitCost(logic_ge=1.0 * tb)
+    if not cfg.software_precompute:
+        stations = max(lanes // PRECOMPUTE_NEIGHBOURHOOD, m)
+        breakdown["precompute"] = stations * max(entries - k, 1) * adder_for(
+            act, addsub=True
+        )
+    breakdown["weight_regs"] = register(k * n * cfg.weight_bits)
+    width = tb + cfg.weight_bits + 4
+    psum = int_addsub(width) + barrel_shifter(width, max(cfg.weight_bits, 2))
+    breakdown["psum"] = lanes * psum + register(lanes * width)
+    stations = max(lanes * params.tc_rescale_share_int, 1.0)
+    breakdown["rescale"] = stations * _rescale_cost(act, params)
+    breakdown["ctrl"] = CircuitCost(logic_ge=params.ctrl_ge * (1 + 0.05 * lanes))
+
+    total = ZERO_COST
+    for part in breakdown.values():
+        total = total + part
+    span_mm = 0.004 * n
+    wire_fj = m * entries * tb * span_mm * tech.wire_energy_fj_per_bit_mm
+    wire_power_mw = wire_fj * tech.frequency_ghz * tech.storage_activity / 1.0e6
+    config = TensorCoreConfig(
+        kind=DotProductKind.LUT_TENSOR_CORE,
+        m=m,
+        n=n,
+        k=k,
+        act_dtype=act,
+        weight_bits=cfg.weight_bits,
+        params=params,
+    )
+    return TensorCoreCost(
+        config=config,
+        cost=total,
+        breakdown=breakdown,
+        wire_power_mw=wire_power_mw,
+        tech=tech,
+    )
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One row of Table 2."""
+
+    label: str
+    mnk: tuple[int, int, int]
+    area_um2: float
+    power_mw: float
+    normalized_compute_intensity: float
+    normalized_power_efficiency: float
+
+
+def _best_mnk(cfg: UnpuConfig) -> tuple[int, int, int]:
+    """DSE over MNK for the given feature set (paper runs DSE per design)."""
+    best: tuple[float, tuple[int, int, int]] | None = None
+    m = 1
+    while m <= cfg.array_size:
+        n = 1
+        while m * n <= cfg.array_size:
+            if cfg.array_size % (m * n) == 0:
+                k = cfg.array_size // (m * n)
+                if 2 <= k <= 8 and (k & (k - 1)) == 0:
+                    cost = _unpu_tc_cost((m, n, k), cfg)
+                    objective = cost.area_um2 * cost.power_mw
+                    if best is None or objective < best[0]:
+                        best = (objective, (m, n, k))
+            n *= 2
+        m *= 2
+    assert best is not None
+    return best[1]
+
+
+def unpu_ablation(
+    act_dtype: DataType = INT8,
+    weight_bits: int = 2,
+    array_size: int = 512,
+    params: DotProdParams = DEFAULT_PARAMS,
+) -> list[AblationRow]:
+    """Reproduce Table 2: UNPU -> +reinterp -> +negation-elim -> +fusion."""
+    steps = [
+        UnpuConfig(False, False, False, act_dtype, weight_bits, array_size, params),
+        UnpuConfig(True, False, False, act_dtype, weight_bits, array_size, params),
+        UnpuConfig(True, True, False, act_dtype, weight_bits, array_size, params),
+        UnpuConfig(True, True, True, act_dtype, weight_bits, array_size, params),
+    ]
+    rows: list[AblationRow] = []
+    base_area = base_power = None
+    for cfg in steps:
+        mnk = _best_mnk(cfg)
+        cost = _unpu_tc_cost(mnk, cfg)
+        if base_area is None:
+            base_area, base_power = cost.area_um2, cost.power_mw
+        rows.append(
+            AblationRow(
+                label=cfg.label,
+                mnk=mnk,
+                area_um2=cost.area_um2,
+                power_mw=cost.power_mw,
+                normalized_compute_intensity=base_area / cost.area_um2,
+                normalized_power_efficiency=base_power / cost.power_mw,
+            )
+        )
+    return rows

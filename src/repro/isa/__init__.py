@@ -1,0 +1,30 @@
+"""Instruction-set layer: the paper's LMMA extension of MMA.
+
+The LMMA instruction (Section 3.3.1) exposes the LUT-based Tensor Core to
+software::
+
+    lmma.{M}{N}{K}.{Adtype}{Wdtype}{Accumdtype}{Odtype}
+
+Each instruction computes
+``O[M,N] = A[M,K] x W[N,K] + Accum[M,N]`` on one warp. This package
+provides parsing/formatting, legality checking, functional execution
+(delegating to the LUT engine), and the baseline MMA set used by
+conventional Tensor Cores.
+"""
+
+from repro.isa.mma import MmaInstruction, A100_MMA_SHAPES
+from repro.isa.lmma import (
+    LmmaInstruction,
+    LMMA_DEFAULT_SHAPES,
+    default_lmma_for,
+    legal_lmma_combinations,
+)
+
+__all__ = [
+    "MmaInstruction",
+    "A100_MMA_SHAPES",
+    "LmmaInstruction",
+    "LMMA_DEFAULT_SHAPES",
+    "default_lmma_for",
+    "legal_lmma_combinations",
+]

@@ -1,0 +1,189 @@
+"""LMMA: the LUT-based matrix-multiply-accumulate instruction set.
+
+Format (paper Section 3.3.1)::
+
+    lmma.m{M}n{N}k{K}.{Adtype}.{Wdtype}.{Accumdtype}.{Odtype}
+
+Semantics: a warp executes
+``O[M, N] = A[M, K] x W[N, K] + Accum[M, N]`` where ``A`` is a
+high-precision activation tile, ``W`` a low-bit weight tile consumed as
+bit-planes, and the dot products run through symmetrized lookup tables.
+
+Legality rules encode the hardware's supported envelope: INT1..INT4 (and
+up to INT8) weights, FP16/FP8/INT16/INT8 activations, K small enough for a
+register-resident table, elongated N per the design-space exploration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datatypes.formats import (
+    DataType,
+    FP16,
+    FP32,
+    FP8_E4M3,
+    INT16,
+    INT8,
+    dtype_from_name,
+)
+from repro.errors import IsaError
+from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+from repro.quant.reinterpret import ReinterpretedWeight
+from repro.quant.weight import QuantizedWeight
+
+#: Activation formats the LUT Tensor Core supports (Section 1 / Table 3).
+SUPPORTED_ACT_DTYPES = ("fp16", "fp8_e4m3", "fp8_e5m2", "int16", "int8")
+#: Weight formats: INT1..INT8 via bit-serial cycles.
+SUPPORTED_WEIGHT_BITS = (1, 2, 3, 4, 6, 8)
+#: Largest K for which the 2**(K-1)-entry table stays register-resident.
+MAX_TABLE_K = 8
+
+_SHAPE_RE = re.compile(r"^m(\d+)n(\d+)k(\d+)$")
+
+
+@dataclass(frozen=True)
+class LmmaInstruction:
+    """One LMMA instruction with its tile shape and operand formats."""
+
+    m: int
+    n: int
+    k: int
+    a_dtype: DataType
+    w_dtype: DataType
+    accum_dtype: DataType
+    o_dtype: DataType
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise IsaError("LMMA shape dimensions must be positive")
+        if self.k > MAX_TABLE_K:
+            raise IsaError(
+                f"k={self.k} exceeds the register-resident table bound "
+                f"({MAX_TABLE_K}); table would need 2**{self.k - 1} entries"
+            )
+        if self.a_dtype.name not in SUPPORTED_ACT_DTYPES:
+            raise IsaError(f"unsupported activation dtype {self.a_dtype.name}")
+        if self.w_dtype.is_float:
+            raise IsaError("LMMA weights must be integer formats")
+        if self.w_dtype.bits not in SUPPORTED_WEIGHT_BITS:
+            raise IsaError(f"unsupported weight width {self.w_dtype.bits}")
+
+    @property
+    def name(self) -> str:
+        return (
+            f"lmma.m{self.m}n{self.n}k{self.k}."
+            f"{self.a_dtype.name}.{self.w_dtype.name}."
+            f"{self.accum_dtype.name}.{self.o_dtype.name}"
+        )
+
+    @property
+    def flops(self) -> int:
+        """Equivalent FLOPs per issued instruction."""
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def serial_cycles(self) -> int:
+        """Bit-serial cycles needed per issue (one per weight bit)."""
+        return self.w_dtype.bits
+
+    @property
+    def table_entries(self) -> int:
+        """Symmetrized table entries per activation group."""
+        return 1 << (self.k - 1)
+
+    @classmethod
+    def parse(cls, text: str) -> "LmmaInstruction":
+        """Parse the canonical dotted form emitted by :attr:`name`."""
+        parts = text.strip().lower().split(".")
+        if len(parts) != 6 or parts[0] != "lmma":
+            raise IsaError(f"malformed LMMA instruction {text!r}")
+        match = _SHAPE_RE.match(parts[1])
+        if match is None:
+            raise IsaError(f"malformed LMMA shape {parts[1]!r}")
+        m, n, k = (int(g) for g in match.groups())
+        return cls(
+            m,
+            n,
+            k,
+            dtype_from_name(parts[2]),
+            dtype_from_name(parts[3]),
+            dtype_from_name(parts[4]),
+            dtype_from_name(parts[5]),
+        )
+
+    def execute(
+        self,
+        activations: np.ndarray,
+        weight: QuantizedWeight | ReinterpretedWeight,
+        accum: np.ndarray | None = None,
+        table_dtype: DataType | None = INT8,
+    ) -> np.ndarray:
+        """Functional semantics via the LUT engine.
+
+        ``activations`` is the (M, K) tile, ``weight`` the (N, K)
+        quantized tile. K here is the *tile* reduction length; the engine
+        internally groups it into lookup groups of the instruction's k if
+        it divides evenly, otherwise uses the whole tile K as one group.
+        """
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.shape != (self.m, self.k):
+            raise IsaError(
+                f"{self.name}: activation tile {activations.shape} != "
+                f"({self.m}, {self.k})"
+            )
+        codes = weight.codes
+        if codes.shape != (self.n, self.k):
+            raise IsaError(
+                f"{self.name}: weight tile {codes.shape} != ({self.n}, {self.k})"
+            )
+        if weight.bits != self.w_dtype.bits:
+            raise IsaError(
+                f"{self.name}: weight is {weight.bits}-bit, instruction "
+                f"expects {self.w_dtype.bits}-bit"
+            )
+        act_dtype = None if self.a_dtype.is_integer else self.a_dtype
+        config = LutMpGemmConfig(
+            k=self.k, act_dtype=act_dtype, table_dtype=table_dtype
+        )
+        engine = LutMpGemmEngine(weight, config)
+        return engine.matmul(activations, accum=accum)
+
+
+#: Default (M, N, K) identified by the paper's DSE: M2 N64 K4.
+LMMA_DEFAULT_SHAPES: tuple[tuple[int, int, int], ...] = (
+    (2, 64, 4),
+    (2, 128, 4),
+    (4, 64, 4),
+)
+
+
+def default_lmma_for(
+    w_dtype: DataType,
+    a_dtype: DataType,
+    shape: tuple[int, int, int] = (2, 64, 4),
+    accum_dtype: DataType | None = None,
+    o_dtype: DataType | None = None,
+) -> LmmaInstruction:
+    """Build the canonical LMMA for a weight/activation pair."""
+    if accum_dtype is None:
+        accum_dtype = FP32 if a_dtype.is_float else INT16
+    if o_dtype is None:
+        o_dtype = FP16 if a_dtype.is_float else INT16
+    m, n, k = shape
+    return LmmaInstruction(m, n, k, a_dtype, w_dtype, accum_dtype, o_dtype)
+
+
+def legal_lmma_combinations() -> tuple[LmmaInstruction, ...]:
+    """Enumerate the paper's advertised precision envelope at M2N64K4."""
+    acts = (FP16, FP8_E4M3, INT16, INT8)
+    weight_bits = (1, 2, 4)
+    combos = []
+    for act, bits in itertools.product(acts, weight_bits):
+        w_dtype = dtype_from_name(f"int{bits}")
+        combos.append(default_lmma_for(w_dtype, act))
+    return tuple(combos)

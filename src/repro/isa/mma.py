@@ -1,0 +1,87 @@
+"""Baseline MMA instruction set (conventional Tensor Core).
+
+Models the uniform-precision warp-level matrix-multiply-accumulate
+instructions of NVIDIA GPUs: a shape ``(M, N, K)`` plus a single input
+dtype for both operands. Used by the dequantization-based baselines and
+as the reference point for the LMMA extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datatypes.formats import DataType, dtype_from_name
+from repro.errors import IsaError
+
+
+@dataclass(frozen=True)
+class MmaInstruction:
+    """A warp-level ``mma.{M}{N}{K}.{dtype}`` instruction."""
+
+    m: int
+    n: int
+    k: int
+    in_dtype: DataType
+    accum_dtype: DataType
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise IsaError("MMA shape dimensions must be positive")
+
+    @property
+    def name(self) -> str:
+        return (
+            f"mma.m{self.m}n{self.n}k{self.k}."
+            f"{self.in_dtype.name}.{self.accum_dtype.name}"
+        )
+
+    @property
+    def flops(self) -> int:
+        """FLOPs per issued instruction (2 per multiply-accumulate)."""
+        return 2 * self.m * self.n * self.k
+
+    def execute(
+        self, a: np.ndarray, b: np.ndarray, accum: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Functional semantics: ``a[M,K] @ b[N,K].T + accum``."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.shape != (self.m, self.k) or b.shape != (self.n, self.k):
+            raise IsaError(
+                f"{self.name}: operand shapes {a.shape} x {b.shape} do not "
+                f"match ({self.m},{self.k}) x ({self.n},{self.k})"
+            )
+        out = a @ b.T
+        if accum is not None:
+            out = out + np.asarray(accum, dtype=np.float64)
+        return out
+
+    @classmethod
+    def parse(cls, text: str) -> "MmaInstruction":
+        """Parse ``mma.m16n8k16.fp16.fp32``-style strings."""
+        parts = text.strip().lower().split(".")
+        if len(parts) != 4 or parts[0] != "mma":
+            raise IsaError(f"malformed MMA instruction {text!r}")
+        shape = parts[1]
+        try:
+            m_s, rest = shape[1:].split("n")
+            n_s, k_s = rest.split("k")
+            m, n, k = int(m_s), int(n_s), int(k_s)
+        except ValueError:
+            raise IsaError(f"malformed MMA shape {shape!r}") from None
+        return cls(m, n, k, dtype_from_name(parts[2]), dtype_from_name(parts[3]))
+
+
+def _mk(m: int, n: int, k: int, dt: str, acc: str) -> MmaInstruction:
+    return MmaInstruction(m, n, k, dtype_from_name(dt), dtype_from_name(acc))
+
+
+#: Warp-level shapes of the A100's Tensor Core MMA instructions.
+A100_MMA_SHAPES: dict[str, MmaInstruction] = {
+    "fp16": _mk(16, 8, 16, "fp16", "fp32"),
+    "bf16": _mk(16, 8, 16, "bf16", "fp32"),
+    "int8": _mk(16, 8, 32, "int8", "int16"),
+    "int4": _mk(16, 8, 64, "int4", "int16"),
+}

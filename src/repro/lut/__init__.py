@@ -1,0 +1,86 @@
+"""The paper's core contribution: LUT-based mixed-precision GEMM.
+
+Modules:
+
+- :mod:`repro.lut.table` — per-group table precompute (full ``2**K`` and
+  symmetrized ``2**(K-1)`` variants, Eqs. 4-6), activation-format rounding,
+  INT8 table quantization hook.
+- :mod:`repro.lut.mpgemm` — the LUT-based mpGEMM engine (bit-serial over
+  weight planes, zero-point correction, naive and optimized paths) and the
+  dequantization-based reference implementation.
+- :mod:`repro.lut.gemv` — the batch-1 (GEMV) fast path.
+- :mod:`repro.lut.pipeline` — precompute-as-operator decomposition that
+  mirrors the paper's DFG transformation + operator fusion semantics.
+"""
+
+from repro.lut.table import (
+    precompute_table,
+    precompute_symmetric_table,
+    expand_symmetric_table,
+    lookup_full,
+    lookup_symmetric,
+    remap_weight_bits_offline,
+)
+from repro.lut.mpgemm import (
+    LutMpGemmConfig,
+    LutMpGemmEngine,
+    lut_mpgemm,
+    dequant_mpgemm_reference,
+)
+from repro.lut.gemv import lut_gemv
+from repro.lut.pipeline import (
+    PrecomputeOperator,
+    LutGemmOperator,
+    run_split_pipeline,
+    run_fused_pipeline,
+)
+from repro.lut.ternary import (
+    TernaryLutEngine,
+    ternary_lut_mpgemm,
+    ternary_dequant_reference,
+)
+from repro.lut.fp_weights import (
+    Fp4Weight,
+    quantize_fp4,
+    fp4_lut_mpgemm,
+    fp4_dequant_reference,
+)
+from repro.lut.attention import (
+    QuantizedKvCache,
+    lut_decode_attention,
+    float_decode_attention,
+    dequant_decode_attention,
+)
+from repro.lut.stats import LutPipelineStats, pipeline_stats, stats_for_config
+
+__all__ = [
+    "precompute_table",
+    "precompute_symmetric_table",
+    "expand_symmetric_table",
+    "lookup_full",
+    "lookup_symmetric",
+    "remap_weight_bits_offline",
+    "LutMpGemmConfig",
+    "LutMpGemmEngine",
+    "lut_mpgemm",
+    "dequant_mpgemm_reference",
+    "lut_gemv",
+    "PrecomputeOperator",
+    "LutGemmOperator",
+    "run_split_pipeline",
+    "run_fused_pipeline",
+    "TernaryLutEngine",
+    "ternary_lut_mpgemm",
+    "ternary_dequant_reference",
+    "Fp4Weight",
+    "quantize_fp4",
+    "fp4_lut_mpgemm",
+    "fp4_dequant_reference",
+    "QuantizedKvCache",
+    "lut_decode_attention",
+    "float_decode_attention",
+    "dequant_decode_attention",
+    "LutPipelineStats",
+    "pipeline_stats",
+    "stats_for_config",
+]

@@ -1,0 +1,155 @@
+"""KV-cache-quantized attention through the LUT path (paper Section 5).
+
+During decoding the Q vector stays high-precision while the K/V caches
+can be quantized to 4 or even 2 bits (KIVI/KVQuant) — which makes the
+attention score (``Q x K^T``) and context (``P x V``) products mpGEMMs,
+exactly the shape the LUT Tensor Core accelerates.
+
+This module quantizes per-head K/V caches and runs single-token decode
+attention with :class:`~repro.lut.mpgemm.LutMpGemmEngine` per head:
+
+- scores: Q (FP) x K_cache (INT4/2) via LUT lookup over Q's tables;
+- context: P (FP softmax probs) x V_cache (INT4/2) likewise.
+
+Accuracy is bounded by the cache quantization itself; the LUT evaluation
+adds nothing beyond optional INT8 table rounding (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datatypes.formats import DataType
+from repro.errors import LutError
+from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+from repro.quant.weight import QuantizedWeight, quantize_weights
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+@dataclass
+class QuantizedKvCache:
+    """Per-head quantized K/V caches for one attention layer.
+
+    ``k_cache`` / ``v_cache`` are float arrays of shape
+    ``(heads, context, head_dim)``; both are quantized per head with
+    per-channel (per cache row) scales.
+    """
+
+    k_quant: list[QuantizedWeight]
+    v_quant: list[QuantizedWeight]
+    heads: int
+    context: int
+    head_dim: int
+    bits: int
+
+    @classmethod
+    def quantize(
+        cls, k_cache: np.ndarray, v_cache: np.ndarray, bits: int = 4
+    ) -> "QuantizedKvCache":
+        k_cache = np.asarray(k_cache, dtype=np.float64)
+        v_cache = np.asarray(v_cache, dtype=np.float64)
+        if k_cache.shape != v_cache.shape or k_cache.ndim != 3:
+            raise LutError("caches must share shape (heads, context, dim)")
+        heads, context, head_dim = k_cache.shape
+        # K rows (context entries) act as the "weight" matrix of the
+        # score mpGEMM: shape (context, head_dim) per head. KIVI-style
+        # fine-grained groups of 16 along the reduction keep even 2-bit
+        # caches usable.
+        group = 16 if head_dim % 16 == 0 else None
+        k_quant = [
+            quantize_weights(k_cache[h], bits, axis=1, group_size=group)
+            if group else quantize_weights(k_cache[h], bits, axis=0)
+            for h in range(heads)
+        ]
+        # V is consumed transposed: context (P x V with V^T of shape
+        # (head_dim, context)).
+        vgroup = 16 if context % 16 == 0 else None
+        v_quant = [
+            quantize_weights(v_cache[h].T, bits, axis=1, group_size=vgroup)
+            if vgroup else quantize_weights(v_cache[h].T, bits, axis=0)
+            for h in range(heads)
+        ]
+        return cls(
+            k_quant=k_quant, v_quant=v_quant, heads=heads,
+            context=context, head_dim=head_dim, bits=bits,
+        )
+
+    def memory_bytes(self) -> float:
+        """Packed cache size (both K and V)."""
+        weights = 2 * self.heads * self.context * self.head_dim
+        return weights * self.bits / 8.0
+
+
+def lut_decode_attention(
+    query: np.ndarray,
+    cache: QuantizedKvCache,
+    act_dtype: DataType | None = None,
+    table_dtype: DataType | None = None,
+    lut_k: int = 4,
+) -> np.ndarray:
+    """Single-token decode attention with LUT-evaluated mpGEMMs.
+
+    *query* has shape ``(heads, head_dim)``; returns the per-head context
+    vectors ``(heads, head_dim)``.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    if query.shape != (cache.heads, cache.head_dim):
+        raise LutError(
+            f"query must be ({cache.heads}, {cache.head_dim}), "
+            f"got {query.shape}"
+        )
+    if cache.head_dim % lut_k or cache.context % lut_k:
+        raise LutError("head_dim and context must be multiples of lut_k")
+    config = LutMpGemmConfig(
+        k=lut_k, act_dtype=act_dtype, table_dtype=table_dtype
+    )
+    out = np.zeros_like(query)
+    inv_sqrt_d = 1.0 / np.sqrt(cache.head_dim)
+    for h in range(cache.heads):
+        score_engine = LutMpGemmEngine(cache.k_quant[h], config)
+        scores = score_engine.matmul(query[h]) * inv_sqrt_d
+        probs = _softmax(scores)
+        ctx_engine = LutMpGemmEngine(cache.v_quant[h], config)
+        out[h] = ctx_engine.matmul(probs)
+    return out
+
+
+def float_decode_attention(
+    query: np.ndarray,
+    k_cache: np.ndarray,
+    v_cache: np.ndarray,
+) -> np.ndarray:
+    """Full-precision reference decode attention."""
+    query = np.asarray(query, dtype=np.float64)
+    heads, context, head_dim = np.asarray(k_cache).shape
+    out = np.zeros_like(query)
+    for h in range(heads):
+        scores = (k_cache[h] @ query[h]) / np.sqrt(head_dim)
+        probs = _softmax(scores)
+        out[h] = v_cache[h].T @ probs
+    return out
+
+
+def dequant_decode_attention(
+    query: np.ndarray,
+    cache: QuantizedKvCache,
+) -> np.ndarray:
+    """Decode attention on the dequantized caches (the numeric target
+    the LUT evaluation must match)."""
+    query = np.asarray(query, dtype=np.float64)
+    out = np.zeros_like(query)
+    inv_sqrt_d = 1.0 / np.sqrt(cache.head_dim)
+    for h in range(cache.heads):
+        k = cache.k_quant[h].dequantize()
+        v_t = cache.v_quant[h].dequantize()
+        scores = (k @ query[h]) * inv_sqrt_d
+        probs = _softmax(scores)
+        out[h] = v_t @ probs
+    return out

@@ -1,0 +1,152 @@
+"""FP-format weights through the LUT path (paper Section 5).
+
+The discussion section sketches the extension to floating-point weights
+(FP4 etc.): "treating the mantissa and sign bit similarly to W_INT, using
+them as table indices. The exponent bits, on the other hand, are treated
+as inputs to shifters."
+
+This module implements that strategy for an E2M1 FP4 weight format:
+
+1. each weight decomposes as ``w = sign * significand * 2**shift`` with an
+   *integer* significand (1.m with one mantissa bit -> significand in
+   {0, 2, 3} at shift - 1);
+2. weights are bucketed by shift value; within a bucket, the sign bits of
+   a K-group form a table index exactly like INT1 weights;
+3. per-bucket lookups accumulate through the bit-serial shifter — one
+   pass per (shift, significand-bit) pair instead of one per weight bit.
+
+The result is numerically identical to dequantizing the FP4 weights, as
+the property tests prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datatypes.formats import DataType
+from repro.datatypes.float_codec import quantize_to_format
+from repro.errors import LutError
+from repro.lut.table import precompute_table
+
+#: E2M1: 1 sign, 2 exponent, 1 mantissa bit. Representable magnitudes.
+FP4_E2M1_VALUES = (0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0)
+
+
+@dataclass(frozen=True)
+class Fp4Weight:
+    """An FP4 (E2M1) weight tensor with a per-tensor scale."""
+
+    codes: np.ndarray  # signed values on the FP4 grid (already scaled out)
+    scale: float
+
+    def dequantize(self) -> np.ndarray:
+        return self.codes * self.scale
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.codes.shape
+
+
+def quantize_fp4(weights: np.ndarray) -> Fp4Weight:
+    """Round weights to the E2M1 grid with an absmax per-tensor scale."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        raise LutError("cannot quantize an empty tensor")
+    amax = float(np.max(np.abs(weights)))
+    scale = amax / max(FP4_E2M1_VALUES) if amax > 0 else 1.0
+    scaled = weights / scale
+    grid = np.array(FP4_E2M1_VALUES)
+    magnitudes = np.abs(scaled)
+    nearest = grid[np.argmin(np.abs(magnitudes[..., None] - grid), axis=-1)]
+    codes = np.sign(scaled) * nearest
+    return Fp4Weight(codes=codes, scale=scale)
+
+
+def _decompose_fp4(codes: np.ndarray) -> list[tuple[float, np.ndarray]]:
+    """Split FP4 values into (power-of-two weight, ±1/0 plane) passes.
+
+    Every non-zero E2M1 magnitude is a sum of at most two powers of two
+    (e.g. 1.5 = 1 + 0.5, 6 = 4 + 2), so the whole tensor decomposes into
+    a small set of signed binary planes — each plane is then an INT1-style
+    LUT pass whose result is shifted by the plane's exponent. Zeros simply
+    contribute to no plane.
+    """
+    planes: dict[float, np.ndarray] = {}
+    magnitudes = np.abs(codes)
+    signs = np.sign(codes)
+    remaining = magnitudes.copy()
+    for power in (4.0, 2.0, 1.0, 0.5):
+        has = remaining >= power
+        if np.any(has):
+            planes[power] = np.where(has, signs, 0.0)
+            remaining = remaining - np.where(has, power, 0.0)
+    if np.any(remaining != 0.0):
+        raise LutError("FP4 decomposition failed (values off the grid)")
+    return sorted(planes.items(), reverse=True)
+
+
+def fp4_lut_mpgemm(
+    activations: np.ndarray,
+    weight: Fp4Weight,
+    k: int = 4,
+    act_dtype: DataType | None = None,
+) -> np.ndarray:
+    """LUT mpGEMM with FP4 (E2M1) weights.
+
+    Each signed binary plane is processed like a 1-bit LUT pass: the
+    plane's ±1 pattern indexes the precomputed ±sum tables; zero weights
+    are handled with a per-plane validity mask folded into a correction
+    term (zero means "contribute nothing", i.e. subtract the -1 the table
+    assumed). The shifted plane results accumulate into the output.
+    """
+    activations = np.asarray(activations, dtype=np.float64)
+    squeeze = activations.ndim == 1
+    if squeeze:
+        activations = activations[None, :]
+    n, kdim = weight.codes.shape
+    if activations.shape[1] != kdim:
+        raise LutError(
+            f"activations must be (M, {kdim}), got {activations.shape}"
+        )
+    if kdim % k != 0:
+        raise LutError(f"K={kdim} not divisible by k={k}")
+    acts = activations
+    if act_dtype is not None:
+        acts = quantize_to_format(acts, act_dtype)
+    m = acts.shape[0]
+    ngroups = kdim // k
+    table = precompute_table(acts, k)  # (M, G, 2**k): sum of +-a patterns
+    grouped_acts = acts.reshape(m, ngroups, k)
+
+    out = np.zeros((m, n))
+    for power, plane in _decompose_fp4(weight.codes):
+        # plane in {-1, 0, +1}; build the INT1-style index with 0 -> -1
+        # (table assumes every position contributes -a), then correct:
+        # a zero-weight position contributed -a, so add +a back.
+        bits = (plane > 0).astype(np.int64)
+        grouped_bits = bits.reshape(n, ngroups, k)
+        weights_of = (1 << np.arange(k, dtype=np.int64))
+        indices = np.tensordot(grouped_bits, weights_of, axes=(2, 0)).T
+        gathered = np.take_along_axis(
+            table, np.broadcast_to(indices[None], (m, ngroups, n)), axis=-1
+        )
+        zero_mask = (plane == 0).astype(np.float64).reshape(n, ngroups, k)
+        # correction[m, g, n] = sum_j a[m, g, j] * zero_mask[n, g, j]
+        correction = np.einsum("mgj,ngj->mgn", grouped_acts, zero_mask)
+        out += power * (gathered + correction).sum(axis=1)
+    out *= weight.scale
+    return out[0] if squeeze else out
+
+
+def fp4_dequant_reference(
+    activations: np.ndarray,
+    weight: Fp4Weight,
+    act_dtype: DataType | None = None,
+) -> np.ndarray:
+    """Dequantization-based reference for the FP4 path."""
+    activations = np.asarray(activations, dtype=np.float64)
+    if act_dtype is not None:
+        activations = quantize_to_format(activations, act_dtype)
+    return activations @ weight.dequantize().T

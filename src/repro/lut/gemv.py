@@ -1,0 +1,30 @@
+"""GEMV (batch-1) fast path for LUT mpGEMM.
+
+During LLM decoding the activation is a single row, so the table
+precompute cost is one table set per token — exactly the regime where
+LUT-based methods shine (Fig. 18a). The implementation simply reuses the
+engine with an ``M = 1`` view; the dedicated entry point exists so the
+compiler and benchmarks can target the decode path explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LutError
+from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+from repro.quant.reinterpret import ReinterpretedWeight
+from repro.quant.weight import QuantizedWeight
+
+
+def lut_gemv(
+    activation: np.ndarray,
+    weight: QuantizedWeight | ReinterpretedWeight,
+    config: LutMpGemmConfig | None = None,
+) -> np.ndarray:
+    """Compute ``dequant(W[N,K]) @ a[K] -> o[N]`` through the LUT pipeline."""
+    activation = np.asarray(activation, dtype=np.float64)
+    if activation.ndim != 1:
+        raise LutError(f"lut_gemv expects a 1-D activation, got {activation.shape}")
+    engine = LutMpGemmEngine(weight, config or LutMpGemmConfig())
+    return engine.matmul(activation)

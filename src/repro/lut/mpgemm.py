@@ -1,0 +1,292 @@
+"""LUT-based mpGEMM engine and the dequantization-based reference.
+
+The engine computes ``O[M, N] = A[M, K] x W[N, K]^T`` where ``A`` holds
+high-precision activations and ``W`` is a low-bit quantized weight. The
+LUT path follows the paper end to end:
+
+1. **reinterpret** the unsigned weight codes onto the symmetric odd grid
+   (Eq. 2) so every bit-plane is ±1;
+2. **precompute** one table per group of ``k`` activations, optionally
+   symmetrized to ``2**(k-1)`` entries and/or quantized to INT8
+   (Sections 3.1.2-3.1.3);
+3. **bit-serial lookup**: for each weight bit-plane, gather table entries
+   with the plane's K-bit indices, shift by the plane position, and
+   accumulate (Section 3.2.1);
+4. **scale + zero-point correction**: the affine correction term uses the
+   per-group activation sums, so non-zero zero-points cost one extra
+   vector reduction, not a table.
+
+Scales/zero-points may be per-tensor, per-output-channel, or per-group
+along K (group size must be a multiple of ``k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datatypes.formats import DataType, INT8
+from repro.datatypes.float_codec import quantize_to_format
+from repro.errors import LutError
+from repro.quant.bitplane import to_bitplanes
+from repro.quant.reinterpret import ReinterpretedWeight, reinterpret_symmetric
+from repro.quant.table_quant import quantize_table
+from repro.quant.weight import QuantizedWeight
+from repro.lut.table import (
+    DEFAULT_K,
+    expand_symmetric_table,
+    precompute_symmetric_table,
+    precompute_table,
+    remap_weight_bits_offline,
+)
+
+
+@dataclass(frozen=True)
+class LutMpGemmConfig:
+    """Configuration of the LUT mpGEMM pipeline.
+
+    Attributes
+    ----------
+    k:
+        Activation group length / table index width (paper: 4).
+    act_dtype:
+        Float format activations are rounded to before the precompute
+        (``None`` keeps float64 — useful for exactness tests).
+    symmetric_table:
+        Store only the ``2**(k-1)``-entry half table (requires
+        reinterpreted weights; always valid for them).
+    offline_remap:
+        Fold the MSB-conditioned bit complement into the stored weights
+        (Eq. 6). Numerically identical; changes which code path runs.
+    table_dtype:
+        If set (e.g. INT8), tables are quantized per-table after
+        precompute — the only lossy step of the pipeline.
+    """
+
+    k: int = DEFAULT_K
+    act_dtype: DataType | None = None
+    symmetric_table: bool = True
+    offline_remap: bool = True
+    table_dtype: DataType | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise LutError("k must be >= 1")
+        if self.table_dtype is not None and self.table_dtype.is_float:
+            raise LutError("table_dtype must be an integer format")
+
+
+def _as_reinterpreted(weight: QuantizedWeight | ReinterpretedWeight) -> ReinterpretedWeight:
+    if isinstance(weight, ReinterpretedWeight):
+        return weight
+    if isinstance(weight, QuantizedWeight):
+        return reinterpret_symmetric(weight)
+    raise LutError(f"unsupported weight type: {type(weight).__name__}")
+
+
+def _group_affine(
+    values: np.ndarray, shape: tuple[int, int], k: int, what: str
+) -> np.ndarray:
+    """Broadcast scale/zero-point to (N, K) and reduce to per-group (N, G).
+
+    Raises if the parameter varies *within* a k-group, since one table
+    entry then could not carry a single scale.
+    """
+    n, kdim = shape
+    expanded = np.broadcast_to(np.asarray(values, dtype=np.float64), (n, kdim))
+    grouped = expanded.reshape(n, kdim // k, k)
+    if not np.all(grouped == grouped[..., :1]):
+        raise LutError(
+            f"{what} varies within a k={k} group; group_size must be a "
+            "multiple of k for the LUT path"
+        )
+    return grouped[..., 0]
+
+
+@dataclass
+class LutMpGemmEngine:
+    """Reusable LUT mpGEMM executor for a fixed weight tensor.
+
+    Splitting construction (weight-side, offline) from execution
+    (activation-side, online) mirrors the paper's DFG: everything done in
+    ``__init__`` corresponds to offline weight remapping, everything in
+    :meth:`matmul` to the fused precompute + LMMA kernels.
+    """
+
+    weight: QuantizedWeight | ReinterpretedWeight
+    config: LutMpGemmConfig = field(default_factory=LutMpGemmConfig)
+
+    def __post_init__(self) -> None:
+        rw = _as_reinterpreted(self.weight)
+        if rw.codes.ndim != 2:
+            raise LutError("weight codes must be 2-D (N, K)")
+        n, kdim = rw.codes.shape
+        k = self.config.k
+        if kdim % k != 0:
+            raise LutError(f"K dimension {kdim} not divisible by k={k}")
+        self._rw = rw
+        self._n = n
+        self._kdim = kdim
+        self._ngroups = kdim // k
+        self._bits = rw.bits
+        # Per-plane unsigned bits of the symmetric code: q' maps back to
+        # unsigned q, whose plain bit-planes index the ±1 tables.
+        unsigned = rw.unsigned_codes()
+        planes = to_bitplanes(unsigned, self._bits)  # (bits, N, K)
+        # Group bits into K-bit indices per (plane, group, column n).
+        grouped = planes.reshape(self._bits, n, self._ngroups, k)
+        weights_of_bits = (1 << np.arange(k, dtype=np.int64))
+        indices = np.tensordot(grouped, weights_of_bits, axes=(3, 0))
+        # -> (bits, N, G); lookups want (G, N) per plane.
+        indices = np.transpose(indices, (0, 2, 1))
+        if self.config.symmetric_table and self.config.offline_remap:
+            indices = remap_weight_bits_offline(indices, k)
+        self._indices = indices
+        self._scale = _group_affine(rw.scale, (n, kdim), k, "scale")
+        self._zero = _group_affine(rw.zero_point, (n, kdim), k, "zero_point")
+
+    @property
+    def out_features(self) -> int:
+        return self._n
+
+    @property
+    def in_features(self) -> int:
+        return self._kdim
+
+    def precompute(self, activations: np.ndarray) -> np.ndarray:
+        """Build (and optionally quantize) the per-group tables for *A*.
+
+        Returns the table with shape ``(M, G, entries)`` where ``entries``
+        is ``2**(k-1)`` if symmetrized else ``2**k``. Exposed separately so
+        the compiler's precompute operator and the fused pipeline can call
+        it independently of :meth:`matmul`.
+        """
+        cfg = self.config
+        if cfg.symmetric_table:
+            table = precompute_symmetric_table(activations, cfg.k, cfg.act_dtype)
+        else:
+            table = precompute_table(activations, cfg.k, cfg.act_dtype)
+        if cfg.table_dtype is not None:
+            table = quantize_table(table, cfg.table_dtype).dequantize()
+        return table
+
+    def matmul(self, activations: np.ndarray, accum: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``A @ dequant(W).T (+ accum)`` through the LUT pipeline."""
+        activations = np.asarray(activations, dtype=np.float64)
+        squeeze = activations.ndim == 1
+        if squeeze:
+            activations = activations[None, :]
+        if activations.ndim != 2 or activations.shape[1] != self._kdim:
+            raise LutError(
+                f"activations must be (M, {self._kdim}), got {activations.shape}"
+            )
+        table = self.precompute(activations)
+        out = self._lookup_accumulate(activations, table)
+        if accum is not None:
+            out = out + np.asarray(accum, dtype=np.float64)
+        return out[0] if squeeze else out
+
+    def _lookup_accumulate(
+        self, activations: np.ndarray, table: np.ndarray
+    ) -> np.ndarray:
+        cfg = self.config
+        k = cfg.k
+        m = activations.shape[0]
+        acts = activations
+        if cfg.act_dtype is not None:
+            acts = quantize_to_format(acts, cfg.act_dtype)
+        # Per-group activation sums for the zero-point correction.
+        group_sums = acts.reshape(m, self._ngroups, k).sum(axis=-1)
+
+        if cfg.symmetric_table:
+            full = expand_symmetric_table(table, k)
+            if cfg.offline_remap:
+                # Remapped indices address (MSB, low) where low already
+                # complements; rebuild the effective full index to reuse
+                # the vectorized gather: value = sign(MSB) * half[low].
+                half_size = 1 << (k - 1)
+                msb = (self._indices >> (k - 1)) & 1
+                low = self._indices & (half_size - 1)
+                effective = np.where(msb == 1, low + half_size, low)
+                sign = np.where(msb == 1, -1.0, 1.0)
+                gathered = np.take_along_axis(
+                    np.broadcast_to(
+                        table[:, None],
+                        (m, self._bits, self._ngroups, half_size),
+                    ),
+                    np.broadcast_to(
+                        low[None], (m, self._bits, self._ngroups, self._n)
+                    ),
+                    axis=-1,
+                )
+                gathered = gathered * sign[None]
+                del effective
+            else:
+                # Runtime Eq.5: negate on MSB, complement low bits.
+                half_size = 1 << (k - 1)
+                msb = (self._indices >> (k - 1)) & 1
+                low = np.where(
+                    msb == 1, (~self._indices) & (half_size - 1),
+                    self._indices & (half_size - 1),
+                )
+                gathered = np.take_along_axis(
+                    np.broadcast_to(
+                        table[:, None],
+                        (m, self._bits, self._ngroups, half_size),
+                    ),
+                    np.broadcast_to(
+                        low[None], (m, self._bits, self._ngroups, self._n)
+                    ),
+                    axis=-1,
+                )
+                gathered = gathered * np.where(msb == 1, -1.0, 1.0)[None]
+            del full
+        else:
+            entries = 1 << k
+            gathered = np.take_along_axis(
+                np.broadcast_to(
+                    table[:, None], (m, self._bits, self._ngroups, entries)
+                ),
+                np.broadcast_to(
+                    self._indices[None], (m, self._bits, self._ngroups, self._n)
+                ),
+                axis=-1,
+            )
+
+        # Bit-serial accumulation: plane i contributes << i.
+        shifts = (1 << np.arange(self._bits, dtype=np.int64)).astype(np.float64)
+        per_group = np.tensordot(shifts, gathered, axes=(0, 1))  # (M, G, N)
+        # Affine correction per group: s' * (sum_j a_j q'_j - z' * sum_j a_j).
+        scale_gn = self._scale.T[None]  # (1, G, N)
+        zero_gn = self._zero.T[None]
+        corrected = scale_gn * (per_group - zero_gn * group_sums[:, :, None])
+        return corrected.sum(axis=1)
+
+
+def lut_mpgemm(
+    activations: np.ndarray,
+    weight: QuantizedWeight | ReinterpretedWeight,
+    config: LutMpGemmConfig | None = None,
+) -> np.ndarray:
+    """One-shot LUT mpGEMM: ``A[M,K] @ dequant(W[N,K]).T -> O[M,N]``."""
+    engine = LutMpGemmEngine(weight, config or LutMpGemmConfig())
+    return engine.matmul(activations)
+
+
+def dequant_mpgemm_reference(
+    activations: np.ndarray,
+    weight: QuantizedWeight | ReinterpretedWeight,
+    act_dtype: DataType | None = None,
+) -> np.ndarray:
+    """Dequantization-based mpGEMM (the indirect path, Fig. 2b).
+
+    Upscales the low-bit weights to floats and runs a conventional GEMM.
+    This is both the paper's baseline approach and the numerical reference
+    the LUT path must agree with (exactly, absent table quantization).
+    """
+    activations = np.asarray(activations, dtype=np.float64)
+    if act_dtype is not None:
+        activations = quantize_to_format(activations, act_dtype)
+    real_w = weight.dequantize()
+    return activations @ real_w.T

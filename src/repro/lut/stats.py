@@ -1,0 +1,140 @@
+"""Algorithm-level cost accounting for the LUT pipeline.
+
+Quantifies what each of the paper's software optimizations saves, at the
+level of table entries, bytes, and scalar operations — independent of any
+hardware constants. Feeds the software-ablation experiment
+(:mod:`repro.experiments.ablation_sw_opts`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LutError
+from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+
+
+@dataclass(frozen=True)
+class LutPipelineStats:
+    """Static cost profile of one LUT mpGEMM execution."""
+
+    m: int
+    n: int
+    kdim: int
+    table_entries_per_group: int
+    table_bits_per_entry: int
+    precompute_redundancy: int
+    #: Entries computed during precompute (one add each, incremental).
+    precompute_ops: float
+    #: Table bytes written/resident.
+    table_bytes: float
+    #: Table lookups performed (one per lane per bit-plane per group).
+    lookups: float
+    #: Runtime negation/complement operations (eliminated by Eq. 6).
+    runtime_negations: float
+    #: Scalar adds in the accumulation stage.
+    accumulate_ops: float
+
+    @property
+    def total_ops(self) -> float:
+        return (
+            self.precompute_ops
+            + self.lookups
+            + self.runtime_negations
+            + self.accumulate_ops
+        )
+
+
+def pipeline_stats(
+    engine: LutMpGemmEngine,
+    m: int,
+    precompute_redundancy: int = 1,
+) -> LutPipelineStats:
+    """Cost profile for running *engine* on an M-row activation batch.
+
+    ``precompute_redundancy`` models the conventional design's repeated
+    table construction (one build per LUT-unit neighbourhood); the
+    paper's DFG transformation reduces it to 1.
+    """
+    if m < 1:
+        raise LutError("m must be positive")
+    cfg = engine.config
+    n = engine.out_features
+    kdim = engine.in_features
+    groups = kdim // cfg.k
+    entries = 1 << (cfg.k - 1) if cfg.symmetric_table else 1 << cfg.k
+    table_bits = (
+        cfg.table_dtype.bits if cfg.table_dtype is not None
+        else (cfg.act_dtype.bits if cfg.act_dtype is not None else 64)
+    )
+    bits = engine.weight.bits
+    tables = m * groups
+    lookups = float(m) * n * groups * bits
+    # Without offline remapping, every MSB-set index performs a runtime
+    # bit complement + negation (half of all lookups in expectation).
+    negations = 0.0
+    if cfg.symmetric_table and not cfg.offline_remap:
+        negations = lookups / 2.0
+    elif not cfg.symmetric_table:
+        # Full table: no negation, but double-size broadcast; accounted
+        # via table bytes below.
+        negations = 0.0
+    accumulate = lookups  # one shift-add per lookup result
+    return LutPipelineStats(
+        m=m,
+        n=n,
+        kdim=kdim,
+        table_entries_per_group=entries,
+        table_bits_per_entry=table_bits,
+        precompute_redundancy=precompute_redundancy,
+        precompute_ops=float(tables) * entries * precompute_redundancy,
+        table_bytes=float(tables) * entries * table_bits / 8.0,
+        lookups=lookups,
+        runtime_negations=negations,
+        accumulate_ops=accumulate,
+    )
+
+
+def stats_for_config(
+    n: int,
+    kdim: int,
+    m: int,
+    weight_bits: int,
+    config: LutMpGemmConfig,
+    precompute_redundancy: int = 1,
+) -> LutPipelineStats:
+    """Cost profile from shapes alone (no engine construction).
+
+    Identical formulas to :func:`pipeline_stats`; used for large shapes
+    where materializing the weight tensor would be wasteful.
+    """
+    if m < 1 or n < 1 or kdim < 1:
+        raise LutError("shape dimensions must be positive")
+    if kdim % config.k != 0:
+        raise LutError(f"K={kdim} not divisible by k={config.k}")
+    groups = kdim // config.k
+    entries = 1 << (config.k - 1) if config.symmetric_table else 1 << config.k
+    table_bits = (
+        config.table_dtype.bits if config.table_dtype is not None
+        else (config.act_dtype.bits if config.act_dtype is not None else 64)
+    )
+    tables = m * groups
+    lookups = float(m) * n * groups * weight_bits
+    negations = (
+        lookups / 2.0
+        if config.symmetric_table and not config.offline_remap
+        else 0.0
+    )
+    return LutPipelineStats(
+        m=m,
+        n=n,
+        kdim=kdim,
+        table_entries_per_group=entries,
+        table_bits_per_entry=table_bits,
+        precompute_redundancy=precompute_redundancy,
+        precompute_ops=float(tables) * entries * precompute_redundancy,
+        table_bytes=float(tables) * entries * table_bits / 8.0,
+        lookups=lookups,
+        runtime_negations=negations,
+        accumulate_ops=lookups,
+    )

@@ -1,0 +1,154 @@
+"""Ternary (BitNet b1.58) LUT mpGEMM.
+
+Ternary weights don't decompose into ±1 bit-planes (they have a zero
+state), so the bit-serial path doesn't apply. Instead the LUT method
+indexes tables directly with base-3 digit groups: 3 ternary digits form
+a 27-state index into a table of precomputed 3-element dot products —
+which is exactly the paper's "pack three ternary weights into 5 bits"
+observation (ADD/MAC paths need 6 bits for the same information).
+
+The 27-entry table is odd-symmetric around its centre
+(``T[idx] == -T[26 - idx]``, since negating every digit maps ``idx`` to
+``26 - idx``), so only 14 entries need storing — the ternary analogue of
+the paper's Eq. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datatypes.formats import DataType, INT8
+from repro.datatypes.float_codec import quantize_to_format
+from repro.errors import LutError
+from repro.quant.table_quant import quantize_table
+from repro.quant.ternary import (
+    TRITS_PER_GROUP,
+    TernaryWeight,
+    digits_to_index,
+    index_to_digits,
+)
+
+#: Full and symmetrized table sizes for one 3-digit group.
+TERNARY_TABLE_ENTRIES = 27
+TERNARY_HALF_ENTRIES = 14  # indices 0..13; index 13 is the all-zero entry
+
+
+def precompute_ternary_table(
+    activations: np.ndarray,
+    act_dtype: DataType | None = None,
+) -> np.ndarray:
+    """27-entry tables for groups of 3 activations.
+
+    Returns shape ``(..., ngroups, 27)`` with
+    ``T[idx] = sum_i digit_i(idx) * a_i``.
+    """
+    activations = np.asarray(activations, dtype=np.float64)
+    if activations.shape[-1] % TRITS_PER_GROUP != 0:
+        raise LutError(
+            f"activation length {activations.shape[-1]} not divisible by 3"
+        )
+    if act_dtype is not None:
+        activations = quantize_to_format(activations, act_dtype)
+    grouped = activations.reshape(
+        *activations.shape[:-1], -1, TRITS_PER_GROUP
+    )
+    digit_patterns = index_to_digits(np.arange(TERNARY_TABLE_ENTRIES))
+    return grouped @ digit_patterns.T.astype(np.float64)
+
+
+def ternary_table_symmetry_holds(table: np.ndarray) -> bool:
+    """Check the odd symmetry ``T[idx] == -T[26 - idx]`` (tests)."""
+    idx = np.arange(TERNARY_TABLE_ENTRIES)
+    return bool(np.allclose(table[..., idx], -table[..., 26 - idx]))
+
+
+@dataclass
+class TernaryLutEngine:
+    """LUT mpGEMM executor for a fixed ternary weight tensor.
+
+    ``O[M, N] = A[M, K] x (scale * digits[N, K])^T`` via per-group table
+    lookups; K must be a multiple of 3.
+    """
+
+    weight: TernaryWeight
+    act_dtype: DataType | None = None
+    table_dtype: DataType | None = None
+
+    def __post_init__(self) -> None:
+        digits = self.weight.digits
+        if digits.ndim != 2:
+            raise LutError("ternary weight digits must be 2-D (N, K)")
+        n, kdim = digits.shape
+        if kdim % TRITS_PER_GROUP != 0:
+            raise LutError(f"K={kdim} not divisible by 3")
+        self._n = n
+        self._kdim = kdim
+        self._ngroups = kdim // TRITS_PER_GROUP
+        grouped = digits.reshape(n, self._ngroups, TRITS_PER_GROUP)
+        # (N, G) 5-bit indices, transposed to (G, N) for the gather.
+        self._indices = digits_to_index(grouped).T
+
+    @property
+    def out_features(self) -> int:
+        return self._n
+
+    @property
+    def in_features(self) -> int:
+        return self._kdim
+
+    def precompute(self, activations: np.ndarray) -> np.ndarray:
+        table = precompute_ternary_table(activations, self.act_dtype)
+        if self.table_dtype is not None:
+            table = quantize_table(table, self.table_dtype).dequantize()
+        return table
+
+    def matmul(self, activations: np.ndarray) -> np.ndarray:
+        activations = np.asarray(activations, dtype=np.float64)
+        squeeze = activations.ndim == 1
+        if squeeze:
+            activations = activations[None, :]
+        if activations.shape[1] != self._kdim:
+            raise LutError(
+                f"activations must be (M, {self._kdim}), got "
+                f"{activations.shape}"
+            )
+        table = self.precompute(activations)  # (M, G, 27)
+        m = activations.shape[0]
+        gathered = np.take_along_axis(
+            table,
+            np.broadcast_to(
+                self._indices[None], (m, self._ngroups, self._n)
+            ),
+            axis=-1,
+        )
+        out = self.weight.scale * gathered.sum(axis=1)
+        return out[0] if squeeze else out
+
+    def storage_bits_per_weight(self) -> float:
+        """5/3 bits per weight (vs 2 for bit-plane storage)."""
+        return 5.0 / 3.0
+
+
+def ternary_lut_mpgemm(
+    activations: np.ndarray,
+    weight: TernaryWeight,
+    act_dtype: DataType | None = None,
+    table_dtype: DataType | None = None,
+) -> np.ndarray:
+    """One-shot ternary LUT mpGEMM."""
+    engine = TernaryLutEngine(weight, act_dtype, table_dtype)
+    return engine.matmul(activations)
+
+
+def ternary_dequant_reference(
+    activations: np.ndarray,
+    weight: TernaryWeight,
+    act_dtype: DataType | None = None,
+) -> np.ndarray:
+    """Dequantization-based reference for the ternary path."""
+    activations = np.asarray(activations, dtype=np.float64)
+    if act_dtype is not None:
+        activations = quantize_to_format(activations, act_dtype)
+    return activations @ weight.dequantize().T

@@ -1,0 +1,52 @@
+"""LLM workload definitions used throughout the evaluation.
+
+- :mod:`repro.models.configs` — architecture parameters of the paper's
+  models (LLAMA2 family, OPT-175B, BLOOM-176B, BitNet-b1.58-3B).
+- :mod:`repro.models.workloads` — concrete mpGEMM shapes: the M0-M3
+  kernels of Fig. 4, the LLAMA2-13B shape of Fig. 15, and helpers for
+  prefill/decode GEMM dimensions.
+- :mod:`repro.models.transformer` — operator-graph builders producing the
+  DFG of one transformer layer for the compiler and simulators.
+"""
+
+from repro.models.configs import (
+    ModelConfig,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA_3B,
+    OPT_175B,
+    BLOOM_176B,
+    BITNET_3B,
+    MODELS,
+    model_by_name,
+)
+from repro.models.workloads import (
+    GemmShape,
+    FIG4_SHAPES,
+    FIG15_SHAPE,
+    layer_gemm_shapes,
+)
+from repro.models.transformer import (
+    InferencePhase,
+    build_layer_graph,
+)
+
+__all__ = [
+    "ModelConfig",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "LLAMA_3B",
+    "OPT_175B",
+    "BLOOM_176B",
+    "BITNET_3B",
+    "MODELS",
+    "model_by_name",
+    "GemmShape",
+    "FIG4_SHAPES",
+    "FIG15_SHAPE",
+    "layer_gemm_shapes",
+    "InferencePhase",
+    "build_layer_graph",
+]

@@ -1,0 +1,124 @@
+"""Architecture parameters of the evaluated LLMs.
+
+Dimensions follow the public model cards / papers. Only the quantities
+that drive GEMM shapes and memory traffic are recorded: hidden size,
+feed-forward size, head counts (incl. grouped-query KV heads), layer
+count, and whether the FFN is gated (SwiGLU-style, two up projections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Transformer architecture hyper-parameters."""
+
+    name: str
+    hidden: int
+    ffn: int
+    layers: int
+    heads: int
+    kv_heads: int
+    vocab: int = 32000
+    gated_ffn: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.heads != 0:
+            raise SimulationError(
+                f"{self.name}: hidden {self.hidden} not divisible by "
+                f"{self.heads} heads"
+            )
+        if self.heads % self.kv_heads != 0:
+            raise SimulationError(
+                f"{self.name}: heads {self.heads} not divisible by "
+                f"{self.kv_heads} kv heads"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+    @property
+    def kv_dim(self) -> int:
+        return self.kv_heads * self.head_dim
+
+    @property
+    def linear_weight_params(self) -> int:
+        """Weight-matrix parameters of one layer's linear projections."""
+        qkv = self.hidden * (self.hidden + 2 * self.kv_dim)
+        out = self.hidden * self.hidden
+        up_count = 2 if self.gated_ffn else 1
+        ffn = (up_count + 1) * self.hidden * self.ffn
+        return qkv + out + ffn
+
+    @property
+    def total_params(self) -> int:
+        """Approximate parameter count (linear layers + embeddings)."""
+        return self.layers * self.linear_weight_params + 2 * self.vocab * self.hidden
+
+    def layer_flops(self, tokens: int, context: int) -> float:
+        """FLOPs for one layer processing *tokens* against *context* length.
+
+        Linear projections: 2 * tokens * params; attention score/value
+        GEMMs: 2 * 2 * tokens * context * hidden.
+        """
+        linear = 2.0 * tokens * self.linear_weight_params
+        attention = 4.0 * tokens * context * self.hidden
+        return linear + attention
+
+
+LLAMA2_7B = ModelConfig(
+    "llama2-7b", hidden=4096, ffn=11008, layers=32, heads=32, kv_heads=32,
+    gated_ffn=True,
+)
+LLAMA2_13B = ModelConfig(
+    "llama2-13b", hidden=5120, ffn=13824, layers=40, heads=40, kv_heads=40,
+    gated_ffn=True,
+)
+LLAMA2_70B = ModelConfig(
+    "llama2-70b", hidden=8192, ffn=28672, layers=80, heads=64, kv_heads=8,
+    gated_ffn=True,
+)
+#: The FP16 LLAMA-3B reference model of the BitNet-b1.58 paper.
+LLAMA_3B = ModelConfig(
+    "llama-3b", hidden=3200, ffn=8640, layers=26, heads=32, kv_heads=32,
+    gated_ffn=True,
+)
+OPT_175B = ModelConfig(
+    "opt-175b", hidden=12288, ffn=49152, layers=96, heads=96, kv_heads=96,
+    vocab=50272,
+)
+BLOOM_176B = ModelConfig(
+    "bloom-176b", hidden=14336, ffn=57344, layers=70, heads=112, kv_heads=112,
+    vocab=250880,
+)
+#: BitNet b1.58 3B (ternary weights trained from scratch).
+BITNET_3B = ModelConfig(
+    "bitnet-3b", hidden=3200, ffn=8640, layers=26, heads=32, kv_heads=32,
+    gated_ffn=True,
+)
+
+MODELS: dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        LLAMA2_7B,
+        LLAMA2_13B,
+        LLAMA2_70B,
+        LLAMA_3B,
+        OPT_175B,
+        BLOOM_176B,
+        BITNET_3B,
+    )
+}
+
+
+def model_by_name(name: str) -> ModelConfig:
+    """Look up a model config by its canonical name."""
+    try:
+        return MODELS[name.lower()]
+    except KeyError:
+        raise SimulationError(f"unknown model {name!r}") from None

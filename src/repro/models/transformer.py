@@ -1,0 +1,211 @@
+"""Transformer-layer DFG builders.
+
+Builds the operator graph of one decoder layer (Figure 1's block) for the
+compiler passes and the end-to-end simulator:
+
+    norm -> qkv mpGEMM -> attention (score GEMM, softmax, value GEMM)
+         -> output mpGEMM -> residual add
+         -> norm -> FFN up mpGEMM [-> gate mul] -> activation
+         -> FFN down mpGEMM -> residual add
+
+Two inference phases are modelled:
+
+- **prefill**: ``tokens = batch x seqlen`` rows flow through every linear
+  layer; attention is quadratic in ``seqlen``.
+- **decode**: one token per sequence (``tokens = batch``); attention reads
+  the KV cache of length ``context``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.datatypes.formats import DataType, FP16, dtype_from_name
+from repro.errors import CompilerError
+from repro.compiler.dfg import DataflowGraph, OpKind, Operator, TensorSpec
+from repro.models.configs import ModelConfig
+
+
+class InferencePhase(enum.Enum):
+    """Which phase of autoregressive inference the graph models."""
+
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+
+def _mpgemm(
+    name: str,
+    x: TensorSpec,
+    n: int,
+    weight_bits: int,
+    act_dtype: DataType,
+) -> Operator:
+    m, k = x.shape
+    weight = TensorSpec(f"{name}.weight", (n, k), dtype_from_name("int8"),
+                        bits_override=weight_bits)
+    out = TensorSpec(f"{name}.out", (m, n), act_dtype)
+    return Operator(
+        name=name,
+        kind=OpKind.MPGEMM,
+        inputs=(x, weight),
+        outputs=(out,),
+        flops=2.0 * m * n * k,
+        attrs={"weight_bits": weight_bits},
+    )
+
+
+def _gemm(name: str, m: int, n: int, k: int, dtype: DataType,
+          inputs: tuple[TensorSpec, ...]) -> Operator:
+    out = TensorSpec(f"{name}.out", (m, n), dtype)
+    return Operator(
+        name=name, kind=OpKind.GEMM, inputs=inputs, outputs=(out,),
+        flops=2.0 * m * n * k,
+    )
+
+
+def _elementwise(name: str, x: TensorSpec, extra: TensorSpec | None = None,
+                 flops_per_element: float = 1.0) -> Operator:
+    inputs = (x,) if extra is None else (x, extra)
+    out = TensorSpec(f"{name}.out", x.shape, x.dtype)
+    return Operator(
+        name=name, kind=OpKind.ELEMENTWISE, inputs=inputs, outputs=(out,),
+        flops=flops_per_element * x.elements,
+    )
+
+
+def _norm(name: str, x: TensorSpec) -> Operator:
+    out = TensorSpec(f"{name}.out", x.shape, x.dtype)
+    return Operator(
+        name=name, kind=OpKind.NORM, inputs=(x,), outputs=(out,),
+        flops=5.0 * x.elements,
+    )
+
+
+def build_layer_graph(
+    config: ModelConfig,
+    batch: int,
+    seqlen: int,
+    phase: InferencePhase = InferencePhase.PREFILL,
+    weight_bits: int = 16,
+    act_dtype: DataType = FP16,
+    context: int | None = None,
+) -> DataflowGraph:
+    """Build the DFG of one transformer layer.
+
+    Parameters
+    ----------
+    config:
+        Model architecture.
+    batch, seqlen:
+        Request shape. In the decode phase ``seqlen`` is the generated
+        position (one token per sequence flows through the layer) and
+        ``context`` defaults to ``seqlen``.
+    weight_bits:
+        Linear-layer weight precision; 16 means unquantized GEMM, lower
+        values produce ``MPGEMM`` operators for the compiler to transform.
+    act_dtype:
+        Activation storage format.
+    context:
+        Attention context length (decode phase only).
+    """
+    if batch < 1 or seqlen < 1:
+        raise CompilerError("batch and seqlen must be positive")
+    if phase is InferencePhase.PREFILL:
+        tokens = batch * seqlen
+        attn_context = seqlen
+    else:
+        tokens = batch
+        attn_context = context if context is not None else seqlen
+
+    h = config.hidden
+    graph = DataflowGraph(
+        f"{config.name}-{phase.value}-b{batch}-s{seqlen}-w{weight_bits}"
+    )
+    x = TensorSpec("layer.in", (tokens, h), act_dtype)
+
+    norm1 = graph.add(_norm("attn.norm", x))
+    use_mpgemm = weight_bits < 16
+
+    def linear(name: str, inp: TensorSpec, n: int) -> Operator:
+        if use_mpgemm:
+            return graph.add(_mpgemm(name, inp, n, weight_bits, act_dtype))
+        weight = TensorSpec(f"{name}.weight", (n, inp.shape[1]), act_dtype)
+        return graph.add(
+            _gemm(name, inp.shape[0], n, inp.shape[1], act_dtype,
+                  (inp, weight))
+        )
+
+    qkv = linear("attn.qkv", norm1.outputs[0], h + 2 * config.kv_dim)
+
+    # Attention: scores = Q K^T, probs = softmax, ctx = probs V. Uniform
+    # precision (activations x activations), stays GEMM under any
+    # weight quantization.
+    q = TensorSpec("attn.q", (tokens, h), act_dtype)
+    kcache = TensorSpec("attn.kcache", (batch * attn_context, config.kv_dim),
+                        act_dtype)
+    score_flops_k = config.head_dim
+    scores = graph.add(
+        Operator(
+            name="attn.scores",
+            kind=OpKind.GEMM,
+            inputs=(qkv.outputs[0], kcache),
+            outputs=(TensorSpec(
+                "attn.scores.out",
+                (tokens * config.heads, attn_context), act_dtype),),
+            flops=2.0 * tokens * config.heads * attn_context * score_flops_k,
+        )
+    )
+    softmax = graph.add(
+        Operator(
+            name="attn.softmax",
+            kind=OpKind.SOFTMAX,
+            inputs=(scores.outputs[0],),
+            outputs=(TensorSpec(
+                "attn.softmax.out",
+                (tokens * config.heads, attn_context), act_dtype),),
+            flops=5.0 * tokens * config.heads * attn_context,
+        )
+    )
+    vcache = TensorSpec("attn.vcache", (batch * attn_context, config.kv_dim),
+                        act_dtype)
+    ctx = graph.add(
+        Operator(
+            name="attn.context",
+            kind=OpKind.GEMM,
+            inputs=(softmax.outputs[0], vcache),
+            outputs=(TensorSpec("attn.context.out", (tokens, h), act_dtype),),
+            flops=2.0 * tokens * config.heads * attn_context * config.head_dim,
+        )
+    )
+
+    out_proj = linear("attn.out_proj", ctx.outputs[0], h)
+    res1 = graph.add(
+        _elementwise("attn.residual", out_proj.outputs[0], x)
+    )
+
+    norm2 = graph.add(_norm("ffn.norm", res1.outputs[0]))
+    if config.gated_ffn:
+        up = linear("ffn.up", norm2.outputs[0], 2 * config.ffn)
+        act = graph.add(
+            _elementwise("ffn.act", up.outputs[0], flops_per_element=4.0)
+        )
+        down_in = TensorSpec("ffn.gated", (tokens, config.ffn), act_dtype)
+        gate = graph.add(
+            Operator(
+                name="ffn.gate_mul",
+                kind=OpKind.ELEMENTWISE,
+                inputs=(act.outputs[0],),
+                outputs=(down_in,),
+                flops=float(down_in.elements),
+            )
+        )
+        down = linear("ffn.down", down_in, h)
+    else:
+        up = linear("ffn.up", norm2.outputs[0], config.ffn)
+        act = graph.add(
+            _elementwise("ffn.act", up.outputs[0], flops_per_element=4.0)
+        )
+        down = linear("ffn.down", act.outputs[0], h)
+    graph.add(_elementwise("ffn.residual", down.outputs[0], res1.outputs[0]))
+    graph.validate()
+    return graph

@@ -1,0 +1,80 @@
+"""Concrete GEMM shapes used in the paper's kernel-level experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.models.configs import LLAMA2_13B, LLAMA2_70B, ModelConfig
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """An ``O[M, N] = A[M, K] x W[N, K]`` problem size."""
+
+    m: int
+    n: int
+    k: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise SimulationError("GEMM dimensions must be positive")
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+    def with_batch(self, m: int) -> "GemmShape":
+        """Same weight matrix, different activation batch."""
+        return GemmShape(m, self.n, self.k, self.label)
+
+    def weight_bytes(self, weight_bits: int) -> int:
+        return self.n * self.k * weight_bits // 8
+
+    def activation_bytes(self, act_bits: int) -> int:
+        return self.m * self.k * act_bits // 8
+
+    def output_bytes(self, out_bits: int = 16) -> int:
+        return self.m * self.n * out_bits // 8
+
+
+def layer_gemm_shapes(config: ModelConfig, m: int) -> dict[str, GemmShape]:
+    """The mpGEMM shapes of one transformer layer at batch-tokens *m*."""
+    h = config.hidden
+    shapes = {
+        "qkv": GemmShape(m, h + 2 * config.kv_dim, h, "qkv"),
+        "out_proj": GemmShape(m, h, h, "out_proj"),
+        "ffn_down": GemmShape(m, h, config.ffn, "ffn_down"),
+    }
+    if config.gated_ffn:
+        shapes["ffn_up"] = GemmShape(m, 2 * config.ffn, h, "ffn_up")
+    else:
+        shapes["ffn_up"] = GemmShape(m, config.ffn, h, "ffn_up")
+    return shapes
+
+
+def _fig4_shapes() -> tuple[GemmShape, ...]:
+    """M0-M3: the four weight shapes of a LLAMA2-70B layer (Fig. 4).
+
+    Fig. 4 sweeps the batch size (1 / 1024 / 4096) over these fixed
+    (N, K) weight shapes; ``with_batch`` sets M.
+    """
+    base = layer_gemm_shapes(LLAMA2_70B, m=1)
+    return (
+        GemmShape(1, base["qkv"].n, base["qkv"].k, "M0"),
+        GemmShape(1, base["out_proj"].n, base["out_proj"].k, "M1"),
+        GemmShape(1, base["ffn_up"].n, base["ffn_up"].k, "M2"),
+        GemmShape(1, base["ffn_down"].n, base["ffn_down"].k, "M3"),
+    )
+
+
+#: The four LLAMA2-70B kernel shapes benchmarked in Fig. 4.
+FIG4_SHAPES: tuple[GemmShape, ...] = _fig4_shapes()
+
+#: The LLAMA2-13B mpGEMM shape used for the Accel-Sim study (Section 4.3):
+#: M=2048, N=27648 (fused gate+up FFN), K=5120.
+FIG15_SHAPE = GemmShape(2048, 27648, 5120, "llama2-13b-ffn")
+
+assert FIG15_SHAPE.n == 2 * LLAMA2_13B.ffn
+assert FIG15_SHAPE.k == LLAMA2_13B.hidden

@@ -1,0 +1,85 @@
+"""Bit-plane (bit-serial) decomposition of weight codes.
+
+The hardware processes a ``W_BIT``-bit weight over ``W_BIT`` cycles, one
+bit-plane per cycle (Stripes-style bit-serial computing, paper
+Section 3.2.1). Two decompositions are provided:
+
+- :func:`to_bitplanes` — plain binary planes ``b_i in {0, 1}`` with
+  ``q = sum_i b_i * 2**i`` for unsigned codes;
+- :func:`to_signed_bitplanes` — planes ``c_i in {-1, +1}`` with
+  ``q' = sum_i c_i * 2**i`` for *reinterpreted* codes. This works because
+  Eq. 2 gives ``q' = 2q - (2**b - 1) = sum_i (2 b_i - 1) 2**i``; every
+  plane of the symmetric representation is a sign pattern, which is what
+  lets one shared ±1 lookup table serve all weight precisions.
+
+:func:`pack_bits` / :func:`unpack_bits` round-trip planes to the packed
+uint8 storage a real implementation would ship to the accelerator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+def to_bitplanes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Split unsigned *codes* into *bits* binary planes.
+
+    Returns an array of shape ``(bits, *codes.shape)`` with plane *i*
+    holding bit *i* (LSB first), values in {0, 1}.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.min(initial=0) < 0 or codes.max(initial=0) >= (1 << bits):
+        raise QuantizationError(f"codes do not fit in {bits} unsigned bits")
+    planes = [(codes >> i) & 1 for i in range(bits)]
+    return np.stack(planes, axis=0)
+
+
+def from_bitplanes(planes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_bitplanes`: ``sum_i planes[i] * 2**i``."""
+    planes = np.asarray(planes, dtype=np.int64)
+    weights = (1 << np.arange(planes.shape[0], dtype=np.int64))
+    return np.tensordot(weights, planes, axes=(0, 0))
+
+
+def to_signed_bitplanes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Split symmetric odd *codes* (from reinterpretation) into ±1 planes.
+
+    Given ``q' = 2q - (2**b - 1)``, plane *i* is ``2*b_i - 1`` where
+    ``b_i`` is bit *i* of the unsigned code *q*. Shape ``(bits, ...)``,
+    values in {-1, +1}.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    limit = (1 << bits) - 1
+    if np.any((codes % 2) == 0) and bits >= 1:
+        raise QuantizationError("signed bit-planes require odd symmetric codes")
+    if codes.min(initial=-1) < -limit or codes.max(initial=1) > limit:
+        raise QuantizationError(f"codes exceed ±(2**{bits} - 1)")
+    unsigned = (codes + limit) // 2
+    return 2 * to_bitplanes(unsigned, bits) - 1
+
+
+def from_signed_bitplanes(planes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_signed_bitplanes`: ``sum_i planes[i] * 2**i``."""
+    planes = np.asarray(planes, dtype=np.int64)
+    if planes.size and not np.all(np.abs(planes) == 1):
+        raise QuantizationError("signed planes must contain only ±1")
+    weights = (1 << np.arange(planes.shape[0], dtype=np.int64))
+    return np.tensordot(weights, planes, axes=(0, 0))
+
+
+def pack_bits(plane: np.ndarray) -> np.ndarray:
+    """Pack a flat {0,1} plane into uint8 bytes (LSB-first within a byte)."""
+    plane = np.asarray(plane).astype(np.uint8).ravel()
+    if plane.size and plane.max() > 1:
+        raise QuantizationError("pack_bits expects a binary plane")
+    return np.packbits(plane, bitorder="little")
+
+
+def unpack_bits(packed: np.ndarray, count: int) -> np.ndarray:
+    """Unpack *count* bits from :func:`pack_bits` output."""
+    bits = np.unpackbits(np.asarray(packed, dtype=np.uint8), bitorder="little")
+    if bits.size < count:
+        raise QuantizationError("packed buffer shorter than requested count")
+    return bits[:count].astype(np.int64)

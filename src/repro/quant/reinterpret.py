@@ -1,0 +1,103 @@
+"""Weight reinterpretation for table symmetrization (paper Section 3.1.2).
+
+The paper's key software trick: an unsigned affine-quantized weight
+``r = s * (q - z)`` with ``q in [0, 2**b - 1]`` is *reinterpreted* onto a
+zero-symmetric odd grid
+
+    q' = 2*q - (2**b - 1)        (values {-(2**b-1), ..., -1, +1, ...})
+    s' = s / 2
+    z' = 2*z + 1 - 2**b
+
+which preserves the real value exactly: ``s' * (q' - z') == s * (q - z)``.
+
+Because every bit-plane of ``q'`` is then ±1 (see
+:mod:`repro.quant.bitplane`), per-group dot-product lookup tables become
+odd-symmetric — ``LUT[idx] == -LUT[~idx]`` — and only half of each table
+needs to be stored (Eq. 4/5). The MSB-conditioned negation can further be
+folded into an *offline* remapping of the stored weight bits (Eq. 6), which
+removes the negation circuit from the hardware LUT unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.weight import QuantizedWeight
+
+
+@dataclass(frozen=True)
+class ReinterpretedWeight:
+    """Weight tensor on the symmetric odd grid produced by Eq. 2.
+
+    Attributes
+    ----------
+    codes:
+        Symmetric odd integer codes ``q' in {-(2**b-1), ..., 2**b-1}``
+        (all odd), stored as int64.
+    scale, zero_point:
+        Adjusted ``s' = s/2`` and ``z' = 2z + 1 - 2**b``. For weights that
+        were quantized symmetrically (grid midpoint zero-point), ``z'`` is
+        exactly zero and the zero-point correction term in the mpGEMM
+        vanishes.
+    bits:
+        Original code width *b*; the signed grid has ``2**b`` points.
+    """
+
+    codes: np.ndarray
+    scale: np.ndarray
+    zero_point: np.ndarray
+    bits: int
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.codes.shape
+
+    def dequantize(self) -> np.ndarray:
+        """Real-valued weights ``s' * (q' - z')``."""
+        return self.scale * (self.codes.astype(np.float64) - self.zero_point)
+
+    def unsigned_codes(self) -> np.ndarray:
+        """Map back to the original unsigned codes ``q = (q' + 2**b - 1)/2``."""
+        return ((self.codes + (1 << self.bits) - 1) // 2).astype(np.int64)
+
+
+def reinterpret_params(
+    scale: np.ndarray | float, zero_point: np.ndarray | float, bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Adjusted ``(s', z')`` from Eq. 2 for the given ``(s, z, b)``."""
+    scale = np.asarray(scale, dtype=np.float64)
+    zero_point = np.asarray(zero_point, dtype=np.float64)
+    return scale / 2.0, 2.0 * zero_point + 1.0 - (1 << bits)
+
+
+def reinterpret_symmetric(qw: QuantizedWeight) -> ReinterpretedWeight:
+    """Apply Eq. 2 to map unsigned codes onto the symmetric odd grid.
+
+    The mapping is exact: ``result.dequantize() == qw.dequantize()``
+    bit-for-bit in float64 (the transform multiplies/divides by powers of
+    two only).
+    """
+    new_codes = 2 * qw.codes - ((1 << qw.bits) - 1)
+    new_scale, new_zero = reinterpret_params(qw.scale, qw.zero_point, qw.bits)
+    return ReinterpretedWeight(
+        codes=new_codes.astype(np.int64),
+        scale=new_scale,
+        zero_point=new_zero,
+        bits=qw.bits,
+    )
+
+
+def check_symmetry(rw: ReinterpretedWeight) -> None:
+    """Validate the invariants of a reinterpreted weight (used by tests).
+
+    Raises :class:`QuantizationError` if any code is even or out of range.
+    """
+    limit = (1 << rw.bits) - 1
+    codes = rw.codes
+    if np.any((codes % 2) == 0):
+        raise QuantizationError("reinterpreted codes must all be odd")
+    if codes.min(initial=-1) < -limit or codes.max(initial=1) > limit:
+        raise QuantizationError("reinterpreted codes out of ±(2**b - 1) range")

@@ -1,0 +1,136 @@
+"""Ternary (BitNet b1.58) weight quantization and packing.
+
+BitNet b1.58 trains weights constrained to {-1, 0, +1} with a per-tensor
+absmean scale. The paper's discussion section notes a LUT-specific
+advantage: three ternary digits have 27 states and pack into **5 bits**
+(the table index), whereas ADD/MAC datapaths need 2 bits per digit
+(6 bits for three). This module provides:
+
+- :func:`quantize_ternary` — absmean ternary quantization,
+- :func:`pack_ternary` / :func:`unpack_ternary` — 3-trits-in-5-bits
+  base-3 packing (the 1.67-bit/weight storage format),
+- digit <-> index helpers used by the ternary LUT engine
+  (:mod:`repro.lut.ternary`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+#: Digits per packed group and bits per packed group.
+TRITS_PER_GROUP = 3
+BITS_PER_GROUP = 5
+
+
+@dataclass(frozen=True)
+class TernaryWeight:
+    """A ternary weight tensor: digits in {-1, 0, +1} and one scale."""
+
+    digits: np.ndarray
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.digits.size and not np.all(np.isin(self.digits, (-1, 0, 1))):
+            raise QuantizationError("ternary digits must be -1, 0, or +1")
+        if self.scale <= 0:
+            raise QuantizationError("scale must be positive")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.digits.shape
+
+    def dequantize(self) -> np.ndarray:
+        return self.digits.astype(np.float64) * self.scale
+
+    @property
+    def packed_bits_per_weight(self) -> float:
+        """Storage density of the base-3 packing (5/3 bits per weight)."""
+        return BITS_PER_GROUP / TRITS_PER_GROUP
+
+
+def quantize_ternary(weights: np.ndarray) -> TernaryWeight:
+    """BitNet-style absmean ternary quantization.
+
+    ``scale = mean(|w|)``; each weight maps to
+    ``clip(round(w / scale), -1, 1)``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        raise QuantizationError("cannot quantize an empty tensor")
+    scale = float(np.mean(np.abs(weights)))
+    if scale == 0.0:
+        scale = 1.0
+    digits = np.clip(np.round(weights / scale), -1, 1).astype(np.int64)
+    return TernaryWeight(digits=digits, scale=scale)
+
+
+def digits_to_index(digits: np.ndarray) -> np.ndarray:
+    """Map groups of 3 digits (last axis = 3) to base-3 indices 0..26.
+
+    Digit d maps to trit (d + 1); index = t0 + 3 t1 + 9 t2.
+    """
+    digits = np.asarray(digits, dtype=np.int64)
+    if digits.shape[-1] != TRITS_PER_GROUP:
+        raise QuantizationError("last axis must hold 3 ternary digits")
+    trits = digits + 1
+    if trits.min(initial=0) < 0 or trits.max(initial=0) > 2:
+        raise QuantizationError("digits out of {-1, 0, 1}")
+    weights_of = np.array([1, 3, 9], dtype=np.int64)
+    return trits @ weights_of
+
+
+def index_to_digits(indices: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`digits_to_index`: (..., ) -> (..., 3) digits."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.min(initial=0) < 0 or indices.max(initial=0) > 26:
+        raise QuantizationError("ternary indices must be in 0..26")
+    t0 = indices % 3
+    t1 = (indices // 3) % 3
+    t2 = indices // 9
+    return np.stack([t0, t1, t2], axis=-1) - 1
+
+
+def pack_ternary(digits: np.ndarray) -> np.ndarray:
+    """Pack a flat digit array into 5-bit groups stored in a uint8 stream.
+
+    Length must be a multiple of 3. The 1.67-bit/weight density is the
+    LUT-friendly format the paper contrasts with 2-bit-per-digit storage.
+    """
+    flat = np.asarray(digits, dtype=np.int64).ravel()
+    if flat.size % TRITS_PER_GROUP != 0:
+        raise QuantizationError("digit count must be a multiple of 3")
+    indices = digits_to_index(flat.reshape(-1, TRITS_PER_GROUP))
+    # Write each 5-bit index into a bit stream.
+    bits = np.zeros(indices.size * BITS_PER_GROUP, dtype=np.uint8)
+    for bit in range(BITS_PER_GROUP):
+        bits[bit::BITS_PER_GROUP] = (indices >> bit) & 1
+    return np.packbits(bits, bitorder="little")
+
+
+def unpack_ternary(packed: np.ndarray, count: int) -> np.ndarray:
+    """Unpack *count* digits (multiple of 3) from :func:`pack_ternary`."""
+    if count % TRITS_PER_GROUP != 0:
+        raise QuantizationError("count must be a multiple of 3")
+    groups = count // TRITS_PER_GROUP
+    bits = np.unpackbits(np.asarray(packed, dtype=np.uint8),
+                         bitorder="little")
+    needed = groups * BITS_PER_GROUP
+    if bits.size < needed:
+        raise QuantizationError("packed buffer too short")
+    bits = bits[:needed].astype(np.int64)
+    indices = np.zeros(groups, dtype=np.int64)
+    for bit in range(BITS_PER_GROUP):
+        indices |= bits[bit::BITS_PER_GROUP] << bit
+    return index_to_digits(indices).reshape(-1)
+
+
+def packed_bytes(count: int) -> int:
+    """Bytes needed to store *count* ternary weights in base-3 packing."""
+    if count % TRITS_PER_GROUP != 0:
+        raise QuantizationError("count must be a multiple of 3")
+    total_bits = count // TRITS_PER_GROUP * BITS_PER_GROUP
+    return (total_bits + 7) // 8

@@ -1,0 +1,50 @@
+"""GPU simulators.
+
+- :mod:`repro.sim.gpu_specs` — machine descriptions (A100, H100,
+  RTX 3090) and LUT-Tensor-Core extensions (array scale, register scale);
+- :mod:`repro.sim.memory` — memory-hierarchy traffic/time model;
+- :mod:`repro.sim.kernel` — analytical tile-level GEMM kernel simulator
+  (the Accel-Sim substitute for Fig. 15);
+- :mod:`repro.sim.accelsim` — a small cycle-level warp-scheduler
+  simulator used to cross-validate the analytical model on tiny kernels;
+- :mod:`repro.sim.tile_sim` — the paper's fast end-to-end tile-based
+  simulator (Figs. 16-17, Tables 1 and 4);
+- :mod:`repro.sim.groundtruth` — a higher-fidelity reference simulator
+  standing in for real-GPU measurements (Fig. 16's "ground truth");
+- :mod:`repro.sim.roofline` — roofline analysis (Fig. 19).
+"""
+
+from repro.sim.gpu_specs import (
+    GpuSpec,
+    LutExtension,
+    A100,
+    H100,
+    RTX3090,
+    with_lut_extension,
+)
+from repro.sim.memory import MemoryModel
+from repro.sim.kernel import KernelResult, simulate_gemm_kernel
+from repro.sim.accelsim import GridResult, simulate_kernel_grid
+from repro.sim.tile_sim import TileSimulator, LayerTiming
+from repro.sim.groundtruth import GroundTruthSimulator
+from repro.sim.roofline import RooflinePoint, roofline_time, ridge_point
+
+__all__ = [
+    "GpuSpec",
+    "LutExtension",
+    "A100",
+    "H100",
+    "RTX3090",
+    "with_lut_extension",
+    "MemoryModel",
+    "KernelResult",
+    "simulate_gemm_kernel",
+    "GridResult",
+    "simulate_kernel_grid",
+    "TileSimulator",
+    "LayerTiming",
+    "GroundTruthSimulator",
+    "RooflinePoint",
+    "roofline_time",
+    "ridge_point",
+]

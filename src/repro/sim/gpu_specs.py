@@ -1,0 +1,174 @@
+"""GPU machine descriptions.
+
+Specs carry only what the simulators consume: SM count, clock, tensor-core
+MAC throughput per SM, memory bandwidths/capacities, and per-SM
+shared-memory/register budgets. Public datasheet numbers are used for the
+baselines; LUT-equipped variants are derived with
+:func:`with_lut_extension`, which scales the tensor-core array (the
+paper's 1x/2x/4x/8x settings) and optionally the register file (the
+"Double Reg Modeling" configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LutExtension:
+    """LUT Tensor Core retrofit of a baseline GPU.
+
+    Attributes
+    ----------
+    array_scale:
+        Tensor-core MAC-array size relative to the baseline FP16 tensor
+        core (the paper's 1x/2x/4x/8x).
+    reg_scale:
+        Register-file capacity multiplier (1.0 = stock; 2.0 = the paper's
+        "Double Reg Modeling").
+    weight_bits:
+        Weight precision the retrofit targets (bit-serial: W_BIT cycles).
+    """
+
+    array_scale: float = 1.0
+    reg_scale: float = 1.0
+    weight_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.array_scale <= 0 or self.reg_scale <= 0:
+            raise SimulationError("LUT extension scales must be positive")
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU configuration."""
+
+    name: str
+    sms: int
+    freq_ghz: float
+    #: FP16 tensor-core MACs per SM per cycle (baseline array).
+    tc_macs_per_sm: int
+    dram_gbs: float
+    l2_mb: float
+    l2_gbs: float
+    smem_kb_per_sm: float
+    regfile_kb_per_sm: float
+    #: CUDA-core FP32 FLOPs per SM per cycle (vector units, used by
+    #: unfused precompute / element-wise kernels).
+    cuda_flops_per_sm: int = 256
+    #: Kernel launch + tail latency in microseconds.
+    launch_overhead_us: float = 4.0
+    lut: LutExtension | None = None
+
+    def __post_init__(self) -> None:
+        if self.sms < 1 or self.freq_ghz <= 0:
+            raise SimulationError("invalid GPU spec")
+
+    @property
+    def fp16_tflops(self) -> float:
+        """Baseline FP16 tensor-core peak (2 FLOPs per MAC)."""
+        return 2.0 * self.tc_macs_per_sm * self.sms * self.freq_ghz / 1000.0
+
+    @property
+    def int8_tops(self) -> float:
+        """INT8 tensor-core peak (2x the FP16 rate, as on A100)."""
+        return 2.0 * self.fp16_tflops
+
+    def peak_tflops(self, weight_bits: int = 16, act_bits: int = 16) -> float:
+        """Peak matmul throughput for the given operand precisions.
+
+        Baseline tensor cores: FP16 rate, doubled for 8-bit activations
+        (dequantization-based mpGEMM runs at the activation precision).
+        LUT tensor cores: the array-scaled rate divided by the bit-serial
+        weight cycles.
+        """
+        base = self.fp16_tflops
+        if act_bits <= 8:
+            base *= 2.0
+        if self.lut is None:
+            return base
+        return base * self.lut.array_scale / max(self.lut.weight_bits, 1)
+
+    @property
+    def cuda_tflops(self) -> float:
+        return self.cuda_flops_per_sm * self.sms * self.freq_ghz / 1000.0
+
+    @property
+    def smem_bytes_per_sm(self) -> float:
+        return self.smem_kb_per_sm * 1024.0
+
+    @property
+    def regfile_bytes_per_sm(self) -> float:
+        scale = self.lut.reg_scale if self.lut is not None else 1.0
+        return self.regfile_kb_per_sm * 1024.0 * scale
+
+
+#: NVIDIA A100-SXM4-80GB (312 TFLOPs FP16 TC, 2039 GB/s HBM2e).
+A100 = GpuSpec(
+    name="a100",
+    sms=108,
+    freq_ghz=1.41,
+    tc_macs_per_sm=1024,
+    dram_gbs=2039.0,
+    l2_mb=40.0,
+    l2_gbs=5120.0,
+    smem_kb_per_sm=164.0,
+    regfile_kb_per_sm=256.0,
+)
+
+#: NVIDIA H100-SXM5 (989 TFLOPs FP16 TC, 3350 GB/s HBM3).
+H100 = GpuSpec(
+    name="h100",
+    sms=132,
+    freq_ghz=1.83,
+    tc_macs_per_sm=2048,
+    dram_gbs=3350.0,
+    l2_mb=50.0,
+    l2_gbs=8000.0,
+    smem_kb_per_sm=228.0,
+    regfile_kb_per_sm=256.0,
+)
+
+#: NVIDIA RTX 3090 (142 TFLOPs FP16 TC w/ FP32 accum halved -> 71;
+#: we model the FP16-accumulate rate of 142 TFLOPs, 936 GB/s GDDR6X).
+RTX3090 = GpuSpec(
+    name="rtx3090",
+    sms=82,
+    freq_ghz=1.695,
+    tc_macs_per_sm=512,
+    dram_gbs=936.0,
+    l2_mb=6.0,
+    l2_gbs=2600.0,
+    smem_kb_per_sm=100.0,
+    regfile_kb_per_sm=256.0,
+)
+
+
+def with_lut_extension(
+    spec: GpuSpec,
+    array_scale: float = 4.0,
+    reg_scale: float = 1.0,
+    weight_bits: int = 1,
+) -> GpuSpec:
+    """A copy of *spec* equipped with LUT tensor cores."""
+    ext = LutExtension(
+        array_scale=array_scale, reg_scale=reg_scale, weight_bits=weight_bits
+    )
+    return replace(
+        spec, name=f"{spec.name}-lut{array_scale:g}x", lut=ext
+    )
+
+
+def lut_peak_tflops(spec: GpuSpec, act_bits: int = 16) -> float:
+    """Peak throughput of the LUT array at full (per-cycle) lookup rate.
+
+    A LUT array at scale ``s`` performs ``s`` times the baseline FP16
+    MAC-equivalents per cycle for 1-bit weights; ``W_BIT``-bit weights
+    divide the rate by ``W_BIT`` (bit-serial).
+    """
+    if spec.lut is None:
+        raise SimulationError(f"{spec.name} has no LUT extension")
+    base = spec.fp16_tflops * (2.0 if act_bits <= 8 else 1.0)
+    return base * spec.lut.array_scale / spec.lut.weight_bits

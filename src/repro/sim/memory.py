@@ -1,0 +1,50 @@
+"""Memory-hierarchy traffic/time model.
+
+A deliberately simple three-level model (DRAM, L2, SMEM) used by the
+kernel and end-to-end simulators: each level serves the traffic routed to
+it at an efficiency-derated bandwidth; the kernel's memory time is the
+max across levels (they are pipelined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.gpu_specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Bandwidth model of a GPU's memory system.
+
+    ``dram_efficiency``/``l2_efficiency`` derate the datasheet bandwidths
+    to achievable streaming rates (~85% of peak for well-coalesced GEMM
+    traffic).
+    """
+
+    spec: GpuSpec
+    dram_efficiency: float = 0.85
+    l2_efficiency: float = 0.80
+
+    def dram_time_s(self, bytes_moved: float) -> float:
+        if bytes_moved < 0:
+            raise SimulationError("negative traffic")
+        return bytes_moved / (self.spec.dram_gbs * 1e9 * self.dram_efficiency)
+
+    def l2_time_s(self, bytes_moved: float) -> float:
+        if bytes_moved < 0:
+            raise SimulationError("negative traffic")
+        return bytes_moved / (self.spec.l2_gbs * 1e9 * self.l2_efficiency)
+
+    def fits_l2(self, bytes_resident: float) -> bool:
+        return bytes_resident <= self.spec.l2_mb * 1e6
+
+    def memory_time_s(
+        self, dram_bytes: float, l2_bytes: float | None = None
+    ) -> float:
+        """Pipelined memory time: max of the DRAM and L2 service times."""
+        t = self.dram_time_s(dram_bytes)
+        if l2_bytes is not None:
+            t = max(t, self.l2_time_s(l2_bytes))
+        return t

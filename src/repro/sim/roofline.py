@@ -1,0 +1,72 @@
+"""Roofline analysis (paper Fig. 19).
+
+``attainable = min(peak_flops, intensity * bandwidth)``. Fig. 19 plots
+the conventional FP16 tensor core against the W1A16 LUT tensor core on an
+A100 memory system and shows how the paper's software optimizations move
+the naive (memory-bound) LUT kernel toward the ridge point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.gpu_specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the roofline."""
+
+    label: str
+    operational_intensity: float  # FLOPs per DRAM byte
+    achieved_flops: float
+
+    def __post_init__(self) -> None:
+        if self.operational_intensity <= 0 or self.achieved_flops <= 0:
+            raise SimulationError("roofline point must be positive")
+
+
+def attainable_flops(
+    intensity: float, peak_flops: float, bandwidth_bytes_s: float
+) -> float:
+    """The roofline bound at the given operational intensity."""
+    if intensity <= 0:
+        raise SimulationError("intensity must be positive")
+    return min(peak_flops, intensity * bandwidth_bytes_s)
+
+
+def ridge_point(peak_flops: float, bandwidth_bytes_s: float) -> float:
+    """Intensity at which the kernel transitions memory- to compute-bound."""
+    return peak_flops / bandwidth_bytes_s
+
+
+def roofline_time(
+    flops: float, bytes_moved: float, peak_flops: float,
+    bandwidth_bytes_s: float,
+) -> float:
+    """Kernel time under the roofline model."""
+    if flops < 0 or bytes_moved < 0:
+        raise SimulationError("negative workload")
+    return max(flops / peak_flops, bytes_moved / bandwidth_bytes_s)
+
+
+def is_compute_bound(
+    intensity: float, peak_flops: float, bandwidth_bytes_s: float
+) -> bool:
+    return intensity >= ridge_point(peak_flops, bandwidth_bytes_s)
+
+
+def gemm_operational_intensity(
+    m: int, n: int, k: int, act_bits: int, weight_bits: int,
+    table_overhead_bytes: float = 0.0, out_bits: int = 16,
+) -> float:
+    """FLOPs per main-memory byte of an mpGEMM with optional table traffic."""
+    flops = 2.0 * m * n * k
+    bytes_moved = (
+        m * k * act_bits / 8.0
+        + n * k * weight_bits / 8.0
+        + m * n * out_bits / 8.0
+        + table_overhead_bytes
+    )
+    return flops / bytes_moved

@@ -1,0 +1,260 @@
+"""Tile-based end-to-end inference simulator (paper Section 4.4).
+
+Accel-Sim-class simulators are ~5,000,000x slower than the hardware they
+model, so the paper builds a fast tile-level simulator treating optimized
+GPU kernels as "dynamically interacting roofline components" (NVAS). This
+module reproduces that design:
+
+- the layer DFG (from :mod:`repro.models.transformer`) is partitioned
+  into fusion groups by the compiler;
+- each group's time is ``max(compute_time, memory_time) + launch``;
+- matmul groups run on tensor cores (MMA) or LUT tensor cores (LMMA,
+  bit-serial and array-scaled); other groups are bandwidth-bound kernels;
+- table precompute is accounted per the selected
+  :class:`PrecomputeMode` — absent, naive (recomputed per thread-block
+  column, the conventional redundancy), split kernel, or fused (Table 4).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.compiler.dfg import DataflowGraph, OpKind, Operator
+from repro.compiler.passes import FusionGroup, fusion_groups, split_mpgemm_pass
+from repro.datatypes.formats import DataType, FP16
+from repro.errors import SimulationError
+from repro.sim.gpu_specs import GpuSpec, lut_peak_tflops
+from repro.sim.memory import MemoryModel
+
+
+class PrecomputeMode(enum.Enum):
+    """How LUT table precompute is executed (Table 4's three columns)."""
+
+    NONE = "none"          # tables assumed resident (Welder baseline row)
+    NAIVE = "naive"        # recomputed per thread-block column (redundant)
+    SPLIT = "split"        # independent kernel, one pass, tables round-trip
+    FUSED = "fused"        # fused into the preceding element-wise operator
+
+
+@dataclass(frozen=True)
+class GroupTiming:
+    """Simulated time of one fusion group (one kernel)."""
+
+    name: str
+    kind: str
+    time_s: float
+    compute_time_s: float
+    memory_time_s: float
+    flops: float
+    bytes: float
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_time_s >= self.memory_time_s else "memory"
+
+
+@dataclass
+class LayerTiming:
+    """Per-kernel breakdown of one simulated layer."""
+
+    groups: list[GroupTiming] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return sum(g.time_s for g in self.groups)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+    def time_of(self, prefix: str) -> float:
+        return sum(g.time_s for g in self.groups if g.name.startswith(prefix))
+
+
+#: Default tile N used for redundancy accounting in NAIVE mode.
+_NAIVE_BLOCK_N = 128
+#: Effective CUDA-core efficiency of the naive per-block precompute
+#: (uncoalesced, serialized with tensor-core work).
+_NAIVE_CUDA_EFF = 0.24
+#: Efficiency of a standalone (split) precompute kernel.
+_SPLIT_CUDA_EFF = 0.35
+
+
+@dataclass
+class TileSimulator:
+    """Fast analytical simulator for one GPU."""
+
+    spec: GpuSpec
+    compute_efficiency: float = 0.82
+    elementwise_bw_efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        self._memory = MemoryModel(self.spec)
+
+    # ------------------------------------------------------------------
+    # Per-group models
+    # ------------------------------------------------------------------
+    def _matmul_peak_tflops(self, op: Operator, act_bits: int) -> float:
+        weight_bits = op.attrs.get("weight_bits", act_bits)
+        if op.kind is OpKind.LUT_MPGEMM:
+            if self.spec.lut is None:
+                raise SimulationError(
+                    f"{self.spec.name} has no LUT tensor cores for {op.name}"
+                )
+            base = lut_peak_tflops(self.spec, act_bits)
+            # The spec's extension carries a default weight width; the
+            # operator's own width takes precedence (bit-serial cycles).
+            base *= self.spec.lut.weight_bits / max(weight_bits, 1)
+            return base
+        # GEMM / dequant-based MPGEMM run at the activation precision on
+        # the stock tensor cores.
+        return self.spec.peak_tflops(act_bits=act_bits)
+
+    def _utilization(self, op: Operator) -> float:
+        """Derate small matmuls (few thread blocks -> idle SMs)."""
+        out = op.outputs[0]
+        if len(out.shape) < 2:
+            return 1.0
+        m = out.shape[0]
+        n = out.shape[-1]
+        blocks = math.ceil(m / 128) * math.ceil(n / _NAIVE_BLOCK_N)
+        waves = max(math.ceil(blocks / self.spec.sms), 1)
+        return min(blocks / (waves * self.spec.sms), 1.0)
+
+    def _time_matmul_group(self, group: FusionGroup,
+                           graph: DataflowGraph, act_bits: int) -> GroupTiming:
+        anchor = group.anchor
+        peak = self._matmul_peak_tflops(anchor, act_bits)
+        eff = self.compute_efficiency * self._utilization(anchor)
+        compute = group.flops / (peak * 1e12 * eff)
+        traffic = group.external_bytes(graph)
+        mem = self._memory.dram_time_s(traffic)
+        total = max(compute, mem) + self.spec.launch_overhead_us * 1e-6
+        return GroupTiming(
+            name=group.name, kind=anchor.kind.value, time_s=total,
+            compute_time_s=compute, memory_time_s=mem,
+            flops=group.flops, bytes=traffic,
+        )
+
+    def _time_bandwidth_group(self, group: FusionGroup,
+                              graph: DataflowGraph) -> GroupTiming:
+        anchor = group.anchor
+        traffic = group.external_bytes(graph)
+        mem = traffic / (
+            self.spec.dram_gbs * 1e9 * self.elementwise_bw_efficiency
+        )
+        compute = group.flops / (self.spec.cuda_tflops * 1e12 * 0.5)
+        total = max(compute, mem) + self.spec.launch_overhead_us * 1e-6
+        return GroupTiming(
+            name=group.name, kind=anchor.kind.value, time_s=total,
+            compute_time_s=compute, memory_time_s=mem,
+            flops=group.flops, bytes=traffic,
+        )
+
+    def _precompute_penalty_s(
+        self, graph: DataflowGraph, mode: PrecomputeMode, act_bits: int
+    ) -> list[GroupTiming]:
+        """Extra kernels/time charged for table precompute."""
+        timings: list[GroupTiming] = []
+        for op in graph:
+            if op.kind is not OpKind.MPGEMM and op.kind is not OpKind.LUT_MPGEMM:
+                continue
+            activation = op.inputs[0]
+            if op.kind is OpKind.LUT_MPGEMM:
+                # inputs are (table, weight); table shape (M, G, entries).
+                m = activation.shape[0]
+                k_elems = activation.shape[1] * 4
+            else:
+                m, k_elems = activation.shape
+            table_bytes = m * k_elems * 2.0  # 8 INT8 entries per 4 elements
+            table_flops = 2.0 * m * k_elems
+            if mode is PrecomputeMode.NONE:
+                continue
+            if mode is PrecomputeMode.NAIVE:
+                n = op.outputs[0].shape[-1]
+                redundancy = max(math.ceil(n / _NAIVE_BLOCK_N), 1)
+                compute = (redundancy * table_flops) / (
+                    self.spec.cuda_tflops * 1e12 * _NAIVE_CUDA_EFF
+                )
+                timings.append(GroupTiming(
+                    name=f"{op.name}.precompute(naive)", kind="precompute",
+                    time_s=compute, compute_time_s=compute, memory_time_s=0.0,
+                    flops=redundancy * table_flops, bytes=0.0,
+                ))
+            elif mode is PrecomputeMode.SPLIT:
+                act_bytes = m * k_elems * act_bits / 8.0
+                traffic = act_bytes + 2.0 * table_bytes  # write + reload
+                mem = traffic / (self.spec.dram_gbs * 1e9 * 0.6)
+                compute = table_flops / (
+                    self.spec.cuda_tflops * 1e12 * _SPLIT_CUDA_EFF
+                )
+                total = max(compute, mem) + self.spec.launch_overhead_us * 1e-6
+                timings.append(GroupTiming(
+                    name=f"{op.name}.precompute(split)", kind="precompute",
+                    time_s=total, compute_time_s=compute, memory_time_s=mem,
+                    flops=table_flops, bytes=traffic,
+                ))
+            elif mode is PrecomputeMode.FUSED:
+                # Fused into the preceding element-wise op: only the table
+                # write + reload traffic remains visible.
+                traffic = 2.0 * table_bytes
+                mem = traffic / (self.spec.dram_gbs * 1e9 * 0.45)
+                timings.append(GroupTiming(
+                    name=f"{op.name}.precompute(fused)", kind="precompute",
+                    time_s=mem, compute_time_s=0.0, memory_time_s=mem,
+                    flops=table_flops, bytes=traffic,
+                ))
+        return timings
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def time_graph(
+        self,
+        graph: DataflowGraph,
+        act_bits: int = 16,
+        precompute: PrecomputeMode = PrecomputeMode.NONE,
+    ) -> LayerTiming:
+        """Simulate one DFG (one layer) and return the kernel breakdown."""
+        timing = LayerTiming()
+        for group in fusion_groups(graph):
+            anchor = group.anchor
+            if anchor.kind in (OpKind.GEMM, OpKind.MPGEMM, OpKind.LUT_MPGEMM):
+                timing.groups.append(
+                    self._time_matmul_group(group, graph, act_bits)
+                )
+            else:
+                timing.groups.append(self._time_bandwidth_group(group, graph))
+        timing.groups.extend(self._precompute_penalty_s(graph, precompute, act_bits))
+        return timing
+
+    def time_model(
+        self,
+        config: ModelConfig,
+        batch: int,
+        seqlen: int,
+        phase: InferencePhase,
+        weight_bits: int = 16,
+        act_dtype: DataType = FP16,
+        precompute: PrecomputeMode = PrecomputeMode.NONE,
+        context: int | None = None,
+    ) -> LayerTiming:
+        """Build + simulate one layer of *config* in the given phase."""
+        from repro.models.transformer import build_layer_graph
+
+        graph = build_layer_graph(
+            config, batch, seqlen, phase,
+            weight_bits=weight_bits, act_dtype=act_dtype, context=context,
+        )
+        if weight_bits < 16 and self.spec.lut is not None:
+            graph = split_mpgemm_pass(graph)
+        return self.time_graph(graph, act_bits=act_dtype.bits,
+                               precompute=precompute)
+
+    def model_inference_ms(self, config: ModelConfig, batch: int, seqlen: int,
+                           phase: InferencePhase, **kwargs) -> float:
+        """End-to-end time (all layers) in milliseconds."""
+        layer = self.time_model(config, batch, seqlen, phase, **kwargs)
+        return layer.total_ms * config.layers

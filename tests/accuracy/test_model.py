@@ -1,0 +1,156 @@
+"""Tests for the NumPy transformer LM, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.data import SyntheticLanguage
+from repro.accuracy.model import (
+    AdamOptimizer,
+    TransformerConfig,
+    TransformerLM,
+    train_lm,
+)
+from repro.errors import AccuracyError
+
+
+def tiny_model(seed=0):
+    return TransformerLM(
+        TransformerConfig(vocab=11, dim=8, blocks=2, ctx=6), seed=seed
+    )
+
+
+class TestForward:
+    def test_logits_shape(self):
+        model = tiny_model()
+        tokens = np.random.default_rng(0).integers(0, 11, size=(3, 6))
+        logits = model.forward(tokens)
+        assert logits.shape == (3, 6, 11)
+
+    def test_shorter_sequences_allowed(self):
+        model = tiny_model()
+        tokens = np.zeros((2, 4), dtype=np.int64)
+        assert model.forward(tokens).shape == (2, 4, 11)
+
+    def test_too_long_rejected(self):
+        model = tiny_model()
+        with pytest.raises(AccuracyError):
+            model.forward(np.zeros((1, 7), dtype=np.int64))
+
+    def test_1d_rejected(self):
+        model = tiny_model()
+        with pytest.raises(AccuracyError):
+            model.forward(np.zeros(4, dtype=np.int64))
+
+    def test_causality(self):
+        """Changing a future token never changes past logits."""
+        model = tiny_model(seed=3)
+        tokens = np.random.default_rng(1).integers(0, 11, size=(1, 6))
+        logits_a = model.forward(tokens).copy()
+        tokens_b = tokens.copy()
+        tokens_b[0, 5] = (tokens_b[0, 5] + 1) % 11
+        logits_b = model.forward(tokens_b)
+        np.testing.assert_allclose(
+            logits_a[0, :5], logits_b[0, :5], atol=1e-12
+        )
+        assert not np.allclose(logits_a[0, 5], logits_b[0, 5])
+
+    def test_loss_positive_and_near_uniform_at_init(self):
+        model = tiny_model()
+        rng = np.random.default_rng(2)
+        tokens = rng.integers(0, 11, size=(8, 6))
+        targets = rng.integers(0, 11, size=(8, 6))
+        loss = model.loss(model.forward(tokens), targets)
+        assert abs(loss - np.log(11)) < 0.3
+
+
+class TestGradients:
+    """Numerical gradient checks for every parameter group."""
+
+    @pytest.mark.parametrize("param_idx", range(8))
+    def test_gradcheck_sampled_params(self, param_idx):
+        model = tiny_model(seed=7)
+        rng = np.random.default_rng(42)
+        tokens = rng.integers(0, 11, size=(2, 6))
+        targets = rng.integers(0, 11, size=(2, 6))
+
+        params = model.parameters()
+        param = params[param_idx % len(params)]
+
+        model.zero_grad()
+        loss0 = model.loss(model.forward(tokens), targets)
+        model.backward()
+        analytic = param.grad.copy()
+
+        eps = 1e-6
+        flat = param.value.reshape(-1)
+        check_idx = rng.choice(flat.size, size=min(5, flat.size),
+                               replace=False)
+        for i in check_idx:
+            original = flat[i]
+            flat[i] = original + eps
+            lp = model.loss(model.forward(tokens), targets)
+            flat[i] = original - eps
+            lm = model.loss(model.forward(tokens), targets)
+            flat[i] = original
+            numeric = (lp - lm) / (2 * eps)
+            assert analytic.reshape(-1)[i] == pytest.approx(
+                numeric, rel=1e-4, abs=1e-7
+            )
+
+    def test_gradcheck_attention_weights(self):
+        model = tiny_model(seed=9)
+        rng = np.random.default_rng(5)
+        tokens = rng.integers(0, 11, size=(2, 5))
+        targets = rng.integers(0, 11, size=(2, 5))
+        model.zero_grad()
+        model.loss(model.forward(tokens), targets)
+        model.backward()
+        for key in ("wq", "wk", "wv", "wo", "w1", "w2"):
+            param = model.blocks[0][key]
+            analytic = param.grad.copy()
+            eps = 1e-6
+            flat = param.value.reshape(-1)
+            i = int(rng.integers(flat.size))
+            original = flat[i]
+            flat[i] = original + eps
+            lp = model.loss(model.forward(tokens), targets)
+            flat[i] = original - eps
+            lm = model.loss(model.forward(tokens), targets)
+            flat[i] = original
+            numeric = (lp - lm) / (2 * eps)
+            assert analytic.reshape(-1)[i] == pytest.approx(
+                numeric, rel=1e-4, abs=1e-7
+            ), key
+
+    def test_backward_requires_forward_loss(self):
+        model = tiny_model()
+        with pytest.raises(AccuracyError):
+            model.backward()
+
+
+class TestTraining:
+    def test_loss_decreases_on_synthetic_language(self):
+        lang = SyntheticLanguage(vocab=11, branching=3, seed=1)
+        tokens = lang.sample(4000, seed=2)
+        model = tiny_model(seed=1)
+        losses = train_lm(
+            model, lang.batches(tokens, 6, 16, seed=3), steps=120, lr=5e-3
+        )
+        assert losses[-1] < losses[0] - 0.3
+
+    def test_adam_updates_all_params(self):
+        model = tiny_model()
+        before = [p.value.copy() for p in model.parameters()]
+        rng = np.random.default_rng(0)
+        tokens = rng.integers(0, 11, size=(4, 6))
+        targets = rng.integers(0, 11, size=(4, 6))
+        optimizer = AdamOptimizer(model.parameters(), lr=1e-2)
+        model.zero_grad()
+        model.loss(model.forward(tokens), targets)
+        model.backward()
+        optimizer.step()
+        changed = [
+            not np.allclose(p.value, b)
+            for p, b in zip(model.parameters(), before)
+        ]
+        assert all(changed)

@@ -1,0 +1,149 @@
+"""Tests for model quantization, the LUT inference path, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.data import SyntheticLanguage
+from repro.accuracy.metrics import next_token_accuracy, perplexity
+from repro.accuracy.model import TransformerConfig, TransformerLM, train_lm
+from repro.accuracy.quantize_model import (
+    LinearMode,
+    apply_quantized_weights,
+    make_executor,
+    qat_finetune,
+    quantize_lm_weights,
+)
+from repro.errors import AccuracyError
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A small trained model + language shared across this module."""
+    lang = SyntheticLanguage(vocab=32, branching=4, seed=5)
+    train_tokens = lang.sample(8000, seed=6)
+    val_tokens = lang.sample(2000, seed=7)
+    cfg = TransformerConfig(vocab=32, dim=16, blocks=2, ctx=8)
+    model = TransformerLM(cfg, seed=5)
+    train_lm(model, lang.batches(train_tokens, cfg.ctx, 24, seed=8),
+             steps=250, lr=4e-3)
+    return model, lang, train_tokens, val_tokens
+
+
+class TestQuantizeWeights:
+    def test_covers_all_linear_weights(self, trained):
+        model, *_ = trained
+        quantized = quantize_lm_weights(model, bits=2)
+        assert set(quantized) == {w.name for w in model.linear_weights()}
+
+    def test_bits_validated(self, trained):
+        model, *_ = trained
+        with pytest.raises(AccuracyError):
+            quantize_lm_weights(model, bits=0)
+
+    def test_apply_overwrites_values(self, trained):
+        model, *_ = trained
+        # Work on a copy-like fresh model to avoid mutating the fixture.
+        clone = TransformerLM(model.config, seed=99)
+        quantized = quantize_lm_weights(clone, bits=2)
+        apply_quantized_weights(clone, quantized)
+        for w in clone.linear_weights():
+            grid = np.unique(
+                np.round(w.value / np.maximum(np.abs(w.value).max(), 1e-9), 6)
+            )
+            # 2-bit per-channel -> few distinct values per row.
+            per_row_unique = {len(np.unique(row)) for row in w.value}
+            assert max(per_row_unique) <= 4
+
+
+class TestExecutors:
+    def test_fp_mode_is_none(self, trained):
+        model, *_ = trained
+        assert make_executor(model, LinearMode.FP) is None
+
+    def test_dequant_executor_changes_outputs(self, trained):
+        model, _, _, val = trained
+        ppl_fp = perplexity(model, val)
+        ex = make_executor(model, LinearMode.QUANT_DEQUANT, bits=2)
+        ppl_q = perplexity(model, val, executor=ex)
+        assert ppl_q != ppl_fp
+
+    def test_lut_matches_dequant_closely(self, trained):
+        """INT8 table quantization on top of W2 changes PPL negligibly."""
+        model, _, _, val = trained
+        dequant = make_executor(model, LinearMode.QUANT_DEQUANT, bits=2)
+        lut = make_executor(model, LinearMode.LUT_INT8_TABLE, bits=2)
+        ppl_q = perplexity(model, val, executor=dequant)
+        ppl_lut = perplexity(model, val, executor=lut)
+        assert abs(ppl_lut - ppl_q) / ppl_q < 0.01
+
+    def test_lut_executor_exact_without_final_bias(self, trained):
+        """Per-token logits through LUT differ from dequant only by the
+        INT8 table rounding."""
+        model, lang, _, val = trained
+        dequant = make_executor(model, LinearMode.QUANT_DEQUANT, bits=2)
+        lut = make_executor(model, LinearMode.LUT_INT8_TABLE, bits=2)
+        tokens = val[: model.config.ctx][None, :]
+        a = model.forward(tokens, executor=dequant)
+        b = model.forward(tokens, executor=lut)
+        rel = np.abs(a - b).max() / max(np.abs(a).max(), 1e-9)
+        assert rel < 0.05
+
+
+class TestQat:
+    def test_qat_recovers_ptq_damage(self, trained):
+        model, lang, train_tokens, val = trained
+        clone = TransformerLM(model.config, seed=5)
+        for p_dst, p_src in zip(clone.parameters(), model.parameters()):
+            p_dst.value[...] = p_src.value
+        ptq = make_executor(clone, LinearMode.QUANT_DEQUANT, bits=2)
+        ppl_ptq = perplexity(clone, val, executor=ptq)
+        qat_finetune(clone, lang.batches(train_tokens, clone.config.ctx, 24,
+                                         seed=9), bits=2, steps=120)
+        qat = make_executor(clone, LinearMode.QUANT_DEQUANT, bits=2)
+        ppl_qat = perplexity(clone, val, executor=qat)
+        assert ppl_qat < ppl_ptq
+
+
+class TestMetrics:
+    def test_perplexity_bounds(self, trained):
+        model, lang, _, val = trained
+        ppl = perplexity(model, val)
+        # Better than uniform, no better than the language entropy.
+        assert np.exp(lang.entropy_bound_nats()) * 0.9 < ppl < 32
+
+    def test_accuracy_above_chance(self, trained):
+        model, _, _, val = trained
+        acc = next_token_accuracy(model, val)
+        assert acc > 2.0 / 32
+
+    def test_short_stream_rejected(self, trained):
+        model, *_ = trained
+        with pytest.raises(AccuracyError):
+            perplexity(model, np.zeros(4, dtype=np.int64))
+
+
+class TestSyntheticLanguage:
+    def test_deterministic(self):
+        a = SyntheticLanguage(seed=3).sample(100, seed=4)
+        b = SyntheticLanguage(seed=3).sample(100, seed=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_transition_rows_normalized(self):
+        lang = SyntheticLanguage(vocab=16, branching=4, seed=0)
+        rows = lang.transitions.sum(axis=1)
+        np.testing.assert_allclose(rows, 1.0)
+
+    def test_entropy_below_uniform(self):
+        lang = SyntheticLanguage(vocab=32, branching=4, seed=0)
+        assert lang.entropy_bound_nats() < np.log(32)
+
+    def test_branching_validation(self):
+        with pytest.raises(AccuracyError):
+            SyntheticLanguage(vocab=4, branching=8)
+
+    def test_batches_shapes(self):
+        lang = SyntheticLanguage(vocab=16, branching=4, seed=1)
+        tokens = lang.sample(500, seed=2)
+        inputs, targets = next(lang.batches(tokens, ctx=8, batch_size=4))
+        assert inputs.shape == targets.shape == (4, 8)
+        np.testing.assert_array_equal(inputs[:, 1:], targets[:, :-1])

@@ -1,0 +1,58 @@
+"""Tests for the multi-task evaluation suite."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.model import TransformerConfig, TransformerLM, train_lm
+from repro.accuracy.tasks import TASK_NAMES, TaskSuite
+from repro.errors import AccuracyError
+
+
+class TestTaskSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return TaskSuite(vocab=32, seed=3)
+
+    def test_five_distinct_tasks(self, suite):
+        assert set(suite.languages) == set(TASK_NAMES)
+        transitions = [
+            lang.transitions for lang in suite.languages.values()
+        ]
+        for i in range(len(transitions)):
+            for j in range(i + 1, len(transitions)):
+                assert not np.allclose(transitions[i], transitions[j])
+
+    def test_mixture_covers_all_tasks(self, suite):
+        stream = suite.mixture_stream(5000, seed=1)
+        assert stream.size == 5000
+        assert stream.min() >= 0
+        assert stream.max() < 32
+
+    def test_mixture_deterministic(self, suite):
+        a = suite.mixture_stream(1000, seed=2)
+        b = suite.mixture_stream(1000, seed=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_short_stream_rejected(self, suite):
+        with pytest.raises(AccuracyError):
+            suite.mixture_stream(10)
+
+    def test_evaluate_returns_all_tasks_plus_average(self, suite):
+        model = TransformerLM(
+            TransformerConfig(vocab=32, dim=8, blocks=1, ctx=8), seed=0
+        )
+        scores = suite.evaluate(model, eval_length=500)
+        assert set(scores) == set(TASK_NAMES) | {"Avg."}
+        assert scores["Avg."] == pytest.approx(
+            np.mean([scores[n] for n in TASK_NAMES])
+        )
+
+    def test_training_on_mixture_beats_untrained(self, suite):
+        cfg = TransformerConfig(vocab=32, dim=16, blocks=1, ctx=8)
+        model = TransformerLM(cfg, seed=1)
+        before = suite.evaluate(model, eval_length=800)["Avg."]
+        tokens = suite.mixture_stream(8000, seed=4)
+        lang = next(iter(suite.languages.values()))
+        train_lm(model, lang.batches(tokens, cfg.ctx, 24, seed=5), steps=200)
+        after = suite.evaluate(model, eval_length=800)["Avg."]
+        assert after > before + 0.03

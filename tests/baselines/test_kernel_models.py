@@ -1,0 +1,83 @@
+"""Tests pinning the Fig. 4 baseline kernel shapes."""
+
+import pytest
+
+from repro.baselines import (
+    cublas_gemm_time_s,
+    cutlass_dequant_time_s,
+    lutgemm_time_s,
+)
+from repro.models.workloads import FIG4_SHAPES, GemmShape
+
+
+class TestCublasModel:
+    def test_gemv_memory_bound_scaling(self):
+        """Batch-1 time tracks weight bytes, not FLOPs rate."""
+        t_full = cublas_gemm_time_s(GemmShape(1, 8192, 8192))
+        t_half = cublas_gemm_time_s(GemmShape(1, 4096, 8192))
+        assert t_full / t_half == pytest.approx(2.0, rel=0.15)
+
+    def test_large_batch_compute_bound(self):
+        t1 = cublas_gemm_time_s(GemmShape(4096, 8192, 8192))
+        t2 = cublas_gemm_time_s(GemmShape(8192, 8192, 8192))
+        assert t2 / t1 == pytest.approx(2.0, rel=0.05)
+
+
+class TestFig4Shapes:
+    def test_gemv_dequant_speedup_near_4x(self):
+        """Paper Fig. 4a: CUTLASS W4A16 gains ~3.5-4x at batch 1."""
+        for shape in FIG4_SHAPES:
+            s = shape.with_batch(1)
+            speedup = cublas_gemm_time_s(s) / cutlass_dequant_time_s(s, 4)
+            assert 3.0 <= speedup <= 4.3
+
+    def test_gemv_lutgemm_speedup_above_1x_below_dequant(self):
+        """Paper Fig. 4a: LUT-GEMM gains ~2-2.5x, below CUTLASS."""
+        for shape in FIG4_SHAPES:
+            s = shape.with_batch(1)
+            base = cublas_gemm_time_s(s)
+            lut = lutgemm_time_s(s, 4)
+            assert lut.ok
+            speedup = base / lut.time_s
+            assert 1.5 <= speedup <= 3.0
+            assert speedup < base / cutlass_dequant_time_s(s, 4)
+
+    def test_large_batch_cutlass_below_cublas(self):
+        """Paper Fig. 4b: dequant kernels lose slightly at batch 1024."""
+        for shape in FIG4_SHAPES:
+            s = shape.with_batch(1024)
+            ratio = cublas_gemm_time_s(s) / cutlass_dequant_time_s(s, 4)
+            assert 0.60 <= ratio <= 0.95
+
+    def test_very_large_batch_cutlass_degrades_further(self):
+        for shape in FIG4_SHAPES:
+            r1024 = cublas_gemm_time_s(shape.with_batch(1024)) / (
+                cutlass_dequant_time_s(shape.with_batch(1024), 4)
+            )
+            r4096 = cublas_gemm_time_s(shape.with_batch(4096)) / (
+                cutlass_dequant_time_s(shape.with_batch(4096), 4)
+            )
+            assert r4096 < r1024
+
+    def test_large_batch_lutgemm_collapses(self):
+        """Paper Fig. 4b/c: LUT-GEMM at ~0.01-0.03x of cuBLAS."""
+        for shape in FIG4_SHAPES[:3]:  # M3 segfaults
+            s = shape.with_batch(1024)
+            lut = lutgemm_time_s(s, 4)
+            assert lut.ok
+            ratio = cublas_gemm_time_s(s) / lut.time_s
+            assert 0.005 <= ratio <= 0.05
+
+    def test_deep_k_shape_segfaults_at_large_batch(self):
+        """Paper's 'Seg. Error': the K=28672 shape crashes at batch >= 1024."""
+        deep = FIG4_SHAPES[3]
+        assert lutgemm_time_s(deep.with_batch(1024), 4).segfault
+        assert lutgemm_time_s(deep.with_batch(4096), 4).segfault
+        assert lutgemm_time_s(deep.with_batch(1), 4).ok
+
+    def test_weight_bits_scale_gemv_gain(self):
+        s = FIG4_SHAPES[1].with_batch(1)
+        base = cublas_gemm_time_s(s)
+        s1 = base / cutlass_dequant_time_s(s, 1)
+        s4 = base / cutlass_dequant_time_s(s, 4)
+        assert s1 > s4

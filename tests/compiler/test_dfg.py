@@ -1,0 +1,140 @@
+"""Tests for the DFG IR and the transformer-layer builder."""
+
+import pytest
+
+from repro.compiler.dfg import DataflowGraph, OpKind, Operator, TensorSpec
+from repro.datatypes.formats import FP16
+from repro.errors import CompilerError
+from repro.models.configs import LLAMA2_7B, OPT_175B
+from repro.models.transformer import InferencePhase, build_layer_graph
+
+
+def _op(name, inputs, outputs, kind=OpKind.ELEMENTWISE, flops=1.0):
+    return Operator(
+        name=name, kind=kind,
+        inputs=tuple(TensorSpec(t, (4, 4)) for t in inputs),
+        outputs=tuple(TensorSpec(t, (4, 4)) for t in outputs),
+        flops=flops,
+    )
+
+
+class TestGraphStructure:
+    def test_add_and_iterate(self):
+        g = DataflowGraph()
+        g.add(_op("a", ["x"], ["y"]))
+        g.add(_op("b", ["y"], ["z"]))
+        assert len(g) == 2
+        assert [op.name for op in g] == ["a", "b"]
+
+    def test_duplicate_name_rejected(self):
+        g = DataflowGraph()
+        g.add(_op("a", ["x"], ["y"]))
+        with pytest.raises(CompilerError):
+            g.add(_op("a", ["y"], ["z"]))
+
+    def test_double_production_rejected(self):
+        g = DataflowGraph()
+        g.add(_op("a", ["x"], ["y"]))
+        with pytest.raises(CompilerError):
+            g.add(_op("b", ["x"], ["y"]))
+
+    def test_producers_consumers(self):
+        g = DataflowGraph()
+        a = g.add(_op("a", ["x"], ["y"]))
+        b = g.add(_op("b", ["y"], ["z"]))
+        c = g.add(_op("c", ["y"], ["w"]))
+        assert g.producer_of("y") is a
+        assert g.consumers_of("y") == [b, c]
+        assert g.predecessors(b) == [a]
+        assert set(op.name for op in g.successors(a)) == {"b", "c"}
+
+    def test_graph_io(self):
+        g = DataflowGraph()
+        g.add(_op("a", ["x"], ["y"]))
+        g.add(_op("b", ["y"], ["z"]))
+        assert [t.name for t in g.graph_inputs()] == ["x"]
+        assert [t.name for t in g.graph_outputs()] == ["z"]
+
+    def test_topological_order(self):
+        g = DataflowGraph()
+        g.add(_op("c", ["b_out"], ["c_out"]))  # added out of order
+        g.add(_op("a", ["x"], ["a_out"]))
+        g.add(_op("b", ["a_out"], ["b_out"]))
+        order = [op.name for op in g.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detected(self):
+        g = DataflowGraph()
+        g.add(_op("a", ["z"], ["y"]))
+        g.add(_op("b", ["y"], ["z"]))
+        with pytest.raises(CompilerError):
+            g.validate()
+
+    def test_tensor_bytes(self):
+        t = TensorSpec("w", (8, 4), FP16)
+        assert t.bytes == 8 * 4 * 2
+        packed = TensorSpec("w2", (8, 4), FP16, bits_override=2)
+        assert packed.bytes == 8 * 4 * 2 / 8
+
+    def test_clone_without(self):
+        g = DataflowGraph()
+        g.add(_op("a", ["x"], ["y"]))
+        g.add(_op("b", ["y"], ["z"]))
+        clone = g.clone_without(["a"])
+        assert [op.name for op in clone] == ["b"]
+
+
+class TestLayerBuilder:
+    def test_prefill_graph_structure(self):
+        g = build_layer_graph(LLAMA2_7B, 1, 128, InferencePhase.PREFILL)
+        g.validate()
+        kinds = [op.kind for op in g]
+        assert kinds.count(OpKind.GEMM) == 6  # 4 linears + 2 attention
+        assert OpKind.SOFTMAX in kinds
+        assert OpKind.NORM in kinds
+
+    def test_quantized_graph_uses_mpgemm(self):
+        g = build_layer_graph(
+            LLAMA2_7B, 1, 128, InferencePhase.PREFILL, weight_bits=2
+        )
+        mpgemms = [op for op in g if op.kind is OpKind.MPGEMM]
+        assert len(mpgemms) == 4  # qkv, out_proj, ffn_up, ffn_down
+        # Attention GEMMs stay uniform-precision.
+        assert sum(1 for op in g if op.kind is OpKind.GEMM) == 2
+        for op in mpgemms:
+            assert op.attrs["weight_bits"] == 2
+            assert op.inputs[1].bits == 2
+
+    def test_prefill_tokens(self):
+        g = build_layer_graph(OPT_175B, 2, 64, InferencePhase.PREFILL)
+        qkv = next(op for op in g if op.name == "attn.qkv")
+        assert qkv.outputs[0].shape[0] == 2 * 64
+
+    def test_decode_tokens_and_context(self):
+        g = build_layer_graph(
+            OPT_175B, 32, 1, InferencePhase.DECODE, context=256
+        )
+        qkv = next(op for op in g if op.name == "attn.qkv")
+        assert qkv.outputs[0].shape[0] == 32
+        scores = next(op for op in g if op.name == "attn.scores")
+        assert scores.outputs[0].shape[-1] == 256
+
+    def test_flops_match_config_estimate(self):
+        g = build_layer_graph(OPT_175B, 1, 2048, InferencePhase.PREFILL)
+        linear_flops = sum(
+            op.flops for op in g
+            if op.kind is OpKind.GEMM and not op.name.startswith("attn.scores")
+            and not op.name.startswith("attn.context")
+        )
+        expected = 2.0 * 2048 * OPT_175B.linear_weight_params
+        assert linear_flops == pytest.approx(expected, rel=1e-12)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(CompilerError):
+            build_layer_graph(OPT_175B, 0, 128, InferencePhase.PREFILL)
+
+    def test_gated_ffn_has_gate_mul(self):
+        gated = build_layer_graph(LLAMA2_7B, 1, 32, InferencePhase.PREFILL)
+        assert any(op.name == "ffn.gate_mul" for op in gated)
+        plain = build_layer_graph(OPT_175B, 1, 32, InferencePhase.PREFILL)
+        assert not any(op.name == "ffn.gate_mul" for op in plain)

@@ -1,0 +1,76 @@
+"""Tests for the whole-model compilation driver."""
+
+import pytest
+
+from repro.compiler.model_compiler import compile_layer
+from repro.datatypes.formats import FP16, INT8
+from repro.errors import CompilerError
+from repro.models.configs import BITNET_3B, LLAMA2_7B
+from repro.models.transformer import InferencePhase
+from repro.sim.gpu_specs import A100, with_lut_extension
+
+LUT_SPEC = with_lut_extension(A100, 4, reg_scale=2.0, weight_bits=2)
+
+
+class TestCompileLayer:
+    def test_fp16_layer_uses_mma(self):
+        compiled = compile_layer(
+            LLAMA2_7B, A100, batch=1, seqlen=128,
+        )
+        assert compiled.matmul_kernels
+        assert not compiled.lmma_instructions
+        for k in compiled.matmul_kernels:
+            assert k.instruction.startswith("mma.")
+
+    def test_quantized_layer_uses_lmma(self):
+        compiled = compile_layer(
+            BITNET_3B, LUT_SPEC, batch=1, seqlen=128,
+            weight_bits=2, act_dtype=INT8,
+        )
+        assert compiled.lmma_instructions
+        # Attention matmuls stay on MMA (uniform precision).
+        mma = [k for k in compiled.matmul_kernels
+               if k.instruction.startswith("mma.")]
+        assert len(mma) == 2
+
+    def test_quantized_without_lut_rejected(self):
+        with pytest.raises(CompilerError):
+            compile_layer(BITNET_3B, A100, 1, 128, weight_bits=2)
+
+    def test_layer_time_positive_and_consistent(self):
+        compiled = compile_layer(LLAMA2_7B, A100, 1, 256)
+        assert compiled.layer_ms > 0
+        assert compiled.layer_ms == pytest.approx(
+            sum(k.simulated_ms for k in compiled.kernels)
+        )
+
+    def test_lut_faster_than_fp16_for_bitnet(self):
+        fp16 = compile_layer(BITNET_3B, A100, 1, 2048)
+        lut = compile_layer(
+            BITNET_3B, LUT_SPEC, 1, 2048, weight_bits=2, act_dtype=INT8
+        )
+        assert lut.layer_ms < fp16.layer_ms
+
+    def test_report_readable(self):
+        compiled = compile_layer(LLAMA2_7B, A100, 1, 128)
+        text = compiled.report()
+        assert "kernels" in text
+        assert "mma." in text
+
+    def test_kernel_count_matches_fusion(self):
+        from repro.compiler.passes import fusion_groups, split_mpgemm_pass
+        from repro.models.transformer import build_layer_graph
+
+        compiled = compile_layer(
+            BITNET_3B, LUT_SPEC, 1, 64, weight_bits=2, act_dtype=INT8
+        )
+        graph = split_mpgemm_pass(build_layer_graph(
+            BITNET_3B, 1, 64, InferencePhase.PREFILL, weight_bits=2,
+            act_dtype=INT8,
+        ))
+        groups = fusion_groups(graph)
+        # One compiled kernel per fusion group, plus the fused-precompute
+        # penalty entries the simulator reports separately.
+        assert len(compiled.kernels) >= len(groups)
+        group_names = {g.name for g in groups}
+        assert group_names <= {k.name for k in compiled.kernels}

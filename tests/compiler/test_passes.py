@@ -1,0 +1,134 @@
+"""Tests for the DFG transformation and fusion passes."""
+
+import pytest
+
+from repro.compiler.dfg import OpKind
+from repro.compiler.passes import (
+    LUT_GROUP_K,
+    TABLE_ENTRIES,
+    fusion_groups,
+    graph_traffic_bytes,
+    split_mpgemm_pass,
+)
+from repro.errors import CompilerError
+from repro.models.configs import LLAMA2_7B, OPT_175B
+from repro.models.transformer import InferencePhase, build_layer_graph
+
+
+def quantized_layer(model=LLAMA2_7B, batch=1, seq=64, bits=2):
+    return build_layer_graph(
+        model, batch, seq, InferencePhase.PREFILL, weight_bits=bits
+    )
+
+
+class TestSplitMpgemmPass:
+    def test_every_mpgemm_split(self):
+        g = quantized_layer()
+        out = split_mpgemm_pass(g)
+        assert not any(op.kind is OpKind.MPGEMM for op in out)
+        precomputes = [op for op in out if op.kind is OpKind.PRECOMPUTE]
+        lut_gemms = [op for op in out if op.kind is OpKind.LUT_MPGEMM]
+        assert len(precomputes) == len(lut_gemms) == 4
+
+    def test_table_shape(self):
+        g = quantized_layer(batch=1, seq=64)
+        out = split_mpgemm_pass(g)
+        pre = next(op for op in out if op.name == "attn.qkv.precompute")
+        table = pre.outputs[0]
+        m, groups, entries = table.shape
+        assert m == 64
+        assert groups == LLAMA2_7B.hidden // LUT_GROUP_K
+        assert entries == TABLE_ENTRIES
+
+    def test_lut_gemm_consumes_table_and_weights(self):
+        out = split_mpgemm_pass(quantized_layer())
+        lut = next(op for op in out if op.name == "attn.qkv")
+        input_names = [t.name for t in lut.inputs]
+        assert input_names[0] == "attn.qkv.table"
+        assert input_names[1].endswith(".weight")
+
+    def test_pass_preserves_flops_and_outputs(self):
+        g = quantized_layer()
+        out = split_mpgemm_pass(g)
+        # Matmul FLOPs unchanged; precompute adds a small epsilon.
+        base_mm = sum(op.flops for op in g if op.kind is OpKind.MPGEMM)
+        new_mm = sum(op.flops for op in out if op.kind is OpKind.LUT_MPGEMM)
+        assert new_mm == base_mm
+        assert {t.name for t in g.graph_outputs()} == {
+            t.name for t in out.graph_outputs()
+        }
+
+    def test_non_divisible_k_rejected(self):
+        from repro.compiler.dfg import DataflowGraph, Operator, TensorSpec
+        from repro.datatypes.formats import FP16, INT8
+
+        g = DataflowGraph()
+        g.add(Operator(
+            name="odd", kind=OpKind.MPGEMM,
+            inputs=(TensorSpec("x", (4, 6), FP16),
+                    TensorSpec("w", (8, 6), INT8, bits_override=2)),
+            outputs=(TensorSpec("y", (4, 8), FP16),),
+            flops=2.0 * 4 * 8 * 6,
+        ))
+        with pytest.raises(CompilerError):
+            split_mpgemm_pass(g)
+
+    def test_pass_is_idempotent_on_plain_graphs(self):
+        g = build_layer_graph(LLAMA2_7B, 1, 64, InferencePhase.PREFILL)
+        out = split_mpgemm_pass(g)
+        assert len(out) == len(g)
+
+
+class TestFusion:
+    def test_groups_partition_the_graph(self):
+        g = quantized_layer()
+        groups = fusion_groups(g)
+        names = [op.name for group in groups for op in group.operators]
+        assert sorted(names) == sorted(op.name for op in g)
+
+    def test_elementwise_chains_fuse(self):
+        g = build_layer_graph(LLAMA2_7B, 1, 64, InferencePhase.PREFILL)
+        groups = fusion_groups(g)
+        # The FFN activation + gate multiply fuse with their producer.
+        act_group = next(
+            gr for gr in groups
+            if any(op.name == "ffn.act" for op in gr.operators)
+        )
+        assert any(op.name == "ffn.gate_mul" for op in act_group.operators)
+
+    def test_precompute_fuses_with_preceding_elementwise(self):
+        out = split_mpgemm_pass(quantized_layer())
+        groups = fusion_groups(out)
+        pre_group = next(
+            gr for gr in groups
+            if any(op.name == "attn.qkv.precompute" for op in gr.operators)
+        )
+        # Fused with the preceding norm, not standing alone.
+        assert len(pre_group.operators) >= 2
+
+    def test_fusion_reduces_traffic(self):
+        g = quantized_layer()
+        fused = graph_traffic_bytes(g, fused=True)
+        unfused = graph_traffic_bytes(g, fused=False)
+        assert fused < unfused
+
+    def test_external_bytes_excludes_internal_tensors(self):
+        g = build_layer_graph(OPT_175B, 1, 32, InferencePhase.PREFILL)
+        groups = fusion_groups(g)
+        for group in groups:
+            internal_names = {
+                t.name for op in group.operators for t in op.outputs
+            }
+            external = group.external_bytes(g)
+            total = sum(op.total_bytes for op in group.operators)
+            if len(group.operators) > 1 and internal_names:
+                assert external < total
+
+    def test_anchor_selection(self):
+        out = split_mpgemm_pass(quantized_layer())
+        groups = fusion_groups(out)
+        matmul_groups = [
+            gr for gr in groups
+            if gr.anchor.kind in (OpKind.LUT_MPGEMM, OpKind.GEMM)
+        ]
+        assert len(matmul_groups) >= 6

@@ -1,0 +1,139 @@
+"""Tests for tiling, scheduling, and codegen."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import generate_kernel
+from repro.compiler.scheduler import schedule_gemm
+from repro.compiler.tiling import (
+    TileConfig,
+    arithmetic_intensity,
+    enumerate_tiles,
+    tile_memory_bytes,
+)
+from repro.datatypes.formats import FP16, INT8
+from repro.errors import CompilerError
+from repro.isa.lmma import LmmaInstruction
+from repro.models.workloads import GemmShape
+from repro.quant.weight import quantize_weights
+from repro.sim.gpu_specs import A100, with_lut_extension
+
+
+class TestTileConfig:
+    def test_warp_accounting(self):
+        tile = TileConfig(128, 128, 32, 64, 64)
+        assert tile.warps == 4
+        assert tile.threads == 128
+
+    def test_warp_must_divide_block(self):
+        with pytest.raises(CompilerError):
+            TileConfig(128, 128, 32, 48, 64)
+
+    def test_memory_bytes_low_bit_weights_shrink_smem(self):
+        tile = TileConfig(128, 128, 32, 64, 64)
+        fp16 = tile_memory_bytes(tile, 16, 16)
+        int1 = tile_memory_bytes(tile, 16, 1)
+        assert int1["smem_bytes"] < fp16["smem_bytes"]
+
+    def test_table_registers_counted_for_lut(self):
+        tile = TileConfig(64, 128, 32, 64, 64)
+        no_lut = tile_memory_bytes(tile, 16, 1)
+        lut = tile_memory_bytes(tile, 16, 1, table_bits=8)
+        assert lut["table_reg_bytes"] > 0
+        assert lut["reg_bytes"] > no_lut["reg_bytes"]
+
+    def test_arithmetic_intensity_rises_with_low_bit_weights(self):
+        tile = TileConfig(128, 128, 32, 64, 64)
+        assert arithmetic_intensity(tile, 16, 1) > arithmetic_intensity(
+            tile, 16, 16
+        )
+
+    def test_enumerate_respects_budgets(self):
+        tiles = enumerate_tiles(
+            1024, 1024, 1024, 16, 16,
+            smem_budget_bytes=64 * 1024, reg_budget_bytes=128 * 1024,
+        )
+        assert tiles
+        for tile in tiles:
+            cost = tile_memory_bytes(tile, 16, 16)
+            assert cost["smem_bytes"] <= 64 * 1024
+            assert cost["reg_bytes"] <= 128 * 1024
+
+
+class TestScheduler:
+    SHAPE = GemmShape(2048, 4096, 4096)
+
+    def test_mma_schedule(self):
+        schedule = schedule_gemm(self.SHAPE, A100, FP16)
+        assert not schedule.uses_lut
+        assert schedule.instruction.name.startswith("mma.")
+        assert schedule.blocks >= 1
+        assert schedule.k_iterations >= 1
+
+    def test_lut_schedule_binds_lmma(self):
+        spec = with_lut_extension(A100, 4, 2, 1)
+        schedule = schedule_gemm(self.SHAPE, spec, FP16, weight_bits=1,
+                                 use_lut=True)
+        assert schedule.uses_lut
+        assert isinstance(schedule.instruction, LmmaInstruction)
+        assert schedule.instruction.k == 4
+
+    def test_lut_without_extension_rejected(self):
+        with pytest.raises(CompilerError):
+            schedule_gemm(self.SHAPE, A100, FP16, weight_bits=1, use_lut=True)
+
+    def test_instruction_count_covers_tile(self):
+        schedule = schedule_gemm(self.SHAPE, A100, FP16)
+        ins = schedule.instruction
+        per_iter = schedule.instructions_per_block_k_iter
+        tile = schedule.tile
+        macs_per_iter = tile.block_m * tile.block_n * tile.block_k
+        assert per_iter * ins.m * ins.n * ins.k == macs_per_iter
+
+
+class TestCodegen:
+    def test_mma_kernel_executes_correctly(self):
+        shape = GemmShape(32, 48, 64)
+        schedule = schedule_gemm(shape, A100, FP16)
+        kernel = generate_kernel(schedule)
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(shape.m, shape.k))
+        w = rng.normal(size=(shape.n, shape.k))
+        np.testing.assert_allclose(kernel.execute(a, w), a @ w.T, atol=1e-9)
+
+    def test_lut_kernel_matches_dequant_reference(self):
+        shape = GemmShape(32, 64, 64)
+        spec = with_lut_extension(A100, 4, 2, 2)
+        schedule = schedule_gemm(shape, spec, FP16, weight_bits=2,
+                                 use_lut=True)
+        kernel = generate_kernel(schedule)
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(shape.m, shape.k))
+        qw = quantize_weights(rng.normal(size=(shape.n, shape.k)), 2)
+        from repro.lut.mpgemm import dequant_mpgemm_reference
+
+        out = kernel.execute(a, qw)
+        ref = dequant_mpgemm_reference(a, qw, act_dtype=FP16)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    def test_lut_kernel_requires_quantized_weight(self):
+        shape = GemmShape(16, 64, 16)
+        spec = with_lut_extension(A100, 4, 2, 1)
+        schedule = schedule_gemm(shape, spec, FP16, weight_bits=1,
+                                 use_lut=True)
+        kernel = generate_kernel(schedule)
+        with pytest.raises(CompilerError):
+            kernel.execute(np.zeros((16, 16)), np.zeros((64, 16)))
+
+    def test_shape_mismatch_rejected(self):
+        shape = GemmShape(16, 32, 16)
+        kernel = generate_kernel(schedule_gemm(shape, A100, FP16))
+        with pytest.raises(CompilerError):
+            kernel.execute(np.zeros((8, 16)), np.zeros((32, 16)))
+
+    def test_kernel_statistics(self):
+        shape = GemmShape(256, 512, 256)
+        kernel = generate_kernel(schedule_gemm(shape, A100, FP16))
+        assert kernel.total_instructions > 0
+        assert kernel.smem_bytes_per_block > 0
+        assert "gemm" in kernel.name

@@ -1,0 +1,103 @@
+"""Tests for the minifloat codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes.float_codec import MinifloatCodec, quantize_to_format
+from repro.datatypes.formats import BF16, FP16, FP32, FP8_E4M3, FP8_E5M2, INT8
+from repro.errors import DataTypeError
+
+
+class TestCodecProperties:
+    def test_rejects_integer_format(self):
+        with pytest.raises(DataTypeError):
+            MinifloatCodec(INT8)
+
+    def test_fp16_max_value(self):
+        assert MinifloatCodec(FP16).max_value == 65504.0
+
+    def test_e4m3_max_value(self):
+        # OCP FP8 E4M3: max finite = 448.
+        assert MinifloatCodec(FP8_E4M3).max_value == 448.0
+
+    def test_e5m2_max_value(self):
+        assert MinifloatCodec(FP8_E5M2).max_value == 57344.0
+
+    def test_fp16_min_subnormal(self):
+        assert MinifloatCodec(FP16).min_subnormal == 2.0 ** -24
+
+
+class TestQuantize:
+    def test_fp16_matches_numpy_half(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(scale=100.0, size=1000)
+        ours = quantize_to_format(values, FP16)
+        theirs = values.astype(np.float16).astype(np.float64)
+        np.testing.assert_array_equal(ours, theirs)
+
+    def test_representable_values_are_fixed_points(self):
+        for fmt in (FP8_E4M3, FP8_E5M2):
+            codec = MinifloatCodec(fmt)
+            grid = codec.representable_values()
+            np.testing.assert_array_equal(codec.quantize(grid), grid)
+            np.testing.assert_array_equal(codec.quantize(-grid), -grid)
+
+    def test_rounds_to_nearest_grid_point(self):
+        codec = MinifloatCodec(FP8_E4M3)
+        grid = codec.representable_values()
+        rng = np.random.default_rng(2)
+        values = rng.uniform(-400, 400, size=500)
+        quantized = codec.quantize(values)
+        for v, q in zip(values, quantized):
+            distances = np.abs(grid - abs(v))
+            assert abs(abs(q) - abs(v)) <= distances.min() + 1e-12
+
+    def test_saturates_overflow(self):
+        codec = MinifloatCodec(FP8_E4M3)
+        assert codec.quantize(1e9) == 448.0
+        assert codec.quantize(-1e9) == -448.0
+
+    def test_zero_preserved(self):
+        assert quantize_to_format(0.0, FP8_E5M2) == 0.0
+
+    def test_sign_symmetry(self):
+        values = np.linspace(-300, 300, 601)
+        q = quantize_to_format(values, FP8_E4M3)
+        np.testing.assert_array_equal(q, -quantize_to_format(-values, FP8_E4M3))
+
+    def test_bf16_coarser_than_fp16_near_one(self):
+        v = 1.0 + 2.0 ** -9
+        assert quantize_to_format(v, FP16) != 1.0
+        assert quantize_to_format(v, BF16) == 1.0
+
+    def test_fp32_near_identity(self):
+        values = np.array([0.1, -2.5, 1e20])
+        np.testing.assert_allclose(
+            quantize_to_format(values, FP32), values, rtol=1e-7
+        )
+
+
+class TestCodecHypothesis:
+    @given(st.floats(min_value=-448, max_value=448, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_e4m3_idempotent(self, x):
+        once = quantize_to_format(x, FP8_E4M3)
+        twice = quantize_to_format(once, FP8_E4M3)
+        assert once == twice
+
+    @given(st.floats(min_value=1e-6, max_value=6e4, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_fp16_relative_error_bounded(self, x):
+        q = float(quantize_to_format(x, FP16))
+        if x >= 2.0 ** -14:  # normal range
+            assert abs(q - x) <= x * 2.0 ** -11
+
+    @given(st.floats(min_value=-5e4, max_value=5e4, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_e5m2_monotone(self, x):
+        q1 = float(quantize_to_format(x, FP8_E5M2))
+        q2 = float(quantize_to_format(x * 1.5 + 1.0, FP8_E5M2))
+        if x * 1.5 + 1.0 >= x:
+            assert q2 >= q1

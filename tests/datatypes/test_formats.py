@@ -1,0 +1,106 @@
+"""Tests for repro.datatypes.formats."""
+
+import pytest
+
+from repro.datatypes.formats import (
+    BF16,
+    DataType,
+    FP16,
+    FP32,
+    FP8_E4M3,
+    FP8_E5M2,
+    INT1,
+    INT2,
+    INT4,
+    INT8,
+    INT16,
+    UINT4,
+    all_dtypes,
+    dtype_from_name,
+    parse_wa_pair,
+    register_dtype,
+    wa_name,
+)
+from repro.errors import DataTypeError
+
+
+class TestDataType:
+    def test_float_bit_budget_must_balance(self):
+        with pytest.raises(DataTypeError):
+            DataType("bad", 16, is_float=True, exponent_bits=5, mantissa_bits=12)
+
+    def test_positive_bits_required(self):
+        with pytest.raises(DataTypeError):
+            DataType("bad", 0)
+
+    def test_int_ranges_signed(self):
+        assert INT8.min_int == -128
+        assert INT8.max_int == 127
+        assert INT1.min_int == -1
+        assert INT1.max_int == 0
+
+    def test_int_ranges_unsigned(self):
+        assert UINT4.min_int == 0
+        assert UINT4.max_int == 15
+
+    def test_float_has_no_int_range(self):
+        with pytest.raises(DataTypeError):
+            _ = FP16.min_int
+
+    def test_num_values(self):
+        assert INT4.num_values == 16
+        assert FP8_E4M3.num_values == 256
+
+    def test_is_integer_flag(self):
+        assert INT2.is_integer
+        assert not FP16.is_integer
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert dtype_from_name("fp16") is FP16
+        assert dtype_from_name("FP16") is FP16
+
+    def test_lookup_by_alias(self):
+        assert dtype_from_name("half") is FP16
+        assert dtype_from_name("e4m3") is FP8_E4M3
+        assert dtype_from_name("bfloat16") is BF16
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DataTypeError):
+            dtype_from_name("fp12")
+
+    def test_conflicting_registration_rejected(self):
+        clash = DataType("fp16_other", 16, is_float=True, exponent_bits=5,
+                         mantissa_bits=10, aliases=("fp16",))
+        with pytest.raises(DataTypeError):
+            register_dtype(clash)
+
+    def test_reregistering_same_dtype_is_noop(self):
+        assert register_dtype(FP16) is FP16
+
+    def test_all_dtypes_contains_standards(self):
+        names = {d.name for d in all_dtypes()}
+        assert {"fp32", "fp16", "fp8_e4m3", "int8", "int4", "int2", "int1"} <= names
+
+
+class TestWaShorthand:
+    @pytest.mark.parametrize(
+        "spec, w, a",
+        [
+            ("WINT1AFP16", INT1, FP16),
+            ("WINT2AINT8", INT2, INT8),
+            ("WINT4AFP16", INT4, FP16),
+            ("WFP16AFP16", FP16, FP16),
+            ("WINT1AINT16", INT1, INT16),
+        ],
+    )
+    def test_parse(self, spec, w, a):
+        assert parse_wa_pair(spec) == (w, a)
+
+    def test_roundtrip(self):
+        assert parse_wa_pair(wa_name(INT2, FP16)) == (INT2, FP16)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DataTypeError):
+            parse_wa_pair("INT4FP16")

@@ -1,0 +1,74 @@
+"""Tests for integer quantization helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes.formats import FP16, INT4, INT8
+from repro.datatypes.integer import (
+    int_range,
+    quantize_to_int,
+    round_half_even,
+    saturate,
+)
+from repro.errors import DataTypeError
+
+
+class TestIntRange:
+    def test_signed(self):
+        assert int_range(8) == (-128, 127)
+        assert int_range(1) == (-1, 0)
+
+    def test_unsigned(self):
+        assert int_range(4, signed=False) == (0, 15)
+
+    def test_invalid_bits(self):
+        with pytest.raises(DataTypeError):
+            int_range(0)
+
+
+class TestSaturate:
+    def test_clips_both_sides(self):
+        values = np.array([-500, -128, 0, 127, 500])
+        np.testing.assert_array_equal(
+            saturate(values, 8), [-128, -128, 0, 127, 127]
+        )
+
+    def test_unsigned_floor_at_zero(self):
+        np.testing.assert_array_equal(
+            saturate(np.array([-3, 3, 99]), 4, signed=False), [0, 3, 15]
+        )
+
+
+class TestRounding:
+    def test_half_even(self):
+        np.testing.assert_array_equal(
+            round_half_even(np.array([0.5, 1.5, 2.5, -0.5])), [0, 2, 2, -0]
+        )
+
+
+class TestQuantizeToInt:
+    def test_basic(self):
+        codes = quantize_to_int(np.array([0.0, 0.5, -0.5, 10.0]), 0.5, INT8)
+        np.testing.assert_array_equal(codes, [0, 1, -1, 20])
+
+    def test_saturation(self):
+        codes = quantize_to_int(np.array([1000.0]), 0.1, INT4)
+        assert codes[0] == 7
+
+    def test_float_target_rejected(self):
+        with pytest.raises(DataTypeError):
+            quantize_to_int(np.zeros(3), 1.0, FP16)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=32),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_error_bounded_by_half_scale(self, values, scale):
+        arr = np.asarray(values)
+        codes = quantize_to_int(arr, scale, INT8)
+        dequant = codes * scale
+        inside = np.abs(arr / scale) <= 127
+        assert np.all(np.abs(dequant[inside] - arr[inside]) <= scale / 2 + 1e-9)

@@ -1,0 +1,236 @@
+"""Integration tests: every figure experiment reproduces the paper's shape."""
+
+import pytest
+
+from repro.experiments import (
+    fig04_kernel_gap,
+    fig11_dse_k,
+    fig12_dp4_ppa,
+    fig13_weight_scaling,
+    fig14_tensor_core_pareto,
+    fig15_kernel_sim,
+    fig16_sim_accuracy,
+    fig17_e2e_speedup,
+    fig19_roofline,
+)
+from repro.hw.dotprod import DotProductKind
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig04_kernel_gap.run()
+
+    def test_all_cells_present(self, rows):
+        assert len(rows) == 12  # 4 shapes x 3 batch sizes
+
+    def test_gemv_lut_loses_to_dequant(self, rows):
+        for r in rows:
+            if r.batch == 1:
+                assert r.lutgemm_speedup is not None
+                assert r.lutgemm_speedup < r.cutlass_speedup
+
+    def test_large_batch_collapse_or_crash(self, rows):
+        for r in rows:
+            if r.batch >= 1024:
+                assert r.lutgemm_speedup is None or r.lutgemm_speedup < 0.05
+
+    def test_format(self, rows):
+        text = fig04_kernel_gap.format_result(rows)
+        assert "Seg.Err" in text
+        assert "M0" in text
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig11_dse_k.run()
+
+    def test_int_peaks_at_4(self, series):
+        by_name = {s.act_dtype.name: s for s in series}
+        assert by_name["int8"].peak_k == 4
+        assert by_name["int16"].peak_k == 4
+
+    def test_fp16_peaks_at_5(self, series):
+        by_name = {s.act_dtype.name: s for s in series}
+        assert by_name["fp16"].peak_k == 5
+
+    def test_format(self, series):
+        assert "K=4" in fig11_dse_k.format_result(series)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig12_dp4_ppa.run()
+
+    def test_lut_anchor(self, rows):
+        lut = next(r for r in rows if r.label == "WINT1AFP16 LUT")
+        assert lut.compute_density_tflops_mm2 == pytest.approx(61.55, rel=0.4)
+
+    def test_mac_anchor(self, rows):
+        mac = next(r for r in rows if r.label == "WFP16AFP16 MAC")
+        assert mac.compute_density_tflops_mm2 == pytest.approx(3.39, rel=0.3)
+
+    def test_lut_wins_both_groups(self, rows):
+        by = {r.label: r for r in rows}
+        assert (
+            by["WINT1AFP16 LUT"].compute_density_tflops_mm2
+            > by["WINT1AFP16 ADD"].compute_density_tflops_mm2
+            > by["WFP16AFP16 MAC"].compute_density_tflops_mm2
+        )
+        assert (
+            by["WINT1AFP8 LUT"].compute_density_tflops_mm2
+            > by["WINT1AFP8 ADD"].compute_density_tflops_mm2
+            > by["WFP8AFP8 MAC"].compute_density_tflops_mm2
+        )
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig13_weight_scaling.run()
+
+    def test_four_series(self, series):
+        assert len(series) == 4
+
+    def test_ltc_flattest_growth(self, series):
+        by = {s.label: s for s in series}
+        mac = by["MAC WFP16AFP16"].areas_um2[4]
+        ltc = by["LUT WINTXAFP16 LUT Tensor Core"]
+        conv = by["LUT WINTXAFP16 Conventional"]
+        assert ltc.areas_um2[4] < mac  # LTC still wins at 4 bits
+        assert conv.areas_um2[4] > mac  # conventional already lost
+        assert ltc.areas_um2[16] < conv.areas_um2[16]
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return fig14_tensor_core_pareto.run()
+
+    def test_twelve_panels(self, panels):
+        assert len(panels) == 12
+
+    def test_lut_wins_every_panel(self, panels):
+        for panel in panels:
+            assert panel.winner is DotProductKind.LUT_TENSOR_CORE
+
+    def test_w1_fp16_panel_optimum_m2n64k4(self, panels):
+        panel = next(
+            p for p in panels
+            if p.weight_bits == 1 and p.act_dtype.name == "fp16"
+        )
+        assert panel.best[DotProductKind.LUT_TENSOR_CORE].mnk == (2, 64, 4)
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig15_kernel_sim.run()
+
+    def test_baselines_present(self, rows):
+        labels = {r.label for r in rows}
+        assert "A100 cuBLAS" in labels
+        assert "A100 INT8 TC" in labels
+
+    def test_lut_1x_matches_cublas(self, rows):
+        cublas = next(r for r in rows if r.label == "A100 cuBLAS")
+        lut1 = next(
+            r for r in rows
+            if r.array_scale == 1 and r.weight_bits == 1 and r.act_bits == 16
+        )
+        assert lut1.achieved_tflops == pytest.approx(
+            cublas.achieved_tflops, rel=0.1
+        )
+
+    def test_8x_with_registers_beats_8x_stock(self, rows):
+        w1 = [r for r in rows if r.weight_bits == 1 and r.act_bits == 16
+              and r.array_scale == 8]
+        stock = next(r for r in w1 if r.reg_scale == 1.0)
+        wide = next(r for r in w1 if r.reg_scale == 8.0)
+        assert wide.achieved_tflops > stock.achieved_tflops
+
+    def test_achieved_never_exceeds_ideal(self, rows):
+        for r in rows:
+            assert r.achieved_tflops <= r.ideal_tflops * 1.001
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig16_sim_accuracy.run()
+
+    def test_mape_near_paper(self, result):
+        """Paper: 5.21% MAPE. Accept 1-9%."""
+        assert 1.0 <= result.mape_pct <= 9.0
+
+    def test_all_24_cells(self, result):
+        assert len(result.cells) == 24
+
+    def test_every_cell_reasonable(self, result):
+        for cell in result.cells:
+            assert cell.abs_pct_error < 0.25
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return fig17_e2e_speedup.run()
+
+    def test_max_speedup_band(self, cells):
+        """Paper: up to 8.2x; accept 6-13x given our simulator."""
+        peak = fig17_e2e_speedup.max_speedup(cells)
+        assert 6.0 <= peak <= 13.0
+
+    def test_w1_beats_w2_beats_w4(self, cells):
+        by_config = {}
+        for c in cells:
+            if c.gpu == "a100" and c.model == "opt-175b" \
+                    and c.phase == "BS1SEQ2048":
+                by_config[c.config] = c.speedup
+        assert (
+            by_config["WINT1AINT8_8x_DRM"]
+            > by_config["WINT2AINT8_8x_DRM"]
+            > by_config["WINT4AINT8_8x_DRM"]
+        )
+
+    def test_int8_baseline_about_2x(self, cells):
+        int8 = [c.speedup for c in cells if c.config == "WINT8AINT8_M"]
+        for s in int8:
+            assert s == pytest.approx(2.0, rel=0.15)
+
+    def test_real_and_model_rows_close(self, cells):
+        pairs = {}
+        for c in cells:
+            key = (c.gpu, c.model, c.phase)
+            pairs.setdefault(key, {})[c.config] = c.speedup
+        for key, configs in pairs.items():
+            assert configs["WFP16AFP16_R"] == pytest.approx(1.0, abs=0.15)
+
+
+class TestFig19:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig19_roofline.run()
+
+    def test_lut_roof_4x(self, result):
+        assert result.lut_peak_flops == pytest.approx(
+            4 * result.fp16_peak_flops
+        )
+
+    def test_naive_memory_bound(self, result):
+        naive = result.point("WINT1AFP16 LUT naive")
+        assert naive.operational_intensity < result.lut_ridge
+        assert naive.achieved_flops < 0.5 * result.lut_peak_flops
+
+    def test_optimized_compute_bound_near_peak(self, result):
+        opt = result.point("WINT1AFP16 LUT + all opt. + double reg")
+        assert opt.operational_intensity > result.lut_ridge
+        assert opt.achieved_flops > 0.8 * result.lut_peak_flops
+
+    def test_cutlass_near_fp16_roof(self, result):
+        cutlass = result.point("WFP16AFP16 CUTLASS")
+        assert cutlass.achieved_flops == pytest.approx(
+            0.93 * result.fp16_peak_flops, rel=0.01
+        )

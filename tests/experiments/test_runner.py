@@ -1,0 +1,90 @@
+"""Tests for the experiment runner CLI and the public package surface."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import main, run_experiment
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        """Every evaluation table/figure plus the ablations is wired up."""
+        expected = {
+            "fig4", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig17", "fig18", "fig19",
+            "table1", "table2", "table3", "table4", "table5",
+            "ablation_sw", "ablation_kv", "sensitivity",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_every_module_has_run_and_format(self):
+        for name, module in ALL_EXPERIMENTS.items():
+            assert callable(module.run), name
+            assert callable(module.format_result), name
+
+    def test_run_experiment_produces_text(self):
+        text = run_experiment("fig12")
+        assert "Figure 12" in text
+        assert "TFLOPs/mm^2" in text
+
+    def test_main_lists_without_args(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "available experiments" in out
+
+    def test_main_runs_named_experiments(self, capsys):
+        assert main(["fig19", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig19" in out
+        assert "=== table3" in out
+
+    def test_main_rejects_unknown(self, capsys):
+        assert main(["fig99"]) == 2
+
+
+class TestPublicApi:
+    def test_top_level_exports_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("package", [
+        "repro.datatypes", "repro.quant", "repro.lut", "repro.isa",
+        "repro.hw", "repro.compiler", "repro.sim", "repro.models",
+        "repro.baselines", "repro.accuracy",
+    ])
+    def test_subpackage_all_exports_resolve(self, package):
+        import importlib
+
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name}"
+
+    def test_quickstart_snippet_from_readme(self):
+        """The README's quickstart code runs as written."""
+        import numpy as np
+
+        from repro import (
+            LutMpGemmEngine,
+            dequant_mpgemm_reference,
+            quantize_weights,
+        )
+        from repro.datatypes import FP16, INT8
+        from repro.lut.mpgemm import LutMpGemmConfig
+
+        w = np.random.default_rng(0).normal(size=(64, 128))
+        a = np.random.default_rng(1).normal(size=(8, 128))
+        qw = quantize_weights(w, bits=2, axis=0)
+        engine = LutMpGemmEngine(
+            qw, LutMpGemmConfig(act_dtype=FP16, table_dtype=INT8)
+        )
+        out = engine.matmul(a)
+        ref = dequant_mpgemm_reference(a, qw, act_dtype=FP16)
+        rel = np.abs(out - ref).max() / np.abs(ref).max()
+        assert rel < 0.01

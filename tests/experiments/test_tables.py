@@ -1,0 +1,141 @@
+"""Integration tests: every table experiment reproduces the paper's shape."""
+
+import pytest
+
+from repro.experiments import (
+    table1_overall,
+    table2_unpu,
+    table3_accels,
+    table4_fusion,
+    table5_tablequant,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1_overall.run()
+
+    def test_seven_rows(self, rows):
+        assert len(rows) == 7
+
+    def test_a100_latency_ladder(self, rows):
+        """FP16 > INT8 > LUT-4X > LUT-8X in both phases."""
+        a100 = rows[:4]
+        prefills = [r.prefill_ms for r in a100]
+        decodes = [r.decode_ms for r in a100]
+        assert prefills == sorted(prefills, reverse=True)
+        assert decodes == sorted(decodes, reverse=True)
+
+    def test_speedup_bands(self, rows):
+        """Paper: up to 5.51x decode speedup on A100; accept 3-7x."""
+        base = rows[0]
+        lut8 = rows[3]
+        assert 2.5 <= base.prefill_ms / lut8.prefill_ms <= 7.0
+        assert 3.0 <= base.decode_ms / lut8.decode_ms <= 7.0
+
+    def test_lut_area_smaller_than_fp16_tc(self, rows):
+        """Paper: LUT-8X uses 38.3% of the FP16 TC area/SM."""
+        fp16 = rows[0]
+        lut8 = rows[3]
+        assert lut8.tc_area_per_sm_mm2 < fp16.tc_area_per_sm_mm2
+
+    def test_compute_density_gain(self, rows):
+        """Paper: up to 20.9x compute-density gain; accept >= 5x."""
+        assert rows[2].compute_density / rows[0].compute_density >= 5.0
+
+    def test_energy_efficiency_gain(self, rows):
+        """Paper: 11.2x energy-efficiency gain; accept >= 4x."""
+        assert rows[2].energy_efficiency / rows[0].energy_efficiency >= 4.0
+
+    def test_h100_lut_improves_on_fp8(self, rows):
+        h100 = rows[4:]
+        assert h100[1].prefill_ms < h100[0].prefill_ms
+        assert h100[2].decode_ms < h100[1].decode_ms
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2_unpu.run()
+
+    def test_paper_ladder_within_tolerance(self, rows):
+        for row, target in zip(rows, (1.0, 1.317, 1.351, 1.440)):
+            assert row.normalized_compute_intensity == pytest.approx(
+                target, rel=0.12
+            )
+
+    def test_formatting_includes_paper_reference(self, rows):
+        text = table2_unpu.format_result(rows)
+        assert "1.317" in text
+        assert "UNPU" in text
+
+
+class TestTable3:
+    def test_catalogue(self):
+        rows = table3_accels.run()
+        names = [r.name for r in rows]
+        assert names == ["UNPU", "Ant", "Mokey", "FIGNA", "LUT Tensor Core"]
+        ltc = rows[-1]
+        assert ltc.compiler_stack
+        assert not any(r.compiler_stack for r in rows[:-1])
+        assert "TOPs/W" in ltc.energy_efficiency
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table4_fusion.run()
+
+    def test_six_configs(self, rows):
+        assert len(rows) == 6
+
+    def test_naive_overhead_band(self, rows):
+        """Paper: 16.47% / 24.41% average separated-precompute overhead."""
+        naive, fused = table4_fusion.mean_overheads(rows)
+        assert 12.0 <= naive <= 28.0
+
+    def test_fused_overhead_negligible(self, rows):
+        naive, fused = table4_fusion.mean_overheads(rows)
+        assert 0.5 <= fused <= 5.0
+
+    def test_fused_always_cheaper_than_naive(self, rows):
+        for r in rows:
+            assert r.fused_ms < r.precompute_ms
+
+    def test_welder_baseline_anchor(self, rows):
+        opt_prefill = next(
+            r for r in rows
+            if r.model == "opt-175b" and r.config == "BS1SEQ2048"
+        )
+        assert opt_prefill.welder_ms == pytest.approx(32.38, rel=0.25)
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Shorter training for CI speed; the claims are robust to it.
+        return table5_tablequant.run(train_steps=300, qat_steps=150)
+
+    def test_four_rows(self, result):
+        assert len(result.rows) == 4
+
+    def test_w2_degrades_vs_fp(self, result):
+        fp = result.row("FP full-size")
+        quant = result.row("W2A-FP")
+        assert quant.perplexity > fp.perplexity
+
+    def test_w2_beats_half_size_fp(self, result):
+        """The paper's point: a quantized big model beats a small FP one."""
+        small = result.row("FP half-size")
+        quant = result.row("W2A-FP")
+        assert quant.perplexity < small.perplexity
+
+    def test_table_quant_negligible(self, result):
+        """Paper: PPL 7.68 -> 7.69 (~0.1%); accept < 1%."""
+        assert result.table_quant_ppl_delta_pct < 1.0
+
+    def test_task_accuracy_preserved(self, result):
+        quant = result.row("W2A-FP")
+        lut = result.row("W2A-LUT")
+        assert abs(lut.task_accuracy - quant.task_accuracy) < 0.02

@@ -1,0 +1,181 @@
+"""Tests pinning the dot-product PPA shapes of Figs. 11-13."""
+
+import pytest
+
+from repro.datatypes.formats import FP16, FP8_E4M3, INT8, INT16
+from repro.errors import HardwareModelError
+from repro.hw.dotprod import (
+    DotProductKind,
+    DotProdParams,
+    dp_compute_density,
+    dp_unit_cost,
+    iso_throughput_area,
+)
+
+
+class TestFig12Anchors:
+    """Absolute compute-density anchors from Fig. 12 (DP4, no psum)."""
+
+    def test_mac_fp16_near_paper(self):
+        density = dp_unit_cost(
+            DotProductKind.MAC, 4, FP16, include_post=False
+        ).compute_density_tflops_mm2
+        assert 3.39 * 0.7 <= density <= 3.39 * 1.3
+
+    def test_lut_w1a16_near_paper(self):
+        density = dp_unit_cost(
+            DotProductKind.LUT_TENSOR_CORE, 4, FP16, 1, include_post=False
+        ).compute_density_tflops_mm2
+        assert 61.55 * 0.6 <= density <= 61.55 * 1.4
+
+    def test_ordering_lut_gt_add_gt_mac(self):
+        mac = dp_unit_cost(DotProductKind.MAC, 4, FP16, include_post=False)
+        add = dp_unit_cost(
+            DotProductKind.ADD_SERIAL, 4, FP16, 1, include_post=False
+        )
+        lut = dp_unit_cost(
+            DotProductKind.LUT_TENSOR_CORE, 4, FP16, 1, include_post=False
+        )
+        assert (
+            lut.compute_density_tflops_mm2
+            > add.compute_density_tflops_mm2
+            > mac.compute_density_tflops_mm2
+        )
+
+    def test_power_ordering_matches(self):
+        mac = dp_unit_cost(DotProductKind.MAC, 4, FP16, include_post=False)
+        lut = dp_unit_cost(
+            DotProductKind.LUT_TENSOR_CORE, 4, FP16, 1, include_post=False
+        )
+        assert lut.power_mw < mac.power_mw
+
+    def test_fp8_same_ordering(self):
+        mac = dp_unit_cost(DotProductKind.MAC, 4, FP8_E4M3, include_post=False)
+        add = dp_unit_cost(
+            DotProductKind.ADD_SERIAL, 4, FP8_E4M3, 1, include_post=False
+        )
+        lut = dp_unit_cost(
+            DotProductKind.LUT_TENSOR_CORE, 4, FP8_E4M3, 1, include_post=False
+        )
+        assert (
+            lut.compute_density_tflops_mm2
+            > add.compute_density_tflops_mm2
+            > mac.compute_density_tflops_mm2
+        )
+
+
+class TestFig11KSweep:
+    """DSE along K: INT activations peak at K=4, FP16 at K=5 (Fig. 11)."""
+
+    @staticmethod
+    def _peak(act):
+        densities = {
+            k: dp_compute_density(DotProductKind.LUT_TENSOR_CORE, k, act, 1)
+            for k in range(2, 9)
+        }
+        return max(densities, key=densities.get)
+
+    def test_int8_peak_k4(self):
+        assert self._peak(INT8) == 4
+
+    def test_int16_peak_k4(self):
+        assert self._peak(INT16) == 4
+
+    def test_fp16_peak_k5(self):
+        assert self._peak(FP16) == 5
+
+    def test_fp8_peak_4_or_5(self):
+        assert self._peak(FP8_E4M3) in (4, 5)
+
+    def test_k4_within_five_percent_of_fp16_peak(self):
+        """Paper: FP peaks at K=5 'but also well at K=4'."""
+        d4 = dp_compute_density(DotProductKind.LUT_TENSOR_CORE, 4, FP16, 1)
+        d5 = dp_compute_density(DotProductKind.LUT_TENSOR_CORE, 5, FP16, 1)
+        assert d4 >= 0.9 * d5
+
+    def test_density_collapses_at_k8(self):
+        """Exponential table growth kills large K."""
+        d4 = dp_compute_density(DotProductKind.LUT_TENSOR_CORE, 4, INT8, 1)
+        d8 = dp_compute_density(DotProductKind.LUT_TENSOR_CORE, 8, INT8, 1)
+        assert d8 < 0.5 * d4
+
+
+class TestFig13WeightScaling:
+    """Iso-throughput area vs weight bits (Fig. 13, A=FP16, N=4 share)."""
+
+    PARAMS = DotProdParams(ltc_share=4)
+
+    def _area(self, kind, wb):
+        unit = dp_unit_cost(kind, 4, FP16, wb, params=self.PARAMS)
+        return iso_throughput_area(unit, self.PARAMS)
+
+    @property
+    def mac_area(self):
+        return dp_unit_cost(DotProductKind.MAC, 4, FP16).area_um2
+
+    def test_mac_area_independent_of_weight_bits(self):
+        a1 = dp_unit_cost(DotProductKind.MAC, 4, FP16, 1).area_um2
+        a8 = dp_unit_cost(DotProductKind.MAC, 4, FP16, 8).area_um2
+        assert a1 == a8
+
+    def test_add_wins_at_1_and_2_bits_only(self):
+        assert self._area(DotProductKind.ADD_SERIAL, 1) < self.mac_area
+        assert self._area(DotProductKind.ADD_SERIAL, 2) < self.mac_area
+        assert self._area(DotProductKind.ADD_SERIAL, 4) > self.mac_area
+
+    def test_conventional_lut_loses_beyond_2_bits(self):
+        assert self._area(DotProductKind.LUT_CONVENTIONAL, 1) < self.mac_area
+        assert self._area(DotProductKind.LUT_CONVENTIONAL, 4) > self.mac_area
+
+    def test_ltc_wins_up_to_6_bits(self):
+        for wb in (1, 2, 4, 6):
+            assert self._area(DotProductKind.LUT_TENSOR_CORE, wb) < self.mac_area
+
+    def test_ltc_loses_by_8_bits(self):
+        assert self._area(DotProductKind.LUT_TENSOR_CORE, 8) > self.mac_area
+
+    def test_ltc_beats_conventional_everywhere(self):
+        for wb in (1, 2, 4, 8, 16):
+            assert self._area(DotProductKind.LUT_TENSOR_CORE, wb) < self._area(
+                DotProductKind.LUT_CONVENTIONAL, wb
+            )
+
+    def test_iso_area_monotone_in_weight_bits(self):
+        areas = [
+            self._area(DotProductKind.LUT_TENSOR_CORE, wb)
+            for wb in (1, 2, 4, 8, 16)
+        ]
+        assert areas == sorted(areas)
+
+
+class TestUnitInterface:
+    def test_invalid_args_rejected(self):
+        with pytest.raises(HardwareModelError):
+            dp_unit_cost(DotProductKind.MAC, 0, FP16)
+        with pytest.raises(HardwareModelError):
+            dp_unit_cost(DotProductKind.ADD_SERIAL, 4, FP16, 0)
+
+    def test_cycles_per_result(self):
+        assert dp_unit_cost(DotProductKind.MAC, 4, FP16).cycles_per_result == 1
+        assert (
+            dp_unit_cost(
+                DotProductKind.LUT_TENSOR_CORE, 4, FP16, 4
+            ).cycles_per_result
+            == 4
+        )
+
+    def test_breakdown_sums_to_total(self):
+        unit = dp_unit_cost(DotProductKind.LUT_TENSOR_CORE, 4, FP16, 2)
+        total = sum(p.total_ge for p in unit.breakdown.values())
+        assert total == pytest.approx(unit.cost.total_ge)
+
+    def test_no_post_smaller_than_post(self):
+        full = dp_unit_cost(DotProductKind.LUT_TENSOR_CORE, 4, FP16, 1)
+        bare = dp_unit_cost(
+            DotProductKind.LUT_TENSOR_CORE, 4, FP16, 1, include_post=False
+        )
+        assert bare.area_um2 < full.area_um2
+
+    def test_energy_efficiency_positive(self):
+        unit = dp_unit_cost(DotProductKind.LUT_TENSOR_CORE, 4, FP16, 1)
+        assert unit.energy_efficiency_tflops_w > 0

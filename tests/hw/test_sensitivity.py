@@ -1,0 +1,40 @@
+"""Tests for the hardware-model sensitivity analysis."""
+
+import pytest
+
+from repro.hw.sensitivity import (
+    conclusions_robust,
+    default_perturbations,
+    run_sensitivity,
+)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return run_sensitivity()
+
+    def test_covers_all_perturbations(self, reports):
+        assert len(reports) == len(default_perturbations())
+        assert reports[0].label == "baseline"
+
+    def test_lut_wins_under_every_perturbation(self, reports):
+        assert all(r.lut_wins_w1_fp16 for r in reports)
+
+    def test_elongated_optimum_stable(self, reports):
+        for r in reports:
+            m, n, k = r.lut_best_mnk
+            assert k == 4
+            assert n >= 8 * m
+
+    def test_peak_k_stable(self, reports):
+        for r in reports:
+            assert r.int8_peak_k in (3, 4, 5)
+            assert r.fp16_peak_k in (4, 5, 6)
+
+    def test_conclusions_robust(self, reports):
+        assert conclusions_robust(reports)
+
+    def test_objective_ratio_always_large(self, reports):
+        """Even the least favourable perturbation leaves a wide margin."""
+        assert min(r.lut_vs_mac_objective_ratio for r in reports) > 10.0

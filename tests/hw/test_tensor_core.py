@@ -1,0 +1,212 @@
+"""Tests pinning the tensor-core PPA shapes of Fig. 14 and Table 2."""
+
+import pytest
+
+from repro.datatypes.formats import FP16, FP8_E4M3, INT8, INT16
+from repro.errors import HardwareModelError
+from repro.hw.dotprod import DotProductKind
+from repro.hw.dse import best_by_area_power, pareto_frontier, sweep_mnk
+from repro.hw.tensor_core import TensorCoreConfig, tensor_core_cost
+from repro.hw.unpu import UnpuConfig, unpu_ablation
+
+
+class TestTensorCoreCost:
+    def test_breakdown_sums_to_total(self):
+        cfg = TensorCoreConfig(DotProductKind.LUT_TENSOR_CORE, 2, 64, 4, FP16, 1)
+        cost = tensor_core_cost(cfg)
+        total = sum(p.total_ge for p in cost.breakdown.values())
+        assert total == pytest.approx(cost.cost.total_ge)
+
+    def test_eq7_table_size_scaling(self):
+        """Total table size = M * 2**(K-1) * LUT_BIT (Eq. 7)."""
+        small = tensor_core_cost(
+            TensorCoreConfig(DotProductKind.LUT_TENSOR_CORE, 2, 64, 4, FP16, 1)
+        )
+        big_m = tensor_core_cost(
+            TensorCoreConfig(DotProductKind.LUT_TENSOR_CORE, 4, 32, 4, FP16, 1)
+        )
+        assert big_m.breakdown["table"].storage_ge == pytest.approx(
+            2 * small.breakdown["table"].storage_ge
+        )
+
+    def test_eq8_weight_regs_scaling(self):
+        """Grouped weight size = K * N * W_BIT (Eq. 8)."""
+        w1 = tensor_core_cost(
+            TensorCoreConfig(
+                DotProductKind.LUT_TENSOR_CORE, 2, 64, 4, FP16, 1,
+                iso_throughput=False,
+            )
+        )
+        w2 = tensor_core_cost(
+            TensorCoreConfig(
+                DotProductKind.LUT_TENSOR_CORE, 2, 64, 4, FP16, 2,
+                iso_throughput=False,
+            )
+        )
+        assert w2.breakdown["weight_regs"].storage_ge == pytest.approx(
+            2 * w1.breakdown["weight_regs"].storage_ge
+        )
+
+    def test_serial_replication_grows_mux(self):
+        base = tensor_core_cost(
+            TensorCoreConfig(DotProductKind.LUT_TENSOR_CORE, 2, 64, 4, FP16, 1)
+        )
+        serial = tensor_core_cost(
+            TensorCoreConfig(DotProductKind.LUT_TENSOR_CORE, 2, 64, 4, FP16, 4)
+        )
+        assert serial.breakdown["mux"].logic_ge == pytest.approx(
+            4 * base.breakdown["mux"].logic_ge
+        )
+        # But tables are shared across bit-plane replicas.
+        assert serial.breakdown["table"].storage_ge == pytest.approx(
+            base.breakdown["table"].storage_ge
+        )
+
+    def test_lut_k_capped(self):
+        with pytest.raises(HardwareModelError):
+            TensorCoreConfig(DotProductKind.LUT_TENSOR_CORE, 2, 4, 16, FP16, 1)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(HardwareModelError):
+            TensorCoreConfig(DotProductKind.MAC, 0, 4, 16, FP16, 1)
+
+    def test_wire_power_included(self):
+        cfg = TensorCoreConfig(DotProductKind.LUT_TENSOR_CORE, 2, 64, 4, FP16, 1)
+        cost = tensor_core_cost(cfg)
+        assert cost.wire_power_mw > 0
+        assert cost.power_mw > cost.wire_power_mw
+
+
+class TestFig14Dse:
+    def test_lut_optimum_is_m2n64k4(self):
+        """The paper's headline DSE result for W1/A-FP16."""
+        best = best_by_area_power(
+            sweep_mnk(DotProductKind.LUT_TENSOR_CORE, FP16, 1)
+        )
+        assert best.mnk == (2, 64, 4)
+
+    def test_lut_optimum_elongated_for_all_act_types(self):
+        """N >> M with K=4 across activation formats."""
+        for act in (FP16, FP8_E4M3, INT16, INT8):
+            best = best_by_area_power(
+                sweep_mnk(DotProductKind.LUT_TENSOR_CORE, act, 1)
+            )
+            m, n, k = best.mnk
+            assert k == 4
+            assert n >= 8 * m
+
+    def test_mac_optimum_square(self):
+        """Conventional tensor cores prefer square-ish tiles (like A100)."""
+        best = best_by_area_power(sweep_mnk(DotProductKind.MAC, FP16, 1))
+        m, n, k = best.mnk
+        assert k >= 8
+        assert max(m, n) <= 4 * min(m, n)
+
+    def test_lut_dominates_mac_at_w1(self):
+        """LUT best point beats MAC best point in both area and power."""
+        for act in (FP16, FP8_E4M3, INT16, INT8):
+            lut = best_by_area_power(
+                sweep_mnk(DotProductKind.LUT_TENSOR_CORE, act, 1)
+            )
+            mac = best_by_area_power(sweep_mnk(DotProductKind.MAC, act, 1))
+            assert lut.area_um2 < mac.area_um2
+            assert lut.power_mw < mac.power_mw
+
+    def test_w1_reduction_at_least_4x_fp16(self):
+        """Paper: 4-6x power & area reduction with 1-bit weights."""
+        lut = best_by_area_power(sweep_mnk(DotProductKind.LUT_TENSOR_CORE, FP16, 1))
+        mac = best_by_area_power(sweep_mnk(DotProductKind.MAC, FP16, 1))
+        assert mac.area_um2 / lut.area_um2 >= 4.0
+        assert mac.power_mw / lut.power_mw >= 4.0
+
+    def test_lut_advantage_shrinks_with_weight_bits(self):
+        mac = best_by_area_power(sweep_mnk(DotProductKind.MAC, FP16, 1))
+        ratios = []
+        for wb in (1, 2, 4):
+            lut = best_by_area_power(
+                sweep_mnk(DotProductKind.LUT_TENSOR_CORE, FP16, wb)
+            )
+            ratios.append(mac.area_um2 / lut.area_um2)
+        assert ratios[0] > ratios[1] > ratios[2] > 1.0
+
+    def test_add_between_lut_and_mac_at_w1(self):
+        lut = best_by_area_power(sweep_mnk(DotProductKind.LUT_TENSOR_CORE, FP16, 1))
+        add = best_by_area_power(sweep_mnk(DotProductKind.ADD_SERIAL, FP16, 1))
+        mac = best_by_area_power(sweep_mnk(DotProductKind.MAC, FP16, 1))
+        assert lut.area_um2 * lut.power_mw < add.area_um2 * add.power_mw
+        assert add.area_um2 * add.power_mw < mac.area_um2 * mac.power_mw
+
+
+class TestPareto:
+    def test_frontier_no_dominated_points(self):
+        points = sweep_mnk(DotProductKind.LUT_TENSOR_CORE, FP16, 2)
+        frontier = pareto_frontier(points)
+        assert frontier
+        for p in frontier:
+            for q in points:
+                dominates = (
+                    q.area_um2 <= p.area_um2
+                    and q.power_mw <= p.power_mw
+                    and (q.area_um2 < p.area_um2 or q.power_mw < p.power_mw)
+                )
+                assert not dominates
+
+    def test_frontier_sorted_by_area(self):
+        frontier = pareto_frontier(
+            sweep_mnk(DotProductKind.LUT_TENSOR_CORE, FP16, 2)
+        )
+        areas = [p.area_um2 for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_best_point_on_frontier(self):
+        points = sweep_mnk(DotProductKind.LUT_TENSOR_CORE, INT8, 1)
+        best = best_by_area_power(points)
+        frontier = pareto_frontier(points)
+        assert any(p.mnk == best.mnk for p in frontier)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(HardwareModelError):
+            best_by_area_power([])
+
+
+class TestTable2Unpu:
+    def test_ablation_ladder_monotone(self):
+        rows = unpu_ablation()
+        assert len(rows) == 4
+        areas = [r.area_um2 for r in rows]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_compute_intensity_near_paper(self):
+        """Paper ladder: 1.0 / 1.317 / 1.351 / 1.440 (+-12% tolerance)."""
+        rows = unpu_ablation()
+        targets = [1.0, 1.317, 1.351, 1.440]
+        for row, target in zip(rows, targets):
+            assert row.normalized_compute_intensity == pytest.approx(
+                target, rel=0.12
+            )
+
+    def test_final_improvement_band(self):
+        rows = unpu_ablation()
+        assert 1.30 <= rows[-1].normalized_compute_intensity <= 1.60
+        assert 1.30 <= rows[-1].normalized_power_efficiency <= 1.70
+
+    def test_absolute_area_order_of_magnitude(self):
+        """Paper baseline: 17,272 um2; accept the same order."""
+        rows = unpu_ablation()
+        assert 8_000 <= rows[0].area_um2 <= 40_000
+
+    def test_reinterpretation_is_biggest_step(self):
+        rows = unpu_ablation()
+        deltas = [
+            rows[i].area_um2 - rows[i + 1].area_um2 for i in range(3)
+        ]
+        assert deltas[0] == max(deltas)
+
+    def test_negation_requires_reinterpretation(self):
+        with pytest.raises(HardwareModelError):
+            UnpuConfig(weight_reinterpretation=False, negation_elimination=True)
+
+    def test_labels(self):
+        rows = unpu_ablation()
+        assert rows[0].label == "UNPU (DSE Enabled)"
+        assert rows[-1].label == "LUT Tensor Core (Proposed)"

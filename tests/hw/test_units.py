@@ -1,0 +1,117 @@
+"""Tests for circuit primitive cost models."""
+
+import pytest
+
+from repro.datatypes.formats import FP16, FP8_E4M3, FP32, INT8
+from repro.errors import HardwareModelError
+from repro.hw.tech import TSMC28, TechnologyModel
+from repro.hw.units import (
+    CircuitCost,
+    accumulator_width,
+    adder_for,
+    barrel_shifter,
+    fp_adder,
+    fp_multiplier,
+    int_adder,
+    int_addsub,
+    int_multiplier,
+    multiplier_for,
+    mux,
+    register,
+)
+
+
+class TestTechnology:
+    def test_area_conversion(self):
+        assert TSMC28.area_um2(100) == pytest.approx(100 * TSMC28.ge_area_um2)
+
+    def test_power_positive_and_activity_weighted(self):
+        dense = TSMC28.power_mw(logic_ge=1000)
+        sparse = TSMC28.power_mw(logic_ge=0, storage_ge=1000)
+        assert dense > sparse > 0
+
+    def test_scaled_override(self):
+        fast = TSMC28.scaled(frequency_ghz=2.0)
+        assert fast.frequency_ghz == 2.0
+        assert fast.ge_area_um2 == TSMC28.ge_area_um2
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(HardwareModelError):
+            TechnologyModel(ge_area_um2=-1)
+        with pytest.raises(HardwareModelError):
+            TechnologyModel(frequency_ghz=0)
+
+
+class TestPrimitives:
+    def test_adder_linear_in_width(self):
+        assert int_adder(32).logic_ge == 2 * int_adder(16).logic_ge
+
+    def test_addsub_more_than_add(self):
+        assert int_addsub(16).logic_ge > int_adder(16).logic_ge
+
+    def test_multiplier_quadratic(self):
+        assert int_multiplier(8, 8).logic_ge == 4 * int_multiplier(4, 4).logic_ge
+
+    def test_mux_scales_with_ways_and_width(self):
+        assert mux(8, 8).logic_ge == 7 * 8
+        assert mux(16, 8).logic_ge > mux(8, 8).logic_ge
+        assert mux(1, 8).logic_ge == 0
+
+    def test_barrel_shifter_log_stages(self):
+        assert barrel_shifter(16, 2).logic_ge == 16
+        assert barrel_shifter(16, 4).logic_ge == 32
+        assert barrel_shifter(16, 1).logic_ge == 0
+
+    def test_register_is_storage(self):
+        r = register(16)
+        assert r.storage_ge > 0
+        assert r.logic_ge == 0
+
+    def test_invalid_widths(self):
+        with pytest.raises(HardwareModelError):
+            int_adder(0)
+        with pytest.raises(HardwareModelError):
+            int_multiplier(0, 4)
+        with pytest.raises(HardwareModelError):
+            mux(0, 8)
+
+
+class TestFloatUnits:
+    def test_fp16_multiplier_dominates_adder(self):
+        # Mantissa array dwarfs the align/normalize shifters.
+        assert fp_multiplier(FP16).logic_ge > fp_adder(FP16).logic_ge
+
+    def test_wider_format_costs_more(self):
+        assert fp_adder(FP32).logic_ge > fp_adder(FP16).logic_ge
+        assert fp_multiplier(FP16).logic_ge > fp_multiplier(FP8_E4M3).logic_ge
+
+    def test_non_float_rejected(self):
+        with pytest.raises(HardwareModelError):
+            fp_adder(INT8)
+        with pytest.raises(HardwareModelError):
+            fp_multiplier(INT8)
+
+    def test_mixed_multiplier_between_pure_cases(self):
+        mixed = multiplier_for(INT8, FP16).logic_ge
+        assert int_multiplier(8, 8).logic_ge < mixed < fp_multiplier(FP16).logic_ge
+
+    def test_adder_for_dispatch(self):
+        assert adder_for(FP16).logic_ge == fp_adder(FP16).logic_ge
+        assert adder_for(INT8).logic_ge == int_adder(8).logic_ge
+        # Float sign flip is one XOR; integer add/sub a full row.
+        assert adder_for(FP16, addsub=True).logic_ge == fp_adder(FP16).logic_ge + 1
+        assert adder_for(INT8, addsub=True).logic_ge == int_addsub(8).logic_ge
+
+
+class TestCircuitCostAlgebra:
+    def test_add_and_scale(self):
+        a = CircuitCost(10, 5)
+        b = CircuitCost(1, 2)
+        total = a + 2 * b
+        assert total.logic_ge == 12
+        assert total.storage_ge == 9
+        assert total.total_ge == 21
+
+    def test_accumulator_width(self):
+        assert accumulator_width(FP16, 100) == 16
+        assert accumulator_width(INT8, 256) == 16

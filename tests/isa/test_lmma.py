@@ -1,0 +1,152 @@
+"""Tests for the LMMA/MMA instruction sets."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes.formats import FP16, FP32, INT2, INT8, INT16, dtype_from_name
+from repro.errors import IsaError
+from repro.isa.lmma import (
+    LmmaInstruction,
+    default_lmma_for,
+    legal_lmma_combinations,
+)
+from repro.isa.mma import A100_MMA_SHAPES, MmaInstruction
+from repro.quant.weight import quantize_weights
+
+
+class TestMma:
+    def test_parse_roundtrip(self):
+        ins = MmaInstruction.parse("mma.m16n8k16.fp16.fp32")
+        assert (ins.m, ins.n, ins.k) == (16, 8, 16)
+        assert ins.in_dtype is FP16
+        assert MmaInstruction.parse(ins.name) == ins
+
+    def test_flops(self):
+        assert A100_MMA_SHAPES["fp16"].flops == 2 * 16 * 8 * 16
+
+    def test_execute_semantics(self):
+        ins = MmaInstruction(2, 3, 4, FP16, FP32)
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(2, 4)), rng.normal(size=(3, 4))
+        np.testing.assert_allclose(ins.execute(a, b), a @ b.T)
+        accum = np.ones((2, 3))
+        np.testing.assert_allclose(ins.execute(a, b, accum), a @ b.T + 1)
+
+    def test_execute_shape_checked(self):
+        ins = MmaInstruction(2, 3, 4, FP16, FP32)
+        with pytest.raises(IsaError):
+            ins.execute(np.zeros((2, 5)), np.zeros((3, 4)))
+
+    def test_malformed_rejected(self):
+        for bad in ("mma.m16n8.fp16.fp32", "foo.m1n1k1.fp16.fp32", "mma"):
+            with pytest.raises(IsaError):
+                MmaInstruction.parse(bad)
+
+
+class TestLmmaFormat:
+    def test_name_roundtrip(self):
+        ins = default_lmma_for(INT2, FP16)
+        assert ins.name == "lmma.m2n64k4.fp16.int2.fp32.fp16"
+        assert LmmaInstruction.parse(ins.name) == ins
+
+    def test_parse_fields(self):
+        ins = LmmaInstruction.parse("lmma.m4n64k4.int8.int1.int16.int16")
+        assert (ins.m, ins.n, ins.k) == (4, 64, 4)
+        assert ins.w_dtype is dtype_from_name("int1")
+        assert ins.a_dtype is INT8
+
+    def test_serial_cycles_equal_weight_bits(self):
+        assert default_lmma_for(INT2, FP16).serial_cycles == 2
+        assert default_lmma_for(dtype_from_name("int4"), FP16).serial_cycles == 4
+
+    def test_table_entries_symmetrized(self):
+        assert default_lmma_for(INT2, FP16).table_entries == 8
+
+    def test_flops(self):
+        assert default_lmma_for(INT2, FP16).flops == 2 * 2 * 64 * 4
+
+
+class TestLmmaLegality:
+    def test_float_weights_rejected(self):
+        with pytest.raises(IsaError):
+            LmmaInstruction(2, 64, 4, FP16, FP16, FP32, FP16)
+
+    def test_large_k_rejected(self):
+        with pytest.raises(IsaError):
+            LmmaInstruction(2, 64, 16, FP16, INT2, FP32, FP16)
+
+    def test_unsupported_activation_rejected(self):
+        fp32 = dtype_from_name("fp32")
+        with pytest.raises(IsaError):
+            LmmaInstruction(2, 64, 4, fp32, INT2, FP32, FP16)
+
+    def test_unsupported_weight_width_rejected(self):
+        int5 = None
+        with pytest.raises(IsaError):
+            LmmaInstruction.parse("lmma.m2n64k4.fp16.fp16.fp32.fp16")
+
+    def test_envelope_covers_paper_combinations(self):
+        combos = legal_lmma_combinations()
+        names = {(i.w_dtype.bits, i.a_dtype.name) for i in combos}
+        # INT1/2/4 weights x FP16/FP8/INT16/INT8 activations = 12 combos.
+        assert len(names) == 12
+        assert (1, "fp16") in names
+        assert (4, "int8") in names
+
+    def test_malformed_rejected(self):
+        for bad in (
+            "lmma.m2n64.fp16.int2.fp32.fp16",
+            "lmma.m2n64k4.fp16.int2.fp32",
+            "mma.m2n64k4.fp16.int2.fp32.fp16",
+        ):
+            with pytest.raises(IsaError):
+                LmmaInstruction.parse(bad)
+
+
+class TestLmmaExecution:
+    def _tile(self, ins, seed=0, bits=None):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(ins.m, ins.k))
+        w = rng.normal(size=(ins.n, ins.k))
+        qw = quantize_weights(w, bits or ins.w_dtype.bits, symmetric=True)
+        return a, qw
+
+    def test_execute_matches_reference(self):
+        ins = default_lmma_for(INT2, FP16)
+        a, qw = self._tile(ins)
+        from repro.lut.mpgemm import dequant_mpgemm_reference
+
+        out = ins.execute(a, qw, table_dtype=None)
+        ref = dequant_mpgemm_reference(a, qw, act_dtype=FP16)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    def test_execute_with_accumulator(self):
+        ins = default_lmma_for(INT2, FP16)
+        a, qw = self._tile(ins, seed=1)
+        base = ins.execute(a, qw, table_dtype=None)
+        accum = np.full((ins.m, ins.n), 2.0)
+        np.testing.assert_allclose(
+            ins.execute(a, qw, accum=accum, table_dtype=None), base + 2.0
+        )
+
+    def test_execute_checks_activation_shape(self):
+        ins = default_lmma_for(INT2, FP16)
+        _, qw = self._tile(ins)
+        with pytest.raises(IsaError):
+            ins.execute(np.zeros((1, ins.k)), qw)
+
+    def test_execute_checks_weight_bits(self):
+        ins = default_lmma_for(INT2, FP16)
+        a, qw = self._tile(ins, bits=4)
+        with pytest.raises(IsaError):
+            ins.execute(a, qw)
+
+    def test_int8_activation_path(self):
+        ins = default_lmma_for(INT2, INT8)
+        a, qw = self._tile(ins, seed=2)
+        out = ins.execute(a, qw, table_dtype=None)
+        from repro.lut.mpgemm import dequant_mpgemm_reference
+
+        np.testing.assert_allclose(
+            out, dequant_mpgemm_reference(a, qw), atol=1e-9
+        )

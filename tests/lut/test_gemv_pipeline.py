@@ -1,0 +1,87 @@
+"""Tests for the GEMV path and the precompute-as-operator pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LutError
+from repro.lut.gemv import lut_gemv
+from repro.lut.mpgemm import LutMpGemmConfig, dequant_mpgemm_reference
+from repro.lut.pipeline import (
+    LutGemmOperator,
+    PrecomputeOperator,
+    run_fused_pipeline,
+    run_split_pipeline,
+)
+from repro.lut.mpgemm import LutMpGemmEngine
+from repro.quant.weight import quantize_weights
+
+
+def make_case(m=4, n=8, kdim=16, bits=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(m, kdim)), quantize_weights(
+        rng.normal(size=(n, kdim)), bits
+    )
+
+
+class TestGemv:
+    def test_matches_reference(self):
+        a, qw = make_case(seed=1)
+        ref = dequant_mpgemm_reference(a[0], qw)
+        np.testing.assert_allclose(lut_gemv(a[0], qw), ref, atol=1e-9)
+
+    def test_rejects_2d(self):
+        a, qw = make_case()
+        with pytest.raises(LutError):
+            lut_gemv(a, qw)
+
+
+class TestPipelines:
+    def test_split_and_fused_identical(self):
+        a, qw = make_case(seed=2)
+        out_split, _ = run_split_pipeline(a, qw)
+        out_fused, _ = run_fused_pipeline(a, qw)
+        np.testing.assert_array_equal(out_split, out_fused)
+
+    def test_both_match_reference(self):
+        a, qw = make_case(seed=3)
+        ref = dequant_mpgemm_reference(a, qw)
+        out, _ = run_fused_pipeline(a, qw)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    def test_prologue_applied(self):
+        a, qw = make_case(seed=4)
+        gelu = lambda x: 0.5 * x * (1 + np.tanh(0.7978845608 * (x + 0.044715 * x**3)))
+        out, _ = run_fused_pipeline(a, qw, prologue=gelu)
+        ref = dequant_mpgemm_reference(gelu(a), qw)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    def test_split_pipeline_has_extra_traffic(self):
+        a, qw = make_case(seed=5)
+        _, split_traffic = run_split_pipeline(a, qw)
+        _, fused_traffic = run_fused_pipeline(a, qw)
+        assert split_traffic["precompute_write_bytes"] > 0
+        assert split_traffic["table_reload_bytes"] > 0
+        assert sum(fused_traffic.values()) == 0
+
+    def test_rejects_1d(self):
+        a, qw = make_case()
+        with pytest.raises(LutError):
+            run_split_pipeline(a[0], qw)
+
+    def test_precompute_operator_traffic_accounting(self):
+        a, qw = make_case(m=8, kdim=16, seed=6)
+        engine = LutMpGemmEngine(
+            qw, LutMpGemmConfig(act_dtype=None, table_dtype=None)
+        )
+        pre = PrecomputeOperator(engine)
+        # 16 K / k=4 -> 4 groups, 8 symmetric entries, fp16 entries.
+        assert pre.bytes_written(8) == 8 * 4 * 8 * 16 // 8
+        table = pre(a)
+        assert table.shape == (8, 4, 8)
+
+    def test_operators_compose_to_matmul(self):
+        a, qw = make_case(seed=7)
+        engine = LutMpGemmEngine(qw)
+        table = PrecomputeOperator(engine)(a)
+        out = LutGemmOperator(engine)(a, table)
+        np.testing.assert_allclose(out, engine.matmul(a), atol=1e-12)

@@ -1,0 +1,181 @@
+"""Tests for the LUT mpGEMM engine — the paper's core numerical claim.
+
+The headline invariant: the LUT pipeline (reinterpret -> symmetrized
+table -> bit-serial lookup -> affine correction) computes *exactly* the
+same result as the dequantization-based reference, for every weight
+width, activation format, quantization granularity, and symmetry mode.
+The only lossy knob is INT8 table quantization, whose error is bounded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes.formats import FP16, FP8_E4M3, INT8
+from repro.errors import LutError
+from repro.lut.mpgemm import (
+    LutMpGemmConfig,
+    LutMpGemmEngine,
+    dequant_mpgemm_reference,
+    lut_mpgemm,
+)
+from repro.quant.reinterpret import reinterpret_symmetric
+from repro.quant.weight import quantize_weights
+
+
+def make_case(m=3, n=8, kdim=16, bits=2, seed=0, **quant_kwargs):
+    rng = np.random.default_rng(seed)
+    activations = rng.normal(size=(m, kdim))
+    weights = rng.normal(size=(n, kdim))
+    qw = quantize_weights(weights, bits, **quant_kwargs)
+    return activations, qw
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 8])
+    def test_matches_dequant_reference(self, bits):
+        a, qw = make_case(bits=bits, seed=bits)
+        ref = dequant_mpgemm_reference(a, qw)
+        out = lut_mpgemm(a, qw)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    @pytest.mark.parametrize("symmetric_table", [True, False])
+    @pytest.mark.parametrize("offline_remap", [True, False])
+    def test_all_symmetry_modes_agree(self, symmetric_table, offline_remap):
+        a, qw = make_case(bits=2, seed=42)
+        ref = dequant_mpgemm_reference(a, qw)
+        cfg = LutMpGemmConfig(
+            symmetric_table=symmetric_table, offline_remap=offline_remap
+        )
+        np.testing.assert_allclose(lut_mpgemm(a, qw, cfg), ref, atol=1e-9)
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_group_length_k(self, k):
+        a, qw = make_case(kdim=16, bits=2, seed=k)
+        ref = dequant_mpgemm_reference(a, qw)
+        np.testing.assert_allclose(
+            lut_mpgemm(a, qw, LutMpGemmConfig(k=k)), ref, atol=1e-9
+        )
+
+    def test_per_channel_scales(self):
+        a, qw = make_case(bits=2, seed=3, axis=0)
+        ref = dequant_mpgemm_reference(a, qw)
+        np.testing.assert_allclose(lut_mpgemm(a, qw), ref, atol=1e-9)
+
+    def test_per_group_scales(self):
+        a, qw = make_case(kdim=32, bits=2, seed=4, axis=1, group_size=8)
+        ref = dequant_mpgemm_reference(a, qw)
+        np.testing.assert_allclose(lut_mpgemm(a, qw), ref, atol=1e-9)
+
+    def test_group_smaller_than_k_rejected(self):
+        a, qw = make_case(kdim=32, bits=2, seed=5, axis=1, group_size=2)
+        with pytest.raises(LutError):
+            lut_mpgemm(a, qw)
+
+    def test_symmetric_weights_zero_correction(self):
+        a, qw = make_case(bits=2, seed=6, symmetric=True)
+        ref = dequant_mpgemm_reference(a, qw)
+        np.testing.assert_allclose(lut_mpgemm(a, qw), ref, atol=1e-9)
+
+    def test_reinterpreted_weight_accepted_directly(self):
+        a, qw = make_case(bits=2, seed=7)
+        rw = reinterpret_symmetric(qw)
+        np.testing.assert_allclose(
+            lut_mpgemm(a, rw), dequant_mpgemm_reference(a, qw), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("act_dtype", [FP16, FP8_E4M3])
+    def test_float_activation_formats(self, act_dtype):
+        """With rounded activations, LUT and reference still agree exactly
+        because both consume the same rounded values."""
+        a, qw = make_case(bits=2, seed=8)
+        cfg = LutMpGemmConfig(act_dtype=act_dtype)
+        ref = dequant_mpgemm_reference(a, qw, act_dtype=act_dtype)
+        np.testing.assert_allclose(lut_mpgemm(a, qw, cfg), ref, atol=1e-9)
+
+
+class TestEngineInterface:
+    def test_1d_activation_gives_1d_output(self):
+        a, qw = make_case(bits=1, seed=9)
+        engine = LutMpGemmEngine(qw)
+        out = engine.matmul(a[0])
+        assert out.shape == (qw.codes.shape[0],)
+
+    def test_accumulator_input(self):
+        a, qw = make_case(bits=2, seed=10)
+        engine = LutMpGemmEngine(qw)
+        base = engine.matmul(a)
+        accum = np.ones_like(base)
+        np.testing.assert_allclose(engine.matmul(a, accum=accum), base + 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        _, qw = make_case(bits=2)
+        engine = LutMpGemmEngine(qw)
+        with pytest.raises(LutError):
+            engine.matmul(np.zeros((2, 5)))
+
+    def test_kdim_not_divisible_rejected(self):
+        rng = np.random.default_rng(0)
+        qw = quantize_weights(rng.normal(size=(4, 6)), 2)
+        with pytest.raises(LutError):
+            LutMpGemmEngine(qw, LutMpGemmConfig(k=4))
+
+    def test_weight_must_be_2d(self):
+        qw = quantize_weights(np.random.default_rng(0).normal(size=(4,)), 2)
+        with pytest.raises(LutError):
+            LutMpGemmEngine(qw)
+
+    def test_properties(self):
+        _, qw = make_case(n=8, kdim=16, bits=2)
+        engine = LutMpGemmEngine(qw)
+        assert engine.out_features == 8
+        assert engine.in_features == 16
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(LutError):
+            LutMpGemmConfig(k=0)
+        with pytest.raises(LutError):
+            LutMpGemmConfig(table_dtype=FP16)
+
+
+class TestTableQuantization:
+    def test_error_small_and_bounded(self):
+        a, qw = make_case(m=4, n=16, kdim=64, bits=2, seed=11)
+        ref = dequant_mpgemm_reference(a, qw)
+        out = lut_mpgemm(a, qw, LutMpGemmConfig(table_dtype=INT8))
+        rel = np.abs(out - ref).max() / np.abs(ref).max()
+        assert 0 < rel < 0.01  # lossy but tiny (Table 5's mechanism)
+
+    def test_int8_tables_tighter_than_int4(self):
+        from repro.datatypes.formats import INT4
+
+        a, qw = make_case(m=4, n=16, kdim=64, bits=2, seed=12)
+        ref = dequant_mpgemm_reference(a, qw)
+        err8 = np.abs(
+            lut_mpgemm(a, qw, LutMpGemmConfig(table_dtype=INT8)) - ref
+        ).max()
+        err4 = np.abs(
+            lut_mpgemm(a, qw, LutMpGemmConfig(table_dtype=INT4)) - ref
+        ).max()
+        assert err8 < err4
+
+
+class TestHypothesisEquivalence:
+    @given(
+        bits=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        m=st.integers(min_value=1, max_value=4),
+        groups=st.integers(min_value=1, max_value=3),
+        symmetric=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lut_equals_dequant(self, bits, seed, m, groups, symmetric):
+        rng = np.random.default_rng(seed)
+        kdim = 4 * groups
+        a = rng.normal(size=(m, kdim))
+        qw = quantize_weights(
+            rng.normal(size=(5, kdim)), bits, symmetric=symmetric
+        )
+        ref = dequant_mpgemm_reference(a, qw)
+        np.testing.assert_allclose(lut_mpgemm(a, qw), ref, atol=1e-8)

@@ -1,0 +1,99 @@
+"""Tests for LUT pipeline cost accounting and the software ablation."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes.formats import FP16, INT8
+from repro.errors import LutError
+from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+from repro.lut.stats import pipeline_stats, stats_for_config
+from repro.quant.weight import quantize_weights
+
+
+def engine_for(n=8, kdim=16, bits=2, **cfg):
+    qw = quantize_weights(np.random.default_rng(0).normal(size=(n, kdim)),
+                          bits)
+    return LutMpGemmEngine(qw, LutMpGemmConfig(**cfg))
+
+
+class TestPipelineStats:
+    def test_symmetrization_halves_table(self):
+        full = pipeline_stats(engine_for(symmetric_table=False), m=4)
+        half = pipeline_stats(engine_for(symmetric_table=True), m=4)
+        assert half.table_entries_per_group * 2 == full.table_entries_per_group
+        assert half.table_bytes * 2 == full.table_bytes
+        assert half.precompute_ops * 2 == full.precompute_ops
+
+    def test_remap_eliminates_negations(self):
+        with_neg = pipeline_stats(
+            engine_for(symmetric_table=True, offline_remap=False), m=4
+        )
+        without = pipeline_stats(
+            engine_for(symmetric_table=True, offline_remap=True), m=4
+        )
+        assert with_neg.runtime_negations > 0
+        assert without.runtime_negations == 0
+        assert with_neg.lookups == without.lookups
+
+    def test_table_quant_halves_bytes(self):
+        fp16 = pipeline_stats(
+            engine_for(act_dtype=FP16, table_dtype=None), m=4
+        )
+        int8 = pipeline_stats(
+            engine_for(act_dtype=FP16, table_dtype=INT8), m=4
+        )
+        assert int8.table_bytes * 2 == fp16.table_bytes
+
+    def test_redundancy_scales_precompute_only(self):
+        base = pipeline_stats(engine_for(), m=4, precompute_redundancy=1)
+        redundant = pipeline_stats(engine_for(), m=4,
+                                   precompute_redundancy=10)
+        assert redundant.precompute_ops == 10 * base.precompute_ops
+        assert redundant.lookups == base.lookups
+
+    def test_lookups_scale_with_weight_bits(self):
+        w1 = pipeline_stats(engine_for(bits=1), m=4)
+        w4 = pipeline_stats(engine_for(bits=4), m=4)
+        assert w4.lookups == 4 * w1.lookups
+
+    def test_invalid_m(self):
+        with pytest.raises(LutError):
+            pipeline_stats(engine_for(), m=0)
+
+    def test_shape_only_matches_engine_based(self):
+        cfg = LutMpGemmConfig(act_dtype=FP16, table_dtype=INT8)
+        via_engine = pipeline_stats(
+            engine_for(n=8, kdim=16, bits=2, act_dtype=FP16,
+                       table_dtype=INT8),
+            m=4,
+        )
+        shape_only = stats_for_config(8, 16, 4, 2, cfg)
+        assert shape_only == via_engine
+
+
+class TestSwAblationExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments import ablation_sw_opts
+
+        return ablation_sw_opts.run()
+
+    def test_five_steps(self, rows):
+        assert len(rows) == 5
+
+    def test_monotone_improvements(self, rows):
+        tables = [r.table_mbytes for r in rows]
+        precompute = [r.precompute_mops for r in rows]
+        assert tables == sorted(tables, reverse=True)
+        assert precompute == sorted(precompute, reverse=True)
+
+    def test_total_savings(self, rows):
+        assert rows[0].table_mbytes / rows[-1].table_mbytes == pytest.approx(
+            4.0
+        )
+        assert rows[0].precompute_mops / rows[-1].precompute_mops >= 64
+
+    def test_remap_step_removes_runtime_ops(self, rows):
+        # Step 3 (half tables, no remap) carries negations; step 4 drops
+        # them back to the baseline runtime op count.
+        assert rows[2].runtime_mops > rows[3].runtime_mops

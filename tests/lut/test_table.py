@@ -1,0 +1,160 @@
+"""Tests for LUT table precompute and symmetrization (Eqs. 4-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes.formats import FP16, FP8_E4M3
+from repro.errors import LutError
+from repro.lut.table import (
+    expand_symmetric_table,
+    lookup_full,
+    lookup_symmetric,
+    lookup_symmetric_remapped,
+    precompute_symmetric_table,
+    precompute_table,
+    remap_weight_bits_offline,
+)
+
+
+def acts(m=2, length=8, seed=0):
+    return np.random.default_rng(seed).normal(size=(m, length))
+
+
+class TestPrecompute:
+    def test_table_shape(self):
+        table = precompute_table(acts(3, 12), k=4)
+        assert table.shape == (3, 3, 16)
+
+    def test_entry_semantics(self):
+        """Entry idx = sum of +-a with sign from bit pattern (Figure 3)."""
+        a = np.array([1.0, 2.0, 4.0, 8.0])
+        table = precompute_table(a[None, :], k=4)[0, 0]
+        # idx 0b0000 -> all minus; idx 0b1111 -> all plus.
+        assert table[0b0000] == -15.0
+        assert table[0b1111] == 15.0
+        # idx 0b0001: +a0 -a1 -a2 -a3 = 1-2-4-8.
+        assert table[0b0001] == -13.0
+        assert table[0b0100] == -1.0 + -2.0 + 4.0 - 8.0
+
+    def test_odd_symmetry_eq4(self):
+        """LUT[idx] == -LUT[~idx] for every index (Eq. 4)."""
+        table = precompute_table(acts(4, 16, seed=1), k=4)
+        idx = np.arange(16)
+        comp = (~idx) & 15
+        np.testing.assert_allclose(
+            table[..., idx], -table[..., comp], atol=1e-12
+        )
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    def test_symmetric_table_is_half(self, k):
+        a = acts(2, 2 * k, seed=k)
+        half = precompute_symmetric_table(a, k)
+        assert half.shape[-1] == 1 << (k - 1)
+
+    def test_expand_reconstructs_full(self):
+        a = acts(2, 8, seed=2)
+        full = precompute_table(a, 4)
+        half = precompute_symmetric_table(a, 4)
+        np.testing.assert_allclose(expand_symmetric_table(half, 4), full)
+
+    def test_expand_rejects_wrong_width(self):
+        with pytest.raises(LutError):
+            expand_symmetric_table(np.zeros((2, 2, 4)), 4)
+
+    def test_length_must_divide(self):
+        with pytest.raises(LutError):
+            precompute_table(acts(1, 7), 4)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(LutError):
+            precompute_table(acts(), 0)
+
+    def test_act_dtype_rounding_applied(self):
+        a = np.array([[1.0001, 2.0, 4.0, 8.0]])
+        t_exact = precompute_table(a, 4)
+        t_fp8 = precompute_table(a, 4, act_dtype=FP8_E4M3)
+        assert not np.allclose(t_exact, t_fp8)
+        # FP8 rounding of 1.0001 -> 1.0 exactly.
+        assert t_fp8[0, 0, 0b1111] == 15.0
+
+
+class TestLookup:
+    def test_lookup_full_matches_manual(self):
+        a = acts(2, 8, seed=3)
+        table = precompute_table(a, 4)
+        indices = np.array([[3, 9, 15], [0, 7, 8]])  # (ngroups=2, n=3)
+        out = lookup_full(table, indices)
+        assert out.shape == (2, 2, 3)
+        for m in range(2):
+            for g in range(2):
+                for col in range(3):
+                    assert out[m, g, col] == table[m, g, indices[g, col]]
+
+    def test_lookup_indices_shape_checked(self):
+        table = precompute_table(acts(1, 8), 4)
+        with pytest.raises(LutError):
+            lookup_full(table, np.array([1, 2, 3]))
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_symmetric_lookup_equals_full(self, k):
+        """Eq. 5: the half table + MSB rule reproduces every entry."""
+        a = acts(3, 2 * k, seed=k)
+        full = precompute_table(a, k)
+        half = precompute_symmetric_table(a, k)
+        rng = np.random.default_rng(k)
+        indices = rng.integers(0, 1 << k, size=(2, 5))
+        np.testing.assert_allclose(
+            lookup_symmetric(half, indices, k),
+            lookup_full(full, indices),
+            atol=1e-12,
+        )
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_offline_remap_equals_runtime_complement(self, k):
+        """Eq. 6: offline remap + sign-only lookup == Eq. 5 lookup."""
+        a = acts(2, 2 * k, seed=10 + k)
+        half = precompute_symmetric_table(a, k)
+        rng = np.random.default_rng(20 + k)
+        indices = rng.integers(0, 1 << k, size=(2, 7))
+        remapped = remap_weight_bits_offline(indices, k)
+        np.testing.assert_allclose(
+            lookup_symmetric_remapped(half, remapped, k),
+            lookup_symmetric(half, indices, k),
+            atol=1e-12,
+        )
+
+    def test_remap_preserves_msb(self):
+        indices = np.arange(16)
+        remapped = remap_weight_bits_offline(indices, 4)
+        np.testing.assert_array_equal(remapped >> 3, indices >> 3)
+
+    def test_remap_is_involution(self):
+        indices = np.arange(16)
+        twice = remap_weight_bits_offline(
+            remap_weight_bits_offline(indices, 4), 4
+        )
+        np.testing.assert_array_equal(twice, indices)
+
+
+class TestHypothesis:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry_holds_for_any_activations(self, k, seed):
+        a = np.random.default_rng(seed).normal(size=(1, k))
+        table = precompute_table(a, k)[0, 0]
+        idx = np.arange(1 << k)
+        comp = (~idx) & ((1 << k) - 1)
+        np.testing.assert_allclose(table[idx], -table[comp], atol=1e-9)
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_table_size_halved(self, k):
+        a = np.zeros((1, k))
+        full = precompute_table(a, k)
+        half = precompute_symmetric_table(a, k)
+        assert half.shape[-1] * 2 == full.shape[-1]

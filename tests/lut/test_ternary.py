@@ -1,0 +1,160 @@
+"""Tests for the ternary (BitNet b1.58) quantization and LUT path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LutError, QuantizationError
+from repro.lut.ternary import (
+    TERNARY_TABLE_ENTRIES,
+    TernaryLutEngine,
+    precompute_ternary_table,
+    ternary_dequant_reference,
+    ternary_lut_mpgemm,
+    ternary_table_symmetry_holds,
+)
+from repro.quant.ternary import (
+    TernaryWeight,
+    digits_to_index,
+    index_to_digits,
+    pack_ternary,
+    packed_bytes,
+    quantize_ternary,
+    unpack_ternary,
+)
+
+
+class TestTernaryQuantization:
+    def test_digits_in_range(self):
+        tw = quantize_ternary(np.random.default_rng(0).normal(size=(8, 9)))
+        assert set(np.unique(tw.digits)) <= {-1, 0, 1}
+
+    def test_absmean_scale(self):
+        w = np.array([[1.0, -1.0, 2.0, -2.0, 0.0, 0.0]])
+        tw = quantize_ternary(w)
+        assert tw.scale == pytest.approx(1.0)
+
+    def test_large_values_saturate(self):
+        tw = quantize_ternary(np.array([[100.0, -100.0, 0.01]]))
+        np.testing.assert_array_equal(tw.digits, [[1, -1, 0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_ternary(np.zeros((0,)))
+
+    def test_invalid_digits_rejected(self):
+        with pytest.raises(QuantizationError):
+            TernaryWeight(digits=np.array([2]), scale=1.0)
+
+    def test_zero_tensor_safe(self):
+        tw = quantize_ternary(np.zeros((3, 3)))
+        np.testing.assert_array_equal(tw.dequantize(), 0.0)
+
+
+class TestBase3Packing:
+    def test_index_roundtrip(self):
+        digits = index_to_digits(np.arange(27))
+        np.testing.assert_array_equal(digits_to_index(digits), np.arange(27))
+
+    def test_pack_roundtrip(self):
+        rng = np.random.default_rng(1)
+        digits = rng.integers(-1, 2, size=99)
+        packed = pack_ternary(digits)
+        np.testing.assert_array_equal(unpack_ternary(packed, 99), digits)
+
+    def test_density_5_bits_per_3_weights(self):
+        count = 3 * 1024
+        assert packed_bytes(count) == (count // 3 * 5 + 7) // 8
+        # vs 2-bit-per-digit storage: 5/3 < 2 bits per weight.
+        assert packed_bytes(count) < count * 2 // 8
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(QuantizationError):
+            pack_ternary(np.zeros(4, dtype=np.int64))
+        with pytest.raises(QuantizationError):
+            unpack_ternary(np.zeros(10, dtype=np.uint8), 4)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_pack_roundtrip_hypothesis(self, seed, groups):
+        rng = np.random.default_rng(seed)
+        digits = rng.integers(-1, 2, size=3 * groups)
+        packed = pack_ternary(digits)
+        np.testing.assert_array_equal(
+            unpack_ternary(packed, digits.size), digits
+        )
+
+
+class TestTernaryLut:
+    def _case(self, n=8, kdim=12, m=3, seed=0):
+        rng = np.random.default_rng(seed)
+        tw = quantize_ternary(rng.normal(size=(n, kdim)))
+        return rng.normal(size=(m, kdim)), tw
+
+    def test_table_semantics(self):
+        a = np.array([[1.0, 2.0, 4.0]])
+        table = precompute_ternary_table(a)[0, 0]
+        assert table.shape == (TERNARY_TABLE_ENTRIES,)
+        # idx 13 = digits (0,0,0); idx 26 = (+1,+1,+1).
+        assert table[13] == 0.0
+        assert table[26] == 7.0
+        assert table[0] == -7.0
+
+    def test_table_odd_symmetry(self):
+        a = np.random.default_rng(2).normal(size=(4, 12))
+        assert ternary_table_symmetry_holds(precompute_ternary_table(a))
+
+    def test_matches_dequant_reference(self):
+        a, tw = self._case()
+        out = ternary_lut_mpgemm(a, tw)
+        ref = ternary_dequant_reference(a, tw)
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+    def test_gemv_path(self):
+        a, tw = self._case(seed=3)
+        engine = TernaryLutEngine(tw)
+        np.testing.assert_allclose(
+            engine.matmul(a[0]),
+            ternary_dequant_reference(a[0], tw),
+            atol=1e-12,
+        )
+
+    def test_int8_tables_small_error(self):
+        from repro.datatypes.formats import INT8
+
+        a, tw = self._case(n=16, kdim=48, m=4, seed=4)
+        ref = ternary_dequant_reference(a, tw)
+        out = ternary_lut_mpgemm(a, tw, table_dtype=INT8)
+        assert 0 < np.abs(out - ref).max() / np.abs(ref).max() < 0.02
+
+    def test_k_not_multiple_of_3_rejected(self):
+        rng = np.random.default_rng(5)
+        tw = quantize_ternary(rng.normal(size=(4, 8)))
+        with pytest.raises(LutError):
+            TernaryLutEngine(tw)
+
+    def test_activation_shape_checked(self):
+        _, tw = self._case()
+        engine = TernaryLutEngine(tw)
+        with pytest.raises(LutError):
+            engine.matmul(np.zeros((2, 9)))
+
+    def test_storage_density(self):
+        _, tw = self._case()
+        assert TernaryLutEngine(tw).storage_bits_per_weight() == pytest.approx(
+            5.0 / 3.0
+        )
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_hypothesis(self, seed):
+        rng = np.random.default_rng(seed)
+        tw = quantize_ternary(rng.normal(size=(5, 9)))
+        a = rng.normal(size=(2, 9))
+        np.testing.assert_allclose(
+            ternary_lut_mpgemm(a, tw),
+            ternary_dequant_reference(a, tw),
+            atol=1e-10,
+        )

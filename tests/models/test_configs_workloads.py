@@ -1,0 +1,96 @@
+"""Tests for model configs and workload shapes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.models.configs import (
+    BITNET_3B,
+    BLOOM_176B,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    MODELS,
+    OPT_175B,
+    ModelConfig,
+    model_by_name,
+)
+from repro.models.workloads import (
+    FIG4_SHAPES,
+    FIG15_SHAPE,
+    GemmShape,
+    layer_gemm_shapes,
+)
+
+
+class TestModelConfigs:
+    def test_parameter_counts_near_nameplate(self):
+        """Total params should be within ~10% of the model names."""
+        assert OPT_175B.total_params == pytest.approx(175e9, rel=0.10)
+        assert BLOOM_176B.total_params == pytest.approx(176e9, rel=0.10)
+        assert LLAMA2_70B.total_params == pytest.approx(70e9, rel=0.10)
+        assert LLAMA2_7B.total_params == pytest.approx(7e9, rel=0.10)
+        assert BITNET_3B.total_params == pytest.approx(3.3e9, rel=0.15)
+
+    def test_head_dims(self):
+        assert LLAMA2_70B.head_dim == 128
+        assert OPT_175B.head_dim == 128
+
+    def test_gqa_kv_dim(self):
+        assert LLAMA2_70B.kv_dim == 1024  # 8 kv heads x 128
+        assert OPT_175B.kv_dim == OPT_175B.hidden  # MHA
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(SimulationError):
+            ModelConfig("bad", hidden=100, ffn=400, layers=2, heads=3,
+                        kv_heads=3)
+        with pytest.raises(SimulationError):
+            ModelConfig("bad", hidden=128, ffn=512, layers=2, heads=8,
+                        kv_heads=3)
+
+    def test_lookup(self):
+        assert model_by_name("OPT-175B") is OPT_175B
+        with pytest.raises(SimulationError):
+            model_by_name("gpt-5")
+        assert len(MODELS) == 7
+
+    def test_layer_flops_scaling(self):
+        """FLOPs linear in tokens, attention part linear in context."""
+        base = LLAMA2_13B.layer_flops(tokens=128, context=128)
+        double_tokens = LLAMA2_13B.layer_flops(tokens=256, context=128)
+        assert double_tokens == pytest.approx(2 * base, rel=1e-12)
+
+
+class TestGemmShapes:
+    def test_fig15_shape_is_llama13b_ffn(self):
+        assert FIG15_SHAPE.m == 2048
+        assert FIG15_SHAPE.n == 27648
+        assert FIG15_SHAPE.k == 5120
+
+    def test_fig4_shapes_from_llama70b(self):
+        labels = [s.label for s in FIG4_SHAPES]
+        assert labels == ["M0", "M1", "M2", "M3"]
+        # qkv with GQA: 8192 + 2*1024 outputs; ffn down has K=28672.
+        assert FIG4_SHAPES[0].n == 10240
+        assert FIG4_SHAPES[3].k == 28672
+
+    def test_with_batch(self):
+        shape = FIG4_SHAPES[0].with_batch(1024)
+        assert shape.m == 1024
+        assert (shape.n, shape.k) == (FIG4_SHAPES[0].n, FIG4_SHAPES[0].k)
+
+    def test_byte_accounting(self):
+        shape = GemmShape(8, 16, 32)
+        assert shape.weight_bytes(4) == 16 * 32 // 2
+        assert shape.activation_bytes(16) == 8 * 32 * 2
+        assert shape.output_bytes() == 8 * 16 * 2
+        assert shape.flops == 2 * 8 * 16 * 32
+
+    def test_invalid_shape(self):
+        with pytest.raises(SimulationError):
+            GemmShape(0, 1, 1)
+
+    def test_layer_shapes_gated_vs_plain(self):
+        gated = layer_gemm_shapes(LLAMA2_70B, 16)
+        plain = layer_gemm_shapes(OPT_175B, 16)
+        assert gated["ffn_up"].n == 2 * LLAMA2_70B.ffn
+        assert plain["ffn_up"].n == OPT_175B.ffn

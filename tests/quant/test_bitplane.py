@@ -1,0 +1,99 @@
+"""Tests for bit-plane (bit-serial) decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant.bitplane import (
+    from_bitplanes,
+    from_signed_bitplanes,
+    pack_bits,
+    to_bitplanes,
+    to_signed_bitplanes,
+    unpack_bits,
+)
+from repro.quant.reinterpret import reinterpret_symmetric
+from repro.quant.weight import quantize_weights
+
+
+class TestBinaryPlanes:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_roundtrip(self, bits):
+        rng = np.random.default_rng(bits)
+        codes = rng.integers(0, 1 << bits, size=(8, 16))
+        planes = to_bitplanes(codes, bits)
+        assert planes.shape == (bits, 8, 16)
+        assert set(np.unique(planes)) <= {0, 1}
+        np.testing.assert_array_equal(from_bitplanes(planes), codes)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(QuantizationError):
+            to_bitplanes(np.array([4]), 2)
+        with pytest.raises(QuantizationError):
+            to_bitplanes(np.array([-1]), 2)
+
+    def test_plane_order_lsb_first(self):
+        planes = to_bitplanes(np.array([0b0110]), 4)
+        np.testing.assert_array_equal(planes.ravel(), [0, 1, 1, 0])
+
+
+class TestSignedPlanes:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_planes_are_pm1(self, bits):
+        qw = quantize_weights(
+            np.random.default_rng(0).normal(size=(8, 16)), bits
+        )
+        rw = reinterpret_symmetric(qw)
+        planes = to_signed_bitplanes(rw.codes, bits)
+        assert set(np.unique(planes)) <= {-1, 1}
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_weighted_sum_recovers_code(self, bits):
+        """q' = sum_i c_i 2**i with c_i in {-1,+1} (the key LUT identity)."""
+        qw = quantize_weights(
+            np.random.default_rng(1).normal(size=(4, 32)), bits
+        )
+        rw = reinterpret_symmetric(qw)
+        planes = to_signed_bitplanes(rw.codes, bits)
+        np.testing.assert_array_equal(from_signed_bitplanes(planes), rw.codes)
+
+    def test_even_codes_rejected(self):
+        with pytest.raises(QuantizationError):
+            to_signed_bitplanes(np.array([0]), 2)
+
+    def test_non_pm1_rejected_on_reassembly(self):
+        with pytest.raises(QuantizationError):
+            from_signed_bitplanes(np.array([[2]]))
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(0, 10**9))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_hypothesis(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        unsigned = rng.integers(0, 1 << bits, size=(16,))
+        codes = 2 * unsigned - ((1 << bits) - 1)
+        planes = to_signed_bitplanes(codes, bits)
+        np.testing.assert_array_equal(from_signed_bitplanes(planes), codes)
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(5)
+        plane = rng.integers(0, 2, size=100)
+        packed = pack_bits(plane)
+        assert packed.dtype == np.uint8
+        assert packed.size == 13  # ceil(100 / 8)
+        np.testing.assert_array_equal(unpack_bits(packed, 100), plane)
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(QuantizationError):
+            pack_bits(np.array([0, 2]))
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(QuantizationError):
+            unpack_bits(np.array([0xFF], dtype=np.uint8), 9)
+
+    def test_storage_is_one_bit_per_weight(self):
+        plane = np.ones(1024, dtype=np.int64)
+        assert pack_bits(plane).nbytes == 128

@@ -1,0 +1,138 @@
+"""Tests for the deployment packing/serialization format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant.packing import (
+    PackedWeight,
+    deployment_indices,
+    load_quantized,
+    pack_codes,
+    pack_quantized,
+    save_quantized,
+    unpack_codes,
+)
+from repro.quant.weight import quantize_weights
+
+
+def sample_weight(bits=2, n=8, k=16, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    return quantize_weights(rng.normal(size=(n, k)), bits, **kwargs)
+
+
+class TestBitPacking:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 5, 8])
+    def test_roundtrip(self, bits):
+        rng = np.random.default_rng(bits)
+        codes = rng.integers(0, 1 << bits, size=100)
+        packed = pack_codes(codes, bits)
+        np.testing.assert_array_equal(
+            unpack_codes(packed, bits, 100), codes
+        )
+
+    def test_density(self):
+        codes = np.zeros(64, dtype=np.int64)
+        assert pack_codes(codes, 2).nbytes == 16  # 64 * 2 / 8
+        assert pack_codes(codes, 1).nbytes == 8
+
+    def test_overflow_rejected(self):
+        with pytest.raises(QuantizationError):
+            pack_codes(np.array([4]), 2)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(QuantizationError):
+            unpack_codes(np.zeros(1, dtype=np.uint8), 4, 100)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_hypothesis(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 1 << bits, size=37)
+        np.testing.assert_array_equal(
+            unpack_codes(pack_codes(codes, bits), bits, 37), codes
+        )
+
+
+class TestPackedWeight:
+    @pytest.mark.parametrize("bits", [1, 2, 4])
+    def test_pack_unpack_preserves_values(self, bits):
+        qw = sample_weight(bits=bits)
+        restored = pack_quantized(qw).unpack()
+        np.testing.assert_array_equal(restored.codes, qw.codes)
+        # Scales/zero-points stored at fp32: matches at fp32 precision
+        # (absolute tolerance covers zero-point cancellation).
+        np.testing.assert_allclose(
+            restored.dequantize(), qw.dequantize(), rtol=1e-5, atol=1e-5
+        )
+
+    def test_bits_per_weight(self):
+        qw = sample_weight(bits=2, n=16, k=64)
+        packed = pack_quantized(qw)
+        assert packed.bits_per_weight == pytest.approx(2.0, abs=0.1)
+
+    def test_payload_smaller_than_fp16(self):
+        qw = sample_weight(bits=2, n=64, k=256)
+        packed = pack_quantized(qw)
+        fp16_bytes = 64 * 256 * 2
+        assert packed.payload_bytes < fp16_bytes / 4
+
+    def test_per_channel_scales_survive(self):
+        qw = sample_weight(bits=2, axis=0)
+        restored = pack_quantized(qw).unpack()
+        np.testing.assert_allclose(
+            restored.dequantize(), qw.dequantize(), rtol=1e-5, atol=1e-5
+        )
+
+
+class TestSerialization:
+    def test_npz_roundtrip(self):
+        qw = sample_weight(bits=4, seed=3)
+        blob = save_quantized(qw)
+        restored = load_quantized(blob)
+        np.testing.assert_array_equal(restored.codes, qw.codes)
+        assert restored.bits == 4
+
+    def test_blob_is_compact(self):
+        qw = sample_weight(bits=1, n=128, k=1024)
+        blob = save_quantized(qw)
+        # Packed 1-bit payload is 16 KiB; npz framing stays modest.
+        assert len(blob) < 32 * 1024
+
+    def test_loaded_weight_runs_through_lut_engine(self):
+        from repro.lut.mpgemm import dequant_mpgemm_reference, lut_mpgemm
+
+        qw = sample_weight(bits=2, seed=4)
+        restored = load_quantized(save_quantized(qw))
+        a = np.random.default_rng(5).normal(size=(3, 16))
+        np.testing.assert_allclose(
+            lut_mpgemm(a, restored),
+            dequant_mpgemm_reference(a, restored),
+            atol=1e-9,
+        )
+
+
+class TestDeploymentIndices:
+    def test_matches_engine_internal_state(self):
+        from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+
+        qw = sample_weight(bits=2, seed=6)
+        indices = deployment_indices(qw)
+        engine = LutMpGemmEngine(qw, LutMpGemmConfig())
+        np.testing.assert_array_equal(indices, engine._indices)
+
+    def test_shape(self):
+        qw = sample_weight(bits=2, n=8, k=16)
+        indices = deployment_indices(qw, lut_k=4)
+        assert indices.shape == (2, 4, 8)  # (bits, K/k, N)
+
+    def test_remap_changes_indices(self):
+        qw = sample_weight(bits=2, seed=7)
+        remapped = deployment_indices(qw, remap=True)
+        raw = deployment_indices(qw, remap=False)
+        assert not np.array_equal(remapped, raw)
+        # MSBs agree (remap only rewrites the low bits).
+        np.testing.assert_array_equal(remapped >> 3, raw >> 3)

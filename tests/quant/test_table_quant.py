@@ -1,0 +1,90 @@
+"""Tests for INT8 table quantization (paper Section 3.1.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes.formats import FP16, INT4, INT8
+from repro.errors import LutError
+from repro.quant.table_quant import (
+    QuantizedTable,
+    dequantize_table,
+    quantize_table,
+    table_quantization_error,
+)
+
+
+class TestQuantizeTable:
+    def test_codes_within_int8(self):
+        table = np.random.default_rng(0).normal(size=(16, 8)) * 100
+        qt = quantize_table(table)
+        assert qt.codes.min() >= -128
+        assert qt.codes.max() <= 127
+
+    def test_per_table_scale_shape(self):
+        table = np.zeros((3, 5, 8))
+        qt = quantize_table(table)
+        assert qt.scales.shape == (3, 5, 1)
+
+    def test_extreme_entry_maps_to_max_code(self):
+        table = np.array([[1.0, -2.0, 4.0, -8.0]])
+        qt = quantize_table(table)
+        assert np.abs(qt.codes).max() == 127
+
+    def test_all_zero_table_safe(self):
+        qt = quantize_table(np.zeros((2, 8)))
+        np.testing.assert_array_equal(qt.dequantize(), 0.0)
+
+    def test_error_bounded_by_half_scale(self):
+        table = np.random.default_rng(1).normal(size=(32, 8)) * 10
+        qt = quantize_table(table)
+        err = np.abs(qt.dequantize() - table)
+        assert np.all(err <= qt.scales / 2 + 1e-12)
+
+    def test_float_target_rejected(self):
+        with pytest.raises(LutError):
+            quantize_table(np.zeros((2, 8)), FP16)
+
+    def test_scalar_table_rejected(self):
+        with pytest.raises(LutError):
+            quantize_table(np.float64(1.0))
+
+    def test_int4_coarser_than_int8(self):
+        table = np.random.default_rng(2).normal(size=(64, 8))
+        assert table_quantization_error(table, INT4) > table_quantization_error(
+            table, INT8
+        )
+
+    def test_dequantize_alias(self):
+        table = np.random.default_rng(3).normal(size=(4, 8))
+        qt = quantize_table(table)
+        np.testing.assert_array_equal(dequantize_table(qt), qt.dequantize())
+
+    def test_entries_property(self):
+        assert quantize_table(np.zeros((4, 8))).entries == 8
+
+
+class TestHypothesis:
+    @given(
+        st.lists(
+            st.floats(-1000, 1000, allow_nan=False), min_size=8, max_size=8
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_relative_error_small(self, entries):
+        table = np.array([entries])
+        qt = quantize_table(table)
+        amax = np.abs(table).max()
+        if amax > 0:
+            assert np.abs(qt.dequantize() - table).max() <= amax / 127.0 + 1e-9
+
+    @given(st.integers(min_value=-20, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariance_power_of_two(self, exponent):
+        """Scaling by 2**e scales the reconstruction exactly (no re-rounding)."""
+        factor = 2.0 ** exponent
+        base = np.array([[1.0, -0.5, 0.25, -0.125, 0.8, -0.9, 0.3, -0.7]])
+        q1 = quantize_table(base).dequantize()
+        q2 = quantize_table(base * factor).dequantize()
+        np.testing.assert_allclose(q2, q1 * factor, rtol=1e-12, atol=0)

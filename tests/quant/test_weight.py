@@ -1,0 +1,97 @@
+"""Tests for affine weight quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant.weight import QuantizedWeight, dequantize, quantize_weights
+
+
+def random_weights(shape, seed=0, scale=1.0):
+    return np.random.default_rng(seed).normal(scale=scale, size=shape)
+
+
+class TestQuantizeWeights:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 8])
+    def test_codes_in_range(self, bits):
+        qw = quantize_weights(random_weights((16, 32)), bits)
+        assert qw.codes.min() >= 0
+        assert qw.codes.max() <= (1 << bits) - 1
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_reconstruction_error_bounded(self, bits):
+        w = random_weights((8, 64), seed=3)
+        qw = quantize_weights(w, bits)
+        # Per-tensor scale: error bounded by half an LSB step.
+        assert np.max(np.abs(qw.dequantize() - w)) <= qw.scale.max() / 2 + 1e-12
+
+    def test_per_channel_tighter_than_per_tensor(self):
+        w = random_weights((16, 64), seed=4)
+        w[0] *= 100.0  # one channel with a huge range
+        per_tensor = quantize_weights(w, 4)
+        per_channel = quantize_weights(w, 4, axis=0)
+        err_t = np.abs(per_tensor.dequantize() - w)[1:].max()
+        err_c = np.abs(per_channel.dequantize() - w)[1:].max()
+        assert err_c < err_t
+
+    def test_per_group_shapes(self):
+        w = random_weights((4, 64))
+        qw = quantize_weights(w, 2, axis=1, group_size=16)
+        assert qw.codes.shape == (4, 64)
+        assert qw.scale.shape == (4, 64)
+        # Scale constant within each group of 16.
+        grouped = qw.scale.reshape(4, 4, 16)
+        assert np.all(grouped == grouped[..., :1])
+
+    def test_group_requires_axis(self):
+        with pytest.raises(QuantizationError):
+            quantize_weights(random_weights((4, 8)), 2, group_size=4)
+
+    def test_group_must_divide(self):
+        with pytest.raises(QuantizationError):
+            quantize_weights(random_weights((4, 10)), 2, axis=1, group_size=4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_weights(np.zeros((0,)), 2)
+
+    def test_symmetric_zero_point_is_midpoint(self):
+        qw = quantize_weights(random_weights((8, 8)), 4, symmetric=True)
+        assert np.all(qw.zero_point == 7.5)
+
+    def test_symmetric_binary_maps_sign(self):
+        w = np.array([[-1.0, 1.0, -0.5, 0.5]])
+        qw = quantize_weights(w, 1, symmetric=True)
+        np.testing.assert_array_equal(qw.codes, [[0, 1, 0, 1]])
+
+    def test_constant_tensor(self):
+        qw = quantize_weights(np.full((4, 4), 3.0), 4)
+        # Degenerate range: scale falls back to 1, values recoverable.
+        np.testing.assert_allclose(qw.dequantize(), 3.0)
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantizedWeight(
+                codes=np.array([[4]]), scale=np.array(1.0),
+                zero_point=np.array(0.0), bits=2,
+            )
+
+    def test_dequantize_function_alias(self):
+        qw = quantize_weights(random_weights((4, 4)), 4)
+        np.testing.assert_array_equal(dequantize(qw), qw.dequantize())
+
+
+class TestQuantizeHypothesis:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent_on_grid(self, bits, seed):
+        w = random_weights((4, 8), seed=seed)
+        qw = quantize_weights(w, bits, symmetric=True)
+        # Quantizing the dequantized values again is exact.
+        qw2 = quantize_weights(qw.dequantize(), bits, symmetric=True)
+        np.testing.assert_allclose(qw2.dequantize(), qw.dequantize(), atol=1e-9)

@@ -1,0 +1,123 @@
+"""Tests for the cycle-level simulator and roofline analysis."""
+
+import pytest
+
+from repro.compiler.scheduler import schedule_gemm
+from repro.datatypes.formats import FP16
+from repro.errors import SimulationError
+from repro.models.workloads import GemmShape
+from repro.sim.accelsim import (
+    CycleStats,
+    SmConfig,
+    TraceInstruction,
+    Unit,
+    build_gemm_trace,
+    cross_validate_cycles,
+    simulate_block_trace,
+)
+from repro.sim.gpu_specs import A100, with_lut_extension
+from repro.sim.roofline import (
+    attainable_flops,
+    gemm_operational_intensity,
+    is_compute_bound,
+    ridge_point,
+    roofline_time,
+)
+
+
+class TestCycleSimulator:
+    def test_single_warp_serial_latency(self):
+        trace = [TraceInstruction(Unit.TENSOR_CORE, 4, 16)] * 4
+        stats = simulate_block_trace([trace])
+        # In-order: each instruction waits the previous one's latency.
+        assert stats.cycles >= 3 * 16
+
+    def test_multiple_warps_overlap(self):
+        trace = [TraceInstruction(Unit.TENSOR_CORE, 4, 16)] * 8
+        one = simulate_block_trace([trace]).cycles
+        four = simulate_block_trace([trace] * 4).cycles
+        # 4x the work in far less than 4x the time (latency hiding).
+        assert four < 2.5 * one
+
+    def test_unit_contention_serializes(self):
+        config = SmConfig(tc_units=1)
+        trace = [TraceInstruction(Unit.TENSOR_CORE, 8, 8)] * 4
+        stats = simulate_block_trace([trace] * 4, config)
+        assert stats.cycles >= 16 * 8  # 16 instructions through one unit
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_block_trace([])
+
+    def test_stats_accounting(self):
+        trace = [
+            TraceInstruction(Unit.DRAM, 10, 400),
+            TraceInstruction(Unit.TENSOR_CORE, 4, 16),
+        ]
+        stats = simulate_block_trace([trace])
+        assert stats.tc_busy == 4
+        assert stats.dram_busy == 10
+
+
+class TestCrossValidation:
+    """The analytical model tracks the cycle-level model on real tiles."""
+
+    def test_compute_bound_schedule(self):
+        shape = GemmShape(256, 512, 1024)
+        schedule = schedule_gemm(shape, A100, FP16)
+        report = cross_validate_cycles(schedule, A100)
+        # Cycle sim within 2x of the analytical bound and never below it
+        # by more than scheduling noise.
+        assert 0.8 <= report["ratio"] <= 2.0
+
+    def test_lut_schedule_cross_validates(self):
+        shape = GemmShape(128, 512, 512)
+        spec = with_lut_extension(A100, 4, 2.0, 2)
+        schedule = schedule_gemm(shape, spec, FP16, weight_bits=2,
+                                 use_lut=True)
+        report = cross_validate_cycles(schedule, spec)
+        assert 0.8 <= report["ratio"] <= 2.5
+
+    def test_trace_structure(self):
+        shape = GemmShape(128, 256, 256)
+        schedule = schedule_gemm(shape, A100, FP16)
+        traces = build_gemm_trace(schedule, A100)
+        assert len(traces) == schedule.tile.warps
+        tags = {ins.tag for ins in traces[0]}
+        assert tags == {"tile_load", "mma"}
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        assert ridge_point(312e12, 2e12) == pytest.approx(156.0)
+
+    def test_attainable_caps_at_peak(self):
+        assert attainable_flops(1e6, 312e12, 2e12) == 312e12
+        assert attainable_flops(10.0, 312e12, 2e12) == 20e12
+
+    def test_compute_bound_predicate(self):
+        assert is_compute_bound(200, 312e12, 2e12)
+        assert not is_compute_bound(100, 312e12, 2e12)
+
+    def test_roofline_time(self):
+        t = roofline_time(flops=312e12, bytes_moved=1e12,
+                          peak_flops=312e12, bandwidth_bytes_s=2e12)
+        assert t == pytest.approx(1.0)
+
+    def test_low_bit_weights_raise_intensity(self):
+        hi = gemm_operational_intensity(2048, 8192, 8192, 16, 1)
+        lo = gemm_operational_intensity(2048, 8192, 8192, 16, 16)
+        assert hi > lo
+
+    def test_table_overhead_lowers_intensity(self):
+        base = gemm_operational_intensity(2048, 8192, 8192, 16, 1)
+        loaded = gemm_operational_intensity(
+            2048, 8192, 8192, 16, 1, table_overhead_bytes=1e9
+        )
+        assert loaded < base
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            attainable_flops(0, 1, 1)
+        with pytest.raises(SimulationError):
+            roofline_time(-1, 0, 1, 1)

@@ -1,0 +1,86 @@
+"""Tests for GPU specs and the memory model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.gpu_specs import (
+    A100,
+    H100,
+    RTX3090,
+    GpuSpec,
+    LutExtension,
+    lut_peak_tflops,
+    with_lut_extension,
+)
+from repro.sim.memory import MemoryModel
+
+
+class TestSpecs:
+    def test_a100_peaks(self):
+        assert A100.fp16_tflops == pytest.approx(312, rel=0.01)
+        assert A100.int8_tops == pytest.approx(624, rel=0.01)
+
+    def test_h100_peak(self):
+        assert H100.fp16_tflops == pytest.approx(989, rel=0.01)
+        assert H100.peak_tflops(act_bits=8) == pytest.approx(1979, rel=0.01)
+
+    def test_rtx3090_peak(self):
+        assert RTX3090.fp16_tflops == pytest.approx(142, rel=0.01)
+
+    def test_invalid_spec(self):
+        with pytest.raises(SimulationError):
+            GpuSpec("bad", 0, 1.0, 1, 1, 1, 1, 1, 1)
+
+    def test_lut_extension_scaling(self):
+        spec = with_lut_extension(A100, array_scale=4, weight_bits=1)
+        assert lut_peak_tflops(spec) == pytest.approx(4 * 312, rel=0.01)
+        # W2: bit-serial halves throughput.
+        spec2 = with_lut_extension(A100, array_scale=4, weight_bits=2)
+        assert lut_peak_tflops(spec2) == pytest.approx(2 * 312, rel=0.01)
+        # INT8 activations double the rate (like stock tensor cores).
+        assert lut_peak_tflops(spec, act_bits=8) == pytest.approx(
+            8 * 312, rel=0.01
+        )
+
+    def test_lut_peak_requires_extension(self):
+        with pytest.raises(SimulationError):
+            lut_peak_tflops(A100)
+
+    def test_reg_scale_affects_budget(self):
+        stock = A100.regfile_bytes_per_sm
+        doubled = with_lut_extension(A100, 4, reg_scale=2.0).regfile_bytes_per_sm
+        assert doubled == 2 * stock
+
+    def test_invalid_extension(self):
+        with pytest.raises(SimulationError):
+            LutExtension(array_scale=0)
+
+    def test_peak_tflops_dequant_path(self):
+        # Dequant-based mpGEMM runs at activation precision.
+        assert A100.peak_tflops(act_bits=16) == A100.fp16_tflops
+        assert A100.peak_tflops(act_bits=8) == A100.int8_tops
+
+
+class TestMemoryModel:
+    def test_dram_time_linear(self):
+        mm = MemoryModel(A100)
+        assert mm.dram_time_s(2e9) == pytest.approx(2 * mm.dram_time_s(1e9))
+
+    def test_negative_traffic_rejected(self):
+        mm = MemoryModel(A100)
+        with pytest.raises(SimulationError):
+            mm.dram_time_s(-1)
+
+    def test_l2_faster_than_dram(self):
+        mm = MemoryModel(A100)
+        assert mm.l2_time_s(1e9) < mm.dram_time_s(1e9)
+
+    def test_fits_l2(self):
+        mm = MemoryModel(A100)
+        assert mm.fits_l2(30e6)
+        assert not mm.fits_l2(50e6)
+
+    def test_memory_time_is_max_of_levels(self):
+        mm = MemoryModel(A100)
+        t = mm.memory_time_s(dram_bytes=1e9, l2_bytes=1e9)
+        assert t == mm.dram_time_s(1e9)

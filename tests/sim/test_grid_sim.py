@@ -1,0 +1,58 @@
+"""Tests for grid-level cycle simulation."""
+
+import pytest
+
+from repro.compiler.scheduler import schedule_gemm
+from repro.datatypes.formats import FP16
+from repro.models.workloads import GemmShape
+from repro.sim.accelsim import simulate_kernel_grid
+from repro.sim.gpu_specs import A100, with_lut_extension
+from repro.sim.kernel import simulate_gemm_kernel
+
+
+class TestGridSimulation:
+    def test_grid_result_fields(self):
+        shape = GemmShape(256, 512, 512)
+        schedule = schedule_gemm(shape, A100, FP16)
+        result = simulate_kernel_grid(schedule, A100)
+        assert result.blocks == schedule.blocks
+        assert result.waves >= 1
+        assert result.total_cycles == result.waves * result.block_cycles
+        assert result.achieved_tflops > 0
+
+    def test_grid_time_scales_with_problem(self):
+        small = simulate_kernel_grid(
+            schedule_gemm(GemmShape(256, 512, 512), A100, FP16), A100
+        )
+        # 16x the blocks -> more waves -> more time.
+        large = simulate_kernel_grid(
+            schedule_gemm(GemmShape(1024, 2048, 512), A100, FP16), A100
+        )
+        assert large.time_s > small.time_s
+
+    def test_cycle_grid_tracks_analytical_kernel_sim(self):
+        """The Accel-Sim-style grid model and the analytical model agree
+        within a small factor on a mid-size GEMM (the paper's kernel-level
+        validation methodology)."""
+        shape = GemmShape(1024, 2048, 1024)
+        schedule = schedule_gemm(shape, A100, FP16)
+        grid = simulate_kernel_grid(schedule, A100)
+        analytical = simulate_gemm_kernel(shape, A100)
+        ratio = grid.achieved_tflops / analytical.achieved_tflops
+        assert 0.3 <= ratio <= 3.0
+
+    def test_lut_grid_simulation(self):
+        spec = with_lut_extension(A100, 2, reg_scale=2.0, weight_bits=2)
+        shape = GemmShape(512, 1024, 512)
+        schedule = schedule_gemm(shape, spec, FP16, weight_bits=2,
+                                 use_lut=True)
+        result = simulate_kernel_grid(schedule, spec)
+        assert result.achieved_tflops > 0
+
+    def test_more_resident_blocks_do_not_slow_grid(self):
+        shape = GemmShape(2048, 2048, 512)
+        schedule = schedule_gemm(shape, A100, FP16)
+        one = simulate_kernel_grid(schedule, A100, blocks_per_sm=1)
+        two = simulate_kernel_grid(schedule, A100, blocks_per_sm=2)
+        # Co-residency improves (or at least does not hurt) throughput.
+        assert two.achieved_tflops >= 0.9 * one.achieved_tflops

@@ -1,0 +1,103 @@
+"""Edge cases across the simulators: H100 configs, tiny problems,
+degenerate graphs, and precompute split mode."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.dfg import DataflowGraph, OpKind, Operator, TensorSpec
+from repro.datatypes.formats import FP16, FP8_E4M3, INT8
+from repro.errors import SimulationError
+from repro.models.configs import BITNET_3B
+from repro.models.transformer import InferencePhase
+from repro.models.workloads import GemmShape
+from repro.sim.gpu_specs import H100, with_lut_extension
+from repro.sim.kernel import simulate_gemm_kernel
+from repro.sim.tile_sim import PrecomputeMode, TileSimulator
+
+
+class TestH100:
+    def test_h100_fp8_faster_than_fp16(self):
+        sim = TileSimulator(H100)
+        fp16 = sim.time_model(BITNET_3B, 1, 1024, InferencePhase.PREFILL,
+                              act_dtype=FP16)
+        fp8 = sim.time_model(BITNET_3B, 1, 1024, InferencePhase.PREFILL,
+                             act_dtype=FP8_E4M3)
+        assert fp8.total_ms < fp16.total_ms
+
+    def test_h100_lut_extension(self):
+        spec = with_lut_extension(H100, 4, reg_scale=2.0, weight_bits=2)
+        sim = TileSimulator(spec)
+        t = sim.time_model(
+            BITNET_3B, 1, 1024, InferencePhase.PREFILL,
+            weight_bits=2, act_dtype=FP8_E4M3,
+            precompute=PrecomputeMode.FUSED,
+        )
+        base = TileSimulator(H100).time_model(
+            BITNET_3B, 1, 1024, InferencePhase.PREFILL, act_dtype=FP8_E4M3
+        )
+        assert t.total_ms < base.total_ms
+
+    def test_h100_kernel_sim(self):
+        result = simulate_gemm_kernel(GemmShape(2048, 8192, 8192), H100)
+        # Mid-size GEMMs on H100 land well above A100 peak but below the
+        # 989 TFLOPs roof (L2 traffic limits, as on real hardware).
+        assert 450 < result.achieved_tflops < 989
+
+
+class TestKernelEdgeCases:
+    def test_tiny_problem_still_feasible(self):
+        result = simulate_gemm_kernel(GemmShape(16, 32, 16), H100)
+        assert result.time_s > 0
+        # Dominated by launch overhead.
+        assert result.time_s >= H100.launch_overhead_us * 1e-6
+
+    def test_skinny_n_problem(self):
+        result = simulate_gemm_kernel(GemmShape(8192, 32, 8192), H100)
+        assert result.achieved_tflops > 0
+
+    def test_deep_k_problem(self):
+        result = simulate_gemm_kernel(GemmShape(64, 64, 65536), H100)
+        assert result.waves >= 1
+
+
+class TestDegenerateGraphs:
+    def test_single_op_graph(self):
+        graph = DataflowGraph("one-op")
+        graph.add(Operator(
+            name="solo", kind=OpKind.GEMM,
+            inputs=(TensorSpec("a", (64, 64)), TensorSpec("b", (64, 64))),
+            outputs=(TensorSpec("c", (64, 64)),),
+            flops=2.0 * 64**3,
+        ))
+        timing = TileSimulator(H100).time_graph(graph)
+        assert len(timing.groups) == 1
+        assert timing.total_ms > 0
+
+    def test_pure_elementwise_graph(self):
+        graph = DataflowGraph("ew")
+        x = TensorSpec("x", (1024, 1024))
+        prev = x
+        for i in range(3):
+            out = TensorSpec(f"y{i}", (1024, 1024))
+            graph.add(Operator(
+                name=f"ew{i}", kind=OpKind.ELEMENTWISE,
+                inputs=(prev,), outputs=(out,), flops=1024.0 * 1024,
+            ))
+            prev = out
+        timing = TileSimulator(H100).time_graph(graph)
+        # The chain fuses into one kernel.
+        assert len(timing.groups) == 1
+
+    def test_split_precompute_mode_between_fused_and_naive(self):
+        spec = with_lut_extension(H100, 1, 1.0, 1)
+        sim = TileSimulator(spec)
+        times = {
+            mode: sim.time_model(
+                BITNET_3B, 1, 1024, InferencePhase.PREFILL,
+                weight_bits=1, act_dtype=FP16, precompute=mode,
+            ).total_ms
+            for mode in (PrecomputeMode.FUSED, PrecomputeMode.SPLIT,
+                         PrecomputeMode.NAIVE)
+        }
+        assert times[PrecomputeMode.FUSED] < times[PrecomputeMode.SPLIT]
+        assert times[PrecomputeMode.SPLIT] < times[PrecomputeMode.NAIVE]

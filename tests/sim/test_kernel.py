@@ -1,0 +1,100 @@
+"""Tests for the analytical kernel simulator (Fig. 15's engine)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.models.workloads import FIG15_SHAPE, GemmShape
+from repro.sim.gpu_specs import A100, with_lut_extension
+from repro.sim.kernel import simulate_gemm_kernel
+
+
+class TestBaselineKernel:
+    def test_cublas_like_near_peak(self):
+        """Large FP16 GEMM achieves 80-95% of A100 peak (like cuBLAS)."""
+        result = simulate_gemm_kernel(FIG15_SHAPE, A100)
+        assert 0.80 * 312 <= result.achieved_tflops <= 0.95 * 312
+        assert result.bound == "compute"
+
+    def test_gemv_memory_bound(self):
+        shape = GemmShape(1, 8192, 8192)
+        result = simulate_gemm_kernel(shape, A100)
+        assert result.bound == "dram"
+
+    def test_monotone_in_problem_size(self):
+        small = simulate_gemm_kernel(GemmShape(512, 4096, 4096), A100)
+        large = simulate_gemm_kernel(GemmShape(2048, 4096, 4096), A100)
+        assert large.time_s > small.time_s
+
+
+class TestLutKernel:
+    def test_requires_lut_extension(self):
+        with pytest.raises(SimulationError):
+            simulate_gemm_kernel(FIG15_SHAPE, A100, weight_bits=1,
+                                 use_lut=True)
+
+    def test_array_scaling_near_linear_up_to_4x(self):
+        achieved = {}
+        for scale in (1, 2, 4):
+            spec = with_lut_extension(A100, scale, reg_scale=float(scale),
+                                      weight_bits=1)
+            achieved[scale] = simulate_gemm_kernel(
+                FIG15_SHAPE, spec, weight_bits=1, use_lut=True
+            ).achieved_tflops
+        assert achieved[2] / achieved[1] == pytest.approx(2.0, rel=0.15)
+        assert achieved[4] / achieved[1] == pytest.approx(4.0, rel=0.25)
+
+    def test_register_capacity_unlocks_8x(self):
+        """The paper's register experiments: stock registers bottleneck
+        the 8x array; enlarged registers recover throughput."""
+        stock = simulate_gemm_kernel(
+            FIG15_SHAPE,
+            with_lut_extension(A100, 8, reg_scale=1.0, weight_bits=1),
+            weight_bits=1, use_lut=True,
+        )
+        wide = simulate_gemm_kernel(
+            FIG15_SHAPE,
+            with_lut_extension(A100, 8, reg_scale=8.0, weight_bits=1),
+            weight_bits=1, use_lut=True,
+        )
+        assert wide.achieved_tflops > 1.2 * stock.achieved_tflops
+
+    def test_bit_serial_halves_throughput(self):
+        results = {}
+        for wb in (1, 2, 4):
+            spec = with_lut_extension(A100, 4, reg_scale=2.0, weight_bits=wb)
+            results[wb] = simulate_gemm_kernel(
+                FIG15_SHAPE, spec, weight_bits=wb, use_lut=True
+            ).achieved_tflops
+        assert results[1] / results[2] == pytest.approx(2.0, rel=0.25)
+        assert results[2] / results[4] == pytest.approx(2.0, rel=0.25)
+
+    def test_w1_lut_1x_matches_fp16_throughput_with_less_area(self):
+        """Fig. 15's headline: LUT 1X delivers cuBLAS-level mpGEMM."""
+        baseline = simulate_gemm_kernel(FIG15_SHAPE, A100)
+        lut = simulate_gemm_kernel(
+            FIG15_SHAPE,
+            with_lut_extension(A100, 1, reg_scale=1.0, weight_bits=1),
+            weight_bits=1, use_lut=True,
+        )
+        assert lut.achieved_tflops == pytest.approx(
+            baseline.achieved_tflops, rel=0.10
+        )
+
+    def test_int8_activations_double_rate(self):
+        fp16 = simulate_gemm_kernel(
+            FIG15_SHAPE,
+            with_lut_extension(A100, 4, reg_scale=4.0, weight_bits=1),
+            act_bits=16, weight_bits=1, use_lut=True,
+        )
+        int8 = simulate_gemm_kernel(
+            FIG15_SHAPE,
+            with_lut_extension(A100, 4, reg_scale=4.0, weight_bits=1),
+            act_bits=8, weight_bits=1, use_lut=True,
+        )
+        assert int8.achieved_tflops > 1.5 * fp16.achieved_tflops
+
+    def test_result_fields(self):
+        result = simulate_gemm_kernel(FIG15_SHAPE, A100)
+        assert result.time_ms == pytest.approx(result.time_s * 1e3)
+        assert result.occupancy_blocks_per_sm >= 1
+        assert result.waves >= 1

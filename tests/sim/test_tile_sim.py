@@ -1,0 +1,135 @@
+"""Tests for the end-to-end tile simulator and ground-truth reference."""
+
+import pytest
+
+from repro.datatypes.formats import FP16, INT8
+from repro.models.configs import BITNET_3B, LLAMA2_70B, OPT_175B
+from repro.models.transformer import InferencePhase
+from repro.sim.groundtruth import GroundTruthSimulator
+from repro.sim.gpu_specs import A100, RTX3090, with_lut_extension
+from repro.sim.tile_sim import PrecomputeMode, TileSimulator
+
+PREFILL = InferencePhase.PREFILL
+DECODE = InferencePhase.DECODE
+
+
+class TestTileSimulator:
+    def test_opt_prefill_near_table4_anchor(self):
+        """Paper Table 4: OPT-175B single layer BS1-SEQ2048 ~ 32.4 ms."""
+        sim = TileSimulator(A100)
+        ms = sim.time_model(OPT_175B, 1, 2048, PREFILL).total_ms
+        assert 32.38 * 0.75 <= ms <= 32.38 * 1.25
+
+    def test_opt_decode_near_table4_anchor(self):
+        """Paper Table 4: OPT-175B single layer BS1024-SEQ1 ~ 15.0 ms."""
+        sim = TileSimulator(A100)
+        ms = sim.time_model(OPT_175B, 1024, 1, DECODE).total_ms
+        assert 14.99 * 0.75 <= ms <= 14.99 * 1.35
+
+    def test_latency_monotone_in_batch(self):
+        sim = TileSimulator(A100)
+        t1 = sim.time_model(OPT_175B, 256, 1, DECODE).total_ms
+        t2 = sim.time_model(OPT_175B, 1024, 1, DECODE).total_ms
+        assert t2 > t1
+
+    def test_int8_faster_than_fp16(self):
+        sim = TileSimulator(A100)
+        fp16 = sim.time_model(OPT_175B, 1, 2048, PREFILL, act_dtype=FP16)
+        int8 = sim.time_model(OPT_175B, 1, 2048, PREFILL, act_dtype=INT8)
+        assert int8.total_ms < fp16.total_ms
+
+    def test_slower_gpu_is_slower(self):
+        a100 = TileSimulator(A100).time_model(OPT_175B, 1, 2048, PREFILL)
+        r3090 = TileSimulator(RTX3090).time_model(OPT_175B, 1, 2048, PREFILL)
+        assert r3090.total_ms > a100.total_ms
+
+    def test_lut_mpgemm_requires_extension(self):
+        from repro.errors import SimulationError
+
+        sim = TileSimulator(A100)
+        lut_spec_sim = TileSimulator(with_lut_extension(A100, 4, 2, 2))
+        # Low-bit weights on a LUT spec work; the timing includes LUT ops.
+        t = lut_spec_sim.time_model(BITNET_3B, 1, 256, PREFILL,
+                                    weight_bits=2, act_dtype=INT8)
+        assert t.total_ms > 0
+        assert any(g.kind == "lut_mpgemm" for g in t.groups)
+
+    def test_lut_array_scaling_speeds_up_prefill(self):
+        times = {}
+        for scale in (1, 4, 8):
+            spec = with_lut_extension(A100, scale, reg_scale=2.0,
+                                      weight_bits=2)
+            times[scale] = TileSimulator(spec).time_model(
+                BITNET_3B, 1, 2048, PREFILL, weight_bits=2, act_dtype=INT8
+            ).total_ms
+        assert times[8] < times[4] < times[1]
+
+    def test_kernel_breakdown_sums(self):
+        sim = TileSimulator(A100)
+        timing = sim.time_model(OPT_175B, 1, 512, PREFILL)
+        assert timing.total_s == pytest.approx(
+            sum(g.time_s for g in timing.groups)
+        )
+        assert timing.time_of("attn.") < timing.total_s
+
+    def test_model_inference_scales_with_layers(self):
+        sim = TileSimulator(A100)
+        per_layer = sim.time_model(OPT_175B, 1, 512, PREFILL).total_ms
+        total = sim.model_inference_ms(OPT_175B, 1, 512, PREFILL)
+        assert total == pytest.approx(per_layer * OPT_175B.layers)
+
+
+class TestPrecomputeModes:
+    LUT1X = with_lut_extension(A100, 1, 1.0, 1)
+
+    def test_naive_overhead_in_paper_band(self):
+        """Paper: separated precompute costs 16-24%."""
+        sim = TileSimulator(self.LUT1X)
+        base = sim.time_model(OPT_175B, 1, 2048, PREFILL, weight_bits=1)
+        naive = sim.time_model(OPT_175B, 1, 2048, PREFILL, weight_bits=1,
+                               precompute=PrecomputeMode.NAIVE)
+        overhead = naive.total_ms / base.total_ms - 1.0
+        assert 0.10 <= overhead <= 0.30
+
+    def test_fused_overhead_small(self):
+        """Paper: fused precompute costs ~2.5%."""
+        sim = TileSimulator(self.LUT1X)
+        base = sim.time_model(OPT_175B, 1, 2048, PREFILL, weight_bits=1)
+        fused = sim.time_model(OPT_175B, 1, 2048, PREFILL, weight_bits=1,
+                               precompute=PrecomputeMode.FUSED)
+        overhead = fused.total_ms / base.total_ms - 1.0
+        assert 0.0 < overhead <= 0.06
+
+    def test_ordering_none_lt_fused_lt_split_lt_naive(self):
+        sim = TileSimulator(self.LUT1X)
+        times = {
+            mode: sim.time_model(
+                OPT_175B, 1, 2048, PREFILL, weight_bits=1, precompute=mode
+            ).total_ms
+            for mode in PrecomputeMode
+        }
+        assert (
+            times[PrecomputeMode.NONE]
+            < times[PrecomputeMode.FUSED]
+            < times[PrecomputeMode.SPLIT]
+            < times[PrecomputeMode.NAIVE]
+        )
+
+
+class TestGroundTruth:
+    def test_deterministic(self):
+        gt = GroundTruthSimulator(A100)
+        t1 = gt.time_model(OPT_175B, 1, 512, PREFILL).total_ms
+        t2 = gt.time_model(OPT_175B, 1, 512, PREFILL).total_ms
+        assert t1 == t2
+
+    def test_close_to_tile_sim_but_not_equal(self):
+        gt = GroundTruthSimulator(A100).time_model(OPT_175B, 1, 2048, PREFILL)
+        fast = TileSimulator(A100).time_model(OPT_175B, 1, 2048, PREFILL)
+        rel = abs(gt.total_ms - fast.total_ms) / gt.total_ms
+        assert 0.0 < rel < 0.20
+
+    def test_gpu_dependent_perturbations(self):
+        a = GroundTruthSimulator(A100).time_model(OPT_175B, 1, 512, PREFILL)
+        b = GroundTruthSimulator(RTX3090).time_model(OPT_175B, 1, 512, PREFILL)
+        assert a.total_ms != b.total_ms
