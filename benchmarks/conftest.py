@@ -1,11 +1,19 @@
 """Shared pytest-benchmark configuration for the experiment benches.
 
-Every bench regenerates one of the paper's tables/figures, prints the
-formatted rows (run pytest with ``-s`` to see them), and asserts the
-headline shape so a bench run doubles as a reproduction check.
+Every bench regenerates one of the paper's tables/figures through the
+same harness the CLI uses (:mod:`repro.experiments.harness`), prints the
+formatted rows (run pytest with ``--print-results`` to see them), and
+asserts the headline shape so a bench run doubles as a reproduction
+check. Benches always execute uncached — the point is to time the real
+computation.
 """
 
+from dataclasses import dataclass
+from typing import Any
+
 import pytest
+
+from repro.experiments.harness import get_spec
 
 
 def pytest_addoption(parser):
@@ -30,7 +38,20 @@ def show(request, capsys):
     return _show
 
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run an expensive experiment exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1)
+@dataclass(frozen=True)
+class BenchRun:
+    """What a bench sees: the live result object plus the formatted text."""
+
+    value: Any
+    text: str
+
+
+def run_once(benchmark, name: str) -> BenchRun:
+    """Run one experiment exactly once, uncached, under the benchmark timer.
+
+    Resolves the experiment through the harness registry but times only
+    ``run()`` itself — formatting stays outside the measured region.
+    """
+    spec = get_spec(name)
+    value = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    return BenchRun(value=value, text=spec.format(value))

@@ -1,24 +1,21 @@
 """Benches: the ablation/extension studies beyond the paper's tables."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import (
-    ablation_kv_attention,
-    ablation_sensitivity,
-    ablation_sw_opts,
-)
 from repro.hw.sensitivity import conclusions_robust
 
 
 def test_bench_ablation_sw_opts(benchmark, show):
-    rows = run_once(benchmark, ablation_sw_opts.run)
-    show(ablation_sw_opts.format_result(rows))
+    run = run_once(benchmark, "ablation_sw")
+    show(run.text)
+    rows = run.value
     assert rows[0].table_mbytes / rows[-1].table_mbytes >= 4.0
     assert rows[0].precompute_mops / rows[-1].precompute_mops >= 64
 
 
 def test_bench_ablation_kv_attention(benchmark, show):
-    rows = run_once(benchmark, ablation_kv_attention.run)
-    show(ablation_kv_attention.format_result(rows))
+    run = run_once(benchmark, "ablation_kv")
+    show(run.text)
+    rows = run.value
     for r in rows:
         # LUT adds only table rounding, far below the cache-quant damage
         # (except at 8-bit caches, where both are tiny).
@@ -27,6 +24,7 @@ def test_bench_ablation_kv_attention(benchmark, show):
 
 
 def test_bench_sensitivity(benchmark, show):
-    reports = run_once(benchmark, ablation_sensitivity.run)
-    show(ablation_sensitivity.format_result(reports))
+    run = run_once(benchmark, "sensitivity")
+    show(run.text)
+    reports = run.value
     assert conclusions_robust(reports)

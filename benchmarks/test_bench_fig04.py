@@ -1,12 +1,12 @@
 """Bench: regenerate Figure 4 (kernel performance gap)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import fig04_kernel_gap
 
 
 def test_bench_fig04(benchmark, show):
-    rows = run_once(benchmark, fig04_kernel_gap.run)
-    show(fig04_kernel_gap.format_result(rows))
+    run = run_once(benchmark, "fig4")
+    show(run.text)
+    rows = run.value
     gemv = [r for r in rows if r.batch == 1]
     assert all(3.0 <= r.cutlass_speedup <= 4.3 for r in gemv)
     big = [r for r in rows if r.batch >= 1024]

@@ -1,12 +1,12 @@
 """Bench: regenerate Figure 11 (DSE along K)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import fig11_dse_k
 
 
 def test_bench_fig11(benchmark, show):
-    series = run_once(benchmark, fig11_dse_k.run)
-    show(fig11_dse_k.format_result(series))
+    run = run_once(benchmark, "fig11")
+    show(run.text)
+    series = run.value
     peaks = {s.act_dtype.name: s.peak_k for s in series}
     assert peaks["int8"] == 4
     assert peaks["int16"] == 4

@@ -1,12 +1,12 @@
 """Bench: regenerate Figure 12 (DP4 PPA comparison)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import fig12_dp4_ppa
 
 
 def test_bench_fig12(benchmark, show):
-    rows = run_once(benchmark, fig12_dp4_ppa.run)
-    show(fig12_dp4_ppa.format_result(rows))
+    run = run_once(benchmark, "fig12")
+    show(run.text)
+    rows = run.value
     by = {r.label: r for r in rows}
     assert 0.6 * 61.55 <= (
         by["WINT1AFP16 LUT"].compute_density_tflops_mm2

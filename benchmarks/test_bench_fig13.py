@@ -1,12 +1,12 @@
 """Bench: regenerate Figure 13 (area vs weight bit-width)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import fig13_weight_scaling
 
 
 def test_bench_fig13(benchmark, show):
-    series = run_once(benchmark, fig13_weight_scaling.run)
-    show(fig13_weight_scaling.format_result(series))
+    run = run_once(benchmark, "fig13")
+    show(run.text)
+    series = run.value
     by = {s.label: s for s in series}
     mac = by["MAC WFP16AFP16"].areas_um2[1]
     ltc = by["LUT WINTXAFP16 LUT Tensor Core"]

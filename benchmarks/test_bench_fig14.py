@@ -1,13 +1,13 @@
 """Bench: regenerate Figure 14 (tensor-core MNK Pareto panels)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import fig14_tensor_core_pareto
 from repro.hw.dotprod import DotProductKind
 
 
 def test_bench_fig14(benchmark, show):
-    panels = run_once(benchmark, fig14_tensor_core_pareto.run)
-    show(fig14_tensor_core_pareto.format_result(panels))
+    run = run_once(benchmark, "fig14")
+    show(run.text)
+    panels = run.value
     assert len(panels) == 12
     assert all(p.winner is DotProductKind.LUT_TENSOR_CORE for p in panels)
     w1fp16 = next(

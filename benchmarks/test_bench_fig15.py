@@ -1,12 +1,12 @@
 """Bench: regenerate Figure 15 (Accel-Sim-style kernel study)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import fig15_kernel_sim
 
 
 def test_bench_fig15(benchmark, show):
-    rows = run_once(benchmark, fig15_kernel_sim.run)
-    show(fig15_kernel_sim.format_result(rows))
+    run = run_once(benchmark, "fig15")
+    show(run.text)
+    rows = run.value
     cublas = next(r for r in rows if r.label == "A100 cuBLAS")
     assert 0.8 * 312 <= cublas.achieved_tflops <= 312
     # LUT 1X W1AFP16 matches cuBLAS with a fraction of the area.

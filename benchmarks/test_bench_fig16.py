@@ -1,11 +1,11 @@
 """Bench: regenerate Figure 16 (end-to-end simulator accuracy)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import fig16_sim_accuracy
 
 
 def test_bench_fig16(benchmark, show):
-    result = run_once(benchmark, fig16_sim_accuracy.run)
-    show(fig16_sim_accuracy.format_result(result))
+    run = run_once(benchmark, "fig16")
+    show(run.text)
+    result = run.value
     assert len(result.cells) == 24
     assert 1.0 <= result.mape_pct <= 9.0  # paper: 5.21%

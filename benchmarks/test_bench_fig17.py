@@ -5,8 +5,9 @@ from repro.experiments import fig17_e2e_speedup
 
 
 def test_bench_fig17(benchmark, show):
-    cells = run_once(benchmark, fig17_e2e_speedup.run)
-    show(fig17_e2e_speedup.format_result(cells))
+    run = run_once(benchmark, "fig17")
+    show(run.text)
+    cells = run.value
     peak = fig17_e2e_speedup.max_speedup(cells)
     assert 6.0 <= peak <= 13.0  # paper: up to 8.2x
     # Every LUT configuration beats the FP16 baseline.

@@ -5,8 +5,9 @@ from repro.experiments import fig18_lutgemm_compare
 
 
 def test_bench_fig18(benchmark, show):
-    rows = run_once(benchmark, fig18_lutgemm_compare.run)
-    show(fig18_lutgemm_compare.format_result(rows))
+    run = run_once(benchmark, "fig18")
+    show(run.text)
+    rows = run.value
     s = fig18_lutgemm_compare.summary(rows)
     # Paper: LUT TC up to 1.42x faster GEMV, 72.2x faster GEMM.
     assert 1.2 <= s["max_gemv_ltc_vs_lutgemm"] <= 3.5

@@ -1,12 +1,12 @@
 """Bench: regenerate Figure 19 (roofline analysis)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import fig19_roofline
 
 
 def test_bench_fig19(benchmark, show):
-    result = run_once(benchmark, fig19_roofline.run)
-    show(fig19_roofline.format_result(result))
+    run = run_once(benchmark, "fig19")
+    show(run.text)
+    result = run.value
     naive = result.point("WINT1AFP16 LUT naive")
     opt = result.point("WINT1AFP16 LUT + all opt. + double reg")
     assert naive.operational_intensity < result.lut_ridge

@@ -1,12 +1,12 @@
 """Bench: regenerate Table 1 (overall comparison)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import table1_overall
 
 
 def test_bench_table1(benchmark, show):
-    rows = run_once(benchmark, table1_overall.run)
-    show(table1_overall.format_result(rows))
+    run = run_once(benchmark, "table1")
+    show(run.text)
+    rows = run.value
     assert len(rows) == 7
     base, int8, lut4, lut8 = rows[:4]
     assert base.decode_ms > int8.decode_ms > lut4.decode_ms > lut8.decode_ms

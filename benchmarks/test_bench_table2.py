@@ -3,12 +3,12 @@
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.experiments import table2_unpu
 
 
 def test_bench_table2(benchmark, show):
-    rows = run_once(benchmark, table2_unpu.run)
-    show(table2_unpu.format_result(rows))
+    run = run_once(benchmark, "table2")
+    show(run.text)
+    rows = run.value
     for row, target in zip(rows, (1.0, 1.317, 1.351, 1.440)):
         assert row.normalized_compute_intensity == pytest.approx(
             target, rel=0.12

@@ -1,11 +1,11 @@
 """Bench: regenerate Table 3 (accelerator feature comparison)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import table3_accels
 
 
 def test_bench_table3(benchmark, show):
-    rows = run_once(benchmark, table3_accels.run)
-    show(table3_accels.format_result(rows))
+    run = run_once(benchmark, "table3")
+    show(run.text)
+    rows = run.value
     assert [r.name for r in rows][-1] == "LUT Tensor Core"
     assert rows[-1].compiler_stack

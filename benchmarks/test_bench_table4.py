@@ -5,8 +5,9 @@ from repro.experiments import table4_fusion
 
 
 def test_bench_table4(benchmark, show):
-    rows = run_once(benchmark, table4_fusion.run)
-    show(table4_fusion.format_result(rows))
+    run = run_once(benchmark, "table4")
+    show(run.text)
+    rows = run.value
     naive, fused = table4_fusion.mean_overheads(rows)
     assert 12.0 <= naive <= 28.0  # paper: 16.47% / 24.41%
     assert 0.5 <= fused <= 5.0    # paper: 2.62% / 2.52%

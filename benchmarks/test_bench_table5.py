@@ -1,12 +1,12 @@
 """Bench: regenerate Table 5 (table quantization accuracy)."""
 
 from benchmarks.conftest import run_once
-from repro.experiments import table5_tablequant
 
 
 def test_bench_table5(benchmark, show):
-    result = run_once(benchmark, table5_tablequant.run)
-    show(table5_tablequant.format_result(result))
+    run = run_once(benchmark, "table5")
+    show(run.text)
+    result = run.value
     fp = result.row("FP full-size")
     small = result.row("FP half-size")
     quant = result.row("W2A-FP")

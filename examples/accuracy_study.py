@@ -7,6 +7,9 @@ full LUT pipeline with INT8 tables. The table-quantization delta is the
 paper's headline accuracy claim.
 
 Run:  python examples/accuracy_study.py
+
+The full published table (four model rows, five-task battery) is the
+``table5`` experiment:  python -m repro.experiments.harness run table5
 """
 
 from repro.accuracy.data import SyntheticLanguage

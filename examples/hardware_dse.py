@@ -9,6 +9,7 @@ Run:  python examples/hardware_dse.py
 """
 
 from repro.datatypes import FP16, INT8
+from repro.experiments.harness import resolve, run_many
 from repro.hw.dotprod import DotProductKind, dp_unit_cost
 from repro.hw.dse import best_by_area_power, pareto_frontier, sweep_mnk
 
@@ -59,6 +60,16 @@ def main() -> None:
           f"{mac_best.power_mw:.2f} mW")
     print(f"LUT vs MAC reduction: area {mac_best.area_um2 / best.area_um2:.1f}x,"
           f" power {mac_best.power_mw / best.power_mw:.1f}x")
+
+    print()
+    print("=" * 64)
+    print("Step 4 — cross-check against the paper experiments (harness)")
+    print("=" * 64)
+    # The walk above is the tutorial version of Fig. 11 and Fig. 14; the
+    # harness runs the full published sweeps through the same models.
+    for run in run_many(resolve(["fig11", "fig14"]), jobs=2):
+        print(f"\n--- {run.name} ({run.spec.meta.paper_ref}) ---")
+        print(run.text)
 
 
 if __name__ == "__main__":

@@ -40,3 +40,7 @@ class SimulationError(ReproError):
 
 class AccuracyError(ReproError):
     """Raised by the accuracy-evaluation substrate."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness (unknown names, bad selections)."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datatypes.formats import INT8
+from repro.experiments.meta import ExperimentMeta
 from repro.lut.attention import (
     QuantizedKvCache,
     dequant_decode_attention,
@@ -25,6 +26,15 @@ from repro.lut.attention import (
 HEADS = 8
 CONTEXT = 128
 HEAD_DIM = 64
+
+META = ExperimentMeta(
+    title="KV-cache quantization through the LUT decode-attention path",
+    paper_ref="Section 5 (KV extension)",
+    kind="ablation",
+    tags=("accuracy", "attention", "extension"),
+    expected_runtime_s=0.1,
+    config={"heads": HEADS, "context": CONTEXT, "head_dim": HEAD_DIM},
+)
 
 
 @dataclass(frozen=True)

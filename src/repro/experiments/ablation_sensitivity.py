@@ -1,11 +1,21 @@
-"""Ablation: robustness of the hardware conclusions to model constants."""
+"""Ablation (Section 4 models): robustness of hardware conclusions to constants."""
 
 from __future__ import annotations
 
+from repro.experiments.meta import ExperimentMeta
 from repro.hw.sensitivity import (
     SensitivityReport,
     conclusions_robust,
     run_sensitivity,
+)
+
+META = ExperimentMeta(
+    title="Sensitivity of hardware conclusions to PPA model constants",
+    paper_ref="Section 4 (robustness)",
+    kind="ablation",
+    tags=("hardware", "cheap"),
+    expected_runtime_s=0.1,
+    config={},
 )
 
 

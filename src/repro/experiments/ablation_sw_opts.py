@@ -1,4 +1,4 @@
-"""Ablation: what each software optimization saves, algorithmically.
+"""Ablation (extends Table 2): software-optimization savings, algorithmically.
 
 DESIGN.md calls out four software-side design choices (Section 3.1):
 DFG-transformed (non-redundant) precompute, weight reinterpretation
@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.datatypes.formats import FP16, INT8
+from repro.experiments.meta import ExperimentMeta
 from repro.lut.mpgemm import LutMpGemmConfig
 from repro.lut.stats import LutPipelineStats, stats_for_config
 
@@ -23,6 +24,15 @@ SHAPE = {"n": 10240, "kdim": 8192, "m": 64, "weight_bits": 2}
 #: Conventional precompute redundancy: one table build per LUT-unit
 #: neighbourhood along N (the paper's 12288/4 = 3072x example).
 CONVENTIONAL_REDUNDANCY = 64
+
+META = ExperimentMeta(
+    title="Per-optimization savings: table bytes, precompute ops, runtime ops",
+    paper_ref="Section 3.1 (extends Table 2)",
+    kind="ablation",
+    tags=("algorithm", "cheap"),
+    expected_runtime_s=0.1,
+    config={"shape": SHAPE, "conventional_redundancy": CONVENTIONAL_REDUNDANCY},
+)
 
 
 @dataclass(frozen=True)

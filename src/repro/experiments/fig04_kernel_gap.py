@@ -14,10 +14,20 @@ from repro.baselines import (
     cutlass_dequant_time_s,
     lutgemm_time_s,
 )
+from repro.experiments.meta import ExperimentMeta
 from repro.models.workloads import FIG4_SHAPES, GemmShape
 
 BATCH_SIZES = (1, 1024, 4096)
 WEIGHT_BITS = 4  # the figure's WINT4AFP16 configuration
+
+META = ExperimentMeta(
+    title="mpGEMM kernel gap: LUT-GEMM vs CUTLASS vs cuBLAS on A100",
+    paper_ref="Figure 4",
+    kind="figure",
+    tags=("kernel", "gpu", "baseline", "cheap"),
+    expected_runtime_s=0.1,
+    config={"batch_sizes": BATCH_SIZES, "weight_bits": WEIGHT_BITS},
+)
 
 
 @dataclass(frozen=True)

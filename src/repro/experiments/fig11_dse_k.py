@@ -11,10 +11,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.datatypes.formats import DataType, FP16, FP8_E4M3, INT16, INT8
+from repro.experiments.meta import ExperimentMeta
 from repro.hw.dotprod import DotProductKind, dp_compute_density
 
 K_RANGE = tuple(range(2, 9))
 ACT_DTYPES = (FP16, INT16, FP8_E4M3, INT8)
+
+META = ExperimentMeta(
+    title="DSE of lookup group length K: compute density vs K per format",
+    paper_ref="Figure 11",
+    kind="figure",
+    tags=("hardware", "dse", "cheap"),
+    expected_runtime_s=0.1,
+    config={"k_range": K_RANGE, "act_dtypes": [d.name for d in ACT_DTYPES]},
+)
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.datatypes.formats import DataType, FP16, FP8_E4M3
+from repro.experiments.meta import ExperimentMeta
 from repro.hw.dotprod import DotProductKind, dp_unit_cost
+
+META = ExperimentMeta(
+    title="DP4-unit PPA: MAC vs ADD vs LUT at TSMC 28 nm",
+    paper_ref="Figure 12",
+    kind="figure",
+    tags=("hardware", "ppa", "cheap"),
+    expected_runtime_s=0.1,
+    config={"configs": 6, "process": "tsmc28"},
+)
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.datatypes.formats import FP16
+from repro.experiments.meta import ExperimentMeta
 from repro.hw.dotprod import (
     DotProductKind,
     DotProdParams,
@@ -20,6 +21,15 @@ from repro.hw.dotprod import (
 WEIGHT_BITS = (1, 2, 4, 8, 16)
 #: The paper's experiment shares tables across an N = 4 neighbourhood.
 PARAMS = DotProdParams(ltc_share=4, conventional_share=4)
+
+META = ExperimentMeta(
+    title="DP4 iso-throughput area vs weight bit-width (WINTx AFP16)",
+    paper_ref="Figure 13",
+    kind="figure",
+    tags=("hardware", "ppa", "cheap"),
+    expected_runtime_s=0.1,
+    config={"weight_bits": WEIGHT_BITS, "share": 4},
+)
 
 
 @dataclass(frozen=True)

@@ -12,11 +12,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.datatypes.formats import DataType, FP16, FP8_E4M3, INT16, INT8
+from repro.experiments.meta import ExperimentMeta
 from repro.hw.dotprod import DotProductKind
 from repro.hw.dse import DsePoint, best_by_area_power, pareto_frontier, sweep_mnk
 
 ACT_DTYPES = (FP16, FP8_E4M3, INT16, INT8)
 WEIGHT_BITS = (1, 2, 4)
+
+META = ExperimentMeta(
+    title="Tensor-core MNK Pareto sweep across 12 format panels",
+    paper_ref="Figure 14",
+    kind="figure",
+    tags=("hardware", "dse", "ppa"),
+    expected_runtime_s=0.2,
+    config={
+        "act_dtypes": [d.name for d in ACT_DTYPES],
+        "weight_bits": WEIGHT_BITS,
+        "lanes": 512,
+    },
+)
 DESIGNS = (
     DotProductKind.LUT_TENSOR_CORE,
     DotProductKind.ADD_SERIAL,

@@ -10,11 +10,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.meta import ExperimentMeta
 from repro.models.workloads import FIG15_SHAPE, GemmShape
 from repro.sim.gpu_specs import A100, GpuSpec, lut_peak_tflops, with_lut_extension
 from repro.sim.kernel import simulate_gemm_kernel
 
 ARRAY_SCALES = (1, 2, 4, 8)
+
+META = ExperimentMeta(
+    title="Kernel-level simulation across LUT array and register scales",
+    paper_ref="Figure 15",
+    kind="figure",
+    tags=("simulator", "kernel", "gpu"),
+    expected_runtime_s=0.6,
+    config={"array_scales": ARRAY_SCALES, "shape": "fig15"},
+)
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datatypes.formats import DataType, FP16, INT8
+from repro.experiments.meta import ExperimentMeta
 from repro.models.configs import BLOOM_176B, LLAMA2_70B, OPT_175B, ModelConfig
 from repro.models.transformer import InferencePhase
 from repro.sim.groundtruth import GroundTruthSimulator
@@ -26,6 +27,19 @@ PHASES = (
     ("BS1024-SEQ1", 1024, 1, InferencePhase.DECODE),
 )
 PRECISIONS = (("WFP16AFP16", FP16), ("WINT8AINT8", INT8))
+
+META = ExperimentMeta(
+    title="Tile simulator accuracy vs ground truth (MAPE target ~5%)",
+    paper_ref="Figure 16",
+    kind="figure",
+    tags=("simulator", "accuracy", "cheap"),
+    expected_runtime_s=0.1,
+    config={
+        "models": [m.name for m in MODELS],
+        "gpus": [g.name for g in GPUS],
+        "precisions": [p[0] for p in PRECISIONS],
+    },
+)
 
 
 @dataclass(frozen=True)

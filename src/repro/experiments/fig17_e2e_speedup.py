@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.datatypes.formats import FP16, INT8
+from repro.experiments.meta import ExperimentMeta
 from repro.models.configs import BLOOM_176B, LLAMA2_70B, OPT_175B, ModelConfig
 from repro.models.transformer import InferencePhase
 from repro.sim.groundtruth import GroundTruthSimulator
@@ -27,6 +28,18 @@ LUT_CONFIGS = tuple(
     (f"WINT{wb}AINT8_{scale}x_DRM", wb, scale)
     for wb in (1, 2, 4)
     for scale in (4, 8)
+)
+
+META = ExperimentMeta(
+    title="End-to-end LLM inference speedups on A100 and RTX 3090",
+    paper_ref="Figure 17",
+    kind="figure",
+    tags=("simulator", "e2e", "gpu"),
+    expected_runtime_s=0.3,
+    config={
+        "models": [m.name for m in MODELS],
+        "lut_configs": [c[0] for c in LUT_CONFIGS],
+    },
 )
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines import cublas_gemm_time_s, lutgemm_time_s
+from repro.experiments.meta import ExperimentMeta
 from repro.models.workloads import FIG4_SHAPES, GemmShape
 from repro.sim.gpu_specs import A100, with_lut_extension
 from repro.sim.kernel import simulate_gemm_kernel
@@ -23,6 +24,15 @@ from repro.sim.kernel import simulate_gemm_kernel
 #: Array scale of the comparison configuration (~57% FP16-TC area).
 LTC_ARRAY_SCALE = 2
 GEMM_BATCH = 2048
+
+META = ExperimentMeta(
+    title="LUT Tensor Core vs LUT-GEMM vs cuBLAS on GEMV and GEMM",
+    paper_ref="Figure 18",
+    kind="figure",
+    tags=("kernel", "baseline", "gpu"),
+    expected_runtime_s=0.2,
+    config={"ltc_array_scale": LTC_ARRAY_SCALE, "gemm_batch": GEMM_BATCH},
+)
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.meta import ExperimentMeta
 from repro.models.workloads import FIG15_SHAPE, GemmShape
 from repro.sim.gpu_specs import A100
 from repro.sim.roofline import (
@@ -17,6 +18,15 @@ from repro.sim.roofline import (
     attainable_flops,
     gemm_operational_intensity,
     ridge_point,
+)
+
+META = ExperimentMeta(
+    title="A100 roofline: FP16 TC vs WINT1AFP16 LUT TC kernel variants",
+    paper_ref="Figure 19",
+    kind="figure",
+    tags=("simulator", "kernel", "cheap"),
+    expected_runtime_s=0.1,
+    config={"gpu": "a100", "shape": "fig15"},
 )
 
 

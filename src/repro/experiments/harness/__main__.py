@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.experiments.harness``."""
+
+from repro.experiments.harness.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Machine-readable artifact emission (JSON + CSV) for experiment runs.
+
+Experiments return rich Python values — usually lists of frozen
+dataclasses, sometimes a single result object. :func:`to_jsonable`
+lowers any of them to plain JSON types generically (dataclasses, enums,
+:class:`~repro.datatypes.formats.DataType`, numpy scalars/arrays, nested
+containers), so experiment modules never need custom serializers.
+
+Per experiment the harness writes, under the artifacts directory::
+
+    <name>.json   # envelope: provenance + the full lowered result
+    <name>.csv    # flattened row view (when the result is tabular)
+    report.txt    # all formatted text blocks, registry order
+    manifest.json # one entry per experiment in the run
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any
+
+#: Bumped whenever the artifact envelope layout changes.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def to_jsonable(value: Any) -> Any:
+    """Lower an arbitrary experiment result to JSON-serializable types."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [to_jsonable(v) for v in items]
+    # numpy scalars/arrays without importing numpy eagerly.
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) == ():
+        return to_jsonable(value.item())
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return to_jsonable(tolist())
+    return repr(value)
+
+
+def _flatten_dict(row: dict[str, Any]) -> dict[str, Any]:
+    """Flatten one lowered row into dotted scalar columns for CSV."""
+    flat: dict[str, Any] = {}
+    for key, val in row.items():
+        if isinstance(val, dict):
+            for sub_key, sub_val in _flatten_dict(val).items():
+                flat[f"{key}.{sub_key}"] = sub_val
+        elif isinstance(val, list):
+            flat[key] = json.dumps(val)
+        else:
+            flat[key] = val
+    return flat
+
+
+def csv_rows(data: Any) -> list[dict[str, Any]]:
+    """Row view of a lowered result, or ``[]`` when there is no tabular view.
+
+    A list of dicts maps to one CSV row per element; a single dict maps
+    to a one-row CSV. Scalar columns keep their value, nested lists are
+    JSON-encoded in place so no information is dropped.
+    """
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list) or not data:
+        return []
+    if not all(isinstance(row, dict) for row in data):
+        return []
+    return [_flatten_dict(row) for row in data]
+
+
+def write_json_artifact(path: Path, envelope: dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=False) + "\n")
+
+
+def write_csv_artifact(path: Path, rows: list[dict[str, Any]]) -> bool:
+    """Write the CSV view; returns False when the result is not tabular."""
+    if not rows:
+        return False
+    columns: dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            columns.setdefault(key, None)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return True

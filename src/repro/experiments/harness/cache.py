@@ -1,0 +1,106 @@
+"""On-disk result cache for experiment runs.
+
+A cached entry is valid only while nothing that could change the result
+has changed: the key hashes the experiment's declared config together
+with a fingerprint of every ``repro`` source file. Any edit anywhere in
+``src/repro`` therefore invalidates the whole cache — deliberately
+conservative, since experiments reach deep into the library and a
+per-module dependency graph would under-invalidate.
+
+Entries store the *lowered* result (JSON) plus the formatted text, which
+is everything the harness needs to reprint reports and re-emit artifacts
+without recomputing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+import repro
+from repro.experiments.harness.artifacts import ARTIFACT_SCHEMA_VERSION
+from repro.experiments.harness.registry import ExperimentSpec
+
+#: Default cache location, resolved relative to the artifacts directory.
+CACHE_DIRNAME = ".cache"
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Digest of every ``.py`` file in the installed ``repro`` package."""
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def cache_key(spec: ExperimentSpec) -> str:
+    """Deterministic key: experiment identity + config + source revision."""
+    payload = json.dumps(
+        {
+            "schema": ARTIFACT_SCHEMA_VERSION,
+            "name": spec.name,
+            "module": spec.module_name,
+            "config": dict(spec.meta.config),
+            "source": source_fingerprint(),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+class ResultCache:
+    """File-per-entry cache living under ``<artifacts>/.cache/``."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, spec: ExperimentSpec, key: str) -> Path:
+        return self.directory / f"{spec.name}-{key}.json"
+
+    def load(self, spec: ExperimentSpec, key: str) -> dict[str, Any] | None:
+        """Return the stored payload for ``key``, or ``None`` on a miss."""
+        path = self._path(spec, key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("key") != key:
+            return None
+        return payload
+
+    def store(
+        self, spec: ExperimentSpec, key: str, *,
+        text: str, data: Any, elapsed_s: float,
+    ) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "name": spec.name,
+            "key": key,
+            "stored_at_unix_s": time.time(),
+            "elapsed_s": elapsed_s,
+            "text": text,
+            "data": data,
+        }
+        path = self._path(spec, key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,214 @@
+"""Command-line interface of the experiment harness.
+
+::
+
+    python -m repro.experiments.harness list [--tag TAG] [--format text|json]
+    python -m repro.experiments.harness run all --jobs 4
+    python -m repro.experiments.harness run fig4 table5 [--force] [--no-cache]
+    python -m repro.experiments.harness run --tag kernel --format json
+    python -m repro.experiments.harness clean-cache
+
+``run`` regenerates the selected tables/figures, prints each formatted
+block in registry order, and writes per-experiment JSON + CSV artifacts
+(plus ``report.txt`` and ``manifest.json``) under ``--artifacts-dir``
+(default ``artifacts/``). Results are cached under
+``<artifacts>/.cache``; a rerun with unchanged sources is near-instant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import artifacts as artifacts_mod
+from repro.experiments.harness.cache import CACHE_DIRNAME, ResultCache
+from repro.experiments.harness.executor import ExperimentRun, run_many
+from repro.experiments.harness.registry import all_tags, get_registry, resolve
+
+DEFAULT_ARTIFACTS_DIR = "artifacts"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run experiments (cached, parallel)")
+    run_p.add_argument("names", nargs="*", metavar="NAME",
+                       help="experiment names, or 'all'")
+    run_p.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes for cache misses (default 1)")
+    run_p.add_argument("--tag", action="append", default=[],
+                       help="select experiments carrying this tag (repeatable)")
+    run_p.add_argument("--format", choices=("text", "json"), default="text",
+                       help="stdout format (artifacts are always written)")
+    run_p.add_argument("--force", action="store_true",
+                       help="recompute even on a cache hit, refresh the cache")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="bypass the cache entirely (no reads, no writes)")
+    run_p.add_argument("--no-artifacts", action="store_true",
+                       help="skip JSON/CSV/report emission")
+    run_p.add_argument("--artifacts-dir", default=DEFAULT_ARTIFACTS_DIR,
+                       help=f"output directory (default {DEFAULT_ARTIFACTS_DIR}/)")
+
+    list_p = sub.add_parser("list", help="list registered experiments")
+    list_p.add_argument("--tag", action="append", default=[],
+                        help="only experiments carrying this tag (repeatable)")
+    list_p.add_argument("--format", choices=("text", "json"), default="text")
+
+    clean_p = sub.add_parser("clean-cache", help="delete all cached results")
+    clean_p.add_argument("--artifacts-dir", default=DEFAULT_ARTIFACTS_DIR,
+                         help="directory whose .cache/ to clear")
+    return parser
+
+
+def _cache_for(args: argparse.Namespace) -> ResultCache:
+    return ResultCache(Path(args.artifacts_dir) / CACHE_DIRNAME)
+
+
+def _emit_artifacts(runs: list[ExperimentRun], directory: Path) -> dict[str, dict]:
+    """Write per-experiment JSON/CSV plus report.txt and manifest.json."""
+    written: dict[str, dict] = {}
+    for run in runs:
+        meta = run.spec.meta
+        envelope = {
+            "schema_version": artifacts_mod.ARTIFACT_SCHEMA_VERSION,
+            "name": run.name,
+            "title": meta.title,
+            "paper_ref": meta.paper_ref,
+            "kind": meta.kind,
+            "tags": list(meta.all_tags),
+            "config": dict(meta.config),
+            "cache_key": run.key,
+            "cached": run.cached,
+            "elapsed_s": run.elapsed_s,
+            "data": run.data,
+        }
+        json_path = directory / f"{run.name}.json"
+        artifacts_mod.write_json_artifact(json_path, envelope)
+        files = {"json": str(json_path)}
+        csv_path = directory / f"{run.name}.csv"
+        if artifacts_mod.write_csv_artifact(
+            csv_path, artifacts_mod.csv_rows(run.data)
+        ):
+            files["csv"] = str(csv_path)
+        written[run.name] = files
+    report = "\n\n".join(
+        f"=== {run.name} · {run.spec.meta.paper_ref} ===\n{run.text}"
+        for run in runs
+    )
+    (directory / "report.txt").write_text(report + "\n")
+    manifest = [
+        {
+            "name": run.name,
+            "paper_ref": run.spec.meta.paper_ref,
+            "cached": run.cached,
+            "elapsed_s": run.elapsed_s,
+            "artifacts": written[run.name],
+        }
+        for run in runs
+    ]
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=2) + "\n"
+    )
+    return written
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if not args.names and not args.tag:
+        print("nothing selected: pass experiment names, 'all', or --tag",
+              file=sys.stderr)
+        return 2
+    specs = resolve(args.names, tags=args.tag)
+    cache = None if args.no_cache else _cache_for(args)
+
+    def progress(run: ExperimentRun) -> None:
+        if args.format == "text":
+            origin = "cached" if run.cached else f"{run.elapsed_s:.1f}s"
+            print(f"[{origin:>7}] {run.name}", file=sys.stderr)
+
+    runs = run_many(specs, jobs=args.jobs, cache=cache, force=args.force,
+                    on_result=progress)
+    written: dict[str, dict] = {}
+    if not args.no_artifacts:
+        directory = Path(args.artifacts_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = _emit_artifacts(runs, directory)
+
+    if args.format == "json":
+        print(json.dumps([
+            {
+                "name": run.name,
+                "paper_ref": run.spec.meta.paper_ref,
+                "cached": run.cached,
+                "elapsed_s": run.elapsed_s,
+                "artifacts": written.get(run.name, {}),
+                "data": run.data,
+            }
+            for run in runs
+        ], indent=2))
+    else:
+        for run in runs:
+            origin = ", cached" if run.cached else ""
+            print(f"\n=== {run.name} ({run.elapsed_s:.1f}s{origin}) "
+                  + "=" * 40)
+            print(run.text)
+        if written:
+            print(f"\nartifacts: {Path(args.artifacts_dir)}/"
+                  f" ({len(written)} experiments)")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = resolve(["all"], tags=args.tag or None)
+    if args.format == "json":
+        print(json.dumps([
+            {
+                "name": s.name,
+                "title": s.meta.title,
+                "paper_ref": s.meta.paper_ref,
+                "kind": s.meta.kind,
+                "tags": list(s.meta.all_tags),
+                "expected_runtime_s": s.meta.expected_runtime_s,
+            }
+            for s in specs
+        ], indent=2))
+        return 0
+    print(f"{len(specs)} experiments"
+          + (f" matching tags {args.tag}" if args.tag else "")
+          + f" (all tags: {', '.join(all_tags())})")
+    for spec in specs:
+        meta = spec.meta
+        tags = ",".join(meta.all_tags)
+        print(f"  {spec.name:<12} {meta.paper_ref:<10} "
+              f"~{meta.expected_runtime_s:>5.1f}s  [{tags}]  {meta.title}")
+    return 0
+
+
+def _cmd_clean_cache(args: argparse.Namespace) -> int:
+    removed = _cache_for(args).clear()
+    print(f"removed {removed} cached result(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "list":
+            return _cmd_list(args)
+        return _cmd_clean_cache(args)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

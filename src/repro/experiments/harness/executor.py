@@ -1,0 +1,161 @@
+"""Execution engine: cache-aware, optionally process-parallel.
+
+Cache misses run in a :class:`~concurrent.futures.ProcessPoolExecutor`
+(experiments are CPU-bound numpy work, so threads would serialize on the
+GIL for the pure-Python parts). Workers ship back the *lowered* result
+and formatted text — cheap to pickle and exactly what caching and
+artifact emission need — while in-process runs additionally keep the
+live Python value for callers like the benchmark suite that assert on
+dataclass fields.
+
+Results are always returned in the order requested, regardless of
+completion order, so reports and artifacts are deterministic. Slow
+experiments (per declared ``expected_runtime_s``) are submitted first so
+total wall clock approaches the slowest single experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.harness.artifacts import to_jsonable
+from repro.experiments.harness.cache import ResultCache, cache_key
+from repro.experiments.harness.registry import ExperimentSpec, get_spec
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of executing (or cache-hitting) one experiment.
+
+    ``value`` is the live Python result when the experiment ran in this
+    process, ``None`` when it came from the cache or a worker process —
+    ``data`` (the JSON-lowered form) and ``text`` are always available.
+    """
+
+    spec: ExperimentSpec
+    text: str
+    elapsed_s: float
+    cached: bool
+    key: str
+    value: Any = None
+    _data: Any = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def data(self) -> Any:
+        """JSON-lowered result, computed from ``value`` on first use."""
+        if self._data is None and self.value is not None:
+            self._data = to_jsonable(self.value)
+        return self._data
+
+
+def _run_in_worker(name: str) -> tuple[str, Any, float]:
+    """Worker-side entry point; must stay module-level for pickling."""
+    spec = get_spec(name)
+    started = time.perf_counter()
+    value = spec.run()
+    elapsed = time.perf_counter() - started
+    return spec.format(value), to_jsonable(value), elapsed
+
+
+def execute(name: str, *, cache: ResultCache | None = None,
+            force: bool = False) -> ExperimentRun:
+    """Run one experiment in-process, consulting ``cache`` when given."""
+    spec = get_spec(name)
+    key = cache_key(spec)
+    if cache is not None and not force:
+        payload = cache.load(spec, key)
+        if payload is not None:
+            return ExperimentRun(
+                spec=spec, text=payload["text"], _data=payload["data"],
+                elapsed_s=payload["elapsed_s"], cached=True, key=key,
+            )
+    started = time.perf_counter()
+    value = spec.run()
+    elapsed = time.perf_counter() - started
+    text = spec.format(value)
+    run = ExperimentRun(
+        spec=spec, text=text, elapsed_s=elapsed,
+        cached=False, key=key, value=value,
+    )
+    if cache is not None:
+        # run.data lowers the value lazily; cache-less callers skip it.
+        cache.store(spec, key, text=text, data=run.data, elapsed_s=elapsed)
+    return run
+
+
+def run_many(
+    specs: Sequence[ExperimentSpec],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    force: bool = False,
+    on_result: Callable[[ExperimentRun], None] | None = None,
+) -> list[ExperimentRun]:
+    """Execute ``specs``, returning runs in the same order as requested.
+
+    ``on_result`` fires once per experiment as soon as its run settles
+    (cache hits first, then workers as they finish) — useful for
+    progress output; the *returned* list order is always deterministic.
+    """
+    runs: dict[str, ExperimentRun] = {}
+
+    def settle(run: ExperimentRun) -> None:
+        runs[run.name] = run
+        if on_result is not None:
+            on_result(run)
+
+    misses: list[ExperimentSpec] = []
+    for spec in specs:
+        key = cache_key(spec)
+        payload = None if (cache is None or force) else cache.load(spec, key)
+        if payload is not None:
+            settle(ExperimentRun(
+                spec=spec, text=payload["text"], _data=payload["data"],
+                elapsed_s=payload["elapsed_s"], cached=True, key=key,
+            ))
+        else:
+            misses.append(spec)
+
+    if len(misses) <= 1 or jobs <= 1:
+        for spec in misses:
+            settle(execute(spec.name, cache=cache, force=force))
+    else:
+        # Longest-expected-first keeps the pool busy until the end.
+        ordered = sorted(
+            misses, key=lambda s: s.meta.expected_runtime_s, reverse=True
+        )
+        with ProcessPoolExecutor(max_workers=min(jobs, len(ordered))) as pool:
+            futures = {
+                pool.submit(_run_in_worker, spec.name): spec
+                for spec in ordered
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = futures[future]
+                    try:
+                        text, data, elapsed = future.result()
+                    except Exception as exc:
+                        raise ExperimentError(
+                            f"experiment {spec.name!r} failed in a worker: "
+                            f"{exc!r}"
+                        ) from exc
+                    key = cache_key(spec)
+                    if cache is not None:
+                        cache.store(spec, key, text=text, data=data,
+                                    elapsed_s=elapsed)
+                    settle(ExperimentRun(
+                        spec=spec, text=text, _data=data, elapsed_s=elapsed,
+                        cached=False, key=key,
+                    ))
+
+    return [runs[spec.name] for spec in specs]

@@ -1,0 +1,122 @@
+"""Experiment registry: name -> module + metadata.
+
+The registry is the single source of truth for what can be run. It is
+built lazily from :data:`repro.experiments.ALL_EXPERIMENTS` and each
+module's ``META`` declaration (see :mod:`repro.experiments.meta`), so
+adding an experiment is still just "write the module, add it to
+``ALL_EXPERIMENTS``, declare ``META``".
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.meta import ExperimentMeta
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: a stable name, a module, its metadata."""
+
+    name: str
+    module_name: str
+    meta: ExperimentMeta
+
+    @property
+    def module(self):
+        return importlib.import_module(self.module_name)
+
+    def run(self) -> Any:
+        """Execute the experiment, returning its structured result."""
+        return self.module.run()
+
+    def format(self, value: Any) -> str:
+        """Render a result the way the paper reports it."""
+        return self.module.format_result(value)
+
+
+def _fallback_meta(name: str, module) -> ExperimentMeta:
+    """Metadata for a module that predates the ``META`` convention."""
+    doc = (module.__doc__ or name).strip().splitlines()[0]
+    kind = "table" if name.startswith("table") else (
+        "figure" if name.startswith("fig") else "ablation"
+    )
+    return ExperimentMeta(title=doc, paper_ref="-", kind=kind)
+
+
+@lru_cache(maxsize=1)
+def get_registry() -> dict[str, ExperimentSpec]:
+    """Build the registry (cached; experiment modules import once anyway)."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    registry: dict[str, ExperimentSpec] = {}
+    for name, module in ALL_EXPERIMENTS.items():
+        meta = getattr(module, "META", None)
+        if not isinstance(meta, ExperimentMeta):
+            meta = _fallback_meta(name, module)
+        registry[name] = ExperimentSpec(
+            name=name, module_name=module.__name__, meta=meta
+        )
+    return registry
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    registry = get_registry()
+    if name not in registry:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {', '.join(registry)}"
+        )
+    return registry[name]
+
+
+def all_tags() -> tuple[str, ...]:
+    """Every tag (implicit kind tags included), sorted."""
+    tags: set[str] = set()
+    for spec in get_registry().values():
+        tags.update(spec.meta.all_tags)
+    return tuple(sorted(tags))
+
+
+def resolve(
+    names: Sequence[str] | None = None,
+    tags: Iterable[str] | None = None,
+) -> list[ExperimentSpec]:
+    """Resolve a selection to specs in deterministic registry order.
+
+    ``names`` may be explicit experiment keys; the token ``"all"``
+    anywhere among them selects the full registry. ``tags`` further
+    restricts the selection to experiments
+    carrying *any* of the given tags. With no names, tags select from
+    the full registry. Unknown names or an empty selection raise
+    :class:`~repro.errors.ExperimentError`.
+    """
+    registry = get_registry()
+    names = list(names or [])
+    if "all" in names or (not names and tags):
+        selected = list(registry)
+    else:
+        unknown = [n for n in names if n not in registry]
+        if unknown:
+            raise ExperimentError(
+                f"unknown experiments: {unknown}; known: {', '.join(registry)}"
+            )
+        selected = names
+    if tags:
+        wanted = set(tags)
+        bad = wanted - set(all_tags())
+        if bad:
+            raise ExperimentError(
+                f"unknown tags: {sorted(bad)}; known: {', '.join(all_tags())}"
+            )
+        selected = [
+            n for n in selected if wanted & set(registry[n].meta.all_tags)
+        ]
+    if not selected:
+        raise ExperimentError("selection matched no experiments")
+    # Deterministic: registry order, duplicates dropped.
+    order = {n: i for i, n in enumerate(registry)}
+    return [registry[n] for n in sorted(dict.fromkeys(selected), key=order.get)]

@@ -1,0 +1,69 @@
+"""Per-experiment metadata declarations.
+
+Every experiment module under :mod:`repro.experiments` exports a module
+constant ``META`` — an :class:`ExperimentMeta` describing what the module
+reproduces (paper figure/table provenance), how it is categorized for
+``--tag`` filtering, roughly how long it takes, and the configuration
+that feeds the harness cache key.
+
+This module is dependency-free on purpose: experiment modules import it,
+and the harness imports both, so keeping it standalone avoids an import
+cycle between the experiment modules and the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Experiment categories, used as the primary tag and for list grouping.
+KINDS = ("figure", "table", "ablation")
+
+
+@dataclass(frozen=True)
+class ExperimentMeta:
+    """Static description of one paper experiment.
+
+    Attributes
+    ----------
+    title:
+        One-line human-readable summary, shown by ``harness list``.
+    paper_ref:
+        Provenance in the paper, e.g. ``"Figure 4"`` or ``"Table 1"``;
+        ablations beyond the paper cite the section they extend.
+    kind:
+        One of :data:`KINDS`.
+    tags:
+        Free-form labels for ``--tag`` selection (``"kernel"``,
+        ``"accuracy"``, ``"hardware"``, ...). ``kind`` is always an
+        implicit tag; it need not be repeated here.
+    expected_runtime_s:
+        Rough serial runtime on a laptop-class core. The scheduler
+        launches slow experiments first so the wall clock is bounded by
+        the slowest experiment, not by submission order.
+    config:
+        The experiment's effective configuration. Hashed into the cache
+        key, so changing a constant here invalidates stale cached
+        results even when the module source is unchanged.
+    """
+
+    title: str
+    paper_ref: str
+    kind: str
+    tags: tuple[str, ...] = ()
+    expected_runtime_s: float = 1.0
+    config: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.expected_runtime_s < 0:
+            raise ValueError("expected_runtime_s must be >= 0")
+
+    @property
+    def all_tags(self) -> tuple[str, ...]:
+        """Explicit tags plus the implicit kind tag."""
+        return (self.kind, *self.tags)
+
+
+__all__ = ["KINDS", "ExperimentMeta"]

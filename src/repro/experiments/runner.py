@@ -1,10 +1,12 @@
-"""Experiment runner: regenerate any (or all) paper tables/figures.
+"""Legacy experiment runner, now a thin shim over the harness.
 
-Usage::
+Kept for backward compatibility: serial, uncached, no artifacts —
+exactly the old behaviour. New code (and humans) should prefer::
 
-    python -m repro.experiments.runner            # list experiments
-    python -m repro.experiments.runner fig11 table2
-    python -m repro.experiments.runner all
+    python -m repro.experiments.harness run all --jobs 4
+
+which adds parallel execution, result caching, tag selection, and
+JSON/CSV artifact emission. See :mod:`repro.experiments.harness`.
 """
 
 from __future__ import annotations
@@ -13,13 +15,12 @@ import sys
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.harness import execute
 
 
 def run_experiment(name: str) -> str:
     """Run one experiment by key and return its formatted output."""
-    module = ALL_EXPERIMENTS[name]
-    result = module.run()
-    return module.format_result(result)
+    return execute(name).text
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -27,6 +28,7 @@ def main(argv: list[str] | None = None) -> int:
     if not argv:
         print("available experiments:", ", ".join(ALL_EXPERIMENTS))
         print("usage: python -m repro.experiments.runner <name>... | all")
+        print("(prefer: python -m repro.experiments.harness run all --jobs 4)")
         return 0
     names = list(ALL_EXPERIMENTS) if argv == ["all"] else argv
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -35,10 +37,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for name in names:
         started = time.perf_counter()
-        output = run_experiment(name)
+        run = execute(name)
         elapsed = time.perf_counter() - started
         print(f"\n=== {name} ({elapsed:.1f}s) " + "=" * 40)
-        print(output)
+        print(run.text)
     return 0
 
 

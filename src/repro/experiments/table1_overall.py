@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.datatypes.formats import DataType, FP16, FP8_E4M3, INT8
+from repro.experiments.meta import ExperimentMeta
 from repro.hw.dotprod import DotProductKind
 from repro.hw.tensor_core import TensorCoreConfig, tensor_core_cost
 from repro.models.configs import BITNET_3B, LLAMA_3B
@@ -20,6 +21,15 @@ from repro.sim.tile_sim import PrecomputeMode, TileSimulator
 
 #: Tensor cores per SM on the modelled GPUs.
 TCS_PER_SM = 4
+
+META = ExperimentMeta(
+    title="Overall comparison on BitNet-b1.58-3B across A100/H100 configs",
+    paper_ref="Table 1",
+    kind="table",
+    tags=("e2e", "hardware", "gpu"),
+    expected_runtime_s=0.2,
+    config={"tcs_per_sm": TCS_PER_SM, "model": "bitnet-3b"},
+)
 
 
 @dataclass(frozen=True)

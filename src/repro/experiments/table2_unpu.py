@@ -2,7 +2,17 @@
 
 from __future__ import annotations
 
+from repro.experiments.meta import ExperimentMeta
 from repro.hw.unpu import AblationRow, unpu_ablation
+
+META = ExperimentMeta(
+    title="UNPU case study: optimization ladder at WINT2AINT8",
+    paper_ref="Table 2",
+    kind="table",
+    tags=("hardware", "ablation-ladder", "cheap"),
+    expected_runtime_s=0.1,
+    config={"precision": "WINT2AINT8", "mnk_product": 512},
+)
 
 #: The paper's reported ladder, for side-by-side display.
 PAPER_LADDER = {

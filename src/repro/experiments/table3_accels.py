@@ -10,8 +10,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.datatypes.formats import INT8
+from repro.experiments.meta import ExperimentMeta
 from repro.hw.dotprod import DotProductKind
 from repro.hw.tensor_core import TensorCoreConfig, tensor_core_cost
+
+META = ExperimentMeta(
+    title="Feature catalogue vs quantized-DNN accelerators",
+    paper_ref="Table 3",
+    kind="table",
+    tags=("hardware", "catalogue", "cheap"),
+    expected_runtime_s=0.1,
+    config={"live_energy_row": "WINT1AINT8"},
+)
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.meta import ExperimentMeta
 from repro.models.configs import BLOOM_176B, LLAMA2_70B, OPT_175B, ModelConfig
 from repro.models.transformer import InferencePhase
 from repro.sim.gpu_specs import A100, with_lut_extension
@@ -22,6 +23,15 @@ CONFIGS = (
     (BLOOM_176B, "BS1024SEQ1", 1024, 1, InferencePhase.DECODE),
     (LLAMA2_70B, "BS1SEQ4096", 1, 4096, InferencePhase.PREFILL),
     (LLAMA2_70B, "BS1024SEQ1", 1024, 1, InferencePhase.DECODE),
+)
+
+META = ExperimentMeta(
+    title="Separated vs fused table precompute, single-layer times",
+    paper_ref="Table 4",
+    kind="table",
+    tags=("simulator", "fusion", "compiler"),
+    expected_runtime_s=0.2,
+    config={"precision": "WINT1AFP16", "gpu": "a100-lut-1x"},
 )
 
 

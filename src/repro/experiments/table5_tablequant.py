@@ -30,6 +30,16 @@ from repro.accuracy.quantize_model import (
     qat_finetune,
 )
 from repro.accuracy.tasks import TASK_NAMES, TaskSuite
+from repro.experiments.meta import ExperimentMeta
+
+META = ExperimentMeta(
+    title="Table-quantization accuracy: perplexity + zero-shot battery",
+    paper_ref="Table 5",
+    kind="table",
+    tags=("accuracy", "slow"),
+    expected_runtime_s=8.0,
+    config={"rows": 4, "substrate": "numpy-lm"},
+)
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,51 @@ def lut_gemv(
     weight: QuantizedWeight | ReinterpretedWeight,
     config: LutMpGemmConfig | None = None,
 ) -> np.ndarray:
-    """Compute ``dequant(W[N,K]) @ a[K] -> o[N]`` through the LUT pipeline."""
+    """Compute ``dequant(W[N,K]) @ a[K] -> o[N]`` through the LUT pipeline.
+
+    Parameters
+    ----------
+    activation:
+        One activation row of length ``K`` (the decode token). Anything
+        array-like is accepted and promoted to float64; a 2-D input is
+        rejected — batched prefill belongs to
+        :func:`repro.lut.mpgemm.lut_mpgemm`.
+    weight:
+        The low-bit weight, either still on the unsigned affine grid
+        (:class:`~repro.quant.weight.QuantizedWeight`, reinterpreted
+        internally) or already symmetrized
+        (:class:`~repro.quant.reinterpret.ReinterpretedWeight`). ``K``
+        must be divisible by ``config.k``.
+    config:
+        Pipeline knobs (group length ``k``, activation format, table
+        symmetrization/remap, INT8 table quantization). Defaults to the
+        paper's configuration, ``LutMpGemmConfig()``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The output vector ``o[N]``, exactly equal to
+        ``dequant(W) @ a`` unless ``config.table_dtype`` makes the
+        tables lossy (Table 5 quantifies that error at ~1e-3 relative).
+
+    Raises
+    ------
+    LutError
+        If the activation is not 1-D or the weight/config combination
+        is invalid (bad shapes, indivisible ``k`` group, float table
+        dtype).
+
+    Notes
+    -----
+    Each call builds one fresh table set (cost ``O(G * 2**k)``) and
+    discards it — the per-token precompute the paper fuses into the
+    preceding kernel (Table 4). For repeated decode steps against the
+    same weight, construct one
+    :class:`~repro.lut.mpgemm.LutMpGemmEngine` and call
+    :meth:`~repro.lut.mpgemm.LutMpGemmEngine.matmul` per token so the
+    weight-side work (reinterpretation, bit-planes, index remapping)
+    is done once.
+    """
     activation = np.asarray(activation, dtype=np.float64)
     if activation.ndim != 1:
         raise LutError(f"lut_gemv expects a 1-D activation, got {activation.shape}")
