@@ -1,0 +1,35 @@
+"""Bench: time the mpGEMM kernel backends (reference/naive/blocked).
+
+This is the acceptance gate for the kernel-backend subsystem: the
+blocked default must beat the legacy naive path on the prefill shape
+(M=64, N=K=1024, bits=4) while never materializing the naive path's
+``(M, bits, G, N)`` intermediate, and every LUT backend must agree with
+the dequantization reference to float noise in the lossless config.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_backends(benchmark, show):
+    run = run_once(benchmark, "bench_backends")
+    show(run.text)
+    rows = {(r.shape_label, r.backend): r for r in run.value}
+
+    naive = rows[("prefill", "lut-naive")]
+    blocked = rows[("prefill", "lut-blocked")]
+    # The blocked fast path must be strictly faster than the legacy path.
+    assert blocked.time_s < naive.time_s
+    # ... without ever allocating an (M, bits, G, N)-sized intermediate:
+    # its traced peak must sit far below that single naive allocation
+    # (which the naive run must itself exceed).
+    assert blocked.peak_traced_bytes is not None
+    assert blocked.peak_traced_bytes < naive.naive_intermediate_bytes // 4
+    assert naive.peak_traced_bytes >= naive.naive_intermediate_bytes
+
+    # Lossless configuration: LUT backends match the dequant reference
+    # to float accumulation noise, the reference backend exactly.
+    for (label, backend), row in rows.items():
+        if backend == "reference":
+            assert row.max_abs_err == 0.0, (label, backend)
+        else:
+            assert row.max_abs_err < 1e-9, (label, backend)

@@ -24,6 +24,14 @@ from repro.quant import (
     to_bitplanes,
     from_bitplanes,
 )
+from repro.kernels import (
+    MpGemmBackend,
+    WeightPlan,
+    available_backends,
+    build_weight_plan,
+    get_backend,
+    register_backend,
+)
 from repro.lut import (
     LutMpGemmEngine,
     lut_mpgemm,
@@ -48,6 +56,12 @@ __all__ = [
     "reinterpret_symmetric",
     "to_bitplanes",
     "from_bitplanes",
+    "MpGemmBackend",
+    "WeightPlan",
+    "available_backends",
+    "build_weight_plan",
+    "get_backend",
+    "register_backend",
     "LutMpGemmEngine",
     "lut_mpgemm",
     "dequant_mpgemm_reference",

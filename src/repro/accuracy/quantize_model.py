@@ -18,6 +18,7 @@ import numpy as np
 from repro.accuracy.model import AdamOptimizer, Param, TransformerLM
 from repro.datatypes.formats import INT8
 from repro.errors import AccuracyError
+from repro.kernels import get_backend, resolve_backend_name
 from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
 from repro.quant.weight import QuantizedWeight, quantize_weights
 
@@ -57,12 +58,19 @@ def make_executor(
     mode: LinearMode,
     bits: int = 2,
     lut_k: int = 4,
+    backend: str | None = None,
 ):
     """Build a linear executor implementing *mode* for *model*.
 
     The LUT executor builds one :class:`LutMpGemmEngine` per linear
     weight (offline, like real deployment) with INT8 table quantization
     enabled, so inference numerics match the LUT Tensor Core pipeline.
+    ``backend`` selects the mpGEMM kernel backend those engines dispatch
+    to (``None`` defers to ``REPRO_MPGEMM_BACKEND``, then the default);
+    all LUT backends are bit-identical, so this only changes speed. The
+    resolution is pinned here, and table-less backends (``reference``)
+    are rejected — they would silently skip the INT8 table loss this
+    mode exists to measure.
     """
     if mode is LinearMode.FP:
         return None
@@ -80,7 +88,14 @@ def make_executor(
 
         return dequant_executor
 
-    config = LutMpGemmConfig(k=lut_k, table_dtype=INT8)
+    resolved = resolve_backend_name(backend)
+    if not get_backend(resolved).needs_table:
+        raise AccuracyError(
+            f"LUT executor requires a table-consuming backend, got "
+            f"{resolved!r} (it would bypass the INT8 table quantization "
+            f"this mode measures)"
+        )
+    config = LutMpGemmConfig(k=lut_k, table_dtype=INT8, backend=resolved)
     engines = {
         name: LutMpGemmEngine(qw, config) for name, qw in quantized.items()
     }

@@ -17,11 +17,16 @@ compares against on the A100 (Figs. 4 and 18). Each model encodes the
 
 from repro.baselines.cublas import cublas_gemm_time_s
 from repro.baselines.cutlass import cutlass_dequant_time_s
-from repro.baselines.lutgemm import LutGemmResult, lutgemm_time_s
+from repro.baselines.lutgemm import (
+    LutGemmResult,
+    lutgemm_software_mpgemm,
+    lutgemm_time_s,
+)
 
 __all__ = [
     "cublas_gemm_time_s",
     "cutlass_dequant_time_s",
     "LutGemmResult",
+    "lutgemm_software_mpgemm",
     "lutgemm_time_s",
 ]

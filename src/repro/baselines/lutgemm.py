@@ -1,5 +1,12 @@
 """LUT-GEMM (Park et al.) software kernel model (Figs. 4 and 18).
 
+Two models live here: an *analytical* timing model
+(:func:`lutgemm_time_s`) used by the figure experiments, and a *numeric*
+stand-in (:func:`lutgemm_software_mpgemm`) that actually computes the
+product through :mod:`repro.kernels` with LUT-GEMM's table layout —
+full ``2**k``-entry tables, no symmetrization and no offline remap
+(the two optimizations the paper adds on top of it).
+
 LUT-GEMM computes mpGEMM on **CUDA cores** via per-tile lookup tables:
 
 - batch 1 (GEMV): the kernel is weight-traffic-bound, so low-bit weights
@@ -17,6 +24,8 @@ LUT-GEMM computes mpGEMM on **CUDA cores** via per-tile lookup tables:
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.models.workloads import GemmShape
 from repro.sim.gpu_specs import A100, GpuSpec
@@ -69,3 +78,30 @@ def lutgemm_time_s(
     mem = traffic / (spec.dram_gbs * 1e9 * _GEMV_BW_EFFICIENCY)
     time = max(compute, mem) + spec.launch_overhead_us * 1e-6
     return LutGemmResult(time_s=time)
+
+
+def lutgemm_software_mpgemm(
+    activations: np.ndarray,
+    weight,
+    k: int = 4,
+    backend: str | None = None,
+) -> np.ndarray:
+    """Numerically execute LUT-GEMM's software kernel strategy.
+
+    LUT-GEMM stores the *full* ``2**k``-entry table per activation group
+    (no Eq. 4 symmetrization, no Eq. 6 offline remap — those are the
+    paper's contributions on top of it). Routing the computation through
+    :mod:`repro.kernels` with that configuration makes the baseline a
+    checkable numeric artifact instead of a timing curve only: any
+    kernel backend must reproduce the dequantization reference exactly.
+
+    Parameters mirror :func:`repro.lut.mpgemm.lut_mpgemm`; *weight* is a
+    :class:`~repro.quant.weight.QuantizedWeight` or
+    :class:`~repro.quant.reinterpret.ReinterpretedWeight`.
+    """
+    from repro.lut.mpgemm import LutMpGemmConfig, lut_mpgemm
+
+    config = LutMpGemmConfig(
+        k=k, symmetric_table=False, offline_remap=False, backend=backend
+    )
+    return lut_mpgemm(activations, weight, config)

@@ -12,6 +12,7 @@ from repro.experiments import (  # noqa: F401
     ablation_kv_attention,
     ablation_sensitivity,
     ablation_sw_opts,
+    bench_backends,
     fig04_kernel_gap,
     fig11_dse_k,
     fig12_dp4_ppa,
@@ -48,6 +49,7 @@ ALL_EXPERIMENTS = {
     "ablation_sw": ablation_sw_opts,
     "ablation_kv": ablation_kv_attention,
     "sensitivity": ablation_sensitivity,
+    "bench_backends": bench_backends,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

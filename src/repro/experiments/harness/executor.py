@@ -70,6 +70,8 @@ def execute(name: str, *, cache: ResultCache | None = None,
     """Run one experiment in-process, consulting ``cache`` when given."""
     spec = get_spec(name)
     key = cache_key(spec)
+    if not spec.meta.cacheable:
+        cache = None
     if cache is not None and not force:
         payload = cache.load(spec, key)
         if payload is not None:
@@ -115,7 +117,11 @@ def run_many(
     misses: list[ExperimentSpec] = []
     for spec in specs:
         key = cache_key(spec)
-        payload = None if (cache is None or force) else cache.load(spec, key)
+        payload = (
+            None
+            if (cache is None or force or not spec.meta.cacheable)
+            else cache.load(spec, key)
+        )
         if payload is not None:
             settle(ExperimentRun(
                 spec=spec, text=payload["text"], _data=payload["data"],
@@ -124,13 +130,17 @@ def run_many(
         else:
             misses.append(spec)
 
-    if len(misses) <= 1 or jobs <= 1:
-        for spec in misses:
-            settle(execute(spec.name, cache=cache, force=force))
+    # Timing benchmarks must not compete with siblings for cores: hold
+    # them out of the pool and run them serially once it has drained.
+    serial = [s for s in misses if not s.meta.parallelizable]
+    pooled = [s for s in misses if s.meta.parallelizable]
+
+    if len(pooled) <= 1 or jobs <= 1:
+        serial = pooled + serial
     else:
         # Longest-expected-first keeps the pool busy until the end.
         ordered = sorted(
-            misses, key=lambda s: s.meta.expected_runtime_s, reverse=True
+            pooled, key=lambda s: s.meta.expected_runtime_s, reverse=True
         )
         with ProcessPoolExecutor(max_workers=min(jobs, len(ordered))) as pool:
             futures = {
@@ -150,12 +160,15 @@ def run_many(
                             f"{exc!r}"
                         ) from exc
                     key = cache_key(spec)
-                    if cache is not None:
+                    if cache is not None and spec.meta.cacheable:
                         cache.store(spec, key, text=text, data=data,
                                     elapsed_s=elapsed)
                     settle(ExperimentRun(
                         spec=spec, text=text, _data=data, elapsed_s=elapsed,
                         cached=False, key=key,
                     ))
+
+    for spec in serial:
+        settle(execute(spec.name, cache=cache, force=force))
 
     return [runs[spec.name] for spec in specs]

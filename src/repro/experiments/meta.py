@@ -45,6 +45,16 @@ class ExperimentMeta:
         The experiment's effective configuration. Hashed into the cache
         key, so changing a constant here invalidates stale cached
         results even when the module source is unchanged.
+    cacheable:
+        Whether the harness may serve this experiment from the result
+        cache. Deterministic analytic experiments are; wall-clock /
+        memory-tracing benchmarks must set this to ``False`` so stale
+        machine-dependent timings are never replayed as fresh runs.
+    parallelizable:
+        Whether the harness may run this experiment in the worker pool
+        alongside others. Timing benchmarks set this to ``False`` so
+        their measurements never compete with sibling experiments for
+        cores — the harness runs them serially after the pool drains.
     """
 
     title: str
@@ -53,6 +63,8 @@ class ExperimentMeta:
     tags: tuple[str, ...] = ()
     expected_runtime_s: float = 1.0
     config: Mapping[str, Any] = field(default_factory=dict)
+    cacheable: bool = True
+    parallelizable: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:

@@ -1,0 +1,57 @@
+"""Pluggable mpGEMM kernel backends.
+
+The numeric execution stack behind every LUT mpGEMM consumer in the
+repo. One dispatch seam — :class:`MpGemmBackend` — with a registry of
+implementations, all fed by one shared offline :class:`WeightPlan`:
+
+- ``reference``  — dequantize-then-GEMM (the paper's indirect path);
+- ``lut-naive``  — the original broadcast-gather LUT path
+  (materializes a ``(M, bits, G, N)`` intermediate);
+- ``lut-blocked`` — the default: column-tiled, flat-``np.take`` gathers,
+  preallocated accumulator, peak memory ``O(M·G·tile_n)``.
+
+Select a backend per call via ``LutMpGemmConfig(backend=...)`` (or the
+``backend=`` argument on `lut_mpgemm`/`lut_gemv`), or globally via the
+``REPRO_MPGEMM_BACKEND`` environment variable.
+"""
+
+from repro.kernels.backends import (
+    DEFAULT_TILE_N,
+    LutBlockedBackend,
+    LutNaiveBackend,
+    MpGemmBackend,
+    ReferenceBackend,
+    gather_grouped_blocked,
+    sum_groups,
+)
+from repro.kernels.plan import WeightPlan, build_weight_plan
+from repro.kernels.registry import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+    resolve_lut_path_name,
+    unregister_backend,
+)
+
+__all__ = [
+    "MpGemmBackend",
+    "ReferenceBackend",
+    "LutNaiveBackend",
+    "LutBlockedBackend",
+    "DEFAULT_TILE_N",
+    "WeightPlan",
+    "build_weight_plan",
+    "gather_grouped_blocked",
+    "sum_groups",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+    "resolve_lut_path_name",
+    "unregister_backend",
+]

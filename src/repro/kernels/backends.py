@@ -1,0 +1,281 @@
+"""The built-in mpGEMM kernel backends.
+
+Three implementations of the same contract (:class:`MpGemmBackend`):
+
+- ``reference`` — dequantize-then-GEMM (the paper's indirect path,
+  Fig. 2b). Uses no tables at all, so ``table_dtype`` quantization —
+  the LUT pipeline's only lossy step — does not apply to it.
+- ``lut-naive`` — the original broadcast-gather LUT path. One
+  ``np.take_along_axis`` materializes a ``(M, bits, G, N)`` intermediate,
+  so peak memory grows with the *product* of every dimension; kept as
+  the legacy/debugging path and as the perf baseline.
+- ``lut-blocked`` — the default. Tiles the output columns, loops over
+  bit-planes, and gathers with flat ``np.take`` into a preallocated
+  per-tile accumulator; peak intermediate memory is ``O(M·G·tile_n)``
+  regardless of weight width or N.
+
+Bit-identity contract: ``lut-naive`` and ``lut-blocked`` perform the
+same scalar operations in the same order for every output element — the
+per-plane multiplies are exact (±1 signs and power-of-two shifts), and
+both reduce planes in LSB-first order and groups in ascending-g order
+through the shared helpers below — so their float64 outputs are equal
+bit for bit, which the cross-backend tests assert with strict equality.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.datatypes.float_codec import quantize_to_format
+from repro.kernels.plan import WeightPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.lut.mpgemm import LutMpGemmConfig
+
+#: Default output-column tile width for the grouped-gather helpers.
+DEFAULT_TILE_N = 128
+
+#: Element budget (float64) for one gathered ``(M, G, tile)`` block when
+#: the blocked backend picks its own tile width: 2**21 doubles = 16 MiB,
+#: small enough to stay cache-friendly, large enough that the per-tile
+#: Python overhead vanishes (decode shapes collapse to a single tile).
+TARGET_TILE_ELEMS = 1 << 21
+
+#: Floor on the auto-picked tile width.
+MIN_TILE_N = 16
+
+
+@runtime_checkable
+class MpGemmBackend(Protocol):
+    """Contract every mpGEMM kernel backend implements.
+
+    ``execute`` receives float64 ``(M, K)`` activations already validated
+    against the plan, plus the precomputed (and possibly quantized)
+    activation table when ``needs_table`` is True. It returns the raw
+    ``(M, N)`` product; accumulator addition and 1-D squeezing stay in
+    the engine facade.
+    """
+
+    name: str
+    needs_table: bool
+
+    def execute(
+        self,
+        plan: WeightPlan,
+        config: "LutMpGemmConfig",
+        activations: np.ndarray,
+        table: np.ndarray | None,
+    ) -> np.ndarray:
+        ...
+
+
+def effective_activations(
+    activations: np.ndarray, config: "LutMpGemmConfig"
+) -> np.ndarray:
+    """Activations as the kernel consumes them (act_dtype rounding applied)."""
+    if config.act_dtype is not None:
+        return quantize_to_format(activations, config.act_dtype)
+    return activations
+
+
+def group_sums(plan: WeightPlan, acts: np.ndarray) -> np.ndarray:
+    """Per-group activation sums ``(M, G)`` for the zero-point correction."""
+    m = acts.shape[0]
+    return acts.reshape(m, plan.ngroups, plan.k).sum(axis=-1)
+
+
+def sum_groups(per_group: np.ndarray) -> np.ndarray:
+    """Reduce ``(M, G, n)`` over the group axis in ascending-g order.
+
+    An explicit loop pins the float addition order, so the result is
+    bit-identical whether ``n`` is a full output row or one tile of it.
+    """
+    out = per_group[:, 0].copy()
+    for g in range(1, per_group.shape[1]):
+        out += per_group[:, g]
+    return out
+
+
+def affine_reduce(
+    per_group: np.ndarray,
+    scale_gn: np.ndarray,
+    zero_gn: np.ndarray,
+    sums: np.ndarray,
+    has_zero_point: bool,
+) -> np.ndarray:
+    """Apply the per-group affine correction and reduce over groups.
+
+    ``out[m, n] = Σ_g s'[g, n]·(per_group[m, g, n] − z'[g, n]·Σ_j a[m, g, j])``
+
+    All operations are element-wise except the final group reduction,
+    which :func:`sum_groups` keeps order-deterministic; the same helper
+    therefore serves full-width (naive) and tiled (blocked) callers with
+    bit-identical results.
+    """
+    if has_zero_point:
+        corrected = scale_gn[None] * (
+            per_group - zero_gn[None] * sums[:, :, None]
+        )
+    else:
+        corrected = scale_gn[None] * per_group
+    return sum_groups(corrected)
+
+
+class ReferenceBackend:
+    """Dequantization-based mpGEMM: upscale the weights, run a GEMM.
+
+    Bit-identical to :func:`repro.lut.mpgemm.dequant_mpgemm_reference`
+    (it dequantizes the *source* weight, cached on the plan). Having no
+    tables, it cannot model ``table_dtype`` quantization — the engine
+    refuses to dispatch it for such configs. Use it as the numerical
+    target the LUT backends are checked against, not as a LUT
+    simulation.
+    """
+
+    name = "reference"
+    needs_table = False
+
+    def execute(self, plan, config, activations, table=None):
+        acts = effective_activations(activations, config)
+        return acts @ plan.dequantized.T
+
+
+class LutNaiveBackend:
+    """The original one-shot broadcast-gather LUT path.
+
+    Gathers every (plane, group, column) table entry in a single
+    ``np.take_along_axis`` over a broadcast view — simple, but the
+    gather output is a dense ``(M, bits, G, N)`` float64 array, the
+    memory wall the blocked backend exists to remove.
+    """
+
+    name = "lut-naive"
+    needs_table = True
+
+    def execute(self, plan, config, activations, table):
+        acts = effective_activations(activations, config)
+        sums = group_sums(plan, acts)
+        m = acts.shape[0]
+        bits, ngroups, n = plan.bits, plan.ngroups, plan.n
+        entries = table.shape[-1]
+        if config.symmetric_table:
+            low, sign = plan.sym_fold()
+        else:
+            low, sign = plan.indices, None
+        gathered = np.take_along_axis(
+            np.broadcast_to(table[:, None], (m, bits, ngroups, entries)),
+            np.broadcast_to(low[None], (m, bits, ngroups, n)),
+            axis=-1,
+        )
+        if sign is not None:
+            gathered = gathered * sign[None]
+        # Bit-serial accumulation, LSB first: plane i contributes << i.
+        shifts = plan.shifts
+        per_group = gathered[:, 0] * shifts[0]
+        for i in range(1, bits):
+            per_group += shifts[i] * gathered[:, i]
+        return affine_reduce(
+            per_group, plan.scale_gn, plan.zero_gn, sums, plan.has_zero_point
+        )
+
+
+class LutBlockedBackend:
+    """Column-tiled LUT path with flat gathers — the default backend.
+
+    For each tile of output columns, the per-group accumulator
+    ``(M, G, tile)`` is allocated once and reused across bit-planes; each
+    plane performs one flat ``np.take`` on the ``(M, G·entries)`` table
+    view. Peak intermediate memory is a couple of ``M·G·tile`` buffers
+    — independent of both the weight width and the full N — while the
+    scalar arithmetic (and hence the float64 output) exactly matches
+    ``lut-naive``.
+
+    ``tile_n=None`` (the default) sizes the tile so one gathered block
+    holds ~:data:`TARGET_TILE_ELEMS` float64 values: small batches get
+    wide tiles (decode runs as a single tile), large batches get narrow
+    ones. The tile width never changes the output bits, only speed.
+    """
+
+    name = "lut-blocked"
+    needs_table = True
+
+    def __init__(self, tile_n: int | None = None) -> None:
+        if tile_n is not None and tile_n < 1:
+            raise ValueError("tile_n must be >= 1")
+        self.tile_n = tile_n
+
+    def _tile_width(self, m: int, ngroups: int, n: int) -> int:
+        if self.tile_n is not None:
+            return self.tile_n
+        per_column = max(1, m * ngroups)
+        return max(MIN_TILE_N, min(n, TARGET_TILE_ELEMS // per_column or 1))
+
+    def execute(self, plan, config, activations, table):
+        acts = effective_activations(activations, config)
+        sums = group_sums(plan, acts)
+        m = acts.shape[0]
+        bits, ngroups, n = plan.bits, plan.ngroups, plan.n
+        entries = table.shape[-1]
+        # Symmetric tables gather from the signed extension [T, -T]: the
+        # negation is exactly the naive path's ±1 sign multiply (IEEE
+        # `-x` ≡ `x·(-1.0)`), applied once per table entry instead of
+        # once per gathered element, and the sign moves into the
+        # precomputed flat indices.
+        if config.symmetric_table:
+            table = np.concatenate([table, -table], axis=-1)
+        flat = plan.flat_lookup_indices(entries, config.symmetric_table)
+        table2d = np.ascontiguousarray(table).reshape(m, -1)
+        shifts = plan.shifts
+        out = np.empty((m, n))
+        acc: np.ndarray | None = None
+        tile_n = self._tile_width(m, ngroups, n)
+        for n0 in range(0, n, tile_n):
+            n1 = min(n0 + tile_n, n)
+            width = n1 - n0
+            if acc is None or acc.shape[2] != width:
+                acc = np.empty((m, ngroups, width))
+            for i in range(bits):
+                gathered = np.take(table2d, flat[i, :, n0:n1].ravel(), axis=1)
+                gathered = gathered.reshape(m, ngroups, width)
+                if i == 0:
+                    np.multiply(gathered, shifts[0], out=acc)
+                else:
+                    acc += shifts[i] * gathered
+            out[:, n0:n1] = affine_reduce(
+                acc,
+                plan.scale_gn[:, n0:n1],
+                plan.zero_gn[:, n0:n1],
+                sums,
+                plan.has_zero_point,
+            )
+        return out
+
+
+def gather_grouped_blocked(
+    table: np.ndarray,
+    indices: np.ndarray,
+    reduce_tile,
+    tile_n: int = DEFAULT_TILE_N,
+) -> np.ndarray:
+    """Tiled grouped gather for non-bit-serial LUT paths (ternary, FP4).
+
+    ``table`` is ``(M, G, entries)`` and ``indices`` is ``(G, N)``; for
+    each tile of output columns the gathered ``(M, G, tile)`` block is
+    handed to ``reduce_tile(gathered, n0, n1) -> (M, tile)`` and the
+    pieces are concatenated into the ``(M, N)`` result. Peak intermediate
+    memory is one ``M·G·tile_n`` block instead of ``M·G·N``.
+    """
+    m, ngroups, entries = table.shape
+    n = indices.shape[1]
+    table2d = np.ascontiguousarray(table).reshape(m, ngroups * entries)
+    offsets = (np.arange(ngroups, dtype=np.int64) * entries)[:, None]
+    out = np.empty((m, n))
+    for n0 in range(0, n, tile_n):
+        n1 = min(n0 + tile_n, n)
+        flat_idx = (indices[:, n0:n1] + offsets).ravel()
+        gathered = table2d.take(flat_idx, axis=1)
+        gathered = gathered.reshape(m, ngroups, n1 - n0)
+        out[:, n0:n1] = reduce_tile(gathered, n0, n1)
+    return out

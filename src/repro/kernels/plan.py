@@ -1,0 +1,204 @@
+"""Shared offline weight plan for every mpGEMM kernel backend.
+
+Everything a LUT kernel needs from the *weight* side is computed once,
+offline, and reused by every backend and every matmul call:
+
+1. **reinterpret** the unsigned affine codes onto the symmetric odd grid
+   (Eq. 2) so each bit-plane is ±1;
+2. **bit-planes → grouped K-bit indices**: each plane's bits are packed
+   into one lookup index per (plane, group, output column);
+3. **symmetric folding**: the Eq. 5/6 MSB rule is resolved into
+   half-table (index, sign) pairs (:meth:`WeightPlan.sym_fold`) — the
+   runtime lookup needs no bit manipulation at all, regardless of whether
+   the engine models the remap as offline (Eq. 6) or at runtime (Eq. 5),
+   since both produce the identical pairs;
+4. **per-group affine**: scales and zero-points are validated to be
+   constant within each k-group and reduced to ``(G, N)`` arrays in the
+   layout the kernels consume.
+
+The plan depends only on ``(weight, k)`` — not on activation formats,
+table quantization, or backend choice — which is what makes it shareable
+across all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LutError
+from repro.quant.bitplane import to_bitplanes
+from repro.quant.reinterpret import ReinterpretedWeight, reinterpret_symmetric
+from repro.quant.weight import QuantizedWeight
+
+
+def as_reinterpreted(
+    weight: QuantizedWeight | ReinterpretedWeight,
+) -> ReinterpretedWeight:
+    """Promote a weight to the symmetric odd grid (no-op if already there)."""
+    if isinstance(weight, ReinterpretedWeight):
+        return weight
+    if isinstance(weight, QuantizedWeight):
+        return reinterpret_symmetric(weight)
+    raise LutError(f"unsupported weight type: {type(weight).__name__}")
+
+
+def group_affine(
+    values: np.ndarray, shape: tuple[int, int], k: int, what: str
+) -> np.ndarray:
+    """Broadcast scale/zero-point to (N, K) and reduce to per-group (N, G).
+
+    Raises if the parameter varies *within* a k-group, since one table
+    entry then could not carry a single scale.
+    """
+    n, kdim = shape
+    expanded = np.broadcast_to(np.asarray(values, dtype=np.float64), (n, kdim))
+    grouped = expanded.reshape(n, kdim // k, k)
+    if not np.all(grouped == grouped[..., :1]):
+        raise LutError(
+            f"{what} varies within a k={k} group; group_size must be a "
+            "multiple of k for the LUT path"
+        )
+    return grouped[..., 0]
+
+
+@dataclass
+class WeightPlan:
+    """Offline weight-side state shared by all mpGEMM backends.
+
+    Attributes
+    ----------
+    source:
+        The weight exactly as handed in (used by the dequantization
+        backend so its output is bit-identical to
+        :func:`repro.lut.mpgemm.dequant_mpgemm_reference`).
+    reinterpreted:
+        The same weight on the symmetric odd grid.
+    k:
+        Lookup group length (table index width).
+    indices:
+        ``(bits, G, N)`` plain K-bit indices per bit-plane — what the
+        full-table (non-symmetric) lookup consumes, and the single
+        persistent index array everything else derives from
+        (:meth:`sym_fold` and :meth:`flat_lookup_indices` stay
+        transient/cached so a plan's steady-state footprint does not
+        grow with the number of derived views).
+    scale_gn, zero_gn:
+        ``(G, N)`` per-group affine parameters in kernel layout.
+    has_zero_point:
+        False when every zero-point is exactly zero, letting kernels skip
+        the correction term entirely.
+    """
+
+    source: QuantizedWeight | ReinterpretedWeight
+    reinterpreted: ReinterpretedWeight
+    k: int
+    n: int
+    kdim: int
+    ngroups: int
+    bits: int
+    indices: np.ndarray
+    scale_gn: np.ndarray
+    zero_gn: np.ndarray
+    has_zero_point: bool
+    _dequantized: np.ndarray | None = field(default=None, repr=False)
+    _flat_cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def dequantized(self) -> np.ndarray:
+        """Real-valued ``(N, K)`` weights (computed once, cached)."""
+        if self._dequantized is None:
+            self._dequantized = self.source.dequantize()
+        return self._dequantized
+
+    def sym_fold(self) -> tuple[np.ndarray, np.ndarray]:
+        """Half-table ``(low, sign)`` pairs for the symmetric lookup.
+
+        Resolves the Eq. 5 MSB rule: indices with the MSB set address
+        the complemented low bits and flip the accumulator sign —
+        identical to applying the Eq. 6 offline remap
+        (:func:`repro.lut.table.remap_weight_bits_offline`) and then
+        splitting the result at lookup time. Returned arrays are
+        ``(bits, G, N)``: ``low`` in ``[0, 2**(k-1))``, ``sign`` ±1
+        float64. Computed per call (the arrays are matmul-transient for
+        the naive backend; the blocked backend folds them into the
+        cached :meth:`flat_lookup_indices` instead).
+        """
+        half_mask = (1 << (self.k - 1)) - 1
+        msb = (self.indices >> (self.k - 1)) & 1
+        low = self.indices & half_mask
+        sym_low = np.where(msb == 1, (~low) & half_mask, low)
+        sym_sign = np.where(msb == 1, -1.0, 1.0)
+        return sym_low, sym_sign
+
+    def flat_lookup_indices(self, entries: int, symmetric: bool) -> np.ndarray:
+        """``(bits, G, N)`` flat gather indices for a row-flattened table.
+
+        For the symmetric half table the caller gathers from the signed
+        extension ``[T, -T]`` (width ``2·entries`` per group): the MSB
+        sign is folded into the index as ``low + entries·(sign < 0)``, so
+        the runtime kernel needs neither bit manipulation nor a sign
+        multiply. For the full table the plain indices are used. Group
+        *g*'s offset ``g·width`` is folded in too; everything is
+        activation-independent, computed once per (entries, symmetric)
+        and cached on the plan.
+        """
+        key = (entries, symmetric)
+        cached = self._flat_cache.get(key)
+        if cached is None:
+            if symmetric:
+                width = 2 * entries
+                sym_low, sym_sign = self.sym_fold()
+                base = sym_low + entries * (sym_sign < 0)
+            else:
+                width = entries
+                base = self.indices
+            offsets = np.arange(self.ngroups, dtype=np.int64) * width
+            cached = base + offsets[None, :, None]
+            self._flat_cache[key] = cached
+        return cached
+
+    @property
+    def shifts(self) -> np.ndarray:
+        """Bit-serial plane weights ``2**i`` as float64, LSB first."""
+        return (1 << np.arange(self.bits, dtype=np.int64)).astype(np.float64)
+
+
+def build_weight_plan(
+    weight: QuantizedWeight | ReinterpretedWeight, k: int
+) -> WeightPlan:
+    """Compute the shared offline plan for ``(weight, k)``."""
+    if k < 1:
+        raise LutError("k must be >= 1")
+    rw = as_reinterpreted(weight)
+    if rw.codes.ndim != 2:
+        raise LutError("weight codes must be 2-D (N, K)")
+    n, kdim = rw.codes.shape
+    if kdim % k != 0:
+        raise LutError(f"K dimension {kdim} not divisible by k={k}")
+    ngroups = kdim // k
+    bits = rw.bits
+    # Per-plane unsigned bits of the symmetric code: q' maps back to
+    # unsigned q, whose plain bit-planes index the ±1 tables.
+    unsigned = rw.unsigned_codes()
+    planes = to_bitplanes(unsigned, bits)  # (bits, N, K)
+    grouped = planes.reshape(bits, n, ngroups, k)
+    weights_of_bits = 1 << np.arange(k, dtype=np.int64)
+    indices = np.tensordot(grouped, weights_of_bits, axes=(3, 0))
+    indices = np.transpose(indices, (0, 2, 1))  # (bits, G, N)
+    scale_gn = group_affine(rw.scale, (n, kdim), k, "scale").T.copy()
+    zero_gn = group_affine(rw.zero_point, (n, kdim), k, "zero_point").T.copy()
+    return WeightPlan(
+        source=weight,
+        reinterpreted=rw,
+        k=k,
+        n=n,
+        kdim=kdim,
+        ngroups=ngroups,
+        bits=bits,
+        indices=indices,
+        scale_gn=scale_gn,
+        zero_gn=zero_gn,
+        has_zero_point=bool(np.any(zero_gn != 0.0)),
+    )

@@ -1,0 +1,110 @@
+"""Backend registry and selection for the mpGEMM kernel subsystem.
+
+Selection precedence, resolved at every dispatch (so tests and callers
+can flip backends without rebuilding engines):
+
+1. an explicit name (``LutMpGemmConfig.backend`` or a ``backend=``
+   argument on the convenience entry points);
+2. the ``REPRO_MPGEMM_BACKEND`` environment variable;
+3. :data:`DEFAULT_BACKEND` (``lut-blocked``).
+
+Third-party backends register through :func:`register_backend`; anything
+satisfying the :class:`~repro.kernels.backends.MpGemmBackend` protocol
+qualifies.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import LutError
+from repro.kernels.backends import (
+    LutBlockedBackend,
+    LutNaiveBackend,
+    MpGemmBackend,
+    ReferenceBackend,
+)
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_VAR = "REPRO_MPGEMM_BACKEND"
+
+#: The backend used when neither a config nor the environment names one.
+DEFAULT_BACKEND = "lut-blocked"
+
+_REGISTRY: dict[str, MpGemmBackend] = {}
+
+
+def register_backend(backend: MpGemmBackend, *, replace: bool = False) -> None:
+    """Register *backend* under its ``name``.
+
+    Re-registering an existing name requires ``replace=True`` so typos
+    don't silently shadow a built-in.
+    """
+    name = getattr(backend, "name", None)
+    if not name or not isinstance(name, str):
+        raise LutError("backend must expose a non-empty string `name`")
+    if name in _REGISTRY and not replace:
+        raise LutError(
+            f"backend {name!r} already registered (pass replace=True)"
+        )
+    _REGISTRY[name] = backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (built-ins included — used by tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend_name(explicit: str | None = None) -> str:
+    """The backend name that would be dispatched for *explicit*."""
+    if explicit:
+        return explicit
+    env = os.environ.get(ENV_VAR, "").strip()
+    return env or DEFAULT_BACKEND
+
+
+def resolve_lut_path_name(
+    explicit: str | None, supported: tuple[str, ...]
+) -> str:
+    """Backend-name resolution for paths that only specialize *supported*.
+
+    The ternary and FP4 LUT paths implement the built-in strategies
+    themselves rather than dispatching :class:`MpGemmBackend` objects
+    (their tables are not bit-serial). An *explicitly* requested name
+    outside *supported* is an error; a name that only arrived via the
+    ``REPRO_MPGEMM_BACKEND`` environment variable and refers to some
+    *registered* custom backend falls back to :data:`DEFAULT_BACKEND`
+    instead — a global backend choice for the bit-serial engine must not
+    break unrelated paths that cannot honor it.
+    """
+    name = resolve_backend_name(explicit)
+    if name in supported:
+        return name
+    if explicit is None and name in _REGISTRY:
+        return DEFAULT_BACKEND
+    raise LutError(
+        f"this LUT path supports backends {', '.join(supported)}; "
+        f"got {name!r}"
+    )
+
+
+def get_backend(name: str | None = None) -> MpGemmBackend:
+    """Resolve *name* (or the environment/default) to a backend instance."""
+    resolved = resolve_backend_name(name)
+    try:
+        return _REGISTRY[resolved]
+    except KeyError:
+        raise LutError(
+            f"unknown mpGEMM backend {resolved!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+
+
+register_backend(ReferenceBackend())
+register_backend(LutNaiveBackend())
+register_backend(LutBlockedBackend())

@@ -5,9 +5,12 @@ Modules:
 - :mod:`repro.lut.table` — per-group table precompute (full ``2**K`` and
   symmetrized ``2**(K-1)`` variants, Eqs. 4-6), activation-format rounding,
   INT8 table quantization hook.
-- :mod:`repro.lut.mpgemm` — the LUT-based mpGEMM engine (bit-serial over
-  weight planes, zero-point correction, naive and optimized paths) and the
-  dequantization-based reference implementation.
+- :mod:`repro.lut.mpgemm` — the LUT-based mpGEMM engine facade (table
+  precompute, zero-point correction, backend dispatch) and the
+  dequantization-based reference implementation. The numeric kernels
+  themselves live in :mod:`repro.kernels` (``reference`` / ``lut-naive``
+  / ``lut-blocked``), selected per config or via the
+  ``REPRO_MPGEMM_BACKEND`` environment variable.
 - :mod:`repro.lut.gemv` — the batch-1 (GEMV) fast path.
 - :mod:`repro.lut.pipeline` — precompute-as-operator decomposition that
   mirrors the paper's DFG transformation + operator fusion semantics.

@@ -93,11 +93,14 @@ def lut_decode_attention(
     act_dtype: DataType | None = None,
     table_dtype: DataType | None = None,
     lut_k: int = 4,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Single-token decode attention with LUT-evaluated mpGEMMs.
 
     *query* has shape ``(heads, head_dim)``; returns the per-head context
-    vectors ``(heads, head_dim)``.
+    vectors ``(heads, head_dim)``. Both mpGEMMs (scores and context) run
+    on the selected kernel backend (``backend`` name, else the
+    ``REPRO_MPGEMM_BACKEND`` environment variable, else ``lut-blocked``).
     """
     query = np.asarray(query, dtype=np.float64)
     if query.shape != (cache.heads, cache.head_dim):
@@ -108,7 +111,7 @@ def lut_decode_attention(
     if cache.head_dim % lut_k or cache.context % lut_k:
         raise LutError("head_dim and context must be multiples of lut_k")
     config = LutMpGemmConfig(
-        k=lut_k, act_dtype=act_dtype, table_dtype=table_dtype
+        k=lut_k, act_dtype=act_dtype, table_dtype=table_dtype, backend=backend
     )
     out = np.zeros_like(query)
     inv_sqrt_d = 1.0 / np.sqrt(cache.head_dim)

@@ -28,6 +28,7 @@ import numpy as np
 from repro.datatypes.formats import DataType
 from repro.datatypes.float_codec import quantize_to_format
 from repro.errors import LutError
+from repro.kernels import gather_grouped_blocked, resolve_lut_path_name, sum_groups
 from repro.lut.table import precompute_table
 
 #: E2M1: 1 sign, 2 exponent, 1 mantissa bit. Representable magnitudes.
@@ -92,6 +93,7 @@ def fp4_lut_mpgemm(
     weight: Fp4Weight,
     k: int = 4,
     act_dtype: DataType | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """LUT mpGEMM with FP4 (E2M1) weights.
 
@@ -100,6 +102,11 @@ def fp4_lut_mpgemm(
     are handled with a per-plane validity mask folded into a correction
     term (zero means "contribute nothing", i.e. subtract the -1 the table
     assumed). The shifted plane results accumulate into the output.
+
+    ``backend`` follows the mpGEMM selection rule: ``reference``
+    dequantizes and matmuls, ``lut-naive`` gathers each plane as one
+    ``(M, G, N)`` block, ``lut-blocked`` (the default) tiles the output
+    columns so per-plane intermediates stay ``O(M·G·tile)``.
     """
     activations = np.asarray(activations, dtype=np.float64)
     squeeze = activations.ndim == 1
@@ -112,6 +119,12 @@ def fp4_lut_mpgemm(
         )
     if kdim % k != 0:
         raise LutError(f"K={kdim} not divisible by k={k}")
+    resolved = resolve_lut_path_name(
+        backend, ("reference", "lut-naive", "lut-blocked")
+    )
+    if resolved == "reference":
+        out = fp4_dequant_reference(activations, weight, act_dtype)
+        return out[0] if squeeze else out
     acts = activations
     if act_dtype is not None:
         acts = quantize_to_format(acts, act_dtype)
@@ -129,13 +142,24 @@ def fp4_lut_mpgemm(
         grouped_bits = bits.reshape(n, ngroups, k)
         weights_of = (1 << np.arange(k, dtype=np.int64))
         indices = np.tensordot(grouped_bits, weights_of, axes=(2, 0)).T
-        gathered = np.take_along_axis(
-            table, np.broadcast_to(indices[None], (m, ngroups, n)), axis=-1
-        )
         zero_mask = (plane == 0).astype(np.float64).reshape(n, ngroups, k)
-        # correction[m, g, n] = sum_j a[m, g, j] * zero_mask[n, g, j]
-        correction = np.einsum("mgj,ngj->mgn", grouped_acts, zero_mask)
-        out += power * (gathered + correction).sum(axis=1)
+
+        def corrected_sum(gathered, n0, n1):
+            # correction[m, g, n] = sum_j a[m, g, j] * zero_mask[n, g, j]
+            correction = np.einsum(
+                "mgj,ngj->mgn", grouped_acts, zero_mask[n0:n1]
+            )
+            return sum_groups(gathered + correction)
+
+        if resolved == "lut-naive":
+            gathered = np.take_along_axis(
+                table,
+                np.broadcast_to(indices[None], (m, ngroups, n)),
+                axis=-1,
+            )
+            out += power * corrected_sum(gathered, 0, n)
+        else:
+            out += power * gather_grouped_blocked(table, indices, corrected_sum)
     out *= weight.scale
     return out[0] if squeeze else out
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import LutError
-from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine, _config_with_backend
 from repro.quant.reinterpret import ReinterpretedWeight
 from repro.quant.weight import QuantizedWeight
 
@@ -21,6 +21,8 @@ def lut_gemv(
     activation: np.ndarray,
     weight: QuantizedWeight | ReinterpretedWeight,
     config: LutMpGemmConfig | None = None,
+    *,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Compute ``dequant(W[N,K]) @ a[K] -> o[N]`` through the LUT pipeline.
 
@@ -39,8 +41,12 @@ def lut_gemv(
         must be divisible by ``config.k``.
     config:
         Pipeline knobs (group length ``k``, activation format, table
-        symmetrization/remap, INT8 table quantization). Defaults to the
-        paper's configuration, ``LutMpGemmConfig()``.
+        symmetrization/remap, INT8 table quantization, kernel backend).
+        Defaults to the paper's configuration, ``LutMpGemmConfig()``.
+    backend:
+        Kernel backend override for this call (see
+        :func:`repro.kernels.available_backends`); every backend returns
+        exactly ``lut_mpgemm(a[None], w)[0]`` for the same selection.
 
     Returns
     -------
@@ -70,5 +76,5 @@ def lut_gemv(
     activation = np.asarray(activation, dtype=np.float64)
     if activation.ndim != 1:
         raise LutError(f"lut_gemv expects a 1-D activation, got {activation.shape}")
-    engine = LutMpGemmEngine(weight, config or LutMpGemmConfig())
+    engine = LutMpGemmEngine(weight, _config_with_backend(config, backend))
     return engine.matmul(activation)

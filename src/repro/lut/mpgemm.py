@@ -1,4 +1,4 @@
-"""LUT-based mpGEMM engine and the dequantization-based reference.
+"""LUT-based mpGEMM facade and the dequantization-based reference.
 
 The engine computes ``O[M, N] = A[M, K] x W[N, K]^T`` where ``A`` holds
 high-precision activations and ``W`` is a low-bit quantized weight. The
@@ -18,27 +18,33 @@ LUT path follows the paper end to end:
 
 Scales/zero-points may be per-tensor, per-output-channel, or per-group
 along K (group size must be a multiple of ``k``).
+
+The numeric execution itself lives in :mod:`repro.kernels`: the engine
+owns the offline :class:`~repro.kernels.WeightPlan` and the activation
+table precompute, and dispatches the lookup/accumulate step to the
+selected :class:`~repro.kernels.MpGemmBackend` (``lut-blocked`` by
+default; override per call via ``config.backend`` or globally with the
+``REPRO_MPGEMM_BACKEND`` environment variable).
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.datatypes.formats import DataType, INT8
+from repro.datatypes.formats import DataType
 from repro.datatypes.float_codec import quantize_to_format
 from repro.errors import LutError
-from repro.quant.bitplane import to_bitplanes
-from repro.quant.reinterpret import ReinterpretedWeight, reinterpret_symmetric
+from repro.kernels import MpGemmBackend, WeightPlan, build_weight_plan, get_backend
+from repro.quant.reinterpret import ReinterpretedWeight
 from repro.quant.table_quant import quantize_table
 from repro.quant.weight import QuantizedWeight
 from repro.lut.table import (
     DEFAULT_K,
-    expand_symmetric_table,
     precompute_symmetric_table,
     precompute_table,
-    remap_weight_bits_offline,
 )
 
 
@@ -58,10 +64,19 @@ class LutMpGemmConfig:
         reinterpreted weights; always valid for them).
     offline_remap:
         Fold the MSB-conditioned bit complement into the stored weights
-        (Eq. 6). Numerically identical; changes which code path runs.
+        (Eq. 6). Numerically identical; changes which code path the
+        hardware (and the cost model) runs — the kernel backends fold
+        both variants to the same offline (index, sign) pairs.
     table_dtype:
         If set (e.g. INT8), tables are quantized per-table after
-        precompute — the only lossy step of the pipeline.
+        precompute — the only lossy step of the pipeline. Table-less
+        backends (``reference``) cannot model it, so dispatching one
+        with ``table_dtype`` set raises instead of silently reporting
+        lossless numbers.
+    backend:
+        Kernel backend name (see :func:`repro.kernels.available_backends`).
+        ``None`` defers to the ``REPRO_MPGEMM_BACKEND`` environment
+        variable, then to the default (``lut-blocked``).
     """
 
     k: int = DEFAULT_K
@@ -69,47 +84,36 @@ class LutMpGemmConfig:
     symmetric_table: bool = True
     offline_remap: bool = True
     table_dtype: DataType | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise LutError("k must be >= 1")
         if self.table_dtype is not None and self.table_dtype.is_float:
             raise LutError("table_dtype must be an integer format")
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise LutError("backend must be a backend name or None")
 
 
-def _as_reinterpreted(weight: QuantizedWeight | ReinterpretedWeight) -> ReinterpretedWeight:
-    if isinstance(weight, ReinterpretedWeight):
-        return weight
-    if isinstance(weight, QuantizedWeight):
-        return reinterpret_symmetric(weight)
-    raise LutError(f"unsupported weight type: {type(weight).__name__}")
-
-
-def _group_affine(
-    values: np.ndarray, shape: tuple[int, int], k: int, what: str
-) -> np.ndarray:
-    """Broadcast scale/zero-point to (N, K) and reduce to per-group (N, G).
-
-    Raises if the parameter varies *within* a k-group, since one table
-    entry then could not carry a single scale.
-    """
-    n, kdim = shape
-    expanded = np.broadcast_to(np.asarray(values, dtype=np.float64), (n, kdim))
-    grouped = expanded.reshape(n, kdim // k, k)
-    if not np.all(grouped == grouped[..., :1]):
-        raise LutError(
-            f"{what} varies within a k={k} group; group_size must be a "
-            "multiple of k for the LUT path"
-        )
-    return grouped[..., 0]
+def _config_with_backend(
+    config: LutMpGemmConfig | None, backend: str | None
+) -> LutMpGemmConfig:
+    """Resolve the convenience ``backend=`` override onto a config."""
+    config = config or LutMpGemmConfig()
+    if backend is not None:
+        config = dataclasses.replace(config, backend=backend)
+    return config
 
 
 @dataclass
 class LutMpGemmEngine:
-    """Reusable LUT mpGEMM executor for a fixed weight tensor.
+    """Reusable mpGEMM executor for a fixed weight tensor.
 
-    Splitting construction (weight-side, offline) from execution
-    (activation-side, online) mirrors the paper's DFG: everything done in
+    A thin facade over :mod:`repro.kernels`: construction builds the
+    shared offline :class:`~repro.kernels.WeightPlan` (weight-side work,
+    done once), :meth:`precompute` builds the per-call activation tables,
+    and :meth:`matmul` dispatches both to the selected backend. The
+    offline/online split mirrors the paper's DFG: everything in
     ``__init__`` corresponds to offline weight remapping, everything in
     :meth:`matmul` to the fused precompute + LMMA kernels.
     """
@@ -118,41 +122,36 @@ class LutMpGemmEngine:
     config: LutMpGemmConfig = field(default_factory=LutMpGemmConfig)
 
     def __post_init__(self) -> None:
-        rw = _as_reinterpreted(self.weight)
-        if rw.codes.ndim != 2:
-            raise LutError("weight codes must be 2-D (N, K)")
-        n, kdim = rw.codes.shape
-        k = self.config.k
-        if kdim % k != 0:
-            raise LutError(f"K dimension {kdim} not divisible by k={k}")
-        self._rw = rw
-        self._n = n
-        self._kdim = kdim
-        self._ngroups = kdim // k
-        self._bits = rw.bits
-        # Per-plane unsigned bits of the symmetric code: q' maps back to
-        # unsigned q, whose plain bit-planes index the ±1 tables.
-        unsigned = rw.unsigned_codes()
-        planes = to_bitplanes(unsigned, self._bits)  # (bits, N, K)
-        # Group bits into K-bit indices per (plane, group, column n).
-        grouped = planes.reshape(self._bits, n, self._ngroups, k)
-        weights_of_bits = (1 << np.arange(k, dtype=np.int64))
-        indices = np.tensordot(grouped, weights_of_bits, axes=(3, 0))
-        # -> (bits, N, G); lookups want (G, N) per plane.
-        indices = np.transpose(indices, (0, 2, 1))
-        if self.config.symmetric_table and self.config.offline_remap:
-            indices = remap_weight_bits_offline(indices, k)
-        self._indices = indices
-        self._scale = _group_affine(rw.scale, (n, kdim), k, "scale")
-        self._zero = _group_affine(rw.zero_point, (n, kdim), k, "zero_point")
+        self._plan = build_weight_plan(self.weight, self.config.k)
+
+    @property
+    def plan(self) -> WeightPlan:
+        """The offline weight plan shared by every backend."""
+        return self._plan
+
+    @property
+    def backend(self) -> MpGemmBackend:
+        """The backend the next :meth:`matmul` call will dispatch to."""
+        return get_backend(self.config.backend)
+
+    def _dispatch_backend(self) -> MpGemmBackend:
+        """Resolve the backend and validate it against the config."""
+        backend = self.backend
+        if self.config.table_dtype is not None and not backend.needs_table:
+            raise LutError(
+                f"backend {backend.name!r} has no tables and cannot model "
+                f"table_dtype={self.config.table_dtype.name} quantization; "
+                "pick a LUT backend or drop table_dtype"
+            )
+        return backend
 
     @property
     def out_features(self) -> int:
-        return self._n
+        return self._plan.n
 
     @property
     def in_features(self) -> int:
-        return self._kdim
+        return self._plan.kdim
 
     def precompute(self, activations: np.ndarray) -> np.ndarray:
         """Build (and optionally quantize) the per-group tables for *A*.
@@ -177,12 +176,13 @@ class LutMpGemmEngine:
         squeeze = activations.ndim == 1
         if squeeze:
             activations = activations[None, :]
-        if activations.ndim != 2 or activations.shape[1] != self._kdim:
+        if activations.ndim != 2 or activations.shape[1] != self._plan.kdim:
             raise LutError(
-                f"activations must be (M, {self._kdim}), got {activations.shape}"
+                f"activations must be (M, {self._plan.kdim}), got {activations.shape}"
             )
-        table = self.precompute(activations)
-        out = self._lookup_accumulate(activations, table)
+        backend = self._dispatch_backend()
+        table = self.precompute(activations) if backend.needs_table else None
+        out = backend.execute(self._plan, self.config, activations, table)
         if accum is not None:
             out = out + np.asarray(accum, dtype=np.float64)
         return out[0] if squeeze else out
@@ -190,87 +190,30 @@ class LutMpGemmEngine:
     def _lookup_accumulate(
         self, activations: np.ndarray, table: np.ndarray
     ) -> np.ndarray:
-        cfg = self.config
-        k = cfg.k
-        m = activations.shape[0]
-        acts = activations
-        if cfg.act_dtype is not None:
-            acts = quantize_to_format(acts, cfg.act_dtype)
-        # Per-group activation sums for the zero-point correction.
-        group_sums = acts.reshape(m, self._ngroups, k).sum(axis=-1)
+        """Dispatch a lookup/accumulate on an externally precomputed table.
 
-        if cfg.symmetric_table:
-            full = expand_symmetric_table(table, k)
-            if cfg.offline_remap:
-                # Remapped indices address (MSB, low) where low already
-                # complements; rebuild the effective full index to reuse
-                # the vectorized gather: value = sign(MSB) * half[low].
-                half_size = 1 << (k - 1)
-                msb = (self._indices >> (k - 1)) & 1
-                low = self._indices & (half_size - 1)
-                effective = np.where(msb == 1, low + half_size, low)
-                sign = np.where(msb == 1, -1.0, 1.0)
-                gathered = np.take_along_axis(
-                    np.broadcast_to(
-                        table[:, None],
-                        (m, self._bits, self._ngroups, half_size),
-                    ),
-                    np.broadcast_to(
-                        low[None], (m, self._bits, self._ngroups, self._n)
-                    ),
-                    axis=-1,
-                )
-                gathered = gathered * sign[None]
-                del effective
-            else:
-                # Runtime Eq.5: negate on MSB, complement low bits.
-                half_size = 1 << (k - 1)
-                msb = (self._indices >> (k - 1)) & 1
-                low = np.where(
-                    msb == 1, (~self._indices) & (half_size - 1),
-                    self._indices & (half_size - 1),
-                )
-                gathered = np.take_along_axis(
-                    np.broadcast_to(
-                        table[:, None],
-                        (m, self._bits, self._ngroups, half_size),
-                    ),
-                    np.broadcast_to(
-                        low[None], (m, self._bits, self._ngroups, self._n)
-                    ),
-                    axis=-1,
-                )
-                gathered = gathered * np.where(msb == 1, -1.0, 1.0)[None]
-            del full
-        else:
-            entries = 1 << k
-            gathered = np.take_along_axis(
-                np.broadcast_to(
-                    table[:, None], (m, self._bits, self._ngroups, entries)
-                ),
-                np.broadcast_to(
-                    self._indices[None], (m, self._bits, self._ngroups, self._n)
-                ),
-                axis=-1,
-            )
-
-        # Bit-serial accumulation: plane i contributes << i.
-        shifts = (1 << np.arange(self._bits, dtype=np.int64)).astype(np.float64)
-        per_group = np.tensordot(shifts, gathered, axes=(0, 1))  # (M, G, N)
-        # Affine correction per group: s' * (sum_j a_j q'_j - z' * sum_j a_j).
-        scale_gn = self._scale.T[None]  # (1, G, N)
-        zero_gn = self._zero.T[None]
-        corrected = scale_gn * (per_group - zero_gn * group_sums[:, :, None])
-        return corrected.sum(axis=1)
+        Kept as the seam the split pipeline
+        (:class:`repro.lut.pipeline.LutGemmOperator`) drives when the
+        table was produced by a standalone precompute kernel. Applies
+        the same backend/config validation as :meth:`matmul`.
+        """
+        activations = np.asarray(activations, dtype=np.float64)
+        backend = self._dispatch_backend()
+        return backend.execute(self._plan, self.config, activations, table)
 
 
 def lut_mpgemm(
     activations: np.ndarray,
     weight: QuantizedWeight | ReinterpretedWeight,
     config: LutMpGemmConfig | None = None,
+    *,
+    backend: str | None = None,
 ) -> np.ndarray:
-    """One-shot LUT mpGEMM: ``A[M,K] @ dequant(W[N,K]).T -> O[M,N]``."""
-    engine = LutMpGemmEngine(weight, config or LutMpGemmConfig())
+    """One-shot LUT mpGEMM: ``A[M,K] @ dequant(W[N,K]).T -> O[M,N]``.
+
+    ``backend`` overrides ``config.backend`` for this call.
+    """
+    engine = LutMpGemmEngine(weight, _config_with_backend(config, backend))
     return engine.matmul(activations)
 
 
@@ -284,6 +227,8 @@ def dequant_mpgemm_reference(
     Upscales the low-bit weights to floats and runs a conventional GEMM.
     This is both the paper's baseline approach and the numerical reference
     the LUT path must agree with (exactly, absent table quantization).
+    The ``reference`` kernel backend computes the same expression from
+    the shared weight plan.
     """
     activations = np.asarray(activations, dtype=np.float64)
     if act_dtype is not None:

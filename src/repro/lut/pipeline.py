@@ -56,7 +56,12 @@ class PrecomputeOperator:
 
 @dataclass
 class LutGemmOperator:
-    """The LUT-mpGEMM operator consuming a precomputed table."""
+    """The LUT-mpGEMM operator consuming a precomputed table.
+
+    Dispatches through the engine's selected kernel backend
+    (:mod:`repro.kernels`), so the split pipeline exercises the same
+    lookup/accumulate code as the fused one.
+    """
 
     engine: LutMpGemmEngine
 

@@ -22,6 +22,7 @@ import numpy as np
 from repro.datatypes.formats import DataType, INT8
 from repro.datatypes.float_codec import quantize_to_format
 from repro.errors import LutError
+from repro.kernels import gather_grouped_blocked, resolve_lut_path_name, sum_groups
 from repro.quant.table_quant import quantize_table
 from repro.quant.ternary import (
     TRITS_PER_GROUP,
@@ -70,11 +71,18 @@ class TernaryLutEngine:
 
     ``O[M, N] = A[M, K] x (scale * digits[N, K])^T`` via per-group table
     lookups; K must be a multiple of 3.
+
+    ``backend`` follows the same selection rule as the bit-serial engine
+    (explicit name, else ``REPRO_MPGEMM_BACKEND``, else ``lut-blocked``):
+    ``reference`` dequantizes and matmuls, ``lut-naive`` is the original
+    one-shot broadcast gather, ``lut-blocked`` tiles the output columns
+    so the gathered intermediate stays ``O(M·G·tile)``.
     """
 
     weight: TernaryWeight
     act_dtype: DataType | None = None
     table_dtype: DataType | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         digits = self.weight.digits
@@ -114,16 +122,37 @@ class TernaryLutEngine:
                 f"activations must be (M, {self._kdim}), got "
                 f"{activations.shape}"
             )
-        table = self.precompute(activations)  # (M, G, 27)
-        m = activations.shape[0]
-        gathered = np.take_along_axis(
-            table,
-            np.broadcast_to(
-                self._indices[None], (m, self._ngroups, self._n)
-            ),
-            axis=-1,
+        backend = resolve_lut_path_name(
+            self.backend, ("reference", "lut-naive", "lut-blocked")
         )
-        out = self.weight.scale * gathered.sum(axis=1)
+        if backend == "reference":
+            if self.table_dtype is not None:
+                raise LutError(
+                    "the reference backend has no tables and cannot model "
+                    "table_dtype quantization; pick a LUT backend or drop "
+                    "table_dtype"
+                )
+            acts = activations
+            if self.act_dtype is not None:
+                acts = quantize_to_format(acts, self.act_dtype)
+            out = acts @ self.weight.dequantize().T
+        elif backend == "lut-naive":
+            table = self.precompute(activations)  # (M, G, 27)
+            m = activations.shape[0]
+            gathered = np.take_along_axis(
+                table,
+                np.broadcast_to(
+                    self._indices[None], (m, self._ngroups, self._n)
+                ),
+                axis=-1,
+            )
+            out = self.weight.scale * sum_groups(gathered)
+        else:  # lut-blocked
+            table = self.precompute(activations)
+            summed = gather_grouped_blocked(
+                table, self._indices, lambda g, n0, n1: sum_groups(g)
+            )
+            out = self.weight.scale * summed
         return out[0] if squeeze else out
 
     def storage_bits_per_weight(self) -> float:
@@ -136,9 +165,10 @@ def ternary_lut_mpgemm(
     weight: TernaryWeight,
     act_dtype: DataType | None = None,
     table_dtype: DataType | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """One-shot ternary LUT mpGEMM."""
-    engine = TernaryLutEngine(weight, act_dtype, table_dtype)
+    engine = TernaryLutEngine(weight, act_dtype, table_dtype, backend)
     return engine.matmul(activations)
 
 

@@ -119,13 +119,14 @@ def deployment_indices(
     """Precompute the per-plane LUT indices shipped to the accelerator.
 
     Returns an int64 array of shape ``(bits, K/lut_k, N)`` matching what
-    :class:`~repro.lut.mpgemm.LutMpGemmEngine` builds at construction —
-    doing it offline is exactly the paper's offline weight remapping.
+    the shared :class:`~repro.kernels.WeightPlan` builds offline for
+    every kernel backend — doing it here is exactly the paper's offline
+    weight remapping.
     """
-    from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+    from repro.kernels import build_weight_plan
+    from repro.lut.table import remap_weight_bits_offline
 
-    engine = LutMpGemmEngine(
-        qw,
-        LutMpGemmConfig(k=lut_k, symmetric_table=True, offline_remap=remap),
-    )
-    return engine._indices.copy()
+    plan = build_weight_plan(qw, lut_k)
+    if remap:
+        return remap_weight_bits_offline(plan.indices, lut_k)
+    return plan.indices.copy()

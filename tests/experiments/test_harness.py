@@ -109,6 +109,51 @@ class TestCache:
         assert cache_key(spec) != cache_key(other)
         assert cache_key(spec) == cache_key(spec)
 
+    def test_uncacheable_experiment_never_hits_cache(self, tmp_path, monkeypatch):
+        """cacheable=False metas (wall-clock benches) bypass the cache."""
+        import dataclasses
+
+        spec = get_spec(CHEAP)
+        uncacheable = dataclasses.replace(
+            spec, meta=dataclasses.replace(spec.meta, cacheable=False)
+        )
+        monkeypatch.setitem(get_registry(), CHEAP, uncacheable)
+        cache = ResultCache(tmp_path / "cache")
+        first = execute(CHEAP, cache=cache)
+        assert not first.cached
+        assert list(cache.directory.glob("*.json")) == []  # nothing stored
+        assert not execute(CHEAP, cache=cache).cached
+        [run] = run_many([get_spec(CHEAP)], cache=cache)
+        assert not run.cached
+        assert list(cache.directory.glob("*.json")) == []
+
+    def test_bench_backends_is_uncacheable(self):
+        assert get_spec("bench_backends").meta.cacheable is False
+        # Timings must also never compete with pool siblings for cores.
+        assert get_spec("bench_backends").meta.parallelizable is False
+        # Everything else stays cacheable (the timing bench is special).
+        assert get_spec(CHEAP).meta.cacheable is True
+        assert get_spec(CHEAP).meta.parallelizable is True
+
+    def test_non_parallelizable_runs_serially_after_pool(self, tmp_path, monkeypatch):
+        """run_many keeps non-parallelizable specs out of the worker pool
+        but still returns every run in request order."""
+        import dataclasses
+
+        spec = get_spec(CHEAP)
+        held_out = dataclasses.replace(
+            spec,
+            meta=dataclasses.replace(
+                spec.meta, cacheable=False, parallelizable=False
+            ),
+        )
+        monkeypatch.setitem(get_registry(), CHEAP, held_out)
+        specs = resolve([CHEAP, CHEAP_TABULAR, "fig13"])
+        runs = run_many(specs, jobs=2, cache=ResultCache(tmp_path / "c"))
+        assert [r.name for r in runs] == [s.name for s in specs]
+        assert all(not r.cached for r in runs)
+        assert runs[0].text  # the serial run still produced its result
+
 
 class TestSerialization:
     def test_to_jsonable_handles_numpy_and_dataclasses(self):

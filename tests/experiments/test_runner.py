@@ -14,6 +14,7 @@ class TestRunner:
             "fig17", "fig18", "fig19",
             "table1", "table2", "table3", "table4", "table5",
             "ablation_sw", "ablation_kv", "sensitivity",
+            "bench_backends",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -57,7 +58,7 @@ class TestPublicApi:
     @pytest.mark.parametrize("package", [
         "repro.datatypes", "repro.quant", "repro.lut", "repro.isa",
         "repro.hw", "repro.compiler", "repro.sim", "repro.models",
-        "repro.baselines", "repro.accuracy",
+        "repro.baselines", "repro.accuracy", "repro.kernels",
     ])
     def test_subpackage_all_exports_resolve(self, package):
         import importlib

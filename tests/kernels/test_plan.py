@@ -1,0 +1,91 @@
+"""Tests for the shared offline WeightPlan."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LutError
+from repro.kernels import build_weight_plan
+from repro.lut.table import remap_weight_bits_offline
+from repro.quant.reinterpret import reinterpret_symmetric
+from repro.quant.weight import quantize_weights
+
+
+def sample_weight(bits=2, n=8, kdim=16, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    return quantize_weights(rng.normal(size=(n, kdim)), bits, **kwargs)
+
+
+class TestBuildWeightPlan:
+    def test_shapes(self):
+        plan = build_weight_plan(sample_weight(bits=3, n=8, kdim=16), k=4)
+        assert (plan.n, plan.kdim, plan.ngroups, plan.bits) == (8, 16, 4, 3)
+        assert plan.indices.shape == (3, 4, 8)
+        low, sign = plan.sym_fold()
+        assert low.shape == (3, 4, 8)
+        assert sign.shape == (3, 4, 8)
+        assert plan.scale_gn.shape == (4, 8)
+        assert plan.zero_gn.shape == (4, 8)
+
+    def test_sym_fold_matches_offline_remap(self):
+        """The plan's (low, sign) pairs are Eq. 6's remap, pre-split."""
+        plan = build_weight_plan(sample_weight(bits=4, seed=3), k=4)
+        low, sign = plan.sym_fold()
+        remapped = remap_weight_bits_offline(plan.indices, 4)
+        half_mask = (1 << 3) - 1
+        np.testing.assert_array_equal(remapped & half_mask, low)
+        np.testing.assert_array_equal(
+            np.where((remapped >> 3) & 1 == 1, -1.0, 1.0), sign
+        )
+
+    def test_indices_in_range(self):
+        plan = build_weight_plan(sample_weight(bits=4, seed=1), k=4)
+        assert plan.indices.min() >= 0 and plan.indices.max() < 16
+        low, sign = plan.sym_fold()
+        assert low.min() >= 0 and low.max() < 8
+        assert set(np.unique(sign)) <= {-1.0, 1.0}
+
+    def test_dequantized_cached_and_matches_source(self):
+        qw = sample_weight(bits=2, seed=2)
+        plan = build_weight_plan(qw, k=4)
+        np.testing.assert_array_equal(plan.dequantized, qw.dequantize())
+        assert plan.dequantized is plan.dequantized  # cached
+
+    def test_accepts_reinterpreted_weight(self):
+        qw = sample_weight(bits=2, seed=4)
+        plan = build_weight_plan(reinterpret_symmetric(qw), k=4)
+        assert plan.bits == 2
+
+    def test_symmetric_weight_has_no_zero_point(self):
+        plan = build_weight_plan(
+            sample_weight(bits=2, seed=5, symmetric=True), k=4
+        )
+        assert not plan.has_zero_point
+        assert np.all(plan.zero_gn == 0.0)
+
+    def test_asymmetric_weight_has_zero_point(self):
+        plan = build_weight_plan(sample_weight(bits=2, seed=6), k=4)
+        assert plan.has_zero_point
+
+    def test_flat_lookup_indices_cached(self):
+        plan = build_weight_plan(sample_weight(bits=2, seed=7), k=4)
+        first = plan.flat_lookup_indices(8, True)
+        assert plan.flat_lookup_indices(8, True) is first
+        assert first.shape == plan.indices.shape
+        # Symmetric extension doubles the per-group width.
+        assert first.max() < plan.ngroups * 16
+
+    def test_rejections(self):
+        with pytest.raises(LutError):
+            build_weight_plan(sample_weight(kdim=18), k=4)
+        with pytest.raises(LutError):
+            build_weight_plan(sample_weight(), k=0)
+        with pytest.raises(LutError):
+            build_weight_plan("not a weight", k=4)  # type: ignore[arg-type]
+        rng = np.random.default_rng(0)
+        with pytest.raises(LutError):
+            build_weight_plan(quantize_weights(rng.normal(size=(8,)), 2), k=4)
+
+    def test_group_varying_scale_rejected(self):
+        qw = sample_weight(kdim=32, seed=8, axis=1, group_size=2)
+        with pytest.raises(LutError):
+            build_weight_plan(qw, k=4)

@@ -122,7 +122,14 @@ class TestDeploymentIndices:
         qw = sample_weight(bits=2, seed=6)
         indices = deployment_indices(qw)
         engine = LutMpGemmEngine(qw, LutMpGemmConfig())
-        np.testing.assert_array_equal(indices, engine._indices)
+        # The remapped low bits + MSB must reproduce the plan's folded
+        # (half-table index, sign) pairs that every backend consumes.
+        low, sign = engine.plan.sym_fold()
+        half_mask = (1 << 3) - 1
+        np.testing.assert_array_equal(indices & half_mask, low)
+        np.testing.assert_array_equal(
+            np.where((indices >> 3) & 1 == 1, -1.0, 1.0), sign
+        )
 
     def test_shape(self):
         qw = sample_weight(bits=2, n=8, k=16)
