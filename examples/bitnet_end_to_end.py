@@ -5,14 +5,37 @@ Reproduces the Table 1 scenario: prefill (BS1, seq 2048) and decode
 A100, and on A100s retrofitted with LUT tensor cores at 4x/8x array
 scale — plus the per-kernel breakdown of where the time goes.
 
+The analytic simulation is then grounded by the *numeric* serving
+runtime: a width-scaled BitNet-style decoder (same layer recipe — GQA
+projections, gated FFN — with 2-bit weights) actually serves a batch of
+requests through :class:`~repro.runtime.ServingEngine`, KV-cached
+decode steps and all, on the registered mpGEMM kernel backend.
+
 Run:  python examples/bitnet_end_to_end.py
 """
 
+import numpy as np
+
 from repro.datatypes import FP16, INT8
-from repro.models.configs import BITNET_3B
+from repro.models.configs import BITNET_3B, ModelConfig
 from repro.models.transformer import InferencePhase
+from repro.runtime import (
+    DecoderModel,
+    Request,
+    RuntimeConfig,
+    SamplingParams,
+    ServingEngine,
+)
 from repro.sim.gpu_specs import A100, with_lut_extension
 from repro.sim.tile_sim import PrecomputeMode, TileSimulator
+
+#: BitNet-3B's layer recipe at 1/50th width: small enough that the
+#: numeric engine decodes in seconds, same shapes qualitatively (gated
+#: FFN, ffn = 2.7x hidden, 2-bit ternary-style weights).
+BITNET_MICRO = ModelConfig(
+    "bitnet-micro", hidden=64, ffn=172, layers=2, heads=4, kv_heads=4,
+    vocab=512, gated_ffn=True,
+)
 
 
 def main() -> None:
@@ -60,6 +83,43 @@ def main() -> None:
     for group in sorted(timing.groups, key=lambda g: -g.time_s)[:8]:
         print(f"  {group.name[:52]:<54} {group.time_s * 1e3:7.3f} ms "
               f"[{group.bound}-bound]")
+
+    serve_numeric()
+
+
+def serve_numeric() -> None:
+    """Serve a request batch through the numeric runtime (W2, INT4 KV)."""
+    model = DecoderModel(
+        BITNET_MICRO,
+        RuntimeConfig(weight_bits=2, kv_bits=4, max_seq_len=96, seed=3),
+    )
+    engine = ServingEngine(model, max_batch_size=4)
+    rng = np.random.default_rng(3)
+    for i in range(8):
+        prompt = tuple(
+            int(t) for t in
+            rng.integers(0, BITNET_MICRO.vocab, int(rng.integers(4, 24)))
+        )
+        engine.submit(Request(
+            request_id=f"bitnet-{i}",
+            prompt=prompt,
+            max_new_tokens=int(rng.integers(4, 14)),
+            sampling=SamplingParams(top_k=4 if i % 2 else None, seed=i),
+        ))
+    results, stats = engine.run()
+    print(f"\nnumeric serving ({BITNET_MICRO.name}, W2 weights, INT4 KV, "
+          f"backend={model.head.engine.backend.name}):")
+    print(f"  {stats.requests} requests "
+          f"({stats.prompt_tokens} prompt + {stats.generated_tokens} "
+          f"generated tokens) in {stats.wall_s:.2f}s "
+          f"-> {stats.throughput_tok_s:.0f} tok/s, "
+          f"mean decode batch {stats.mean_batch:.2f}")
+    by_reason: dict[str, int] = {}
+    for r in results:
+        by_reason[r.finish_reason] = by_reason.get(r.finish_reason, 0) + 1
+    print(f"  completions: {by_reason}; decode attention visited "
+          f"{model.stats['attn_context_tokens']} cached tokens over "
+          f"{model.stats['decode_steps']} batched steps")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,68 @@
+"""Serving quickstart: continuous batching over the LUT kernel seam.
+
+Builds a small numeric decoder from a :class:`ModelConfig` (quantized
+weights, INT4 KV cache), submits a burst of mixed-length requests, and
+lets the :class:`ServingEngine` drive them to completion — prefill
+admission, batched KV-cached decode steps, per-request sampling and
+completion — printing the request lifecycle and throughput stats.
+
+Run:  python examples/serving_quickstart.py
+"""
+
+import numpy as np
+
+from repro.models.configs import ModelConfig
+from repro.runtime import (
+    DecoderModel,
+    Request,
+    RuntimeConfig,
+    SamplingParams,
+    ServingEngine,
+)
+
+
+def main() -> None:
+    config = ModelConfig(
+        "tiny-serve", hidden=64, ffn=128, layers=2, heads=4, kv_heads=2,
+        vocab=256, gated_ffn=True,
+    )
+    model = DecoderModel(
+        config,
+        RuntimeConfig(weight_bits=4, kv_bits=4, max_seq_len=96, seed=7),
+    )
+    engine = ServingEngine(model, max_batch_size=4)
+
+    rng = np.random.default_rng(7)
+    print(f"submitting 8 requests to {config.name} "
+          f"(W4 weights, INT4 KV, backend={model.head.engine.backend.name})")
+    for i in range(8):
+        prompt_len = int(rng.integers(3, 20))
+        prompt = tuple(int(t) for t in rng.integers(0, config.vocab,
+                                                    prompt_len))
+        engine.submit(Request(
+            request_id=f"req-{i}",
+            prompt=prompt,
+            max_new_tokens=int(rng.integers(4, 16)),
+            sampling=SamplingParams(top_k=8 if i % 2 else None, seed=i),
+        ))
+
+    results, stats = engine.run()
+
+    print(f"\n{'request':<9} {'prompt':>6} {'gen':>4} {'finish':>7} "
+          f"{'ttft ms':>8} {'latency ms':>11}")
+    for r in results:
+        print(f"{r.request_id:<9} {len(r.prompt):>6} {len(r.tokens):>4} "
+              f"{r.finish_reason:>7} {r.first_token_ms:>8.1f} "
+              f"{r.latency_ms:>11.1f}")
+
+    print(f"\n{stats.requests} requests, {stats.generated_tokens} tokens in "
+          f"{stats.wall_s:.2f}s "
+          f"({stats.throughput_tok_s:.0f} tok/s, "
+          f"mean decode batch {stats.mean_batch:.2f})")
+    print(f"decode attention visited {model.stats['attn_context_tokens']} "
+          f"cached tokens over {model.stats['decode_steps']} batched steps "
+          "- cost scales with the cache, not the full sequence")
+
+
+if __name__ == "__main__":
+    main()

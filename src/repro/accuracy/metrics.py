@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.accuracy.model import TransformerLM, _softmax
+from repro.accuracy.model import TransformerLM
 from repro.errors import AccuracyError
+from repro.numerics import softmax
 
 
 def _eval_batches(tokens: np.ndarray, ctx: int, limit: int):
@@ -31,7 +32,7 @@ def perplexity(
     """exp(mean NLL) over non-overlapping windows of the token stream."""
     inputs, targets = _eval_batches(tokens, model.config.ctx, max_windows)
     logits = model.forward(inputs, executor=executor)
-    probs = _softmax(logits)
+    probs = softmax(logits)
     batch, t, _ = logits.shape
     idx = (np.arange(batch)[:, None], np.arange(t)[None, :], targets)
     nll = -np.log(np.maximum(probs[idx], 1e-12))

@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import AccuracyError
+from repro.numerics import softmax
 
 #: Executor signature: (activations_2d, weight (out, in)) -> output_2d.
 LinearExecutor = Callable[[np.ndarray, "Param"], np.ndarray]
@@ -78,10 +79,9 @@ def _layernorm_backward(dout: np.ndarray, cache) -> tuple[np.ndarray, np.ndarray
     return dx, dgain, dbias
 
 
-def _softmax(x: np.ndarray) -> np.ndarray:
-    shifted = x - x.max(axis=-1, keepdims=True)
-    e = np.exp(shifted)
-    return e / e.sum(axis=-1, keepdims=True)
+#: Kept as a module alias — external callers (metrics, tests) import the
+#: softmax through the model module; the implementation is the shared one.
+_softmax = softmax
 
 
 def _default_executor(x: np.ndarray, weight: Param) -> np.ndarray:

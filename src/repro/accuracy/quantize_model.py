@@ -19,8 +19,8 @@ from repro.accuracy.model import AdamOptimizer, Param, TransformerLM
 from repro.datatypes.formats import INT8
 from repro.errors import AccuracyError
 from repro.kernels import get_backend, resolve_backend_name
-from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
 from repro.quant.weight import QuantizedWeight, quantize_weights
+from repro.runtime.linear import QuantizedLinear
 
 
 class LinearMode(enum.Enum):
@@ -62,51 +62,57 @@ def make_executor(
 ):
     """Build a linear executor implementing *mode* for *model*.
 
-    The LUT executor builds one :class:`LutMpGemmEngine` per linear
-    weight (offline, like real deployment) with INT8 table quantization
-    enabled, so inference numerics match the LUT Tensor Core pipeline.
-    ``backend`` selects the mpGEMM kernel backend those engines dispatch
-    to (``None`` defers to ``REPRO_MPGEMM_BACKEND``, then the default);
-    all LUT backends are bit-identical, so this only changes speed. The
-    resolution is pinned here, and table-less backends (``reference``)
-    are rejected — they would silently skip the INT8 table loss this
-    mode exists to measure.
+    Every non-FP mode executes through
+    :class:`~repro.runtime.linear.QuantizedLinear` — one per linear
+    weight, built offline like real deployment — so the accuracy stack
+    and the serving runtime share one linear-execution path:
+
+    - ``QUANT_DEQUANT`` dispatches to the ``reference`` backend (the
+      dequantize-then-GEMM indirect path, Fig. 2b), with ``lut_k=1`` so
+      no LUT grouping constraint is imposed on the model width;
+    - ``LUT_INT8_TABLE`` enables INT8 table quantization, so inference
+      numerics match the LUT Tensor Core pipeline. ``backend`` selects
+      the mpGEMM kernel backend (``None`` defers to
+      ``REPRO_MPGEMM_BACKEND``, then the default); all LUT backends are
+      bit-identical, so this only changes speed. The resolution is
+      pinned here, and table-less backends (``reference``) are rejected
+      — they would silently skip the INT8 table loss this mode exists
+      to measure.
     """
     if mode is LinearMode.FP:
         return None
     quantized = quantize_lm_weights(model, bits)
     if mode is LinearMode.QUANT_DEQUANT:
-        dequantized = {
-            name: qw.dequantize() for name, qw in quantized.items()
+        linears = {
+            name: QuantizedLinear(qw, lut_k=1, backend="reference", name=name)
+            for name, qw in quantized.items()
+        }
+    else:
+        resolved = resolve_backend_name(backend)
+        if not get_backend(resolved).needs_table:
+            raise AccuracyError(
+                f"LUT executor requires a table-consuming backend, got "
+                f"{resolved!r} (it would bypass the INT8 table "
+                f"quantization this mode measures)"
+            )
+        linears = {
+            name: QuantizedLinear(
+                qw,
+                lut_k=lut_k,
+                backend=resolved,
+                table_dtype=INT8,
+                name=name,
+            )
+            for name, qw in quantized.items()
         }
 
-        def dequant_executor(x: np.ndarray, weight: Param) -> np.ndarray:
-            w = dequantized.get(weight.name)
-            if w is None:
-                return x @ weight.value.T
-            return x @ w.T
-
-        return dequant_executor
-
-    resolved = resolve_backend_name(backend)
-    if not get_backend(resolved).needs_table:
-        raise AccuracyError(
-            f"LUT executor requires a table-consuming backend, got "
-            f"{resolved!r} (it would bypass the INT8 table quantization "
-            f"this mode measures)"
-        )
-    config = LutMpGemmConfig(k=lut_k, table_dtype=INT8, backend=resolved)
-    engines = {
-        name: LutMpGemmEngine(qw, config) for name, qw in quantized.items()
-    }
-
-    def lut_executor(x: np.ndarray, weight: Param) -> np.ndarray:
-        engine = engines.get(weight.name)
-        if engine is None:
+    def executor(x: np.ndarray, weight: Param) -> np.ndarray:
+        linear = linears.get(weight.name)
+        if linear is None:
             return x @ weight.value.T
-        return engine.matmul(x)
+        return linear(x)
 
-    return lut_executor
+    return executor
 
 
 def qat_finetune(

@@ -44,3 +44,7 @@ class AccuracyError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness (unknown names, bad selections)."""
+
+
+class ServingError(ReproError):
+    """Raised by the serving runtime (bad requests, capacity violations)."""

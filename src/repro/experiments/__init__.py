@@ -13,6 +13,7 @@ from repro.experiments import (  # noqa: F401
     ablation_sensitivity,
     ablation_sw_opts,
     bench_backends,
+    bench_serving,
     fig04_kernel_gap,
     fig11_dse_k,
     fig12_dp4_ppa,
@@ -50,6 +51,7 @@ ALL_EXPERIMENTS = {
     "ablation_kv": ablation_kv_attention,
     "sensitivity": ablation_sensitivity,
     "bench_backends": bench_backends,
+    "bench_serving": bench_serving,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

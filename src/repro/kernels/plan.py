@@ -83,9 +83,14 @@ class WeightPlan:
         persistent index array everything else derives from
         (:meth:`sym_fold` and :meth:`flat_lookup_indices` stay
         transient/cached so a plan's steady-state footprint does not
-        grow with the number of derived views).
+        grow with the number of derived views). Computed lazily on
+        first access — like :attr:`scale_gn`/:attr:`zero_gn`, it is
+        LUT-side state, so a plan dispatched only to table-less
+        backends (e.g. ``reference`` behind the dequant executors)
+        never materializes or retains it.
     scale_gn, zero_gn:
-        ``(G, N)`` per-group affine parameters in kernel layout.
+        ``(G, N)`` per-group affine parameters in kernel layout
+        (validated eagerly at build time, materialized lazily).
     has_zero_point:
         False when every zero-point is exactly zero, letting kernels skip
         the correction term entirely.
@@ -98,10 +103,10 @@ class WeightPlan:
     kdim: int
     ngroups: int
     bits: int
-    indices: np.ndarray
-    scale_gn: np.ndarray
-    zero_gn: np.ndarray
-    has_zero_point: bool
+    _indices: np.ndarray | None = field(default=None, repr=False)
+    _scale_gn: np.ndarray | None = field(default=None, repr=False)
+    _zero_gn: np.ndarray | None = field(default=None, repr=False)
+    _has_zero_point: bool | None = field(default=None, repr=False)
     _dequantized: np.ndarray | None = field(default=None, repr=False)
     _flat_cache: dict = field(default_factory=dict, repr=False)
 
@@ -111,6 +116,42 @@ class WeightPlan:
         if self._dequantized is None:
             self._dequantized = self.source.dequantize()
         return self._dequantized
+
+    @property
+    def indices(self) -> np.ndarray:
+        if self._indices is None:
+            rw = self.reinterpreted
+            # Per-plane unsigned bits of the symmetric code: q' maps back
+            # to unsigned q, whose plain bit-planes index the ±1 tables.
+            planes = to_bitplanes(rw.unsigned_codes(), self.bits)
+            grouped = planes.reshape(self.bits, self.n, self.ngroups, self.k)
+            weights_of_bits = 1 << np.arange(self.k, dtype=np.int64)
+            idx = np.tensordot(grouped, weights_of_bits, axes=(3, 0))
+            self._indices = np.transpose(idx, (0, 2, 1))  # (bits, G, N)
+        return self._indices
+
+    @property
+    def scale_gn(self) -> np.ndarray:
+        if self._scale_gn is None:
+            self._scale_gn = group_affine(
+                self.reinterpreted.scale, (self.n, self.kdim), self.k, "scale"
+            ).T.copy()
+        return self._scale_gn
+
+    @property
+    def zero_gn(self) -> np.ndarray:
+        if self._zero_gn is None:
+            self._zero_gn = group_affine(
+                self.reinterpreted.zero_point, (self.n, self.kdim), self.k,
+                "zero_point",
+            ).T.copy()
+        return self._zero_gn
+
+    @property
+    def has_zero_point(self) -> bool:
+        if self._has_zero_point is None:
+            self._has_zero_point = bool(np.any(self.zero_gn != 0.0))
+        return self._has_zero_point
 
     def sym_fold(self) -> tuple[np.ndarray, np.ndarray]:
         """Half-table ``(low, sign)`` pairs for the symmetric lookup.
@@ -179,16 +220,12 @@ def build_weight_plan(
         raise LutError(f"K dimension {kdim} not divisible by k={k}")
     ngroups = kdim // k
     bits = rw.bits
-    # Per-plane unsigned bits of the symmetric code: q' maps back to
-    # unsigned q, whose plain bit-planes index the ±1 tables.
-    unsigned = rw.unsigned_codes()
-    planes = to_bitplanes(unsigned, bits)  # (bits, N, K)
-    grouped = planes.reshape(bits, n, ngroups, k)
-    weights_of_bits = 1 << np.arange(k, dtype=np.int64)
-    indices = np.tensordot(grouped, weights_of_bits, axes=(3, 0))
-    indices = np.transpose(indices, (0, 2, 1))  # (bits, G, N)
-    scale_gn = group_affine(rw.scale, (n, kdim), k, "scale").T.copy()
-    zero_gn = group_affine(rw.zero_point, (n, kdim), k, "zero_point").T.copy()
+    # Validate the group-affine constraint eagerly (a construction-time
+    # error, pinned by the plan tests) without retaining the (G, N)
+    # arrays — they, like the lookup indices, materialize lazily on the
+    # first LUT-backend dispatch.
+    group_affine(rw.scale, (n, kdim), k, "scale")
+    group_affine(rw.zero_point, (n, kdim), k, "zero_point")
     return WeightPlan(
         source=weight,
         reinterpreted=rw,
@@ -197,8 +234,4 @@ def build_weight_plan(
         kdim=kdim,
         ngroups=ngroups,
         bits=bits,
-        indices=indices,
-        scale_gn=scale_gn,
-        zero_gn=zero_gn,
-        has_zero_point=bool(np.any(zero_gn != 0.0)),
     )

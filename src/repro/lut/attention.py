@@ -24,13 +24,26 @@ import numpy as np
 from repro.datatypes.formats import DataType
 from repro.errors import LutError
 from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+from repro.numerics import softmax
 from repro.quant.weight import QuantizedWeight, quantize_weights
 
+#: Mask value for invalid (padded / future) attention scores; underflows
+#: to an exact 0.0 probability through the stable softmax.
+MASKED_SCORE = -1e30
 
-def _softmax(x: np.ndarray) -> np.ndarray:
-    shifted = x - x.max(axis=-1, keepdims=True)
-    e = np.exp(shifted)
-    return e / e.sum(axis=-1, keepdims=True)
+
+def _mask_scores(scores: np.ndarray, context_valid: int | None) -> np.ndarray:
+    """Mask score entries past *context_valid* (padding rows) to -inf-ish."""
+    if context_valid is None:
+        return scores
+    if not 0 < context_valid <= scores.shape[-1]:
+        raise LutError(
+            f"context_valid must be in 1..{scores.shape[-1]}, "
+            f"got {context_valid}"
+        )
+    scores = scores.copy()
+    scores[..., context_valid:] = MASKED_SCORE
+    return scores
 
 
 @dataclass
@@ -81,10 +94,15 @@ class QuantizedKvCache:
             context=context, head_dim=head_dim, bits=bits,
         )
 
-    def memory_bytes(self) -> float:
-        """Packed cache size (both K and V)."""
-        weights = 2 * self.heads * self.context * self.head_dim
-        return weights * self.bits / 8.0
+    def memory_bytes(self) -> int:
+        """Exact packed cache size in bytes (both K and V).
+
+        ``2 · heads · context · head_dim`` entries of ``bits`` bits each,
+        rounded up to whole bytes — an ``int``, so capacity planning can
+        sum caches without float drift.
+        """
+        entry_bits = 2 * self.heads * self.context * self.head_dim * self.bits
+        return (entry_bits + 7) // 8
 
 
 def lut_decode_attention(
@@ -94,6 +112,7 @@ def lut_decode_attention(
     table_dtype: DataType | None = None,
     lut_k: int = 4,
     backend: str | None = None,
+    context_valid: int | None = None,
 ) -> np.ndarray:
     """Single-token decode attention with LUT-evaluated mpGEMMs.
 
@@ -101,6 +120,14 @@ def lut_decode_attention(
     vectors ``(heads, head_dim)``. Both mpGEMMs (scores and context) run
     on the selected kernel backend (``backend`` name, else the
     ``REPRO_MPGEMM_BACKEND`` environment variable, else ``lut-blocked``).
+
+    ``context_valid`` marks the first *n* cache entries as real and the
+    rest as alignment padding: their scores are masked before the
+    softmax, so their probabilities underflow to exactly ``0.0`` and the
+    padded V rows contribute nothing. This is how the serving runtime
+    (:mod:`repro.runtime`) decodes at arbitrary sequence lengths while
+    the ``P x V`` mpGEMM keeps its reduction dimension (the context) a
+    multiple of ``lut_k``.
     """
     query = np.asarray(query, dtype=np.float64)
     if query.shape != (cache.heads, cache.head_dim):
@@ -118,7 +145,7 @@ def lut_decode_attention(
     for h in range(cache.heads):
         score_engine = LutMpGemmEngine(cache.k_quant[h], config)
         scores = score_engine.matmul(query[h]) * inv_sqrt_d
-        probs = _softmax(scores)
+        probs = softmax(_mask_scores(scores, context_valid))
         ctx_engine = LutMpGemmEngine(cache.v_quant[h], config)
         out[h] = ctx_engine.matmul(probs)
     return out
@@ -135,7 +162,7 @@ def float_decode_attention(
     out = np.zeros_like(query)
     for h in range(heads):
         scores = (k_cache[h] @ query[h]) / np.sqrt(head_dim)
-        probs = _softmax(scores)
+        probs = softmax(scores)
         out[h] = v_cache[h].T @ probs
     return out
 
@@ -143,6 +170,7 @@ def float_decode_attention(
 def dequant_decode_attention(
     query: np.ndarray,
     cache: QuantizedKvCache,
+    context_valid: int | None = None,
 ) -> np.ndarray:
     """Decode attention on the dequantized caches (the numeric target
     the LUT evaluation must match)."""
@@ -153,6 +181,6 @@ def dequant_decode_attention(
         k = cache.k_quant[h].dequantize()
         v_t = cache.v_quant[h].dequantize()
         scores = (k @ query[h]) * inv_sqrt_d
-        probs = _softmax(scores)
+        probs = softmax(_mask_scores(scores, context_valid))
         out[h] = v_t @ probs
     return out

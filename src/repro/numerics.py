@@ -1,0 +1,29 @@
+"""Shared numeric helpers used across the stack.
+
+Small, dependency-free routines that several subsystems need with
+*identical* numerics: the accuracy model, the LUT decode attention, and
+the serving runtime all softmax the same way, so parity tests between
+the full-sequence forward and the KV-cached decode compare like with
+like instead of chasing copy-pasted variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along *axis*.
+
+    Shifts by the running max so ``exp`` never overflows; masked entries
+    at ``-1e30`` (the causal-mask convention used throughout the repo)
+    underflow to exactly ``0.0`` in float64, which the KV-cache padding
+    in :mod:`repro.runtime` relies on.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+__all__ = ["softmax"]

@@ -1,0 +1,53 @@
+"""Numeric serving runtime: KV-cached decode + continuous batching.
+
+The executable layer that ties the kernel seam (:mod:`repro.kernels`),
+the quantized KV cache (:mod:`repro.lut.attention`), and the model
+configs (:mod:`repro.models.configs`) into a real inference engine:
+
+- :class:`QuantizedLinear` — quantize once, plan once, dispatch every
+  matmul through the registered mpGEMM backend;
+- :class:`LayerKvCache` — per-layer, per-sequence cache state, extended
+  token by token with incremental K quantization;
+- :class:`DecoderModel` — a numeric decoder built from the same
+  :class:`~repro.models.configs.ModelConfig` the cost model prices,
+  with prefill + incremental batched decode;
+- :class:`ServingEngine` — continuous batching over a request queue
+  with greedy/top-k sampling and throughput/latency stats.
+
+Quickstart::
+
+    from repro.models.configs import ModelConfig
+    from repro.runtime import (
+        DecoderModel, Request, RuntimeConfig, ServingEngine,
+    )
+
+    cfg = ModelConfig("tiny", hidden=64, ffn=128, layers=2,
+                      heads=4, kv_heads=2, vocab=256, gated_ffn=True)
+    model = DecoderModel(cfg, RuntimeConfig(weight_bits=4, kv_bits=4))
+    engine = ServingEngine(model, max_batch_size=8)
+    engine.submit(Request("r0", prompt=(1, 2, 3), max_new_tokens=16))
+    results, stats = engine.run()
+"""
+
+from repro.runtime.engine import (
+    EngineStats,
+    Request,
+    RequestResult,
+    SamplingParams,
+    ServingEngine,
+)
+from repro.runtime.kv import LayerKvCache
+from repro.runtime.linear import QuantizedLinear
+from repro.runtime.model import DecoderModel, RuntimeConfig
+
+__all__ = [
+    "DecoderModel",
+    "EngineStats",
+    "LayerKvCache",
+    "QuantizedLinear",
+    "Request",
+    "RequestResult",
+    "RuntimeConfig",
+    "SamplingParams",
+    "ServingEngine",
+]

@@ -1,0 +1,281 @@
+"""Continuous-batching serving engine over the numeric runtime.
+
+Request lifecycle::
+
+    submit() -> WAITING -> (admission) -> prefill -> ACTIVE
+        -> batched decode steps (continuous batching) -> FINISHED
+
+The scheduler admits waiting requests whenever a decode slot is free —
+sequences join and leave the running batch *between steps*, they never
+wait for a whole batch to drain (continuous batching, vLLM-style, at
+numeric scale). Each decode step runs the model's batched step: linear
+projections execute as one ``(B, hidden)`` mpGEMM per projection on the
+registered kernel backend, attention runs per sequence over its own
+incrementally extended KV cache.
+
+Sampling is greedy by default; ``top_k``/``temperature`` with a
+per-request seed gives reproducible stochastic decoding.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.numerics import softmax
+from repro.runtime.model import DecoderModel
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """How next tokens are drawn from the logits.
+
+    ``top_k=None`` selects greedy argmax decoding; ``temperature`` then
+    has no effect (argmax is invariant under positive scaling). With
+    ``top_k`` set, sampling draws from the temperature-scaled softmax
+    over the k highest logits, seeded per request for reproducibility.
+    """
+
+    top_k: int | None = None      # None => greedy argmax
+    temperature: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.top_k is not None and self.top_k < 1:
+            raise ServingError("top_k must be >= 1")
+        if self.temperature <= 0:
+            raise ServingError("temperature must be positive")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request."""
+
+    request_id: str
+    prompt: tuple[int, ...]
+    max_new_tokens: int
+    sampling: SamplingParams = SamplingParams()
+    eos_token_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.prompt:
+            raise ServingError(f"request {self.request_id}: empty prompt")
+        if self.max_new_tokens < 1:
+            raise ServingError(
+                f"request {self.request_id}: max_new_tokens must be >= 1"
+            )
+
+
+@dataclass
+class RequestResult:
+    """Completion record returned for every finished request."""
+
+    request_id: str
+    prompt: tuple[int, ...]
+    tokens: list[int]
+    finish_reason: str            # "length" | "eos"
+    prefill_ms: float
+    first_token_ms: float         # submit -> first sampled token
+    latency_ms: float             # submit -> completion
+    decode_steps: int
+
+
+@dataclass
+class EngineStats:
+    """Aggregate throughput/latency statistics of one engine run."""
+
+    requests: int
+    prompt_tokens: int
+    generated_tokens: int
+    decode_steps: int
+    wall_s: float
+    batch_occupancy: list[int] = field(default_factory=list)
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.batch_occupancy:
+            return 0.0
+        return float(np.mean(self.batch_occupancy))
+
+    @property
+    def throughput_tok_s(self) -> float:
+        return self.generated_tokens / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class _Sequence:
+    """Mutable in-flight state of one admitted request."""
+
+    def __init__(
+        self, request: Request, model: DecoderModel, submit_time: float
+    ) -> None:
+        self.request = request
+        self.caches = model.new_caches()
+        self.generated: list[int] = []
+        self.rng = np.random.default_rng(request.sampling.seed)
+        # Wall-clock origin of the latency fields: when the request was
+        # *submitted*, so queue-wait time counts toward ttft/latency.
+        self.submit_time = submit_time
+        self.prefill_ms = 0.0
+        self.first_token_ms = 0.0
+        self.decode_steps = 0
+        self.finish_reason: str | None = None
+
+    @property
+    def last_token(self) -> int:
+        if self.generated:
+            return self.generated[-1]
+        return self.request.prompt[-1]
+
+    def sample(self, logits: np.ndarray) -> int:
+        params = self.request.sampling
+        if params.top_k is None:
+            return int(np.argmax(logits))
+        k = min(params.top_k, logits.size)
+        top = np.argpartition(logits, -k)[-k:]
+        probs = softmax(logits[top] / params.temperature)
+        return int(self.rng.choice(top, p=probs))
+
+    def accept(self, token: int) -> None:
+        now = time.perf_counter()
+        if not self.generated:
+            self.first_token_ms = (now - self.submit_time) * 1e3
+        self.generated.append(token)
+        req = self.request
+        if req.eos_token_id is not None and token == req.eos_token_id:
+            self.finish_reason = "eos"
+        elif len(self.generated) >= req.max_new_tokens:
+            self.finish_reason = "length"
+
+    def result(self) -> RequestResult:
+        return RequestResult(
+            request_id=self.request.request_id,
+            prompt=self.request.prompt,
+            tokens=list(self.generated),
+            finish_reason=self.finish_reason or "length",
+            prefill_ms=self.prefill_ms,
+            first_token_ms=self.first_token_ms,
+            latency_ms=(time.perf_counter() - self.submit_time) * 1e3,
+            decode_steps=self.decode_steps,
+        )
+
+
+class ServingEngine:
+    """Continuous-batching scheduler over a :class:`DecoderModel`."""
+
+    def __init__(self, model: DecoderModel, max_batch_size: int = 8) -> None:
+        if max_batch_size < 1:
+            raise ServingError("max_batch_size must be >= 1")
+        self.model = model
+        self.max_batch_size = max_batch_size
+        #: (request, submit wall-clock time) pairs, FIFO.
+        self.waiting: deque[tuple[Request, float]] = deque()
+        self.active: list[_Sequence] = []
+        self.finished: list[RequestResult] = []
+        self._batch_occupancy: list[int] = []
+        self._prompt_tokens = 0
+        self._ids: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Queue a request for admission (FIFO)."""
+        limit = self.model.runtime.max_seq_len
+        if len(request.prompt) + request.max_new_tokens > limit:
+            raise ServingError(
+                f"request {request.request_id}: prompt + max_new_tokens "
+                f"({len(request.prompt)} + {request.max_new_tokens}) "
+                f"exceeds max_seq_len {limit}"
+            )
+        if request.request_id in self._ids:
+            raise ServingError(
+                f"duplicate request id {request.request_id!r}"
+            )
+        self._ids.add(request.request_id)
+        self.waiting.append((request, time.perf_counter()))
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.active)
+
+    # ------------------------------------------------------------------
+    def _admit(self) -> list[RequestResult]:
+        """Prefill waiting requests into free decode slots.
+
+        Returns requests that completed already at prefill (their first
+        sampled token hit EOS or ``max_new_tokens == 1``).
+        """
+        done: list[RequestResult] = []
+        while self.waiting and len(self.active) < self.max_batch_size:
+            request, submitted = self.waiting.popleft()
+            seq = _Sequence(request, self.model, submitted)
+            started = time.perf_counter()
+            logits = self.model.prefill(
+                np.array(request.prompt), seq.caches
+            )
+            seq.prefill_ms = (time.perf_counter() - started) * 1e3
+            self._prompt_tokens += len(request.prompt)
+            seq.accept(seq.sample(logits[-1]))
+            if seq.finish_reason is not None:
+                result = seq.result()
+                self.finished.append(result)
+                done.append(result)
+            else:
+                self.active.append(seq)
+        return done
+
+    def step(self) -> list[RequestResult]:
+        """Admit, run one batched decode step, retire finished sequences.
+
+        Returns the requests that finished during this step — at the
+        decode step or already at prefill.
+        """
+        done = self._admit()
+        if not self.active:
+            return done
+        self._batch_occupancy.append(len(self.active))
+        tokens = np.array([seq.last_token for seq in self.active])
+        caches = [seq.caches for seq in self.active]
+        logits = self.model.decode_batch(tokens, caches)
+        still_active: list[_Sequence] = []
+        for seq, row in zip(self.active, logits):
+            seq.decode_steps += 1
+            seq.accept(seq.sample(row))
+            if seq.finish_reason is not None:
+                result = seq.result()
+                self.finished.append(result)
+                done.append(result)
+            else:
+                still_active.append(seq)
+        self.active = still_active
+        return done
+
+    def run(self) -> tuple[list[RequestResult], EngineStats]:
+        """Drive the engine until every submitted request completes."""
+        started = time.perf_counter()
+        while self.has_work:
+            self.step()
+        wall = time.perf_counter() - started
+        results = list(self.finished)
+        stats = EngineStats(
+            requests=len(results),
+            prompt_tokens=self._prompt_tokens,
+            generated_tokens=sum(len(r.tokens) for r in results),
+            # Only steps that actually ran a batched decode count; a
+            # request finishing at prefill adds no decode step.
+            decode_steps=len(self._batch_occupancy),
+            wall_s=wall,
+            batch_occupancy=list(self._batch_occupancy),
+        )
+        return results, stats
+
+
+__all__ = [
+    "EngineStats",
+    "Request",
+    "RequestResult",
+    "SamplingParams",
+    "ServingEngine",
+]

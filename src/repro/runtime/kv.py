@@ -1,0 +1,221 @@
+"""Growable per-layer, per-sequence KV cache state for the runtime.
+
+:class:`LayerKvCache` owns the float K/V history of one attention layer
+of one sequence and extends it token by token. On top of the float
+buffers it maintains an **incrementally quantized** K side: each
+appended K row is quantized the moment it arrives (per-row scales are
+independent of every other row, so the incremental codes are exactly the
+codes a from-scratch :meth:`~repro.lut.attention.QuantizedKvCache.quantize`
+would produce — a property the tests pin). The V side is group-quantized
+*along the context* (the LUT ``P x V`` mpGEMM reduces over the context,
+so scales must be constant within each ``lut_k`` context group), which
+couples tokens; it is requantized from the float buffer when a
+:class:`~repro.lut.attention.QuantizedKvCache` is materialized. Either
+way one decode step costs ``O(context)`` — never a full-sequence
+re-forward.
+
+Arbitrary sequence lengths are handled by zero-padding the context up to
+the next multiple of ``lut_k`` and reporting the real length as
+``context_valid`` so the decode attention masks the padding to exact
+zero probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.lut.attention import QuantizedKvCache
+from repro.lut.table import DEFAULT_K
+from repro.quant.weight import QuantizedWeight, quantize_weights
+
+#: Initial context capacity of the growable buffers.
+INITIAL_CAPACITY = 16
+
+
+class LayerKvCache:
+    """K/V history of one attention layer of one sequence.
+
+    Float buffers grow geometrically; ``append`` is amortized O(1) in
+    reallocations. When ``bits`` is set, the K side is additionally
+    quantized row by row as tokens arrive (see module docstring).
+    """
+
+    def __init__(
+        self,
+        kv_heads: int,
+        head_dim: int,
+        bits: int | None = None,
+        lut_k: int = DEFAULT_K,
+    ) -> None:
+        if kv_heads < 1 or head_dim < 1:
+            raise ServingError("kv_heads and head_dim must be positive")
+        if bits is not None and not 1 <= bits <= 8:
+            raise ServingError(f"kv bits must be in 1..8, got {bits}")
+        self.kv_heads = kv_heads
+        self.head_dim = head_dim
+        self.bits = bits
+        self.lut_k = lut_k
+        self.length = 0
+        cap = INITIAL_CAPACITY
+        self._k = np.zeros((kv_heads, cap, head_dim))
+        self._v = np.zeros((kv_heads, cap, head_dim))
+        # KIVI-style per-row grouping along head_dim when it divides
+        # evenly — mirrors QuantizedKvCache.quantize exactly.
+        self._k_group = 16 if head_dim % 16 == 0 else None
+        if bits is not None:
+            self._k_codes = np.zeros((kv_heads, cap, head_dim), dtype=np.int64)
+            scale_w = head_dim if self._k_group else 1
+            self._k_scale = np.ones((kv_heads, cap, scale_w))
+            self._k_zp = np.zeros((kv_heads, cap, scale_w))
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._k.shape[1]
+
+    def _grow(self, needed: int) -> None:
+        cap = self.capacity
+        if needed <= cap:
+            return
+        new_cap = cap
+        while new_cap < needed:
+            new_cap *= 2
+        for attr in ("_k", "_v") + (
+            ("_k_codes", "_k_scale", "_k_zp") if self.bits is not None else ()
+        ):
+            old = getattr(self, attr)
+            fresh = np.zeros(
+                (old.shape[0], new_cap, old.shape[2]), dtype=old.dtype
+            )
+            if attr == "_k_scale":
+                fresh[...] = 1.0
+            fresh[:, :cap] = old[:, :cap]
+            setattr(self, attr, fresh)
+
+    # ------------------------------------------------------------------
+    def append(self, k_rows: np.ndarray, v_rows: np.ndarray) -> None:
+        """Extend the cache by one or more tokens.
+
+        ``k_rows`` / ``v_rows`` have shape ``(kv_heads, head_dim)`` for a
+        single token or ``(tokens, kv_heads, head_dim)`` for a prefill
+        chunk.
+        """
+        k_rows = np.asarray(k_rows, dtype=np.float64)
+        v_rows = np.asarray(v_rows, dtype=np.float64)
+        if k_rows.ndim == 2:
+            k_rows = k_rows[None]
+            v_rows = v_rows[None]
+        if (
+            k_rows.shape != v_rows.shape
+            or k_rows.shape[1:] != (self.kv_heads, self.head_dim)
+        ):
+            raise ServingError(
+                f"expected rows of shape (*, {self.kv_heads}, "
+                f"{self.head_dim}), got {k_rows.shape} / {v_rows.shape}"
+            )
+        t_new = k_rows.shape[0]
+        start = self.length
+        self._grow(start + t_new)
+        # Buffers are (kv_heads, context, head_dim).
+        self._k[:, start:start + t_new] = k_rows.transpose(1, 0, 2)
+        self._v[:, start:start + t_new] = v_rows.transpose(1, 0, 2)
+        if self.bits is not None:
+            self._quantize_k_rows(start, t_new)
+        self.length = start + t_new
+
+    def _quantize_k_rows(self, start: int, t_new: int) -> None:
+        """Quantize just-appended K rows; each row's scale is its own."""
+        flat = self._k[:, start:start + t_new].reshape(-1, self.head_dim)
+        if self._k_group:
+            qw = quantize_weights(
+                flat, self.bits, axis=1, group_size=self._k_group
+            )
+        else:
+            qw = quantize_weights(flat, self.bits, axis=0)
+        shape = (self.kv_heads, t_new, -1)
+        self._k_codes[:, start:start + t_new] = qw.codes.reshape(
+            self.kv_heads, t_new, self.head_dim
+        )
+        self._k_scale[:, start:start + t_new] = qw.scale.reshape(shape)
+        self._k_zp[:, start:start + t_new] = qw.zero_point.reshape(shape)
+
+    # ------------------------------------------------------------------
+    def k_view(self) -> np.ndarray:
+        """Float K history, shape ``(kv_heads, length, head_dim)``."""
+        return self._k[:, :self.length]
+
+    def v_view(self) -> np.ndarray:
+        """Float V history, shape ``(kv_heads, length, head_dim)``."""
+        return self._v[:, :self.length]
+
+    def padded_context(self) -> int:
+        """Context length rounded up to the next multiple of ``lut_k``."""
+        k = self.lut_k
+        return ((self.length + k - 1) // k) * k
+
+    # ------------------------------------------------------------------
+    def quantized(self, repeat: int = 1) -> tuple[QuantizedKvCache, int]:
+        """Materialize the quantized cache for LUT decode attention.
+
+        Returns ``(cache, context_valid)`` where the cache's context is
+        zero-padded to a ``lut_k`` multiple and ``context_valid`` is the
+        real token count. ``repeat`` replicates each KV head that many
+        times (grouped-query attention: query heads share KV heads), by
+        reference — no extra quantization work.
+
+        The K side reuses the codes quantized at append time; only V is
+        requantized (its context-grouped scales depend on every token).
+        """
+        if self.bits is None:
+            raise ServingError("cache was built with bits=None (float mode)")
+        if self.length == 0:
+            raise ServingError("cannot quantize an empty cache")
+        ctx = self.padded_context()
+        pad = ctx - self.length
+        k_quant: list[QuantizedWeight] = []
+        for h in range(self.kv_heads):
+            codes = self._k_codes[h, :self.length]
+            scale = self._k_scale[h, :self.length]
+            zp = self._k_zp[h, :self.length]
+            if pad:
+                # Zero rows quantize to codes=0, scale=1, zp=0 under the
+                # per-row affine recipe; append the constants directly.
+                codes = np.concatenate(
+                    [codes, np.zeros((pad, self.head_dim), dtype=np.int64)]
+                )
+                scale = np.concatenate(
+                    [scale, np.ones((pad, scale.shape[1]))]
+                )
+                zp = np.concatenate([zp, np.zeros((pad, zp.shape[1]))])
+            k_quant.append(
+                QuantizedWeight(
+                    codes=codes, scale=scale, zero_point=zp, bits=self.bits
+                )
+            )
+        # V is consumed transposed — (head_dim, context) — and grouped
+        # along the context, mirroring QuantizedKvCache.quantize.
+        v_pad = np.zeros((self.kv_heads, ctx, self.head_dim))
+        v_pad[:, :self.length] = self.v_view()
+        vgroup = 16 if ctx % 16 == 0 else None
+        v_quant = [
+            quantize_weights(v_pad[h].T, self.bits, axis=1, group_size=vgroup)
+            if vgroup
+            else quantize_weights(v_pad[h].T, self.bits, axis=0)
+            for h in range(self.kv_heads)
+        ]
+        if repeat > 1:
+            k_quant = [qw for qw in k_quant for _ in range(repeat)]
+            v_quant = [qw for qw in v_quant for _ in range(repeat)]
+        cache = QuantizedKvCache(
+            k_quant=k_quant,
+            v_quant=v_quant,
+            heads=self.kv_heads * repeat,
+            context=ctx,
+            head_dim=self.head_dim,
+            bits=self.bits,
+        )
+        return cache, self.length
+
+
+__all__ = ["LayerKvCache", "INITIAL_CAPACITY"]

@@ -1,0 +1,136 @@
+"""``QuantizedLinear`` — the one linear-execution path of the repo.
+
+A linear layer whose weight is quantized **once** at construction, whose
+offline :class:`~repro.kernels.WeightPlan` is built **once** (inside the
+cached :class:`~repro.lut.mpgemm.LutMpGemmEngine`), and whose forward
+dispatches every call through the registered mpGEMM kernel backend.
+Both the serving runtime (:mod:`repro.runtime.model`) and the accuracy
+stack (:func:`repro.accuracy.quantize_model.make_executor`) execute
+their linears through this class, so "what does a quantized matmul
+cost/produce" has a single answer in the codebase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.formats import DataType
+from repro.errors import LutError
+from repro.kernels import WeightPlan
+from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+from repro.lut.table import DEFAULT_K
+from repro.quant.weight import QuantizedWeight, quantize_weights
+
+
+class QuantizedLinear:
+    """A weight-quantized linear layer with a cached mpGEMM plan.
+
+    Parameters
+    ----------
+    weight:
+        Either a real-valued ``(out_features, in_features)`` array (it is
+        quantized here, per output channel, symmetric) or an
+        already-quantized :class:`~repro.quant.weight.QuantizedWeight`.
+    bits:
+        Weight width for the quantization performed here. ``None`` keeps
+        the weight in full precision and bypasses the kernel seam
+        entirely (the FP baseline row of Table 5).
+    lut_k:
+        Activation group length of the LUT pipeline (paper: 4).
+    backend:
+        Kernel backend name; ``None`` defers to the
+        ``REPRO_MPGEMM_BACKEND`` environment variable, then the default.
+    table_dtype:
+        Optional table quantization (e.g. INT8) — the LUT pipeline's only
+        lossy knob. Requires a table-consuming backend.
+    group_size:
+        Optional per-group quantization granularity along the input
+        dimension (must be a multiple of ``lut_k`` for the LUT path).
+    name:
+        Free-form label used in error messages and registries.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray | QuantizedWeight,
+        bits: int | None = 4,
+        *,
+        lut_k: int = DEFAULT_K,
+        backend: str | None = None,
+        table_dtype: DataType | None = None,
+        group_size: int | None = None,
+        name: str = "",
+    ) -> None:
+        self.name = name
+        self.bits = bits
+        self._fp_weight: np.ndarray | None = None
+        self._engine: LutMpGemmEngine | None = None
+
+        if isinstance(weight, QuantizedWeight):
+            self.quantized: QuantizedWeight | None = weight
+            self.bits = weight.bits
+        elif bits is None:
+            self._fp_weight = np.asarray(weight, dtype=np.float64)
+            if self._fp_weight.ndim != 2:
+                raise LutError(f"linear weight {name!r} must be 2-D")
+            self.quantized = None
+        else:
+            weight = np.asarray(weight, dtype=np.float64)
+            if weight.ndim != 2:
+                raise LutError(f"linear weight {name!r} must be 2-D")
+            self.quantized = quantize_weights(
+                weight, bits, axis=0, group_size=group_size, symmetric=True
+            )
+
+        if self.quantized is not None:
+            config = LutMpGemmConfig(
+                k=lut_k, table_dtype=table_dtype, backend=backend
+            )
+            # The engine builds the shared offline WeightPlan exactly
+            # once; every __call__ reuses it.
+            self._engine = LutMpGemmEngine(self.quantized, config)
+
+    # ------------------------------------------------------------------
+    @property
+    def out_features(self) -> int:
+        if self._fp_weight is not None:
+            return self._fp_weight.shape[0]
+        return self._engine.out_features
+
+    @property
+    def in_features(self) -> int:
+        if self._fp_weight is not None:
+            return self._fp_weight.shape[1]
+        return self._engine.in_features
+
+    @property
+    def plan(self) -> WeightPlan | None:
+        """The cached offline weight plan (``None`` in FP mode)."""
+        return self._engine.plan if self._engine is not None else None
+
+    @property
+    def engine(self) -> LutMpGemmEngine | None:
+        return self._engine
+
+    def dequantized(self) -> np.ndarray:
+        """The real-valued weight this layer effectively applies."""
+        if self._fp_weight is not None:
+            return self._fp_weight
+        return self.plan.dequantized
+
+    # ------------------------------------------------------------------
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """``x @ W_eff.T`` for ``x`` of shape ``(M, in)`` or ``(in,)``."""
+        if self._fp_weight is not None:
+            return np.asarray(x, dtype=np.float64) @ self._fp_weight.T
+        return self._engine.matmul(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "fp" if self._fp_weight is not None else f"{self.bits}b"
+        return (
+            f"QuantizedLinear({self.name or '<anon>'}, "
+            f"{self.out_features}x{self.in_features}, {mode})"
+        )
+
+
+__all__ = ["QuantizedLinear"]

@@ -1,0 +1,348 @@
+"""A numeric decoder-only transformer over the kernels seam.
+
+:class:`DecoderModel` is assembled from the *same*
+:class:`~repro.models.configs.ModelConfig` the analytic cost model uses
+(hidden/ffn/heads/kv-heads/gated-FFN), but it actually executes: every
+linear projection is a :class:`~repro.runtime.linear.QuantizedLinear`
+dispatching through the registered mpGEMM kernel backend, and decoding
+is **incremental** — per-layer, per-sequence
+:class:`~repro.runtime.kv.LayerKvCache`\\ s are extended token by token
+and attention runs over the cached context only
+(:func:`~repro.lut.attention.lut_decode_attention` when the KV cache is
+quantized, the float reference otherwise). A full-sequence forward per
+generated token never happens; the parity tests assert the incremental
+path reproduces the full forward's logits on every registered backend.
+
+Weights are random (seeded) — this is a *numeric serving substrate*, not
+a pretrained checkpoint loader — which is exactly what the throughput
+and parity claims need: real shapes, real kernels, real cache dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datatypes.formats import DataType
+from repro.errors import ServingError
+from repro.lut.attention import (
+    MASKED_SCORE,
+    float_decode_attention,
+    lut_decode_attention,
+)
+from repro.lut.table import DEFAULT_K
+from repro.models.configs import ModelConfig
+from repro.numerics import softmax
+from repro.runtime.kv import LayerKvCache
+from repro.runtime.linear import QuantizedLinear
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution knobs of the serving runtime.
+
+    Attributes
+    ----------
+    weight_bits:
+        Width of the weight quantization applied to every linear
+        projection (``None`` keeps FP weights — the baseline row).
+    kv_bits:
+        KV-cache quantization width for decode attention. ``None`` keeps
+        the cache in float and decodes through the float reference path;
+        2/4/8 quantize per the KIVI-style recipe and decode through
+        :func:`~repro.lut.attention.lut_decode_attention`.
+    lut_k:
+        LUT activation group length (paper: 4).
+    backend:
+        mpGEMM kernel backend name for every dispatch (``None`` defers
+        to ``REPRO_MPGEMM_BACKEND``, then the default).
+    table_dtype:
+        Optional LUT table quantization for the linear projections.
+    max_seq_len:
+        Positional-embedding capacity; prompt + generation must fit.
+    seed:
+        Weight-initialization seed.
+    """
+
+    weight_bits: int | None = 4
+    kv_bits: int | None = None
+    lut_k: int = DEFAULT_K
+    backend: str | None = None
+    table_dtype: DataType | None = None
+    max_seq_len: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_seq_len < 1:
+            raise ServingError("max_seq_len must be positive")
+        if self.kv_bits is not None and not 1 <= self.kv_bits <= 8:
+            raise ServingError("kv_bits must be in 1..8 or None")
+
+
+def _layer_norm(x: np.ndarray, gain: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mu) / np.sqrt(var + 1e-5) * gain + bias
+
+
+def _silu(x: np.ndarray) -> np.ndarray:
+    return x / (1.0 + np.exp(-x))
+
+
+class _DecoderLayer:
+    """One pre-norm block: attention projections + (gated) FFN."""
+
+    def __init__(
+        self, cfg: ModelConfig, rt: RuntimeConfig, rng: np.random.Generator
+    ) -> None:
+        d, kv_dim, f = cfg.hidden, cfg.kv_dim, cfg.ffn
+        scale = 1.0 / np.sqrt(d)
+
+        def linear(shape: tuple[int, int], name: str) -> QuantizedLinear:
+            return QuantizedLinear(
+                rng.normal(scale=scale, size=shape),
+                bits=rt.weight_bits,
+                lut_k=rt.lut_k,
+                backend=rt.backend,
+                table_dtype=rt.table_dtype,
+                name=name,
+            )
+
+        self.wq = linear((d, d), "wq")
+        self.wk = linear((kv_dim, d), "wk")
+        self.wv = linear((kv_dim, d), "wv")
+        self.wo = linear((d, d), "wo")
+        self.gated = cfg.gated_ffn
+        if cfg.gated_ffn:
+            self.w_gate = linear((f, d), "w_gate")
+        self.w_up = linear((f, d), "w_up")
+        self.w_down = linear((d, f), "w_down")
+        self.ln1_g = np.ones(d)
+        self.ln1_b = np.zeros(d)
+        self.ln2_g = np.ones(d)
+        self.ln2_b = np.zeros(d)
+
+    def ffn(self, h: np.ndarray) -> np.ndarray:
+        if self.gated:
+            return self.w_down(_silu(self.w_gate(h)) * self.w_up(h))
+        return self.w_down(np.maximum(self.w_up(h), 0.0))
+
+
+class DecoderModel:
+    """Numeric KV-cached decoder built from a :class:`ModelConfig`."""
+
+    def __init__(
+        self, config: ModelConfig, runtime: RuntimeConfig | None = None
+    ) -> None:
+        self.config = config
+        self.runtime = runtime or RuntimeConfig()
+        rt = self.runtime
+        if config.head_dim % rt.lut_k != 0:
+            raise ServingError(
+                f"head_dim {config.head_dim} must be a multiple of "
+                f"lut_k={rt.lut_k} for the LUT decode path"
+            )
+        rng = np.random.default_rng(rt.seed)
+        d = config.hidden
+        self.tok_emb = rng.normal(scale=0.08, size=(config.vocab, d))
+        self.pos_emb = rng.normal(scale=0.08, size=(rt.max_seq_len, d))
+        self.layers = [
+            _DecoderLayer(config, rt, rng) for _ in range(config.layers)
+        ]
+        self.ln_f_g = np.ones(d)
+        self.ln_f_b = np.zeros(d)
+        self.head = QuantizedLinear(
+            rng.normal(scale=1.0 / np.sqrt(d), size=(config.vocab, d)),
+            bits=rt.weight_bits,
+            lut_k=rt.lut_k,
+            backend=rt.backend,
+            table_dtype=rt.table_dtype,
+            name="head",
+        )
+        #: Execution counters: the engine/tests read these to prove the
+        #: decode path is incremental (attention cost ~ cached context).
+        self.stats = {
+            "prefill_tokens": 0,
+            "decode_steps": 0,
+            "attn_context_tokens": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def new_caches(self) -> list[LayerKvCache]:
+        """Fresh per-layer KV caches for one sequence."""
+        rt = self.runtime
+        return [
+            LayerKvCache(
+                self.config.kv_heads,
+                self.config.head_dim,
+                bits=rt.kv_bits,
+                lut_k=rt.lut_k,
+            )
+            for _ in range(self.config.layers)
+        ]
+
+    def _check_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1 or tokens.size == 0:
+            raise ServingError("tokens must be a non-empty 1-D sequence")
+        if tokens.min() < 0 or tokens.max() >= self.config.vocab:
+            raise ServingError(
+                f"token ids must be in [0, {self.config.vocab})"
+            )
+        return tokens
+
+    # ------------------------------------------------------------------
+    def prefill(
+        self, tokens: np.ndarray, caches: list[LayerKvCache]
+    ) -> np.ndarray:
+        """Process a prompt chunk, filling *caches*; returns all logits.
+
+        Attention runs in float over the (past + chunk) context — the
+        standard serving split where prefill stays high-precision and KV
+        quantization applies to decode. Output shape is
+        ``(chunk, vocab)``; the last row feeds the first sampled token.
+        """
+        tokens = self._check_tokens(tokens)
+        cfg, rt = self.config, self.runtime
+        t = tokens.size
+        past = caches[0].length
+        if past + t > rt.max_seq_len:
+            raise ServingError(
+                f"sequence length {past + t} exceeds max_seq_len "
+                f"{rt.max_seq_len}"
+            )
+        d, hd = cfg.hidden, cfg.head_dim
+        rep = cfg.heads // cfg.kv_heads
+        positions = past + np.arange(t)
+        x = self.tok_emb[tokens] + self.pos_emb[positions]
+
+        # Causal mask over the full context: new token i attends to
+        # absolute positions 0..past+i.
+        total = past + t
+        mask = np.where(
+            np.arange(total)[None, :] > (past + np.arange(t))[:, None],
+            MASKED_SCORE,
+            0.0,
+        )
+        for layer, cache in zip(self.layers, caches):
+            h = _layer_norm(x, layer.ln1_g, layer.ln1_b)
+            q = layer.wq(h).reshape(t, cfg.heads, hd)
+            k = layer.wk(h).reshape(t, cfg.kv_heads, hd)
+            v = layer.wv(h).reshape(t, cfg.kv_heads, hd)
+            cache.append(k, v)
+            k_all = np.repeat(cache.k_view(), rep, axis=0)
+            v_all = np.repeat(cache.v_view(), rep, axis=0)
+            # (heads, t, total)
+            scores = (
+                np.einsum("thd,hTd->htT", q, k_all) / np.sqrt(hd)
+                + mask[None]
+            )
+            probs = softmax(scores)
+            ctx = np.einsum("htT,hTd->thd", probs, v_all).reshape(t, d)
+            x = x + layer.wo(ctx)
+            h2 = _layer_norm(x, layer.ln2_g, layer.ln2_b)
+            x = x + layer.ffn(h2)
+        self.stats["prefill_tokens"] += t
+        final = _layer_norm(x, self.ln_f_g, self.ln_f_b)
+        return self.head(final)
+
+    def forward_full(self, tokens: np.ndarray) -> np.ndarray:
+        """Stateless full-sequence forward (the parity reference)."""
+        return self.prefill(tokens, self.new_caches())
+
+    # ------------------------------------------------------------------
+    def _decode_attention(
+        self, query: np.ndarray, cache: LayerKvCache
+    ) -> np.ndarray:
+        """Attention of one new token over one sequence's cached context."""
+        cfg, rt = self.config, self.runtime
+        rep = cfg.heads // cfg.kv_heads
+        self.stats["attn_context_tokens"] += cache.length
+        if rt.kv_bits is None:
+            k_all = np.repeat(cache.k_view(), rep, axis=0)
+            v_all = np.repeat(cache.v_view(), rep, axis=0)
+            return float_decode_attention(query, k_all, v_all)
+        qcache, valid = cache.quantized(repeat=rep)
+        return lut_decode_attention(
+            query,
+            qcache,
+            table_dtype=rt.table_dtype,
+            lut_k=rt.lut_k,
+            backend=rt.backend,
+            context_valid=valid,
+        )
+
+    def decode_batch(
+        self,
+        tokens: np.ndarray,
+        caches_per_seq: list[list[LayerKvCache]],
+    ) -> np.ndarray:
+        """One KV-cached decode step for a batch of sequences.
+
+        ``tokens[b]`` is sequence *b*'s most recent token; its position
+        is that sequence's current cache length. The linear projections
+        run **batched** across sequences (one ``(B, hidden)`` mpGEMM per
+        projection — this is what continuous batching buys), while
+        attention runs per sequence over its own cached context. Returns
+        next-token logits of shape ``(B, vocab)``.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1 or tokens.size != len(caches_per_seq):
+            raise ServingError("one token and one cache set per sequence")
+        cfg, rt = self.config, self.runtime
+        b = tokens.size
+        d, hd = cfg.hidden, cfg.head_dim
+        positions = np.array([c[0].length for c in caches_per_seq])
+        if positions.max(initial=0) >= rt.max_seq_len:
+            raise ServingError(
+                f"a sequence reached max_seq_len {rt.max_seq_len}"
+            )
+        x = self.tok_emb[tokens] + self.pos_emb[positions]
+        for li, layer in enumerate(self.layers):
+            h = _layer_norm(x, layer.ln1_g, layer.ln1_b)
+            q = layer.wq(h).reshape(b, cfg.heads, hd)
+            k = layer.wk(h).reshape(b, cfg.kv_heads, hd)
+            v = layer.wv(h).reshape(b, cfg.kv_heads, hd)
+            attn = np.empty((b, d))
+            for s, caches in enumerate(caches_per_seq):
+                caches[li].append(k[s], v[s])
+                attn[s] = self._decode_attention(q[s], caches[li]).reshape(d)
+            x = x + layer.wo(attn)
+            h2 = _layer_norm(x, layer.ln2_g, layer.ln2_b)
+            x = x + layer.ffn(h2)
+        self.stats["decode_steps"] += 1
+        final = _layer_norm(x, self.ln_f_g, self.ln_f_b)
+        return self.head(final)
+
+    def decode_step(
+        self, token: int, caches: list[LayerKvCache]
+    ) -> np.ndarray:
+        """Single-sequence decode step; returns ``(vocab,)`` logits."""
+        return self.decode_batch(np.array([token]), [caches])[0]
+
+    # ------------------------------------------------------------------
+    def kv_memory_bytes(self, caches: list[LayerKvCache]) -> int:
+        """Exact packed KV footprint of one sequence across layers.
+
+        Pure shape arithmetic — the quantized-mode count matches what
+        ``cache.quantized()[0].memory_bytes()`` would report (padded
+        context included) without materializing any cache.
+        """
+        bits = self.runtime.kv_bits
+        if bits is None:
+            return int(
+                sum(c.k_view().nbytes + c.v_view().nbytes for c in caches)
+            )
+        total = 0
+        for cache in caches:
+            if cache.length:
+                entries = (
+                    2 * cache.kv_heads * cache.padded_context()
+                    * cache.head_dim
+                )
+                total += (entries * bits + 7) // 8
+        return total
+
+
+__all__ = ["DecoderModel", "RuntimeConfig"]

@@ -131,6 +131,11 @@ class TestCache:
         assert get_spec("bench_backends").meta.cacheable is False
         # Timings must also never compete with pool siblings for cores.
         assert get_spec("bench_backends").meta.parallelizable is False
+
+    def test_bench_serving_is_uncacheable(self):
+        # Serving throughput numbers are wall-clock measurements too.
+        assert get_spec("bench_serving").meta.cacheable is False
+        assert get_spec("bench_serving").meta.parallelizable is False
         # Everything else stays cacheable (the timing bench is special).
         assert get_spec(CHEAP).meta.cacheable is True
         assert get_spec(CHEAP).meta.parallelizable is True

@@ -14,7 +14,7 @@ class TestRunner:
             "fig17", "fig18", "fig19",
             "table1", "table2", "table3", "table4", "table5",
             "ablation_sw", "ablation_kv", "sensitivity",
-            "bench_backends",
+            "bench_backends", "bench_serving",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -66,6 +66,28 @@ class TestBuildWeightPlan:
         plan = build_weight_plan(sample_weight(bits=2, seed=6), k=4)
         assert plan.has_zero_point
 
+    def test_lut_arrays_are_lazy_and_cached(self):
+        """Table-less dispatch must not materialize LUT-side state.
+
+        The dequant executors build plans for every linear weight but
+        only ever read ``plan.dequantized``; the (bits, G, N) index and
+        (G, N) affine arrays would dominate memory at k=1, so they stay
+        unbuilt until a LUT backend asks — then build once.
+        """
+        from repro.kernels import get_backend
+        from repro.lut.mpgemm import LutMpGemmConfig
+
+        plan = build_weight_plan(sample_weight(bits=2, seed=9), k=4)
+        acts = np.random.default_rng(9).normal(size=(2, 16))
+        get_backend("reference").execute(
+            plan, LutMpGemmConfig(k=4, backend="reference"), acts, None
+        )
+        assert plan._indices is None
+        assert plan._scale_gn is None and plan._zero_gn is None
+        first = plan.indices
+        assert plan._indices is not None
+        assert plan.indices is first
+
     def test_flat_lookup_indices_cached(self):
         plan = build_weight_plan(sample_weight(bits=2, seed=7), k=4)
         first = plan.flat_lookup_indices(8, True)

@@ -135,6 +135,24 @@ class TestKvAttention:
         expected = 2 * self.HEADS * self.CONTEXT * self.DIM * 4 / 8
         assert cache.memory_bytes() == expected
 
+    def test_memory_bytes_is_exact_int(self):
+        _, k, v = self._caches()
+        for bits in (2, 3, 4, 8):
+            cache = QuantizedKvCache.quantize(k, v, bits=bits)
+            got = cache.memory_bytes()
+            assert isinstance(got, int)
+            entry_bits = 2 * self.HEADS * self.CONTEXT * self.DIM * bits
+            assert got == (entry_bits + 7) // 8
+
+    def test_memory_bytes_rounds_partial_bytes_up(self):
+        # 2 * 1 * 1 * 1 * 3 = 6 bits of payload must still occupy one
+        # whole byte.
+        rng = np.random.default_rng(0)
+        k = rng.normal(size=(1, 1, 1))
+        v = rng.normal(size=(1, 1, 1))
+        cache = QuantizedKvCache.quantize(k, v, bits=3)
+        assert cache.memory_bytes() == 1
+
     def test_shape_validation(self):
         q, k, v = self._caches()
         cache = QuantizedKvCache.quantize(k, v, bits=4)

@@ -1,0 +1,153 @@
+"""Decode parity: incremental KV-cached decode == full-sequence forward.
+
+The acceptance test of the serving runtime: for the same prompt, running
+prefill once and then token-by-token KV-cached decode steps must produce
+the same logits as one full-sequence forward pass — on every registered
+mpGEMM kernel backend. This is what licenses the engine to never re-run
+a full forward during generation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.configs import ModelConfig
+from repro.runtime import DecoderModel, RuntimeConfig
+
+BACKENDS = ("reference", "lut-naive", "lut-blocked")
+
+#: Grouped-query attention and a gated FFN exercise every projection
+#: shape; head_dim = 8 keeps the LUT group constraint (multiple of 4).
+GQA_GATED = ModelConfig(
+    "parity-gqa", hidden=32, ffn=64, layers=2, heads=4, kv_heads=2,
+    vocab=64, gated_ffn=True,
+)
+MHA_RELU = ModelConfig(
+    "parity-mha", hidden=32, ffn=48, layers=2, heads=2, kv_heads=2,
+    vocab=64,
+)
+
+
+def _decode_all(model, prompt, split):
+    """Prefill ``prompt[:split]`` then decode the rest; stack the logits."""
+    caches = model.new_caches()
+    logits = model.prefill(prompt[:split], caches)
+    outs = [logits[-1]]
+    for token in prompt[split:]:
+        outs.append(model.decode_step(int(token), caches))
+    return np.stack(outs)
+
+
+class TestDecodeParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("config", [GQA_GATED, MHA_RELU],
+                             ids=lambda c: c.name)
+    def test_incremental_matches_full_forward(self, backend, config):
+        model = DecoderModel(
+            config,
+            RuntimeConfig(
+                weight_bits=4, kv_bits=None, backend=backend, max_seq_len=32,
+            ),
+        )
+        rng = np.random.default_rng(11)
+        prompt = rng.integers(0, config.vocab, size=13)
+        full = model.forward_full(prompt)
+        incremental = _decode_all(model, prompt, split=4)
+        np.testing.assert_allclose(incremental, full[3:], atol=1e-9)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_parity_holds_for_fp_weights(self, backend):
+        """weight_bits=None bypasses the kernel seam; parity still holds."""
+        model = DecoderModel(
+            GQA_GATED,
+            RuntimeConfig(
+                weight_bits=None, kv_bits=None, backend=backend,
+                max_seq_len=32,
+            ),
+        )
+        prompt = np.arange(10) % GQA_GATED.vocab
+        full = model.forward_full(prompt)
+        incremental = _decode_all(model, prompt, split=1)
+        np.testing.assert_allclose(incremental, full, atol=1e-9)
+
+    def test_chunked_prefill_matches_single_prefill(self):
+        model = DecoderModel(
+            GQA_GATED, RuntimeConfig(weight_bits=4, max_seq_len=32)
+        )
+        prompt = np.random.default_rng(2).integers(0, 64, size=12)
+        full = model.forward_full(prompt)
+        caches = model.new_caches()
+        model.prefill(prompt[:5], caches)
+        chunk2 = model.prefill(prompt[5:], caches)
+        np.testing.assert_allclose(chunk2, full[5:], atol=1e-9)
+
+    def test_decode_never_reruns_prefill(self):
+        """The instrumentation the cost claim rests on: decoding adds
+        decode steps and context-sized attention work, no prefill
+        tokens."""
+        model = DecoderModel(
+            GQA_GATED, RuntimeConfig(weight_bits=4, max_seq_len=32)
+        )
+        prompt = np.arange(8)
+        caches = model.new_caches()
+        model.prefill(prompt, caches)
+        assert model.stats["prefill_tokens"] == 8
+        before = dict(model.stats)
+        for i, token in enumerate((1, 2, 3)):
+            model.decode_step(token, caches)
+            # Attention context at decode step i is prompt + i + 1 tokens,
+            # per layer: cost scales with the cache, linearly.
+            expected = sum(8 + j + 1 for j in range(i + 1))
+            assert model.stats["attn_context_tokens"] == (
+                before["attn_context_tokens"]
+                + expected * GQA_GATED.layers
+            )
+        assert model.stats["prefill_tokens"] == before["prefill_tokens"]
+        assert model.stats["decode_steps"] == before["decode_steps"] + 3
+
+
+class TestQuantizedKvDecode:
+    def test_lut_backends_bit_identical(self):
+        outs = {}
+        for backend in ("lut-naive", "lut-blocked"):
+            model = DecoderModel(
+                GQA_GATED,
+                RuntimeConfig(
+                    weight_bits=4, kv_bits=4, backend=backend, max_seq_len=32,
+                ),
+            )
+            caches = model.new_caches()
+            model.prefill(np.array([1, 5, 9, 2]), caches)
+            outs[backend] = np.stack(
+                [model.decode_step(t, caches) for t in (7, 3, 11)]
+            )
+        np.testing.assert_array_equal(outs["lut-naive"], outs["lut-blocked"])
+
+    def test_quantized_kv_tracks_float_kv(self):
+        """INT8 KV decode stays close to the float-cache decode."""
+        logits = {}
+        for kv_bits in (None, 8):
+            model = DecoderModel(
+                GQA_GATED,
+                RuntimeConfig(weight_bits=4, kv_bits=kv_bits, max_seq_len=32),
+            )
+            caches = model.new_caches()
+            model.prefill(np.array([3, 1, 4, 1, 5]), caches)
+            logits[kv_bits] = model.decode_step(9, caches)
+        err = np.abs(logits[8] - logits[None]).max()
+        scale = np.abs(logits[None]).max()
+        assert err < 0.05 * scale
+
+    def test_unaligned_context_lengths_decode(self):
+        """Every context length (aligned or not) must decode: the padded
+        cache + context_valid masking handles arbitrary lengths."""
+        model = DecoderModel(
+            GQA_GATED,
+            RuntimeConfig(weight_bits=4, kv_bits=4, max_seq_len=32),
+        )
+        caches = model.new_caches()
+        model.prefill(np.array([2, 7]), caches)   # context 2: padded to 4
+        for i, token in enumerate((1, 2, 3, 4, 5)):
+            logits = model.decode_step(token, caches)
+            assert logits.shape == (GQA_GATED.vocab,)
+            assert np.all(np.isfinite(logits))
+            assert caches[0].length == 3 + i

@@ -1,0 +1,156 @@
+"""LayerKvCache: growth, incremental K quantization, padded production."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.lut.attention import (
+    QuantizedKvCache,
+    dequant_decode_attention,
+    lut_decode_attention,
+)
+from repro.runtime.kv import INITIAL_CAPACITY, LayerKvCache
+
+
+def _fill(cache, tokens, seed=0):
+    rng = np.random.default_rng(seed)
+    k = rng.normal(size=(tokens, cache.kv_heads, cache.head_dim))
+    v = rng.normal(size=(tokens, cache.kv_heads, cache.head_dim))
+    for i in range(tokens):
+        cache.append(k[i], v[i])
+    return k, v
+
+
+class TestFloatState:
+    def test_views_track_appends(self):
+        cache = LayerKvCache(2, 8)
+        k, v = _fill(cache, 5)
+        assert cache.length == 5
+        np.testing.assert_array_equal(cache.k_view(), k.transpose(1, 0, 2))
+        np.testing.assert_array_equal(cache.v_view(), v.transpose(1, 0, 2))
+
+    def test_bulk_append_equals_token_by_token(self):
+        one = LayerKvCache(2, 8, bits=4)
+        bulk = LayerKvCache(2, 8, bits=4)
+        rng = np.random.default_rng(1)
+        k = rng.normal(size=(7, 2, 8))
+        v = rng.normal(size=(7, 2, 8))
+        for i in range(7):
+            one.append(k[i], v[i])
+        bulk.append(k, v)
+        np.testing.assert_array_equal(one.k_view(), bulk.k_view())
+        np.testing.assert_array_equal(
+            one.quantized()[0].k_quant[0].codes,
+            bulk.quantized()[0].k_quant[0].codes,
+        )
+
+    def test_growth_preserves_history(self):
+        cache = LayerKvCache(1, 4)
+        k, v = _fill(cache, INITIAL_CAPACITY * 2 + 3)
+        assert cache.capacity >= INITIAL_CAPACITY * 2 + 3
+        np.testing.assert_array_equal(cache.k_view(), k.transpose(1, 0, 2))
+
+    def test_shape_validation(self):
+        cache = LayerKvCache(2, 8)
+        with pytest.raises(ServingError):
+            cache.append(np.zeros((2, 4)), np.zeros((2, 4)))
+        with pytest.raises(ServingError):
+            cache.append(np.zeros((2, 8)), np.zeros((3, 8)))
+
+    def test_quantized_requires_bits(self):
+        cache = LayerKvCache(2, 8)
+        _fill(cache, 4)
+        with pytest.raises(ServingError):
+            cache.quantized()
+
+    def test_quantized_requires_tokens(self):
+        cache = LayerKvCache(2, 8, bits=4)
+        with pytest.raises(ServingError):
+            cache.quantized()
+
+
+class TestIncrementalQuantization:
+    """The incremental K codes must equal a from-scratch quantize."""
+
+    @pytest.mark.parametrize("head_dim", [8, 16])  # 16: group-16 branch
+    @pytest.mark.parametrize("tokens", [5, 12, 16])
+    def test_matches_full_quantize_on_padded_floats(self, head_dim, tokens):
+        cache = LayerKvCache(3, head_dim, bits=4)
+        _fill(cache, tokens, seed=head_dim + tokens)
+        qc, valid = cache.quantized()
+        assert valid == tokens
+        ctx = qc.context
+        assert ctx % cache.lut_k == 0 and ctx >= tokens
+
+        k_pad = np.zeros((3, ctx, head_dim))
+        k_pad[:, :tokens] = cache.k_view()
+        v_pad = np.zeros((3, ctx, head_dim))
+        v_pad[:, :tokens] = cache.v_view()
+        full = QuantizedKvCache.quantize(k_pad, v_pad, bits=4)
+        for h in range(3):
+            np.testing.assert_array_equal(
+                qc.k_quant[h].codes, full.k_quant[h].codes
+            )
+            np.testing.assert_allclose(
+                np.broadcast_to(qc.k_quant[h].scale, (ctx, head_dim)),
+                np.broadcast_to(full.k_quant[h].scale, (ctx, head_dim)),
+            )
+            np.testing.assert_array_equal(
+                qc.v_quant[h].codes, full.v_quant[h].codes
+            )
+            np.testing.assert_allclose(
+                qc.k_quant[h].dequantize(), full.k_quant[h].dequantize()
+            )
+
+    def test_gqa_repeat_shares_quantized_weights(self):
+        cache = LayerKvCache(2, 8, bits=4)
+        _fill(cache, 4)
+        qc, _ = cache.quantized(repeat=3)
+        assert qc.heads == 6
+        # Repetition is by reference: no extra quantization work.
+        assert qc.k_quant[0] is qc.k_quant[1] is qc.k_quant[2]
+        assert qc.k_quant[3] is qc.k_quant[4] is qc.k_quant[5]
+        assert qc.k_quant[0] is not qc.k_quant[3]
+
+
+class TestPaddedAttention:
+    def test_masked_lut_equals_masked_dequant(self):
+        cache = LayerKvCache(2, 8, bits=4)
+        _fill(cache, 9, seed=4)  # pads to 12
+        qc, valid = cache.quantized()
+        q = np.random.default_rng(5).normal(size=(2, 8))
+        lut = lut_decode_attention(q, qc, context_valid=valid)
+        ref = dequant_decode_attention(q, qc, context_valid=valid)
+        np.testing.assert_allclose(lut, ref, atol=1e-9)
+
+    def test_padding_contributes_exactly_nothing(self):
+        """Masked full computation == truncated computation.
+
+        The padded rows' probabilities underflow to exactly 0.0, so the
+        attention over the padded cache equals (to reduction-order
+        noise) the attention computed over only the valid rows of the
+        dequantized cache.
+        """
+        from repro.numerics import softmax
+
+        cache = LayerKvCache(2, 8, bits=4)
+        _fill(cache, 9, seed=6)  # pads to 12
+        qc, valid = cache.quantized()
+        q = np.random.default_rng(7).normal(size=(2, 8))
+        masked = dequant_decode_attention(q, qc, context_valid=valid)
+        for h in range(2):
+            k = qc.k_quant[h].dequantize()[:valid]
+            v_t = qc.v_quant[h].dequantize()[:, :valid]
+            probs = softmax((k @ q[h]) / np.sqrt(8))
+            np.testing.assert_allclose(masked[h], v_t @ probs, atol=1e-12)
+
+    def test_context_valid_bounds_checked(self):
+        cache = LayerKvCache(2, 8, bits=4)
+        _fill(cache, 9)
+        qc, _ = cache.quantized()
+        q = np.zeros((2, 8))
+        from repro.errors import LutError
+        with pytest.raises(LutError):
+            lut_decode_attention(q, qc, context_valid=0)
+        with pytest.raises(LutError):
+            lut_decode_attention(q, qc, context_valid=qc.context + 1)

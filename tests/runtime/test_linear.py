@@ -1,0 +1,76 @@
+"""QuantizedLinear: quantize once, plan once, dispatch per backend."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes.formats import INT8
+from repro.errors import LutError
+from repro.lut.mpgemm import dequant_mpgemm_reference
+from repro.quant.weight import quantize_weights
+from repro.runtime.linear import QuantizedLinear
+
+BACKENDS = ("reference", "lut-naive", "lut-blocked")
+
+
+class TestQuantizedLinear:
+    def _weight(self, seed=0, shape=(24, 32)):
+        return np.random.default_rng(seed).normal(size=shape)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_dequant_reference(self, backend):
+        w = self._weight()
+        linear = QuantizedLinear(w, bits=4, backend=backend)
+        x = np.random.default_rng(1).normal(size=(5, 32))
+        ref = dequant_mpgemm_reference(x, linear.quantized)
+        np.testing.assert_allclose(linear(x), ref, atol=1e-9)
+
+    def test_fp_mode_is_exact_matmul(self):
+        w = self._weight()
+        linear = QuantizedLinear(w, bits=None)
+        x = np.random.default_rng(2).normal(size=(3, 32))
+        np.testing.assert_array_equal(linear(x), x @ w.T)
+        assert linear.plan is None
+        assert linear.engine is None
+
+    def test_accepts_prequantized_weight(self):
+        qw = quantize_weights(self._weight(), 2, axis=0, symmetric=True)
+        linear = QuantizedLinear(qw, backend="lut-blocked")
+        assert linear.bits == 2
+        x = np.random.default_rng(3).normal(size=32)
+        np.testing.assert_allclose(
+            linear(x), dequant_mpgemm_reference(x, qw), atol=1e-9
+        )
+
+    def test_plan_built_once_and_reused(self):
+        linear = QuantizedLinear(self._weight(), bits=4)
+        first = linear.plan
+        x = np.random.default_rng(4).normal(size=(2, 32))
+        linear(x)
+        linear(x)
+        assert linear.plan is first
+
+    def test_gemv_matches_batched_row(self):
+        linear = QuantizedLinear(self._weight(), bits=4,
+                                 backend="lut-blocked")
+        x = np.random.default_rng(5).normal(size=(4, 32))
+        batched = linear(x)
+        rows = np.stack([linear(x[i]) for i in range(4)])
+        np.testing.assert_array_equal(batched, rows)
+
+    def test_shapes(self):
+        linear = QuantizedLinear(self._weight(), bits=4)
+        assert (linear.out_features, linear.in_features) == (24, 32)
+        assert linear.dequantized().shape == (24, 32)
+
+    def test_table_dtype_needs_table_backend(self):
+        linear = QuantizedLinear(
+            self._weight(), bits=4, backend="reference", table_dtype=INT8
+        )
+        with pytest.raises(LutError):
+            linear(np.zeros(32))
+
+    def test_rejects_non_2d_weight(self):
+        with pytest.raises(LutError):
+            QuantizedLinear(np.zeros(8), bits=4)
+        with pytest.raises(LutError):
+            QuantizedLinear(np.zeros(8), bits=None)
