@@ -3,16 +3,27 @@
 Drives the numeric :class:`~repro.runtime.ServingEngine` with a mixed
 batch of requests (short and long prompts, short and long generations)
 against a small decoder built from a :class:`~repro.models.configs.
-ModelConfig`, once per kernel backend and KV mode. Reported per row:
-generated-token throughput, mean decode-batch occupancy (how full the
-continuous batch actually ran), time-to-first-token / completion latency
-percentiles, and the mean attention context per decode step — the
-number that proves decode cost scales with the *cached* context instead
-of re-running full-sequence forwards.
+ModelConfig`, once per kernel backend and KV mode, under a selectable
+admission scheduler (``fifo`` / ``sjf`` / ``memory-aware``). Reported
+per row: generated-token throughput, decode-batch occupancy (mean and
+p50/p95 over the per-step trace), time-to-first-token / completion
+latency percentiles, and the mean attention context per decode step —
+the number that proves decode cost scales with the *cached* context
+instead of re-running full-sequence forwards.
+
+Quantized-KV rows additionally run a **plan-flatness probe**: one long
+generation whose per-step KV plan work (per-block K-plan extension +
+trailing-block V requantization, timed inside the
+:class:`~repro.runtime.BlockAllocator`) is sampled early and late in
+the decode. With the paged cache the per-step plan columns are constant
+and the per-step plan time stays flat as the context grows — the
+O(context) per-token plan rebuild of the pre-paging runtime is gone.
 
 Extends the paper's end-to-end serving scenario (Table 1 / Section 6) at
 numeric scale; there is no corresponding figure — this is the repo's own
-serving regression bench.
+serving regression bench. Run directly for the CI scheduler smoke::
+
+    python -m repro.experiments.bench_serving --scheduler sjf --smoke
 """
 
 from __future__ import annotations
@@ -49,12 +60,16 @@ MAX_BATCH = 4
 WEIGHT_BITS = 4
 MAX_SEQ_LEN = 96
 SEED = 2025
+#: Plan-flatness probe: prompt length and the fraction of the decode
+#: used for the early/late per-step plan-time windows.
+PROBE_PROMPT = 8
+PROBE_WINDOW = 0.25
 
 META = ExperimentMeta(
     title="Serving engine: continuous-batching throughput per kernel backend",
     paper_ref="Table 1 / Section 6 (repo extension)",
     kind="ablation",
-    tags=("runtime", "serving", "kernel"),
+    tags=("runtime", "serving", "kernel", "paging"),
     expected_runtime_s=12.0,
     # Wall-clock throughput numbers are machine-dependent: never replay
     # them from the cache, never time them against a saturated pool.
@@ -67,6 +82,7 @@ META = ExperimentMeta(
         "max_batch": MAX_BATCH,
         "weight_bits": WEIGHT_BITS,
         "max_seq_len": MAX_SEQ_LEN,
+        "scheduler": "fifo",
         "seed": SEED,
     },
 )
@@ -74,10 +90,11 @@ META = ExperimentMeta(
 
 @dataclass(frozen=True)
 class ServingBenchRow:
-    """One (backend, kv_bits) serving run."""
+    """One (backend, kv_bits) serving run under one scheduler."""
 
     backend: str
     kv_bits: int | None
+    scheduler: str
     requests: int
     prompt_tokens: int
     generated_tokens: int
@@ -85,10 +102,18 @@ class ServingBenchRow:
     wall_s: float
     throughput_tok_s: float
     mean_batch: float
+    occupancy_p50: float
+    occupancy_p95: float
     p50_latency_ms: float
     p95_latency_ms: float
     mean_first_token_ms: float
     mean_attn_context: float
+    #: Per-step KV plan work (K-plan build/extend + V requantize) early
+    #: vs late in a long generation; flat-in-context when paged plans
+    #: extend incrementally. 0.0 on float-KV rows (no plans at all).
+    plan_ms_early: float
+    plan_ms_late: float
+    plan_cols_per_step: float
 
 
 def _mixed_requests(rng: np.random.Generator) -> list[Request]:
@@ -117,7 +142,54 @@ def _mixed_requests(rng: np.random.Generator) -> list[Request]:
     return requests
 
 
-def run(variants: tuple[tuple[str, int | None], ...] = VARIANTS):
+def _plan_flatness(backend: str, kv_bits: int) -> tuple[float, float, float]:
+    """Per-step KV plan work early vs late in one long generation.
+
+    Returns ``(early_ms, late_ms, cols_per_step)``: mean per-step plan
+    milliseconds over the first and last ``PROBE_WINDOW`` of the decode
+    (after the one-time first-step plan build, the paged path's
+    analogue of the paper's offline table preparation), plus the mean
+    K-plan columns touched per step — exactly constant under
+    incremental extension, previously O(context).
+    """
+    model = DecoderModel(
+        BENCH_MODEL,
+        RuntimeConfig(
+            weight_bits=WEIGHT_BITS,
+            kv_bits=kv_bits,
+            backend=backend,
+            max_seq_len=MAX_SEQ_LEN,
+            seed=SEED,
+        ),
+    )
+    caches = model.new_caches()
+    model.prefill(np.arange(PROBE_PROMPT), caches)
+    model.decode_step(1, caches)  # one-time plan build over the prefill
+    pool = model.kv_pool
+    steps = MAX_SEQ_LEN - PROBE_PROMPT - 2
+    per_step_ms = np.empty(steps)
+    per_step_cols = np.empty(steps)
+    for t in range(steps):
+        s0 = pool.stats["k_plan_s"] + pool.stats["v_quant_s"]
+        c0 = pool.stats["k_plan_cols"]
+        model.decode_step(t % BENCH_MODEL.vocab, caches)
+        per_step_ms[t] = (
+            pool.stats["k_plan_s"] + pool.stats["v_quant_s"] - s0
+        ) * 1e3
+        per_step_cols[t] = pool.stats["k_plan_cols"] - c0
+    model.free_caches(caches)
+    window = max(1, int(steps * PROBE_WINDOW))
+    return (
+        float(per_step_ms[:window].mean()),
+        float(per_step_ms[-window:].mean()),
+        float(per_step_cols.mean()),
+    )
+
+
+def run(
+    variants: tuple[tuple[str, int | None], ...] = VARIANTS,
+    scheduler: str = "fifo",
+):
     rows: list[ServingBenchRow] = []
     for backend, kv_bits in variants:
         model = DecoderModel(
@@ -130,7 +202,9 @@ def run(variants: tuple[tuple[str, int | None], ...] = VARIANTS):
                 seed=SEED,
             ),
         )
-        engine = ServingEngine(model, max_batch_size=MAX_BATCH)
+        engine = ServingEngine(
+            model, max_batch_size=MAX_BATCH, scheduler=scheduler
+        )
         # Identical request stream per variant (fresh RNG each time).
         for request in _mixed_requests(np.random.default_rng(SEED)):
             engine.submit(request)
@@ -143,10 +217,17 @@ def run(variants: tuple[tuple[str, int | None], ...] = VARIANTS):
         per_seq_attn = model.stats["attn_context_tokens"] / (
             seq_steps * model.config.layers
         )
+        if kv_bits is None:
+            plan_early = plan_late = plan_cols = 0.0
+        else:
+            plan_early, plan_late, plan_cols = _plan_flatness(
+                backend, kv_bits
+            )
         rows.append(
             ServingBenchRow(
                 backend=backend,
                 kv_bits=kv_bits,
+                scheduler=scheduler,
                 requests=stats.requests,
                 prompt_tokens=stats.prompt_tokens,
                 generated_tokens=stats.generated_tokens,
@@ -154,32 +235,79 @@ def run(variants: tuple[tuple[str, int | None], ...] = VARIANTS):
                 wall_s=stats.wall_s,
                 throughput_tok_s=stats.throughput_tok_s,
                 mean_batch=stats.mean_batch,
+                occupancy_p50=stats.occupancy_p50,
+                occupancy_p95=stats.occupancy_p95,
                 p50_latency_ms=float(np.percentile(latencies, 50)),
                 p95_latency_ms=float(np.percentile(latencies, 95)),
                 mean_first_token_ms=float(first.mean()),
                 mean_attn_context=float(per_seq_attn),
+                plan_ms_early=plan_early,
+                plan_ms_late=plan_late,
+                plan_cols_per_step=plan_cols,
             )
         )
     return rows
 
 
 def format_result(rows) -> str:
+    scheduler = rows[0].scheduler if rows else "fifo"
     lines = [
         f"Serving engine: {NUM_REQUESTS} mixed requests, "
-        f"max_batch={MAX_BATCH}, W{WEIGHT_BITS} weights "
+        f"max_batch={MAX_BATCH}, W{WEIGHT_BITS} weights, "
+        f"scheduler={scheduler} "
         f"({BENCH_MODEL.name}: {BENCH_MODEL.layers}L x "
         f"{BENCH_MODEL.hidden}d, GQA {BENCH_MODEL.heads}/"
         f"{BENCH_MODEL.kv_heads})",
         f"{'backend':>12} {'kv':>5} {'gen tok':>8} {'tok/s':>8} "
-        f"{'batch':>6} {'p50 ms':>8} {'p95 ms':>8} {'ttft ms':>8} "
-        f"{'ctx/step':>8}",
+        f"{'occ p50':>7} {'occ p95':>7} {'p50 ms':>8} {'p95 ms':>8} "
+        f"{'ttft ms':>8} {'ctx/step':>8} {'plan ms e/l':>12}",
     ]
     for row in rows:
         kv = "fp" if row.kv_bits is None else f"int{row.kv_bits}"
+        plan = (
+            "-"
+            if row.kv_bits is None
+            else f"{row.plan_ms_early:.3f}/{row.plan_ms_late:.3f}"
+        )
         lines.append(
             f"{row.backend:>12} {kv:>5} {row.generated_tokens:>8} "
-            f"{row.throughput_tok_s:>8.1f} {row.mean_batch:>6.2f} "
-            f"{row.p50_latency_ms:>8.1f} {row.p95_latency_ms:>8.1f} "
-            f"{row.mean_first_token_ms:>8.1f} {row.mean_attn_context:>8.1f}"
+            f"{row.throughput_tok_s:>8.1f} {row.occupancy_p50:>7.1f} "
+            f"{row.occupancy_p95:>7.1f} {row.p50_latency_ms:>8.1f} "
+            f"{row.p95_latency_ms:>8.1f} {row.mean_first_token_ms:>8.1f} "
+            f"{row.mean_attn_context:>8.1f} {plan:>12}"
         )
+    lines.append(
+        "plan ms e/l: per-step KV plan work (K extend + V tail requant) "
+        "averaged over the first/last quarter of a long decode — flat in "
+        "context under paged incremental plans."
+    )
     return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from repro.runtime import SCHEDULERS
+
+    parser = argparse.ArgumentParser(
+        description="Serving bench (direct CLI, used by the CI scheduler "
+        "smoke step)"
+    )
+    parser.add_argument(
+        "--scheduler", default="fifo", choices=sorted(SCHEDULERS),
+        help="admission policy for the engine run",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="single quantized variant only (fast CI smoke)",
+    )
+    args = parser.parse_args()
+    smoke_variants = (("lut-blocked", 4),)
+    print(
+        format_result(
+            run(
+                variants=smoke_variants if args.smoke else VARIANTS,
+                scheduler=args.scheduler,
+            )
+        )
+    )

@@ -205,6 +205,137 @@ class WeightPlan:
         """Bit-serial plane weights ``2**i`` as float64, LSB first."""
         return (1 << np.arange(self.bits, dtype=np.int64)).astype(np.float64)
 
+    # ------------------------------------------------------------------
+    def extend(
+        self,
+        new_cols: QuantizedWeight | ReinterpretedWeight,
+        k: int | None = None,
+    ) -> "WeightPlan":
+        """Append *new_cols* output columns along N, in place.
+
+        ``new_cols`` is an ``(n_new, K)`` weight with the same ``K``
+        dimension, bit width, and (implicitly) group structure as the
+        plan. Every derived array of a plan — ``indices``, the affine
+        ``scale_gn``/``zero_gn``, the cached flat gather indices, and
+        the dequantized weights — is computed **per output column**,
+        with no cross-column reductions, so extension is exactly
+        concatenation along the N axis: the extended plan is
+        bit-identical to :func:`build_weight_plan` over the vertically
+        stacked weight (a property the kernel tests pin).
+
+        Cost is ``O(n_new · K)`` — existing columns are never
+        recomputed — which is what lets the serving runtime's paged KV
+        cache keep one growing K-plan per block and pay O(1) amortized
+        plan work per decoded token instead of O(context).
+
+        Laziness is preserved: arrays the plan has not materialized yet
+        stay unmaterialized (they will be computed from the concatenated
+        codes on first LUT dispatch); arrays already built are extended
+        with just the new columns' slices. Returns ``self``.
+        """
+        if k is not None and k != self.k:
+            raise LutError(
+                f"cannot extend a k={self.k} plan with k={k} columns"
+            )
+        sub = build_weight_plan(new_cols, self.k)
+        if sub.kdim != self.kdim:
+            raise LutError(
+                f"new columns have K={sub.kdim}, plan has K={self.kdim}"
+            )
+        if sub.bits != self.bits:
+            raise LutError(
+                f"new columns are {sub.bits}-bit, plan is {self.bits}-bit"
+            )
+        if self._indices is not None:
+            self._indices = np.concatenate(
+                [self._indices, sub.indices], axis=2
+            )
+        if self._scale_gn is not None:
+            self._scale_gn = np.concatenate(
+                [self._scale_gn, sub.scale_gn], axis=1
+            )
+        if self._zero_gn is not None:
+            self._zero_gn = np.concatenate(
+                [self._zero_gn, sub.zero_gn], axis=1
+            )
+        if self._has_zero_point is not None:
+            self._has_zero_point = self._has_zero_point or sub.has_zero_point
+        if self._dequantized is not None:
+            self._dequantized = np.concatenate(
+                [self._dequantized, sub.dequantized], axis=0
+            )
+        for key, cached in self._flat_cache.items():
+            # Group offsets depend only on G (unchanged); the new
+            # columns' flat indices are computed against the same table
+            # layout and concatenate along N.
+            self._flat_cache[key] = np.concatenate(
+                [cached, sub.flat_lookup_indices(*key)], axis=2
+            )
+        self.source = _stack_weights(self.source, new_cols)
+        self.reinterpreted = _stack_reinterpreted(
+            self.reinterpreted, sub.reinterpreted
+        )
+        self.n += sub.n
+        return self
+
+
+def _stack_affine(
+    a: np.ndarray,
+    b: np.ndarray,
+    shape_a: tuple[int, ...],
+    shape_b: tuple[int, ...],
+) -> np.ndarray:
+    """Stack two scale/zero-point arrays along the N axis.
+
+    Broadcast-shaped parameters (per-tensor scalars, ``(n, 1)``
+    per-channel columns) are only expanded when the two halves disagree
+    on their trailing shape; values are never changed, so dequantization
+    of the stacked weight stays bit-identical to the two halves.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if (
+        a.ndim == 2
+        and b.ndim == 2
+        and a.shape[1] == b.shape[1]
+        and a.shape[0] == shape_a[0]
+        and b.shape[0] == shape_b[0]
+    ):
+        return np.concatenate([a, b], axis=0)
+    return np.concatenate(
+        [np.broadcast_to(a, shape_a), np.broadcast_to(b, shape_b)], axis=0
+    )
+
+
+def _stack_weights(
+    a: QuantizedWeight | ReinterpretedWeight,
+    b: QuantizedWeight | ReinterpretedWeight,
+) -> QuantizedWeight | ReinterpretedWeight:
+    """Vertically stack two weights of the same representation."""
+    if isinstance(a, QuantizedWeight) and isinstance(b, QuantizedWeight):
+        return QuantizedWeight(
+            codes=np.concatenate([a.codes, b.codes], axis=0),
+            scale=_stack_affine(a.scale, b.scale, a.shape, b.shape),
+            zero_point=_stack_affine(
+                a.zero_point, b.zero_point, a.shape, b.shape
+            ),
+            bits=a.bits,
+        )
+    return _stack_reinterpreted(as_reinterpreted(a), as_reinterpreted(b))
+
+
+def _stack_reinterpreted(
+    a: ReinterpretedWeight, b: ReinterpretedWeight
+) -> ReinterpretedWeight:
+    return ReinterpretedWeight(
+        codes=np.concatenate([a.codes, b.codes], axis=0),
+        scale=_stack_affine(a.scale, b.scale, a.shape, b.shape),
+        zero_point=_stack_affine(
+            a.zero_point, b.zero_point, a.shape, b.shape
+        ),
+        bits=a.bits,
+    )
+
 
 def build_weight_plan(
     weight: QuantizedWeight | ReinterpretedWeight, k: int

@@ -95,6 +95,30 @@ class LutMpGemmConfig:
             raise LutError("backend must be a backend name or None")
 
 
+def precompute_tables(
+    activations: np.ndarray, config: LutMpGemmConfig
+) -> np.ndarray:
+    """Per-group activation tables exactly as the engine builds them.
+
+    Shared by :meth:`LutMpGemmEngine.precompute` and the paged decode
+    attention (:mod:`repro.runtime.paging`), which dispatches cached
+    per-block weight plans directly to a backend and therefore needs the
+    activation-side precompute as a standalone step. Returns the table
+    with shape ``(M, G, entries)`` where ``entries`` is ``2**(k-1)`` if
+    symmetrized else ``2**k``; ``table_dtype`` quantization (the
+    pipeline's only lossy step) is applied here.
+    """
+    if config.symmetric_table:
+        table = precompute_symmetric_table(
+            activations, config.k, config.act_dtype
+        )
+    else:
+        table = precompute_table(activations, config.k, config.act_dtype)
+    if config.table_dtype is not None:
+        table = quantize_table(table, config.table_dtype).dequantize()
+    return table
+
+
 def _config_with_backend(
     config: LutMpGemmConfig | None, backend: str | None
 ) -> LutMpGemmConfig:
@@ -161,14 +185,7 @@ class LutMpGemmEngine:
         the compiler's precompute operator and the fused pipeline can call
         it independently of :meth:`matmul`.
         """
-        cfg = self.config
-        if cfg.symmetric_table:
-            table = precompute_symmetric_table(activations, cfg.k, cfg.act_dtype)
-        else:
-            table = precompute_table(activations, cfg.k, cfg.act_dtype)
-        if cfg.table_dtype is not None:
-            table = quantize_table(table, cfg.table_dtype).dequantize()
-        return table
+        return precompute_tables(activations, self.config)
 
     def matmul(self, activations: np.ndarray, accum: np.ndarray | None = None) -> np.ndarray:
         """Compute ``A @ dequant(W).T (+ accum)`` through the LUT pipeline."""

@@ -6,13 +6,20 @@ configs (:mod:`repro.models.configs`) into a real inference engine:
 
 - :class:`QuantizedLinear` — quantize once, plan once, dispatch every
   matmul through the registered mpGEMM backend;
-- :class:`LayerKvCache` — per-layer, per-sequence cache state, extended
-  token by token with incremental K quantization;
+- :class:`BlockAllocator` / :class:`PagedLayerCache` — paged KV
+  allocation: fixed-size token blocks from a shared pool, freed and
+  reused across requests, with per-block incrementally extended K
+  plans (O(1) amortized plan work per decoded token) and per-block
+  frozen V quantization;
+- :class:`LayerKvCache` — the contiguous per-sequence reference cache
+  with incremental K *and* V quantization;
 - :class:`DecoderModel` — a numeric decoder built from the same
   :class:`~repro.models.configs.ModelConfig` the cost model prices,
-  with prefill + incremental batched decode;
+  with prefill + incremental batched decode over block tables;
 - :class:`ServingEngine` — continuous batching over a request queue
-  with greedy/top-k sampling and throughput/latency stats.
+  with pluggable admission scheduling (``fifo`` / ``sjf`` /
+  ``memory-aware``), greedy/top-k sampling, per-step
+  :class:`StepTrace` history, and throughput/latency stats.
 
 Quickstart::
 
@@ -35,19 +42,39 @@ from repro.runtime.engine import (
     RequestResult,
     SamplingParams,
     ServingEngine,
+    StepTrace,
 )
 from repro.runtime.kv import LayerKvCache
 from repro.runtime.linear import QuantizedLinear
 from repro.runtime.model import DecoderModel, RuntimeConfig
+from repro.runtime.paging import (
+    BlockAllocator,
+    PagedLayerCache,
+    paged_decode_attention,
+)
+from repro.runtime.scheduler import (
+    SCHEDULERS,
+    SchedulerPolicy,
+    SchedulingContext,
+    get_scheduler,
+)
 
 __all__ = [
+    "BlockAllocator",
     "DecoderModel",
     "EngineStats",
     "LayerKvCache",
+    "PagedLayerCache",
     "QuantizedLinear",
     "Request",
     "RequestResult",
     "RuntimeConfig",
+    "SCHEDULERS",
     "SamplingParams",
+    "SchedulerPolicy",
+    "SchedulingContext",
     "ServingEngine",
+    "StepTrace",
+    "get_scheduler",
+    "paged_decode_attention",
 ]

@@ -4,14 +4,25 @@ Request lifecycle::
 
     submit() -> WAITING -> (admission) -> prefill -> ACTIVE
         -> batched decode steps (continuous batching) -> FINISHED
+        -> KV blocks freed back to the shared pool
 
 The scheduler admits waiting requests whenever a decode slot is free —
 sequences join and leave the running batch *between steps*, they never
 wait for a whole batch to drain (continuous batching, vLLM-style, at
-numeric scale). Each decode step runs the model's batched step: linear
-projections execute as one ``(B, hidden)`` mpGEMM per projection on the
-registered kernel backend, attention runs per sequence over its own
-incrementally extended KV cache.
+numeric scale). *Which* waiting request is admitted is delegated to a
+pluggable :class:`~repro.runtime.scheduler.SchedulerPolicy` (``fifo``
+by default; ``sjf`` and ``memory-aware`` built in — the latter gates
+admission on KV block-pool headroom so a bounded pool back-pressures
+instead of failing mid-decode). Each decode step runs the model's
+batched step: linear projections execute as one ``(B, hidden)`` mpGEMM
+per projection on the registered kernel backend, attention runs per
+sequence over its own incrementally extended paged KV cache. When a
+request completes, its KV blocks return to the pool for reuse.
+
+Every decode step also appends a :class:`StepTrace` record (occupancy,
+queue depth, context tokens, pool usage) to the run's
+:class:`EngineStats`, so occupancy percentiles and pool behavior are
+observable after the fact instead of lost.
 
 Sampling is greedy by default; ``top_k``/``temperature`` with a
 per-request seed gives reproducible stochastic decoding.
@@ -20,7 +31,6 @@ per-request seed gives reproducible stochastic decoding.
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +38,12 @@ import numpy as np
 from repro.errors import ServingError
 from repro.numerics import softmax
 from repro.runtime.model import DecoderModel
+from repro.runtime.scheduler import (
+    SchedulerPolicy,
+    SchedulingContext,
+    get_scheduler,
+    worst_case_blocks,
+)
 
 
 @dataclass(frozen=True)
@@ -84,6 +100,38 @@ class RequestResult:
     decode_steps: int
 
 
+@dataclass(frozen=True)
+class StepTrace:
+    """Snapshot of one batched decode step (taken at step entry).
+
+    Attributes
+    ----------
+    step:
+        0-based decode-step index within the run.
+    active:
+        Sequences in the decode batch this step (== occupancy).
+    waiting:
+        Requests still queued for admission.
+    finished:
+        Requests completed so far.
+    context_tokens:
+        Summed cached context length of the active sequences.
+    kv_blocks_used:
+        Blocks currently allocated from the shared pool (all sequences,
+        all layers).
+    kv_blocks_free:
+        Blocks still allocatable; ``None`` when the pool is unbounded.
+    """
+
+    step: int
+    active: int
+    waiting: int
+    finished: int
+    context_tokens: int
+    kv_blocks_used: int
+    kv_blocks_free: int | None
+
+
 @dataclass
 class EngineStats:
     """Aggregate throughput/latency statistics of one engine run."""
@@ -93,13 +141,34 @@ class EngineStats:
     generated_tokens: int
     decode_steps: int
     wall_s: float
-    batch_occupancy: list[int] = field(default_factory=list)
+    #: Per-decode-step history — occupancy, queue depth, pool usage —
+    #: so a finished run can be audited instead of reduced to means.
+    trace: list[StepTrace] = field(default_factory=list)
+
+    @property
+    def batch_occupancy(self) -> list[int]:
+        """Decode-batch size per step (derived from the trace)."""
+        return [t.active for t in self.trace]
 
     @property
     def mean_batch(self) -> float:
         if not self.batch_occupancy:
             return 0.0
         return float(np.mean(self.batch_occupancy))
+
+    def occupancy_percentile(self, q: float) -> float:
+        """Batch-occupancy percentile over the run's decode steps."""
+        if not self.batch_occupancy:
+            return 0.0
+        return float(np.percentile(self.batch_occupancy, q))
+
+    @property
+    def occupancy_p50(self) -> float:
+        return self.occupancy_percentile(50)
+
+    @property
+    def occupancy_p95(self) -> float:
+        return self.occupancy_percentile(95)
 
     @property
     def throughput_tok_s(self) -> float:
@@ -164,24 +233,36 @@ class _Sequence:
 
 
 class ServingEngine:
-    """Continuous-batching scheduler over a :class:`DecoderModel`."""
+    """Continuous-batching scheduler over a :class:`DecoderModel`.
 
-    def __init__(self, model: DecoderModel, max_batch_size: int = 8) -> None:
+    ``scheduler`` selects the admission policy: a name from
+    :data:`~repro.runtime.scheduler.SCHEDULERS` (``"fifo"``, ``"sjf"``,
+    ``"memory-aware"``) or any :class:`SchedulerPolicy` instance.
+    """
+
+    def __init__(
+        self,
+        model: DecoderModel,
+        max_batch_size: int = 8,
+        scheduler: str | SchedulerPolicy = "fifo",
+    ) -> None:
         if max_batch_size < 1:
             raise ServingError("max_batch_size must be >= 1")
         self.model = model
         self.max_batch_size = max_batch_size
-        #: (request, submit wall-clock time) pairs, FIFO.
-        self.waiting: deque[tuple[Request, float]] = deque()
+        self.scheduler = get_scheduler(scheduler)
+        #: (request, submit wall-clock time) pairs in arrival order; the
+        #: scheduler policy picks which index is admitted next.
+        self.waiting: list[tuple[Request, float]] = []
         self.active: list[_Sequence] = []
         self.finished: list[RequestResult] = []
-        self._batch_occupancy: list[int] = []
+        self._trace: list[StepTrace] = []
         self._prompt_tokens = 0
         self._ids: set[str] = set()
 
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
-        """Queue a request for admission (FIFO)."""
+        """Queue a request for admission."""
         limit = self.model.runtime.max_seq_len
         if len(request.prompt) + request.max_new_tokens > limit:
             raise ServingError(
@@ -189,6 +270,17 @@ class ServingEngine:
                 f"({len(request.prompt)} + {request.max_new_tokens}) "
                 f"exceeds max_seq_len {limit}"
             )
+        pool = self.model.kv_pool
+        if pool.num_blocks is not None:
+            needed = worst_case_blocks(
+                len(request.prompt), request.max_new_tokens,
+                pool.block_size, self.model.config.layers,
+            )
+            if needed > pool.num_blocks:
+                raise ServingError(
+                    f"request {request.request_id}: needs {needed} KV "
+                    f"blocks at full length, pool holds {pool.num_blocks}"
+                )
         if request.request_id in self._ids:
             raise ServingError(
                 f"duplicate request id {request.request_id!r}"
@@ -200,28 +292,78 @@ class ServingEngine:
     def has_work(self) -> bool:
         return bool(self.waiting or self.active)
 
+    def _scheduling_context(self) -> SchedulingContext:
+        pool = self.model.kv_pool
+        free = pool.free_blocks
+        if free is not None:
+            # Report *unreserved* headroom: blocks the pool still owes
+            # already-admitted sequences at their worst-case length
+            # (prompt + max_new_tokens) are spoken for, even though
+            # they are not allocated yet. Without this, admitting into
+            # the interim gap lets an active sequence exhaust the pool
+            # at its next block boundary — mid-decode, where it is a
+            # hard error instead of back-pressure.
+            reserved = 0
+            layers = self.model.config.layers
+            for seq in self.active:
+                request = seq.request
+                worst = worst_case_blocks(
+                    len(request.prompt), request.max_new_tokens,
+                    pool.block_size, layers,
+                )
+                allocated = sum(len(c.block_ids) for c in seq.caches)
+                reserved += max(0, worst - allocated)
+            free = max(0, free - reserved)
+        return SchedulingContext(
+            free_slots=self.max_batch_size - len(self.active),
+            free_blocks=free,
+            block_size=pool.block_size,
+            layers=self.model.config.layers,
+        )
+
+    def _retire(self, seq: _Sequence) -> RequestResult:
+        """Record a finished sequence and return its blocks to the pool."""
+        result = seq.result()
+        self.finished.append(result)
+        self.model.free_caches(seq.caches)
+        return result
+
     # ------------------------------------------------------------------
     def _admit(self) -> list[RequestResult]:
-        """Prefill waiting requests into free decode slots.
+        """Prefill scheduler-selected waiting requests into free slots.
 
-        Returns requests that completed already at prefill (their first
-        sampled token hit EOS or ``max_new_tokens == 1``).
+        The policy is re-consulted after every admission (pool headroom
+        and slot counts change); ``None`` stops admission for this
+        step. Returns requests that completed already at prefill (their
+        first sampled token hit EOS or ``max_new_tokens == 1``).
         """
         done: list[RequestResult] = []
         while self.waiting and len(self.active) < self.max_batch_size:
-            request, submitted = self.waiting.popleft()
+            choice = self.scheduler.select(
+                [request for request, _ in self.waiting],
+                self._scheduling_context(),
+            )
+            if choice is None:
+                break
+            request, submitted = self.waiting.pop(choice)
             seq = _Sequence(request, self.model, submitted)
             started = time.perf_counter()
-            logits = self.model.prefill(
-                np.array(request.prompt), seq.caches
-            )
+            try:
+                logits = self.model.prefill(
+                    np.array(request.prompt), seq.caches
+                )
+            except Exception:
+                # Return the partially prefilled sequence's blocks so a
+                # failed admission (e.g. pool exhaustion under FIFO)
+                # doesn't leak pool capacity; the request itself is
+                # dropped, active sequences stay resumable.
+                self.model.free_caches(seq.caches)
+                raise
             seq.prefill_ms = (time.perf_counter() - started) * 1e3
             self._prompt_tokens += len(request.prompt)
             seq.accept(seq.sample(logits[-1]))
             if seq.finish_reason is not None:
-                result = seq.result()
-                self.finished.append(result)
-                done.append(result)
+                done.append(self._retire(seq))
             else:
                 self.active.append(seq)
         return done
@@ -235,18 +377,39 @@ class ServingEngine:
         done = self._admit()
         if not self.active:
             return done
-        self._batch_occupancy.append(len(self.active))
+        pool = self.model.kv_pool
+        self._trace.append(
+            StepTrace(
+                step=len(self._trace),
+                active=len(self.active),
+                waiting=len(self.waiting),
+                finished=len(self.finished),
+                context_tokens=sum(
+                    seq.caches[0].length for seq in self.active
+                ),
+                kv_blocks_used=pool.used_blocks,
+                kv_blocks_free=pool.free_blocks,
+            )
+        )
         tokens = np.array([seq.last_token for seq in self.active])
         caches = [seq.caches for seq in self.active]
-        logits = self.model.decode_batch(tokens, caches)
+        try:
+            logits = self.model.decode_batch(tokens, caches)
+        except Exception:
+            # A failed batched step leaves per-layer cache state
+            # inconsistent across the batch; the sequences cannot be
+            # resumed, so return their blocks instead of leaking them
+            # from the model's shared pool.
+            for seq in self.active:
+                self.model.free_caches(seq.caches)
+            self.active = []
+            raise
         still_active: list[_Sequence] = []
         for seq, row in zip(self.active, logits):
             seq.decode_steps += 1
             seq.accept(seq.sample(row))
             if seq.finish_reason is not None:
-                result = seq.result()
-                self.finished.append(result)
-                done.append(result)
+                done.append(self._retire(seq))
             else:
                 still_active.append(seq)
         self.active = still_active
@@ -265,9 +428,9 @@ class ServingEngine:
             generated_tokens=sum(len(r.tokens) for r in results),
             # Only steps that actually ran a batched decode count; a
             # request finishing at prefill adds no decode step.
-            decode_steps=len(self._batch_occupancy),
+            decode_steps=len(self._trace),
             wall_s=wall,
-            batch_occupancy=list(self._batch_occupancy),
+            trace=list(self._trace),
         )
         return results, stats
 
@@ -278,4 +441,5 @@ __all__ = [
     "RequestResult",
     "SamplingParams",
     "ServingEngine",
+    "StepTrace",
 ]

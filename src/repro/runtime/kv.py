@@ -2,25 +2,42 @@
 
 :class:`LayerKvCache` owns the float K/V history of one attention layer
 of one sequence and extends it token by token. On top of the float
-buffers it maintains an **incrementally quantized** K side: each
-appended K row is quantized the moment it arrives (per-row scales are
-independent of every other row, so the incremental codes are exactly the
-codes a from-scratch :meth:`~repro.lut.attention.QuantizedKvCache.quantize`
-would produce — a property the tests pin). The V side is group-quantized
-*along the context* (the LUT ``P x V`` mpGEMM reduces over the context,
-so scales must be constant within each ``lut_k`` context group), which
-couples tokens; it is requantized from the float buffer when a
-:class:`~repro.lut.attention.QuantizedKvCache` is materialized. Either
-way one decode step costs ``O(context)`` — never a full-sequence
-re-forward.
+buffers it maintains **incrementally quantized** K *and* V sides:
 
-Arbitrary sequence lengths are handled by zero-padding the context up to
-the next multiple of ``lut_k`` and reporting the real length as
-``context_valid`` so the decode attention masks the padding to exact
-zero probability.
+- each appended K row is quantized the moment it arrives (per-row
+  scales are independent of every other row, so the incremental codes
+  are exactly the codes a from-scratch
+  :meth:`~repro.lut.attention.QuantizedKvCache.quantize` would produce
+  — a property the tests pin);
+- V is group-quantized *along the context* (the LUT ``P x V`` mpGEMM
+  reduces over the context, so scales must be constant within each
+  group), in fixed groups of 16. A group's scale depends only on the
+  16 tokens inside it, so completed groups are quantized once and
+  frozen; each :meth:`quantized` call requantizes only the **tail** —
+  the partial trailing group plus alignment padding, the only columns
+  whose scales can still change. Per materialization that is O(1)
+  work, not O(context).
+
+To keep the V group recipe stable at every length, the context is
+zero-padded up to the next multiple of ``lcm(lut_k, 16)`` and the real
+length reported as ``context_valid`` so the decode attention masks the
+padding to exact zero probability.
+
+The materialized :class:`~repro.lut.attention.QuantizedKvCache` holds
+**views** into the cache's growable buffers (no per-call copies);
+appending more tokens afterwards may rewrite the tail columns a
+previously materialized cache aliases, so materialize-then-consume
+within a decode step — which is how the runtime uses it.
+
+The serving model itself decodes through the paged successor of this
+class (:mod:`repro.runtime.paging`); ``LayerKvCache`` remains the
+contiguous reference implementation and the unit the incremental
+quantization invariants are pinned on.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -32,13 +49,18 @@ from repro.quant.weight import QuantizedWeight, quantize_weights
 #: Initial context capacity of the growable buffers.
 INITIAL_CAPACITY = 16
 
+#: KIVI-style context group length for V quantization (and for K rows
+#: when the head dimension allows).
+KV_GROUP = 16
+
 
 class LayerKvCache:
     """K/V history of one attention layer of one sequence.
 
     Float buffers grow geometrically; ``append`` is amortized O(1) in
-    reallocations. When ``bits`` is set, the K side is additionally
-    quantized row by row as tokens arrive (see module docstring).
+    reallocations. When ``bits`` is set, the K side is quantized row by
+    row as tokens arrive and the V side group by group as context
+    groups complete (see module docstring).
     """
 
     def __init__(
@@ -56,18 +78,36 @@ class LayerKvCache:
         self.head_dim = head_dim
         self.bits = bits
         self.lut_k = lut_k
+        #: Context alignment: a multiple of both the LUT group length
+        #: and the V context-group size, so the quantization recipe
+        #: never changes shape as the sequence grows.
+        self.align = math.lcm(lut_k, KV_GROUP) if bits is not None else lut_k
         self.length = 0
+        #: Quantized-V columns written so far (test/bench observability:
+        #: stays ~flat per materialization instead of growing with the
+        #: context).
+        self.v_quant_cols = 0
         cap = INITIAL_CAPACITY
         self._k = np.zeros((kv_heads, cap, head_dim))
         self._v = np.zeros((kv_heads, cap, head_dim))
         # KIVI-style per-row grouping along head_dim when it divides
         # evenly — mirrors QuantizedKvCache.quantize exactly.
-        self._k_group = 16 if head_dim % 16 == 0 else None
+        self._k_group = KV_GROUP if head_dim % KV_GROUP == 0 else None
         if bits is not None:
-            self._k_codes = np.zeros((kv_heads, cap, head_dim), dtype=np.int64)
             scale_w = head_dim if self._k_group else 1
+            self._k_codes = np.zeros((kv_heads, cap, head_dim), dtype=np.int64)
             self._k_scale = np.ones((kv_heads, cap, scale_w))
             self._k_zp = np.zeros((kv_heads, cap, scale_w))
+            # Incremental V quantization state, stored token-major and
+            # viewed transposed at materialization. Pad state (codes 0,
+            # scale 1, zero-point 0) is the buffer's resting state, so
+            # padded views need no per-call assembly.
+            self._v_codes = np.zeros((kv_heads, cap, head_dim), dtype=np.int64)
+            self._v_scale = np.ones((kv_heads, cap, head_dim))
+            self._v_zp = np.zeros((kv_heads, cap, head_dim))
+            #: Context columns whose V quantization is final (a multiple
+            #: of KV_GROUP; groups left of this mark never change).
+            self._v_frozen = 0
 
     # ------------------------------------------------------------------
     @property
@@ -81,14 +121,17 @@ class LayerKvCache:
         new_cap = cap
         while new_cap < needed:
             new_cap *= 2
-        for attr in ("_k", "_v") + (
-            ("_k_codes", "_k_scale", "_k_zp") if self.bits is not None else ()
-        ):
+        attrs = ("_k", "_v") + (
+            ("_k_codes", "_k_scale", "_k_zp", "_v_codes", "_v_scale", "_v_zp")
+            if self.bits is not None
+            else ()
+        )
+        for attr in attrs:
             old = getattr(self, attr)
             fresh = np.zeros(
                 (old.shape[0], new_cap, old.shape[2]), dtype=old.dtype
             )
-            if attr == "_k_scale":
+            if attr in ("_k_scale", "_v_scale"):
                 fresh[...] = 1.0
             fresh[:, :cap] = old[:, :cap]
             setattr(self, attr, fresh)
@@ -150,58 +193,79 @@ class LayerKvCache:
         return self._v[:, :self.length]
 
     def padded_context(self) -> int:
-        """Context length rounded up to the next multiple of ``lut_k``."""
-        k = self.lut_k
-        return ((self.length + k - 1) // k) * k
+        """Context length rounded up to the next ``align`` multiple."""
+        a = self.align
+        return ((self.length + a - 1) // a) * a
 
     # ------------------------------------------------------------------
+    def _refresh_v_tail(self, ctx: int) -> None:
+        """(Re)quantize the V columns whose group scales can still move.
+
+        Everything left of ``_v_frozen`` is final: its groups are fully
+        populated and a group's scale depends only on its own 16
+        tokens. The tail — at most one partial group plus alignment
+        padding — is requantized from the float buffer (zeros past the
+        real length, exactly the dense zero-padding), and the frozen
+        mark advances over any group the latest appends completed.
+        """
+        start = self._v_frozen
+        tail = ctx - start
+        if tail <= 0:
+            return
+        for h in range(self.kv_heads):
+            # Consumed transposed — (head_dim, tail) — and grouped
+            # along the context, mirroring QuantizedKvCache.quantize.
+            qw = quantize_weights(
+                self._v[h, start:ctx].T, self.bits, axis=1,
+                group_size=KV_GROUP,
+            )
+            self._v_codes[h, start:ctx] = qw.codes.T
+            self._v_scale[h, start:ctx] = qw.scale.T
+            self._v_zp[h, start:ctx] = qw.zero_point.T
+        self.v_quant_cols += tail * self.kv_heads
+        self._v_frozen = (self.length // KV_GROUP) * KV_GROUP
+
     def quantized(self, repeat: int = 1) -> tuple[QuantizedKvCache, int]:
         """Materialize the quantized cache for LUT decode attention.
 
         Returns ``(cache, context_valid)`` where the cache's context is
-        zero-padded to a ``lut_k`` multiple and ``context_valid`` is the
-        real token count. ``repeat`` replicates each KV head that many
-        times (grouped-query attention: query heads share KV heads), by
-        reference — no extra quantization work.
+        zero-padded to an ``align`` multiple and ``context_valid`` is
+        the real token count. ``repeat`` replicates each KV head that
+        many times (grouped-query attention: query heads share KV
+        heads), by reference — no extra quantization work.
 
-        The K side reuses the codes quantized at append time; only V is
-        requantized (its context-grouped scales depend on every token).
+        Both sides reuse incrementally quantized state: K rows were
+        coded at append time, V groups freeze as they complete and only
+        the tail is requantized here. The returned arrays are views
+        into the cache's buffers — valid until the next ``append``.
         """
         if self.bits is None:
             raise ServingError("cache was built with bits=None (float mode)")
         if self.length == 0:
             raise ServingError("cannot quantize an empty cache")
         ctx = self.padded_context()
-        pad = ctx - self.length
-        k_quant: list[QuantizedWeight] = []
-        for h in range(self.kv_heads):
-            codes = self._k_codes[h, :self.length]
-            scale = self._k_scale[h, :self.length]
-            zp = self._k_zp[h, :self.length]
-            if pad:
-                # Zero rows quantize to codes=0, scale=1, zp=0 under the
-                # per-row affine recipe; append the constants directly.
-                codes = np.concatenate(
-                    [codes, np.zeros((pad, self.head_dim), dtype=np.int64)]
-                )
-                scale = np.concatenate(
-                    [scale, np.ones((pad, scale.shape[1]))]
-                )
-                zp = np.concatenate([zp, np.zeros((pad, zp.shape[1]))])
-            k_quant.append(
-                QuantizedWeight(
-                    codes=codes, scale=scale, zero_point=zp, bits=self.bits
-                )
+        # Rows past the real length stay in the buffers' resting state
+        # (codes 0, scale 1, zero-point 0) — exactly what zero rows
+        # quantize to under the per-row affine recipe — so the padded K
+        # views need no assembly.
+        self._grow(ctx)
+        self._refresh_v_tail(ctx)
+        k_quant = [
+            QuantizedWeight(
+                codes=self._k_codes[h, :ctx],
+                scale=self._k_scale[h, :ctx],
+                zero_point=self._k_zp[h, :ctx],
+                bits=self.bits,
             )
-        # V is consumed transposed — (head_dim, context) — and grouped
-        # along the context, mirroring QuantizedKvCache.quantize.
-        v_pad = np.zeros((self.kv_heads, ctx, self.head_dim))
-        v_pad[:, :self.length] = self.v_view()
-        vgroup = 16 if ctx % 16 == 0 else None
+            for h in range(self.kv_heads)
+        ]
         v_quant = [
-            quantize_weights(v_pad[h].T, self.bits, axis=1, group_size=vgroup)
-            if vgroup
-            else quantize_weights(v_pad[h].T, self.bits, axis=0)
+            QuantizedWeight(
+                codes=self._v_codes[h, :ctx].T,
+                scale=self._v_scale[h, :ctx].T,
+                zero_point=self._v_zp[h, :ctx].T,
+                bits=self.bits,
+            )
             for h in range(self.kv_heads)
         ]
         if repeat > 1:
@@ -218,4 +282,4 @@ class LayerKvCache:
         return cache, self.length
 
 
-__all__ = ["LayerKvCache", "INITIAL_CAPACITY"]
+__all__ = ["LayerKvCache", "INITIAL_CAPACITY", "KV_GROUP"]

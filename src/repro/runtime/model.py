@@ -5,13 +5,16 @@
 (hidden/ffn/heads/kv-heads/gated-FFN), but it actually executes: every
 linear projection is a :class:`~repro.runtime.linear.QuantizedLinear`
 dispatching through the registered mpGEMM kernel backend, and decoding
-is **incremental** — per-layer, per-sequence
-:class:`~repro.runtime.kv.LayerKvCache`\\ s are extended token by token
-and attention runs over the cached context only
-(:func:`~repro.lut.attention.lut_decode_attention` when the KV cache is
-quantized, the float reference otherwise). A full-sequence forward per
-generated token never happens; the parity tests assert the incremental
-path reproduces the full forward's logits on every registered backend.
+is **incremental and paged** — per-layer, per-sequence
+:class:`~repro.runtime.paging.PagedLayerCache` block tables over the
+model's shared :class:`~repro.runtime.paging.BlockAllocator` are
+extended token by token and attention runs over the cached context only
+(:func:`~repro.runtime.paging.paged_decode_attention` with per-block
+cached K plans when the KV cache is quantized, the float reference over
+block-gathered views otherwise). A full-sequence forward per generated
+token never happens, and per-step weight-plan work is O(1) amortized in
+the context; the parity tests assert the incremental path reproduces
+the full forward's logits on every registered backend.
 
 Weights are random (seeded) — this is a *numeric serving substrate*, not
 a pretrained checkpoint loader — which is exactly what the throughput
@@ -26,16 +29,17 @@ import numpy as np
 
 from repro.datatypes.formats import DataType
 from repro.errors import ServingError
-from repro.lut.attention import (
-    MASKED_SCORE,
-    float_decode_attention,
-    lut_decode_attention,
-)
+from repro.lut.attention import MASKED_SCORE, float_decode_attention
 from repro.lut.table import DEFAULT_K
 from repro.models.configs import ModelConfig
 from repro.numerics import softmax
-from repro.runtime.kv import LayerKvCache
 from repro.runtime.linear import QuantizedLinear
+from repro.runtime.paging import (
+    DEFAULT_BLOCK_SIZE,
+    BlockAllocator,
+    PagedLayerCache,
+    paged_decode_attention,
+)
 
 
 @dataclass(frozen=True)
@@ -61,6 +65,15 @@ class RuntimeConfig:
         Optional LUT table quantization for the linear projections.
     max_seq_len:
         Positional-embedding capacity; prompt + generation must fit.
+    kv_block_size:
+        Tokens per paged-KV block (must be a multiple of ``lut_k``; a
+        multiple of 16 keeps V context groups block-local, which is
+        what lets full blocks freeze their quantization).
+    kv_pool_blocks:
+        Bound on the shared KV block pool. ``None`` (default) grows the
+        pool on demand; a concrete bound makes allocation fail when
+        exhausted — pair it with the memory-aware scheduler so
+        admission blocks instead.
     seed:
         Weight-initialization seed.
     """
@@ -71,6 +84,8 @@ class RuntimeConfig:
     backend: str | None = None
     table_dtype: DataType | None = None
     max_seq_len: int = 256
+    kv_block_size: int = DEFAULT_BLOCK_SIZE
+    kv_pool_blocks: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -78,6 +93,12 @@ class RuntimeConfig:
             raise ServingError("max_seq_len must be positive")
         if self.kv_bits is not None and not 1 <= self.kv_bits <= 8:
             raise ServingError("kv_bits must be in 1..8 or None")
+        if self.kv_block_size < 1 or self.kv_block_size % self.lut_k:
+            raise ServingError(
+                "kv_block_size must be a positive multiple of lut_k"
+            )
+        if self.kv_pool_blocks is not None and self.kv_pool_blocks < 1:
+            raise ServingError("kv_pool_blocks must be >= 1 or None")
 
 
 def _layer_norm(x: np.ndarray, gain: np.ndarray, bias: np.ndarray) -> np.ndarray:
@@ -144,6 +165,17 @@ class DecoderModel:
                 f"lut_k={rt.lut_k} for the LUT decode path"
             )
         rng = np.random.default_rng(rt.seed)
+        #: Shared paged-KV pool: every sequence and every layer
+        #: allocates fixed-size token blocks from here; completed
+        #: requests return them for reuse.
+        self.kv_pool = BlockAllocator(
+            config.kv_heads,
+            config.head_dim,
+            block_size=rt.kv_block_size,
+            num_blocks=rt.kv_pool_blocks,
+            bits=rt.kv_bits,
+            lut_k=rt.lut_k,
+        )
         d = config.hidden
         self.tok_emb = rng.normal(scale=0.08, size=(config.vocab, d))
         self.pos_emb = rng.normal(scale=0.08, size=(rt.max_seq_len, d))
@@ -169,18 +201,21 @@ class DecoderModel:
         }
 
     # ------------------------------------------------------------------
-    def new_caches(self) -> list[LayerKvCache]:
-        """Fresh per-layer KV caches for one sequence."""
-        rt = self.runtime
+    def new_caches(self) -> list[PagedLayerCache]:
+        """Fresh per-layer block tables for one sequence.
+
+        Blocks are claimed from the shared pool as tokens arrive; call
+        :meth:`free_caches` when the sequence completes so they return
+        for reuse (the engine does this automatically).
+        """
         return [
-            LayerKvCache(
-                self.config.kv_heads,
-                self.config.head_dim,
-                bits=rt.kv_bits,
-                lut_k=rt.lut_k,
-            )
-            for _ in range(self.config.layers)
+            PagedLayerCache(self.kv_pool) for _ in range(self.config.layers)
         ]
+
+    def free_caches(self, caches: list[PagedLayerCache]) -> None:
+        """Return a sequence's blocks to the shared pool (idempotent)."""
+        for cache in caches:
+            cache.release()
 
     def _check_tokens(self, tokens: np.ndarray) -> np.ndarray:
         tokens = np.asarray(tokens, dtype=np.int64)
@@ -194,7 +229,7 @@ class DecoderModel:
 
     # ------------------------------------------------------------------
     def prefill(
-        self, tokens: np.ndarray, caches: list[LayerKvCache]
+        self, tokens: np.ndarray, caches: list[PagedLayerCache]
     ) -> np.ndarray:
         """Process a prompt chunk, filling *caches*; returns all logits.
 
@@ -249,11 +284,15 @@ class DecoderModel:
 
     def forward_full(self, tokens: np.ndarray) -> np.ndarray:
         """Stateless full-sequence forward (the parity reference)."""
-        return self.prefill(tokens, self.new_caches())
+        caches = self.new_caches()
+        try:
+            return self.prefill(tokens, caches)
+        finally:
+            self.free_caches(caches)
 
     # ------------------------------------------------------------------
     def _decode_attention(
-        self, query: np.ndarray, cache: LayerKvCache
+        self, query: np.ndarray, cache: PagedLayerCache
     ) -> np.ndarray:
         """Attention of one new token over one sequence's cached context."""
         cfg, rt = self.config, self.runtime
@@ -263,20 +302,18 @@ class DecoderModel:
             k_all = np.repeat(cache.k_view(), rep, axis=0)
             v_all = np.repeat(cache.v_view(), rep, axis=0)
             return float_decode_attention(query, k_all, v_all)
-        qcache, valid = cache.quantized(repeat=rep)
-        return lut_decode_attention(
+        return paged_decode_attention(
             query,
-            qcache,
+            cache,
+            repeat=rep,
             table_dtype=rt.table_dtype,
-            lut_k=rt.lut_k,
             backend=rt.backend,
-            context_valid=valid,
         )
 
     def decode_batch(
         self,
         tokens: np.ndarray,
-        caches_per_seq: list[list[LayerKvCache]],
+        caches_per_seq: list[list[PagedLayerCache]],
     ) -> np.ndarray:
         """One KV-cached decode step for a batch of sequences.
 
@@ -316,33 +353,20 @@ class DecoderModel:
         return self.head(final)
 
     def decode_step(
-        self, token: int, caches: list[LayerKvCache]
+        self, token: int, caches: list[PagedLayerCache]
     ) -> np.ndarray:
         """Single-sequence decode step; returns ``(vocab,)`` logits."""
         return self.decode_batch(np.array([token]), [caches])[0]
 
     # ------------------------------------------------------------------
-    def kv_memory_bytes(self, caches: list[LayerKvCache]) -> int:
-        """Exact packed KV footprint of one sequence across layers.
+    def kv_memory_bytes(self, caches: list[PagedLayerCache]) -> int:
+        """KV footprint of one sequence's allocated blocks across layers.
 
-        Pure shape arithmetic — the quantized-mode count matches what
-        ``cache.quantized()[0].memory_bytes()`` would report (padded
-        context included) without materializing any cache.
+        Pure shape arithmetic over the block tables — float bytes in
+        float mode, packed ``kv_bits`` entries otherwise, full block
+        capacity included (that is what the pool actually holds).
         """
-        bits = self.runtime.kv_bits
-        if bits is None:
-            return int(
-                sum(c.k_view().nbytes + c.v_view().nbytes for c in caches)
-            )
-        total = 0
-        for cache in caches:
-            if cache.length:
-                entries = (
-                    2 * cache.kv_heads * cache.padded_context()
-                    * cache.head_dim
-                )
-                total += (entries * bits + 7) // 8
-        return total
+        return sum(cache.memory_bytes() for cache in caches)
 
 
 __all__ = ["DecoderModel", "RuntimeConfig"]

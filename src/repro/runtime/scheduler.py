@@ -1,0 +1,177 @@
+"""Pluggable admission scheduling for the serving engine.
+
+PR 3's engine hard-coded FIFO admission inside ``ServingEngine._admit``.
+This module extracts the decision — *which waiting request joins the
+batch next, if any* — behind the :class:`SchedulerPolicy` seam, so
+batching policies can vary without touching the engine's lifecycle
+machinery:
+
+- ``fifo`` — arrival order, the previous behavior and the default;
+- ``sjf`` — shortest-prompt-first: cheapest prefill next, which keeps
+  decode slots busy when a long-prompt request would otherwise stall a
+  refill (classic shortest-job-first, applied to admission);
+- ``memory-aware`` — FIFO order, but a request is only admitted when
+  the shared KV block pool can hold its **maximum** footprint
+  (``prompt + max_new_tokens`` across all layers). With a bounded pool
+  this turns mid-decode pool exhaustion — a hard
+  :class:`~repro.errors.ServingError` — into back-pressure at
+  admission.
+
+Policies see an immutable :class:`SchedulingContext` snapshot (free
+decode slots, pool occupancy, block geometry) plus the waiting queue in
+arrival order, and return the index of the request to admit or ``None``
+to admit nothing this step. The engine re-consults the policy after
+every admission, so a policy can admit several requests per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ServingError
+
+
+def worst_case_blocks(
+    prompt_len: int, max_new_tokens: int, block_size: int, layers: int
+) -> int:
+    """KV blocks a request can ever occupy across all layers.
+
+    The cache peaks at ``prompt + max_new_tokens - 1`` tokens: the
+    final sampled token is returned to the caller but never appended
+    (the sequence finishes first). The single source of the footprint
+    formula — admission gating, submit-time rejection, and reservation
+    accounting all call it.
+    """
+    tokens = max(1, prompt_len + max_new_tokens - 1)
+    return layers * (-(-tokens // block_size))
+
+
+@dataclass(frozen=True)
+class SchedulingContext:
+    """Engine/pool state a policy may consult for one admission decision.
+
+    Attributes
+    ----------
+    free_slots:
+        Open decode-batch slots (always >= 1 when a policy is asked).
+    free_blocks:
+        KV blocks the pool can still promise to a *new* sequence:
+        physically free blocks minus the worst-case growth already
+        reserved by admitted sequences (their ``prompt +
+        max_new_tokens`` footprint is spoken for even before it is
+        allocated). ``None`` when the pool is unbounded.
+    block_size:
+        Tokens per KV block.
+    layers:
+        Decoder layers — every token occupies one block slot per layer.
+    """
+
+    free_slots: int
+    free_blocks: int | None
+    block_size: int
+    layers: int
+
+    def blocks_needed(self, prompt_len: int, max_new_tokens: int) -> int:
+        """Pool blocks a request needs at its maximum sequence length."""
+        return worst_case_blocks(
+            prompt_len, max_new_tokens, self.block_size, self.layers
+        )
+
+
+@runtime_checkable
+class SchedulerPolicy(Protocol):
+    """Contract every admission policy implements."""
+
+    name: str
+
+    def select(
+        self, waiting: Sequence, context: SchedulingContext
+    ) -> int | None:
+        """Index into *waiting* (arrival order) to admit, or ``None``.
+
+        *waiting* holds :class:`~repro.runtime.engine.Request` objects;
+        it is never empty when the engine asks.
+        """
+        ...
+
+
+class FifoPolicy:
+    """Admit strictly in arrival order (the default)."""
+
+    name = "fifo"
+
+    def select(self, waiting, context):
+        return 0
+
+
+class ShortestPromptFirstPolicy:
+    """Admit the waiting request with the shortest prompt (ties by
+    arrival order) — the cheapest prefill refills a free slot fastest."""
+
+    name = "sjf"
+
+    def select(self, waiting, context):
+        return min(
+            range(len(waiting)), key=lambda i: (len(waiting[i].prompt), i)
+        )
+
+
+class MemoryAwareAdmissionPolicy:
+    """FIFO admission gated on worst-case KV pool headroom.
+
+    The head request is admitted only when the pool can hold its full
+    ``prompt + max_new_tokens`` footprint across every layer; otherwise
+    admission blocks (returns ``None``) until completions free blocks.
+    Strict FIFO order — no skip-ahead — so a large request cannot be
+    starved by a stream of small ones.
+    """
+
+    name = "memory-aware"
+
+    def select(self, waiting, context):
+        if context.free_blocks is not None:
+            request = waiting[0]
+            needed = context.blocks_needed(
+                len(request.prompt), request.max_new_tokens
+            )
+            if needed > context.free_blocks:
+                return None
+        return 0
+
+
+#: Built-in policy constructors by name.
+SCHEDULERS: dict[str, Callable[[], SchedulerPolicy]] = {
+    "fifo": FifoPolicy,
+    "sjf": ShortestPromptFirstPolicy,
+    "memory-aware": MemoryAwareAdmissionPolicy,
+}
+
+
+def get_scheduler(policy: str | SchedulerPolicy) -> SchedulerPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, str):
+        try:
+            return SCHEDULERS[policy]()
+        except KeyError:
+            raise ServingError(
+                f"unknown scheduler {policy!r}; "
+                f"available: {', '.join(sorted(SCHEDULERS))}"
+            ) from None
+    if not isinstance(policy, SchedulerPolicy):
+        raise ServingError(
+            "scheduler must be a policy name or implement SchedulerPolicy"
+        )
+    return policy
+
+
+__all__ = [
+    "FifoPolicy",
+    "MemoryAwareAdmissionPolicy",
+    "SCHEDULERS",
+    "SchedulerPolicy",
+    "SchedulingContext",
+    "ShortestPromptFirstPolicy",
+    "get_scheduler",
+    "worst_case_blocks",
+]

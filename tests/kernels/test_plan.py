@@ -7,7 +7,7 @@ from repro.errors import LutError
 from repro.kernels import build_weight_plan
 from repro.lut.table import remap_weight_bits_offline
 from repro.quant.reinterpret import reinterpret_symmetric
-from repro.quant.weight import quantize_weights
+from repro.quant.weight import QuantizedWeight, quantize_weights
 
 
 def sample_weight(bits=2, n=8, kdim=16, seed=0, **kwargs):
@@ -111,3 +111,108 @@ class TestBuildWeightPlan:
         qw = sample_weight(kdim=32, seed=8, axis=1, group_size=2)
         with pytest.raises(LutError):
             build_weight_plan(qw, k=4)
+
+
+def _row_weights(bits, rows, kdim, seed, **kwargs):
+    """Independent per-row quantized weights (the KV-cache shape)."""
+    rng = np.random.default_rng(seed)
+    return [
+        quantize_weights(rng.normal(size=(1, kdim)), bits, **kwargs)
+        for _ in range(rows)
+    ]
+
+
+class TestWeightPlanExtend:
+    """extend() must be bit-identical to a from-scratch plan build."""
+
+    @pytest.mark.parametrize("bits", [2, 4])
+    @pytest.mark.parametrize("kwargs", [
+        dict(axis=0),                          # per-row scales
+        dict(axis=1, group_size=4),            # per-group along K
+        dict(axis=0, symmetric=True),          # zero-point-free
+    ], ids=("per-row", "grouped", "symmetric"))
+    def test_extend_matches_scratch(self, bits, kwargs):
+        rows = _row_weights(bits, 7, 16, seed=bits, **kwargs)
+        plan = build_weight_plan(rows[0], k=4)
+        # Materialize everything so extension exercises the concat path.
+        plan.indices, plan.scale_gn, plan.zero_gn, plan.has_zero_point
+        plan.flat_lookup_indices(1 << 3, True)
+        _ = plan.dequantized
+        for row in rows[1:]:
+            plan.extend(row)
+        scratch = build_weight_plan(
+            QuantizedWeight(
+                codes=np.concatenate([r.codes for r in rows], axis=0),
+                scale=np.concatenate(
+                    [np.broadcast_to(r.scale, r.shape) for r in rows], axis=0
+                ),
+                zero_point=np.concatenate(
+                    [np.broadcast_to(r.zero_point, r.shape) for r in rows],
+                    axis=0,
+                ),
+                bits=bits,
+            ),
+            k=4,
+        )
+        assert plan.n == scratch.n == 7
+        np.testing.assert_array_equal(plan.indices, scratch.indices)
+        np.testing.assert_array_equal(plan.scale_gn, scratch.scale_gn)
+        np.testing.assert_array_equal(plan.zero_gn, scratch.zero_gn)
+        assert plan.has_zero_point == scratch.has_zero_point
+        np.testing.assert_array_equal(plan.dequantized, scratch.dequantized)
+        np.testing.assert_array_equal(
+            plan.flat_lookup_indices(1 << 3, True),
+            scratch.flat_lookup_indices(1 << 3, True),
+        )
+        low, sign = plan.sym_fold()
+        slow, ssign = scratch.sym_fold()
+        np.testing.assert_array_equal(low, slow)
+        np.testing.assert_array_equal(sign, ssign)
+
+    def test_extended_plan_executes_bit_identically(self):
+        """Every backend's output over an extended plan equals the
+        from-scratch plan's output, bit for bit."""
+        from repro.kernels import get_backend
+        from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+
+        rows = _row_weights(4, 6, 16, seed=11, axis=1, group_size=4)
+        plan = build_weight_plan(rows[0], k=4)
+        for row in rows[1:]:
+            plan.extend(row)
+        stacked = QuantizedWeight(
+            codes=np.concatenate([r.codes for r in rows], axis=0),
+            scale=np.concatenate(
+                [np.broadcast_to(r.scale, r.shape) for r in rows], axis=0
+            ),
+            zero_point=np.concatenate(
+                [np.broadcast_to(r.zero_point, r.shape) for r in rows], axis=0
+            ),
+            bits=4,
+        )
+        acts = np.random.default_rng(12).normal(size=(3, 16))
+        for name in ("reference", "lut-naive", "lut-blocked"):
+            config = LutMpGemmConfig(k=4, backend=name)
+            engine = LutMpGemmEngine(stacked, config)
+            expected = engine.matmul(acts)
+            backend = get_backend(name)
+            table = engine.precompute(acts) if backend.needs_table else None
+            got = backend.execute(plan, config, acts, table)
+            np.testing.assert_array_equal(got, expected, err_msg=name)
+
+    def test_extend_preserves_laziness(self):
+        rows = _row_weights(2, 3, 16, seed=13, axis=0)
+        plan = build_weight_plan(rows[0], k=4)
+        plan.extend(rows[1]).extend(rows[2])
+        assert plan._indices is None
+        assert plan._scale_gn is None and plan._zero_gn is None
+        assert plan.n == 3
+        assert plan.indices.shape == (2, 4, 3)
+
+    def test_extend_rejects_mismatches(self):
+        plan = build_weight_plan(sample_weight(bits=2, n=4, kdim=16), k=4)
+        with pytest.raises(LutError):
+            plan.extend(sample_weight(bits=2, n=1, kdim=16), k=2)
+        with pytest.raises(LutError):
+            plan.extend(sample_weight(bits=2, n=1, kdim=12))
+        with pytest.raises(LutError):
+            plan.extend(sample_weight(bits=3, n=1, kdim=16))

@@ -122,6 +122,26 @@ class TestQuantizedKvDecode:
             )
         np.testing.assert_array_equal(outs["lut-naive"], outs["lut-blocked"])
 
+    def test_lut_backends_bit_identical_across_block_boundaries(self):
+        """Same bit-identity contract with a small block size, so the
+        decode crosses several paged-KV block boundaries."""
+        outs = {}
+        for backend in ("lut-naive", "lut-blocked"):
+            model = DecoderModel(
+                GQA_GATED,
+                RuntimeConfig(
+                    weight_bits=4, kv_bits=4, backend=backend,
+                    max_seq_len=32, kv_block_size=8,
+                ),
+            )
+            caches = model.new_caches()
+            model.prefill(np.arange(6), caches)
+            outs[backend] = np.stack(
+                [model.decode_step(t % 13, caches) for t in range(14)]
+            )
+            assert len(caches[0].block_ids) == 3  # 20 tokens / block 8
+        np.testing.assert_array_equal(outs["lut-naive"], outs["lut-blocked"])
+
     def test_quantized_kv_tracks_float_kv(self):
         """INT8 KV decode stays close to the float-cache decode."""
         logits = {}

@@ -197,20 +197,23 @@ class TestValidation:
         assert stats.decode_steps == 0
         assert stats.batch_occupancy == []
 
-    def test_kv_memory_bytes_matches_cache_accounting(self):
+    def test_kv_memory_bytes_matches_block_accounting(self):
         model = _model(kv_bits=4)
         caches = model.new_caches()
         model.prefill(np.arange(7), caches)
-        expected = sum(
-            c.quantized()[0].memory_bytes() for c in caches
+        # 7 tokens -> one block (16 tokens capacity) per layer; packed
+        # INT4 entries over the full block capacity, K and V.
+        block = model.kv_pool.block_size
+        per_layer = (2 * TINY.kv_heads * block * TINY.head_dim * 4 + 7) // 8
+        assert model.kv_memory_bytes(caches) == TINY.layers * per_layer
+        assert model.kv_memory_bytes(caches) == sum(
+            c.memory_bytes() for c in caches
         )
-        assert model.kv_memory_bytes(caches) == expected
         float_model = _model(kv_bits=None)
         fc = float_model.new_caches()
         float_model.prefill(np.arange(7), fc)
-        assert float_model.kv_memory_bytes(fc) == sum(
-            c.k_view().nbytes + c.v_view().nbytes for c in fc
-        )
+        per_layer_f = 2 * TINY.kv_heads * block * TINY.head_dim * 8
+        assert float_model.kv_memory_bytes(fc) == TINY.layers * per_layer_f
 
     def test_result_timings_populated(self):
         engine = ServingEngine(_model(), max_batch_size=2)

@@ -102,6 +102,53 @@ class TestIncrementalQuantization:
                 qc.k_quant[h].dequantize(), full.k_quant[h].dequantize()
             )
 
+    def test_repeated_materializations_requantize_only_the_tail(self):
+        """Satellite fix: V is no longer requantized wholesale per
+        materialization — completed context groups freeze, only the
+        partial tail (whose scales can still change) is redone."""
+        cache = LayerKvCache(2, 16, bits=4)
+        _fill(cache, 40, seed=3)
+        cache.quantized()
+        ctx = cache.padded_context()
+        first = cache.v_quant_cols
+        assert first == 2 * ctx               # first call: everything
+        cache.quantized()
+        # 40 tokens freeze 2 full groups of 16; the redone tail is just
+        # the partial group + alignment padding.
+        assert cache.v_quant_cols - first == 2 * (ctx - 32)
+        cache.append(np.ones((2, 16)), np.ones((2, 16)))
+        before = cache.v_quant_cols
+        cache.quantized()
+        assert cache.v_quant_cols - before == 2 * (cache.padded_context() - 32)
+
+    def test_interleaved_appends_match_scratch_quantize(self):
+        """Materializing between appends must leave the frozen groups in
+        exactly the state a from-scratch quantize of the final context
+        would produce."""
+        rng = np.random.default_rng(17)
+        cache = LayerKvCache(2, 16, bits=4)
+        k = rng.normal(size=(37, 2, 16))
+        v = rng.normal(size=(37, 2, 16))
+        for i in range(37):
+            cache.append(k[i], v[i])
+            if i % 3 == 0:
+                cache.quantized()
+        qc, valid = cache.quantized()
+        assert valid == 37
+        ctx = qc.context
+        k_pad = np.zeros((2, ctx, 16))
+        k_pad[:, :37] = cache.k_view()
+        v_pad = np.zeros((2, ctx, 16))
+        v_pad[:, :37] = cache.v_view()
+        full = QuantizedKvCache.quantize(k_pad, v_pad, bits=4)
+        for h in range(2):
+            np.testing.assert_array_equal(
+                qc.v_quant[h].codes, full.v_quant[h].codes
+            )
+            np.testing.assert_array_equal(
+                qc.v_quant[h].dequantize(), full.v_quant[h].dequantize()
+            )
+
     def test_gqa_repeat_shares_quantized_weights(self):
         cache = LayerKvCache(2, 8, bits=4)
         _fill(cache, 4)

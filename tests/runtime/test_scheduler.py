@@ -1,0 +1,230 @@
+"""SchedulerPolicy seam: policy selection, memory-aware admission,
+engine integration, per-step trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.models.configs import ModelConfig
+from repro.runtime import (
+    DecoderModel,
+    Request,
+    RuntimeConfig,
+    SchedulingContext,
+    ServingEngine,
+    get_scheduler,
+)
+from repro.runtime.scheduler import (
+    FifoPolicy,
+    MemoryAwareAdmissionPolicy,
+    SCHEDULERS,
+    ShortestPromptFirstPolicy,
+)
+
+TINY = ModelConfig(
+    "sched-tiny", hidden=32, ffn=64, layers=2, heads=4, kv_heads=2,
+    vocab=64, gated_ffn=True,
+)
+
+
+def _model(**kwargs):
+    defaults = dict(weight_bits=4, kv_bits=None, max_seq_len=64)
+    defaults.update(kwargs)
+    return DecoderModel(TINY, RuntimeConfig(**defaults))
+
+
+def _request(rid, prompt_len, max_new=4):
+    return Request(
+        request_id=rid,
+        prompt=tuple(range(1, prompt_len + 1)),
+        max_new_tokens=max_new,
+    )
+
+
+def _ctx(free_slots=2, free_blocks=None, block_size=16, layers=2):
+    return SchedulingContext(
+        free_slots=free_slots, free_blocks=free_blocks,
+        block_size=block_size, layers=layers,
+    )
+
+
+class TestPolicies:
+    def test_registry_and_resolution(self):
+        assert set(SCHEDULERS) == {"fifo", "sjf", "memory-aware"}
+        assert get_scheduler("fifo").name == "fifo"
+        policy = ShortestPromptFirstPolicy()
+        assert get_scheduler(policy) is policy
+        with pytest.raises(ServingError):
+            get_scheduler("round-robin")
+        with pytest.raises(ServingError):
+            get_scheduler(42)
+
+    def test_fifo_picks_head(self):
+        waiting = [_request("a", 9), _request("b", 2)]
+        assert FifoPolicy().select(waiting, _ctx()) == 0
+
+    def test_sjf_picks_shortest_prompt_ties_by_arrival(self):
+        waiting = [_request("a", 9), _request("b", 2), _request("c", 2)]
+        assert ShortestPromptFirstPolicy().select(waiting, _ctx()) == 1
+
+    def test_memory_aware_blocks_until_pool_fits(self):
+        policy = MemoryAwareAdmissionPolicy()
+        # 20 prompt + 4 new = 24 tokens -> 2 blocks x 2 layers = 4.
+        waiting = [_request("big", 20)]
+        assert policy.select(waiting, _ctx(free_blocks=3)) is None
+        assert policy.select(waiting, _ctx(free_blocks=4)) == 0
+        # Unbounded pool never blocks.
+        assert policy.select(waiting, _ctx(free_blocks=None)) == 0
+        # Strict FIFO: a small request behind a blocked head waits too.
+        waiting = [_request("big", 20), _request("small", 2)]
+        assert policy.select(waiting, _ctx(free_blocks=3)) is None
+
+    def test_blocks_needed_arithmetic(self):
+        # The cache peaks at prompt + max_new - 1 tokens: the last
+        # sampled token is returned, never appended.
+        ctx = _ctx(block_size=16, layers=3)
+        assert ctx.blocks_needed(1, 1) == 3
+        assert ctx.blocks_needed(10, 7) == 3     # peak 16 = one block
+        assert ctx.blocks_needed(10, 8) == 6     # peak 17 spills over
+
+
+class TestEngineIntegration:
+    def test_sjf_admits_short_prompts_first(self):
+        def finish_order(scheduler):
+            engine = ServingEngine(_model(), max_batch_size=1,
+                                   scheduler=scheduler)
+            engine.submit(_request("long", 12, max_new=2))
+            engine.submit(_request("short", 2, max_new=2))
+            results, _ = engine.run()
+            return [r.request_id for r in results]
+
+        assert finish_order("fifo") == ["long", "short"]
+        assert finish_order("sjf") == ["short", "long"]
+
+    def test_memory_aware_backpressures_bounded_pool(self):
+        """Two requests whose combined footprint exceeds the pool: FIFO
+        admission crashes into pool exhaustion mid-prefill, memory-aware
+        admission serializes them and completes both."""
+        kwargs = dict(
+            kv_bits=4, max_seq_len=32, kv_block_size=16,
+            kv_pool_blocks=TINY.layers,   # exactly one sequence fits
+        )
+        requests = [_request("r0", 6, max_new=4), _request("r1", 7, max_new=4)]
+
+        engine = ServingEngine(_model(**kwargs), max_batch_size=2,
+                               scheduler="fifo")
+        for r in requests:
+            engine.submit(r)
+        with pytest.raises(ServingError):
+            engine.run()
+
+        engine = ServingEngine(_model(**kwargs), max_batch_size=2,
+                               scheduler="memory-aware")
+        for r in requests:
+            engine.submit(r)
+        results, stats = engine.run()
+        assert sorted(r.request_id for r in results) == ["r0", "r1"]
+        assert max(t.active for t in stats.trace) == 1  # serialized
+        assert engine.model.kv_pool.used_blocks == 0    # all freed
+
+    def test_memory_aware_reserves_future_growth_of_active_sequences(self):
+        """An admitted sequence's worst-case footprint is spoken for
+        even before its blocks are allocated: a second request must not
+        be admitted into the interim gap, or the first sequence's next
+        block-boundary crossing exhausts the pool mid-decode."""
+        model = _model(
+            kv_bits=4, max_seq_len=32, kv_block_size=16,
+            # Request A's worst case (8 + 16 = 24 tokens -> 2 blocks x
+            # 2 layers) fills the pool exactly; only 2 are allocated
+            # at prefill, leaving a tempting-but-reserved gap of 2.
+            kv_pool_blocks=2 * TINY.layers,
+        )
+        engine = ServingEngine(model, max_batch_size=2,
+                               scheduler="memory-aware")
+        engine.submit(_request("grower", 8, max_new=16))
+        engine.submit(_request("opportunist", 2, max_new=4))
+        results, stats = engine.run()   # must not raise mid-decode
+        assert sorted(r.request_id for r in results) == [
+            "grower", "opportunist",
+        ]
+        assert max(t.active for t in stats.trace) == 1  # serialized
+        assert model.kv_pool.used_blocks == 0
+
+    def test_failed_admission_does_not_leak_pool_blocks(self):
+        """FIFO into a too-small pool raises at prefill; the partially
+        allocated sequence's blocks must return to the pool, and the
+        surviving active sequence must still be able to finish."""
+        model = _model(
+            kv_bits=4, max_seq_len=32, kv_block_size=16,
+            kv_pool_blocks=TINY.layers,
+        )
+        engine = ServingEngine(model, max_batch_size=2, scheduler="fifo")
+        engine.submit(_request("first", 6, max_new=4))
+        engine.submit(_request("second", 7, max_new=4))
+        with pytest.raises(ServingError):
+            engine.run()
+        # Only the still-active first sequence holds blocks; the failed
+        # second request's partial prefill was cleaned up.
+        assert model.kv_pool.used_blocks == TINY.layers
+        results, _ = engine.run()       # "second" was dropped at failure
+        assert [r.request_id for r in results] == ["first"]
+        assert model.kv_pool.used_blocks == 0
+
+    def test_oversized_request_rejected_at_submit_against_pool(self):
+        engine = ServingEngine(_model(
+            kv_bits=4, max_seq_len=64, kv_block_size=16,
+            kv_pool_blocks=TINY.layers,
+        ))
+        with pytest.raises(ServingError):
+            engine.submit(_request("too-big", 20, max_new=4))
+
+    def test_request_peaking_exactly_at_one_block_is_feasible(self):
+        """prompt + max_new lands one past the block boundary, but the
+        final sampled token is never cached: peak is exactly one block,
+        so a one-block-per-layer pool must accept and serve it."""
+        model = _model(kv_bits=4, max_seq_len=32, kv_block_size=16,
+                       kv_pool_blocks=TINY.layers)
+        engine = ServingEngine(model, scheduler="memory-aware")
+        engine.submit(_request("boundary", 8, max_new=9))  # peak 16
+        results, _ = engine.run()
+        assert len(results[0].tokens) == 9
+        assert model.kv_pool.used_blocks == 0
+
+    def test_custom_policy_instance(self):
+        class LastInFirstOut:
+            name = "lifo"
+
+            def select(self, waiting, context):
+                return len(waiting) - 1
+
+        engine = ServingEngine(_model(), max_batch_size=1,
+                               scheduler=LastInFirstOut())
+        engine.submit(_request("first", 3, max_new=1))
+        engine.submit(_request("second", 3, max_new=1))
+        results, _ = engine.run()
+        assert [r.request_id for r in results] == ["second", "first"]
+
+
+class TestStepTrace:
+    def test_trace_records_every_decode_step(self):
+        engine = ServingEngine(_model(kv_bits=4), max_batch_size=2)
+        for i in range(3):
+            engine.submit(_request(f"r{i}", 4 + i, max_new=3))
+        results, stats = engine.run()
+        assert len(results) == 3
+        assert len(stats.trace) == stats.decode_steps > 0
+        assert [t.step for t in stats.trace] == list(range(len(stats.trace)))
+        assert [t.active for t in stats.trace] == stats.batch_occupancy
+        for t in stats.trace:
+            assert t.context_tokens >= t.active
+            assert t.kv_blocks_used >= t.active * TINY.layers
+        assert stats.occupancy_p95 >= stats.occupancy_p50 >= 1.0
+        # Every completed request returned its blocks.
+        assert engine.model.kv_pool.used_blocks == 0
+        assert engine.model.kv_pool.stats["freed"] > 0
+
+    def test_occupancy_percentiles_empty_run(self):
+        engine = ServingEngine(_model())
+        results, stats = engine.run()
+        assert results == []
+        assert stats.occupancy_p50 == 0.0 and stats.occupancy_p95 == 0.0
