@@ -1,15 +1,28 @@
 """Serving-runtime benchmark: continuous batching over the kernel seam.
 
-Drives the numeric :class:`~repro.runtime.ServingEngine` with a mixed
-batch of requests (short and long prompts, short and long generations)
-against a small decoder built from a :class:`~repro.models.configs.
-ModelConfig`, once per kernel backend and KV mode, under a selectable
-admission scheduler (``fifo`` / ``sjf`` / ``memory-aware``). Reported
-per row: generated-token throughput, decode-batch occupancy (mean and
-p50/p95 over the per-step trace), time-to-first-token / completion
-latency percentiles, and the mean attention context per decode step —
-the number that proves decode cost scales with the *cached* context
-instead of re-running full-sequence forwards.
+Drives the numeric :class:`~repro.runtime.ServingEngine` against a
+small decoder built from a :class:`~repro.models.configs.ModelConfig`,
+once per kernel backend and KV mode, under a selectable admission
+scheduler (``fifo`` / ``sjf`` / ``memory-aware``) and workload:
+
+- ``mixed`` (default) — short/long prompts crossed with short/long
+  generations, the continuous-batching regression row;
+- ``shared-prefix`` — N requests over one common system prompt. Runs
+  the same stream twice, with prefix sharing on and off, and **fails**
+  (the CI perf-guard criterion) unless sharing allocates strictly
+  fewer pool blocks, produces token-for-token identical outputs, and
+  a direct model-level probe shows exact-logit parity between a
+  shared and a from-scratch computation;
+- ``pool-pressure`` — a bounded pool deliberately too small for the
+  co-admitted worst cases, forcing the preemption relief valve; fails
+  unless preemption fired, every preempted request resumed, and all
+  requests completed. Reports preemption counts and resume latency.
+
+Reported per row: generated-token throughput, decode-batch occupancy
+(mean and p50/p95 over the per-step trace), time-to-first-token /
+completion latency percentiles, the mean attention context per decode
+step, and the sharing/preemption counters (blocks saved, adoptions,
+preemptions, mean resume ms).
 
 Quantized-KV rows additionally run a **plan-flatness probe**: one long
 generation whose per-step KV plan work (per-block K-plan extension +
@@ -21,9 +34,11 @@ O(context) per-token plan rebuild of the pre-paging runtime is gone.
 
 Extends the paper's end-to-end serving scenario (Table 1 / Section 6) at
 numeric scale; there is no corresponding figure — this is the repo's own
-serving regression bench. Run directly for the CI scheduler smoke::
+serving regression bench. Run directly for the CI smokes::
 
     python -m repro.experiments.bench_serving --scheduler sjf --smoke
+    python -m repro.experiments.bench_serving --workload shared-prefix --smoke
+    python -m repro.experiments.bench_serving --workload pool-pressure --smoke
 """
 
 from __future__ import annotations
@@ -64,6 +79,16 @@ SEED = 2025
 #: used for the early/late per-step plan-time windows.
 PROBE_PROMPT = 8
 PROBE_WINDOW = 0.25
+#: Selectable request streams (see module docstring).
+WORKLOADS = ("mixed", "shared-prefix", "pool-pressure")
+#: Shared-prefix workload: length of the common system prompt (spans
+#: two full 16-token KV blocks, the shareable unit) and request count.
+SHARED_PREFIX_LEN = 40
+SHARED_REQUESTS = 8
+#: Pool-pressure workload: a pool bound deliberately below the
+#: co-admitted worst cases so the decode loop must preempt.
+PRESSURE_POOL_BLOCKS = 6
+PRESSURE_REQUESTS = 4
 
 META = ExperimentMeta(
     title="Serving engine: continuous-batching throughput per kernel backend",
@@ -83,6 +108,8 @@ META = ExperimentMeta(
         "weight_bits": WEIGHT_BITS,
         "max_seq_len": MAX_SEQ_LEN,
         "scheduler": "fifo",
+        "workload": "mixed",
+        "workloads": WORKLOADS,
         "seed": SEED,
     },
 )
@@ -114,6 +141,18 @@ class ServingBenchRow:
     plan_ms_early: float
     plan_ms_late: float
     plan_cols_per_step: float
+    #: Which request stream produced this row, and the decode-batch
+    #: bound it actually ran with (pool-pressure narrows it to 2).
+    workload: str = "mixed"
+    max_batch: int = MAX_BATCH
+    #: Shared-prefix workload: pool allocations avoided vs the
+    #: no-sharing baseline, and prefix-index adoptions performed.
+    blocks_saved: int = 0
+    shared_adoptions: int = 0
+    #: Pool-pressure workload: relief-valve traffic.
+    preemptions: int = 0
+    resumes: int = 0
+    mean_resume_ms: float = 0.0
 
 
 def _mixed_requests(rng: np.random.Generator) -> list[Request]:
@@ -140,6 +179,92 @@ def _mixed_requests(rng: np.random.Generator) -> list[Request]:
             )
         )
     return requests
+
+
+def _shared_prefix_requests(rng: np.random.Generator) -> list[Request]:
+    """N requests over one common system prompt + short unique tails."""
+    system = tuple(
+        int(t) for t in rng.integers(0, BENCH_MODEL.vocab, SHARED_PREFIX_LEN)
+    )
+    requests = []
+    for i in range(SHARED_REQUESTS):
+        tail = tuple(
+            int(t)
+            for t in rng.integers(0, BENCH_MODEL.vocab, int(rng.integers(2, 7)))
+        )
+        requests.append(
+            Request(
+                request_id=f"shared-{i}",
+                prompt=system + tail,
+                max_new_tokens=int(rng.integers(4, 11)),
+                sampling=SamplingParams(
+                    top_k=8 if i % 2 else None, seed=SEED + i
+                ),
+            )
+        )
+    return requests
+
+
+def _pool_pressure_requests(rng: np.random.Generator) -> list[Request]:
+    """Co-admitted growers whose combined worst case exceeds the pool.
+
+    Each request alone fits (2 blocks x 2 layers = 4 of the 6-block
+    pool), so submit admits them; two growing together cross 6 and
+    force the decode-time relief valve. Greedy sampling keeps the
+    preempt/resume path deterministic end to end.
+    """
+    return [
+        Request(
+            request_id=f"press-{i}",
+            prompt=tuple(
+                int(t) for t in rng.integers(0, BENCH_MODEL.vocab, 8)
+            ),
+            max_new_tokens=16,
+        )
+        for i in range(PRESSURE_REQUESTS)
+    ]
+
+
+def _shared_prefix_parity_probe(backend: str, kv_bits: int | None) -> None:
+    """Exact-logit parity: a shared-prefix decode must equal the
+    from-scratch computation bit for bit (guard criterion).
+
+    A donor request indexes the common prefix; an adopter prefills
+    through the index and decodes; a fresh model recomputes the same
+    tokens privately with the same chunk split. Raises on mismatch.
+    """
+    rt = dict(
+        weight_bits=WEIGHT_BITS, kv_bits=kv_bits, backend=backend,
+        max_seq_len=MAX_SEQ_LEN, seed=SEED,
+    )
+    rng = np.random.default_rng(SEED)
+    common = tuple(int(t) for t in rng.integers(0, BENCH_MODEL.vocab, 36))
+    prompt = common + (7, 9)
+
+    model = DecoderModel(BENCH_MODEL, RuntimeConfig(**rt))
+    donor = model.new_caches()
+    model.prefill(np.array(common + (3,)), donor)
+    adopter = model.new_caches()
+    got = [model.prefill(np.array(prompt), adopter)[-1]]
+    shared = model.stats["shared_prefix_tokens"]
+    if shared < 32:
+        raise RuntimeError(
+            f"shared-prefix probe adopted only {shared} tokens"
+        )
+    for t in (5, 6):
+        got.append(model.decode_step(t, adopter))
+
+    fresh = DecoderModel(BENCH_MODEL, RuntimeConfig(**rt))
+    caches = fresh.new_caches()
+    fresh.prefill(np.array(prompt[:shared]), caches)
+    want = [fresh.prefill(np.array(prompt[shared:]), caches)[-1]]
+    for t in (5, 6):
+        want.append(fresh.decode_step(t, caches))
+    if not np.array_equal(np.stack(got), np.stack(want)):
+        raise RuntimeError(
+            "shared-prefix probe: logits diverged from the from-scratch "
+            f"computation (backend={backend}, kv_bits={kv_bits})"
+        )
 
 
 def _plan_flatness(backend: str, kv_bits: int) -> tuple[float, float, float]:
@@ -186,29 +311,121 @@ def _plan_flatness(backend: str, kv_bits: int) -> tuple[float, float, float]:
     )
 
 
+def _serve(
+    requests: list[Request],
+    *,
+    backend: str,
+    kv_bits: int | None,
+    scheduler: str,
+    max_batch: int = MAX_BATCH,
+    prefix_sharing: bool = True,
+    kv_pool_blocks: int | None = None,
+):
+    model = DecoderModel(
+        BENCH_MODEL,
+        RuntimeConfig(
+            weight_bits=WEIGHT_BITS,
+            kv_bits=kv_bits,
+            backend=backend,
+            max_seq_len=MAX_SEQ_LEN,
+            kv_pool_blocks=kv_pool_blocks,
+            prefix_sharing=prefix_sharing,
+            seed=SEED,
+        ),
+    )
+    engine = ServingEngine(
+        model, max_batch_size=max_batch, scheduler=scheduler
+    )
+    for request in requests:
+        engine.submit(request)
+    results, stats = engine.run()
+    return model, results, stats
+
+
 def run(
     variants: tuple[tuple[str, int | None], ...] = VARIANTS,
     scheduler: str = "fifo",
+    workload: str = "mixed",
 ):
+    if workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; available: {WORKLOADS}"
+        )
+    if workload == "pool-pressure":
+        # The relief valve only fires under optimistic admission:
+        # memory-aware would serialize instead — pressure always runs
+        # fifo over-admission regardless of --scheduler.
+        scheduler = "fifo"
     rows: list[ServingBenchRow] = []
     for backend, kv_bits in variants:
-        model = DecoderModel(
-            BENCH_MODEL,
-            RuntimeConfig(
-                weight_bits=WEIGHT_BITS,
-                kv_bits=kv_bits,
-                backend=backend,
-                max_seq_len=MAX_SEQ_LEN,
-                seed=SEED,
-            ),
-        )
-        engine = ServingEngine(
-            model, max_batch_size=MAX_BATCH, scheduler=scheduler
-        )
+        extras: dict = {"workload": workload}
         # Identical request stream per variant (fresh RNG each time).
-        for request in _mixed_requests(np.random.default_rng(SEED)):
-            engine.submit(request)
-        results, stats = engine.run()
+        rng = np.random.default_rng(SEED)
+        if workload == "mixed":
+            model, results, stats = _serve(
+                _mixed_requests(rng), backend=backend, kv_bits=kv_bits,
+                scheduler=scheduler,
+            )
+        elif workload == "shared-prefix":
+            requests = _shared_prefix_requests(rng)
+            model, results, stats = _serve(
+                requests, backend=backend, kv_bits=kv_bits,
+                scheduler=scheduler,
+            )
+            base_model, base_results, _ = _serve(
+                requests, backend=backend, kv_bits=kv_bits,
+                scheduler=scheduler, prefix_sharing=False,
+            )
+            saved = int(
+                base_model.kv_pool.stats["allocated"]
+                - model.kv_pool.stats["allocated"]
+            )
+            # The perf-guard bar: sharing must actually avoid
+            # allocations, leave every output token untouched, and pass
+            # the direct exact-logit probe.
+            if saved <= 0:
+                raise RuntimeError(
+                    f"shared-prefix guard: no blocks saved (backend="
+                    f"{backend}, kv_bits={kv_bits}, saved={saved})"
+                )
+            shared_tokens = {r.request_id: r.tokens for r in results}
+            base_tokens = {r.request_id: r.tokens for r in base_results}
+            if shared_tokens != base_tokens:
+                raise RuntimeError(
+                    "shared-prefix guard: outputs diverged from the "
+                    f"no-sharing baseline (backend={backend})"
+                )
+            _shared_prefix_parity_probe(backend, kv_bits)
+            extras.update(
+                blocks_saved=saved,
+                shared_adoptions=int(model.kv_pool.stats["shared"]),
+            )
+        else:  # pool-pressure
+            extras["max_batch"] = 2
+            model, results, stats = _serve(
+                _pool_pressure_requests(rng), backend=backend,
+                kv_bits=kv_bits, scheduler=scheduler, max_batch=2,
+                kv_pool_blocks=PRESSURE_POOL_BLOCKS,
+            )
+            if stats.preemptions < 1:
+                raise RuntimeError(
+                    "pool-pressure guard: the bounded pool never "
+                    f"preempted (backend={backend}, kv_bits={kv_bits})"
+                )
+            if stats.resumes != stats.preemptions:
+                raise RuntimeError(
+                    f"pool-pressure guard: {stats.preemptions} "
+                    f"preemptions but {stats.resumes} resumes"
+                )
+            if len(results) != PRESSURE_REQUESTS:
+                raise RuntimeError(
+                    "pool-pressure guard: not every request completed"
+                )
+            extras.update(
+                preemptions=stats.preemptions,
+                resumes=stats.resumes,
+                mean_resume_ms=stats.mean_resume_ms,
+            )
         latencies = np.array([r.latency_ms for r in results])
         first = np.array([r.first_token_ms for r in results])
         # attn_context_tokens counts every per-(sequence, layer) decode
@@ -217,7 +434,7 @@ def run(
         per_seq_attn = model.stats["attn_context_tokens"] / (
             seq_steps * model.config.layers
         )
-        if kv_bits is None:
+        if kv_bits is None or workload != "mixed":
             plan_early = plan_late = plan_cols = 0.0
         else:
             plan_early, plan_late, plan_cols = _plan_flatness(
@@ -244,6 +461,7 @@ def run(
                 plan_ms_early=plan_early,
                 plan_ms_late=plan_late,
                 plan_cols_per_step=plan_cols,
+                **extras,
             )
         )
     return rows
@@ -251,22 +469,25 @@ def run(
 
 def format_result(rows) -> str:
     scheduler = rows[0].scheduler if rows else "fifo"
+    workload = rows[0].workload if rows else "mixed"
+    max_batch = rows[0].max_batch if rows else MAX_BATCH
     lines = [
-        f"Serving engine: {NUM_REQUESTS} mixed requests, "
-        f"max_batch={MAX_BATCH}, W{WEIGHT_BITS} weights, "
+        f"Serving engine: workload={workload}, "
+        f"max_batch={max_batch}, W{WEIGHT_BITS} weights, "
         f"scheduler={scheduler} "
         f"({BENCH_MODEL.name}: {BENCH_MODEL.layers}L x "
         f"{BENCH_MODEL.hidden}d, GQA {BENCH_MODEL.heads}/"
         f"{BENCH_MODEL.kv_heads})",
         f"{'backend':>12} {'kv':>5} {'gen tok':>8} {'tok/s':>8} "
         f"{'occ p50':>7} {'occ p95':>7} {'p50 ms':>8} {'p95 ms':>8} "
-        f"{'ttft ms':>8} {'ctx/step':>8} {'plan ms e/l':>12}",
+        f"{'ttft ms':>8} {'ctx/step':>8} {'saved':>6} {'pre':>4} "
+        f"{'plan ms e/l':>12}",
     ]
     for row in rows:
         kv = "fp" if row.kv_bits is None else f"int{row.kv_bits}"
         plan = (
             "-"
-            if row.kv_bits is None
+            if row.kv_bits is None or row.workload != "mixed"
             else f"{row.plan_ms_early:.3f}/{row.plan_ms_late:.3f}"
         )
         lines.append(
@@ -274,13 +495,30 @@ def format_result(rows) -> str:
             f"{row.throughput_tok_s:>8.1f} {row.occupancy_p50:>7.1f} "
             f"{row.occupancy_p95:>7.1f} {row.p50_latency_ms:>8.1f} "
             f"{row.p95_latency_ms:>8.1f} {row.mean_first_token_ms:>8.1f} "
-            f"{row.mean_attn_context:>8.1f} {plan:>12}"
+            f"{row.mean_attn_context:>8.1f} {row.blocks_saved:>6} "
+            f"{row.preemptions:>4} {plan:>12}"
         )
-    lines.append(
-        "plan ms e/l: per-step KV plan work (K extend + V tail requant) "
-        "averaged over the first/last quarter of a long decode — flat in "
-        "context under paged incremental plans."
-    )
+    if workload == "shared-prefix":
+        saved = [row.blocks_saved for row in rows]
+        lines.append(
+            f"perf-guard OK: blocks saved {saved} (> 0 on every "
+            "variant), outputs identical to the no-sharing baseline, "
+            "exact-logit parity OK."
+        )
+    elif workload == "pool-pressure":
+        lines.append(
+            "perf-guard OK: preemptions "
+            f"{[row.preemptions for row in rows]}, resumes "
+            f"{[row.resumes for row in rows]}, mean resume ms "
+            f"{[round(row.mean_resume_ms, 2) for row in rows]}; every "
+            "request completed via the relief valve."
+        )
+    else:
+        lines.append(
+            "plan ms e/l: per-step KV plan work (K extend + V tail "
+            "requant) averaged over the first/last quarter of a long "
+            "decode — flat in context under paged incremental plans."
+        )
     return "\n".join(lines)
 
 
@@ -291,11 +529,16 @@ if __name__ == "__main__":
 
     parser = argparse.ArgumentParser(
         description="Serving bench (direct CLI, used by the CI scheduler "
-        "smoke step)"
+        "smoke and serving-perf-guard steps)"
     )
     parser.add_argument(
         "--scheduler", default="fifo", choices=sorted(SCHEDULERS),
         help="admission policy for the engine run",
+    )
+    parser.add_argument(
+        "--workload", default="mixed", choices=WORKLOADS,
+        help="request stream: mixed batch, shared-prefix guard, or "
+        "pool-pressure preemption guard",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -308,6 +551,7 @@ if __name__ == "__main__":
             run(
                 variants=smoke_variants if args.smoke else VARIANTS,
                 scheduler=args.scheduler,
+                workload=args.workload,
             )
         )
     )

@@ -7,10 +7,12 @@ configs (:mod:`repro.models.configs`) into a real inference engine:
 - :class:`QuantizedLinear` — quantize once, plan once, dispatch every
   matmul through the registered mpGEMM backend;
 - :class:`BlockAllocator` / :class:`PagedLayerCache` — paged KV
-  allocation: fixed-size token blocks from a shared pool, freed and
-  reused across requests, with per-block incrementally extended K
-  plans (O(1) amortized plan work per decoded token) and per-block
-  frozen V quantization;
+  allocation: fixed-size refcounted token blocks from a shared pool,
+  freed and reused across requests, with per-block incrementally
+  extended K plans (O(1) amortized plan work per decoded token),
+  per-block frozen V quantization, and a prefix index that lets new
+  prompts adopt matching blocks read-only (copy-on-write on
+  divergence);
 - :class:`LayerKvCache` — the contiguous per-sequence reference cache
   with incremental K *and* V quantization;
 - :class:`DecoderModel` — a numeric decoder built from the same
@@ -18,7 +20,9 @@ configs (:mod:`repro.models.configs`) into a real inference engine:
   with prefill + incremental batched decode over block tables;
 - :class:`ServingEngine` — continuous batching over a request queue
   with pluggable admission scheduling (``fifo`` / ``sjf`` /
-  ``memory-aware``), greedy/top-k sampling, per-step
+  ``memory-aware``), pluggable preemption (``priority-remaining`` /
+  ``latest-first``) that evicts and later resumes sequences when a
+  bounded pool runs hot, greedy/top-k sampling, per-step
   :class:`StepTrace` history, and throughput/latency stats.
 
 Quickstart::
@@ -53,9 +57,12 @@ from repro.runtime.paging import (
     paged_decode_attention,
 )
 from repro.runtime.scheduler import (
+    PREEMPTION_POLICIES,
     SCHEDULERS,
+    PreemptionPolicy,
     SchedulerPolicy,
     SchedulingContext,
+    get_preemption_policy,
     get_scheduler,
 )
 
@@ -64,7 +71,9 @@ __all__ = [
     "DecoderModel",
     "EngineStats",
     "LayerKvCache",
+    "PREEMPTION_POLICIES",
     "PagedLayerCache",
+    "PreemptionPolicy",
     "QuantizedLinear",
     "Request",
     "RequestResult",
@@ -75,6 +84,7 @@ __all__ = [
     "SchedulingContext",
     "ServingEngine",
     "StepTrace",
+    "get_preemption_policy",
     "get_scheduler",
     "paged_decode_attention",
 ]

@@ -19,6 +19,26 @@ per projection on the registered kernel backend, attention runs per
 sequence over its own incrementally extended paged KV cache. When a
 request completes, its KV blocks return to the pool for reuse.
 
+When a *bounded* pool cannot cover the next decode step's block needs
+(boundary allocations plus copy-on-write clones), the engine
+**preempts**: a pluggable
+:class:`~repro.runtime.scheduler.PreemptionPolicy`
+(``priority-remaining`` by default) ranks the active sequences, and
+victims are evicted front-first until the step fits. A victim's
+non-shared blocks return to the pool (shared blocks survive for their
+other holders, full prompt blocks stay parked in the prefix index), and
+its state collapses to a recompute-on-resume record — the request, its
+generated tokens and its sampling RNG. Resumption re-prefills the
+prompt through the prefix index (mostly block-table reconstruction
+when the index is warm) and replays the generated tokens through the
+decode path, rebuilding exactly the KV state the unpreempted run had —
+preemption is output-transparent on the batch-invariant LUT backends.
+Preempted requests resume ahead of new admissions. Per-request
+preemption counts land in
+:class:`RequestResult`, per-step preemption-queue depth and shared
+block counts in :class:`StepTrace`, and event totals plus resume
+latency in :class:`EngineStats`.
+
 Every decode step also appends a :class:`StepTrace` record (occupancy,
 queue depth, context tokens, pool usage) to the run's
 :class:`EngineStats`, so occupancy percentiles and pool behavior are
@@ -39,8 +59,10 @@ from repro.errors import ServingError
 from repro.numerics import softmax
 from repro.runtime.model import DecoderModel
 from repro.runtime.scheduler import (
+    PreemptionPolicy,
     SchedulerPolicy,
     SchedulingContext,
+    get_preemption_policy,
     get_scheduler,
     worst_case_blocks,
 )
@@ -69,13 +91,19 @@ class SamplingParams:
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request."""
+    """One inference request.
+
+    ``priority`` feeds the preemption policy: when a bounded pool runs
+    hot, lower-priority sequences are evicted first (default 0; higher
+    values are safer from eviction).
+    """
 
     request_id: str
     prompt: tuple[int, ...]
     max_new_tokens: int
     sampling: SamplingParams = SamplingParams()
     eos_token_id: int | None = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if not self.prompt:
@@ -98,6 +126,7 @@ class RequestResult:
     first_token_ms: float         # submit -> first sampled token
     latency_ms: float             # submit -> completion
     decode_steps: int
+    preemptions: int = 0          # times this request was evicted
 
 
 @dataclass(frozen=True)
@@ -121,6 +150,11 @@ class StepTrace:
         all layers).
     kv_blocks_free:
         Blocks still allocatable; ``None`` when the pool is unbounded.
+    preempted:
+        Requests currently swapped out awaiting resumption.
+    kv_blocks_shared:
+        In-use blocks referenced by more than one block table (the
+        prefix-sharing savings visible this step).
     """
 
     step: int
@@ -130,6 +164,8 @@ class StepTrace:
     context_tokens: int
     kv_blocks_used: int
     kv_blocks_free: int | None
+    preempted: int = 0
+    kv_blocks_shared: int = 0
 
 
 @dataclass
@@ -141,6 +177,11 @@ class EngineStats:
     generated_tokens: int
     decode_steps: int
     wall_s: float
+    #: Preemption relief-valve traffic: eviction events, completed
+    #: resumptions, and total wall time spent in resume re-prefills.
+    preemptions: int = 0
+    resumes: int = 0
+    resume_ms_total: float = 0.0
     #: Per-decode-step history — occupancy, queue depth, pool usage —
     #: so a finished run can be audited instead of reduced to means.
     trace: list[StepTrace] = field(default_factory=list)
@@ -174,6 +215,20 @@ class EngineStats:
     def throughput_tok_s(self) -> float:
         return self.generated_tokens / self.wall_s if self.wall_s > 0 else 0.0
 
+    @property
+    def mean_resume_ms(self) -> float:
+        """Mean re-prefill latency of one preemption resumption."""
+        return self.resume_ms_total / self.resumes if self.resumes else 0.0
+
+    @property
+    def shared_block_ratio(self) -> float:
+        """Fraction of in-use block observations that were shared
+        (refcount > 1), aggregated over the decode-step trace."""
+        used = sum(t.kv_blocks_used for t in self.trace)
+        if used == 0:
+            return 0.0
+        return sum(t.kv_blocks_shared for t in self.trace) / used
+
 
 class _Sequence:
     """Mutable in-flight state of one admitted request."""
@@ -191,6 +246,7 @@ class _Sequence:
         self.prefill_ms = 0.0
         self.first_token_ms = 0.0
         self.decode_steps = 0
+        self.preemptions = 0
         self.finish_reason: str | None = None
 
     @property
@@ -198,6 +254,21 @@ class _Sequence:
         if self.generated:
             return self.generated[-1]
         return self.request.prompt[-1]
+
+    @property
+    def priority(self) -> int:
+        """Request priority, exposed for preemption policies."""
+        return self.request.priority
+
+    @property
+    def remaining_tokens(self) -> int:
+        """Generation budget still outstanding."""
+        return self.request.max_new_tokens - len(self.generated)
+
+    @property
+    def resume_tokens(self) -> tuple[int, ...]:
+        """Token prefix a recompute-on-resume prefill must rebuild."""
+        return self.request.prompt + tuple(self.generated)
 
     def sample(self, logits: np.ndarray) -> int:
         params = self.request.sampling
@@ -229,6 +300,7 @@ class _Sequence:
             first_token_ms=self.first_token_ms,
             latency_ms=(time.perf_counter() - self.submit_time) * 1e3,
             decode_steps=self.decode_steps,
+            preemptions=self.preemptions,
         )
 
 
@@ -238,6 +310,11 @@ class ServingEngine:
     ``scheduler`` selects the admission policy: a name from
     :data:`~repro.runtime.scheduler.SCHEDULERS` (``"fifo"``, ``"sjf"``,
     ``"memory-aware"``) or any :class:`SchedulerPolicy` instance.
+    ``preemption`` selects the eviction policy consulted when a bounded
+    pool cannot cover the next decode step: a name from
+    :data:`~repro.runtime.scheduler.PREEMPTION_POLICIES`
+    (``"priority-remaining"``, ``"latest-first"``) or any
+    :class:`PreemptionPolicy` instance.
     """
 
     def __init__(
@@ -245,19 +322,27 @@ class ServingEngine:
         model: DecoderModel,
         max_batch_size: int = 8,
         scheduler: str | SchedulerPolicy = "fifo",
+        preemption: str | PreemptionPolicy = "priority-remaining",
     ) -> None:
         if max_batch_size < 1:
             raise ServingError("max_batch_size must be >= 1")
         self.model = model
         self.max_batch_size = max_batch_size
         self.scheduler = get_scheduler(scheduler)
+        self.preemption = get_preemption_policy(preemption)
         #: (request, submit wall-clock time) pairs in arrival order; the
         #: scheduler policy picks which index is admitted next.
         self.waiting: list[tuple[Request, float]] = []
         self.active: list[_Sequence] = []
+        #: Swapped-out sequences in eviction order (recompute-on-resume
+        #: records: request, generated tokens, sampling RNG, timings).
+        self.preempted: list[_Sequence] = []
         self.finished: list[RequestResult] = []
         self._trace: list[StepTrace] = []
         self._prompt_tokens = 0
+        self._preemptions = 0
+        self._resumes = 0
+        self._resume_ms = 0.0
         self._ids: set[str] = set()
 
     # ------------------------------------------------------------------
@@ -276,10 +361,20 @@ class ServingEngine:
                 len(request.prompt), request.max_new_tokens,
                 pool.block_size, self.model.config.layers,
             )
-            if needed > pool.num_blocks:
+            # A prompt whose leading blocks are held by live sequences
+            # never materializes them privately — discount them before
+            # declaring the request unservable against its worst-case
+            # footprint. Live-only: adopting a *parked* block would
+            # re-occupy pool capacity, so counting it here would admit
+            # requests that cannot fit even into an empty pool.
+            shareable = self.model.shareable_blocks(
+                request.prompt, live_only=True
+            )
+            if needed - shareable > pool.num_blocks:
                 raise ServingError(
                     f"request {request.request_id}: needs {needed} KV "
-                    f"blocks at full length, pool holds {pool.num_blocks}"
+                    f"blocks at full length ({shareable} shareable), "
+                    f"pool holds {pool.num_blocks}"
                 )
         if request.request_id in self._ids:
             raise ServingError(
@@ -290,7 +385,7 @@ class ServingEngine:
 
     @property
     def has_work(self) -> bool:
-        return bool(self.waiting or self.active)
+        return bool(self.waiting or self.active or self.preempted)
 
     def _scheduling_context(self) -> SchedulingContext:
         pool = self.model.kv_pool
@@ -302,7 +397,10 @@ class ServingEngine:
             # they are not allocated yet. Without this, admitting into
             # the interim gap lets an active sequence exhaust the pool
             # at its next block boundary — mid-decode, where it is a
-            # hard error instead of back-pressure.
+            # hard error instead of back-pressure. A shared partial
+            # trailing block carries one extra reserved block per
+            # layer: its first append clones it (copy-on-write) while
+            # the original stays with its other holders.
             reserved = 0
             layers = self.model.config.layers
             for seq in self.active:
@@ -311,14 +409,26 @@ class ServingEngine:
                     len(request.prompt), request.max_new_tokens,
                     pool.block_size, layers,
                 )
-                allocated = sum(len(c.block_ids) for c in seq.caches)
-                reserved += max(0, worst - allocated)
+                allocated = 0
+                cow_debt = 0
+                for cache in seq.caches:
+                    allocated += len(cache.block_ids)
+                    if (
+                        cache.block_ids
+                        and pool.refcount(cache.block_ids[-1]) > 1
+                        and cache.length < cache.padded_context()
+                    ):
+                        cow_debt += 1
+                reserved += max(0, worst - allocated) + cow_debt
             free = max(0, free - reserved)
         return SchedulingContext(
             free_slots=self.max_batch_size - len(self.active),
             free_blocks=free,
             block_size=pool.block_size,
             layers=self.model.config.layers,
+            live_shareable=lambda prompt: self.model.shareable_blocks(
+                prompt, live_only=True
+            ),
         )
 
     def _retire(self, seq: _Sequence) -> RequestResult:
@@ -329,15 +439,121 @@ class ServingEngine:
         return result
 
     # ------------------------------------------------------------------
-    def _admit(self) -> list[RequestResult]:
-        """Prefill scheduler-selected waiting requests into free slots.
+    def _preempt(self, seq: _Sequence) -> None:
+        """Evict an active sequence: release its block references and
+        collapse it to a recompute-on-resume record.
 
-        The policy is re-consulted after every admission (pool headroom
-        and slot counts change); ``None`` stops admission for this
-        step. Returns requests that completed already at prefill (their
-        first sampled token hit EOS or ``max_new_tokens == 1``).
+        Shared blocks survive for their other holders; this sequence's
+        full prompt blocks stay parked in the prefix index, so its own
+        resumption re-prefill usually re-adopts them.
+        """
+        self.model.free_caches(seq.caches)
+        seq.caches = []
+        seq.preemptions += 1
+        self._preemptions += 1
+        self.active.remove(seq)
+        self.preempted.append(seq)
+
+    def _can_resume(self, seq: _Sequence) -> bool:
+        """Does the pool's unreserved headroom cover a resumption?
+
+        The resumed sequence's worst case is its full original
+        footprint (``prompt + generated`` rebuilt now, the rest of the
+        generation later), minus the full blocks *live* holders are
+        already keeping in the pool — parked cached-free matches do
+        not count: adopting one costs the same headroom as a fresh
+        allocation.
+        """
+        context = self._scheduling_context()
+        if context.free_blocks is None:
+            return True
+        tokens = seq.resume_tokens
+        needed = worst_case_blocks(
+            len(tokens), seq.remaining_tokens,
+            context.block_size, context.layers,
+        )
+        shareable = self.model.shareable_blocks(tokens, live_only=True)
+        return needed - shareable <= context.free_blocks
+
+    def _resume(self, seq: _Sequence) -> RequestResult | None:
+        """Re-admit a preempted sequence by recompute-on-resume.
+
+        The prompt is re-prefilled through the prefix index (adopting
+        any still-indexed blocks — mostly block-table reconstruction
+        for a warm index), then the already-generated tokens are
+        **replayed through the decode path**. Replaying rebuilds
+        exactly the KV state the unpreempted run had — decode-path
+        attention (quantized when ``kv_bits`` is set) writes the same
+        rows it wrote the first time — so the next token is sampled
+        from the same logits the eviction interrupted and preemption
+        is output-transparent (bit-for-bit on the batch-invariant LUT
+        backends; the reference backend's BLAS is batch-shape
+        sensitive at the ulp level). Returns the completion record if
+        that token finished the request, else ``None``.
+        """
+        seq.caches = self.model.new_caches()
+        started = time.perf_counter()
+        try:
+            self.model.prefill(np.array(seq.request.prompt), seq.caches)
+            # Replay: the first generated token was sampled at prefill,
+            # so every generated token is a decode-step *input*; the
+            # last replay step yields the logits the preemption
+            # interrupted.
+            for token in seq.generated[:-1]:
+                self.model.decode_step(token, seq.caches)
+            logits = self.model.decode_step(seq.generated[-1], seq.caches)
+        except Exception:
+            # A failed resume (true pool exhaustion) must not leak the
+            # partially rebuilt blocks.
+            self.model.free_caches(seq.caches)
+            raise
+        self._resume_ms += (time.perf_counter() - started) * 1e3
+        self._resumes += 1
+        seq.accept(seq.sample(logits))
+        if seq.finish_reason is not None:
+            return self._retire(seq)
+        self.active.append(seq)
+        return None
+
+    def _step_block_need(self, seq: _Sequence) -> int:
+        """Pool blocks the next decode step must allocate for *seq*:
+        one per layer at a block boundary, one per layer whose shared
+        trailing block will be copy-on-written."""
+        pool = self.model.kv_pool
+        need = 0
+        for cache in seq.caches:
+            if cache.length == cache.padded_context():
+                need += 1
+            elif (
+                cache.block_ids
+                and pool.refcount(cache.block_ids[-1]) > 1
+            ):
+                need += 1
+        return need
+
+    # ------------------------------------------------------------------
+    def _admit(self) -> list[RequestResult]:
+        """Resume preempted sequences, then prefill scheduler-selected
+        waiting requests into free slots.
+
+        Preempted requests hold completed work, so they re-enter ahead
+        of new admissions whenever the pool's unreserved headroom
+        covers them. The admission policy is re-consulted after every
+        admission (pool headroom and slot counts change); ``None``
+        stops admission for this step. If nothing is active afterwards
+        but preempted work remains, the head resumption is forced —
+        the progress guarantee that turns PR 4's stall into forward
+        motion (a truly unservable resumption raises instead of
+        spinning). Returns requests that completed already at prefill
+        or at resumption.
         """
         done: list[RequestResult] = []
+        while self.preempted and len(self.active) < self.max_batch_size:
+            if not self._can_resume(self.preempted[0]):
+                break
+            result = self._resume(self.preempted.pop(0))
+            if result is not None:
+                done.append(result)
         while self.waiting and len(self.active) < self.max_batch_size:
             choice = self.scheduler.select(
                 [request for request, _ in self.waiting],
@@ -366,18 +582,58 @@ class ServingEngine:
                 done.append(self._retire(seq))
             else:
                 self.active.append(seq)
+        if not self.active and self.preempted:
+            result = self._resume(self.preempted.pop(0))
+            if result is not None:
+                done.append(result)
+        if self.waiting and not self.active and not self.preempted:
+            # Nothing is in flight, so no future step can free blocks
+            # or change a slot count — if the policy still declines the
+            # queue, it declines it forever. Surface the deadlock
+            # instead of letting run() spin (reachable when a request
+            # admitted through the sharing discount outlives its
+            # donors).
+            head = self.waiting[0][0]
+            raise ServingError(
+                f"admission deadlock: {len(self.waiting)} waiting "
+                f"request(s), nothing active, and the {self.scheduler.name!r}"
+                f" policy declines the head ({head.request_id!r}); the "
+                "pool can never satisfy it"
+            )
         return done
 
     def step(self) -> list[RequestResult]:
         """Admit, run one batched decode step, retire finished sequences.
 
-        Returns the requests that finished during this step — at the
-        decode step or already at prefill.
+        Before the decode, a bounded pool is checked against the
+        step's block needs (boundary allocations + copy-on-write
+        clones); if they do not fit, the preemption policy's victims
+        are evicted until they do. Returns the requests that finished
+        during this step — at the decode step, at prefill, or at a
+        resumption.
         """
         done = self._admit()
         if not self.active:
             return done
         pool = self.model.kv_pool
+        if pool.num_blocks is not None:
+            # Relief valve: preempt until this step's allocations fit.
+            # A single remaining sequence is never preempted — evicting
+            # it cannot create headroom its own resumption wouldn't
+            # need again, so a genuine exhaustion surfaces in the
+            # decode as before.
+            while len(self.active) > 1:
+                needed = sum(
+                    self._step_block_need(seq) for seq in self.active
+                )
+                if needed <= pool.free_blocks:
+                    break
+                order = self.preemption.select_victims(
+                    self.active, self._scheduling_context()
+                )
+                if not order:
+                    break
+                self._preempt(self.active[order[0]])
         self._trace.append(
             StepTrace(
                 step=len(self._trace),
@@ -389,6 +645,8 @@ class ServingEngine:
                 ),
                 kv_blocks_used=pool.used_blocks,
                 kv_blocks_free=pool.free_blocks,
+                preempted=len(self.preempted),
+                kv_blocks_shared=pool.shared_in_use,
             )
         )
         tokens = np.array([seq.last_token for seq in self.active])
@@ -430,6 +688,9 @@ class ServingEngine:
             # request finishing at prefill adds no decode step.
             decode_steps=len(self._trace),
             wall_s=wall,
+            preemptions=self._preemptions,
+            resumes=self._resumes,
+            resume_ms_total=self._resume_ms,
             trace=list(self._trace),
         )
         return results, stats

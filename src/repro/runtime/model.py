@@ -36,6 +36,7 @@ from repro.numerics import softmax
 from repro.runtime.linear import QuantizedLinear
 from repro.runtime.paging import (
     DEFAULT_BLOCK_SIZE,
+    DEFAULT_PREFIX_CACHE_BLOCKS,
     BlockAllocator,
     PagedLayerCache,
     paged_decode_attention,
@@ -74,6 +75,21 @@ class RuntimeConfig:
         pool on demand; a concrete bound makes allocation fail when
         exhausted — pair it with the memory-aware scheduler so
         admission blocks instead.
+    prefix_sharing:
+        Enable copy-on-write prefix sharing: prompts whose leading
+        tokens match blocks already in the pool's prefix index (from
+        live or recently-completed sequences) adopt those blocks
+        read-only and only compute from the first divergent token.
+        Bit-exact by construction; disable to force every sequence
+        onto private blocks (the no-sharing baseline the bench
+        compares against).
+    prefix_cache_blocks:
+        Bound on *parked* (recently-freed, still-indexed) blocks the
+        pool retains for prefix reuse, evicted LRU-first beyond it.
+        ``0`` disables recently-freed sharing entirely; ``None`` keeps
+        every full indexed block until pool pressure reclaims it —
+        unbounded memory growth on an unbounded pool, so only sensible
+        with ``kv_pool_blocks`` set.
     seed:
         Weight-initialization seed.
     """
@@ -86,6 +102,8 @@ class RuntimeConfig:
     max_seq_len: int = 256
     kv_block_size: int = DEFAULT_BLOCK_SIZE
     kv_pool_blocks: int | None = None
+    prefix_sharing: bool = True
+    prefix_cache_blocks: int | None = DEFAULT_PREFIX_CACHE_BLOCKS
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -99,6 +117,8 @@ class RuntimeConfig:
             )
         if self.kv_pool_blocks is not None and self.kv_pool_blocks < 1:
             raise ServingError("kv_pool_blocks must be >= 1 or None")
+        if self.prefix_cache_blocks is not None and self.prefix_cache_blocks < 0:
+            raise ServingError("prefix_cache_blocks must be >= 0 or None")
 
 
 def _layer_norm(x: np.ndarray, gain: np.ndarray, bias: np.ndarray) -> np.ndarray:
@@ -175,6 +195,7 @@ class DecoderModel:
             num_blocks=rt.kv_pool_blocks,
             bits=rt.kv_bits,
             lut_k=rt.lut_k,
+            prefix_cache_blocks=rt.prefix_cache_blocks,
         )
         d = config.hidden
         self.tok_emb = rng.normal(scale=0.08, size=(config.vocab, d))
@@ -193,11 +214,13 @@ class DecoderModel:
             name="head",
         )
         #: Execution counters: the engine/tests read these to prove the
-        #: decode path is incremental (attention cost ~ cached context).
+        #: decode path is incremental (attention cost ~ cached context)
+        #: and that prefix sharing actually skips prefill work.
         self.stats = {
             "prefill_tokens": 0,
             "decode_steps": 0,
             "attn_context_tokens": 0,
+            "shared_prefix_tokens": 0,
         }
 
     # ------------------------------------------------------------------
@@ -206,10 +229,14 @@ class DecoderModel:
 
         Blocks are claimed from the shared pool as tokens arrive; call
         :meth:`free_caches` when the sequence completes so they return
-        for reuse (the engine does this automatically).
+        for reuse (the engine does this automatically). With prefix
+        sharing enabled the caches are layer-tagged so their blocks
+        enter the pool's prefix index and prompts can adopt matches.
         """
+        share = self.runtime.prefix_sharing
         return [
-            PagedLayerCache(self.kv_pool) for _ in range(self.config.layers)
+            PagedLayerCache(self.kv_pool, layer=(li if share else None))
+            for li in range(self.config.layers)
         ]
 
     def free_caches(self, caches: list[PagedLayerCache]) -> None:
@@ -228,20 +255,128 @@ class DecoderModel:
         return tokens
 
     # ------------------------------------------------------------------
-    def prefill(
+    def _match_chains(
+        self, ids: list[int]
+    ) -> tuple[int, list[list[tuple[int, int]]]]:
+        """Per-layer prefix-index chains trimmed to one common coverage.
+
+        Adoption must be symmetric across layers (decode reads one
+        sequence length from the block tables), so every layer's chain
+        is trimmed until all cover the same leading token count.
+        Returns ``(common_tokens, chains)``; ``common_tokens == 0``
+        means no usable match.
+        """
+        pool = self.kv_pool
+        chains = [
+            pool.match_prefix(li, ids) for li in range(self.config.layers)
+        ]
+
+        def cov(chain):
+            return sum(fill for _, fill in chain)
+
+        common = min(cov(chain) for chain in chains)
+        while True:
+            for chain in chains:
+                while chain and cov(chain) > common:
+                    chain.pop()
+            trimmed = min(cov(chain) for chain in chains)
+            if trimmed == common:
+                break
+            common = trimmed
+        if common == 0 or any(cov(chain) != common for chain in chains):
+            return 0, chains
+        return common, chains
+
+    def _adopt_prefix(
         self, tokens: np.ndarray, caches: list[PagedLayerCache]
+    ) -> int:
+        """Map indexed shared blocks as the leading prompt context.
+
+        At least the final prompt token is always left to compute (its
+        logits row feeds sampling), so adoption never covers the whole
+        prompt. Returns the number of adopted (skipped) tokens.
+        """
+        ids = [int(t) for t in tokens[:-1]]
+        if not ids:
+            return 0
+        common, chains = self._match_chains(ids)
+        if common == 0:
+            return 0
+        for cache, chain in zip(caches, chains):
+            cache.adopt_prefix(chain, ids[:common])
+        self.stats["shared_prefix_tokens"] += common
+        return common
+
+    def shareable_blocks(self, token_ids, live_only: bool = False) -> int:
+        """Pool blocks a prompt could adopt from the prefix index now.
+
+        Counts *full* matched blocks only, across all layers: a shared
+        partial block is cloned on the first append past it, so it
+        does not reduce the worst-case private footprint the admission
+        and submit checks reason about.
+
+        ``live_only`` restricts the count to blocks currently held by
+        another table (refcount >= 1). Those are the only matches that
+        reduce *capacity* demand — adopting a parked cached-free block
+        moves it back in use, costing exactly as much pool headroom as
+        a fresh allocation (it only saves the recompute). Every
+        capacity gate (submit's never-fitting rejection, the resume
+        check) must therefore use ``live_only=True``;
+        ``live_only=False`` measures compute savings, e.g. for
+        reporting.
+        """
+        if not self.runtime.prefix_sharing:
+            return 0
+        ids = [int(t) for t in token_ids][:-1]
+        if not ids:
+            return 0
+        common, chains = self._match_chains(ids)
+        if common == 0:
+            return 0
+        pool = self.kv_pool
+        return sum(
+            1
+            for chain in chains
+            for bid, fill in chain
+            if fill == pool.block_size
+            and (not live_only or pool.refcount(bid) >= 1)
+        )
+
+    def prefill(
+        self,
+        tokens: np.ndarray,
+        caches: list[PagedLayerCache],
+        share: bool = True,
     ) -> np.ndarray:
-        """Process a prompt chunk, filling *caches*; returns all logits.
+        """Process a prompt chunk, filling *caches*; returns the logits
+        of every *computed* row.
 
         Attention runs in float over the (past + chunk) context — the
         standard serving split where prefill stays high-precision and KV
-        quantization applies to decode. Output shape is
-        ``(chunk, vocab)``; the last row feeds the first sampled token.
+        quantization applies to decode. When prefix sharing is enabled,
+        *caches* are empty and *share* is true, leading tokens matching
+        the pool's prefix index are adopted instead of computed; the
+        output then covers only the suffix from the first divergent
+        token (bit-identical rows to an unshared prefill — the parity
+        tests pin this). The last row always feeds the first sampled
+        token. Pass ``share=False`` to force full computation (the
+        parity reference path).
         """
         tokens = self._check_tokens(tokens)
         cfg, rt = self.config, self.runtime
-        t = tokens.size
         past = caches[0].length
+        if (
+            share
+            and rt.prefix_sharing
+            and past == 0
+            and tokens.size > 1
+            and all(c.layer is not None for c in caches)
+        ):
+            shared = self._adopt_prefix(tokens, caches)
+            if shared:
+                tokens = tokens[shared:]
+                past = shared
+        t = tokens.size
         if past + t > rt.max_seq_len:
             raise ServingError(
                 f"sequence length {past + t} exceeds max_seq_len "
@@ -265,7 +400,7 @@ class DecoderModel:
             q = layer.wq(h).reshape(t, cfg.heads, hd)
             k = layer.wk(h).reshape(t, cfg.kv_heads, hd)
             v = layer.wv(h).reshape(t, cfg.kv_heads, hd)
-            cache.append(k, v)
+            cache.append(k, v, token_ids=tokens)
             k_all = np.repeat(cache.k_view(), rep, axis=0)
             v_all = np.repeat(cache.v_view(), rep, axis=0)
             # (heads, t, total)
@@ -283,10 +418,14 @@ class DecoderModel:
         return self.head(final)
 
     def forward_full(self, tokens: np.ndarray) -> np.ndarray:
-        """Stateless full-sequence forward (the parity reference)."""
+        """Stateless full-sequence forward (the parity reference).
+
+        Prefix adoption is disabled so every row is computed and the
+        output always has one logits row per input token.
+        """
         caches = self.new_caches()
         try:
-            return self.prefill(tokens, caches)
+            return self.prefill(tokens, caches, share=False)
         finally:
             self.free_caches(caches)
 
@@ -343,7 +482,7 @@ class DecoderModel:
             v = layer.wv(h).reshape(b, cfg.kv_heads, hd)
             attn = np.empty((b, d))
             for s, caches in enumerate(caches_per_seq):
-                caches[li].append(k[s], v[s])
+                caches[li].append(k[s], v[s], token_ids=tokens[s:s + 1])
                 attn[s] = self._decode_attention(q[s], caches[li]).reshape(d)
             x = x + layer.wo(attn)
             h2 = _layer_norm(x, layer.ln2_g, layer.ln2_b)

@@ -42,10 +42,35 @@ per-block partial products in ascending block order — the block
 structure *is* the numeric recipe, and the parity tests pin the whole
 incremental paged path against a from-scratch dense computation of the
 same recipe.
+
+**Copy-on-write prefix sharing.** On top of the pool sits a *prefix
+index*: every block written through a layer-tracking cache is
+registered under a content hash of ``(layer, token ids from position 0
+through the block's last row)``. A new sequence whose prompt starts
+with an indexed prefix *adopts* the matching blocks read-only — the
+block ids are mapped straight into its block table, refcounts bumped,
+and the per-block frozen K plans and V quantization come along for
+free because they are keyed by block id. Only the tokens past the
+shared prefix are computed and allocated. Sharing granularity is the
+whole block at its current fill (a chain of full blocks, optionally
+ended by one partial block matched at its exact content), which is
+what keeps the recipe bit-exact: a shared block's fill always equals
+the shared token count, so no stale rows ever enter a score segment or
+a V quantization group. Writing into a shared block is forbidden at
+the pool layer; :meth:`PagedLayerCache.append` instead performs
+**copy-on-write** — clone the block, swap the clone into the table,
+release the reference on the original — so diverging sequences split
+without disturbing each other. Blocks are refcounted: ``free`` only
+decrements, and storage is scrubbed exactly when the last reference
+drops. Fully-filled indexed blocks whose refcount reaches zero are
+*parked* instead of scrubbed (recently-freed sharing: a completed
+request's prompt blocks keep serving later identical prompts) and are
+reclaimed LRU-first when a bounded pool runs out of virgin blocks.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 
 import numpy as np
@@ -68,6 +93,12 @@ DEFAULT_BLOCK_SIZE = 16
 #: pool then grows geometrically on demand.
 INITIAL_POOL_BLOCKS = 8
 
+#: Default bound on parked (cached-free) prefix blocks. Bounded pools
+#: reclaim parked blocks on demand anyway; without this cap an
+#: *unbounded* pool would retain every distinct prompt's blocks (slabs,
+#: codes, frozen plans) forever.
+DEFAULT_PREFIX_CACHE_BLOCKS = 64
+
 
 class BlockAllocator:
     """Shared fixed-size-block KV pool for one model's serving state.
@@ -89,6 +120,7 @@ class BlockAllocator:
         num_blocks: int | None = None,
         bits: int | None = None,
         lut_k: int = DEFAULT_K,
+        prefix_cache_blocks: int | None = DEFAULT_PREFIX_CACHE_BLOCKS,
     ) -> None:
         if kv_heads < 1 or head_dim < 1:
             raise ServingError("kv_heads and head_dim must be positive")
@@ -109,6 +141,11 @@ class BlockAllocator:
             )
         if num_blocks is not None and num_blocks < 1:
             raise ServingError("num_blocks must be >= 1 or None")
+        if prefix_cache_blocks is not None and prefix_cache_blocks < 0:
+            raise ServingError(
+                "prefix_cache_blocks must be >= 0 or None"
+            )
+        self.prefix_cache_blocks = prefix_cache_blocks
         self.kv_heads = kv_heads
         self.head_dim = head_dim
         self.block_size = block_size
@@ -126,6 +163,24 @@ class BlockAllocator:
         self._in_use: set[int] = set()
         self._ever_used: set[int] = set()
         self._fill = np.zeros(cap, dtype=np.int64)
+        #: References per block: block-table entries naming the block.
+        #: ``free`` decrements; storage is scrubbed only at zero.
+        self._refcount = np.zeros(cap, dtype=np.int64)
+        #: Prefix index: chained content digest -> block id, plus the
+        #: reverse maps needed to keep entries honest (the block's own
+        #: token ids for exact verification, one key per block). A
+        #: block's key hashes (layer, predecessor key, own tokens), so
+        #: maintaining the trailing entry is O(block) per append, not
+        #: O(context). Entries describe a block's *current* rows
+        #: exactly — any write drops the stale entry before touching
+        #: storage.
+        self._prefix_index: dict[bytes, int] = {}
+        self._block_key: dict[int, bytes] = {}
+        self._block_tokens: dict[int, tuple[int, ...]] = {}
+        #: Recently-freed full indexed blocks, refcount 0 but contents
+        #: (and frozen plans) intact, in park order — resurrected by
+        #: prefix matches, reclaimed LRU-first under pool pressure.
+        self._cached_free: dict[int, None] = {}
         #: Per-block, per-KV-head K score plans (built lazily, extended
         #: incrementally) and V quantization caches, keyed by block id.
         self._k_plans: dict[int, list[WeightPlan]] = {}
@@ -137,10 +192,18 @@ class BlockAllocator:
         #: stays constant (one column per KV head per layer) no matter
         #: how long the context is; the serving bench reads the
         #: ``*_s`` timers to prove per-step plan time is flat.
+        #: ``shared`` counts prefix-index adoptions (each one is a block
+        #: allocation avoided), ``cow`` copy-on-write clones, ``cached``/
+        #: ``evicted`` the recently-freed park/reclaim traffic.
         self.stats: dict[str, float] = {
             "allocated": 0,
             "freed": 0,
             "reused": 0,
+            "shared": 0,
+            "cow": 0,
+            "cached": 0,
+            "evicted": 0,
+            "prefix_tokens": 0,
             "k_plan_cols": 0,
             "k_plan_s": 0.0,
             "v_quant_cols": 0,
@@ -175,6 +238,9 @@ class BlockAllocator:
         fill = np.zeros(new_cap, dtype=np.int64)
         fill[:old_cap] = self._fill
         self._fill = fill
+        refcount = np.zeros(new_cap, dtype=np.int64)
+        refcount[:old_cap] = self._refcount
+        self._refcount = refcount
         self._free.extend(range(new_cap - 1, old_cap - 1, -1))
 
     # ------------------------------------------------------------------
@@ -200,17 +266,31 @@ class BlockAllocator:
 
     # ------------------------------------------------------------------
     def allocate(self) -> int:
-        """Claim a free block; raises when a bounded pool is exhausted."""
+        """Claim a free block; raises when a bounded pool is exhausted.
+
+        Virgin/scrubbed blocks are handed out first; when none remain
+        in a bounded pool, the least-recently-parked cached-free block
+        is evicted from the prefix index and reclaimed. An unbounded
+        pool grows instead, keeping its prefix cache warm.
+        """
         if not self._free:
             if self.num_blocks is not None:
-                raise ServingError(
-                    f"KV block pool exhausted ({self.num_blocks} blocks in "
-                    "use); complete requests to free blocks or admit with "
-                    "the memory-aware scheduler"
-                )
-            self._grow()
+                if not self._cached_free:
+                    raise ServingError(
+                        f"KV block pool exhausted ({self.num_blocks} "
+                        "blocks in use); complete requests to free blocks "
+                        "or admit with the memory-aware scheduler"
+                    )
+                victim = next(iter(self._cached_free))
+                del self._cached_free[victim]
+                self._unregister(victim)
+                self._scrub_to_free(victim)
+                self.stats["evicted"] += 1
+            else:
+                self._grow()
         bid = self._free.pop()
         self._in_use.add(bid)
+        self._refcount[bid] = 1
         if bid in self._ever_used:
             self.stats["reused"] += 1
         else:
@@ -220,10 +300,47 @@ class BlockAllocator:
         return bid
 
     def free(self, block_id: int) -> None:
-        """Return a block to the pool, scrubbing its state for reuse."""
+        """Release one reference on a block.
+
+        Refcounted: a shared block merely loses one holder and its
+        contents are untouched. When the *last* reference drops, a
+        fully-filled prefix-indexed block is parked in the cached-free
+        set (recently-freed sharing — its rows, frozen K plans and V
+        quantization keep serving later identical prompts until the
+        pool reclaims it); anything else is scrubbed and returned to
+        the free list immediately.
+        """
         if block_id not in self._in_use:
             raise ServingError(f"block {block_id} is not allocated")
+        self._refcount[block_id] -= 1
+        self.stats["freed"] += 1
+        if self._refcount[block_id] > 0:
+            return
         self._in_use.remove(block_id)
+        if (
+            self._block_key.get(block_id) is not None
+            and int(self._fill[block_id]) == self.block_size
+            and self.prefix_cache_blocks != 0
+        ):
+            self._cached_free[block_id] = None
+            self.stats["cached"] += 1
+            # Bound the parked set (LRU): without a cap an unbounded
+            # pool would retain every distinct prompt's blocks forever.
+            while (
+                self.prefix_cache_blocks is not None
+                and len(self._cached_free) > self.prefix_cache_blocks
+            ):
+                victim = next(iter(self._cached_free))
+                del self._cached_free[victim]
+                self._unregister(victim)
+                self._scrub_to_free(victim)
+                self.stats["evicted"] += 1
+        else:
+            self._unregister(block_id)
+            self._scrub_to_free(block_id)
+
+    def _scrub_to_free(self, block_id: int) -> None:
+        """Zero a dead block's storage and return it to the free list."""
         self._k[block_id] = 0.0
         self._v[block_id] = 0.0
         if self.bits is not None:
@@ -231,10 +348,157 @@ class BlockAllocator:
             self._k_scale[block_id] = 1.0
             self._k_zp[block_id] = 0.0
         self._fill[block_id] = 0
+        self._refcount[block_id] = 0
         self._k_plans.pop(block_id, None)
         self._v_cache.pop(block_id, None)
         self._free.append(block_id)
-        self.stats["freed"] += 1
+
+    # -- prefix sharing ------------------------------------------------
+    def refcount(self, block_id: int) -> int:
+        """Live block-table references on a block (0 when parked/free)."""
+        return int(self._refcount[block_id])
+
+    @property
+    def shared_in_use(self) -> int:
+        """In-use blocks currently referenced by more than one table."""
+        return sum(1 for bid in self._in_use if self._refcount[bid] > 1)
+
+    @property
+    def cached_free_blocks(self) -> int:
+        """Recently-freed blocks parked for prefix reuse."""
+        return len(self._cached_free)
+
+    @staticmethod
+    def prefix_key(layer: int, prev_key: bytes, tokens) -> bytes:
+        """Chained content digest of one block: the layer, the
+        predecessor block's key (``b""`` for the first block), and the
+        block's own token ids (the KV head group is the whole block —
+        blocks hold all KV heads). Equal keys imply equal full leading
+        histories by induction, so per-append index maintenance hashes
+        only one block's tokens instead of the whole context."""
+        digest = hashlib.sha256()
+        digest.update(np.int64(layer).tobytes())
+        digest.update(prev_key)
+        digest.update(np.asarray(tokens, dtype=np.int64).tobytes())
+        return digest.digest()
+
+    def _unregister(self, block_id: int) -> None:
+        key = self._block_key.pop(block_id, None)
+        if key is not None and self._prefix_index.get(key) == block_id:
+            del self._prefix_index[key]
+        self._block_tokens.pop(block_id, None)
+
+    def register_prefix(
+        self, block_id: int, key: bytes, block_tokens
+    ) -> None:
+        """(Re-)index a block under its chained content digest.
+
+        *key* is the :meth:`prefix_key` of the block's position in its
+        chain and *block_tokens* the block's own token ids (stored for
+        exact verification on match — a hash collision cannot cause
+        false sharing of the block itself). A block holds exactly one
+        index entry; a partial trailing block's entry is replaced every
+        time it grows. If another block already owns the key (identical
+        content computed twice), the newcomer becomes canonical and the
+        displaced block's registration is dropped.
+        """
+        if block_id not in self._in_use:
+            raise ServingError(
+                f"block {block_id} is not allocated; cannot index it"
+            )
+        self._unregister(block_id)
+        prev = self._prefix_index.get(key)
+        if prev is not None and prev != block_id:
+            self._block_key.pop(prev, None)
+            self._block_tokens.pop(prev, None)
+            if prev in self._cached_free:
+                # A parked block only exists to serve the index; once
+                # displaced it is unreachable — reclaim it now.
+                del self._cached_free[prev]
+                self._scrub_to_free(prev)
+                self.stats["evicted"] += 1
+        self._prefix_index[key] = block_id
+        self._block_key[block_id] = key
+        self._block_tokens[block_id] = tuple(int(t) for t in block_tokens)
+
+    def match_prefix(self, layer: int, tokens) -> list[tuple[int, int]]:
+        """Longest indexed block chain covering a leading run of *tokens*.
+
+        Returns ``[(block_id, fill), ...]`` — full blocks, optionally
+        ended by one partial block matched at its exact current
+        content (fill == matched token count, the invariant that keeps
+        shared decode bit-exact). Every hit's own token ids are
+        verified against the stored tuple, and the chained key pins the
+        history before it. Matched blocks may be live or parked;
+        nothing is adopted yet.
+        """
+        ids = [int(t) for t in tokens]
+        chain: list[tuple[int, int]] = []
+        pos = 0
+        prev_key = b""
+        while pos < len(ids):
+            found = None
+            for fill in range(min(self.block_size, len(ids) - pos), 0, -1):
+                segment = tuple(ids[pos: pos + fill])
+                key = self.prefix_key(layer, prev_key, segment)
+                bid = self._prefix_index.get(key)
+                if bid is None:
+                    continue
+                if self._block_tokens.get(bid) != segment:
+                    continue
+                if int(self._fill[bid]) != fill:
+                    continue
+                found = (bid, fill, key)
+                break
+            if found is None:
+                break
+            chain.append(found[:2])
+            pos += found[1]
+            prev_key = found[2]
+            if found[1] < self.block_size:
+                break  # a partial block can only end a chain
+        return chain
+
+    def adopt(self, block_id: int) -> None:
+        """Map an indexed block into one more table (read-only share).
+
+        Live blocks gain a reference; parked cached-free blocks are
+        resurrected with their contents and frozen plans intact.
+        """
+        if block_id in self._cached_free:
+            del self._cached_free[block_id]
+            self._in_use.add(block_id)
+            self._refcount[block_id] = 1
+        elif block_id in self._in_use:
+            self._refcount[block_id] += 1
+        else:
+            raise ServingError(
+                f"block {block_id} is neither live nor parked; "
+                "cannot adopt it"
+            )
+        self.stats["shared"] += 1
+
+    def cow_clone(self, block_id: int) -> int:
+        """Copy-on-write: clone a shared block into a fresh private one.
+
+        Copies the float slabs, quantized K state and fill; the clone's
+        K plans and V quantization rebuild lazily from the (identical)
+        codes, so the first post-divergence decode step reproduces the
+        from-scratch recipe bit for bit. The caller swaps the clone
+        into its table and releases its reference on the original.
+        """
+        if block_id not in self._in_use:
+            raise ServingError(f"block {block_id} is not allocated")
+        new = self.allocate()
+        self._k[new] = self._k[block_id]
+        self._v[new] = self._v[block_id]
+        if self.bits is not None:
+            self._k_codes[new] = self._k_codes[block_id]
+            self._k_scale[new] = self._k_scale[block_id]
+            self._k_zp[new] = self._k_zp[block_id]
+        self._fill[new] = self._fill[block_id]
+        self.stats["cow"] += 1
+        return new
 
     # ------------------------------------------------------------------
     def write_rows(
@@ -246,8 +510,19 @@ class BlockAllocator:
         scales — independent of every other row, hence equal to a
         from-scratch quantize), extends the block's K plans if they are
         already materialized, and invalidates the block's V cache (its
-        trailing group's scales may have changed).
+        trailing group's scales may have changed). Shared blocks are
+        read-only at this layer: writing one is an error — callers must
+        go through :meth:`cow_clone` first. A stale prefix-index entry
+        for the block is dropped before the rows land (the caller
+        re-registers the grown content afterwards if it tracks tokens).
         """
+        if self._refcount[block_id] > 1:
+            raise ServingError(
+                f"block {block_id} is shared by {self.refcount(block_id)} "
+                "tables; copy-on-write before appending"
+            )
+        if self._block_key.get(block_id) is not None:
+            self._unregister(block_id)
         t_new = k_rows.shape[0]
         off = int(self._fill[block_id])
         if off + t_new > self.block_size:
@@ -367,12 +642,27 @@ class PagedLayerCache:
     instead of rebuilding full-context state each step. Call
     :meth:`release` when the sequence completes so the blocks return to
     the pool.
+
+    With ``layer`` set the cache participates in prefix sharing: every
+    append that carries token ids (re-)registers the trailing block in
+    the pool's prefix index, :meth:`adopt_prefix` maps another
+    sequence's matching blocks read-only, and an append into a shared
+    trailing block transparently copy-on-writes it. ``layer=None``
+    (default) keeps the pre-sharing behavior for direct users.
     """
 
-    def __init__(self, pool: BlockAllocator) -> None:
+    def __init__(
+        self, pool: BlockAllocator, layer: int | None = None
+    ) -> None:
         self.pool = pool
+        self.layer = layer
         self.block_ids: list[int] = []
         self.length = 0
+        self._tokens: list[int] = []
+        #: Chained prefix digest per block (trailing entry replaced as
+        #: the block grows) — keeps per-append index maintenance
+        #: O(block) instead of re-hashing the whole history.
+        self._chain: list[bytes] = []
         self._released = False
 
     # -- delegated geometry --------------------------------------------
@@ -407,9 +697,57 @@ class PagedLayerCache:
         )
 
     # ------------------------------------------------------------------
-    def append(self, k_rows: np.ndarray, v_rows: np.ndarray) -> None:
+    def adopt_prefix(self, chain: list[tuple[int, int]], tokens) -> int:
+        """Map an already-matched shared block chain as leading context.
+
+        *chain* is a :meth:`BlockAllocator.match_prefix` result and
+        *tokens* the token ids it covers. Every block is adopted
+        (refcount bumped / resurrected) and appended to this cache's
+        block table; nothing is computed or copied — the shared rows,
+        frozen K plans and V quantization are reused as-is. Must be
+        called on an empty cache. Returns the shared token count.
+        """
+        if self._released:
+            raise ServingError("cache was released back to the pool")
+        if self.block_ids or self.length:
+            raise ServingError("prefix adoption requires an empty cache")
+        covered = sum(fill for _, fill in chain)
+        if covered != len(tokens):
+            raise ServingError(
+                f"chain covers {covered} tokens, got {len(tokens)} ids"
+            )
+        for bid, _ in chain:
+            self.pool.adopt(bid)
+            self.block_ids.append(bid)
+        self.length = covered
+        self._tokens = [int(t) for t in tokens]
+        if self.layer is not None:
+            prev, pos = b"", 0
+            for _, fill in chain:
+                prev = self.pool.prefix_key(
+                    self.layer, prev, self._tokens[pos:pos + fill]
+                )
+                self._chain.append(prev)
+                pos += fill
+        self.pool.stats["prefix_tokens"] += covered
+        return covered
+
+    def append(
+        self,
+        k_rows: np.ndarray,
+        v_rows: np.ndarray,
+        token_ids=None,
+    ) -> None:
         """Extend the sequence by one or more tokens (same contract as
-        :meth:`LayerKvCache.append`), allocating blocks on demand."""
+        :meth:`LayerKvCache.append`), allocating blocks on demand.
+
+        With ``layer`` set and *token_ids* provided (one id per row),
+        the trailing block is (re-)registered in the pool's prefix
+        index after the rows land; an append that would write into a
+        *shared* trailing block first copy-on-writes it — the clone
+        replaces it in this table and the reference on the original is
+        released, leaving other holders untouched.
+        """
         if self._released:
             raise ServingError("cache was released back to the pool")
         k_rows = np.asarray(k_rows, dtype=np.float64)
@@ -425,12 +763,27 @@ class PagedLayerCache:
                 f"expected rows of shape (*, {self.kv_heads}, "
                 f"{self.head_dim}), got {k_rows.shape} / {v_rows.shape}"
             )
-        written = 0
         total = k_rows.shape[0]
+        track = self.layer is not None and token_ids is not None
+        if track:
+            ids = np.atleast_1d(np.asarray(token_ids, dtype=np.int64))
+            if ids.shape != (total,):
+                raise ServingError(
+                    f"expected {total} token ids, got shape {ids.shape}"
+                )
+            if len(self._tokens) != self.length:
+                # Earlier rows arrived untracked; prefix keys derived
+                # from a partial history would lie about block content.
+                track = False
+        written = 0
         while written < total:
             off = self.length % self.block_size
             if off == 0 and self.length == self.padded_context():
                 self.block_ids.append(self.pool.allocate())
+            elif self.pool.refcount(self.block_ids[-1]) > 1:
+                shared = self.block_ids[-1]
+                self.block_ids[-1] = self.pool.cow_clone(shared)
+                self.pool.free(shared)
             take = min(self.block_size - off, total - written)
             self.pool.write_rows(
                 self.block_ids[-1],
@@ -439,15 +792,39 @@ class PagedLayerCache:
             )
             self.length += take
             written += take
+            if track:
+                self._tokens.extend(int(t) for t in ids[written - take:written])
+                start = (len(self.block_ids) - 1) * self.block_size
+                segment = self._tokens[start:self.length]
+                # Predecessor digest: index n-2 is right whether the
+                # trailing entry already exists (block grew) or is
+                # about to be appended (first rows of a new block).
+                prev = (
+                    self._chain[len(self.block_ids) - 2]
+                    if len(self.block_ids) > 1 else b""
+                )
+                key = self.pool.prefix_key(self.layer, prev, segment)
+                if len(self._chain) == len(self.block_ids):
+                    self._chain[-1] = key       # trailing block grew
+                else:
+                    self._chain.append(key)     # first rows of a block
+                self.pool.register_prefix(self.block_ids[-1], key, segment)
 
     def release(self) -> None:
-        """Return every block to the pool (idempotent)."""
+        """Release every block reference (idempotent).
+
+        Shared blocks survive for their other holders; fully-filled
+        indexed blocks this cache owned outright are parked for
+        recently-freed prefix reuse; everything else is scrubbed.
+        """
         if self._released:
             return
         for bid in self.block_ids:
             self.pool.free(bid)
         self.block_ids = []
         self.length = 0
+        self._tokens = []
+        self._chain = []
         self._released = True
 
     # ------------------------------------------------------------------
@@ -562,6 +939,7 @@ def paged_decode_attention(
 __all__ = [
     "BlockAllocator",
     "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_PREFIX_CACHE_BLOCKS",
     "INITIAL_POOL_BLOCKS",
     "PagedLayerCache",
     "paged_decode_attention",

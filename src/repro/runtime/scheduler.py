@@ -22,6 +22,23 @@ decode slots, pool occupancy, block geometry) plus the waiting queue in
 arrival order, and return the index of the request to admit or ``None``
 to admit nothing this step. The engine re-consults the policy after
 every admission, so a policy can admit several requests per step.
+
+Admission back-pressure only gates at entry; once sequences are
+running, a bounded pool that runs hot needs a relief valve. That is the
+:class:`PreemptionPolicy` seam: when the next decode step cannot
+allocate its blocks, the engine asks the policy to rank the active
+sequences as eviction candidates and preempts from the front of that
+ranking until the step fits. A preempted sequence's non-shared blocks
+return to the pool and its state collapses to a recompute-on-resume
+record; resumption re-prefills ``prompt + generated`` through the
+prefix index, so re-admission is mostly block-table reconstruction.
+
+- ``priority-remaining`` (default) — evict the lowest
+  :attr:`~repro.runtime.engine.Request.priority` first, break ties by
+  the longest remaining generation (the victim that would hold its
+  blocks longest), then by latest admission;
+- ``latest-first`` — LIFO: the most recently admitted sequence goes
+  first, protecting the oldest in-flight work.
 """
 
 from __future__ import annotations
@@ -65,12 +82,19 @@ class SchedulingContext:
         Tokens per KV block.
     layers:
         Decoder layers — every token occupies one block slot per layer.
+    live_shareable:
+        Optional callable mapping a prompt (token sequence) to the
+        number of its worst-case blocks *live* sequences already hold
+        in the prefix index — blocks the request would adopt instead
+        of allocating. Memory-gating policies subtract it so requests
+        admitted through submit's sharing discount stay admissible.
     """
 
     free_slots: int
     free_blocks: int | None
     block_size: int
     layers: int
+    live_shareable: Callable[[Sequence[int]], int] | None = None
 
     def blocks_needed(self, prompt_len: int, max_new_tokens: int) -> int:
         """Pool blocks a request needs at its maximum sequence length."""
@@ -135,6 +159,12 @@ class MemoryAwareAdmissionPolicy:
             needed = context.blocks_needed(
                 len(request.prompt), request.max_new_tokens
             )
+            if context.live_shareable is not None:
+                # Blocks live sequences already hold for this prompt's
+                # prefix are adopted, not allocated — without this
+                # discount a request submit admitted via sharing could
+                # wait forever.
+                needed -= context.live_shareable(request.prompt)
             if needed > context.free_blocks:
                 return None
         return 0
@@ -165,13 +195,94 @@ def get_scheduler(policy: str | SchedulerPolicy) -> SchedulerPolicy:
     return policy
 
 
+@runtime_checkable
+class PreemptionPolicy(Protocol):
+    """Contract every preemption (victim-selection) policy implements."""
+
+    name: str
+
+    def select_victims(
+        self, active: Sequence, context: SchedulingContext
+    ) -> Sequence[int]:
+        """Rank the active sequences as eviction candidates.
+
+        *active* holds the engine's in-flight sequence objects, each
+        exposing ``priority`` (the request's priority), the live
+        ``remaining_tokens`` count and the underlying ``request``; it
+        is never empty when the engine asks. Returns indices into
+        *active*, best-victim first; the engine preempts from the
+        front of the ranking until the next decode step's block needs
+        fit the pool.
+        """
+        ...
+
+
+class PriorityRemainingPolicy:
+    """Evict lowest priority first, ties by longest remaining
+    generation (the sequence that would pin its blocks longest), then
+    by latest admission — the default relief valve."""
+
+    name = "priority-remaining"
+
+    def select_victims(self, active, context):
+        return sorted(
+            range(len(active)),
+            key=lambda i: (
+                active[i].priority,
+                -active[i].remaining_tokens,
+                -i,
+            ),
+        )
+
+
+class LatestAdmittedFirstPolicy:
+    """LIFO eviction: newest sequence first, oldest work protected."""
+
+    name = "latest-first"
+
+    def select_victims(self, active, context):
+        return list(range(len(active) - 1, -1, -1))
+
+
+#: Built-in preemption policy constructors by name.
+PREEMPTION_POLICIES: dict[str, Callable[[], PreemptionPolicy]] = {
+    "priority-remaining": PriorityRemainingPolicy,
+    "latest-first": LatestAdmittedFirstPolicy,
+}
+
+
+def get_preemption_policy(
+    policy: str | PreemptionPolicy,
+) -> PreemptionPolicy:
+    """Resolve a preemption policy name (or pass an instance through)."""
+    if isinstance(policy, str):
+        try:
+            return PREEMPTION_POLICIES[policy]()
+        except KeyError:
+            raise ServingError(
+                f"unknown preemption policy {policy!r}; "
+                f"available: {', '.join(sorted(PREEMPTION_POLICIES))}"
+            ) from None
+    if not isinstance(policy, PreemptionPolicy):
+        raise ServingError(
+            "preemption must be a policy name or implement "
+            "PreemptionPolicy"
+        )
+    return policy
+
+
 __all__ = [
     "FifoPolicy",
+    "LatestAdmittedFirstPolicy",
     "MemoryAwareAdmissionPolicy",
+    "PREEMPTION_POLICIES",
+    "PreemptionPolicy",
+    "PriorityRemainingPolicy",
     "SCHEDULERS",
     "SchedulerPolicy",
     "SchedulingContext",
     "ShortestPromptFirstPolicy",
+    "get_preemption_policy",
     "get_scheduler",
     "worst_case_blocks",
 ]
