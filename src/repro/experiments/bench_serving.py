@@ -89,6 +89,15 @@ SHARED_REQUESTS = 8
 #: co-admitted worst cases so the decode loop must preempt.
 PRESSURE_POOL_BLOCKS = 6
 PRESSURE_REQUESTS = 4
+#: Fused-decode guard: LUT variants, request count, and batch bound of
+#: the fused-vs-unfused throughput measurement tracked in
+#: ``BENCH_serving.json`` (the serving-perf-guard CI lane).
+FUSED_GUARD_VARIANTS: tuple[tuple[str, int], ...] = (
+    ("lut-blocked", 4),
+    ("lut-naive", 4),
+)
+FUSED_REQUESTS = 16
+FUSED_MAX_BATCH = 8
 
 META = ExperimentMeta(
     title="Serving engine: continuous-batching throughput per kernel backend",
@@ -155,10 +164,12 @@ class ServingBenchRow:
     mean_resume_ms: float = 0.0
 
 
-def _mixed_requests(rng: np.random.Generator) -> list[Request]:
+def _mixed_requests(
+    rng: np.random.Generator, count: int = NUM_REQUESTS
+) -> list[Request]:
     """Short/long prompts crossed with short/long generations."""
     requests = []
-    for i in range(NUM_REQUESTS):
+    for i in range(count):
         prompt_len = int(rng.integers(4, 24)) if i % 2 else int(
             rng.integers(24, 48)
         )
@@ -320,6 +331,7 @@ def _serve(
     max_batch: int = MAX_BATCH,
     prefix_sharing: bool = True,
     kv_pool_blocks: int | None = None,
+    fused: bool = True,
 ):
     model = DecoderModel(
         BENCH_MODEL,
@@ -330,6 +342,7 @@ def _serve(
             max_seq_len=MAX_SEQ_LEN,
             kv_pool_blocks=kv_pool_blocks,
             prefix_sharing=prefix_sharing,
+            fused_decode=fused,
             seed=SEED,
         ),
     )
@@ -340,6 +353,96 @@ def _serve(
         engine.submit(request)
     results, stats = engine.run()
     return model, results, stats
+
+
+def measure_fused_speedup(
+    variants: tuple[tuple[str, int], ...] = FUSED_GUARD_VARIANTS,
+) -> dict:
+    """Fused vs per-sequence decode throughput on a mixed workload.
+
+    Runs the same ``FUSED_REQUESTS``-request mixed stream twice per LUT
+    variant at ``max_batch = FUSED_MAX_BATCH`` — once through the
+    batch-fused decode attention, once through the per-sequence
+    per-block oracle — and reports the tracked perf trajectory the
+    serving-perf-guard CI lane diffs (``BENCH_serving.json``).
+
+    The fused path claims *bit-identical* token streams on the LUT
+    backends; this measurement **fails** (RuntimeError) if any request's
+    tokens differ between the two runs, so the speedup number can never
+    be bought with a numerics change.
+    """
+    variants_out = {}
+    for backend, kv_bits in variants:
+        runs = {}
+        for fused in (True, False):
+            # Identical request stream both ways (fresh RNG each run).
+            requests = _mixed_requests(
+                np.random.default_rng(SEED), count=FUSED_REQUESTS
+            )
+            _, results, stats = _serve(
+                requests, backend=backend, kv_bits=kv_bits,
+                scheduler="fifo", max_batch=FUSED_MAX_BATCH, fused=fused,
+            )
+            # Decode throughput: the fused dispatch only changes the
+            # decode loop, so prefill and resume wall time (identical
+            # on both paths) is excluded from the tracked number.
+            decode_s = max(
+                1e-9,
+                stats.wall_s
+                - sum(r.prefill_ms for r in results) / 1e3
+                - stats.resume_ms_total / 1e3,
+            )
+            runs[fused] = (
+                {r.request_id: tuple(r.tokens) for r in results},
+                stats,
+                stats.generated_tokens / decode_s,
+            )
+        fused_tokens, fused_stats, fused_tok_s = runs[True]
+        oracle_tokens, _, oracle_tok_s = runs[False]
+        if fused_tokens != oracle_tokens:
+            raise RuntimeError(
+                "fused guard: token streams diverged from the "
+                f"per-sequence oracle (backend={backend}, "
+                f"kv_bits={kv_bits})"
+            )
+        key = f"{backend}-int{kv_bits}"
+        variants_out[key] = {
+            "backend": backend,
+            "kv_bits": kv_bits,
+            "max_batch": FUSED_MAX_BATCH,
+            "requests": FUSED_REQUESTS,
+            "generated_tokens": fused_stats.generated_tokens,
+            "mean_batch": round(fused_stats.mean_batch, 2),
+            "fused_tok_s": round(fused_tok_s, 1),
+            "unfused_tok_s": round(oracle_tok_s, 1),
+            "speedup": round(fused_tok_s / oracle_tok_s, 2),
+        }
+    return {
+        "bench": "serving-fused-decode",
+        "model": BENCH_MODEL.name,
+        "weight_bits": WEIGHT_BITS,
+        "seed": SEED,
+        "variants": variants_out,
+    }
+
+
+def format_fused_result(report: dict) -> str:
+    lines = [
+        f"Fused decode speedup: {FUSED_REQUESTS} mixed requests, "
+        f"max_batch={FUSED_MAX_BATCH}, W{WEIGHT_BITS} weights "
+        f"({BENCH_MODEL.name}), token streams bit-identical "
+        "fused vs per-sequence; tok/s is decode-only (prefill/resume "
+        "wall excluded)",
+        f"{'variant':>20} {'gen tok':>8} {'batch':>6} "
+        f"{'fused tok/s':>12} {'unfused':>8} {'speedup':>8}",
+    ]
+    for key, row in report["variants"].items():
+        lines.append(
+            f"{key:>20} {row['generated_tokens']:>8} "
+            f"{row['mean_batch']:>6.1f} {row['fused_tok_s']:>12.1f} "
+            f"{row['unfused_tok_s']:>8.1f} {row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
 
 
 def run(
@@ -544,14 +647,36 @@ if __name__ == "__main__":
         "--smoke", action="store_true",
         help="single quantized variant only (fast CI smoke)",
     )
+    parser.add_argument(
+        "--fused-guard", action="store_true",
+        help="measure fused vs per-sequence decode throughput (with "
+        "bit-identity check) instead of the workload bench",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="with --fused-guard: also write the measurement as JSON "
+        "(the BENCH_serving.json schema the perf guard diffs)",
+    )
     args = parser.parse_args()
-    smoke_variants = (("lut-blocked", 4),)
-    print(
-        format_result(
-            run(
-                variants=smoke_variants if args.smoke else VARIANTS,
-                scheduler=args.scheduler,
-                workload=args.workload,
+    if args.fused_guard:
+        import json
+        import pathlib
+
+        report = measure_fused_speedup()
+        print(format_fused_result(report))
+        if args.json:
+            path = pathlib.Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(report, indent=2) + "\n")
+            print(f"wrote {path}")
+    else:
+        smoke_variants = (("lut-blocked", 4),)
+        print(
+            format_result(
+                run(
+                    variants=smoke_variants if args.smoke else VARIANTS,
+                    scheduler=args.scheduler,
+                    workload=args.workload,
+                )
             )
         )
-    )

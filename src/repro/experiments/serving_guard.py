@@ -1,0 +1,122 @@
+"""Serving-perf-guard comparison: fused decode speedup vs the tracked
+baseline.
+
+The serving-perf-guard CI lane runs
+``python -m repro.experiments.bench_serving --fused-guard --json ...``
+to produce a fresh fused-vs-per-sequence decode throughput report, then
+calls this module to diff it against the committed ``BENCH_serving.json``
+at the repo root — the tracked perf trajectory. The guard fails when:
+
+- a baseline variant is missing from the current report;
+- a variant's fused-over-unfused speedup fell more than
+  ``MAX_REGRESSION`` (20%) below its committed baseline speedup; or
+- a variant's speedup fell below the absolute ``SPEEDUP_FLOOR`` (2x) —
+  the bar the fused dispatch was landed against, which holds even if a
+  slow baseline was ever committed.
+
+Raw tok/s numbers are machine-dependent and are *not* compared — only
+the fused/unfused ratio, which is measured on the same machine in the
+same process and is stable across hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+#: Largest tolerated relative drop of a variant's speedup vs baseline.
+MAX_REGRESSION = 0.20
+#: Absolute minimum fused-over-unfused decode speedup per variant.
+SPEEDUP_FLOOR = 2.0
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    max_regression: float = MAX_REGRESSION,
+    floor: float = SPEEDUP_FLOOR,
+) -> list[str]:
+    """Diff two ``BENCH_serving.json`` reports; returns failure strings
+    (empty list = guard passes)."""
+    failures: list[str] = []
+    current_variants = current.get("variants", {})
+    baseline_variants = baseline.get("variants", {})
+    if not baseline_variants:
+        failures.append("baseline report has no variants")
+    for key, base_row in baseline_variants.items():
+        row = current_variants.get(key)
+        if row is None:
+            failures.append(
+                f"{key}: present in baseline but missing from the "
+                "current report"
+            )
+            continue
+        speedup = float(row["speedup"])
+        base_speedup = float(base_row["speedup"])
+        allowed = base_speedup * (1.0 - max_regression)
+        if speedup < allowed:
+            failures.append(
+                f"{key}: fused speedup {speedup:.2f}x regressed more "
+                f"than {max_regression:.0%} below the baseline "
+                f"{base_speedup:.2f}x (allowed >= {allowed:.2f}x)"
+            )
+        if speedup < floor:
+            failures.append(
+                f"{key}: fused speedup {speedup:.2f}x is below the "
+                f"absolute {floor:.1f}x floor"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Fail when the fused decode speedup regressed vs "
+        "the committed BENCH_serving.json baseline"
+    )
+    parser.add_argument(
+        "current", help="freshly measured report (bench_serving "
+        "--fused-guard --json)",
+    )
+    parser.add_argument(
+        "baseline", help="committed baseline report (BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=MAX_REGRESSION,
+        help="tolerated relative speedup drop vs baseline "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=SPEEDUP_FLOOR,
+        help="absolute minimum speedup per variant (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    current = json.loads(pathlib.Path(args.current).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    failures = compare_reports(
+        current, baseline,
+        max_regression=args.max_regression, floor=args.floor,
+    )
+    for key, row in sorted(current.get("variants", {}).items()):
+        base = baseline.get("variants", {}).get(key, {})
+        print(
+            f"{key}: speedup {row['speedup']:.2f}x "
+            f"(baseline {base.get('speedup', '?')}x, "
+            f"fused {row['fused_tok_s']} tok/s, "
+            f"unfused {row['unfused_tok_s']} tok/s)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"serving-perf-guard OK: every variant within "
+        f"{args.max_regression:.0%} of baseline and above the "
+        f"{args.floor:.1f}x floor"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,9 +21,11 @@ from repro.kernels.backends import (
     LutNaiveBackend,
     MpGemmBackend,
     ReferenceBackend,
+    effective_activations,
     gather_grouped_blocked,
     sum_groups,
 )
+from repro.kernels.fused import rowwise_dequant_execute, rowwise_lut_execute
 from repro.kernels.plan import WeightPlan, build_weight_plan
 from repro.kernels.registry import (
     DEFAULT_BACKEND,
@@ -44,7 +46,10 @@ __all__ = [
     "DEFAULT_TILE_N",
     "WeightPlan",
     "build_weight_plan",
+    "effective_activations",
     "gather_grouped_blocked",
+    "rowwise_dequant_execute",
+    "rowwise_lut_execute",
     "sum_groups",
     "DEFAULT_BACKEND",
     "ENV_VAR",

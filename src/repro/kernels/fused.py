@@ -1,0 +1,121 @@
+"""Batched row-wise mpGEMM executors for the fused paged decode path.
+
+The per-sequence decode attention dispatches one
+:class:`~repro.kernels.WeightPlan` per (sequence, head, block) through
+:meth:`MpGemmBackend.execute` — dozens of tiny kernel calls per layer
+per step. The fused path instead treats the whole running batch as one
+dispatch: every *row* (one query head of one sequence, or one
+probability segment of one block) carries its own activation table,
+its own gather indices and its own per-group affine parameters, all
+gathered out of the :class:`~repro.runtime.paging.BlockAllocator`
+arenas into contiguous arrays, and :func:`rowwise_lut_execute` runs the
+entire batch through one flat ``np.take``.
+
+Bit-exactness contract: for every output element the executor performs
+*the same scalar operations in the same order* as
+:class:`~repro.kernels.backends.LutNaiveBackend` /
+:class:`~repro.kernels.backends.LutBlockedBackend` (which are mutually
+bit-identical by construction):
+
+- gathers read from the signed table extension ``[T, -T]`` — IEEE
+  negation is exactly the naive path's ``±1`` sign multiply;
+- bit-planes accumulate LSB-first (``plane 0 · 2⁰`` first, then
+  ``+= 2ⁱ · plane i``);
+- the per-group affine correction is the element-wise
+  ``s·(acc − z·Σa)`` of :func:`~repro.kernels.backends.affine_reduce`;
+- groups reduce in ascending-``g`` order exactly like
+  :func:`~repro.kernels.sum_groups`.
+
+Every operation is element-wise over the row/column grid (no
+cross-row or cross-column reductions anywhere), so the result for one
+row is independent of which other rows share the batch — the property
+that makes the fused path bit-identical to the per-sequence path at
+*any* batch size, which the fused-parity tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rowwise_lut_execute", "rowwise_dequant_execute"]
+
+
+def rowwise_lut_execute(
+    table: np.ndarray,
+    flat_idx: np.ndarray,
+    scale: np.ndarray,
+    zero: np.ndarray,
+    sums: np.ndarray,
+    shifts: np.ndarray,
+    apply_zero: bool,
+) -> np.ndarray:
+    """One fused LUT mpGEMM where every row has its own weight columns.
+
+    Parameters
+    ----------
+    table:
+        ``(R, G, W)`` per-row activation tables, already extended to the
+        signed ``[T, -T]`` layout (``W = 2·entries`` for symmetric
+        half-tables).
+    flat_idx:
+        ``(R, bits, G, N)`` int64 gather indices into each row's
+        flattened ``(G·W,)`` table — the
+        :meth:`~repro.kernels.WeightPlan.flat_lookup_indices` layout,
+        with the group offset already folded in.
+    scale, zero:
+        ``(R, G, N)`` per-row per-group affine parameters.
+    sums:
+        ``(R, G)`` per-row per-group activation sums (zero-point
+        correction term).
+    shifts:
+        ``(bits,)`` float64 plane weights ``2**i``, LSB first.
+    apply_zero:
+        Whether to apply the zero-point correction. Callers pass the
+        batch-wide OR of the gathered plans' ``has_zero_point``; where
+        an individual plan's flag disagrees, its ``zero`` entries are
+        exactly ``0.0`` and the correction can only flip the sign of a
+        zero — invisible to ``softmax`` and to ``assert_array_equal``.
+
+    Returns
+    -------
+    ``(R, N)`` float64 — row r's activations times row r's weight
+    columns, bit-identical per element to a per-row backend dispatch.
+    """
+    r, g, w = table.shape
+    bits = flat_idx.shape[1]
+    table_flat = np.ascontiguousarray(table).reshape(-1)
+    row_offsets = (np.arange(r, dtype=np.int64) * (g * w)).reshape(
+        r, 1, 1, 1
+    )
+    gathered = table_flat.take(
+        (flat_idx + row_offsets).reshape(-1)
+    ).reshape(flat_idx.shape)
+    # Bit-serial accumulation, LSB first — the shared backend order.
+    per_group = gathered[:, 0] * shifts[0]
+    for i in range(1, bits):
+        per_group += shifts[i] * gathered[:, i]
+    if apply_zero:
+        corrected = scale * (per_group - zero * sums[:, :, None])
+    else:
+        corrected = scale * per_group
+    # Ascending-g group reduction, exactly sum_groups.
+    out = corrected[:, 0].copy()
+    for gi in range(1, g):
+        out += corrected[:, gi]
+    return out
+
+
+def rowwise_dequant_execute(
+    acts: np.ndarray, dequantized: np.ndarray
+) -> np.ndarray:
+    """Batched dequantize-then-GEMM where every row has its own weights.
+
+    ``acts`` is ``(R, K)`` and ``dequantized`` is ``(R, N, K)`` — row
+    r's real-valued weight columns. Returns ``(R, N)``. This is the
+    fused analogue of :class:`~repro.kernels.ReferenceBackend` (``acts
+    @ W.T`` per row); BLAS reductions are batch-shape sensitive at the
+    ulp level, so fused-vs-per-sequence parity on the reference backend
+    is pinned at 1e-9, not bitwise — the same tolerance the runtime's
+    other reference-backend pins use.
+    """
+    return np.einsum("rk,rnk->rn", acts, dequantized)

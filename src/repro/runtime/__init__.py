@@ -54,6 +54,7 @@ from repro.runtime.model import DecoderModel, RuntimeConfig
 from repro.runtime.paging import (
     BlockAllocator,
     PagedLayerCache,
+    fused_paged_decode_attention,
     paged_decode_attention,
 )
 from repro.runtime.scheduler import (
@@ -84,6 +85,7 @@ __all__ = [
     "SchedulingContext",
     "ServingEngine",
     "StepTrace",
+    "fused_paged_decode_attention",
     "get_preemption_policy",
     "get_scheduler",
     "paged_decode_attention",

@@ -279,8 +279,11 @@ class _Sequence:
         probs = softmax(logits[top] / params.temperature)
         return int(self.rng.choice(top, p=probs))
 
-    def accept(self, token: int) -> None:
-        now = time.perf_counter()
+    def accept(self, token: int, now: float | None = None) -> None:
+        """Record a sampled token; *now* lets a batched caller stamp the
+        whole step with one clock read instead of one per sequence."""
+        if now is None:
+            now = time.perf_counter()
         if not self.generated:
             self.first_token_ms = (now - self.submit_time) * 1e3
         self.generated.append(token)
@@ -662,10 +665,19 @@ class ServingEngine:
                 self.model.free_caches(seq.caches)
             self.active = []
             raise
+        # Vectorized accept/trace accounting: one argmax over the whole
+        # logits batch (greedy sequences read their row of it — equal to
+        # per-row argmax) and one wall-clock read for every acceptance.
         still_active: list[_Sequence] = []
-        for seq, row in zip(self.active, logits):
+        greedy = np.argmax(logits, axis=1)
+        now = time.perf_counter()
+        for i, seq in enumerate(self.active):
             seq.decode_steps += 1
-            seq.accept(seq.sample(row))
+            if seq.request.sampling.top_k is None:
+                token = int(greedy[i])
+            else:
+                token = seq.sample(logits[i])
+            seq.accept(token, now=now)
             if seq.finish_reason is not None:
                 done.append(self._retire(seq))
             else:

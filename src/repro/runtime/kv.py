@@ -212,16 +212,23 @@ class LayerKvCache:
         tail = ctx - start
         if tail <= 0:
             return
-        for h in range(self.kv_heads):
-            # Consumed transposed — (head_dim, tail) — and grouped
-            # along the context, mirroring QuantizedKvCache.quantize.
-            qw = quantize_weights(
-                self._v[h, start:ctx].T, self.bits, axis=1,
-                group_size=KV_GROUP,
-            )
-            self._v_codes[h, start:ctx] = qw.codes.T
-            self._v_scale[h, start:ctx] = qw.scale.T
-            self._v_zp[h, start:ctx] = qw.zero_point.T
+        # Consumed transposed — (head_dim, tail) per head — and grouped
+        # along the context, mirroring QuantizedKvCache.quantize. All
+        # heads quantize as one stacked (kv_heads·head_dim, tail) call:
+        # the per-(row, group) affine recipe is row-independent, so the
+        # stacked codes equal the per-head codes bit for bit.
+        flat = self._v[:, start:ctx].transpose(0, 2, 1).reshape(-1, tail)
+        qw = quantize_weights(flat, self.bits, axis=1, group_size=KV_GROUP)
+        shape = (self.kv_heads, self.head_dim, tail)
+        self._v_codes[:, start:ctx] = (
+            qw.codes.reshape(shape).transpose(0, 2, 1)
+        )
+        self._v_scale[:, start:ctx] = (
+            qw.scale.reshape(shape).transpose(0, 2, 1)
+        )
+        self._v_zp[:, start:ctx] = (
+            qw.zero_point.reshape(shape).transpose(0, 2, 1)
+        )
         self.v_quant_cols += tail * self.kv_heads
         self._v_frozen = (self.length // KV_GROUP) * KV_GROUP
 

@@ -39,6 +39,7 @@ from repro.runtime.paging import (
     DEFAULT_PREFIX_CACHE_BLOCKS,
     BlockAllocator,
     PagedLayerCache,
+    fused_paged_decode_attention,
     paged_decode_attention,
 )
 
@@ -92,6 +93,16 @@ class RuntimeConfig:
         with ``kv_pool_blocks`` set.
     seed:
         Weight-initialization seed.
+    fused_decode:
+        Run batched decode attention through
+        :func:`~repro.runtime.paging.fused_paged_decode_attention` —
+        one gathered mpGEMM dispatch per layer across the whole batch
+        instead of per-(sequence, head, block) kernel calls.
+        Bit-identical to the per-sequence path on the LUT backends
+        (1e-9 on ``reference``, whose batched BLAS reductions differ in
+        the last ulp); applies only when ``kv_bits`` is set — float-KV
+        decode always takes the per-sequence float path. ``False``
+        keeps the unfused path as the differential-testing oracle.
     """
 
     weight_bits: int | None = 4
@@ -105,6 +116,7 @@ class RuntimeConfig:
     prefix_sharing: bool = True
     prefix_cache_blocks: int | None = DEFAULT_PREFIX_CACHE_BLOCKS
     seed: int = 0
+    fused_decode: bool = True
 
     def __post_init__(self) -> None:
         if self.max_seq_len < 1:
@@ -475,15 +487,33 @@ class DecoderModel:
                 f"a sequence reached max_seq_len {rt.max_seq_len}"
             )
         x = self.tok_emb[tokens] + self.pos_emb[positions]
+        fused = rt.fused_decode and rt.kv_bits is not None
+        rep = cfg.heads // cfg.kv_heads
         for li, layer in enumerate(self.layers):
             h = _layer_norm(x, layer.ln1_g, layer.ln1_b)
             q = layer.wq(h).reshape(b, cfg.heads, hd)
             k = layer.wk(h).reshape(b, cfg.kv_heads, hd)
             v = layer.wv(h).reshape(b, cfg.kv_heads, hd)
-            attn = np.empty((b, d))
             for s, caches in enumerate(caches_per_seq):
                 caches[li].append(k[s], v[s], token_ids=tokens[s:s + 1])
-                attn[s] = self._decode_attention(q[s], caches[li]).reshape(d)
+            if fused:
+                layer_caches = [caches[li] for caches in caches_per_seq]
+                self.stats["attn_context_tokens"] += sum(
+                    c.length for c in layer_caches
+                )
+                attn = fused_paged_decode_attention(
+                    q,
+                    layer_caches,
+                    repeat=rep,
+                    table_dtype=rt.table_dtype,
+                    backend=rt.backend,
+                ).reshape(b, d)
+            else:
+                attn = np.empty((b, d))
+                for s, caches in enumerate(caches_per_seq):
+                    attn[s] = self._decode_attention(
+                        q[s], caches[li]
+                    ).reshape(d)
             x = x + layer.wo(attn)
             h2 = _layer_norm(x, layer.ln2_g, layer.ln2_b)
             x = x + layer.ffn(h2)

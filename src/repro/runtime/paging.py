@@ -76,7 +76,14 @@ import time
 import numpy as np
 
 from repro.errors import LutError, ServingError
-from repro.kernels import WeightPlan, build_weight_plan, get_backend
+from repro.kernels import (
+    WeightPlan,
+    build_weight_plan,
+    effective_activations,
+    get_backend,
+    rowwise_dequant_execute,
+    rowwise_lut_execute,
+)
 from repro.lut.attention import MASKED_SCORE
 from repro.lut.mpgemm import LutMpGemmConfig, precompute_tables
 from repro.lut.table import DEFAULT_K
@@ -211,6 +218,15 @@ class BlockAllocator:
         }
 
     # ------------------------------------------------------------------
+    #: Pool storage arrays copied across :meth:`_grow` reallocations
+    #: (block id indexes axis 0 of each).
+    _FLOAT_ARRAYS = ("_k", "_v")
+    _QUANT_ARRAYS = (
+        "_k_codes", "_k_scale", "_k_zp",
+        "_ka_flat", "_ka_scale", "_ka_zero",
+        "_va_fill", "_va_flat", "_va_scale", "_va_zero", "_va_deq",
+    )
+
     def _alloc_storage(self, cap: int) -> None:
         hw = (cap, self.kv_heads, self.block_size, self.head_dim)
         self._k = np.zeros(hw)
@@ -224,12 +240,50 @@ class BlockAllocator:
             self._k_zp = np.zeros(
                 (cap, self.kv_heads, self.block_size, scale_w)
             )
+            # Fused-decode arenas: the per-block WeightPlan state in slab
+            # layout so one batched gather per layer can pull every active
+            # sequence's blocks at once. K side (score mpGEMM, one output
+            # column per cached token): flat symmetric-table gather
+            # indices, per-group affine. Written incrementally by
+            # :meth:`write_rows` — column values are per-token, so the
+            # slab always equals what a from-scratch plan would hold.
+            gk = self.head_dim // self.lut_k
+            gv = self.block_size // self.lut_k
+            self._ka_flat = np.zeros(
+                (cap, self.kv_heads, self.bits, gk, self.block_size),
+                dtype=np.int64,
+            )
+            self._ka_scale = np.ones(
+                (cap, self.kv_heads, gk, self.block_size)
+            )
+            self._ka_zero = np.zeros(
+                (cap, self.kv_heads, gk, self.block_size)
+            )
+            # V side (context mpGEMM, the block consumed as a
+            # (head_dim, block_size) weight): refreshed per fill level by
+            # :meth:`refresh_v_arena` — ``_va_fill`` records the fill the
+            # arena was built at (-1 = never), so full blocks refresh once
+            # and only the trailing block pays per-step requantization.
+            self._va_fill = np.full(cap, -1, dtype=np.int64)
+            self._va_flat = np.zeros(
+                (cap, self.kv_heads, self.bits, gv, self.head_dim),
+                dtype=np.int64,
+            )
+            self._va_scale = np.ones(
+                (cap, self.kv_heads, gv, self.head_dim)
+            )
+            self._va_zero = np.zeros(
+                (cap, self.kv_heads, gv, self.head_dim)
+            )
+            self._va_deq = np.zeros(
+                (cap, self.kv_heads, self.head_dim, self.block_size)
+            )
 
     def _grow(self) -> None:
         old_cap = self.capacity
         new_cap = old_cap * 2
-        arrays = ["_k", "_v"] + (
-            ["_k_codes", "_k_scale", "_k_zp"] if self.bits is not None else []
+        arrays = list(self._FLOAT_ARRAYS) + (
+            list(self._QUANT_ARRAYS) if self.bits is not None else []
         )
         old = {name: getattr(self, name) for name in arrays}
         self._alloc_storage(new_cap)
@@ -347,6 +401,16 @@ class BlockAllocator:
             self._k_codes[block_id] = 0
             self._k_scale[block_id] = 1.0
             self._k_zp[block_id] = 0.0
+            self._ka_flat[block_id] = 0
+            self._ka_scale[block_id] = 1.0
+            self._ka_zero[block_id] = 0.0
+            # -1 forces a V-arena rebuild for the next occupant even at
+            # the same fill — the reuse-without-leakage guarantee.
+            self._va_fill[block_id] = -1
+            self._va_flat[block_id] = 0
+            self._va_scale[block_id] = 1.0
+            self._va_zero[block_id] = 0.0
+            self._va_deq[block_id] = 0.0
         self._fill[block_id] = 0
         self._refcount[block_id] = 0
         self._k_plans.pop(block_id, None)
@@ -490,12 +554,10 @@ class BlockAllocator:
         if block_id not in self._in_use:
             raise ServingError(f"block {block_id} is not allocated")
         new = self.allocate()
-        self._k[new] = self._k[block_id]
-        self._v[new] = self._v[block_id]
-        if self.bits is not None:
-            self._k_codes[new] = self._k_codes[block_id]
-            self._k_scale[new] = self._k_scale[block_id]
-            self._k_zp[new] = self._k_zp[block_id]
+        for name in self._FLOAT_ARRAYS + (
+            self._QUANT_ARRAYS if self.bits is not None else ()
+        ):
+            getattr(self, name)[new] = getattr(self, name)[block_id]
         self._fill[new] = self._fill[block_id]
         self.stats["cow"] += 1
         return new
@@ -546,12 +608,36 @@ class BlockAllocator:
             shape = (self.kv_heads, t_new, -1)
             self._k_scale[sl] = qw.scale.reshape(shape)
             self._k_zp[sl] = qw.zero_point.reshape(shape)
+            # K arena: the new rows' plan columns in slab layout. One
+            # stacked plan over all KV heads' rows — every derived array
+            # is per output column, so its columns are bit-identical to
+            # the per-head plans the unfused path builds. This is the
+            # canonical per-step K plan work, so it owns the
+            # ``k_plan_cols`` count; the legacy extend below only adds
+            # its timing (same columns, counted once).
+            started = time.perf_counter()
+            sub = build_weight_plan(qw, self.lut_k)
+            gk = self.head_dim // self.lut_k
+            flat_idx = sub.flat_lookup_indices(1 << (self.lut_k - 1), True)
+            self._ka_flat[block_id, :, :, :, off:off + t_new] = (
+                flat_idx.reshape(sub.bits, gk, self.kv_heads, t_new)
+                .transpose(2, 0, 1, 3)
+            )
+            self._ka_scale[block_id, :, :, off:off + t_new] = (
+                sub.scale_gn.reshape(gk, self.kv_heads, t_new)
+                .transpose(1, 0, 2)
+            )
+            self._ka_zero[block_id, :, :, off:off + t_new] = (
+                sub.zero_gn.reshape(gk, self.kv_heads, t_new)
+                .transpose(1, 0, 2)
+            )
+            self.stats["k_plan_cols"] += t_new * self.kv_heads
+            self.stats["k_plan_s"] += time.perf_counter() - started
             plans = self._k_plans.get(block_id)
             if plans is not None:
                 started = time.perf_counter()
                 for h, plan in enumerate(plans):
                     plan.extend(self.k_row_weight(block_id, h, off, off + t_new))
-                self.stats["k_plan_cols"] += t_new * self.kv_heads
                 self.stats["k_plan_s"] += time.perf_counter() - started
             self._v_cache.pop(block_id, None)
         self._fill[block_id] = off + t_new
@@ -630,6 +716,54 @@ class BlockAllocator:
         self.stats["v_quant_s"] += time.perf_counter() - started
         self._v_cache[block_id] = (fill, v_quant, plans)
         return v_quant, plans
+
+    def refresh_v_arena(self, block_id: int) -> None:
+        """Bring one block's V arena slabs up to its current fill.
+
+        One stacked quantize + plan over all KV heads' ``(head_dim,
+        block_size)`` V weights — per-row scales are head-local, so the
+        stacked plan's columns are bit-identical to the per-head
+        :meth:`v_quantized` plans. No-op when ``_va_fill`` already
+        matches (full blocks refresh once, ever); the fused decode calls
+        this only for stale gathered blocks, so steady-state per-step
+        V-quant work is one trailing block per sequence per layer —
+        exactly the unfused path's cost.
+        """
+        fill = int(self._fill[block_id])
+        if int(self._va_fill[block_id]) == fill:
+            return
+        started = time.perf_counter()
+        # (kv_heads * head_dim, block_size): head h's rows h*hd..h*hd+hd.
+        v_t = self._v[block_id].transpose(0, 2, 1).reshape(
+            -1, self.block_size
+        )
+        if self._v_group:
+            qw = quantize_weights(
+                v_t, self.bits, axis=1, group_size=self._v_group
+            )
+        else:
+            qw = quantize_weights(v_t, self.bits, axis=0)
+        plan = build_weight_plan(qw, self.lut_k)
+        gv = self.block_size // self.lut_k
+        flat_idx = plan.flat_lookup_indices(1 << (self.lut_k - 1), True)
+        self._va_flat[block_id] = (
+            flat_idx.reshape(plan.bits, gv, self.kv_heads, self.head_dim)
+            .transpose(2, 0, 1, 3)
+        )
+        self._va_scale[block_id] = (
+            plan.scale_gn.reshape(gv, self.kv_heads, self.head_dim)
+            .transpose(1, 0, 2)
+        )
+        self._va_zero[block_id] = (
+            plan.zero_gn.reshape(gv, self.kv_heads, self.head_dim)
+            .transpose(1, 0, 2)
+        )
+        self._va_deq[block_id] = plan.dequantized.reshape(
+            self.kv_heads, self.head_dim, self.block_size
+        )
+        self._va_fill[block_id] = fill
+        self.stats["v_quant_cols"] += self.block_size * self.kv_heads
+        self.stats["v_quant_s"] += time.perf_counter() - started
 
 
 class PagedLayerCache:
@@ -936,11 +1070,193 @@ def paged_decode_attention(
     return out
 
 
+def _grouped_softmax(scores: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Row softmax over a padded score layout, per-row denominators.
+
+    ``scores`` is ``(B, heads, N)`` with every position at or past row
+    b's true padded context ``widths[b]`` already at
+    :data:`MASKED_SCORE`; ``widths[b] <= N``. The exponentials are
+    elementwise, but each row's denominator sums only its own leading
+    ``widths[b]`` entries: appending even *exact zeros* to a sum changes
+    numpy's pairwise reduction tree (and hence the result's last ulp),
+    so summing the full padded width would break bit-parity with the
+    per-sequence :func:`~repro.numerics.softmax` over a
+    ``widths[b]``-long vector. Rows are processed grouped by width; a
+    row's contiguous leading slice reduces with the same pairwise tree
+    as the 1-D case.
+    """
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    denom = np.empty(scores.shape[:-1] + (1,))
+    for w in np.unique(widths):
+        rows = widths == w
+        denom[rows] = e[rows][..., :int(w)].sum(axis=-1, keepdims=True)
+    return e / denom
+
+
+def fused_paged_decode_attention(
+    queries: np.ndarray,
+    caches: list[PagedLayerCache],
+    repeat: int = 1,
+    act_dtype=None,
+    table_dtype=None,
+    backend: str | None = None,
+) -> np.ndarray:
+    """One batched LUT decode attention over every sequence's block table.
+
+    The fused successor of :func:`paged_decode_attention`: *queries* has
+    shape ``(B, kv_heads * repeat, head_dim)`` — one new token per
+    sequence — and *caches* are the B sequences' layer caches over one
+    shared pool. Instead of per-(sequence, head, block) kernel calls,
+    the block tables are gathered into contiguous index arrays and the
+    whole batch runs as **one** score dispatch and **one** context
+    dispatch per layer against the pool's plan arenas, over a padded
+    ``(B, heads, max_blocks · block_size)`` score layout.
+
+    Exactness: every gathered arena column equals the corresponding
+    per-block :class:`~repro.kernels.WeightPlan` column, the batched
+    row-wise executor replays the backends' scalar order per row, pad
+    positions are masked to :data:`MASKED_SCORE` exactly like the
+    per-sequence path masks its own padding, and the softmax
+    denominators respect each row's true padded width
+    (:func:`_grouped_softmax`). The result is bit-identical to B calls
+    of :func:`paged_decode_attention` on the LUT backends, regardless
+    of batch composition; the ``reference`` backend's batched BLAS/
+    einsum reductions differ in the last ulp, so its parity is 1e-9.
+    Returns ``(B, heads, head_dim)``.
+    """
+    if not caches:
+        raise ServingError("fused decode needs at least one sequence")
+    pool = caches[0].pool
+    if any(c.pool is not pool for c in caches):
+        raise ServingError("all fused caches must share one block pool")
+    if pool.bits is None:
+        raise ServingError("paged LUT attention needs a quantized pool")
+    if any(c.length == 0 for c in caches):
+        raise ServingError("cannot attend over an empty cache")
+    config = LutMpGemmConfig(
+        k=pool.lut_k,
+        act_dtype=act_dtype,
+        table_dtype=table_dtype,
+        backend=backend,
+    )
+    kernel = get_backend(config.backend)
+    if config.table_dtype is not None and not kernel.needs_table:
+        raise LutError(
+            f"backend {kernel.name!r} has no tables and cannot model "
+            f"table_dtype={config.table_dtype.name} quantization"
+        )
+    kv, hd, block_size = pool.kv_heads, pool.head_dim, pool.block_size
+    heads = kv * repeat
+    b = len(caches)
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.shape != (b, heads, hd):
+        raise LutError(
+            f"queries must be ({b}, {heads}, {hd}), got {queries.shape}"
+        )
+    nblocks = np.array([len(c.block_ids) for c in caches], dtype=np.int64)
+    lengths = np.array([c.length for c in caches], dtype=np.int64)
+    maxb = int(nblocks.max())
+    n = maxb * block_size
+    # Padded block-id table; pad entries point at block 0, whose gathered
+    # (finite) garbage is fully masked below.
+    ids = np.zeros((b, maxb), dtype=np.int64)
+    for i, cache in enumerate(caches):
+        ids[i, :nblocks[i]] = cache.block_ids
+    table_valid = np.arange(maxb)[None, :] < nblocks[:, None]
+    # Bring stale V arenas up to date — in steady state only each
+    # sequence's trailing block; full blocks refresh once, ever.
+    live = np.unique(ids[table_valid])
+    for bid in live[pool._va_fill[live] != pool._fill[live]]:
+        pool.refresh_v_arena(int(bid))
+
+    gk, gv = hd // pool.lut_k, block_size // pool.lut_k
+    shifts = (1 << np.arange(pool.bits, dtype=np.int64)).astype(np.float64)
+    q2 = queries.reshape(b * heads, hd)
+    if kernel.needs_table:
+        q_half = precompute_tables(q2, config)
+        q_table = np.concatenate([q_half, -q_half], axis=-1)
+        acts = effective_activations(q2, config)
+        sums_k = acts.reshape(b * heads, gk, pool.lut_k).sum(axis=-1)
+        # (B, maxb, kv, bits, gk, S) -> (B, kv, bits, gk, maxb*S),
+        # repeated kv -> heads for grouped-query attention.
+        fl = (
+            pool._ka_flat[ids].transpose(0, 2, 3, 4, 1, 5)
+            .reshape(b, kv, pool.bits, gk, n)
+        )
+        fl = np.repeat(fl, repeat, axis=1).reshape(
+            b * heads, pool.bits, gk, n
+        )
+        sc = (
+            pool._ka_scale[ids].transpose(0, 2, 3, 1, 4)
+            .reshape(b, kv, gk, n)
+        )
+        sc = np.repeat(sc, repeat, axis=1).reshape(b * heads, gk, n)
+        zr = (
+            pool._ka_zero[ids].transpose(0, 2, 3, 1, 4)
+            .reshape(b, kv, gk, n)
+        )
+        zr = np.repeat(zr, repeat, axis=1).reshape(b * heads, gk, n)
+        raw = rowwise_lut_execute(
+            q_table, fl, sc, zr, sums_k, shifts, bool((zr != 0.0).any())
+        )
+    else:
+        acts = effective_activations(q2, config)
+        kd = pool._k_scale[ids] * (
+            pool._k_codes[ids].astype(np.float64) - pool._k_zp[ids]
+        )
+        kd = kd.transpose(0, 2, 1, 3, 4).reshape(b, kv, n, hd)
+        kd = np.repeat(kd, repeat, axis=1).reshape(b * heads, n, hd)
+        raw = rowwise_dequant_execute(acts, kd)
+    scores = raw.reshape(b, heads, n)
+    inv_sqrt_d = 1.0 / np.sqrt(hd)
+    key_valid = np.arange(n)[None, :] < lengths[:, None]
+    scores = np.where(
+        key_valid[:, None, :], scores * inv_sqrt_d, MASKED_SCORE
+    )
+    probs = _grouped_softmax(scores, nblocks * block_size)
+
+    probs4 = probs.reshape(b, heads, maxb, block_size)
+    p2 = probs4.reshape(b * heads * maxb, block_size)
+    if kernel.needs_table:
+        p_half = precompute_tables(p2, config)
+        p_table = np.concatenate([p_half, -p_half], axis=-1)
+        pacts = effective_activations(p2, config)
+        sums_v = pacts.reshape(-1, gv, pool.lut_k).sum(axis=-1)
+        # (B, maxb, kv, bits, gv, hd) -> (B, heads, maxb, bits, gv, hd)
+        flv = np.repeat(
+            pool._va_flat[ids].transpose(0, 2, 1, 3, 4, 5), repeat, axis=1
+        ).reshape(b * heads * maxb, pool.bits, gv, hd)
+        scv = np.repeat(
+            pool._va_scale[ids].transpose(0, 2, 1, 3, 4), repeat, axis=1
+        ).reshape(b * heads * maxb, gv, hd)
+        zrv = np.repeat(
+            pool._va_zero[ids].transpose(0, 2, 1, 3, 4), repeat, axis=1
+        ).reshape(b * heads * maxb, gv, hd)
+        parts = rowwise_lut_execute(
+            p_table, flv, scv, zrv, sums_v, shifts, bool((zrv != 0.0).any())
+        ).reshape(b, heads, maxb, hd)
+    else:
+        vd = np.repeat(
+            pool._va_deq[ids].transpose(0, 2, 1, 3, 4), repeat, axis=1
+        ).reshape(b * heads * maxb, hd, block_size)
+        parts = rowwise_dequant_execute(p2, vd).reshape(b, heads, maxb, hd)
+    # Ascending-block accumulation, first block unconditional (length
+    # >= 1), later blocks gated per sequence — the unfused path's
+    # ``ctx_vec + part`` order exactly.
+    out = parts[:, :, 0].copy()
+    for j in range(1, maxb):
+        m = nblocks > j
+        out[m] += parts[m][:, :, j]
+    return out
+
+
 __all__ = [
     "BlockAllocator",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_PREFIX_CACHE_BLOCKS",
     "INITIAL_POOL_BLOCKS",
     "PagedLayerCache",
+    "fused_paged_decode_attention",
     "paged_decode_attention",
 ]

@@ -1,0 +1,120 @@
+"""serving_guard: the BENCH_serving.json regression comparison."""
+
+import json
+
+import pytest
+
+from repro.experiments.serving_guard import (
+    MAX_REGRESSION,
+    SPEEDUP_FLOOR,
+    compare_reports,
+    main,
+)
+
+
+def _report(**speedups):
+    return {
+        "bench": "serving-fused-decode",
+        "variants": {
+            key: {
+                "speedup": value,
+                "fused_tok_s": 100.0 * value,
+                "unfused_tok_s": 100.0,
+            }
+            for key, value in speedups.items()
+        },
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        report = _report(a=2.6, b=2.4)
+        assert compare_reports(report, report) == []
+
+    def test_improvement_passes(self):
+        assert compare_reports(_report(a=3.5), _report(a=2.5)) == []
+
+    def test_regression_within_tolerance_passes(self):
+        # 2.5 * (1 - 0.20) = 2.00, still at the floor: allowed.
+        assert compare_reports(_report(a=2.0), _report(a=2.5)) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        failures = compare_reports(_report(a=2.3), _report(a=3.0))
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_floor_binds_even_against_a_slow_baseline(self):
+        # Within 20% of the (bad) baseline but under the absolute 2x
+        # floor: the guard must still fail.
+        failures = compare_reports(_report(a=1.9), _report(a=2.0))
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+
+    def test_missing_variant_fails(self):
+        failures = compare_reports(_report(a=2.6), _report(a=2.6, b=2.4))
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+
+    def test_extra_current_variant_is_ignored(self):
+        # New variants may land before the baseline is regenerated.
+        assert compare_reports(_report(a=2.6, b=9.9), _report(a=2.6)) == []
+
+    def test_empty_baseline_fails(self):
+        failures = compare_reports(_report(a=2.6), {"variants": {}})
+        assert failures == ["baseline report has no variants"]
+
+    def test_custom_thresholds(self):
+        assert compare_reports(
+            _report(a=1.5), _report(a=1.5), floor=1.0
+        ) == []
+        failures = compare_reports(
+            _report(a=2.9), _report(a=3.0), max_regression=0.0
+        )
+        assert len(failures) == 1
+
+    def test_both_failures_reported_together(self):
+        failures = compare_reports(_report(a=1.5), _report(a=3.0))
+        assert len(failures) == 2
+
+
+class TestCli:
+    def _write(self, path, report):
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        current = self._write(tmp_path / "cur.json", _report(a=2.6))
+        baseline = self._write(tmp_path / "base.json", _report(a=2.5))
+        assert main([current, baseline]) == 0
+        out = capsys.readouterr().out
+        assert "serving-perf-guard OK" in out
+
+    def test_fail_exit_one(self, tmp_path, capsys):
+        current = self._write(tmp_path / "cur.json", _report(a=1.5))
+        baseline = self._write(tmp_path / "base.json", _report(a=3.0))
+        assert main([current, baseline]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_threshold_flags(self, tmp_path):
+        current = self._write(tmp_path / "cur.json", _report(a=1.5))
+        baseline = self._write(tmp_path / "base.json", _report(a=1.5))
+        assert main([current, baseline]) == 1
+        assert main([current, baseline, "--floor", "1.4"]) == 0
+
+
+class TestBaselineFile:
+    def test_committed_baseline_is_well_formed(self):
+        """The tracked BENCH_serving.json must parse and satisfy its
+        own guard thresholds (a baseline under the floor could never
+        pass CI again)."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        baseline = json.loads((root / "BENCH_serving.json").read_text())
+        assert baseline["bench"] == "serving-fused-decode"
+        for key, row in baseline["variants"].items():
+            assert float(row["speedup"]) >= SPEEDUP_FLOOR, key
+            assert float(row["fused_tok_s"]) > 0
+            assert float(row["unfused_tok_s"]) > 0
+            assert 0.0 < MAX_REGRESSION < 1.0
+        assert compare_reports(baseline, baseline) == []

@@ -208,6 +208,76 @@ class TestWeightPlanExtend:
         assert plan.n == 3
         assert plan.indices.shape == (2, 4, 3)
 
+    @pytest.mark.parametrize("bits", [2, 4])
+    @pytest.mark.parametrize("kwargs", [
+        dict(axis=0),                          # per-row scales
+        dict(axis=1, group_size=4),            # per-group along K
+        dict(axis=0, symmetric=True),          # zero-point-free
+    ], ids=("per-row", "grouped", "symmetric"))
+    def test_repeated_small_extensions_bit_identical_at_every_n(
+        self, bits, kwargs
+    ):
+        """The paged-KV growth pattern: many small multi-column
+        extensions whose cumulative widths land on no particular
+        alignment (1, 3, 6, 11, 18, 19, 23 — crossing every power-of-2
+        and LUT-group multiple in between). Unlike the end-state pins
+        above, parity with a from-scratch build is asserted at EVERY
+        intermediate N, on every backend, bit for bit."""
+        from repro.kernels import get_backend
+        from repro.lut.mpgemm import LutMpGemmConfig, LutMpGemmEngine
+
+        rng = np.random.default_rng(100 * bits + len(kwargs))
+        chunks = [
+            quantize_weights(rng.normal(size=(width, 16)), bits, **kwargs)
+            for width in (1, 2, 3, 5, 7, 1, 4)
+        ]
+        acts = rng.normal(size=(2, 16))
+        plan = build_weight_plan(chunks[0], k=4)
+        # Materialize so every extension exercises the concat path.
+        plan.indices, plan.scale_gn, plan.zero_gn
+        plan.flat_lookup_indices(1 << 3, True)
+        _ = plan.dequantized
+        for upto in range(1, len(chunks) + 1):
+            if upto > 1:
+                plan.extend(chunks[upto - 1])
+            stacked = QuantizedWeight(
+                codes=np.concatenate(
+                    [c.codes for c in chunks[:upto]], axis=0
+                ),
+                scale=np.concatenate(
+                    [np.broadcast_to(c.scale, c.shape)
+                     for c in chunks[:upto]],
+                    axis=0,
+                ),
+                zero_point=np.concatenate(
+                    [np.broadcast_to(c.zero_point, c.shape)
+                     for c in chunks[:upto]],
+                    axis=0,
+                ),
+                bits=bits,
+            )
+            scratch = build_weight_plan(stacked, k=4)
+            assert plan.n == scratch.n
+            np.testing.assert_array_equal(plan.indices, scratch.indices)
+            np.testing.assert_array_equal(plan.scale_gn, scratch.scale_gn)
+            np.testing.assert_array_equal(plan.zero_gn, scratch.zero_gn)
+            np.testing.assert_array_equal(
+                plan.flat_lookup_indices(1 << 3, True),
+                scratch.flat_lookup_indices(1 << 3, True),
+            )
+            for name in ("reference", "lut-naive", "lut-blocked"):
+                config = LutMpGemmConfig(k=4, backend=name)
+                engine = LutMpGemmEngine(stacked, config)
+                backend = get_backend(name)
+                table = (
+                    engine.precompute(acts) if backend.needs_table else None
+                )
+                np.testing.assert_array_equal(
+                    backend.execute(plan, config, acts, table),
+                    engine.matmul(acts),
+                    err_msg=f"{name} at n={plan.n}",
+                )
+
     def test_extend_rejects_mismatches(self):
         plan = build_weight_plan(sample_weight(bits=2, n=4, kdim=16), k=4)
         with pytest.raises(LutError):

@@ -7,6 +7,7 @@ from repro.errors import ServingError
 from repro.models.configs import ModelConfig
 from repro.runtime import (
     DecoderModel,
+    EngineStats,
     Request,
     RuntimeConfig,
     SamplingParams,
@@ -196,6 +197,29 @@ class TestValidation:
         assert results[0].decode_steps == 0
         assert stats.decode_steps == 0
         assert stats.batch_occupancy == []
+
+    def test_occupancy_percentile_empty_trace_is_zero(self):
+        """Pinned regression: a run with no decode steps (every request
+        completes at prefill) has an empty trace, and every occupancy
+        reduction must degrade to 0.0 instead of raising the
+        zero-length-percentile error numpy would."""
+        stats = EngineStats(
+            requests=0, prompt_tokens=0, generated_tokens=0,
+            decode_steps=0, wall_s=0.0,
+        )
+        assert stats.batch_occupancy == []
+        assert stats.occupancy_percentile(50) == 0.0
+        assert stats.occupancy_p50 == 0.0
+        assert stats.occupancy_p95 == 0.0
+        assert stats.mean_batch == 0.0
+        # End to end: prefill-only completions leave the trace empty.
+        engine = ServingEngine(_model(), max_batch_size=2)
+        engine.submit(Request("p0", prompt=(1, 2), max_new_tokens=1))
+        engine.submit(Request("p1", prompt=(3,), max_new_tokens=1))
+        _, run_stats = engine.run()
+        assert run_stats.decode_steps == 0
+        assert run_stats.occupancy_p50 == 0.0
+        assert run_stats.occupancy_p95 == 0.0
 
     def test_kv_memory_bytes_matches_block_accounting(self):
         model = _model(kv_bits=4)
