@@ -16,7 +16,15 @@ scheduler (``fifo`` / ``sjf`` / ``memory-aware``) and workload:
 - ``pool-pressure`` — a bounded pool deliberately too small for the
   co-admitted worst cases, forcing the preemption relief valve; fails
   unless preemption fired, every preempted request resumed, and all
-  requests completed. Reports preemption counts and resume latency.
+  requests completed. Reports preemption counts and resume latency;
+- ``prefill-heavy`` — long prompts arriving into a decoding batch.
+  Runs the same stream twice, monolithic vs chunked prefill
+  (``prefill_chunk``), asserts bit-identical token streams, and
+  reports TTFT p50/p95 plus the per-engine-step wall-time
+  distribution: the chunked run must cut the worst decode-step stall
+  (the monolithic long-prompt prefill) below
+  ``STALL_RATIO_CEILING`` x the monolithic maximum — the
+  serving-perf-guard criterion tracked in ``BENCH_serving.json``.
 
 Reported per row: generated-token throughput, decode-batch occupancy
 (mean and p50/p95 over the per-step trace), time-to-first-token /
@@ -80,7 +88,7 @@ SEED = 2025
 PROBE_PROMPT = 8
 PROBE_WINDOW = 0.25
 #: Selectable request streams (see module docstring).
-WORKLOADS = ("mixed", "shared-prefix", "pool-pressure")
+WORKLOADS = ("mixed", "shared-prefix", "pool-pressure", "prefill-heavy")
 #: Shared-prefix workload: length of the common system prompt (spans
 #: two full 16-token KV blocks, the shareable unit) and request count.
 SHARED_PREFIX_LEN = 40
@@ -92,12 +100,26 @@ PRESSURE_REQUESTS = 4
 #: Fused-decode guard: LUT variants, request count, and batch bound of
 #: the fused-vs-unfused throughput measurement tracked in
 #: ``BENCH_serving.json`` (the serving-perf-guard CI lane).
-FUSED_GUARD_VARIANTS: tuple[tuple[str, int], ...] = (
+FUSED_GUARD_VARIANTS: tuple[tuple[str, int | None], ...] = (
     ("lut-blocked", 4),
     ("lut-naive", 4),
+    # kv_bits=None: the float-KV fused branch (gathered slabs + grouped
+    # einsums) vs the per-sequence per-head gemv loop.
+    ("lut-blocked", None),
 )
 FUSED_REQUESTS = 16
 FUSED_MAX_BATCH = 8
+#: Prefill-heavy workload / guard: a decoding cohort of short prompts
+#: with long generations, joined mid-run by long prompts; the chunked
+#: run spends at most PREFILL_CHUNK prompt tokens per engine step.
+PREFILL_CHUNK = 16
+PREFILL_LONG_PROMPT = 160
+PREFILL_SEQ_LEN = 192
+PREFILL_MAX_BATCH = 4
+#: Guard bar: the chunked run's worst engine-step wall time must stay
+#: below this fraction of the monolithic run's worst step (which
+#: contains the whole long-prompt prefill).
+STALL_RATIO_CEILING = 0.8
 
 META = ExperimentMeta(
     title="Serving engine: continuous-batching throughput per kernel backend",
@@ -332,6 +354,8 @@ def _serve(
     prefix_sharing: bool = True,
     kv_pool_blocks: int | None = None,
     fused: bool = True,
+    prefill_chunk: int | None = None,
+    max_seq_len: int = MAX_SEQ_LEN,
 ):
     model = DecoderModel(
         BENCH_MODEL,
@@ -339,10 +363,11 @@ def _serve(
             weight_bits=WEIGHT_BITS,
             kv_bits=kv_bits,
             backend=backend,
-            max_seq_len=MAX_SEQ_LEN,
+            max_seq_len=max_seq_len,
             kv_pool_blocks=kv_pool_blocks,
             prefix_sharing=prefix_sharing,
             fused_decode=fused,
+            prefill_chunk=prefill_chunk,
             seed=SEED,
         ),
     )
@@ -355,21 +380,167 @@ def _serve(
     return model, results, stats
 
 
+def _prefill_heavy_requests(rng: np.random.Generator) -> list[Request]:
+    """A decoding cohort (short prompts, long generations) joined by
+    long prompts that admit mid-run — the stream where a monolithic
+    prefill stalls every in-flight decode for one giant step."""
+    requests = []
+    for i in range(PREFILL_MAX_BATCH):
+        prompt = tuple(
+            int(t) for t in rng.integers(0, BENCH_MODEL.vocab, 4)
+        )
+        requests.append(Request(
+            request_id=f"decode-{i}",
+            prompt=prompt,
+            max_new_tokens=24 + 8 * i,
+            sampling=SamplingParams(seed=SEED + i),
+        ))
+    for i in range(2):
+        prompt = tuple(
+            int(t)
+            for t in rng.integers(0, BENCH_MODEL.vocab, PREFILL_LONG_PROMPT)
+        )
+        requests.append(Request(
+            request_id=f"long-{i}",
+            prompt=prompt,
+            max_new_tokens=4,
+            sampling=SamplingParams(seed=SEED + 100 + i),
+        ))
+    return requests
+
+
+def _stepped_run(requests: list[Request], prefill_chunk: int | None):
+    """Drive the engine step by step, timing every engine step."""
+    import time
+
+    model = DecoderModel(
+        BENCH_MODEL,
+        RuntimeConfig(
+            weight_bits=WEIGHT_BITS, kv_bits=4, backend="lut-blocked",
+            max_seq_len=PREFILL_SEQ_LEN, prefill_chunk=prefill_chunk,
+            seed=SEED,
+        ),
+    )
+    engine = ServingEngine(
+        model, max_batch_size=PREFILL_MAX_BATCH, scheduler="fifo"
+    )
+    for request in requests:
+        engine.submit(request)
+    results = []
+    step_ms: list[float] = []
+    while engine.has_work:
+        started = time.perf_counter()
+        results.extend(engine.step())
+        step_ms.append((time.perf_counter() - started) * 1e3)
+    return results, np.array(step_ms)
+
+
+def _ttft_stats(results) -> dict:
+    ttft = np.array([r.first_token_ms for r in results])
+    return {
+        "ttft_p50_ms": round(float(np.percentile(ttft, 50)), 2),
+        "ttft_p95_ms": round(float(np.percentile(ttft, 95)), 2),
+    }
+
+
+def measure_prefill_interleaving() -> dict:
+    """Chunked vs monolithic prefill on the prefill-heavy stream.
+
+    Runs the identical request stream twice on the quantized
+    ``lut-blocked`` variant — ``prefill_chunk=None`` vs
+    ``PREFILL_CHUNK`` — and **fails** (RuntimeError) unless the token
+    streams are bit-identical and the chunked run's worst engine-step
+    wall time lands below ``STALL_RATIO_CEILING`` of the monolithic
+    worst step. Reports TTFT p50/p95 and the step-time distribution of
+    both runs plus the tracked ratios (``BENCH_serving.json``'s
+    ``prefill`` section).
+    """
+    runs = {}
+    for label, chunk in (("mono", None), ("chunked", PREFILL_CHUNK)):
+        requests = _prefill_heavy_requests(np.random.default_rng(SEED))
+        results, step_ms = _stepped_run(requests, chunk)
+        runs[label] = (
+            {r.request_id: tuple(r.tokens) for r in results},
+            {
+                **_ttft_stats(results),
+                "steps": len(step_ms),
+                "stall_p95_ms": round(float(np.percentile(step_ms, 95)), 3),
+                "stall_max_ms": round(float(step_ms.max()), 3),
+            },
+        )
+    mono_tokens, mono = runs["mono"]
+    chunked_tokens, chunked = runs["chunked"]
+    if chunked_tokens != mono_tokens:
+        raise RuntimeError(
+            "prefill guard: chunked token streams diverged from the "
+            "monolithic run"
+        )
+    stall_ratio = chunked["stall_max_ms"] / mono["stall_max_ms"]
+    if stall_ratio > STALL_RATIO_CEILING:
+        raise RuntimeError(
+            f"prefill guard: chunked worst step {chunked['stall_max_ms']}"
+            f" ms is {stall_ratio:.2f}x the monolithic worst "
+            f"{mono['stall_max_ms']} ms (ceiling "
+            f"{STALL_RATIO_CEILING:.2f})"
+        )
+    return {
+        "backend": "lut-blocked",
+        "kv_bits": 4,
+        "prefill_chunk": PREFILL_CHUNK,
+        "long_prompt": PREFILL_LONG_PROMPT,
+        "requests": PREFILL_MAX_BATCH + 2,
+        "mono": mono,
+        "chunked": chunked,
+        "stall_ratio": round(stall_ratio, 3),
+        "ttft_p95_ratio": round(
+            chunked["ttft_p95_ms"] / max(mono["ttft_p95_ms"], 1e-9), 3
+        ),
+    }
+
+
+def format_prefill_result(report: dict) -> str:
+    lines = [
+        f"Prefill interleaving: {report['requests']} requests "
+        f"({report['long_prompt']}-token long prompts into a decoding "
+        f"cohort), chunk={report['prefill_chunk']}, "
+        f"{report['backend']}-int{report['kv_bits']}; token streams "
+        "bit-identical chunked vs monolithic",
+        f"{'run':>8} {'steps':>6} {'ttft p50':>9} {'ttft p95':>9} "
+        f"{'stall p95':>10} {'stall max':>10}",
+    ]
+    for label in ("mono", "chunked"):
+        row = report[label]
+        lines.append(
+            f"{label:>8} {row['steps']:>6} {row['ttft_p50_ms']:>9.1f} "
+            f"{row['ttft_p95_ms']:>9.1f} {row['stall_p95_ms']:>10.3f} "
+            f"{row['stall_max_ms']:>10.3f}"
+        )
+    lines.append(
+        f"perf-guard OK: chunked worst step = {report['stall_ratio']:.2f}x"
+        f" monolithic (ceiling {STALL_RATIO_CEILING:.2f}), ttft p95 "
+        f"ratio {report['ttft_p95_ratio']:.2f}."
+    )
+    return "\n".join(lines)
+
+
 def measure_fused_speedup(
-    variants: tuple[tuple[str, int], ...] = FUSED_GUARD_VARIANTS,
+    variants: tuple[tuple[str, int | None], ...] = FUSED_GUARD_VARIANTS,
 ) -> dict:
     """Fused vs per-sequence decode throughput on a mixed workload.
 
-    Runs the same ``FUSED_REQUESTS``-request mixed stream twice per LUT
+    Runs the same ``FUSED_REQUESTS``-request mixed stream twice per
     variant at ``max_batch = FUSED_MAX_BATCH`` — once through the
     batch-fused decode attention, once through the per-sequence
-    per-block oracle — and reports the tracked perf trajectory the
+    oracle — and reports the tracked perf trajectory the
     serving-perf-guard CI lane diffs (``BENCH_serving.json``).
 
-    The fused path claims *bit-identical* token streams on the LUT
-    backends; this measurement **fails** (RuntimeError) if any request's
-    tokens differ between the two runs, so the speedup number can never
-    be bought with a numerics change.
+    On quantized-KV variants the fused path claims *bit-identical*
+    token streams, and this measurement **fails** (RuntimeError) if any
+    request's tokens differ between the two runs, so the speedup number
+    can never be bought with a numerics change. The float-KV variant
+    (``kv_bits=None``) is 1e-9-close rather than bitwise (batched
+    einsums regroup the reductions), so its streams are not compared —
+    its numerics are pinned by the float fused parity tests instead.
     """
     variants_out = {}
     for backend, kv_bits in variants:
@@ -399,13 +570,16 @@ def measure_fused_speedup(
             )
         fused_tokens, fused_stats, fused_tok_s = runs[True]
         oracle_tokens, _, oracle_tok_s = runs[False]
-        if fused_tokens != oracle_tokens:
+        if kv_bits is not None and fused_tokens != oracle_tokens:
             raise RuntimeError(
                 "fused guard: token streams diverged from the "
                 f"per-sequence oracle (backend={backend}, "
                 f"kv_bits={kv_bits})"
             )
-        key = f"{backend}-int{kv_bits}"
+        key = (
+            f"{backend}-fp" if kv_bits is None
+            else f"{backend}-int{kv_bits}"
+        )
         variants_out[key] = {
             "backend": backend,
             "kv_bits": kv_bits,
@@ -453,6 +627,12 @@ def run(
     if workload not in WORKLOADS:
         raise ValueError(
             f"unknown workload {workload!r}; available: {WORKLOADS}"
+        )
+    if workload == "prefill-heavy":
+        raise ValueError(
+            "prefill-heavy is a chunked-vs-monolithic comparison, not a "
+            "per-variant row bench; use measure_prefill_interleaving() "
+            "(CLI: --workload prefill-heavy)"
         )
     if workload == "pool-pressure":
         # The relief valve only fires under optimistic admission:
@@ -663,12 +843,18 @@ if __name__ == "__main__":
         import pathlib
 
         report = measure_fused_speedup()
+        # One tracked file for the whole serving-perf trajectory: the
+        # fused ratios plus the chunked-prefill interleaving section.
+        report["prefill"] = measure_prefill_interleaving()
         print(format_fused_result(report))
+        print(format_prefill_result(report["prefill"]))
         if args.json:
             path = pathlib.Path(args.json)
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(report, indent=2) + "\n")
             print(f"wrote {path}")
+    elif args.workload == "prefill-heavy":
+        print(format_prefill_result(measure_prefill_interleaving()))
     else:
         smoke_variants = (("lut-blocked", 4),)
         print(

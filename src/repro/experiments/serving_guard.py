@@ -8,15 +8,21 @@ calls this module to diff it against the committed ``BENCH_serving.json``
 at the repo root — the tracked perf trajectory. The guard fails when:
 
 - a baseline variant is missing from the current report;
-- a variant's fused-over-unfused speedup fell more than
-  ``MAX_REGRESSION`` (20%) below its committed baseline speedup; or
-- a variant's speedup fell below the absolute ``SPEEDUP_FLOOR`` (2x) —
-  the bar the fused dispatch was landed against, which holds even if a
-  slow baseline was ever committed.
+- a quantized variant's fused-over-unfused speedup fell more than
+  ``MAX_REGRESSION`` (20%) below its committed baseline speedup;
+- a variant's speedup fell below its absolute floor — ``SPEEDUP_FLOOR``
+  (2x) for quantized-KV variants, ``FLOAT_SPEEDUP_FLOOR`` for float-KV
+  (``*-fp``) variants, whose fused/unfused ratio sits near 1 and is
+  noise-dominated: for them only the floor applies (fusing the float
+  path must never make decode slower), not the relative trajectory; or
+- the baseline has a ``prefill`` section (the chunked-prefill
+  interleaving guard) and the current report's chunked-over-monolithic
+  worst-step stall ratio exceeds ``STALL_RATIO_CEILING`` — chunked
+  prefill must keep cutting the long-prompt decode stall.
 
-Raw tok/s numbers are machine-dependent and are *not* compared — only
-the fused/unfused ratio, which is measured on the same machine in the
-same process and is stable across hardware.
+Raw tok/s and step-millisecond numbers are machine-dependent and are
+*not* compared — only same-machine, same-process ratios, which are
+stable across hardware.
 """
 
 from __future__ import annotations
@@ -26,8 +32,25 @@ import pathlib
 
 #: Largest tolerated relative drop of a variant's speedup vs baseline.
 MAX_REGRESSION = 0.20
-#: Absolute minimum fused-over-unfused decode speedup per variant.
+#: Absolute minimum fused-over-unfused decode speedup per quantized
+#: variant.
 SPEEDUP_FLOOR = 2.0
+#: Absolute minimum for float-KV (``*-fp``) variants: near-1 ratios are
+#: noise-dominated, so the only bar is "fusion never slows decode".
+FLOAT_SPEEDUP_FLOOR = 0.8
+#: Chunked worst engine step must stay below this fraction of the
+#: monolithic worst step (mirrors bench_serving.STALL_RATIO_CEILING).
+STALL_RATIO_CEILING = 0.8
+
+
+def variant_floor(
+    key: str,
+    floor: float = SPEEDUP_FLOOR,
+    float_floor: float = FLOAT_SPEEDUP_FLOOR,
+) -> float:
+    """The absolute speedup floor for one variant key: float-KV
+    variants (``*-fp``) carry the lower "never slower" bar."""
+    return float_floor if key.endswith("-fp") else floor
 
 
 def compare_reports(
@@ -35,6 +58,8 @@ def compare_reports(
     baseline: dict,
     max_regression: float = MAX_REGRESSION,
     floor: float = SPEEDUP_FLOOR,
+    float_floor: float = FLOAT_SPEEDUP_FLOOR,
+    stall_ceiling: float = STALL_RATIO_CEILING,
 ) -> list[str]:
     """Diff two ``BENCH_serving.json`` reports; returns failure strings
     (empty list = guard passes)."""
@@ -54,17 +79,33 @@ def compare_reports(
         speedup = float(row["speedup"])
         base_speedup = float(base_row["speedup"])
         allowed = base_speedup * (1.0 - max_regression)
-        if speedup < allowed:
+        if not key.endswith("-fp") and speedup < allowed:
             failures.append(
                 f"{key}: fused speedup {speedup:.2f}x regressed more "
                 f"than {max_regression:.0%} below the baseline "
                 f"{base_speedup:.2f}x (allowed >= {allowed:.2f}x)"
             )
-        if speedup < floor:
+        bar = variant_floor(key, floor=floor, float_floor=float_floor)
+        if speedup < bar:
             failures.append(
                 f"{key}: fused speedup {speedup:.2f}x is below the "
-                f"absolute {floor:.1f}x floor"
+                f"absolute {bar:.1f}x floor"
             )
+    if "prefill" in baseline:
+        prefill = current.get("prefill")
+        if prefill is None:
+            failures.append(
+                "prefill: section present in baseline but missing from "
+                "the current report"
+            )
+        else:
+            ratio = float(prefill["stall_ratio"])
+            if ratio > stall_ceiling:
+                failures.append(
+                    f"prefill: chunked worst step is {ratio:.2f}x the "
+                    f"monolithic worst (ceiling {stall_ceiling:.2f}) — "
+                    "chunked prefill stopped cutting the decode stall"
+                )
     return failures
 
 
@@ -89,7 +130,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--floor", type=float, default=SPEEDUP_FLOOR,
-        help="absolute minimum speedup per variant (default %(default)s)",
+        help="absolute minimum speedup per quantized variant "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--float-floor", type=float, default=FLOAT_SPEEDUP_FLOOR,
+        help="absolute minimum speedup per float-KV (*-fp) variant "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--stall-ceiling", type=float, default=STALL_RATIO_CEILING,
+        help="maximum chunked/monolithic worst-step stall ratio "
+        "(default %(default)s)",
     )
     args = parser.parse_args(argv)
     current = json.loads(pathlib.Path(args.current).read_text())
@@ -97,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
     failures = compare_reports(
         current, baseline,
         max_regression=args.max_regression, floor=args.floor,
+        float_floor=args.float_floor, stall_ceiling=args.stall_ceiling,
     )
     for key, row in sorted(current.get("variants", {}).items()):
         base = baseline.get("variants", {}).get(key, {})
@@ -106,14 +159,22 @@ def main(argv: list[str] | None = None) -> int:
             f"fused {row['fused_tok_s']} tok/s, "
             f"unfused {row['unfused_tok_s']} tok/s)"
         )
+    prefill = current.get("prefill")
+    if prefill is not None:
+        print(
+            f"prefill: chunked worst step {prefill['stall_ratio']}x "
+            f"monolithic (ceiling {args.stall_ceiling}), ttft p95 "
+            f"ratio {prefill.get('ttft_p95_ratio', '?')}"
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
         return 1
     print(
         f"serving-perf-guard OK: every variant within "
-        f"{args.max_regression:.0%} of baseline and above the "
-        f"{args.floor:.1f}x floor"
+        f"{args.max_regression:.0%} of baseline and above its floor "
+        f"(int {args.floor:.1f}x / fp {args.float_floor:.1f}x), "
+        "prefill stall ratio within ceiling"
     )
     return 0
 

@@ -155,15 +155,24 @@ def float_decode_attention(
     query: np.ndarray,
     k_cache: np.ndarray,
     v_cache: np.ndarray,
+    repeat: int = 1,
 ) -> np.ndarray:
-    """Full-precision reference decode attention."""
+    """Full-precision reference decode attention.
+
+    ``repeat > 1`` shares each cached KV head across ``repeat`` query
+    heads (grouped-query attention) by *indexing* the ``(kv_heads,
+    context, head_dim)`` caches — the same gemvs over the same rows as
+    tiling the caches with ``np.repeat``, without materializing the
+    ``(heads, context, head_dim)`` copies.
+    """
     query = np.asarray(query, dtype=np.float64)
-    heads, context, head_dim = np.asarray(k_cache).shape
+    kv_heads, context, head_dim = np.asarray(k_cache).shape
     out = np.zeros_like(query)
-    for h in range(heads):
-        scores = (k_cache[h] @ query[h]) / np.sqrt(head_dim)
+    for h in range(kv_heads * repeat):
+        kv_h = h // repeat
+        scores = (k_cache[kv_h] @ query[h]) / np.sqrt(head_dim)
         probs = softmax(scores)
-        out[h] = v_cache[h].T @ probs
+        out[h] = v_cache[kv_h].T @ probs
     return out
 
 

@@ -54,6 +54,7 @@ from repro.runtime.model import DecoderModel, RuntimeConfig
 from repro.runtime.paging import (
     BlockAllocator,
     PagedLayerCache,
+    batched_decode_append,
     fused_paged_decode_attention,
     paged_decode_attention,
 )
@@ -85,6 +86,7 @@ __all__ = [
     "SchedulingContext",
     "ServingEngine",
     "StepTrace",
+    "batched_decode_append",
     "fused_paged_decode_attention",
     "get_preemption_policy",
     "get_scheduler",

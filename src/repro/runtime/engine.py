@@ -39,6 +39,21 @@ preemption counts land in
 block counts in :class:`StepTrace`, and event totals plus resume
 latency in :class:`EngineStats`.
 
+With :attr:`~repro.runtime.model.RuntimeConfig.prefill_chunk` set, the
+engine runs **chunked prefill**: admission only creates the sequence,
+and each step spends at most ``prefill_chunk`` prompt tokens across
+the in-progress prompts (fair-share split, so a short prompt is never
+stuck behind a long one) before the batched decode runs. A partially
+prefilled sequence holds its blocks between steps and counts against
+batch slots and reserved pool headroom; under pool pressure it can be
+preempted mid-prefill (its blocks are released and it restarts from
+token zero through the warm prefix index, ahead of new admissions).
+The full prompt's prefix adoption happens before the first chunk, so
+chunking adopts exactly what a monolithic prefill would — and because
+every prefill row's numerics depend only on its absolute position
+(never the chunk split), token streams with chunking on and off are
+bit-identical on the LUT backends.
+
 Every decode step also appends a :class:`StepTrace` record (occupancy,
 queue depth, context tokens, pool usage) to the run's
 :class:`EngineStats`, so occupancy percentiles and pool behavior are
@@ -155,6 +170,10 @@ class StepTrace:
     kv_blocks_shared:
         In-use blocks referenced by more than one block table (the
         prefix-sharing savings visible this step).
+    prefilling:
+        Sequences mid-way through a chunked prefill (holding blocks
+        and a batch slot, not yet decoding). Always 0 without
+        ``prefill_chunk``.
     """
 
     step: int
@@ -166,6 +185,7 @@ class StepTrace:
     kv_blocks_free: int | None
     preempted: int = 0
     kv_blocks_shared: int = 0
+    prefilling: int = 0
 
 
 @dataclass
@@ -244,6 +264,9 @@ class _Sequence:
         # *submitted*, so queue-wait time counts toward ttft/latency.
         self.submit_time = submit_time
         self.prefill_ms = 0.0
+        #: Prompt tokens already prefilled (chunked prefill progress);
+        #: equals ``len(request.prompt)`` once the sequence is active.
+        self.prefill_pos = 0
         self.first_token_ms = 0.0
         self.decode_steps = 0
         self.preemptions = 0
@@ -337,6 +360,11 @@ class ServingEngine:
         #: scheduler policy picks which index is admitted next.
         self.waiting: list[tuple[Request, float]] = []
         self.active: list[_Sequence] = []
+        #: Admitted sequences mid-way through a chunked prefill: they
+        #: hold blocks and a batch slot and advance by at most
+        #: ``prefill_chunk`` prompt tokens per step (empty unless the
+        #: runtime sets ``prefill_chunk``).
+        self.prefilling: list[_Sequence] = []
         #: Swapped-out sequences in eviction order (recompute-on-resume
         #: records: request, generated tokens, sampling RNG, timings).
         self.preempted: list[_Sequence] = []
@@ -388,7 +416,10 @@ class ServingEngine:
 
     @property
     def has_work(self) -> bool:
-        return bool(self.waiting or self.active or self.preempted)
+        return bool(
+            self.waiting or self.active or self.prefilling
+            or self.preempted
+        )
 
     def _scheduling_context(self) -> SchedulingContext:
         pool = self.model.kv_pool
@@ -404,9 +435,12 @@ class ServingEngine:
             # trailing block carries one extra reserved block per
             # layer: its first append clones it (copy-on-write) while
             # the original stays with its other holders.
+            # Mid-prefill sequences reserve like active ones: their
+            # partial footprint is already allocated and the rest of
+            # their worst case is still owed.
             reserved = 0
             layers = self.model.config.layers
-            for seq in self.active:
+            for seq in self.active + self.prefilling:
                 request = seq.request
                 worst = worst_case_blocks(
                     len(request.prompt), request.max_new_tokens,
@@ -425,7 +459,10 @@ class ServingEngine:
                 reserved += max(0, worst - allocated) + cow_debt
             free = max(0, free - reserved)
         return SchedulingContext(
-            free_slots=self.max_batch_size - len(self.active),
+            free_slots=(
+                self.max_batch_size - len(self.active)
+                - len(self.prefilling)
+            ),
             free_blocks=free,
             block_size=pool.block_size,
             layers=self.model.config.layers,
@@ -443,19 +480,39 @@ class ServingEngine:
 
     # ------------------------------------------------------------------
     def _preempt(self, seq: _Sequence) -> None:
-        """Evict an active sequence: release its block references and
-        collapse it to a recompute-on-resume record.
+        """Evict an active or mid-prefill sequence: release its block
+        references and collapse it to a recompute-on-resume record.
 
         Shared blocks survive for their other holders; this sequence's
         full prompt blocks stay parked in the prefix index, so its own
-        resumption re-prefill usually re-adopts them.
+        resumption re-prefill usually re-adopts them. A sequence
+        evicted mid-prefill restarts its prompt from token zero on
+        resumption (no decode state exists yet to replay).
         """
         self.model.free_caches(seq.caches)
         seq.caches = []
+        seq.prefill_pos = 0
         seq.preemptions += 1
         self._preemptions += 1
-        self.active.remove(seq)
+        if seq in self.active:
+            self.active.remove(seq)
+        else:
+            self.prefilling.remove(seq)
         self.preempted.append(seq)
+
+    def _requeue_prefill(self, seq: _Sequence) -> None:
+        """Re-admit a sequence that was preempted mid-prefill.
+
+        Nothing was generated yet, so there is no decode state to
+        replay — the sequence rejoins the chunked-prefill queue from
+        token zero (recompute-on-resume for the prompt; a warm prefix
+        index usually turns the recompute back into block-table
+        adoption).
+        """
+        seq.caches = []
+        seq.prefill_pos = 0
+        self.prefilling.append(seq)
+        self._resumes += 1
 
     def _can_resume(self, seq: _Sequence) -> bool:
         """Does the pool's unreserved headroom cover a resumption?
@@ -536,8 +593,11 @@ class ServingEngine:
 
     # ------------------------------------------------------------------
     def _admit(self) -> list[RequestResult]:
-        """Resume preempted sequences, then prefill scheduler-selected
-        waiting requests into free slots.
+        """Resume preempted sequences, then admit scheduler-selected
+        waiting requests into free slots (monolithic prefill inline;
+        with ``prefill_chunk`` set, admission only queues the sequence
+        for budgeted chunked prefill and sequences preempted
+        mid-prefill rejoin that queue).
 
         Preempted requests hold completed work, so they re-enter ahead
         of new admissions whenever the pool's unreserved headroom
@@ -551,13 +611,24 @@ class ServingEngine:
         or at resumption.
         """
         done: list[RequestResult] = []
-        while self.preempted and len(self.active) < self.max_batch_size:
+        chunked = self.model.runtime.prefill_chunk is not None
+
+        def occupied() -> int:
+            return len(self.active) + len(self.prefilling)
+
+        while self.preempted and occupied() < self.max_batch_size:
             if not self._can_resume(self.preempted[0]):
                 break
-            result = self._resume(self.preempted.pop(0))
-            if result is not None:
-                done.append(result)
-        while self.waiting and len(self.active) < self.max_batch_size:
+            head = self.preempted.pop(0)
+            if head.generated:
+                result = self._resume(head)
+                if result is not None:
+                    done.append(result)
+            else:
+                # Preempted mid-prefill: no decode state to replay —
+                # rejoin the chunked-prefill queue from token zero.
+                self._requeue_prefill(head)
+        while self.waiting and occupied() < self.max_batch_size:
             choice = self.scheduler.select(
                 [request for request, _ in self.waiting],
                 self._scheduling_context(),
@@ -566,6 +637,12 @@ class ServingEngine:
                 break
             request, submitted = self.waiting.pop(choice)
             seq = _Sequence(request, self.model, submitted)
+            if chunked:
+                # Chunked prefill: admission only claims the slot; the
+                # prompt is processed by _prefill_step under the
+                # per-step token budget, interleaved with decodes.
+                self.prefilling.append(seq)
+                continue
             started = time.perf_counter()
             try:
                 logits = self.model.prefill(
@@ -579,17 +656,25 @@ class ServingEngine:
                 self.model.free_caches(seq.caches)
                 raise
             seq.prefill_ms = (time.perf_counter() - started) * 1e3
+            seq.prefill_pos = len(request.prompt)
             self._prompt_tokens += len(request.prompt)
             seq.accept(seq.sample(logits[-1]))
             if seq.finish_reason is not None:
                 done.append(self._retire(seq))
             else:
                 self.active.append(seq)
-        if not self.active and self.preempted:
-            result = self._resume(self.preempted.pop(0))
-            if result is not None:
-                done.append(result)
-        if self.waiting and not self.active and not self.preempted:
+        if not self.active and not self.prefilling and self.preempted:
+            head = self.preempted.pop(0)
+            if head.generated:
+                result = self._resume(head)
+                if result is not None:
+                    done.append(result)
+            else:
+                self._requeue_prefill(head)
+        if (
+            self.waiting and not self.active and not self.prefilling
+            and not self.preempted
+        ):
             # Nothing is in flight, so no future step can free blocks
             # or change a slot count — if the policy still declines the
             # queue, it declines it forever. Surface the deadlock
@@ -605,6 +690,94 @@ class ServingEngine:
             )
         return done
 
+    def _prefill_chunk(
+        self, seq: _Sequence, budget: int
+    ) -> tuple[RequestResult | None, int]:
+        """Advance one mid-prefill sequence by at most *budget* prompt
+        tokens; returns ``(completion, tokens_spent)``.
+
+        The first chunk is preceded by whole-prompt prefix adoption
+        (:meth:`DecoderModel.adopt_prompt_prefix`), so chunking adopts
+        exactly what a monolithic prefill would. When the final chunk
+        lands, the first token is sampled and the sequence joins the
+        active batch (or retires if one token was all it needed). On
+        pool exhaustion mid-chunk the sequence self-preempts — its
+        blocks are released and it restarts later — unless it is the
+        only sequence holding anything, in which case the exhaustion is
+        genuine and re-raised.
+        """
+        prompt = seq.request.prompt
+        model = self.model
+        started = time.perf_counter()
+        try:
+            if not seq.caches:
+                seq.caches = model.new_caches()
+            if seq.prefill_pos == 0:
+                seq.prefill_pos = model.adopt_prompt_prefix(
+                    np.array(prompt), seq.caches
+                )
+            take = min(budget, len(prompt) - seq.prefill_pos)
+            logits = model.prefill(
+                np.array(prompt[seq.prefill_pos:seq.prefill_pos + take]),
+                seq.caches,
+            )
+        except ServingError:
+            # Pool exhaustion mid-chunk. If any other sequence holds
+            # blocks, theirs will drain — self-preempt and retry later;
+            # alone, nothing can ever free the shortfall: re-raise.
+            if self.active or len(self.prefilling) > 1:
+                self._preempt(seq)
+                return None, 0
+            self.model.free_caches(seq.caches)
+            self.prefilling.remove(seq)
+            raise
+        seq.prefill_ms += (time.perf_counter() - started) * 1e3
+        seq.prefill_pos += take
+        if seq.prefill_pos < len(prompt):
+            return None, take
+        self.prefilling.remove(seq)
+        self._prompt_tokens += len(prompt)
+        seq.accept(seq.sample(logits[-1]))
+        if seq.finish_reason is not None:
+            return self._retire(seq), take
+        self.active.append(seq)
+        return None, take
+
+    def _prefill_step(self) -> list[RequestResult]:
+        """Spend this step's ``prefill_chunk`` token budget across the
+        in-progress prompts (chunked prefill).
+
+        The budget is split fair-share over the prefilling queue —
+        ``max(1, remaining // needy)`` tokens each, re-divided until
+        the budget is spent or every prompt is done — so one long
+        prompt cannot monopolize the step while short prompts wait
+        (head-of-line TTFT). Sequences whose final chunk lands join
+        the active batch immediately and decode in this same step.
+        """
+        done: list[RequestResult] = []
+        budget = self.model.runtime.prefill_chunk
+        if budget is None or not self.prefilling:
+            return done
+        remaining = budget
+        while remaining > 0 and self.prefilling:
+            queue = list(self.prefilling)
+            progressed = False
+            share = max(1, remaining // len(queue))
+            for seq in queue:
+                if remaining <= 0:
+                    break
+                result, spent = self._prefill_chunk(
+                    seq, min(share, remaining)
+                )
+                remaining -= spent
+                if spent:
+                    progressed = True
+                if result is not None:
+                    done.append(result)
+            if not progressed:
+                break
+        return done
+
     def step(self) -> list[RequestResult]:
         """Admit, run one batched decode step, retire finished sequences.
 
@@ -616,20 +789,33 @@ class ServingEngine:
         resumption.
         """
         done = self._admit()
+        done.extend(self._prefill_step())
         if not self.active:
             return done
         pool = self.model.kv_pool
         if pool.num_blocks is not None:
             # Relief valve: preempt until this step's allocations fit.
-            # A single remaining sequence is never preempted — evicting
-            # it cannot create headroom its own resumption wouldn't
-            # need again, so a genuine exhaustion surfaces in the
-            # decode as before.
-            while len(self.active) > 1:
+            # Block-holding mid-prefill sequences go first (latest
+            # first — they lose the least completed work and re-adopt
+            # most of it through the prefix index); then the preemption
+            # policy ranks the active batch. A single remaining active
+            # sequence is never preempted — evicting it cannot create
+            # headroom its own resumption wouldn't need again, so a
+            # genuine exhaustion surfaces in the decode as before.
+            while True:
                 needed = sum(
                     self._step_block_need(seq) for seq in self.active
                 )
                 if needed <= pool.free_blocks:
+                    break
+                holders = [
+                    seq for seq in self.prefilling
+                    if any(c.block_ids for c in seq.caches)
+                ]
+                if holders:
+                    self._preempt(holders[-1])
+                    continue
+                if len(self.active) <= 1:
                     break
                 order = self.preemption.select_victims(
                     self.active, self._scheduling_context()
@@ -650,6 +836,7 @@ class ServingEngine:
                 kv_blocks_free=pool.free_blocks,
                 preempted=len(self.preempted),
                 kv_blocks_shared=pool.shared_in_use,
+                prefilling=len(self.prefilling),
             )
         )
         tokens = np.array([seq.last_token for seq in self.active])

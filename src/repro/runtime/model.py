@@ -32,13 +32,13 @@ from repro.errors import ServingError
 from repro.lut.attention import MASKED_SCORE, float_decode_attention
 from repro.lut.table import DEFAULT_K
 from repro.models.configs import ModelConfig
-from repro.numerics import softmax
 from repro.runtime.linear import QuantizedLinear
 from repro.runtime.paging import (
     DEFAULT_BLOCK_SIZE,
     DEFAULT_PREFIX_CACHE_BLOCKS,
     BlockAllocator,
     PagedLayerCache,
+    batched_decode_append,
     fused_paged_decode_attention,
     paged_decode_attention,
 )
@@ -96,13 +96,28 @@ class RuntimeConfig:
     fused_decode:
         Run batched decode attention through
         :func:`~repro.runtime.paging.fused_paged_decode_attention` —
-        one gathered mpGEMM dispatch per layer across the whole batch
-        instead of per-(sequence, head, block) kernel calls.
+        one gathered dispatch per layer across the whole batch instead
+        of per-(sequence, head, block) kernel calls, with the K/V
+        appends batched pool-level too
+        (:func:`~repro.runtime.paging.batched_decode_append`).
         Bit-identical to the per-sequence path on the LUT backends
         (1e-9 on ``reference``, whose batched BLAS reductions differ in
-        the last ulp); applies only when ``kv_bits`` is set — float-KV
-        decode always takes the per-sequence float path. ``False``
-        keeps the unfused path as the differential-testing oracle.
+        the last ulp). With ``kv_bits=None`` the float-KV fused branch
+        runs batched einsum attention over gathered float slabs — 1e-9
+        against the per-sequence float path, bitwise invariant to
+        batch composition. ``False`` keeps the unfused per-sequence
+        path (with sequential appends) as the differential-testing
+        oracle.
+    prefill_chunk:
+        Per-engine-step prompt-token budget for **chunked prefill**.
+        ``None`` (default) prefills each admitted prompt monolithically
+        inside admission; an integer makes the engine process at most
+        that many prompt tokens per step, interleaved with decode
+        steps, so one long prompt no longer stalls every active
+        decode. Token streams are bit-identical either way on the LUT
+        backends: chunked prefill computes the same rows (the causal
+        softmax denominators depend only on a row's absolute position,
+        never on the chunk split).
     """
 
     weight_bits: int | None = 4
@@ -117,8 +132,11 @@ class RuntimeConfig:
     prefix_cache_blocks: int | None = DEFAULT_PREFIX_CACHE_BLOCKS
     seed: int = 0
     fused_decode: bool = True
+    prefill_chunk: int | None = None
 
     def __post_init__(self) -> None:
+        if self.prefill_chunk is not None and self.prefill_chunk < 1:
+            raise ServingError("prefill_chunk must be >= 1 or None")
         if self.max_seq_len < 1:
             raise ServingError("max_seq_len must be positive")
         if self.kv_bits is not None and not 1 <= self.kv_bits <= 8:
@@ -131,6 +149,28 @@ class RuntimeConfig:
             raise ServingError("kv_pool_blocks must be >= 1 or None")
         if self.prefix_cache_blocks is not None and self.prefix_cache_blocks < 0:
             raise ServingError("prefix_cache_blocks must be >= 0 or None")
+
+
+def _causal_softmax(scores: np.ndarray, past: int) -> np.ndarray:
+    """Row softmax over ``(heads, t, past + t)`` causal prefill scores
+    whose denominators sum each row's true causal width.
+
+    Masked (future) entries underflow to exactly ``0.0``, but summing
+    them anyway would fold a *chunk-split-dependent* number of exact
+    zeros into numpy's pairwise reduction tree and move the last ulp.
+    Summing exactly row i's ``past + i + 1`` leading entries makes
+    every prefill row a function of its absolute position only — the
+    invariant that pins chunked prefill bit-identical to a monolithic
+    one on the LUT backends (the fused decode side maintains the same
+    invariant via ``_grouped_softmax``).
+    """
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    denom = np.empty(shifted.shape[:-1] + (1,))
+    past = int(past)
+    for i in range(scores.shape[1]):
+        denom[:, i, 0] = e[:, i, :past + i + 1].sum(axis=-1)
+    return e / denom
 
 
 def _layer_norm(x: np.ndarray, gain: np.ndarray, bias: np.ndarray) -> np.ndarray:
@@ -319,6 +359,33 @@ class DecoderModel:
         self.stats["shared_prefix_tokens"] += common
         return common
 
+    def adopt_prompt_prefix(
+        self, tokens: np.ndarray, caches: list[PagedLayerCache]
+    ) -> int:
+        """Adopt a full prompt's indexed prefix ahead of chunked prefill.
+
+        Chunked prefill feeds :meth:`prefill` one slice of the prompt
+        at a time, but prefix adoption must see the *whole* prompt to
+        adopt as much as a monolithic prefill would (matching inside
+        the first chunk alone would stop at the chunk edge). The
+        engine calls this once with the full prompt before the first
+        chunk; the return value is the number of leading tokens
+        already cached, so chunking starts from that offset. No-op
+        (returns 0) unless the same gate a monolithic prefill applies
+        holds: sharing enabled, empty caches, a multi-token prompt,
+        and layer-tagged caches. Like monolithic adoption, the final
+        prompt token is never adopted — its logits row feeds sampling.
+        """
+        tokens = self._check_tokens(tokens)
+        if (
+            not self.runtime.prefix_sharing
+            or caches[0].length != 0
+            or tokens.size <= 1
+            or any(c.layer is None for c in caches)
+        ):
+            return 0
+        return self._adopt_prefix(tokens, caches)
+
     def shareable_blocks(self, token_ids, live_only: bool = False) -> int:
         """Pool blocks a prompt could adopt from the prefix index now.
 
@@ -413,15 +480,22 @@ class DecoderModel:
             k = layer.wk(h).reshape(t, cfg.kv_heads, hd)
             v = layer.wv(h).reshape(t, cfg.kv_heads, hd)
             cache.append(k, v, token_ids=tokens)
-            k_all = np.repeat(cache.k_view(), rep, axis=0)
-            v_all = np.repeat(cache.v_view(), rep, axis=0)
-            # (heads, t, total)
+            k_all = cache.k_view()
+            v_all = cache.v_view()
+            # Grouped-query attention over the raw (kv_heads, total,
+            # hd) views: q regrouped per KV head — einsum's
+            # per-element reductions match the np.repeat form bit for
+            # bit without materializing (heads, total, hd) copies.
+            q4 = q.reshape(t, cfg.kv_heads, rep, hd)
             scores = (
-                np.einsum("thd,hTd->htT", q, k_all) / np.sqrt(hd)
-                + mask[None]
-            )
-            probs = softmax(scores)
-            ctx = np.einsum("htT,hTd->thd", probs, v_all).reshape(t, d)
+                np.einsum("tkrd,kTd->krtT", q4, k_all) / np.sqrt(hd)
+            ).reshape(cfg.heads, t, total) + mask[None]
+            probs = _causal_softmax(scores, past)
+            ctx = np.einsum(
+                "krtT,kTd->tkrd",
+                probs.reshape(cfg.kv_heads, rep, t, total),
+                v_all,
+            ).reshape(t, d)
             x = x + layer.wo(ctx)
             h2 = _layer_norm(x, layer.ln2_g, layer.ln2_b)
             x = x + layer.ffn(h2)
@@ -450,9 +524,12 @@ class DecoderModel:
         rep = cfg.heads // cfg.kv_heads
         self.stats["attn_context_tokens"] += cache.length
         if rt.kv_bits is None:
-            k_all = np.repeat(cache.k_view(), rep, axis=0)
-            v_all = np.repeat(cache.v_view(), rep, axis=0)
-            return float_decode_attention(query, k_all, v_all)
+            # repeat= shares each KV head's gathered view across its
+            # query-head group by index — no (heads, T, hd) np.repeat
+            # copies, bitwise-identical gemvs over the same rows.
+            return float_decode_attention(
+                query, cache.k_view(), cache.v_view(), repeat=rep
+            )
         return paged_decode_attention(
             query,
             cache,
@@ -471,9 +548,13 @@ class DecoderModel:
         ``tokens[b]`` is sequence *b*'s most recent token; its position
         is that sequence's current cache length. The linear projections
         run **batched** across sequences (one ``(B, hidden)`` mpGEMM per
-        projection — this is what continuous batching buys), while
-        attention runs per sequence over its own cached context. Returns
-        next-token logits of shape ``(B, vocab)``.
+        projection — this is what continuous batching buys). With
+        ``fused_decode`` (default) the K/V appends land through one
+        pool-level batched write per layer and attention runs as one
+        fused dispatch over every sequence's block table — for
+        quantized *and* float KV caches; unfused keeps the sequential
+        per-sequence appends and attention as the differential-testing
+        oracle. Returns next-token logits of shape ``(B, vocab)``.
         """
         tokens = np.asarray(tokens, dtype=np.int64)
         if tokens.ndim != 1 or tokens.size != len(caches_per_seq):
@@ -487,33 +568,42 @@ class DecoderModel:
                 f"a sequence reached max_seq_len {rt.max_seq_len}"
             )
         x = self.tok_emb[tokens] + self.pos_emb[positions]
-        fused = rt.fused_decode and rt.kv_bits is not None
+        fused = rt.fused_decode
         rep = cfg.heads // cfg.kv_heads
+        # Hoisted once per step instead of rebuilt per layer: the
+        # per-layer cache tables, and the post-append context total
+        # (each sequence's pre-append length plus its one new row).
+        layer_caches = [
+            [caches[li] for caches in caches_per_seq]
+            for li in range(len(self.layers))
+        ]
+        step_context = int(positions.sum()) + b
         for li, layer in enumerate(self.layers):
             h = _layer_norm(x, layer.ln1_g, layer.ln1_b)
             q = layer.wq(h).reshape(b, cfg.heads, hd)
             k = layer.wk(h).reshape(b, cfg.kv_heads, hd)
             v = layer.wv(h).reshape(b, cfg.kv_heads, hd)
-            for s, caches in enumerate(caches_per_seq):
-                caches[li].append(k[s], v[s], token_ids=tokens[s:s + 1])
             if fused:
-                layer_caches = [caches[li] for caches in caches_per_seq]
-                self.stats["attn_context_tokens"] += sum(
-                    c.length for c in layer_caches
-                )
+                # Pool-level batched append (one allocation pass, one
+                # stacked quantize/plan build) + one fused attention
+                # dispatch for the whole batch.
+                batched_decode_append(layer_caches[li], k, v, tokens)
+                self.stats["attn_context_tokens"] += step_context
                 attn = fused_paged_decode_attention(
                     q,
-                    layer_caches,
+                    layer_caches[li],
                     repeat=rep,
                     table_dtype=rt.table_dtype,
                     backend=rt.backend,
                 ).reshape(b, d)
             else:
+                # Sequential oracle: per-sequence appends + attention,
+                # kept as the differential-testing reference for both
+                # the batched append and the fused kernels.
                 attn = np.empty((b, d))
-                for s, caches in enumerate(caches_per_seq):
-                    attn[s] = self._decode_attention(
-                        q[s], caches[li]
-                    ).reshape(d)
+                for s, cache in enumerate(layer_caches[li]):
+                    cache.append(k[s], v[s], token_ids=tokens[s:s + 1])
+                    attn[s] = self._decode_attention(q[s], cache).reshape(d)
             x = x + layer.wo(attn)
             h2 = _layer_norm(x, layer.ln2_g, layer.ln2_b)
             x = x + layer.ffn(h2)

@@ -66,6 +66,25 @@ drops. Fully-filled indexed blocks whose refcount reaches zero are
 *parked* instead of scrubbed (recently-freed sharing: a completed
 request's prompt blocks keep serving later identical prompts) and are
 reclaimed LRU-first when a bounded pool runs out of virgin blocks.
+
+**Batched decode append.** The decode hot loop extends every active
+sequence by exactly one row per layer. :func:`batched_decode_append`
+replaces the per-sequence ``cache.append`` loop with one pool-level
+write: per-cache boundary allocation / copy-on-write first (at most
+one allocation per sequence, in batch order — the same allocation
+order as the sequential loop), then :meth:`BlockAllocator.append_rows`
+lands every row with **one** stacked quantize + plan build. Per-row
+scales are row-local and every derived plan array is per output
+column, so the resulting pool state is bit-identical to the
+sequential loop.
+
+**Float-KV fused decode.** :func:`fused_paged_decode_attention` also
+serves pools built with ``bits=None``: the float K/V slabs are
+gathered per batch and attention runs as one batched einsum per side
+with the same per-row exact-width softmax denominators
+(:func:`_grouped_softmax`) the per-sequence float path uses — so
+``fused_decode`` no longer silently falls back to per-sequence Python
+loops when the KV cache is unquantized.
 """
 
 from __future__ import annotations
@@ -642,6 +661,103 @@ class BlockAllocator:
             self._v_cache.pop(block_id, None)
         self._fill[block_id] = off + t_new
 
+    def append_rows(
+        self, block_ids, k_rows: np.ndarray, v_rows: np.ndarray
+    ) -> None:
+        """Append one row into each of several *distinct* blocks at once.
+
+        ``block_ids`` names B distinct writable blocks; ``k_rows`` /
+        ``v_rows`` are ``(B, kv_heads, head_dim)`` — one new token per
+        block. Semantically B single-row :meth:`write_rows` calls,
+        executed as one vectorized slab write plus **one** stacked
+        quantize + plan build over all ``B * kv_heads`` rows: per-row
+        quantization scales are row-local and every derived plan array
+        is per output column, so the codes, scales and K-arena columns
+        land bit-identical to the sequential loop (the batched-append
+        parity tests pin this). Staleness accounting is per block
+        exactly as in :meth:`write_rows`: stale prefix-index entries
+        drop before the rows land, materialized legacy plans extend,
+        V caches invalidate, and ``k_plan_cols`` grows by one column
+        per KV head per block.
+        """
+        bids = np.asarray(block_ids, dtype=np.int64)
+        nb = int(bids.size)
+        if nb == 0:
+            return
+        if len({int(i) for i in bids}) != nb:
+            raise ServingError(
+                "append_rows destination blocks must be distinct"
+            )
+        k_rows = np.asarray(k_rows, dtype=np.float64)
+        v_rows = np.asarray(v_rows, dtype=np.float64)
+        shape = (nb, self.kv_heads, self.head_dim)
+        if k_rows.shape != shape or v_rows.shape != shape:
+            raise ServingError(
+                f"expected rows of shape {shape}, got "
+                f"{k_rows.shape} / {v_rows.shape}"
+            )
+        for bid in bids:
+            bid = int(bid)
+            if self._refcount[bid] > 1:
+                raise ServingError(
+                    f"block {bid} is shared by {self.refcount(bid)} "
+                    "tables; copy-on-write before appending"
+                )
+            if self._block_key.get(bid) is not None:
+                self._unregister(bid)
+        offs = self._fill[bids]
+        if (offs >= self.block_size).any():
+            raise ServingError(
+                f"block overflow: a destination block is already at "
+                f"fill {self.block_size}"
+            )
+        self._k[bids, :, offs] = k_rows
+        self._v[bids, :, offs] = v_rows
+        if self.bits is not None:
+            flat = k_rows.reshape(nb * self.kv_heads, self.head_dim)
+            if self._k_group:
+                qw = quantize_weights(
+                    flat, self.bits, axis=1, group_size=self._k_group
+                )
+            else:
+                qw = quantize_weights(flat, self.bits, axis=0)
+            self._k_codes[bids, :, offs] = qw.codes.reshape(
+                nb, self.kv_heads, self.head_dim
+            )
+            qshape = (nb, self.kv_heads, -1)
+            self._k_scale[bids, :, offs] = qw.scale.reshape(qshape)
+            self._k_zp[bids, :, offs] = qw.zero_point.reshape(qshape)
+            started = time.perf_counter()
+            sub = build_weight_plan(qw, self.lut_k)
+            gk = self.head_dim // self.lut_k
+            flat_idx = sub.flat_lookup_indices(1 << (self.lut_k - 1), True)
+            # (bits, gk, B * kv_heads) columns scattered per block.
+            self._ka_flat[bids, :, :, :, offs] = (
+                flat_idx.reshape(sub.bits, gk, nb, self.kv_heads)
+                .transpose(2, 3, 0, 1)
+            )
+            self._ka_scale[bids, :, :, offs] = (
+                sub.scale_gn.reshape(gk, nb, self.kv_heads)
+                .transpose(1, 2, 0)
+            )
+            self._ka_zero[bids, :, :, offs] = (
+                sub.zero_gn.reshape(gk, nb, self.kv_heads)
+                .transpose(1, 2, 0)
+            )
+            self.stats["k_plan_cols"] += nb * self.kv_heads
+            self.stats["k_plan_s"] += time.perf_counter() - started
+            for j, bid in enumerate(bids):
+                bid = int(bid)
+                plans = self._k_plans.get(bid)
+                if plans is not None:
+                    started = time.perf_counter()
+                    off = int(offs[j])
+                    for h, plan in enumerate(plans):
+                        plan.extend(self.k_row_weight(bid, h, off, off + 1))
+                    self.stats["k_plan_s"] += time.perf_counter() - started
+                self._v_cache.pop(bid, None)
+        self._fill[bids] = offs + 1
+
     def k_row_weight(
         self, block_id: int, head: int, r0: int, r1: int
     ) -> QuantizedWeight:
@@ -994,6 +1110,88 @@ class PagedLayerCache:
         return (entries * self.bits + 7) // 8
 
 
+def batched_decode_append(
+    caches: list[PagedLayerCache],
+    k_rows: np.ndarray,
+    v_rows: np.ndarray,
+    token_ids=None,
+) -> None:
+    """Append one token to every cache in *caches* with one pool write.
+
+    The batched equivalent of the decode loop's per-sequence
+    ``cache.append(k_rows[s], v_rows[s], token_ids=token_ids[s:s+1])``:
+    per-cache boundary allocation and copy-on-write run first — at most
+    one allocation per sequence, issued in batch order, so the pool
+    draws the same free-list/eviction sequence as the sequential loop —
+    then **one** :meth:`BlockAllocator.append_rows` writes every
+    sequence's row, and prefix-index maintenance follows per cache.
+    The resulting pool and cache state is bit-identical to the
+    sequential loop (pinned by the batched-append parity tests and the
+    fused-vs-unfused engine fuzz, whose unfused oracle keeps the
+    sequential appends).
+
+    All caches must share one pool. After the CoW pass every cache owns
+    its trailing block privately, so the destination blocks are
+    distinct by construction — which is what makes the single stacked
+    quantize legal.
+    """
+    if not caches:
+        return
+    pool = caches[0].pool
+    if any(c.pool is not pool for c in caches):
+        raise ServingError("batched append needs one shared block pool")
+    k_rows = np.asarray(k_rows, dtype=np.float64)
+    v_rows = np.asarray(v_rows, dtype=np.float64)
+    total = len(caches)
+    shape = (total, pool.kv_heads, pool.head_dim)
+    if k_rows.shape != shape or v_rows.shape != shape:
+        raise ServingError(
+            f"expected rows of shape {shape}, got "
+            f"{k_rows.shape} / {v_rows.shape}"
+        )
+    ids = None
+    if token_ids is not None:
+        ids = np.atleast_1d(np.asarray(token_ids, dtype=np.int64))
+        if ids.shape != (total,):
+            raise ServingError(
+                f"expected {total} token ids, got shape {ids.shape}"
+            )
+    dest: list[int] = []
+    for cache in caches:
+        if cache._released:
+            raise ServingError("cache was released back to the pool")
+        if cache.length == cache.padded_context():
+            cache.block_ids.append(pool.allocate())
+        elif pool.refcount(cache.block_ids[-1]) > 1:
+            shared = cache.block_ids[-1]
+            cache.block_ids[-1] = pool.cow_clone(shared)
+            pool.free(shared)
+        dest.append(cache.block_ids[-1])
+    pool.append_rows(dest, k_rows, v_rows)
+    for s, cache in enumerate(caches):
+        cache.length += 1
+        track = (
+            cache.layer is not None
+            and ids is not None
+            and len(cache._tokens) == cache.length - 1
+        )
+        if not track:
+            continue
+        cache._tokens.append(int(ids[s]))
+        start = (len(cache.block_ids) - 1) * cache.block_size
+        segment = cache._tokens[start:cache.length]
+        prev = (
+            cache._chain[len(cache.block_ids) - 2]
+            if len(cache.block_ids) > 1 else b""
+        )
+        key = pool.prefix_key(cache.layer, prev, segment)
+        if len(cache._chain) == len(cache.block_ids):
+            cache._chain[-1] = key       # trailing block grew
+        else:
+            cache._chain.append(key)     # first row of a new block
+        pool.register_prefix(cache.block_ids[-1], key, segment)
+
+
 def paged_decode_attention(
     query: np.ndarray,
     cache: PagedLayerCache,
@@ -1124,28 +1322,23 @@ def fused_paged_decode_attention(
     of batch composition; the ``reference`` backend's batched BLAS/
     einsum reductions differ in the last ulp, so its parity is 1e-9.
     Returns ``(B, heads, head_dim)``.
+
+    A pool built with ``bits=None`` takes the **float-KV branch**
+    instead: gathered padded float slabs, one batched score einsum,
+    :func:`_grouped_softmax` over each sequence's *exact* length, one
+    batched context einsum. That recipe is batch-composition invariant
+    bitwise (einsum reduces per output element) and matches the
+    per-sequence :func:`~repro.lut.attention.float_decode_attention`
+    path at 1e-9 — its per-head BLAS gemv reductions associate
+    differently in the last ulp.
     """
     if not caches:
         raise ServingError("fused decode needs at least one sequence")
     pool = caches[0].pool
     if any(c.pool is not pool for c in caches):
         raise ServingError("all fused caches must share one block pool")
-    if pool.bits is None:
-        raise ServingError("paged LUT attention needs a quantized pool")
     if any(c.length == 0 for c in caches):
         raise ServingError("cannot attend over an empty cache")
-    config = LutMpGemmConfig(
-        k=pool.lut_k,
-        act_dtype=act_dtype,
-        table_dtype=table_dtype,
-        backend=backend,
-    )
-    kernel = get_backend(config.backend)
-    if config.table_dtype is not None and not kernel.needs_table:
-        raise LutError(
-            f"backend {kernel.name!r} has no tables and cannot model "
-            f"table_dtype={config.table_dtype.name} quantization"
-        )
     kv, hd, block_size = pool.kv_heads, pool.head_dim, pool.block_size
     heads = kv * repeat
     b = len(caches)
@@ -1164,6 +1357,43 @@ def fused_paged_decode_attention(
     for i, cache in enumerate(caches):
         ids[i, :nblocks[i]] = cache.block_ids
     table_valid = np.arange(maxb)[None, :] < nblocks[:, None]
+    inv_sqrt_d = 1.0 / np.sqrt(hd)
+    key_valid = np.arange(n)[None, :] < lengths[:, None]
+    if pool.bits is None:
+        # Float-KV branch: gather the padded K/V slabs and run one
+        # batched einsum per side, grouped-query heads sharing each KV
+        # head's slab by reshape (no np.repeat materialization). The
+        # softmax denominators sum each row's *exact* context length —
+        # the per-sequence float path softmaxes an unpadded length-L
+        # vector, so exact widths (not the quantized path's padded
+        # ``nblocks * block_size``) are what keep this the same recipe.
+        # einsum's per-output-element reductions make the result
+        # batch-composition invariant bitwise; parity with the
+        # per-sequence BLAS path is 1e-9 (different reduction order).
+        kg = pool._k[ids].transpose(0, 2, 1, 3, 4).reshape(b, kv, n, hd)
+        q4 = queries.reshape(b, kv, repeat, hd)
+        scores = np.einsum("bkrd,bknd->bkrn", q4, kg).reshape(b, heads, n)
+        scores = np.where(
+            key_valid[:, None, :], scores * inv_sqrt_d, MASKED_SCORE
+        )
+        probs = _grouped_softmax(scores, lengths)
+        vg = pool._v[ids].transpose(0, 2, 1, 3, 4).reshape(b, kv, n, hd)
+        out = np.einsum(
+            "bkrn,bknd->bkrd", probs.reshape(b, kv, repeat, n), vg
+        )
+        return out.reshape(b, heads, hd)
+    config = LutMpGemmConfig(
+        k=pool.lut_k,
+        act_dtype=act_dtype,
+        table_dtype=table_dtype,
+        backend=backend,
+    )
+    kernel = get_backend(config.backend)
+    if config.table_dtype is not None and not kernel.needs_table:
+        raise LutError(
+            f"backend {kernel.name!r} has no tables and cannot model "
+            f"table_dtype={config.table_dtype.name} quantization"
+        )
     # Bring stale V arenas up to date — in steady state only each
     # sequence's trailing block; full blocks refresh once, ever.
     live = np.unique(ids[table_valid])
@@ -1209,8 +1439,6 @@ def fused_paged_decode_attention(
         kd = np.repeat(kd, repeat, axis=1).reshape(b * heads, n, hd)
         raw = rowwise_dequant_execute(acts, kd)
     scores = raw.reshape(b, heads, n)
-    inv_sqrt_d = 1.0 / np.sqrt(hd)
-    key_valid = np.arange(n)[None, :] < lengths[:, None]
     scores = np.where(
         key_valid[:, None, :], scores * inv_sqrt_d, MASKED_SCORE
     )
@@ -1257,6 +1485,7 @@ __all__ = [
     "DEFAULT_PREFIX_CACHE_BLOCKS",
     "INITIAL_POOL_BLOCKS",
     "PagedLayerCache",
+    "batched_decode_append",
     "fused_paged_decode_attention",
     "paged_decode_attention",
 ]

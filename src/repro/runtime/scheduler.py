@@ -23,6 +23,12 @@ arrival order, and return the index of the request to admit or ``None``
 to admit nothing this step. The engine re-consults the policy after
 every admission, so a policy can admit several requests per step.
 
+With chunked prefill (``RuntimeConfig.prefill_chunk``) a sequence can
+sit mid-prefill for several steps holding a *partial* footprint; the
+engine's scheduling context counts those sequences against free slots
+and reserves the rest of their worst case exactly like active ones, so
+``memory-aware`` admission arithmetic is unchanged by chunking.
+
 Admission back-pressure only gates at entry; once sequences are
 running, a bounded pool that runs hot needs a relief valve. That is the
 :class:`PreemptionPolicy` seam: when the next decode step cannot

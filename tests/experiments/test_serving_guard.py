@@ -5,10 +5,13 @@ import json
 import pytest
 
 from repro.experiments.serving_guard import (
+    FLOAT_SPEEDUP_FLOOR,
     MAX_REGRESSION,
     SPEEDUP_FLOOR,
+    STALL_RATIO_CEILING,
     compare_reports,
     main,
+    variant_floor,
 )
 
 
@@ -77,6 +80,63 @@ class TestCompareReports:
         assert len(failures) == 2
 
 
+class TestFloatVariants:
+    def test_float_floor_is_lower(self):
+        assert variant_floor("lut-blocked-fp") == FLOAT_SPEEDUP_FLOOR
+        assert variant_floor("lut-blocked-int4") == SPEEDUP_FLOOR
+        assert FLOAT_SPEEDUP_FLOOR < SPEEDUP_FLOOR
+
+    def test_float_variant_skips_relative_regression(self):
+        """Near-1 float ratios are noise-dominated: a relative drop
+        alone must not fail the guard as long as the floor holds."""
+        kwargs = {"lut-blocked-fp": 0.95}
+        base = {"lut-blocked-fp": 1.3}
+        assert compare_reports(_report(**kwargs), _report(**base)) == []
+
+    def test_float_variant_floor_still_binds(self):
+        failures = compare_reports(
+            _report(**{"lut-blocked-fp": 0.7}),
+            _report(**{"lut-blocked-fp": 1.2}),
+        )
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+
+
+def _with_prefill(report, stall_ratio):
+    report = dict(report)
+    report["prefill"] = {
+        "stall_ratio": stall_ratio,
+        "ttft_p95_ratio": 1.1,
+        "mono": {"stall_max_ms": 100.0},
+        "chunked": {"stall_max_ms": stall_ratio * 100.0},
+    }
+    return report
+
+
+class TestPrefillSection:
+    def test_stall_within_ceiling_passes(self):
+        current = _with_prefill(_report(a=2.6), 0.4)
+        baseline = _with_prefill(_report(a=2.6), 0.5)
+        assert compare_reports(current, baseline) == []
+
+    def test_stall_above_ceiling_fails(self):
+        current = _with_prefill(_report(a=2.6), STALL_RATIO_CEILING + 0.1)
+        baseline = _with_prefill(_report(a=2.6), 0.4)
+        failures = compare_reports(current, baseline)
+        assert len(failures) == 1
+        assert "stall" in failures[0]
+
+    def test_missing_prefill_section_fails(self):
+        baseline = _with_prefill(_report(a=2.6), 0.4)
+        failures = compare_reports(_report(a=2.6), baseline)
+        assert len(failures) == 1
+        assert "prefill" in failures[0]
+
+    def test_baseline_without_prefill_is_backwards_compatible(self):
+        current = _with_prefill(_report(a=2.6), 0.9)
+        assert compare_reports(current, _report(a=2.6)) == []
+
+
 class TestCli:
     def _write(self, path, report):
         path.write_text(json.dumps(report))
@@ -113,8 +173,14 @@ class TestBaselineFile:
         baseline = json.loads((root / "BENCH_serving.json").read_text())
         assert baseline["bench"] == "serving-fused-decode"
         for key, row in baseline["variants"].items():
-            assert float(row["speedup"]) >= SPEEDUP_FLOOR, key
+            assert float(row["speedup"]) >= variant_floor(key), key
             assert float(row["fused_tok_s"]) > 0
             assert float(row["unfused_tok_s"]) > 0
             assert 0.0 < MAX_REGRESSION < 1.0
+        assert any(key.endswith("-fp") for key in baseline["variants"]), (
+            "the float-KV fused variant must be tracked"
+        )
+        prefill = baseline["prefill"]
+        assert float(prefill["stall_ratio"]) <= STALL_RATIO_CEILING
+        assert prefill["chunked"]["stall_max_ms"] > 0
         assert compare_reports(baseline, baseline) == []

@@ -21,7 +21,7 @@ pins that claim three ways:
 import numpy as np
 import pytest
 
-from repro.lut.attention import lut_decode_attention
+from repro.lut.attention import float_decode_attention, lut_decode_attention
 from repro.models.configs import ModelConfig
 from repro.runtime import (
     DecoderModel,
@@ -438,6 +438,8 @@ class TestFusedKernelParityMatrix:
             fused_paged_decode_attention(np.zeros((0, 2, 8)), [])
         float_pool = BlockAllocator(2, 8, block_size=8)
         cache = PagedLayerCache(float_pool)
+        # A float pool is served by the float fused branch now — but an
+        # empty cache is still unservable.
         with pytest.raises(ServingError):
             fused_paged_decode_attention(np.zeros((1, 2, 8)), [cache])
         pool = BlockAllocator(2, 8, block_size=8, bits=4)
@@ -455,3 +457,107 @@ class TestFusedKernelParityMatrix:
             fused_paged_decode_attention(
                 np.zeros((2, 2, 8)), [full, other]
             )
+
+
+class TestFloatKvFused:
+    """The float branch: ``kv_bits=None`` pools no longer fall back to
+    per-sequence decode — the fused batch gathers the float slabs and
+    runs grouped einsums, 1e-9-close to the per-head gemv reference and
+    bitwise invariant to batch composition."""
+
+    def _grown(self, lengths, seed):
+        rng = np.random.default_rng(seed)
+        pool = BlockAllocator(2, 8, block_size=8)
+        caches = []
+        for length in lengths:
+            cache = PagedLayerCache(pool)
+            cache.append(
+                rng.normal(size=(length, 2, 8)),
+                rng.normal(size=(length, 2, 8)),
+            )
+            caches.append(cache)
+        return pool, caches
+
+    @pytest.mark.parametrize("repeat", [1, 2])
+    def test_matches_per_sequence_float_reference(self, repeat):
+        """Ragged float batch vs B calls of the contiguous-view gemv
+        path (the unfused decode's float oracle)."""
+        lengths = [1, 7, 8, 19, 24]
+        _, caches = self._grown(lengths, seed=41)
+        rng = np.random.default_rng(42)
+        queries = rng.normal(size=(len(caches), 2 * repeat, 8))
+        got = fused_paged_decode_attention(queries, caches, repeat=repeat)
+        want = np.stack([
+            float_decode_attention(
+                queries[i], cache.k_view(), cache.v_view(), repeat=repeat
+            )
+            for i, cache in enumerate(caches)
+        ])
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_batch_composition_invariance(self):
+        """A sequence's float fused output is bitwise independent of
+        its batch neighbours (padded columns are exact zeros that never
+        enter a reduction)."""
+        lengths = [4, 9, 17, 24]
+        _, caches = self._grown(lengths, seed=43)
+        rng = np.random.default_rng(44)
+        queries = rng.normal(size=(4, 4, 8))
+        full = fused_paged_decode_attention(queries, caches, repeat=2)
+        solo = np.concatenate([
+            fused_paged_decode_attention(
+                queries[i:i + 1], caches[i:i + 1], repeat=2
+            )
+            for i in range(4)
+        ])
+        np.testing.assert_array_equal(full, solo)
+        pair = fused_paged_decode_attention(
+            queries[1:3], caches[1:3], repeat=2
+        )
+        np.testing.assert_array_equal(full[1:3], pair)
+
+    def test_growth_across_block_boundaries(self):
+        lengths = [2, 2, 2]
+        _, caches = self._grown(lengths, seed=45)
+        rng = np.random.default_rng(46)
+        for step in range(20):
+            grower = caches[step % len(caches)]
+            grower.append(
+                rng.normal(size=(2, 8)), rng.normal(size=(2, 8))
+            )
+            queries = rng.normal(size=(3, 4, 8))
+            got = fused_paged_decode_attention(queries, caches, repeat=2)
+            want = np.stack([
+                float_decode_attention(
+                    queries[i], c.k_view(), c.v_view(), repeat=2
+                )
+                for i, c in enumerate(caches)
+            ])
+            np.testing.assert_allclose(
+                got, want, atol=1e-9, err_msg=f"step {step}"
+            )
+
+    def test_engine_float_kv_fused_logits_match_unfused(self):
+        """Model-level differential drive with kv_bits=None: the fused
+        engine's decode logits track the unfused oracle at 1e-9 over
+        mixed prefill lengths and many steps."""
+        rng = np.random.default_rng(47)
+        rt = dict(
+            weight_bits=4, kv_bits=None, backend="lut-blocked",
+            max_seq_len=64, kv_block_size=8,
+        )
+        fused = DecoderModel(FUZZ, RuntimeConfig(**rt))
+        oracle = DecoderModel(FUZZ, RuntimeConfig(fused_decode=False, **rt))
+        assert fused.runtime.fused_decode
+        nseq = 4
+        caches_f = [fused.new_caches() for _ in range(nseq)]
+        caches_o = [oracle.new_caches() for _ in range(nseq)]
+        for s in range(nseq):
+            prompt = rng.integers(0, FUZZ.vocab, size=int(rng.integers(1, 24)))
+            fused.prefill(prompt, caches_f[s])
+            oracle.prefill(prompt, caches_o[s])
+        for _ in range(12):
+            tokens = rng.integers(0, FUZZ.vocab, size=nseq)
+            got = fused.decode_batch(tokens, caches_f)
+            want = oracle.decode_batch(tokens, caches_o)
+            np.testing.assert_allclose(got, want, atol=1e-9)
