@@ -63,6 +63,7 @@ from repro.runtime import (
     RuntimeConfig,
     SamplingParams,
     ServingEngine,
+    SpeculativeConfig,
 )
 
 #: The benchmark model: small enough to decode in seconds, but with
@@ -120,6 +121,24 @@ PREFILL_MAX_BATCH = 4
 #: below this fraction of the monolithic run's worst step (which
 #: contains the whole long-prompt prefill).
 STALL_RATIO_CEILING = 0.8
+#: Speculative-decoding guard: single-stream decode (the latency-bound
+#: regime speculation targets — per-dispatch overhead, not arithmetic,
+#: dominates a 1-row LUT step), long greedy generations, float-KV
+#: target on ``lut-blocked``. The draft is *self-speculation*: the
+#: target's own quantized weights executed on the ``reference`` backend
+#: (BLAS, 1e-9 from the LUT kernels, so proposals almost always agree)
+#: with a float KV cache. Token streams must be bit-identical spec-on
+#: vs spec-off; the high-acceptance speedup floor lives in
+#: ``serving_guard.SPEC_SPEEDUP_FLOOR``.
+SPEC_K = 6
+SPEC_REQUESTS = 3
+SPEC_MAX_NEW = 96
+SPEC_SEQ_LEN = 128
+#: Paired plain/speculative runs per variant; the tracked speedup is
+#: the *median* of the per-pair ratios. Pairs run back to back, so
+#: numerator and denominator see the same machine state — a lone slow
+#: run shifts one ratio, not the reported number.
+SPEC_RUNS = 3
 
 META = ExperimentMeta(
     title="Serving engine: continuous-batching throughput per kernel backend",
@@ -165,6 +184,10 @@ class ServingBenchRow:
     p50_latency_ms: float
     p95_latency_ms: float
     mean_first_token_ms: float
+    #: Per-request time-per-output-token (steady-state decode latency,
+    #: first token excluded) percentiles across the completed requests.
+    tpot_p50_ms: float
+    tpot_p95_ms: float
     mean_attn_context: float
     #: Per-step KV plan work (K-plan build/extend + V requantize) early
     #: vs late in a long generation; flat-in-context when paged plans
@@ -619,6 +642,154 @@ def format_fused_result(report: dict) -> str:
     return "\n".join(lines)
 
 
+def _spec_requests(rng: np.random.Generator) -> list[Request]:
+    """Long greedy generations over short prompts: the single-stream,
+    decode-dominated regime where speculative decoding pays."""
+    return [
+        Request(
+            request_id=f"spec-{i}",
+            prompt=tuple(
+                int(t)
+                for t in rng.integers(0, BENCH_MODEL.vocab,
+                                      int(rng.integers(8, 21)))
+            ),
+            max_new_tokens=SPEC_MAX_NEW,
+        )
+        for i in range(SPEC_REQUESTS)
+    ]
+
+
+def _spec_run(spec: SpeculativeConfig | None):
+    """One single-stream serving run; returns (streams, stats, decode
+    tok/s)."""
+    model = DecoderModel(
+        BENCH_MODEL,
+        RuntimeConfig(
+            weight_bits=WEIGHT_BITS, kv_bits=None,
+            backend="lut-blocked", max_seq_len=SPEC_SEQ_LEN,
+            seed=SEED, speculative=spec,
+        ),
+    )
+    engine = ServingEngine(model, max_batch_size=1)
+    for request in _spec_requests(np.random.default_rng(SEED)):
+        engine.submit(request)
+    results, stats = engine.run()
+    decode_s = max(
+        1e-9,
+        stats.wall_s - sum(r.prefill_ms for r in results) / 1e3,
+    )
+    tok_s = stats.generated_tokens / decode_s
+    return (
+        {r.request_id: tuple(r.tokens) for r in results},
+        stats,
+        tok_s,
+    )
+
+
+def measure_spec_speedup() -> dict:
+    """Speculative vs plain decode throughput, with bit-identity.
+
+    Runs the identical single-stream greedy workload three ways — plain
+    decode, the **high-acceptance** self-speculation draft (the target's
+    weights on the ``reference`` backend, float KV), and a
+    **low-acceptance** draft (different weight seed, so proposals are
+    unrelated and nearly every step degenerates to rollback + one bonus
+    token) — and **fails** (RuntimeError) unless both speculative runs'
+    token streams are bit-identical to the plain run's: the speedup can
+    never be bought with an output change. Reports decode tok/s, the
+    acceptance rate, and accepted tokens per engine step; the tracked
+    ``speculative`` section of ``BENCH_serving.json``.
+    """
+    drafts = {
+        "high-acceptance": SpeculativeConfig(
+            k=SPEC_K, backend="reference", kv_bits=None
+        ),
+        "low-acceptance": SpeculativeConfig(
+            k=SPEC_K, backend="reference", kv_bits=None, seed=SEED + 1
+        ),
+    }
+    pairs: dict[str, list] = {key: [] for key in drafts}
+    plain_stats = None
+    for _ in range(SPEC_RUNS):
+        plain_streams, plain_stats, plain_tok_s = _spec_run(None)
+        for key, spec in drafts.items():
+            streams, stats, tok_s = _spec_run(spec)
+            if streams != plain_streams:
+                raise RuntimeError(
+                    f"spec guard: {key} token streams diverged from "
+                    "the plain decode run"
+                )
+            pairs[key].append((tok_s / plain_tok_s, tok_s,
+                               plain_tok_s, stats))
+    variants_out = {}
+    for key, spec in drafts.items():
+        ratios = sorted(pairs[key], key=lambda p: p[0])
+        ratio, tok_s, plain_tok_s, stats = ratios[len(ratios) // 2]
+        variants_out[key] = {
+            "k": SPEC_K,
+            "draft": "self" if spec.seed is None else "mismatched-seed",
+            "generated_tokens": stats.generated_tokens,
+            "decode_steps": stats.decode_steps,
+            "acceptance_rate": round(stats.acceptance_rate, 3),
+            "tokens_per_step": round(stats.mean_tokens_per_step, 2),
+            "spec_tok_s": round(tok_s, 1),
+            "plain_tok_s": round(plain_tok_s, 1),
+            "speedup": round(ratio, 2),
+        }
+    return {
+        "bench": "serving-speculative",
+        "model": BENCH_MODEL.name,
+        "weight_bits": WEIGHT_BITS,
+        "kv_bits": None,
+        "backend": "lut-blocked",
+        "max_batch": 1,
+        "requests": SPEC_REQUESTS,
+        "max_new_tokens": SPEC_MAX_NEW,
+        "plain_decode_steps": plain_stats.decode_steps,
+        "seed": SEED,
+        "variants": variants_out,
+    }
+
+
+def format_spec_result(report: dict) -> str:
+    lines = [
+        f"Speculative decoding: {report['requests']} single-stream "
+        f"greedy requests x {report['max_new_tokens']} tokens, "
+        f"{report['backend']} W{report['weight_bits']} float-KV target, "
+        f"k={SPEC_K} self-speculation draft; token streams "
+        "bit-identical spec-on vs spec-off",
+        f"{'variant':>16} {'steps':>6} {'accept':>7} {'tok/step':>9} "
+        f"{'spec tok/s':>11} {'plain':>8} {'speedup':>8}",
+    ]
+    for key, row in report["variants"].items():
+        lines.append(
+            f"{key:>16} {row['decode_steps']:>6} "
+            f"{row['acceptance_rate']:>7.3f} {row['tokens_per_step']:>9.2f} "
+            f"{row['spec_tok_s']:>11.1f} {row['plain_tok_s']:>8.1f} "
+            f"{row['speedup']:>7.2f}x"
+        )
+    lines.append(
+        f"(plain run: {report['plain_decode_steps']} decode steps; the "
+        "low-acceptance row documents the rollback-dominated worst case "
+        "and carries no floor)"
+    )
+    return "\n".join(lines)
+
+
+def env_provenance() -> dict:
+    """Where a tracked measurement was taken: enough to judge whether a
+    regression is a code change or a machine change."""
+    import os
+    import platform
+
+    return {
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+    }
+
+
 def run(
     variants: tuple[tuple[str, int | None], ...] = VARIANTS,
     scheduler: str = "fifo",
@@ -740,6 +911,8 @@ def run(
                 p50_latency_ms=float(np.percentile(latencies, 50)),
                 p95_latency_ms=float(np.percentile(latencies, 95)),
                 mean_first_token_ms=float(first.mean()),
+                tpot_p50_ms=stats.tpot_p50,
+                tpot_p95_ms=stats.tpot_p95,
                 mean_attn_context=float(per_seq_attn),
                 plan_ms_early=plan_early,
                 plan_ms_late=plan_late,
@@ -763,8 +936,8 @@ def format_result(rows) -> str:
         f"{BENCH_MODEL.kv_heads})",
         f"{'backend':>12} {'kv':>5} {'gen tok':>8} {'tok/s':>8} "
         f"{'occ p50':>7} {'occ p95':>7} {'p50 ms':>8} {'p95 ms':>8} "
-        f"{'ttft ms':>8} {'ctx/step':>8} {'saved':>6} {'pre':>4} "
-        f"{'plan ms e/l':>12}",
+        f"{'ttft ms':>8} {'tpot ms':>8} {'ctx/step':>8} {'saved':>6} "
+        f"{'pre':>4} {'plan ms e/l':>12}",
     ]
     for row in rows:
         kv = "fp" if row.kv_bits is None else f"int{row.kv_bits}"
@@ -778,6 +951,7 @@ def format_result(rows) -> str:
             f"{row.throughput_tok_s:>8.1f} {row.occupancy_p50:>7.1f} "
             f"{row.occupancy_p95:>7.1f} {row.p50_latency_ms:>8.1f} "
             f"{row.p95_latency_ms:>8.1f} {row.mean_first_token_ms:>8.1f} "
+            f"{row.tpot_p50_ms:>8.2f} "
             f"{row.mean_attn_context:>8.1f} {row.blocks_saved:>6} "
             f"{row.preemptions:>4} {plan:>12}"
         )
@@ -833,21 +1007,34 @@ if __name__ == "__main__":
         "bit-identity check) instead of the workload bench",
     )
     parser.add_argument(
+        "--spec-guard", action="store_true",
+        help="measure speculative vs plain decode throughput (with "
+        "bit-identity check); combined with --fused-guard the JSON "
+        "report carries both sections",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --fused-guard: also write the measurement as JSON "
-        "(the BENCH_serving.json schema the perf guard diffs)",
+        help="with --fused-guard / --spec-guard: also write the "
+        "measurement as JSON (the BENCH_serving.json schema the perf "
+        "guard diffs)",
     )
     args = parser.parse_args()
-    if args.fused_guard:
+    if args.fused_guard or args.spec_guard:
         import json
         import pathlib
 
-        report = measure_fused_speedup()
         # One tracked file for the whole serving-perf trajectory: the
-        # fused ratios plus the chunked-prefill interleaving section.
-        report["prefill"] = measure_prefill_interleaving()
-        print(format_fused_result(report))
-        print(format_prefill_result(report["prefill"]))
+        # fused ratios plus the chunked-prefill and speculative
+        # sections, stamped with the machine it was measured on.
+        report: dict = {"env": env_provenance()}
+        if args.fused_guard:
+            report.update(measure_fused_speedup())
+            report["prefill"] = measure_prefill_interleaving()
+            print(format_fused_result(report))
+            print(format_prefill_result(report["prefill"]))
+        if args.spec_guard:
+            report["speculative"] = measure_spec_speedup()
+            print(format_spec_result(report["speculative"]))
         if args.json:
             path = pathlib.Path(args.json)
             path.parent.mkdir(parents=True, exist_ok=True)

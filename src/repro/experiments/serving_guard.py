@@ -18,11 +18,19 @@ at the repo root — the tracked perf trajectory. The guard fails when:
 - the baseline has a ``prefill`` section (the chunked-prefill
   interleaving guard) and the current report's chunked-over-monolithic
   worst-step stall ratio exceeds ``STALL_RATIO_CEILING`` — chunked
-  prefill must keep cutting the long-prompt decode stall.
+  prefill must keep cutting the long-prompt decode stall; or
+- the baseline has a ``speculative`` section and the current report's
+  high-acceptance speculative speedup (self-speculation draft,
+  single-stream decode — see ``bench_serving.measure_spec_speedup``)
+  fell below ``SPEC_SPEEDUP_FLOOR``. The low-acceptance row is
+  reported but carries no floor: it documents the rollback-dominated
+  worst case, whose ratio is legitimately below 1.
 
 Raw tok/s and step-millisecond numbers are machine-dependent and are
 *not* compared — only same-machine, same-process ratios, which are
-stable across hardware.
+stable across hardware. When the guard does fail, the report's ``env``
+provenance (numpy/python/platform/cpu count) is printed alongside, so
+a machine change masquerading as a regression is visible at a glance.
 """
 
 from __future__ import annotations
@@ -41,6 +49,9 @@ FLOAT_SPEEDUP_FLOOR = 0.8
 #: Chunked worst engine step must stay below this fraction of the
 #: monolithic worst step (mirrors bench_serving.STALL_RATIO_CEILING).
 STALL_RATIO_CEILING = 0.8
+#: Minimum speculative-over-plain decode speedup on the
+#: high-acceptance (self-speculation) variant.
+SPEC_SPEEDUP_FLOOR = 1.5
 
 
 def variant_floor(
@@ -60,6 +71,7 @@ def compare_reports(
     floor: float = SPEEDUP_FLOOR,
     float_floor: float = FLOAT_SPEEDUP_FLOOR,
     stall_ceiling: float = STALL_RATIO_CEILING,
+    spec_floor: float = SPEC_SPEEDUP_FLOOR,
 ) -> list[str]:
     """Diff two ``BENCH_serving.json`` reports; returns failure strings
     (empty list = guard passes)."""
@@ -106,6 +118,27 @@ def compare_reports(
                     f"monolithic worst (ceiling {stall_ceiling:.2f}) — "
                     "chunked prefill stopped cutting the decode stall"
                 )
+    if "speculative" in baseline:
+        spec = current.get("speculative")
+        if spec is None:
+            failures.append(
+                "speculative: section present in baseline but missing "
+                "from the current report"
+            )
+        else:
+            high = spec.get("variants", {}).get("high-acceptance")
+            if high is None:
+                failures.append(
+                    "speculative: high-acceptance variant missing from "
+                    "the current report"
+                )
+            elif float(high["speedup"]) < spec_floor:
+                failures.append(
+                    f"speculative: high-acceptance speedup "
+                    f"{float(high['speedup']):.2f}x is below the "
+                    f"{spec_floor:.1f}x floor (acceptance "
+                    f"{high.get('acceptance_rate', '?')})"
+                )
     return failures
 
 
@@ -143,6 +176,11 @@ def main(argv: list[str] | None = None) -> int:
         help="maximum chunked/monolithic worst-step stall ratio "
         "(default %(default)s)",
     )
+    parser.add_argument(
+        "--spec-floor", type=float, default=SPEC_SPEEDUP_FLOOR,
+        help="minimum speculative speedup on the high-acceptance "
+        "variant (default %(default)s)",
+    )
     args = parser.parse_args(argv)
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
@@ -150,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
         current, baseline,
         max_regression=args.max_regression, floor=args.floor,
         float_floor=args.float_floor, stall_ceiling=args.stall_ceiling,
+        spec_floor=args.spec_floor,
     )
     for key, row in sorted(current.get("variants", {}).items()):
         base = baseline.get("variants", {}).get(key, {})
@@ -166,15 +205,33 @@ def main(argv: list[str] | None = None) -> int:
             f"monolithic (ceiling {args.stall_ceiling}), ttft p95 "
             f"ratio {prefill.get('ttft_p95_ratio', '?')}"
         )
+    for key, row in sorted(
+        current.get("speculative", {}).get("variants", {}).items()
+    ):
+        print(
+            f"speculative/{key}: speedup {row['speedup']:.2f}x "
+            f"(acceptance {row['acceptance_rate']}, "
+            f"{row['tokens_per_step']} tok/step)"
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
+        for label, report in (("current", current), ("baseline", baseline)):
+            env = report.get("env")
+            if env:
+                print(
+                    f"{label} env: numpy {env.get('numpy', '?')}, "
+                    f"python {env.get('python', '?')}, "
+                    f"{env.get('cpus', '?')} cpus, "
+                    f"{env.get('platform', '?')}"
+                )
         return 1
     print(
         f"serving-perf-guard OK: every variant within "
         f"{args.max_regression:.0%} of baseline and above its floor "
         f"(int {args.floor:.1f}x / fp {args.float_floor:.1f}x), "
-        "prefill stall ratio within ceiling"
+        "prefill stall ratio within ceiling, speculative high-"
+        f"acceptance speedup >= {args.spec_floor:.1f}x"
     )
     return 0
 

@@ -26,4 +26,38 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return e / e.sum(axis=axis, keepdims=True)
 
 
-__all__ = ["softmax"]
+def masked_width_softmax(scores: np.ndarray, widths) -> np.ndarray:
+    """Last-axis softmax whose denominators sum each row's true width.
+
+    ``scores`` is a padded layout in which every position at or past a
+    row's valid width already sits at the masked-score sentinel
+    (``-1e30``); *widths* is an integer array broadcastable against
+    ``scores.shape[:-1]`` giving each row's valid leading width. The
+    exponentials are elementwise, but each row's denominator sums only
+    its own leading ``width`` entries: appending even *exact zeros* to a
+    sum changes numpy's pairwise reduction tree (and hence the last
+    ulp), so summing the full padded width would break bit-parity with
+    :func:`softmax` over a ``width``-long vector. Rows are processed
+    grouped by width; a row's contiguous leading slice reduces with the
+    same pairwise tree as the 1-D case.
+
+    Both exact-width softmaxes in the runtime delegate here: the fused
+    paged decode path (per-sequence padded context widths) and the
+    causal prefill path (per-row ``past + i + 1`` causal widths).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    n = scores.shape[-1]
+    width_rows = np.broadcast_to(
+        np.asarray(widths, dtype=np.int64), scores.shape[:-1]
+    ).reshape(-1)
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    flat = e.reshape(-1, n)
+    denom = np.empty((flat.shape[0], 1))
+    for w in np.unique(width_rows):
+        rows = width_rows == w
+        denom[rows] = flat[rows][..., : int(w)].sum(axis=-1, keepdims=True)
+    return (flat / denom).reshape(scores.shape)
+
+
+__all__ = ["masked_width_softmax", "softmax"]

@@ -50,12 +50,13 @@ from repro.runtime.engine import (
 )
 from repro.runtime.kv import LayerKvCache
 from repro.runtime.linear import QuantizedLinear
-from repro.runtime.model import DecoderModel, RuntimeConfig
+from repro.runtime.model import DecoderModel, RuntimeConfig, SpeculativeConfig
 from repro.runtime.paging import (
     BlockAllocator,
     PagedLayerCache,
     batched_decode_append,
     fused_paged_decode_attention,
+    fused_paged_verify_attention,
     paged_decode_attention,
 )
 from repro.runtime.scheduler import (
@@ -85,9 +86,11 @@ __all__ = [
     "SchedulerPolicy",
     "SchedulingContext",
     "ServingEngine",
+    "SpeculativeConfig",
     "StepTrace",
     "batched_decode_append",
     "fused_paged_decode_attention",
+    "fused_paged_verify_attention",
     "get_preemption_policy",
     "get_scheduler",
     "paged_decode_attention",

@@ -59,6 +59,26 @@ queue depth, context tokens, pool usage) to the run's
 :class:`EngineStats`, so occupancy percentiles and pool behavior are
 observable after the fact instead of lost.
 
+With :attr:`~repro.runtime.model.RuntimeConfig.speculative` set, the
+engine runs **output-identical speculative decoding**: a configurable
+smaller draft model greedily proposes ``k`` tokens per live sequence,
+the target scores all ``k + 1`` candidate rows in one batched
+:meth:`~repro.runtime.model.DecoderModel.verify_batch` pass (each row
+bit-identical to the sequential decode step at that position on the
+LUT backends), and acceptance keeps the longest prefix of rows whose
+sampled token matches the next candidate — plus that step's one bonus
+token. Rejected rows are rolled back with
+:meth:`~repro.runtime.paging.PagedLayerCache.truncate_rows`, which
+restores the shared pool bit-for-bit, so the token stream equals the
+non-speculative stream exactly; only the step count shrinks. A step
+that cannot afford speculation (bounded-pool pressure on the transient
+``k + 1``-row append, or no positional headroom) silently falls back
+to a plain decode step, and preemption simply drops the draft's
+private KV (rebuilt by a catch-up prefill on resume). Per-step
+``drafted``/``accepted`` counts land in :class:`StepTrace`;
+:attr:`EngineStats.acceptance_rate` and
+:attr:`EngineStats.mean_tokens_per_step` summarize the run.
+
 Sampling is greedy by default; ``top_k``/``temperature`` with a
 per-request seed gives reproducible stochastic decoding.
 """
@@ -66,13 +86,14 @@ per-request seed gives reproducible stochastic decoding.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.errors import ServingError
+from repro.models.configs import ModelConfig
 from repro.numerics import softmax
-from repro.runtime.model import DecoderModel
+from repro.runtime.model import DecoderModel, SpeculativeConfig
 from repro.runtime.scheduler import (
     PreemptionPolicy,
     SchedulerPolicy,
@@ -142,6 +163,13 @@ class RequestResult:
     latency_ms: float             # submit -> completion
     decode_steps: int
     preemptions: int = 0          # times this request was evicted
+    #: Mean time-per-output-token after the first (0.0 for one-token
+    #: completions): (last token - first token) / (tokens - 1).
+    tpot_ms: float = 0.0
+    #: Draft tokens this request accepted across its speculative steps
+    #: (excluding each step's guaranteed bonus token); 0 when the
+    #: engine runs without speculative decoding.
+    spec_accepted: int = 0
 
 
 @dataclass(frozen=True)
@@ -174,6 +202,14 @@ class StepTrace:
         Sequences mid-way through a chunked prefill (holding blocks
         and a batch slot, not yet decoding). Always 0 without
         ``prefill_chunk``.
+    drafted:
+        Draft tokens proposed this step (``batch * k`` on a
+        speculative step, 0 on a plain decode or when speculation is
+        off).
+    accepted:
+        Draft tokens the verify pass accepted this step (excluding
+        each sequence's guaranteed bonus token), so
+        ``accepted / drafted`` is the step's acceptance rate.
     """
 
     step: int
@@ -186,6 +222,8 @@ class StepTrace:
     preempted: int = 0
     kv_blocks_shared: int = 0
     prefilling: int = 0
+    drafted: int = 0
+    accepted: int = 0
 
 
 @dataclass
@@ -202,6 +240,10 @@ class EngineStats:
     preemptions: int = 0
     resumes: int = 0
     resume_ms_total: float = 0.0
+    #: Per-request time-per-output-token percentiles (ms), over the
+    #: requests that generated more than one token.
+    tpot_p50: float = 0.0
+    tpot_p95: float = 0.0
     #: Per-decode-step history — occupancy, queue depth, pool usage —
     #: so a finished run can be audited instead of reduced to means.
     trace: list[StepTrace] = field(default_factory=list)
@@ -241,6 +283,24 @@ class EngineStats:
         return self.resume_ms_total / self.resumes if self.resumes else 0.0
 
     @property
+    def acceptance_rate(self) -> float:
+        """Accepted fraction of all drafted tokens over the run (0.0
+        when nothing was drafted — speculation off or never viable)."""
+        drafted = sum(t.drafted for t in self.trace)
+        if drafted == 0:
+            return 0.0
+        return sum(t.accepted for t in self.trace) / drafted
+
+    @property
+    def mean_tokens_per_step(self) -> float:
+        """Generated tokens per batched step — above 1.0 per sequence
+        only when speculative verification lands multi-token steps
+        (includes prefill-sampled first tokens in the numerator)."""
+        if self.decode_steps == 0:
+            return 0.0
+        return self.generated_tokens / self.decode_steps
+
+    @property
     def shared_block_ratio(self) -> float:
         """Fraction of in-use block observations that were shared
         (refcount > 1), aggregated over the decode-step trace."""
@@ -271,6 +331,15 @@ class _Sequence:
         self.decode_steps = 0
         self.preemptions = 0
         self.finish_reason: str | None = None
+        #: Draft-model block tables (speculative decoding only). Built
+        #: lazily by the engine's draft catch-up, freed on preemption
+        #: (the draft KV is recomputed on resume) and at retirement.
+        self.draft_caches: list | None = None
+        self.spec_accepted = 0
+        #: Wall-clock stamp of the most recent accepted token, so TPOT
+        #: measures first-token -> last-token without re-reading the
+        #: clock at retirement.
+        self.last_token_time = submit_time
 
     @property
     def last_token(self) -> int:
@@ -309,6 +378,7 @@ class _Sequence:
             now = time.perf_counter()
         if not self.generated:
             self.first_token_ms = (now - self.submit_time) * 1e3
+        self.last_token_time = now
         self.generated.append(token)
         req = self.request
         if req.eos_token_id is not None and token == req.eos_token_id:
@@ -317,6 +387,11 @@ class _Sequence:
             self.finish_reason = "length"
 
     def result(self) -> RequestResult:
+        n = len(self.generated)
+        generated_ms = (
+            (self.last_token_time - self.submit_time) * 1e3
+            - self.first_token_ms
+        )
         return RequestResult(
             request_id=self.request.request_id,
             prompt=self.request.prompt,
@@ -327,7 +402,56 @@ class _Sequence:
             latency_ms=(time.perf_counter() - self.submit_time) * 1e3,
             decode_steps=self.decode_steps,
             preemptions=self.preemptions,
+            tpot_ms=max(0.0, generated_ms) / (n - 1) if n > 1 else 0.0,
+            spec_accepted=self.spec_accepted,
         )
+
+
+def _build_draft_model(
+    target: DecoderModel, spec: SpeculativeConfig
+) -> DecoderModel:
+    """Construct the speculative draft model from the target plus the
+    :class:`~repro.runtime.model.SpeculativeConfig` overrides.
+
+    The draft shares the target's token space (same vocab) and KV
+    numerics, but runs on its own *unbounded* private pool: draft KV
+    never competes with target sequences for bounded-pool headroom, it
+    is simply freed on preemption and recomputed on resume. Prefix
+    sharing is off — draft caches are cheap, short-lived, and never
+    donate blocks. With no overrides the draft is weight-identical to
+    the target (same seed, same shape), which makes greedy proposals
+    always agree — the acceptance-rate-1.0 bench configuration.
+    """
+    cfg, rt = target.config, target.runtime
+
+    def pick(override, inherited):
+        return inherited if override is None else override
+
+    draft_cfg = ModelConfig(
+        name=f"{cfg.name}-draft",
+        hidden=pick(spec.hidden, cfg.hidden),
+        ffn=pick(spec.ffn, cfg.ffn),
+        layers=pick(spec.layers, cfg.layers),
+        heads=pick(spec.heads, cfg.heads),
+        kv_heads=pick(spec.kv_heads, cfg.kv_heads),
+        vocab=cfg.vocab,
+        gated_ffn=cfg.gated_ffn,
+    )
+    draft_rt = replace(
+        rt,
+        weight_bits=pick(spec.weight_bits, rt.weight_bits),
+        kv_bits=(
+            rt.kv_bits if spec.kv_bits == "inherit" else spec.kv_bits
+        ),
+        seed=pick(spec.seed, rt.seed),
+        backend=pick(spec.backend, rt.backend),
+        kv_pool_blocks=None,
+        prefix_sharing=False,
+        prefix_cache_blocks=0,
+        prefill_chunk=None,
+        speculative=None,
+    )
+    return DecoderModel(draft_cfg, draft_rt)
 
 
 class ServingEngine:
@@ -375,6 +499,14 @@ class ServingEngine:
         self._resumes = 0
         self._resume_ms = 0.0
         self._ids: set[str] = set()
+        #: Speculative decoding: the draft proposer model and its
+        #: per-step proposal count, built from
+        #: ``model.runtime.speculative`` (``None`` => plain decoding).
+        spec = model.runtime.speculative
+        self.draft_model: DecoderModel | None = (
+            _build_draft_model(model, spec) if spec is not None else None
+        )
+        self.spec_k = spec.k if spec is not None else 0
 
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
@@ -471,11 +603,18 @@ class ServingEngine:
             ),
         )
 
+    def _free_draft(self, seq: _Sequence) -> None:
+        """Return a sequence's draft-model blocks (no-op without any)."""
+        if seq.draft_caches is not None:
+            self.draft_model.free_caches(seq.draft_caches)
+            seq.draft_caches = None
+
     def _retire(self, seq: _Sequence) -> RequestResult:
         """Record a finished sequence and return its blocks to the pool."""
         result = seq.result()
         self.finished.append(result)
         self.model.free_caches(seq.caches)
+        self._free_draft(seq)
         return result
 
     # ------------------------------------------------------------------
@@ -490,6 +629,7 @@ class ServingEngine:
         resumption (no decode state exists yet to replay).
         """
         self.model.free_caches(seq.caches)
+        self._free_draft(seq)
         seq.caches = []
         seq.prefill_pos = 0
         seq.preemptions += 1
@@ -575,21 +715,173 @@ class ServingEngine:
         self.active.append(seq)
         return None
 
-    def _step_block_need(self, seq: _Sequence) -> int:
-        """Pool blocks the next decode step must allocate for *seq*:
-        one per layer at a block boundary, one per layer whose shared
-        trailing block will be copy-on-written."""
+    def _step_block_need(self, seq: _Sequence, rows: int = 1) -> int:
+        """Pool blocks a step appending *rows* tokens must allocate for
+        *seq*: boundary growth per layer (possibly several blocks for a
+        speculative multi-row append), plus one per layer whose shared
+        partial trailing block will be copy-on-written first."""
         pool = self.model.kv_pool
+        bs = pool.block_size
         need = 0
         for cache in seq.caches:
-            if cache.length == cache.padded_context():
-                need += 1
-            elif (
+            grown = -(-(cache.length + rows) // bs) - len(cache.block_ids)
+            need += max(0, grown)
+            if (
                 cache.block_ids
                 and pool.refcount(cache.block_ids[-1]) > 1
+                and cache.length < cache.padded_context()
             ):
                 need += 1
         return need
+
+    # ------------------------------------------------------------------
+    def _spec_step_k(self) -> int:
+        """Draft tokens this step can speculate per sequence.
+
+        0 means "run a plain decode step": speculation disabled, no
+        positional headroom for even one draft row, or a bounded pool
+        whose free blocks cannot cover every sequence's transient
+        ``k + 1``-row append (the accepted prefix keeps at most that
+        many; the rest is truncated back within the step, so the gate
+        is actual free blocks, never the admission reservation).
+        Falling back never changes the output stream — speculative
+        steps are output-identical to plain ones by construction.
+        """
+        if self.draft_model is None or not self.active:
+            return 0
+        limit = self.model.runtime.max_seq_len
+        k = self.spec_k
+        for seq in self.active:
+            k = min(k, limit - 1 - seq.caches[0].length)
+        if k < 1:
+            return 0
+        pool = self.model.kv_pool
+        if pool.num_blocks is not None:
+            needed = sum(
+                self._step_block_need(seq, rows=k + 1)
+                for seq in self.active
+            )
+            if needed > pool.free_blocks:
+                return 0
+        return k
+
+    def _draft_catch_up(self, seqs: list[_Sequence]) -> None:
+        """Bring every sequence's draft cache to its decode frontier.
+
+        Each draft must have consumed exactly ``prompt + generated``
+        minus the final token (the next decode input). A fresh or
+        post-preemption sequence rebuilds the whole history; after a
+        fully-accepted speculative step or a plain fallback step the
+        gap is one token. The rebuild mirrors how the *target* built
+        its cache — prompt tokens through prefill, generated tokens
+        through the decode path — so a draft configured identically to
+        the target holds the exact same cache bits and its greedy
+        proposals always agree. Replay decodes are batched across the
+        lagging sequences (the usual case is everyone exactly one
+        token behind: one batched step).
+        """
+        draft = self.draft_model
+        histories = []
+        for seq in seqs:
+            if seq.draft_caches is None:
+                seq.draft_caches = draft.new_caches()
+            history = seq.request.prompt + tuple(seq.generated)
+            have = seq.draft_caches[0].length
+            prompt_len = len(seq.request.prompt)
+            frontier = len(history) - 1
+            if have < prompt_len and have < frontier:
+                take = min(prompt_len, frontier)
+                draft.prefill(np.array(history[have:take]), seq.draft_caches)
+            histories.append(history)
+        while True:
+            behind = [
+                (seq, hist)
+                for seq, hist in zip(seqs, histories)
+                if seq.draft_caches[0].length < len(hist) - 1
+            ]
+            if not behind:
+                return
+            tokens = np.array([
+                hist[seq.draft_caches[0].length] for seq, hist in behind
+            ])
+            draft.decode_batch(
+                tokens, [seq.draft_caches for seq, _ in behind]
+            )
+
+    def _spec_step(self, k: int) -> tuple[int, int, list[RequestResult]]:
+        """One speculative decode step over the active batch.
+
+        Per sequence: the draft greedily proposes ``k`` tokens, the
+        target scores all ``k + 1`` candidate rows (current last token
+        + proposals) in one :meth:`DecoderModel.verify_batch` pass, and
+        sampling walks the rows exactly as sequential decoding would —
+        each row's token is sampled (consuming the same per-request RNG
+        draws in the same order), and the walk continues only while the
+        sampled token equals the next candidate row's input. Rejected
+        rows are rolled back with ``truncate_rows`` on the target *and*
+        draft caches, so both pools hold exactly the state a plain run
+        would. Returns ``(drafted, accepted_drafts, completions)``.
+        """
+        draft = self.draft_model
+        seqs = list(self.active)
+        b = len(seqs)
+        self._draft_catch_up(seqs)
+        draft_caches = [seq.draft_caches for seq in seqs]
+        last = np.array([seq.last_token for seq in seqs])
+        proposals = np.empty((b, k), dtype=np.int64)
+        cur = last
+        for j in range(k):
+            logits = draft.decode_batch(cur, draft_caches)
+            cur = np.argmax(logits, axis=1)
+            proposals[:, j] = cur
+        candidates = np.concatenate([last[:, None], proposals], axis=1)
+        try:
+            logits = self.model.verify_batch(
+                candidates, [seq.caches for seq in seqs]
+            )
+        except Exception:
+            # Mirror the plain decode path: a failed batched step
+            # leaves per-layer state inconsistent — return all blocks
+            # instead of leaking them.
+            for seq in seqs:
+                self.model.free_caches(seq.caches)
+                self._free_draft(seq)
+            self.active = []
+            raise
+        done: list[RequestResult] = []
+        still_active: list[_Sequence] = []
+        accepted_drafts = 0
+        now = time.perf_counter()
+        for i, seq in enumerate(seqs):
+            m = 0
+            for j in range(k + 1):
+                token = seq.sample(logits[i, j])
+                seq.accept(token, now=now)
+                m += 1
+                if seq.finish_reason is not None or j == k:
+                    break
+                if token != int(proposals[i, j]):
+                    break
+            seq.decode_steps += 1
+            seq.spec_accepted += m - 1
+            accepted_drafts += m - 1
+            # Roll back the rejected candidate rows. The target keeps
+            # m consumed rows of the k+1 appended; the draft consumed
+            # last + proposals[:k-1] and must keep m of those k rows
+            # (when every row was accepted it is one token *behind*
+            # instead — the next catch-up prefills it).
+            if k + 1 - m:
+                for cache in seq.caches:
+                    cache.truncate_rows(k + 1 - m)
+            if k - m > 0:
+                for cache in seq.draft_caches:
+                    cache.truncate_rows(k - m)
+            if seq.finish_reason is not None:
+                done.append(self._retire(seq))
+            else:
+                still_active.append(seq)
+        self.active = still_active
+        return b * k, accepted_drafts, done
 
     # ------------------------------------------------------------------
     def _admit(self) -> list[RequestResult]:
@@ -823,22 +1115,30 @@ class ServingEngine:
                 if not order:
                     break
                 self._preempt(self.active[order[0]])
-        self._trace.append(
-            StepTrace(
-                step=len(self._trace),
-                active=len(self.active),
-                waiting=len(self.waiting),
-                finished=len(self.finished),
-                context_tokens=sum(
-                    seq.caches[0].length for seq in self.active
-                ),
-                kv_blocks_used=pool.used_blocks,
-                kv_blocks_free=pool.free_blocks,
-                preempted=len(self.preempted),
-                kv_blocks_shared=pool.shared_in_use,
-                prefilling=len(self.prefilling),
-            )
+        # Entry snapshot for the step trace; appended *after* the step
+        # so a speculative step can record its drafted/accepted counts.
+        entry = dict(
+            step=len(self._trace),
+            active=len(self.active),
+            waiting=len(self.waiting),
+            finished=len(self.finished),
+            context_tokens=sum(
+                seq.caches[0].length for seq in self.active
+            ),
+            kv_blocks_used=pool.used_blocks,
+            kv_blocks_free=pool.free_blocks,
+            preempted=len(self.preempted),
+            kv_blocks_shared=pool.shared_in_use,
+            prefilling=len(self.prefilling),
         )
+        spec_k = self._spec_step_k()
+        if spec_k:
+            drafted, accepted, spec_done = self._spec_step(spec_k)
+            done.extend(spec_done)
+            self._trace.append(
+                StepTrace(**entry, drafted=drafted, accepted=accepted)
+            )
+            return done
         tokens = np.array([seq.last_token for seq in self.active])
         caches = [seq.caches for seq in self.active]
         try:
@@ -850,6 +1150,7 @@ class ServingEngine:
             # from the model's shared pool.
             for seq in self.active:
                 self.model.free_caches(seq.caches)
+                self._free_draft(seq)
             self.active = []
             raise
         # Vectorized accept/trace accounting: one argmax over the whole
@@ -870,6 +1171,7 @@ class ServingEngine:
             else:
                 still_active.append(seq)
         self.active = still_active
+        self._trace.append(StepTrace(**entry))
         return done
 
     def run(self) -> tuple[list[RequestResult], EngineStats]:
@@ -879,6 +1181,7 @@ class ServingEngine:
             self.step()
         wall = time.perf_counter() - started
         results = list(self.finished)
+        tpots = [r.tpot_ms for r in results if len(r.tokens) > 1]
         stats = EngineStats(
             requests=len(results),
             prompt_tokens=self._prompt_tokens,
@@ -890,6 +1193,8 @@ class ServingEngine:
             preemptions=self._preemptions,
             resumes=self._resumes,
             resume_ms_total=self._resume_ms,
+            tpot_p50=float(np.percentile(tpots, 50)) if tpots else 0.0,
+            tpot_p95=float(np.percentile(tpots, 95)) if tpots else 0.0,
             trace=list(self._trace),
         )
         return results, stats

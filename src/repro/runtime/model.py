@@ -32,6 +32,7 @@ from repro.errors import ServingError
 from repro.lut.attention import MASKED_SCORE, float_decode_attention
 from repro.lut.table import DEFAULT_K
 from repro.models.configs import ModelConfig
+from repro.numerics import masked_width_softmax
 from repro.runtime.linear import QuantizedLinear
 from repro.runtime.paging import (
     DEFAULT_BLOCK_SIZE,
@@ -40,8 +41,73 @@ from repro.runtime.paging import (
     PagedLayerCache,
     batched_decode_append,
     fused_paged_decode_attention,
+    fused_paged_verify_attention,
     paged_decode_attention,
 )
+
+
+@dataclass(frozen=True)
+class SpeculativeConfig:
+    """Draft-model speculative decoding knobs.
+
+    The engine builds a *draft* :class:`DecoderModel` sharing the
+    target's token space (same vocab, same tokenizer-free numeric
+    tokens) and uses it to propose ``k`` greedy tokens per live
+    sequence each step; the target then scores all ``k + 1`` candidate
+    rows in one batched :meth:`DecoderModel.verify_batch` pass and
+    keeps the longest agreeing prefix plus one bonus token. Rejected
+    rows are rolled back with
+    :meth:`~repro.runtime.paging.PagedLayerCache.truncate_rows`, so
+    the token stream is exactly the non-speculative stream —
+    bit-identical on the LUT backends.
+
+    Shape overrides (``layers`` / ``heads`` / ``kv_heads`` / ``ffn`` /
+    ``hidden``) and ``weight_bits`` make the draft cheaper than the
+    target; ``None`` inherits the target's value. ``seed`` defaults to
+    the target's weight seed — with no overrides at all the draft *is*
+    the target (weights and all), which makes every greedy proposal
+    agree: the acceptance-rate-1.0 configuration the engine tests pin.
+    ``backend`` overrides the draft's kernel backend: drafting on
+    ``"reference"`` (dequantize + BLAS) while the target verifies on a
+    LUT backend is *self-speculation* — the draft runs the same
+    quantized weights through the fast approximate executor, agrees
+    with the exact LUT argmax except at 1e-9 ties, and the verify pass
+    keeps the stream exactly the LUT stream. That is the
+    high-acceptance configuration the serving bench guards.
+    """
+
+    k: int = 3
+    layers: int | None = None
+    heads: int | None = None
+    kv_heads: int | None = None
+    ffn: int | None = None
+    hidden: int | None = None
+    weight_bits: int | None = None
+    seed: int | None = None
+    backend: str | None = None
+    #: Draft KV-cache width. ``"inherit"`` (default) copies the
+    #: target's; an int quantizes the draft cache to that width;
+    #: ``None`` keeps the draft cache in float — the fast einsum
+    #: decode path, which skips all per-step quantize/plan work and is
+    #: the usual choice for a cheap proposer (drafts only steer; the
+    #: verify pass re-scores every candidate with target numerics).
+    kv_bits: int | None | str = "inherit"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ServingError("speculative k must be >= 1")
+        for name in ("layers", "heads", "kv_heads", "ffn", "hidden"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ServingError(f"speculative {name} must be >= 1")
+        if self.weight_bits is not None and not 1 <= self.weight_bits <= 8:
+            raise ServingError("speculative weight_bits must be in 1..8")
+        if isinstance(self.kv_bits, str) and self.kv_bits != "inherit":
+            raise ServingError(
+                'speculative kv_bits must be an int, None, or "inherit"'
+            )
+        if isinstance(self.kv_bits, int) and not 1 <= self.kv_bits <= 8:
+            raise ServingError("speculative kv_bits must be in 1..8")
 
 
 @dataclass(frozen=True)
@@ -118,6 +184,12 @@ class RuntimeConfig:
         backends: chunked prefill computes the same rows (the causal
         softmax denominators depend only on a row's absolute position,
         never on the chunk split).
+    speculative:
+        Draft-model speculative decoding (:class:`SpeculativeConfig`);
+        ``None`` (default) keeps plain one-token-per-step decoding.
+        Output-identical by construction: the verify pass scores each
+        candidate row exactly as a sequential decode step would, and
+        rejected rows are truncated back out of the KV pool.
     """
 
     weight_bits: int | None = 4
@@ -133,6 +205,7 @@ class RuntimeConfig:
     seed: int = 0
     fused_decode: bool = True
     prefill_chunk: int | None = None
+    speculative: SpeculativeConfig | None = None
 
     def __post_init__(self) -> None:
         if self.prefill_chunk is not None and self.prefill_chunk < 1:
@@ -162,15 +235,12 @@ def _causal_softmax(scores: np.ndarray, past: int) -> np.ndarray:
     every prefill row a function of its absolute position only — the
     invariant that pins chunked prefill bit-identical to a monolithic
     one on the LUT backends (the fused decode side maintains the same
-    invariant via ``_grouped_softmax``).
+    invariant via ``_grouped_softmax``). Delegates to
+    :func:`repro.numerics.masked_width_softmax`, the shared exact-width
+    implementation, with per-row causal widths broadcast across heads.
     """
-    shifted = scores - scores.max(axis=-1, keepdims=True)
-    e = np.exp(shifted)
-    denom = np.empty(shifted.shape[:-1] + (1,))
-    past = int(past)
-    for i in range(scores.shape[1]):
-        denom[:, i, 0] = e[:, i, :past + i + 1].sum(axis=-1)
-    return e / denom
+    widths = int(past) + np.arange(scores.shape[1]) + 1
+    return masked_width_softmax(scores, widths)
 
 
 def _layer_norm(x: np.ndarray, gain: np.ndarray, bias: np.ndarray) -> np.ndarray:
@@ -271,6 +341,7 @@ class DecoderModel:
         self.stats = {
             "prefill_tokens": 0,
             "decode_steps": 0,
+            "verify_steps": 0,
             "attn_context_tokens": 0,
             "shared_prefix_tokens": 0,
         }
@@ -617,6 +688,79 @@ class DecoderModel:
         """Single-sequence decode step; returns ``(vocab,)`` logits."""
         return self.decode_batch(np.array([token]), [caches])[0]
 
+    def verify_batch(
+        self,
+        tokens: np.ndarray,
+        caches_per_seq: list[list[PagedLayerCache]],
+    ) -> np.ndarray:
+        """Score ``k + 1`` speculative candidate rows per sequence in
+        one batched step.
+
+        ``tokens[b]`` holds sequence *b*'s candidate rows: its current
+        last token followed by its draft proposals. Row ``j``'s logits
+        are exactly what :meth:`decode_batch` would have returned after
+        the sequence consumed rows ``0..j`` — every candidate's KV rows
+        are appended first (a multi-row append writes the same bits the
+        sequential single-row appends would), then
+        :func:`~repro.runtime.paging.fused_paged_verify_attention`
+        attends each row over its own causal prefix only. Bit-identical
+        per row to sequential decode on the LUT backends, 1e-9 on
+        ``reference`` and float-KV pools. The caller keeps the accepted
+        prefix and rolls the rejected trailing rows back with
+        :meth:`~repro.runtime.paging.PagedLayerCache.truncate_rows`.
+        Returns logits of shape ``(B, T, vocab)``.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2 or tokens.shape[0] != len(caches_per_seq):
+            raise ServingError(
+                "tokens must be (batch, candidates) with one row per "
+                "sequence"
+            )
+        cfg, rt = self.config, self.runtime
+        b, t = tokens.shape
+        d, hd = cfg.hidden, cfg.head_dim
+        base = np.array([c[0].length for c in caches_per_seq])
+        if int(base.max(initial=0)) + t > rt.max_seq_len:
+            raise ServingError(
+                f"a sequence's candidates exceed max_seq_len "
+                f"{rt.max_seq_len}"
+            )
+        positions = base[:, None] + np.arange(t)[None, :]
+        # Row-wise the mpGEMM backends are batch-composition invariant,
+        # so flattening all B*T candidate rows into one dispatch per
+        # projection reproduces the per-step rows bit for bit.
+        x = (self.tok_emb[tokens] + self.pos_emb[positions]).reshape(
+            b * t, d
+        )
+        rep = cfg.heads // cfg.kv_heads
+        layer_caches = [
+            [caches[li] for caches in caches_per_seq]
+            for li in range(len(self.layers))
+        ]
+        step_context = int((positions + 1).sum())
+        for li, layer in enumerate(self.layers):
+            h = _layer_norm(x, layer.ln1_g, layer.ln1_b)
+            q = layer.wq(h).reshape(b, t, cfg.heads, hd)
+            k = layer.wk(h).reshape(b, t, cfg.kv_heads, hd)
+            v = layer.wv(h).reshape(b, t, cfg.kv_heads, hd)
+            for s, cache in enumerate(layer_caches[li]):
+                cache.append(k[s], v[s], token_ids=tokens[s])
+            self.stats["attn_context_tokens"] += step_context
+            attn = fused_paged_verify_attention(
+                q,
+                layer_caches[li],
+                base,
+                repeat=rep,
+                table_dtype=rt.table_dtype,
+                backend=rt.backend,
+            ).reshape(b * t, d)
+            x = x + layer.wo(attn)
+            h2 = _layer_norm(x, layer.ln2_g, layer.ln2_b)
+            x = x + layer.ffn(h2)
+        self.stats["verify_steps"] += 1
+        final = _layer_norm(x, self.ln_f_g, self.ln_f_b)
+        return self.head(final).reshape(b, t, cfg.vocab)
+
     # ------------------------------------------------------------------
     def kv_memory_bytes(self, caches: list[PagedLayerCache]) -> int:
         """KV footprint of one sequence's allocated blocks across layers.
@@ -628,4 +772,4 @@ class DecoderModel:
         return sum(cache.memory_bytes() for cache in caches)
 
 
-__all__ = ["DecoderModel", "RuntimeConfig"]
+__all__ = ["DecoderModel", "RuntimeConfig", "SpeculativeConfig"]

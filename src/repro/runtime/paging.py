@@ -106,7 +106,7 @@ from repro.kernels import (
 from repro.lut.attention import MASKED_SCORE
 from repro.lut.mpgemm import LutMpGemmConfig, precompute_tables
 from repro.lut.table import DEFAULT_K
-from repro.numerics import softmax
+from repro.numerics import masked_width_softmax, softmax
 from repro.quant.weight import QuantizedWeight, quantize_weights
 from repro.runtime.kv import KV_GROUP
 
@@ -188,6 +188,10 @@ class BlockAllocator:
         self._free: list[int] = list(range(cap - 1, -1, -1))
         self._in_use: set[int] = set()
         self._ever_used: set[int] = set()
+        #: Whether each live block's :meth:`allocate` was its first-ever
+        #: use — the record :meth:`_unallocate` needs to undo the
+        #: ``allocated``/``reused``/``_ever_used`` effects exactly.
+        self._alloc_first_use: dict[int, bool] = {}
         self._fill = np.zeros(cap, dtype=np.int64)
         #: References per block: block-table entries naming the block.
         #: ``free`` decrements; storage is scrubbed only at zero.
@@ -366,8 +370,10 @@ class BlockAllocator:
         self._refcount[bid] = 1
         if bid in self._ever_used:
             self.stats["reused"] += 1
+            self._alloc_first_use[bid] = False
         else:
             self._ever_used.add(bid)
+            self._alloc_first_use[bid] = True
         self.stats["allocated"] += 1
         self._fill[bid] = 0
         return bid
@@ -434,7 +440,97 @@ class BlockAllocator:
         self._refcount[block_id] = 0
         self._k_plans.pop(block_id, None)
         self._v_cache.pop(block_id, None)
+        self._alloc_first_use.pop(block_id, None)
         self._free.append(block_id)
+
+    # -- rollback ------------------------------------------------------
+    def _unallocate(self, block_id: int) -> None:
+        """Exactly undo one :meth:`allocate` of a still-private block.
+
+        Unlike :meth:`free` this is a *rollback*, not a release: the
+        ``allocated``/``reused`` counters and the ``_ever_used`` record
+        are decremented back (``freed`` is untouched), nothing is parked,
+        and the block returns to the tail of the free list — the slot
+        :meth:`allocate` popped it from — so a sequence of allocations
+        undone in reverse order restores the free list bit-for-bit.
+        Speculative decoding uses this to roll back blocks that only
+        ever held rejected draft rows.
+        """
+        if block_id not in self._in_use:
+            raise ServingError(f"block {block_id} is not allocated")
+        if self._refcount[block_id] != 1:
+            raise ServingError(
+                f"block {block_id} has refcount "
+                f"{self.refcount(block_id)}; only a sole holder can "
+                "roll back its allocation"
+            )
+        first_use = self._alloc_first_use.get(block_id, False)
+        self._in_use.remove(block_id)
+        self._unregister(block_id)
+        self._scrub_to_free(block_id)
+        self.stats["allocated"] -= 1
+        if first_use:
+            self._ever_used.discard(block_id)
+        else:
+            self.stats["reused"] -= 1
+
+    def truncate_rows(self, block_id: int, new_fill: int) -> None:
+        """Roll back a private block's trailing rows to ``new_fill``.
+
+        The exact inverse of the :meth:`write_rows` /
+        :meth:`append_rows` calls that grew the block past *new_fill*:
+        the dead rows' float slabs, K codes and K-arena columns return
+        to their scrubbed values (per-row K scales and per-column arena
+        entries never fed into the surviving rows, so zeroing them is a
+        perfect undo), ``k_plan_cols`` gives back the removed columns,
+        a V arena built past *new_fill* is reset to never-built (its
+        trailing group's scales saw the dead rows), lazy per-block K
+        plans and V caches drop (they rebuild from the surviving codes
+        bit-identically), and a stale prefix-index entry is dropped —
+        leaving the block bit-equal to one that never appended the
+        rows. Shared blocks are refused: rollback of a row another
+        table can see is never meaningful.
+        """
+        if block_id not in self._in_use:
+            raise ServingError(f"block {block_id} is not allocated")
+        if self._refcount[block_id] != 1:
+            raise ServingError(
+                f"block {block_id} is shared by "
+                f"{self.refcount(block_id)} tables; cannot roll back "
+                "rows another table can see"
+            )
+        fill = int(self._fill[block_id])
+        if not 0 <= new_fill <= fill:
+            raise ServingError(
+                f"cannot truncate block at fill {fill} to {new_fill}"
+            )
+        if new_fill == fill:
+            return
+        if self._block_key.get(block_id) is not None:
+            self._unregister(block_id)
+        dead = np.s_[new_fill:fill]
+        self._k[block_id][:, dead] = 0.0
+        self._v[block_id][:, dead] = 0.0
+        if self.bits is not None:
+            self._k_codes[block_id][:, dead] = 0
+            self._k_scale[block_id][:, dead] = 1.0
+            self._k_zp[block_id][:, dead] = 0.0
+            self._ka_flat[block_id][:, :, :, dead] = 0
+            self._ka_scale[block_id][:, :, dead] = 1.0
+            self._ka_zero[block_id][:, :, dead] = 0.0
+            self.stats["k_plan_cols"] -= (fill - new_fill) * self.kv_heads
+            if int(self._va_fill[block_id]) > new_fill:
+                # The arena saw the dead rows (their trailing V group's
+                # scale folded them in) — reset to never-built so the
+                # next refresh reproduces the never-appended recipe.
+                self._va_fill[block_id] = -1
+                self._va_flat[block_id] = 0
+                self._va_scale[block_id] = 1.0
+                self._va_zero[block_id] = 0.0
+                self._va_deq[block_id] = 0.0
+        self._k_plans.pop(block_id, None)
+        self._v_cache.pop(block_id, None)
+        self._fill[block_id] = new_fill
 
     # -- prefix sharing ------------------------------------------------
     def refcount(self, block_id: int) -> int:
@@ -1060,6 +1156,73 @@ class PagedLayerCache:
                     self._chain.append(key)     # first rows of a block
                 self.pool.register_prefix(self.block_ids[-1], key, segment)
 
+    def truncate_rows(self, n: int) -> None:
+        """Roll back the trailing *n* appended rows exactly.
+
+        The inverse of the :meth:`append` calls that added them: blocks
+        that only ever held rolled-back rows are un-allocated in reverse
+        allocation order (restoring the pool's free list bit-for-bit),
+        the new trailing block's dead rows are scrubbed through
+        :meth:`BlockAllocator.truncate_rows`, the token/chain records
+        trim back, and — when this cache tracks tokens — the trailing
+        block is re-registered under its truncated segment's chained
+        digest, leaving pool *and* cache bit-equal to a history that
+        never appended the rows. Only rows appended through this cache
+        while it held their blocks privately can be rolled back: shared
+        blocks are refused (a CoW performed by the appends themselves is
+        fine as long as at least one appended row survives, which is the
+        speculative-acceptance contract — the clone stays, exactly as a
+        non-speculative history would have produced it).
+        """
+        if self._released:
+            raise ServingError("cache was released back to the pool")
+        n = int(n)
+        if n < 0:
+            raise ServingError(f"cannot truncate {n} rows")
+        if n == 0:
+            return
+        if n > self.length:
+            raise ServingError(
+                f"cannot truncate {n} rows from a {self.length}-token "
+                "cache"
+            )
+        new_len = self.length - n
+        keep_blocks = -(-new_len // self.block_size)
+        for idx in range(len(self.block_ids) - 1, keep_blocks - 1, -1):
+            # Scrub through truncate_rows first so the plan-column
+            # accounting gives the block's rows back, then undo the
+            # allocation itself.
+            bid = self.block_ids[idx]
+            self.pool.truncate_rows(bid, 0)
+            self.pool._unallocate(bid)
+        del self.block_ids[keep_blocks:]
+        del self._chain[keep_blocks:]
+        retrail = False
+        if keep_blocks:
+            trailing = self.block_ids[-1]
+            new_fill = new_len - (keep_blocks - 1) * self.block_size
+            if int(self.pool._fill[trailing]) != new_fill:
+                self.pool.truncate_rows(trailing, new_fill)
+                retrail = True
+        del self._tokens[new_len:]
+        self.length = new_len
+        if (
+            retrail
+            and self.layer is not None
+            and len(self._tokens) == new_len
+            and len(self._chain) == keep_blocks
+        ):
+            # Mirror append's index maintenance for the shrunken
+            # trailing block: recompute its chained digest over the
+            # surviving segment and re-register, so the index again
+            # describes the block's current rows exactly.
+            start = (keep_blocks - 1) * self.block_size
+            segment = self._tokens[start:new_len]
+            prev = self._chain[keep_blocks - 2] if keep_blocks > 1 else b""
+            key = self.pool.prefix_key(self.layer, prev, segment)
+            self._chain[-1] = key
+            self.pool.register_prefix(self.block_ids[-1], key, segment)
+
     def release(self) -> None:
         """Release every block reference (idempotent).
 
@@ -1279,17 +1442,11 @@ def _grouped_softmax(scores: np.ndarray, widths: np.ndarray) -> np.ndarray:
     numpy's pairwise reduction tree (and hence the result's last ulp),
     so summing the full padded width would break bit-parity with the
     per-sequence :func:`~repro.numerics.softmax` over a
-    ``widths[b]``-long vector. Rows are processed grouped by width; a
-    row's contiguous leading slice reduces with the same pairwise tree
-    as the 1-D case.
+    ``widths[b]``-long vector. Delegates to
+    :func:`repro.numerics.masked_width_softmax`, the shared exact-width
+    implementation, with the per-sequence widths broadcast across heads.
     """
-    shifted = scores - scores.max(axis=-1, keepdims=True)
-    e = np.exp(shifted)
-    denom = np.empty(scores.shape[:-1] + (1,))
-    for w in np.unique(widths):
-        rows = widths == w
-        denom[rows] = e[rows][..., :int(w)].sum(axis=-1, keepdims=True)
-    return e / denom
+    return masked_width_softmax(scores, np.asarray(widths)[:, None])
 
 
 def fused_paged_decode_attention(
@@ -1479,6 +1636,251 @@ def fused_paged_decode_attention(
     return out
 
 
+def fused_paged_verify_attention(
+    queries: np.ndarray,
+    caches: list[PagedLayerCache],
+    base_lengths,
+    repeat: int = 1,
+    act_dtype=None,
+    table_dtype=None,
+    backend: str | None = None,
+) -> np.ndarray:
+    """Score T candidate rows per sequence against the paged cache in
+    one batched pass — the speculative-verify attention.
+
+    *queries* is ``(B, T, heads, head_dim)``: for each sequence, T
+    consecutive candidate positions whose K/V rows have **already been
+    appended** to the caches (``cache.length == base_lengths[b] + T``).
+    Row ``(b, j)`` attends causally over exactly ``base_lengths[b] + j
+    + 1`` keys — the context a sequential decode step at that position
+    would see.
+
+    Exactness is column-local, which is what makes one fused pass over
+    the *already-extended* cache possible: per-token K quantization
+    scales and per-column K-arena entries never look at later rows, so
+    masking columns at or past each row's causal width reproduces the
+    time-``j`` score vector bit-for-bit, and the softmax widths follow
+    :func:`fused_paged_decode_attention` (each row's *padded* block
+    context on the quantized path, exact lengths on the float path).
+    The V side is the one place later rows leak — a trailing block's
+    group quantization folds every resident row into its scales — so
+    each row whose time-``j`` trailing block was partial gets that
+    block requantized from a zero-masked copy at its time-``j`` fill
+    (one *stacked* quantize + plan over all such (row, block) combos:
+    the same per-step count, T trailing quantizations per sequence, as
+    T sequential decode steps). Full blocks serve from the shared V
+    arenas exactly like decode.
+
+    The result is bit-identical to T sequential
+    :func:`fused_paged_decode_attention` calls on the LUT backends
+    (1e-9 on reference; float-KV pools differ only in einsum padding
+    width, 1e-9 as well). Returns ``(B, T, heads, head_dim)``.
+    """
+    if not caches:
+        raise ServingError("verify needs at least one sequence")
+    pool = caches[0].pool
+    if any(c.pool is not pool for c in caches):
+        raise ServingError("all fused caches must share one block pool")
+    kv, hd, block_size = pool.kv_heads, pool.head_dim, pool.block_size
+    heads = kv * repeat
+    b = len(caches)
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 4 or queries.shape[0] != b or queries.shape[2:] != (
+        heads, hd
+    ):
+        raise LutError(
+            f"queries must be ({b}, T, {heads}, {hd}), got {queries.shape}"
+        )
+    t = queries.shape[1]
+    base = np.asarray(base_lengths, dtype=np.int64)
+    if base.shape != (b,) or (base < 0).any():
+        raise ServingError(
+            f"base_lengths must be {b} non-negative lengths"
+        )
+    for i, cache in enumerate(caches):
+        if cache.length != int(base[i]) + t:
+            raise ServingError(
+                f"cache {i} holds {cache.length} rows; verify of {t} "
+                f"candidates over base {int(base[i])} requires "
+                f"{int(base[i]) + t}"
+            )
+    bt = b * t
+    nblocks = np.array([len(c.block_ids) for c in caches], dtype=np.int64)
+    maxb = int(nblocks.max())
+    n = maxb * block_size
+    ids = np.zeros((b, maxb), dtype=np.int64)
+    for i, cache in enumerate(caches):
+        ids[i, :nblocks[i]] = cache.block_ids
+    table_valid = np.arange(maxb)[None, :] < nblocks[:, None]
+    # Per-row causal geometry: row (b, j) sees f = base_b + j + 1 keys.
+    f_rows = (base[:, None] + np.arange(t)[None, :] + 1).reshape(bt)
+    nb_rows = -(-f_rows // block_size)
+    ids_rows = np.repeat(ids, t, axis=0)
+    key_valid = np.arange(n)[None, :] < f_rows[:, None]
+    inv_sqrt_d = 1.0 / np.sqrt(hd)
+    if pool.bits is None:
+        kg = pool._k[ids].transpose(0, 2, 1, 3, 4).reshape(b, kv, n, hd)
+        q5 = queries.reshape(b, t, kv, repeat, hd)
+        scores = np.einsum("btkrd,bknd->btkrn", q5, kg).reshape(
+            bt, heads, n
+        )
+        scores = np.where(
+            key_valid[:, None, :], scores * inv_sqrt_d, MASKED_SCORE
+        )
+        probs = _grouped_softmax(scores, f_rows)
+        vg = pool._v[ids].transpose(0, 2, 1, 3, 4).reshape(b, kv, n, hd)
+        out = np.einsum(
+            "btkrn,bknd->btkrd", probs.reshape(b, t, kv, repeat, n), vg
+        )
+        return out.reshape(b, t, heads, hd)
+    config = LutMpGemmConfig(
+        k=pool.lut_k,
+        act_dtype=act_dtype,
+        table_dtype=table_dtype,
+        backend=backend,
+    )
+    kernel = get_backend(config.backend)
+    if config.table_dtype is not None and not kernel.needs_table:
+        raise LutError(
+            f"backend {kernel.name!r} has no tables and cannot model "
+            f"table_dtype={config.table_dtype.name} quantization"
+        )
+    # V arenas serve only blocks that are full *now* (full at every
+    # queried time); rows whose time-j trailing block was partial get a
+    # fresh zero-masked requantization below, so partial-now blocks are
+    # never read from the arena.
+    live = np.unique(ids[table_valid])
+    full = live[
+        (pool._fill[live] == block_size)
+        & (pool._va_fill[live] != pool._fill[live])
+    ]
+    for bid in full:
+        pool.refresh_v_arena(int(bid))
+
+    gk, gv = hd // pool.lut_k, block_size // pool.lut_k
+    shifts = (1 << np.arange(pool.bits, dtype=np.int64)).astype(np.float64)
+    q2 = queries.reshape(bt * heads, hd)
+    if kernel.needs_table:
+        q_half = precompute_tables(q2, config)
+        q_table = np.concatenate([q_half, -q_half], axis=-1)
+        acts = effective_activations(q2, config)
+        sums_k = acts.reshape(bt * heads, gk, pool.lut_k).sum(axis=-1)
+        fl = (
+            pool._ka_flat[ids_rows].transpose(0, 2, 3, 4, 1, 5)
+            .reshape(bt, kv, pool.bits, gk, n)
+        )
+        fl = np.repeat(fl, repeat, axis=1).reshape(
+            bt * heads, pool.bits, gk, n
+        )
+        sc = (
+            pool._ka_scale[ids_rows].transpose(0, 2, 3, 1, 4)
+            .reshape(bt, kv, gk, n)
+        )
+        sc = np.repeat(sc, repeat, axis=1).reshape(bt * heads, gk, n)
+        zr = (
+            pool._ka_zero[ids_rows].transpose(0, 2, 3, 1, 4)
+            .reshape(bt, kv, gk, n)
+        )
+        zr = np.repeat(zr, repeat, axis=1).reshape(bt * heads, gk, n)
+        raw = rowwise_lut_execute(
+            q_table, fl, sc, zr, sums_k, shifts, bool((zr != 0.0).any())
+        )
+    else:
+        acts = effective_activations(q2, config)
+        kd = pool._k_scale[ids_rows] * (
+            pool._k_codes[ids_rows].astype(np.float64)
+            - pool._k_zp[ids_rows]
+        )
+        kd = kd.transpose(0, 2, 1, 3, 4).reshape(bt, kv, n, hd)
+        kd = np.repeat(kd, repeat, axis=1).reshape(bt * heads, n, hd)
+        raw = rowwise_dequant_execute(acts, kd)
+    scores = raw.reshape(bt, heads, n)
+    scores = np.where(
+        key_valid[:, None, :], scores * inv_sqrt_d, MASKED_SCORE
+    )
+    probs = _grouped_softmax(scores, nb_rows * block_size)
+
+    # Gathered per-row V plan slabs (pre-GQA-repeat), then overwrite the
+    # time-j trailing-partial combos with fresh masked requantizations.
+    flv6 = pool._va_flat[ids_rows].transpose(0, 2, 1, 3, 4, 5).copy()
+    scv6 = pool._va_scale[ids_rows].transpose(0, 2, 1, 3, 4).copy()
+    zrv6 = pool._va_zero[ids_rows].transpose(0, 2, 1, 3, 4).copy()
+    deq6 = (
+        pool._va_deq[ids_rows].transpose(0, 2, 1, 3, 4).copy()
+        if not kernel.needs_table else None
+    )
+    tb_rows = nb_rows - 1                      # time-j trailing block idx
+    fill_rows = f_rows - tb_rows * block_size  # its time-j fill
+    fresh = np.nonzero(fill_rows < block_size)[0]
+    if fresh.size:
+        c = fresh.size
+        cbids = ids_rows[fresh, tb_rows[fresh]]
+        v_src = pool._v[cbids]  # (C, kv, block_size, head_dim)
+        keep = (
+            np.arange(block_size)[None, None, :, None]
+            < fill_rows[fresh][:, None, None, None]
+        )
+        v_masked = np.where(keep, v_src, 0.0)
+        v_t = v_masked.transpose(0, 1, 3, 2).reshape(-1, block_size)
+        if pool._v_group:
+            qw = quantize_weights(
+                v_t, pool.bits, axis=1, group_size=pool._v_group
+            )
+        else:
+            qw = quantize_weights(v_t, pool.bits, axis=0)
+        started = time.perf_counter()
+        plan = build_weight_plan(qw, pool.lut_k)
+        flat_idx = plan.flat_lookup_indices(1 << (pool.lut_k - 1), True)
+        flv6[fresh, :, tb_rows[fresh]] = (
+            flat_idx.reshape(plan.bits, gv, c, kv, hd)
+            .transpose(2, 3, 0, 1, 4)
+        )
+        scv6[fresh, :, tb_rows[fresh]] = (
+            plan.scale_gn.reshape(gv, c, kv, hd).transpose(1, 2, 0, 3)
+        )
+        zrv6[fresh, :, tb_rows[fresh]] = (
+            plan.zero_gn.reshape(gv, c, kv, hd).transpose(1, 2, 0, 3)
+        )
+        if deq6 is not None:
+            deq6[fresh, :, tb_rows[fresh]] = plan.dequantized.reshape(
+                c, kv, hd, block_size
+            )
+        pool.stats["v_quant_cols"] += c * block_size * kv
+        pool.stats["v_quant_s"] += time.perf_counter() - started
+
+    probs4 = probs.reshape(bt, heads, maxb, block_size)
+    p2 = probs4.reshape(bt * heads * maxb, block_size)
+    if kernel.needs_table:
+        p_half = precompute_tables(p2, config)
+        p_table = np.concatenate([p_half, -p_half], axis=-1)
+        pacts = effective_activations(p2, config)
+        sums_v = pacts.reshape(-1, gv, pool.lut_k).sum(axis=-1)
+        flv = np.repeat(flv6, repeat, axis=1).reshape(
+            bt * heads * maxb, pool.bits, gv, hd
+        )
+        scv = np.repeat(scv6, repeat, axis=1).reshape(
+            bt * heads * maxb, gv, hd
+        )
+        zrv = np.repeat(zrv6, repeat, axis=1).reshape(
+            bt * heads * maxb, gv, hd
+        )
+        parts = rowwise_lut_execute(
+            p_table, flv, scv, zrv, sums_v, shifts, bool((zrv != 0.0).any())
+        ).reshape(bt, heads, maxb, hd)
+    else:
+        vd = np.repeat(deq6, repeat, axis=1).reshape(
+            bt * heads * maxb, hd, block_size
+        )
+        parts = rowwise_dequant_execute(p2, vd).reshape(
+            bt, heads, maxb, hd
+        )
+    out = parts[:, :, 0].copy()
+    for j in range(1, maxb):
+        m = nb_rows > j
+        out[m] += parts[m][:, :, j]
+    return out.reshape(b, t, heads, hd)
+
+
 __all__ = [
     "BlockAllocator",
     "DEFAULT_BLOCK_SIZE",
@@ -1487,5 +1889,6 @@ __all__ = [
     "PagedLayerCache",
     "batched_decode_append",
     "fused_paged_decode_attention",
+    "fused_paged_verify_attention",
     "paged_decode_attention",
 ]

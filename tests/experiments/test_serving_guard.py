@@ -7,6 +7,7 @@ import pytest
 from repro.experiments.serving_guard import (
     FLOAT_SPEEDUP_FLOOR,
     MAX_REGRESSION,
+    SPEC_SPEEDUP_FLOOR,
     SPEEDUP_FLOOR,
     STALL_RATIO_CEILING,
     compare_reports,
@@ -137,6 +138,71 @@ class TestPrefillSection:
         assert compare_reports(current, _report(a=2.6)) == []
 
 
+def _with_speculative(report, high_speedup, low_speedup=0.3):
+    report = dict(report)
+    report["speculative"] = {
+        "bench": "serving-speculative",
+        "variants": {
+            "high-acceptance": {
+                "speedup": high_speedup,
+                "acceptance_rate": 0.96,
+                "tokens_per_step": 6.8,
+                "spec_tok_s": 100.0 * high_speedup,
+                "plain_tok_s": 100.0,
+            },
+            "low-acceptance": {
+                "speedup": low_speedup,
+                "acceptance_rate": 0.0,
+                "tokens_per_step": 1.0,
+                "spec_tok_s": 100.0 * low_speedup,
+                "plain_tok_s": 100.0,
+            },
+        },
+    }
+    return report
+
+
+class TestSpeculativeSection:
+    def test_above_floor_passes(self):
+        current = _with_speculative(_report(a=2.6), 1.9)
+        baseline = _with_speculative(_report(a=2.6), 1.8)
+        assert compare_reports(current, baseline) == []
+
+    def test_below_floor_fails(self):
+        current = _with_speculative(
+            _report(a=2.6), SPEC_SPEEDUP_FLOOR - 0.1
+        )
+        baseline = _with_speculative(_report(a=2.6), 1.8)
+        failures = compare_reports(current, baseline)
+        assert len(failures) == 1
+        assert "speculative" in failures[0] and "floor" in failures[0]
+
+    def test_low_acceptance_carries_no_floor(self):
+        # A 0.2x low-acceptance ratio is the documented worst case,
+        # not a regression.
+        current = _with_speculative(_report(a=2.6), 1.9, low_speedup=0.2)
+        baseline = _with_speculative(_report(a=2.6), 1.9, low_speedup=0.5)
+        assert compare_reports(current, baseline) == []
+
+    def test_missing_section_fails(self):
+        baseline = _with_speculative(_report(a=2.6), 1.8)
+        failures = compare_reports(_report(a=2.6), baseline)
+        assert len(failures) == 1
+        assert "speculative" in failures[0]
+
+    def test_baseline_without_speculative_is_backwards_compatible(self):
+        # Old baselines predating the speculative bench must keep
+        # passing untouched.
+        current = _with_speculative(_report(a=2.6), 0.9)
+        assert compare_reports(current, _report(a=2.6)) == []
+
+    def test_custom_spec_floor(self):
+        current = _with_speculative(_report(a=2.6), 1.2)
+        baseline = _with_speculative(_report(a=2.6), 1.2)
+        assert compare_reports(current, baseline, spec_floor=1.1) == []
+        assert len(compare_reports(current, baseline)) == 1
+
+
 class TestCli:
     def _write(self, path, report):
         path.write_text(json.dumps(report))
@@ -161,6 +227,33 @@ class TestCli:
         assert main([current, baseline]) == 1
         assert main([current, baseline, "--floor", "1.4"]) == 0
 
+    def test_spec_floor_flag_and_row_printed(self, tmp_path, capsys):
+        current = self._write(
+            tmp_path / "cur.json",
+            _with_speculative(_report(a=2.6), 1.3),
+        )
+        baseline = self._write(
+            tmp_path / "base.json",
+            _with_speculative(_report(a=2.6), 1.8),
+        )
+        assert main([current, baseline]) == 1
+        assert main([current, baseline, "--spec-floor", "1.2"]) == 0
+        out = capsys.readouterr().out
+        assert "speculative/high-acceptance" in out
+
+    def test_env_provenance_printed_on_failure(self, tmp_path, capsys):
+        report = _report(a=1.5)
+        report["env"] = {
+            "numpy": "9.9.9", "python": "3.11.7",
+            "platform": "TestOS-1.0", "cpus": 64,
+        }
+        current = self._write(tmp_path / "cur.json", report)
+        baseline = self._write(tmp_path / "base.json", _report(a=3.0))
+        assert main([current, baseline]) == 1
+        out = capsys.readouterr().out
+        assert "current env: numpy 9.9.9" in out
+        assert "64 cpus" in out
+
 
 class TestBaselineFile:
     def test_committed_baseline_is_well_formed(self):
@@ -183,4 +276,11 @@ class TestBaselineFile:
         prefill = baseline["prefill"]
         assert float(prefill["stall_ratio"]) <= STALL_RATIO_CEILING
         assert prefill["chunked"]["stall_max_ms"] > 0
+        spec = baseline["speculative"]["variants"]
+        high = spec["high-acceptance"]
+        assert float(high["speedup"]) >= SPEC_SPEEDUP_FLOOR
+        assert float(high["acceptance_rate"]) > 0.8
+        assert "low-acceptance" in spec
+        env = baseline["env"]
+        assert env["numpy"] and env["platform"] and env["cpus"] > 0
         assert compare_reports(baseline, baseline) == []

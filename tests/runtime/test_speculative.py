@@ -1,0 +1,261 @@
+"""Speculative decoding parity: batched verify vs sequential decode.
+
+``fused_paged_verify_attention`` must reproduce, for every candidate
+row, the attention output a sequential decode step at that position
+would have produced — bit-for-bit on the LUT backends (per-column K
+plans and per-row zero-masked trailing V requantization make the verify
+row a function of its causal prefix only), 1e-9 on reference and on
+float-KV pools (batched BLAS/einsum padding associates differently in
+the last ulp).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.models.configs import ModelConfig
+from repro.runtime.model import DecoderModel, RuntimeConfig
+from repro.runtime.paging import (
+    BlockAllocator,
+    PagedLayerCache,
+    fused_paged_decode_attention,
+    fused_paged_verify_attention,
+)
+
+LUT_BACKENDS = ("lut-naive", "lut-blocked")
+KV_HEADS = 2
+HEAD_DIM = 8
+REPEAT = 2
+HEADS = KV_HEADS * REPEAT
+
+
+def _fill_cache(pool, rng, length):
+    cache = PagedLayerCache(pool)
+    if length:
+        cache.append(
+            rng.normal(size=(length, KV_HEADS, HEAD_DIM)),
+            rng.normal(size=(length, KV_HEADS, HEAD_DIM)),
+        )
+    return cache
+
+
+def _scenario(seed, bits, block_size=8):
+    """Two mirrored (pool, caches, rows, queries) worlds: one for the
+    batched verify, one replayed sequentially."""
+    rng = np.random.default_rng(seed)
+    b = int(rng.integers(1, 5))
+    t = int(rng.integers(1, 6))
+    base = [int(rng.integers(1, 3 * block_size)) for _ in range(b)]
+    row_state = rng.bit_generator.state
+
+    def build():
+        r = np.random.default_rng()
+        r.bit_generator.state = row_state
+        pool = BlockAllocator(
+            KV_HEADS, HEAD_DIM, block_size=block_size, bits=bits
+        )
+        caches = [_fill_cache(pool, r, length) for length in base]
+        k_new = r.normal(size=(b, t, KV_HEADS, HEAD_DIM))
+        v_new = r.normal(size=(b, t, KV_HEADS, HEAD_DIM))
+        queries = r.normal(size=(b, t, HEADS, HEAD_DIM))
+        return pool, caches, k_new, v_new, queries
+
+    return base, build
+
+
+def _sequential_reference(caches, k_new, v_new, queries, backend):
+    """T fused decode steps: append row j everywhere, attend row j."""
+    t = queries.shape[1]
+    outs = []
+    for j in range(t):
+        for i, cache in enumerate(caches):
+            cache.append(k_new[i, j], v_new[i, j])
+        outs.append(
+            fused_paged_decode_attention(
+                queries[:, j], caches, repeat=REPEAT, backend=backend
+            )
+        )
+    return np.stack(outs, axis=1)  # (B, T, heads, head_dim)
+
+
+class TestVerifyAttentionParity:
+    @pytest.mark.parametrize("backend", LUT_BACKENDS)
+    def test_bitwise_identical_to_sequential_decode_lut(self, backend):
+        for seed in range(8):
+            base, build = _scenario(seed, bits=4)
+            pool, caches, k_new, v_new, queries = build()
+            for i, cache in enumerate(caches):
+                cache.append(k_new[i], v_new[i])
+            got = fused_paged_verify_attention(
+                queries, caches, base, repeat=REPEAT, backend=backend
+            )
+            _, s_caches, sk, sv, sq = build()
+            expect = _sequential_reference(s_caches, sk, sv, sq, backend)
+            np.testing.assert_array_equal(got, expect)
+
+    def test_reference_backend_within_1e9(self):
+        for seed in range(6):
+            base, build = _scenario(seed, bits=4)
+            pool, caches, k_new, v_new, queries = build()
+            for i, cache in enumerate(caches):
+                cache.append(k_new[i], v_new[i])
+            got = fused_paged_verify_attention(
+                queries, caches, base, repeat=REPEAT, backend="reference"
+            )
+            _, s_caches, sk, sv, sq = build()
+            expect = _sequential_reference(
+                s_caches, sk, sv, sq, "reference"
+            )
+            np.testing.assert_allclose(got, expect, atol=1e-9, rtol=0)
+
+    def test_float_kv_within_1e9(self):
+        for seed in range(6):
+            base, build = _scenario(seed, bits=None)
+            pool, caches, k_new, v_new, queries = build()
+            for i, cache in enumerate(caches):
+                cache.append(k_new[i], v_new[i])
+            got = fused_paged_verify_attention(
+                queries, caches, base, repeat=REPEAT
+            )
+            _, s_caches, sk, sv, sq = build()
+            expect = _sequential_reference(s_caches, sk, sv, sq, None)
+            np.testing.assert_allclose(got, expect, atol=1e-9, rtol=0)
+
+    def test_single_candidate_matches_decode_exactly(self):
+        # T=1 verify is just a fused decode step in verify clothing.
+        base, build = _scenario(3, bits=4)
+        pool, caches, k_new, v_new, queries = build()
+        k1, v1, q1 = k_new[:, :1], v_new[:, :1], queries[:, :1]
+        for i, cache in enumerate(caches):
+            cache.append(k1[i], v1[i])
+        got = fused_paged_verify_attention(
+            q1, caches, base, repeat=REPEAT, backend="lut-blocked"
+        )
+        _, s_caches, sk, sv, sq = build()
+        expect = _sequential_reference(
+            s_caches, k1, v1, q1, "lut-blocked"
+        )
+        np.testing.assert_array_equal(got, expect)
+
+    def test_length_mismatch_rejected(self):
+        base, build = _scenario(0, bits=4)
+        pool, caches, k_new, v_new, queries = build()
+        with pytest.raises(ServingError):
+            fused_paged_verify_attention(
+                queries, caches, base, repeat=REPEAT
+            )
+
+
+MODEL_CFG = ModelConfig(
+    "spec-fuzz",
+    hidden=32,
+    ffn=48,
+    layers=2,
+    heads=4,
+    kv_heads=2,
+    vocab=64,
+    gated_ffn=True,
+)
+
+
+def _make_model(backend, kv_bits=4):
+    rt = RuntimeConfig(
+        weight_bits=4,
+        kv_bits=kv_bits,
+        backend=backend,
+        kv_block_size=8,
+        max_seq_len=96,
+    )
+    return DecoderModel(MODEL_CFG, rt)
+
+
+def _prefilled(model, prompts):
+    caches = [model.new_caches() for _ in prompts]
+    for prompt, cs in zip(prompts, caches):
+        model.prefill(prompt, cs, share=False)
+    return caches
+
+
+class TestVerifyBatchParity:
+    """``DecoderModel.verify_batch`` vs T sequential ``decode_batch``
+    steps on identically-seeded twin models."""
+
+    def _worlds(self, seed):
+        rng = np.random.default_rng(seed)
+        b = int(rng.integers(1, 4))
+        t = int(rng.integers(2, 5))
+        prompts = [
+            rng.integers(0, MODEL_CFG.vocab, size=int(rng.integers(2, 20)))
+            for _ in range(b)
+        ]
+        cands = rng.integers(0, MODEL_CFG.vocab, size=(b, t))
+        return prompts, cands
+
+    @pytest.mark.parametrize("backend", LUT_BACKENDS)
+    def test_bitwise_vs_sequential_decode_lut(self, backend):
+        for seed in range(4):
+            prompts, cands = self._worlds(seed)
+            spec = _make_model(backend)
+            sc = _prefilled(spec, prompts)
+            got = spec.verify_batch(cands, sc)
+            plain = _make_model(backend)
+            pc = _prefilled(plain, prompts)
+            rows = [
+                plain.decode_batch(cands[:, j], pc)
+                for j in range(cands.shape[1])
+            ]
+            np.testing.assert_array_equal(got, np.stack(rows, axis=1))
+
+    @pytest.mark.parametrize("kv_bits", [4, None])
+    def test_reference_and_float_kv_within_1e9(self, kv_bits):
+        prompts, cands = self._worlds(9)
+        spec = _make_model("reference", kv_bits=kv_bits)
+        sc = _prefilled(spec, prompts)
+        got = spec.verify_batch(cands, sc)
+        plain = _make_model("reference", kv_bits=kv_bits)
+        pc = _prefilled(plain, prompts)
+        rows = [
+            plain.decode_batch(cands[:, j], pc)
+            for j in range(cands.shape[1])
+        ]
+        np.testing.assert_allclose(
+            got, np.stack(rows, axis=1), atol=1e-9, rtol=0
+        )
+
+    @pytest.mark.parametrize("backend", LUT_BACKENDS)
+    def test_rollback_then_decode_matches_plain(self, backend):
+        # Accept m of the T candidates, truncate the rest, keep
+        # decoding: the continuation must be bitwise the run that only
+        # ever decoded the m accepted tokens.
+        rng = np.random.default_rng(21)
+        for trial in range(3):
+            prompts, cands = self._worlds(30 + trial)
+            b, t = cands.shape
+            m = int(rng.integers(1, t + 1))
+            extra = rng.integers(0, MODEL_CFG.vocab, size=(3, b))
+
+            spec = _make_model(backend)
+            sc = _prefilled(spec, prompts)
+            spec.verify_batch(cands, sc)
+            for caches in sc:
+                for cache in caches:
+                    cache.truncate_rows(t - m)
+            got = [spec.decode_batch(extra[j], sc) for j in range(3)]
+
+            plain = _make_model(backend)
+            pc = _prefilled(plain, prompts)
+            for j in range(m):
+                plain.decode_batch(cands[:, j], pc)
+            expect = [plain.decode_batch(extra[j], pc) for j in range(3)]
+            for g, e in zip(got, expect):
+                np.testing.assert_array_equal(g, e)
+            for caches_s, caches_p in zip(sc, pc):
+                assert caches_s[0].length == caches_p[0].length
+
+    def test_over_long_candidates_rejected(self):
+        model = _make_model("lut-blocked")
+        caches = _prefilled(model, [np.arange(2, dtype=np.int64)])
+        too_long = model.runtime.max_seq_len - caches[0][0].length + 1
+        cands = np.zeros((1, too_long), dtype=np.int64)
+        with pytest.raises(ServingError):
+            model.verify_batch(cands, caches)
