@@ -58,6 +58,7 @@ import numpy as np
 from repro.experiments.meta import ExperimentMeta
 from repro.models.configs import ModelConfig
 from repro.runtime import (
+    AsyncRouter,
     DecoderModel,
     Request,
     RuntimeConfig,
@@ -139,6 +140,20 @@ SPEC_SEQ_LEN = 128
 #: numerator and denominator see the same machine state — a lone slow
 #: run shifts one ratio, not the reported number.
 SPEC_RUNS = 3
+#: Swap-to-host resume guard: one long-context request, force-evicted
+#: once its cache holds >= 256 rows, resumed either by recompute
+#: (re-prefill + replay, O(context) model FLOPs) or by restoring the
+#: serialized blocks (O(context) memcpy). The preempt step is chosen so
+#: the cache holds SWAP_PROMPT + SWAP_PREEMPT_STEP - 1 = 257 rows.
+SWAP_PROMPT = 192
+SWAP_MAX_NEW = 80
+SWAP_PREEMPT_STEP = 66
+SWAP_SEQ_LEN = 288
+SWAP_THRESHOLD = 64
+SWAP_RUNS = 3
+#: Router smoke: worker count and the policies the parity sweep covers.
+ROUTER_WORKERS = 2
+ROUTER_POLICIES = ("round-robin", "least-loaded", "prefix-aware")
 
 META = ExperimentMeta(
     title="Serving engine: continuous-batching throughput per kernel backend",
@@ -776,6 +791,263 @@ def format_spec_result(report: dict) -> str:
     return "\n".join(lines)
 
 
+def _swap_run(
+    threshold: int | None, preempt_step: int | None
+) -> tuple[dict[str, tuple[int, ...]], float, "EngineStats"]:
+    """One long-context greedy run, optionally force-evicting the
+    sequence at *preempt_step* (the deterministic engine-internal seam;
+    organic pool pressure would make the eviction point timing-
+    dependent). Returns ``(streams, resume_ms_total, stats)``."""
+    model = DecoderModel(
+        BENCH_MODEL,
+        RuntimeConfig(
+            weight_bits=WEIGHT_BITS,
+            kv_bits=4,
+            backend="lut-blocked",
+            max_seq_len=SWAP_SEQ_LEN,
+            swap_threshold_tokens=threshold,
+            seed=SEED,
+        ),
+    )
+    engine = ServingEngine(model, max_batch_size=1)
+    rng = np.random.default_rng(SEED)
+    prompt = tuple(
+        int(t) for t in rng.integers(0, BENCH_MODEL.vocab, SWAP_PROMPT)
+    )
+    engine.submit(
+        Request(
+            request_id="swap-0", prompt=prompt, max_new_tokens=SWAP_MAX_NEW
+        )
+    )
+    step = 0
+    while engine.has_work:
+        engine.step()
+        step += 1
+        if step == preempt_step and engine.active:
+            engine._preempt(engine.active[0])
+    results, stats = engine.run()
+    streams = {r.request_id: r.tokens for r in results}
+    return streams, stats.resume_ms_total, stats
+
+
+def measure_swap_resume() -> dict:
+    """Swap-to-host resume vs recompute-on-resume, with bit-identity.
+
+    One 192-token-prompt greedy request decodes until its KV cache
+    holds 257 rows, is force-evicted, and resumes two ways: recompute
+    (re-prefill the prompt + replay every generated token — O(context)
+    model FLOPs) and swap-restore (deserialize the spilled blocks +
+    one decode step — O(context) memcpy). **Fails** (RuntimeError)
+    unless both resumed streams are bit-identical to an unpreempted
+    run, the swap run spilled and restored exactly once, and the
+    recompute run never spilled. Reports the median resume-time ratio
+    over ``SWAP_RUNS`` back-to-back pairs; the tracked ``swap``
+    section of ``BENCH_serving.json`` (floor: 3x in serving_guard).
+    """
+    base_streams, _, base_stats = _swap_run(None, None)
+    if base_stats.preemptions != 0:
+        raise RuntimeError(
+            "swap guard: the unpreempted oracle run was preempted"
+        )
+    pairs = []
+    for _ in range(SWAP_RUNS):
+        rec_streams, rec_ms, rec_stats = _swap_run(
+            None, SWAP_PREEMPT_STEP
+        )
+        swap_streams, swap_ms, swap_stats = _swap_run(
+            SWAP_THRESHOLD, SWAP_PREEMPT_STEP
+        )
+        if rec_streams != base_streams or swap_streams != base_streams:
+            raise RuntimeError(
+                "swap guard: resumed token streams diverged from the "
+                "unpreempted run"
+            )
+        if rec_stats.swaps != 0 or rec_stats.resumes != 1:
+            raise RuntimeError(
+                "swap guard: the recompute run spilled or did not "
+                "resume exactly once"
+            )
+        if swap_stats.swaps != 1 or swap_stats.swap_resumes != 1:
+            raise RuntimeError(
+                "swap guard: the swap run did not spill and restore "
+                "exactly once"
+            )
+        pairs.append((rec_ms / swap_ms, rec_ms, swap_ms, swap_stats))
+    pairs.sort(key=lambda p: p[0])
+    ratio, rec_ms, swap_ms, swap_stats = pairs[len(pairs) // 2]
+    return {
+        "bench": "serving-swap-resume",
+        "model": BENCH_MODEL.name,
+        "backend": "lut-blocked",
+        "weight_bits": WEIGHT_BITS,
+        "kv_bits": 4,
+        "prompt_tokens": SWAP_PROMPT,
+        "max_new_tokens": SWAP_MAX_NEW,
+        "context_tokens": SWAP_PROMPT + SWAP_PREEMPT_STEP - 1,
+        "threshold_tokens": SWAP_THRESHOLD,
+        "recompute_resume_ms": round(rec_ms, 3),
+        "swap_resume_ms": round(swap_ms, 3),
+        "speedup": round(ratio, 2),
+        "spill_mib": round(swap_stats.swap_bytes / 2**20, 3),
+        "seed": SEED,
+    }
+
+
+def format_swap_result(report: dict) -> str:
+    return (
+        f"Swap-to-host resume: {report['context_tokens']}-token cached "
+        f"context ({report['backend']} W{report['weight_bits']} "
+        f"int{report['kv_bits']}-KV, threshold "
+        f"{report['threshold_tokens']} tokens), "
+        f"{report['spill_mib']} MiB spilled\n"
+        f"swap restore {report['swap_resume_ms']} ms vs recompute "
+        f"{report['recompute_resume_ms']} ms -> "
+        f"{report['speedup']:.2f}x; token streams bit-identical to the "
+        "unpreempted run"
+    )
+
+
+def measure_router_smoke() -> dict:
+    """Multi-worker router parity + placement-quality smoke.
+
+    Runs the mixed workload through a ``ROUTER_WORKERS``-worker
+    :class:`AsyncRouter` under every routing policy and **fails**
+    (RuntimeError) unless each policy's token streams are bit-identical
+    to one single-engine run — placement must never change outputs.
+    Then replays the shared-prefix workload under ``round-robin`` vs
+    ``prefix-aware`` and fails unless prefix-aware placement allocated
+    strictly fewer pool blocks (it herds the common prefix onto one
+    worker's cache; round-robin splits it). Thread-transport wall time
+    is measured and reported only on multi-core machines
+    (``os.cpu_count() > 1``) and never gated: with numpy doing the
+    heavy lifting the GIL bounds the achievable overlap, so the number
+    documents, not guards.
+    """
+    import os
+    import time
+
+    def factory() -> ServingEngine:
+        model = DecoderModel(
+            BENCH_MODEL,
+            RuntimeConfig(
+                weight_bits=WEIGHT_BITS,
+                kv_bits=4,
+                backend="lut-blocked",
+                max_seq_len=MAX_SEQ_LEN,
+                seed=SEED,
+            ),
+        )
+        return ServingEngine(model, max_batch_size=MAX_BATCH)
+
+    requests = _mixed_requests(np.random.default_rng(SEED))
+    oracle = factory()
+    for request in requests:
+        oracle.submit(request)
+    oracle_results, _ = oracle.run()
+    want = {r.request_id: r.tokens for r in oracle_results}
+
+    policies_out = {}
+    for policy in ROUTER_POLICIES:
+        router = AsyncRouter(
+            factory, workers=ROUTER_WORKERS, routing=policy
+        )
+        try:
+            got = {
+                r.request_id: r.tokens for r in router.run_sync(requests)
+            }
+        finally:
+            router.close()
+        if got != want:
+            raise RuntimeError(
+                f"router smoke: {policy} token streams diverged from "
+                "the single-engine run"
+            )
+        policies_out[policy] = {"parity": True, "requests": len(got)}
+
+    shared = _shared_prefix_requests(np.random.default_rng(SEED))
+    blocks = {}
+    for policy in ("round-robin", "prefix-aware"):
+        router = AsyncRouter(
+            factory, workers=ROUTER_WORKERS, routing=policy
+        )
+        try:
+            router.run_sync(shared)
+            blocks[policy] = router.stats().blocks_allocated
+        finally:
+            router.close()
+    saved = blocks["round-robin"] - blocks["prefix-aware"]
+    if saved <= 0:
+        raise RuntimeError(
+            "router smoke: prefix-aware placement saved no blocks vs "
+            f"round-robin ({blocks['prefix-aware']} vs "
+            f"{blocks['round-robin']} allocated)"
+        )
+
+    scaling = None
+    if (os.cpu_count() or 1) > 1:
+        walls = {}
+        for workers in (1, ROUTER_WORKERS):
+            router = AsyncRouter(
+                factory, workers=workers, transport="thread"
+            )
+            try:
+                started = time.perf_counter()
+                router.run_sync(requests)
+                walls[workers] = time.perf_counter() - started
+            finally:
+                router.close()
+        scaling = {
+            "workers": ROUTER_WORKERS,
+            "one_worker_s": round(walls[1], 3),
+            "n_worker_s": round(walls[ROUTER_WORKERS], 3),
+            "speedup": round(walls[1] / walls[ROUTER_WORKERS], 2),
+        }
+    return {
+        "bench": "serving-router-smoke",
+        "model": BENCH_MODEL.name,
+        "backend": "lut-blocked",
+        "workers": ROUTER_WORKERS,
+        "requests": len(requests),
+        "policies": policies_out,
+        "shared_prefix": {
+            "round_robin_blocks": int(blocks["round-robin"]),
+            "prefix_aware_blocks": int(blocks["prefix-aware"]),
+            "blocks_saved": int(saved),
+        },
+        "thread_scaling": scaling,
+        "seed": SEED,
+    }
+
+
+def format_router_result(report: dict) -> str:
+    shared = report["shared_prefix"]
+    lines = [
+        f"Router smoke: {report['workers']} shared-nothing workers, "
+        f"{report['requests']} mixed requests ({report['backend']} "
+        f"W{WEIGHT_BITS} int4-KV), policies "
+        f"{sorted(report['policies'])}",
+        f"shared-prefix placement: prefix-aware "
+        f"{shared['prefix_aware_blocks']} blocks vs round-robin "
+        f"{shared['round_robin_blocks']} "
+        f"({shared['blocks_saved']} saved)",
+    ]
+    scaling = report.get("thread_scaling")
+    if scaling is not None:
+        lines.append(
+            f"thread transport: {scaling['workers']} workers "
+            f"{scaling['n_worker_s']}s vs 1 worker "
+            f"{scaling['one_worker_s']}s ({scaling['speedup']}x; "
+            "reported, never gated — numpy under the GIL bounds "
+            "overlap)"
+        )
+    lines.append(
+        "router-smoke OK: every policy bit-identical to the single "
+        f"engine, prefix-aware saved {shared['blocks_saved']} blocks "
+        "vs round-robin"
+    )
+    return "\n".join(lines)
+
+
 def env_provenance() -> dict:
     """Where a tracked measurement was taken: enough to judge whether a
     regression is a code change or a machine change."""
@@ -1013,19 +1285,33 @@ if __name__ == "__main__":
         "report carries both sections",
     )
     parser.add_argument(
+        "--swap-guard", action="store_true",
+        help="measure swap-restore vs recompute resume time on a "
+        "long-context preemption (with bit-identity check); the JSON "
+        "report carries the result as its 'swap' section",
+    )
+    parser.add_argument(
+        "--router-smoke", action="store_true",
+        help="N-worker AsyncRouter parity across every routing policy "
+        "plus the prefix-aware placement savings check (CI "
+        "router-smoke step; prints 'router-smoke OK' on success)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --fused-guard / --spec-guard: also write the "
-        "measurement as JSON (the BENCH_serving.json schema the perf "
-        "guard diffs)",
+        help="with --fused-guard / --spec-guard / --swap-guard: also "
+        "write the measurement as JSON (the BENCH_serving.json schema "
+        "the perf guard diffs)",
     )
     args = parser.parse_args()
-    if args.fused_guard or args.spec_guard:
+    run_guard = args.fused_guard or args.spec_guard or args.swap_guard
+    if run_guard:
         import json
         import pathlib
 
         # One tracked file for the whole serving-perf trajectory: the
-        # fused ratios plus the chunked-prefill and speculative
-        # sections, stamped with the machine it was measured on.
+        # fused ratios plus the chunked-prefill, speculative, and
+        # swap-resume sections, stamped with the machine it was
+        # measured on.
         report: dict = {"env": env_provenance()}
         if args.fused_guard:
             report.update(measure_fused_speedup())
@@ -1035,21 +1321,27 @@ if __name__ == "__main__":
         if args.spec_guard:
             report["speculative"] = measure_spec_speedup()
             print(format_spec_result(report["speculative"]))
+        if args.swap_guard:
+            report["swap"] = measure_swap_resume()
+            print(format_swap_result(report["swap"]))
         if args.json:
             path = pathlib.Path(args.json)
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(report, indent=2) + "\n")
             print(f"wrote {path}")
-    elif args.workload == "prefill-heavy":
-        print(format_prefill_result(measure_prefill_interleaving()))
-    else:
-        smoke_variants = (("lut-blocked", 4),)
-        print(
-            format_result(
-                run(
-                    variants=smoke_variants if args.smoke else VARIANTS,
-                    scheduler=args.scheduler,
-                    workload=args.workload,
+    if args.router_smoke:
+        print(format_router_result(measure_router_smoke()))
+    if not run_guard and not args.router_smoke:
+        if args.workload == "prefill-heavy":
+            print(format_prefill_result(measure_prefill_interleaving()))
+        else:
+            smoke_variants = (("lut-blocked", 4),)
+            print(
+                format_result(
+                    run(
+                        variants=smoke_variants if args.smoke else VARIANTS,
+                        scheduler=args.scheduler,
+                        workload=args.workload,
+                    )
                 )
             )
-        )

@@ -24,7 +24,12 @@ at the repo root — the tracked perf trajectory. The guard fails when:
   single-stream decode — see ``bench_serving.measure_spec_speedup``)
   fell below ``SPEC_SPEEDUP_FLOOR``. The low-acceptance row is
   reported but carries no floor: it documents the rollback-dominated
-  worst case, whose ratio is legitimately below 1.
+  worst case, whose ratio is legitimately below 1; or
+- the baseline has a ``swap`` section (``bench_serving --swap-guard``)
+  and the current report's swap-over-recompute resume speedup fell
+  below ``SWAP_SPEEDUP_FLOOR`` — restoring spilled KV blocks
+  (O(context) memcpy) must stay decisively faster than replaying the
+  model (O(context) FLOPs) on a long-context resume.
 
 Raw tok/s and step-millisecond numbers are machine-dependent and are
 *not* compared — only same-machine, same-process ratios, which are
@@ -52,6 +57,9 @@ STALL_RATIO_CEILING = 0.8
 #: Minimum speculative-over-plain decode speedup on the
 #: high-acceptance (self-speculation) variant.
 SPEC_SPEEDUP_FLOOR = 1.5
+#: Minimum swap-resume-over-recompute-resume speedup on the
+#: long-context (>= 256 cached tokens) preemption resume.
+SWAP_SPEEDUP_FLOOR = 3.0
 
 
 def variant_floor(
@@ -72,6 +80,7 @@ def compare_reports(
     float_floor: float = FLOAT_SPEEDUP_FLOOR,
     stall_ceiling: float = STALL_RATIO_CEILING,
     spec_floor: float = SPEC_SPEEDUP_FLOOR,
+    swap_floor: float = SWAP_SPEEDUP_FLOOR,
 ) -> list[str]:
     """Diff two ``BENCH_serving.json`` reports; returns failure strings
     (empty list = guard passes)."""
@@ -139,6 +148,21 @@ def compare_reports(
                     f"{spec_floor:.1f}x floor (acceptance "
                     f"{high.get('acceptance_rate', '?')})"
                 )
+    if "swap" in baseline:
+        swap = current.get("swap")
+        if swap is None:
+            failures.append(
+                "swap: section present in baseline but missing from "
+                "the current report"
+            )
+        elif float(swap["speedup"]) < swap_floor:
+            failures.append(
+                f"swap: resume speedup {float(swap['speedup']):.2f}x "
+                f"is below the {swap_floor:.1f}x floor (swap "
+                f"{swap.get('swap_resume_ms', '?')} ms vs recompute "
+                f"{swap.get('recompute_resume_ms', '?')} ms at "
+                f"{swap.get('context_tokens', '?')} cached tokens)"
+            )
     return failures
 
 
@@ -181,6 +205,11 @@ def main(argv: list[str] | None = None) -> int:
         help="minimum speculative speedup on the high-acceptance "
         "variant (default %(default)s)",
     )
+    parser.add_argument(
+        "--swap-floor", type=float, default=SWAP_SPEEDUP_FLOOR,
+        help="minimum swap-resume over recompute-resume speedup "
+        "(default %(default)s)",
+    )
     args = parser.parse_args(argv)
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
@@ -188,7 +217,7 @@ def main(argv: list[str] | None = None) -> int:
         current, baseline,
         max_regression=args.max_regression, floor=args.floor,
         float_floor=args.float_floor, stall_ceiling=args.stall_ceiling,
-        spec_floor=args.spec_floor,
+        spec_floor=args.spec_floor, swap_floor=args.swap_floor,
     )
     for key, row in sorted(current.get("variants", {}).items()):
         base = baseline.get("variants", {}).get(key, {})
@@ -213,6 +242,15 @@ def main(argv: list[str] | None = None) -> int:
             f"(acceptance {row['acceptance_rate']}, "
             f"{row['tokens_per_step']} tok/step)"
         )
+    swap = current.get("swap")
+    if swap is not None:
+        print(
+            f"swap: resume speedup {swap['speedup']:.2f}x "
+            f"(swap {swap.get('swap_resume_ms', '?')} ms vs recompute "
+            f"{swap.get('recompute_resume_ms', '?')} ms, "
+            f"{swap.get('context_tokens', '?')} cached tokens, "
+            f"{swap.get('spill_mib', '?')} MiB spilled)"
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
@@ -231,7 +269,8 @@ def main(argv: list[str] | None = None) -> int:
         f"{args.max_regression:.0%} of baseline and above its floor "
         f"(int {args.floor:.1f}x / fp {args.float_floor:.1f}x), "
         "prefill stall ratio within ceiling, speculative high-"
-        f"acceptance speedup >= {args.spec_floor:.1f}x"
+        f"acceptance speedup >= {args.spec_floor:.1f}x, swap resume "
+        f">= {args.swap_floor:.1f}x recompute"
     )
     return 0
 

@@ -23,7 +23,11 @@ configs (:mod:`repro.models.configs`) into a real inference engine:
   ``memory-aware``), pluggable preemption (``priority-remaining`` /
   ``latest-first``) that evicts and later resumes sequences when a
   bounded pool runs hot, greedy/top-k sampling, per-step
-  :class:`StepTrace` history, and throughput/latency stats.
+  :class:`StepTrace` history, and throughput/latency stats;
+- :class:`AsyncRouter` — N shared-nothing engine replicas behind an
+  asyncio front end with per-request token streams, bounded-queue
+  backpressure, and pluggable placement (``round-robin`` /
+  ``least-loaded`` / ``prefix-aware`` shadow-index routing).
 
 Quickstart::
 
@@ -40,6 +44,14 @@ Quickstart::
     results, stats = engine.run()
 """
 
+from repro.runtime.cluster import (
+    AsyncRouter,
+    ClusterStats,
+    InlineWorkerHandle,
+    ThreadWorkerHandle,
+    TokenStream,
+    WorkerHandle,
+)
 from repro.runtime.engine import (
     EngineStats,
     Request,
@@ -52,12 +64,22 @@ from repro.runtime.kv import LayerKvCache
 from repro.runtime.linear import QuantizedLinear
 from repro.runtime.model import DecoderModel, RuntimeConfig, SpeculativeConfig
 from repro.runtime.paging import (
+    PREFIX_EVICTION_POLICIES,
     BlockAllocator,
     PagedLayerCache,
+    PrefixEvictionPolicy,
     batched_decode_append,
     fused_paged_decode_attention,
     fused_paged_verify_attention,
+    get_prefix_eviction_policy,
     paged_decode_attention,
+)
+from repro.runtime.routing import (
+    ROUTING_POLICIES,
+    RoutingContext,
+    RoutingPolicy,
+    ShadowPrefixIndex,
+    get_routing_policy,
 )
 from repro.runtime.scheduler import (
     PREEMPTION_POLICIES,
@@ -70,28 +92,42 @@ from repro.runtime.scheduler import (
 )
 
 __all__ = [
+    "AsyncRouter",
     "BlockAllocator",
+    "ClusterStats",
     "DecoderModel",
     "EngineStats",
+    "InlineWorkerHandle",
     "LayerKvCache",
     "PREEMPTION_POLICIES",
+    "PREFIX_EVICTION_POLICIES",
     "PagedLayerCache",
     "PreemptionPolicy",
+    "PrefixEvictionPolicy",
     "QuantizedLinear",
+    "ROUTING_POLICIES",
     "Request",
     "RequestResult",
+    "RoutingContext",
+    "RoutingPolicy",
     "RuntimeConfig",
     "SCHEDULERS",
     "SamplingParams",
     "SchedulerPolicy",
     "SchedulingContext",
     "ServingEngine",
+    "ShadowPrefixIndex",
     "SpeculativeConfig",
     "StepTrace",
+    "ThreadWorkerHandle",
+    "TokenStream",
+    "WorkerHandle",
     "batched_decode_append",
     "fused_paged_decode_attention",
     "fused_paged_verify_attention",
     "get_preemption_policy",
+    "get_prefix_eviction_policy",
+    "get_routing_policy",
     "get_scheduler",
     "paged_decode_attention",
 ]

@@ -1,0 +1,516 @@
+"""Multi-worker serving: an asyncio router over shared-nothing engines.
+
+One Python process is the ceiling on concurrent users no matter how
+fast each engine step gets. This module scales *out* instead: N
+independent :class:`~repro.runtime.engine.ServingEngine` workers —
+each with its own model weights, KV pool, and prefix index — behind an
+:class:`AsyncRouter` front end that places requests with a pluggable
+:class:`~repro.runtime.routing.RoutingPolicy`, streams tokens back per
+request, and applies backpressure through a bounded in-flight window.
+
+Transport is deliberately in-process, behind the :class:`WorkerHandle`
+protocol:
+
+- ``inline`` (default) — the router pumps each engine directly on the
+  event loop. Fully deterministic: the same submissions produce the
+  same event order, which is what lets the cluster be *fuzzed* for
+  bit-exact parity against a single engine.
+- ``thread`` — one worker thread per engine, queues across the seam,
+  exercising the same message protocol (dict requests in, dict events
+  out) a subprocess or RPC transport would use. Thread scheduling
+  perturbs event *interleaving*, never token *content*: workers are
+  shared-nothing, so per-request streams stay bit-identical.
+
+Parity is the design invariant, not an accident: each worker is an
+identically-seeded engine, the LUT backends are batch-invariant, and
+preemption/sharing/speculation are output-transparent, so *where* a
+request lands (any policy, any worker count) cannot change its token
+stream — only its latency and how many KV blocks the cluster
+allocates. The routing policy's job is purely to minimize the latter.
+
+Wire format across the handle seam is the ``to_dict`` form of
+:class:`~repro.runtime.engine.Request` /
+:class:`~repro.runtime.engine.RequestResult` plus three event shapes::
+
+    {"type": "token", "request_id": ..., "token": int}
+    {"type": "done",  "request_id": ..., "result": {...}}
+    {"type": "error", "request_id": ... | None, "message": str}
+
+Quickstart::
+
+    router = AsyncRouter(lambda: ServingEngine(build_model()),
+                         workers=2, routing="prefix-aware")
+    results = router.run_sync(requests)   # ordered like *requests*
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ServingError
+from repro.runtime.engine import Request, RequestResult, ServingEngine
+from repro.runtime.routing import (
+    RoutingContext,
+    RoutingPolicy,
+    ShadowPrefixIndex,
+    get_routing_policy,
+)
+
+
+@runtime_checkable
+class WorkerHandle(Protocol):
+    """Transport seam between the router and one engine replica.
+
+    Requests cross as :meth:`Request.to_dict` payloads; progress comes
+    back as event dicts from :meth:`drain`. ``pump`` grants the worker
+    one unit of forward progress — a no-op for transports that drive
+    themselves (threads).
+    """
+
+    block_size: int
+
+    def submit(self, request: dict) -> None: ...
+
+    def pump(self) -> None: ...
+
+    def drain(self) -> list[dict]: ...
+
+    def idle(self) -> bool: ...
+
+    def summary(self) -> dict: ...
+
+    def close(self) -> None: ...
+
+
+class InlineWorkerHandle:
+    """In-process handle: the caller pumps the engine one step at a
+    time. Deterministic — the fuzz-parity workhorse."""
+
+    def __init__(self, engine: ServingEngine) -> None:
+        self.engine = engine
+        self.block_size = engine.model.kv_pool.block_size
+        #: Tokens already emitted per in-flight request id.
+        self._emitted: dict[str, int] = {}
+        #: Prefix of ``engine.finished`` already turned into events.
+        self._done = 0
+        self._events: list[dict] = []
+
+    def submit(self, request: dict) -> None:
+        self.engine.submit(Request.from_dict(request))
+
+    def pump(self) -> None:
+        if self.engine.has_work:
+            self.engine.step()
+            self._collect()
+
+    def _collect(self) -> None:
+        """Diff engine state into token/done events.
+
+        In-flight sequences live in ``active``/``prefilling``/
+        ``preempted``; a preempted sequence keeps its generated prefix,
+        so already-emitted counts never regress.
+        """
+        engine = self.engine
+        for seq in engine.active + engine.prefilling + engine.preempted:
+            rid = seq.request.request_id
+            seen = self._emitted.get(rid, 0)
+            for token in seq.generated[seen:]:
+                self._events.append(
+                    {"type": "token", "request_id": rid,
+                     "token": int(token)}
+                )
+            self._emitted[rid] = len(seq.generated)
+        finished = engine.finished
+        while self._done < len(finished):
+            result = finished[self._done]
+            rid = result.request_id
+            seen = self._emitted.pop(rid, 0)
+            for token in result.tokens[seen:]:
+                self._events.append(
+                    {"type": "token", "request_id": rid,
+                     "token": int(token)}
+                )
+            self._events.append(
+                {"type": "done", "request_id": rid,
+                 "result": result.to_dict()}
+            )
+            self._done += 1
+
+    def drain(self) -> list[dict]:
+        events, self._events = self._events, []
+        return events
+
+    def idle(self) -> bool:
+        return not self.engine.has_work
+
+    def summary(self) -> dict:
+        stats = self.engine.model.kv_pool.stats
+        return {
+            "requests": self._done,
+            "blocks_allocated": int(stats["allocated"]),
+            "blocks_shared": int(stats["shared"]),
+            "preemptions": self.engine._preemptions,
+            "swaps": self.engine._swaps,
+            "swap_resumes": self.engine._swap_resumes,
+        }
+
+    def close(self) -> None:
+        pass
+
+
+#: Thread-loop control values (module-level: picklable, comparable).
+_SHUTDOWN = object()
+_NO_ITEM = object()
+
+
+class ThreadWorkerHandle:
+    """One worker thread per engine, queues across the seam.
+
+    The thread drives an :class:`InlineWorkerHandle` and forwards its
+    events; the router only ever touches the two queues. Engines are
+    shared-nothing, so N worker threads never contend on model or pool
+    state — scheduling reorders *when* events surface, never *what*
+    tokens they carry. A step failure surfaces as an ``error`` event
+    and stops the thread; :meth:`summary` is only meaningful after
+    :meth:`close`.
+    """
+
+    def __init__(self, engine: ServingEngine) -> None:
+        self._inner = InlineWorkerHandle(engine)
+        self.block_size = self._inner.block_size
+        self._in: queue.SimpleQueue = queue.SimpleQueue()
+        self._out: queue.SimpleQueue = queue.SimpleQueue()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def submit(self, request: dict) -> None:
+        self._idle.clear()
+        self._in.put(request)
+
+    def pump(self) -> None:
+        pass  # the thread pumps itself
+
+    def _loop(self) -> None:
+        while True:
+            if self._inner.idle():
+                self._idle.set()
+                item = self._in.get()  # block: nothing to pump
+                self._idle.clear()
+            else:
+                try:
+                    item = self._in.get(block=False)
+                except queue.Empty:
+                    item = _NO_ITEM
+            if item is _SHUTDOWN:
+                self._idle.set()
+                return
+            if item is not _NO_ITEM:
+                try:
+                    self._inner.submit(item)
+                except ServingError as exc:
+                    self._out.put(
+                        {"type": "error",
+                         "request_id": item.get("request_id"),
+                         "message": str(exc)}
+                    )
+                continue  # ingest greedily before pumping
+            try:
+                self._inner.pump()
+            except Exception as exc:  # noqa: BLE001 — cross the seam
+                self._out.put(
+                    {"type": "error", "request_id": None,
+                     "message": f"{type(exc).__name__}: {exc}"}
+                )
+                self._idle.set()
+                return
+            for event in self._inner.drain():
+                self._out.put(event)
+
+    def drain(self) -> list[dict]:
+        events: list[dict] = []
+        while True:
+            try:
+                events.append(self._out.get(block=False))
+            except queue.Empty:
+                return events
+
+    def idle(self) -> bool:
+        return self._idle.is_set()
+
+    def summary(self) -> dict:
+        return self._inner.summary()
+
+    def close(self) -> None:
+        if self._thread.is_alive():
+            self._in.put(_SHUTDOWN)
+            self._thread.join(timeout=10.0)
+
+
+class TokenStream:
+    """Async iterator over one request's tokens.
+
+    Yields each generated token as the cluster produces it; iteration
+    ends when the request finishes, after which :attr:`result` holds
+    its :class:`~repro.runtime.engine.RequestResult`. Awaiting the
+    next token is what drives the router forward (there is no
+    background task), so a stream can be consumed in isolation.
+    """
+
+    def __init__(self, request_id: str, router: "AsyncRouter") -> None:
+        self.request_id = request_id
+        self._router = router
+        self._tokens: deque[int] = deque()
+        self._finished = False
+        self._error: Exception | None = None
+        self.result: RequestResult | None = None
+
+    def __aiter__(self) -> "TokenStream":
+        return self
+
+    async def __anext__(self) -> int:
+        while True:
+            if self._tokens:
+                return self._tokens.popleft()
+            if self._error is not None:
+                raise self._error
+            if self._finished:
+                raise StopAsyncIteration
+            await self._router._advance()
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate of one router run, from per-worker summaries."""
+
+    workers: list[dict] = field(default_factory=list)
+
+    def _total(self, key: str) -> int:
+        return sum(int(w.get(key, 0)) for w in self.workers)
+
+    @property
+    def requests(self) -> int:
+        return self._total("requests")
+
+    @property
+    def blocks_allocated(self) -> int:
+        return self._total("blocks_allocated")
+
+    @property
+    def blocks_shared(self) -> int:
+        return self._total("blocks_shared")
+
+    @property
+    def preemptions(self) -> int:
+        return self._total("preemptions")
+
+    @property
+    def swaps(self) -> int:
+        return self._total("swaps")
+
+
+class AsyncRouter:
+    """Asyncio front end over N shared-nothing engine replicas.
+
+    ``engine_factory`` builds one independent
+    :class:`~repro.runtime.engine.ServingEngine` per worker (replicas
+    must be identically configured for parity; the factory is called
+    ``workers`` times). ``routing`` names a policy from
+    :data:`~repro.runtime.routing.ROUTING_POLICIES` or passes an
+    instance. ``max_pending`` bounds cluster-wide in-flight requests:
+    :meth:`submit` awaits until a slot frees (backpressure), so an
+    unbounded producer cannot overrun the workers.
+
+    The router is the only writer of its placement state — per-worker
+    in-flight loads and :class:`~repro.runtime.routing.ShadowPrefixIndex`
+    mirrors — so placement never reads worker memory and works
+    unchanged over any transport.
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], ServingEngine],
+        workers: int = 2,
+        routing: str | RoutingPolicy = "round-robin",
+        transport: str = "inline",
+        max_pending: int = 64,
+        shadow_capacity: int = 4096,
+        shadow_eviction: str = "lru",
+    ) -> None:
+        if workers < 1:
+            raise ServingError("workers must be >= 1")
+        if max_pending < 1:
+            raise ServingError("max_pending must be >= 1")
+        if transport not in ("inline", "thread"):
+            raise ServingError(
+                f"unknown transport {transport!r}; "
+                "available: inline, thread"
+            )
+        self.policy = get_routing_policy(routing)
+        self.max_pending = max_pending
+        self._transport = transport
+        make: Callable[[ServingEngine], WorkerHandle] = (
+            InlineWorkerHandle if transport == "inline"
+            else ThreadWorkerHandle
+        )
+        self.handles: list[WorkerHandle] = [
+            make(engine_factory()) for _ in range(workers)
+        ]
+        self._loads = [0] * workers
+        self._shadows = [
+            ShadowPrefixIndex(
+                handle.block_size,
+                capacity=shadow_capacity,
+                eviction=shadow_eviction,
+            )
+            for handle in self.handles
+        ]
+        self._streams: dict[str, TokenStream] = {}
+        self._placements: dict[str, int] = {}
+        self._closed = False
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet finished."""
+        return len(self._streams)
+
+    async def submit(self, request: Request) -> TokenStream:
+        """Place *request* on a worker and return its token stream.
+
+        Awaits while the in-flight window is full — consuming any
+        stream (or awaiting another submit) drains the cluster and
+        frees slots.
+        """
+        if self._closed:
+            raise ServingError("router is closed")
+        if request.request_id in self._placements:
+            raise ServingError(
+                f"duplicate request id {request.request_id!r}"
+            )
+        while len(self._streams) >= self.max_pending:
+            await self._advance()
+        worker = self.policy.place(
+            request,
+            RoutingContext(loads=tuple(self._loads),
+                           shadows=tuple(self._shadows)),
+        )
+        if not 0 <= worker < len(self.handles):
+            raise ServingError(
+                f"routing policy {self.policy.name!r} placed "
+                f"{request.request_id!r} on worker {worker}; "
+                f"cluster has {len(self.handles)}"
+            )
+        stream = TokenStream(request.request_id, self)
+        self._streams[request.request_id] = stream
+        self._placements[request.request_id] = worker
+        self._loads[worker] += 1
+        # Placement record IS the shadow update — the router mirrors
+        # what it just made reachable on that worker, never queries it.
+        self._shadows[worker].record(request.prompt)
+        try:
+            self.handles[worker].submit(request.to_dict())
+        except ServingError:
+            # Inline transport rejects synchronously (oversize,
+            # unservable); undo the placement record and re-raise.
+            self._finish(request.request_id)
+            raise
+        return stream
+
+    async def _advance(self) -> None:
+        """One scheduling quantum: pump every worker, dispatch events."""
+        for handle in self.handles:
+            handle.pump()
+        moved = self._dispatch()
+        if self._transport == "thread" and not moved and self._streams:
+            # Worker threads produce asynchronously; yield the loop a
+            # real timeslice instead of spinning on empty drains.
+            await asyncio.sleep(0.001)
+        else:
+            await asyncio.sleep(0)
+
+    def _dispatch(self) -> bool:
+        moved = False
+        for handle in self.handles:
+            for event in handle.drain():
+                moved = True
+                kind = event.get("type")
+                rid = event.get("request_id")
+                stream = self._streams.get(rid) if rid else None
+                if kind == "token":
+                    if stream is not None:
+                        stream._tokens.append(int(event["token"]))
+                elif kind == "done":
+                    if stream is not None:
+                        stream.result = RequestResult.from_dict(
+                            event["result"]
+                        )
+                        stream._finished = True
+                        self._finish(rid)
+                elif kind == "error":
+                    message = event.get("message", "worker error")
+                    if stream is not None:
+                        stream._error = ServingError(message)
+                        self._finish(rid)
+                    else:
+                        # Worker-fatal: fail every stream it owned.
+                        raise ServingError(message)
+        return moved
+
+    def _finish(self, request_id: str) -> None:
+        self._streams.pop(request_id, None)
+        worker = self._placements.pop(request_id, None)
+        if worker is not None:
+            self._loads[worker] -= 1
+
+    async def run(
+        self, requests: Sequence[Request]
+    ) -> list[RequestResult]:
+        """Submit *requests* and gather results in the same order."""
+
+        async def one(request: Request) -> RequestResult:
+            stream = await self.submit(request)
+            async for _token in stream:
+                pass
+            if stream.result is None:
+                raise ServingError(
+                    f"request {request.request_id!r} ended without a "
+                    "result"
+                )
+            return stream.result
+
+        return list(await asyncio.gather(*(one(r) for r in requests)))
+
+    def run_sync(
+        self, requests: Sequence[Request]
+    ) -> list[RequestResult]:
+        """Blocking convenience wrapper over :meth:`run`."""
+        return asyncio.run(self.run(requests))
+
+    def stats(self) -> ClusterStats:
+        """Aggregate per-worker summaries (complete once idle)."""
+        return ClusterStats(
+            workers=[handle.summary() for handle in self.handles]
+        )
+
+    def close(self) -> None:
+        """Shut down transports; idempotent."""
+        if not self._closed:
+            self._closed = True
+            for handle in self.handles:
+                handle.close()
+
+
+__all__ = [
+    "AsyncRouter",
+    "ClusterStats",
+    "InlineWorkerHandle",
+    "ThreadWorkerHandle",
+    "TokenStream",
+    "WorkerHandle",
+]

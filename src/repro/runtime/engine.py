@@ -33,7 +33,23 @@ prompt through the prefix index (mostly block-table reconstruction
 when the index is warm) and replays the generated tokens through the
 decode path, rebuilding exactly the KV state the unpreempted run had —
 preemption is output-transparent on the batch-invariant LUT backends.
-Preempted requests resume ahead of new admissions. Per-request
+Preempted requests resume ahead of new admissions.
+
+With :attr:`~repro.runtime.model.RuntimeConfig.swap_threshold_tokens`
+set, a victim whose cached context reaches the threshold is **swapped
+to host** instead: eviction serializes its KV blocks (float slabs +
+K codes + fill metadata, via
+:meth:`~repro.runtime.paging.PagedLayerCache.serialize`) into a
+host-side spill record, and resumption restores the blocks into the
+pool — turning resume cost from O(context) model FLOPs into
+O(context) memcpy plus one decode step. The restored slabs are the
+evicted bits verbatim (frozen K plans and V caches rebuild lazily
+from identical codes, the CoW guarantee), so swapped resumption is
+just as output-transparent; a restore the pool cannot hold right now
+falls back to recompute-on-resume, which can adopt shared blocks
+instead of allocating. Swap traffic lands in
+:attr:`EngineStats.swaps` / :attr:`EngineStats.swap_resumes` /
+:attr:`EngineStats.swap_bytes`. Per-request
 preemption counts land in
 :class:`RequestResult`, per-step preemption-queue depth and shared
 block counts in :class:`StepTrace`, and event totals plus resume
@@ -94,12 +110,14 @@ from repro.errors import ServingError
 from repro.models.configs import ModelConfig
 from repro.numerics import softmax
 from repro.runtime.model import DecoderModel, SpeculativeConfig
+from repro.runtime.paging import PagedLayerCache, spill_nbytes
 from repro.runtime.scheduler import (
     PreemptionPolicy,
     SchedulerPolicy,
     SchedulingContext,
     get_preemption_policy,
     get_scheduler,
+    resume_blocks_needed,
     worst_case_blocks,
 )
 
@@ -123,6 +141,22 @@ class SamplingParams:
             raise ServingError("top_k must be >= 1")
         if self.temperature <= 0:
             raise ServingError("temperature must be positive")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "top_k": self.top_k,
+            "temperature": self.temperature,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SamplingParams":
+        return cls(
+            top_k=data.get("top_k"),
+            temperature=float(data.get("temperature", 1.0)),
+            seed=int(data.get("seed", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -149,6 +183,29 @@ class Request:
                 f"request {self.request_id}: max_new_tokens must be >= 1"
             )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form — the wire format requests cross the
+        router/worker seam in; :meth:`from_dict` round-trips it."""
+        return {
+            "request_id": self.request_id,
+            "prompt": [int(t) for t in self.prompt],
+            "max_new_tokens": self.max_new_tokens,
+            "sampling": self.sampling.to_dict(),
+            "eos_token_id": self.eos_token_id,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Request":
+        return cls(
+            request_id=data["request_id"],
+            prompt=tuple(int(t) for t in data["prompt"]),
+            max_new_tokens=int(data["max_new_tokens"]),
+            sampling=SamplingParams.from_dict(data.get("sampling", {})),
+            eos_token_id=data.get("eos_token_id"),
+            priority=int(data.get("priority", 0)),
+        )
+
 
 @dataclass
 class RequestResult:
@@ -170,6 +227,39 @@ class RequestResult:
     #: (excluding each step's guaranteed bonus token); 0 when the
     #: engine runs without speculative decoding.
     spec_accepted: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form — crosses the worker seam and persists from
+        bench runs; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "request_id": self.request_id,
+            "prompt": [int(t) for t in self.prompt],
+            "tokens": [int(t) for t in self.tokens],
+            "finish_reason": self.finish_reason,
+            "prefill_ms": self.prefill_ms,
+            "first_token_ms": self.first_token_ms,
+            "latency_ms": self.latency_ms,
+            "decode_steps": self.decode_steps,
+            "preemptions": self.preemptions,
+            "tpot_ms": self.tpot_ms,
+            "spec_accepted": self.spec_accepted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RequestResult":
+        return cls(
+            request_id=data["request_id"],
+            prompt=tuple(int(t) for t in data["prompt"]),
+            tokens=[int(t) for t in data["tokens"]],
+            finish_reason=data["finish_reason"],
+            prefill_ms=float(data["prefill_ms"]),
+            first_token_ms=float(data["first_token_ms"]),
+            latency_ms=float(data["latency_ms"]),
+            decode_steps=int(data["decode_steps"]),
+            preemptions=int(data.get("preemptions", 0)),
+            tpot_ms=float(data.get("tpot_ms", 0.0)),
+            spec_accepted=int(data.get("spec_accepted", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -240,6 +330,12 @@ class EngineStats:
     preemptions: int = 0
     resumes: int = 0
     resume_ms_total: float = 0.0
+    #: Swap-to-host traffic: preemptions that spilled their KV blocks,
+    #: resumptions served by restoring a spill (the rest recomputed),
+    #: and total bytes serialized to the spill store.
+    swaps: int = 0
+    swap_resumes: int = 0
+    swap_bytes: int = 0
     #: Per-request time-per-output-token percentiles (ms), over the
     #: requests that generated more than one token.
     tpot_p50: float = 0.0
@@ -336,6 +432,10 @@ class _Sequence:
         #: (the draft KV is recomputed on resume) and at retirement.
         self.draft_caches: list | None = None
         self.spec_accepted = 0
+        #: Serialized KV blocks captured at preemption when the context
+        #: cleared ``swap_threshold_tokens`` — one payload per layer
+        #: cache. ``None`` means recompute-on-resume.
+        self.swap_record: list[dict] | None = None
         #: Wall-clock stamp of the most recent accepted token, so TPOT
         #: measures first-token -> last-token without re-reading the
         #: clock at retirement.
@@ -498,6 +598,9 @@ class ServingEngine:
         self._preemptions = 0
         self._resumes = 0
         self._resume_ms = 0.0
+        self._swaps = 0
+        self._swap_resumes = 0
+        self._swap_bytes = 0
         self._ids: set[str] = set()
         #: Speculative decoding: the draft proposer model and its
         #: per-step proposal count, built from
@@ -627,7 +730,27 @@ class ServingEngine:
         resumption re-prefill usually re-adopts them. A sequence
         evicted mid-prefill restarts its prompt from token zero on
         resumption (no decode state exists yet to replay).
+
+        When the runtime sets ``swap_threshold_tokens`` and the cached
+        context clears it, the KV blocks are serialized to a swap
+        record *before* the pool frees them — resumption then restores
+        the slabs (O(context) memcpy) instead of replaying the model
+        (O(context) FLOPs). Mid-prefill sequences never swap: they
+        have no decode state to preserve and restart from token zero
+        either way.
         """
+        threshold = self.model.runtime.swap_threshold_tokens
+        if (
+            threshold is not None
+            and seq.generated
+            and seq.caches
+            and seq.caches[0].length >= threshold
+        ):
+            seq.swap_record = [cache.serialize() for cache in seq.caches]
+            self._swaps += 1
+            self._swap_bytes += sum(
+                spill_nbytes(p) for p in seq.swap_record
+            )
         self.model.free_caches(seq.caches)
         self._free_draft(seq)
         seq.caches = []
@@ -662,23 +785,40 @@ class ServingEngine:
         generation later), minus the full blocks *live* holders are
         already keeping in the pool — parked cached-free matches do
         not count: adopting one costs the same headroom as a fresh
-        allocation.
+        allocation. A swapped sequence restores into private blocks
+        and never adopts, so its headroom is the undiscounted worst
+        case (see :func:`resume_blocks_needed`).
         """
         context = self._scheduling_context()
         if context.free_blocks is None:
             return True
         tokens = seq.resume_tokens
-        needed = worst_case_blocks(
+        needed = resume_blocks_needed(
             len(tokens), seq.remaining_tokens,
             context.block_size, context.layers,
+            live_shareable=self.model.shareable_blocks(
+                tokens, live_only=True
+            ),
+            swapped=seq.swap_record is not None,
         )
-        shareable = self.model.shareable_blocks(tokens, live_only=True)
-        return needed - shareable <= context.free_blocks
+        return needed <= context.free_blocks
 
     def _resume(self, seq: _Sequence) -> RequestResult | None:
-        """Re-admit a preempted sequence by recompute-on-resume.
+        """Re-admit a preempted sequence.
 
-        The prompt is re-prefilled through the prefix index (adopting
+        A sequence carrying a swap record restores its serialized KV
+        blocks into freshly allocated pool blocks — O(context) memcpy,
+        zero model FLOPs — then runs **one** decode step on its last
+        generated token, which yields exactly the logits the eviction
+        interrupted (the restored cache holds ``prompt +
+        generated[:-1]`` rows, the same state the unpreempted run had
+        before that step). If the pool cannot host the restore or the
+        follow-up step (:class:`ServingError`), the record is dropped
+        and the sequence falls back to recompute-on-resume below,
+        which can adopt live shared blocks instead of allocating.
+
+        Recompute-on-resume: the prompt is re-prefilled through the
+        prefix index (adopting
         any still-indexed blocks — mostly block-table reconstruction
         for a warm index), then the already-generated tokens are
         **replayed through the decode path**. Replaying rebuilds
@@ -691,6 +831,36 @@ class ServingEngine:
         sensitive at the ulp level). Returns the completion record if
         that token finished the request, else ``None``.
         """
+        if seq.swap_record is not None:
+            started = time.perf_counter()
+            caches: list[PagedLayerCache] = []
+            try:
+                for payload in seq.swap_record:
+                    caches.append(
+                        PagedLayerCache.restore(self.model.kv_pool, payload)
+                    )
+                seq.caches = caches
+                logits = self.model.decode_step(
+                    seq.generated[-1], seq.caches
+                )
+            except ServingError:
+                # The pool cannot host the restore right now (another
+                # holder may have grown since _can_resume was checked).
+                # Release whatever was rebuilt and drop to the
+                # recompute path, whose re-prefill adopts live shares.
+                self.model.free_caches(caches)
+                seq.caches = []
+                seq.swap_record = None
+            else:
+                seq.swap_record = None
+                self._resume_ms += (time.perf_counter() - started) * 1e3
+                self._resumes += 1
+                self._swap_resumes += 1
+                seq.accept(seq.sample(logits))
+                if seq.finish_reason is not None:
+                    return self._retire(seq)
+                self.active.append(seq)
+                return None
         seq.caches = self.model.new_caches()
         started = time.perf_counter()
         try:
@@ -1193,6 +1363,9 @@ class ServingEngine:
             preemptions=self._preemptions,
             resumes=self._resumes,
             resume_ms_total=self._resume_ms,
+            swaps=self._swaps,
+            swap_resumes=self._swap_resumes,
+            swap_bytes=self._swap_bytes,
             tpot_p50=float(np.percentile(tpots, 50)) if tpots else 0.0,
             tpot_p95=float(np.percentile(tpots, 95)) if tpots else 0.0,
             trace=list(self._trace),

@@ -152,11 +152,19 @@ class RuntimeConfig:
         compares against).
     prefix_cache_blocks:
         Bound on *parked* (recently-freed, still-indexed) blocks the
-        pool retains for prefix reuse, evicted LRU-first beyond it.
-        ``0`` disables recently-freed sharing entirely; ``None`` keeps
-        every full indexed block until pool pressure reclaims it —
-        unbounded memory growth on an unbounded pool, so only sensible
-        with ``kv_pool_blocks`` set.
+        pool retains for prefix reuse, evicted beyond it per
+        ``prefix_eviction``. ``0`` disables recently-freed sharing
+        entirely; ``None`` keeps every full indexed block until pool
+        pressure reclaims it — unbounded memory growth on an unbounded
+        pool, so only sensible with ``kv_pool_blocks`` set.
+    prefix_eviction:
+        Which parked block the pool reclaims first under pressure: a
+        name from
+        :data:`~repro.runtime.paging.PREFIX_EVICTION_POLICIES`
+        (``"lru"`` — least-recently-parked, the default — or ``"lfu"``
+        — least-frequently-adopted, which protects hot system-prompt
+        blocks from a stream of one-off prompts). The router's shadow
+        prefix indexes accept the same names.
     seed:
         Weight-initialization seed.
     fused_decode:
@@ -190,6 +198,17 @@ class RuntimeConfig:
         Output-identical by construction: the verify pass scores each
         candidate row exactly as a sequential decode step would, and
         rejected rows are truncated back out of the KV pool.
+    swap_threshold_tokens:
+        Enable **swap-to-host preemption** for sequences whose cached
+        context is at least this many tokens: eviction serializes their
+        KV blocks (:meth:`~repro.runtime.paging.PagedLayerCache.serialize`)
+        to a host-side spill record and resumption restores the blocks
+        into the pool — O(context) memcpy — instead of re-running
+        prefill + decode replay (O(context) model FLOPs). Shorter
+        contexts, and ``None`` (default), keep the cheaper
+        recompute-on-resume path. Output-transparent either way: the
+        restored slabs are bit-identical and a restore the pool cannot
+        hold falls back to recompute.
     """
 
     weight_bits: int | None = 4
@@ -202,10 +221,12 @@ class RuntimeConfig:
     kv_pool_blocks: int | None = None
     prefix_sharing: bool = True
     prefix_cache_blocks: int | None = DEFAULT_PREFIX_CACHE_BLOCKS
+    prefix_eviction: str = "lru"
     seed: int = 0
     fused_decode: bool = True
     prefill_chunk: int | None = None
     speculative: SpeculativeConfig | None = None
+    swap_threshold_tokens: int | None = None
 
     def __post_init__(self) -> None:
         if self.prefill_chunk is not None and self.prefill_chunk < 1:
@@ -222,6 +243,13 @@ class RuntimeConfig:
             raise ServingError("kv_pool_blocks must be >= 1 or None")
         if self.prefix_cache_blocks is not None and self.prefix_cache_blocks < 0:
             raise ServingError("prefix_cache_blocks must be >= 0 or None")
+        if (
+            self.swap_threshold_tokens is not None
+            and self.swap_threshold_tokens < 1
+        ):
+            raise ServingError(
+                "swap_threshold_tokens must be >= 1 or None"
+            )
 
 
 def _causal_softmax(scores: np.ndarray, past: int) -> np.ndarray:
@@ -318,6 +346,7 @@ class DecoderModel:
             bits=rt.kv_bits,
             lut_k=rt.lut_k,
             prefix_cache_blocks=rt.prefix_cache_blocks,
+            prefix_eviction=rt.prefix_eviction,
         )
         d = config.hidden
         self.tok_emb = rng.normal(scale=0.08, size=(config.vocab, d))

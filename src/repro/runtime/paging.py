@@ -91,6 +91,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from typing import Callable, Hashable, Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -126,6 +127,111 @@ INITIAL_POOL_BLOCKS = 8
 DEFAULT_PREFIX_CACHE_BLOCKS = 64
 
 
+@runtime_checkable
+class PrefixEvictionPolicy(Protocol):
+    """Contract for choosing which parked prefix-cache entry to evict.
+
+    The pool consults its policy whenever the parked (cached-free) set
+    must shrink — reclaiming a block for a fresh allocation or trimming
+    past ``prefix_cache_blocks``. The same policy names also drive the
+    router's :class:`~repro.runtime.routing.ShadowPrefixIndex`, whose
+    entries are digest keys instead of block ids, so the protocol is
+    generic over hashable items. ``record_use`` is called on every
+    adoption/match hit, ``forget`` when an item leaves the structure
+    for good (its identity may be recycled with new content).
+    """
+
+    name: str
+
+    def record_use(self, item: Hashable) -> None:
+        ...
+
+    def forget(self, item: Hashable) -> None:
+        ...
+
+    def select_victim(self, parked: Mapping) -> Hashable:
+        """Pick the eviction victim from *parked* (iteration order =
+        least-recently-parked first; never empty when called)."""
+        ...
+
+
+class LruEvictionPolicy:
+    """Evict the least-recently-parked entry (the default, and the
+    pre-seam behavior): the parked mapping's insertion order *is* the
+    recency order — adoption unparks an entry, so re-parking refreshes
+    its position — and the victim is simply the front."""
+
+    name = "lru"
+
+    def record_use(self, item):
+        pass
+
+    def forget(self, item):
+        pass
+
+    def select_victim(self, parked):
+        return next(iter(parked))
+
+
+class LfuEvictionPolicy:
+    """Evict the least-frequently-used entry.
+
+    Use counts accumulate across park/adopt cycles (a hot system-prompt
+    block stays protected even while briefly live) and reset only when
+    the item is forgotten — scrubbed, at which point the id names new
+    content. Ties break least-recently-parked first, so a never-reused
+    population degrades to exact LRU.
+    """
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._uses: dict[Hashable, int] = {}
+
+    def record_use(self, item):
+        self._uses[item] = self._uses.get(item, 0) + 1
+
+    def forget(self, item):
+        self._uses.pop(item, None)
+
+    def select_victim(self, parked):
+        best = None
+        best_rank = None
+        for pos, item in enumerate(parked):
+            rank = (self._uses.get(item, 0), pos)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best = item
+        return best
+
+
+#: Built-in prefix-cache eviction policy constructors by name.
+PREFIX_EVICTION_POLICIES: dict[str, Callable[[], PrefixEvictionPolicy]] = {
+    "lru": LruEvictionPolicy,
+    "lfu": LfuEvictionPolicy,
+}
+
+
+def get_prefix_eviction_policy(
+    policy: str | PrefixEvictionPolicy,
+) -> PrefixEvictionPolicy:
+    """Resolve an eviction policy name (or pass an instance through)."""
+    if isinstance(policy, str):
+        try:
+            return PREFIX_EVICTION_POLICIES[policy]()
+        except KeyError:
+            raise ServingError(
+                f"unknown prefix eviction policy {policy!r}; "
+                f"available: {', '.join(sorted(PREFIX_EVICTION_POLICIES))}"
+            ) from None
+    if not isinstance(policy, PrefixEvictionPolicy):
+        raise ServingError(
+            "prefix_eviction must be a policy name or implement "
+            "PrefixEvictionPolicy"
+        )
+    return policy
+
+
 class BlockAllocator:
     """Shared fixed-size-block KV pool for one model's serving state.
 
@@ -147,6 +253,7 @@ class BlockAllocator:
         bits: int | None = None,
         lut_k: int = DEFAULT_K,
         prefix_cache_blocks: int | None = DEFAULT_PREFIX_CACHE_BLOCKS,
+        prefix_eviction: str | PrefixEvictionPolicy = "lru",
     ) -> None:
         if kv_heads < 1 or head_dim < 1:
             raise ServingError("kv_heads and head_dim must be positive")
@@ -172,6 +279,10 @@ class BlockAllocator:
                 "prefix_cache_blocks must be >= 0 or None"
             )
         self.prefix_cache_blocks = prefix_cache_blocks
+        #: Which parked block the pool reclaims first under pressure:
+        #: a name from :data:`PREFIX_EVICTION_POLICIES` (``"lru"``
+        #: default, ``"lfu"``) or any :class:`PrefixEvictionPolicy`.
+        self.eviction = get_prefix_eviction_policy(prefix_eviction)
         self.kv_heads = kv_heads
         self.head_dim = head_dim
         self.block_size = block_size
@@ -346,9 +457,10 @@ class BlockAllocator:
         """Claim a free block; raises when a bounded pool is exhausted.
 
         Virgin/scrubbed blocks are handed out first; when none remain
-        in a bounded pool, the least-recently-parked cached-free block
-        is evicted from the prefix index and reclaimed. An unbounded
-        pool grows instead, keeping its prefix cache warm.
+        in a bounded pool, the eviction policy picks a cached-free
+        block to evict from the prefix index and reclaim (LRU by
+        default). An unbounded pool grows instead, keeping its prefix
+        cache warm.
         """
         if not self._free:
             if self.num_blocks is not None:
@@ -358,7 +470,7 @@ class BlockAllocator:
                         "blocks in use); complete requests to free blocks "
                         "or admit with the memory-aware scheduler"
                     )
-                victim = next(iter(self._cached_free))
+                victim = self.eviction.select_victim(self._cached_free)
                 del self._cached_free[victim]
                 self._unregister(victim)
                 self._scrub_to_free(victim)
@@ -403,13 +515,14 @@ class BlockAllocator:
         ):
             self._cached_free[block_id] = None
             self.stats["cached"] += 1
-            # Bound the parked set (LRU): without a cap an unbounded
-            # pool would retain every distinct prompt's blocks forever.
+            # Bound the parked set: without a cap an unbounded pool
+            # would retain every distinct prompt's blocks forever. The
+            # eviction policy picks the victims (LRU by default).
             while (
                 self.prefix_cache_blocks is not None
                 and len(self._cached_free) > self.prefix_cache_blocks
             ):
-                victim = next(iter(self._cached_free))
+                victim = self.eviction.select_victim(self._cached_free)
                 del self._cached_free[victim]
                 self._unregister(victim)
                 self._scrub_to_free(victim)
@@ -441,6 +554,9 @@ class BlockAllocator:
         self._k_plans.pop(block_id, None)
         self._v_cache.pop(block_id, None)
         self._alloc_first_use.pop(block_id, None)
+        # The id will name new content from here on — any eviction-
+        # policy bookkeeping (e.g. LFU use counts) must not carry over.
+        self.eviction.forget(block_id)
         self._free.append(block_id)
 
     # -- rollback ------------------------------------------------------
@@ -655,6 +771,7 @@ class BlockAllocator:
                 f"block {block_id} is neither live nor parked; "
                 "cannot adopt it"
             )
+        self.eviction.record_use(block_id)
         self.stats["shared"] += 1
 
     def cow_clone(self, block_id: int) -> int:
@@ -1239,6 +1356,86 @@ class PagedLayerCache:
         self._tokens = []
         self._chain = []
         self._released = True
+
+    # -- swap-to-host spill --------------------------------------------
+    def serialize(self) -> dict:
+        """Copy this table's block contents out of the pool (spill).
+
+        The payload is the per-block state :meth:`BlockAllocator.cow_clone`
+        copies — float K/V slabs, quantized K codes/scales, the fused-
+        decode arena slabs, and the fill — plus the table geometry and
+        tracked token ids. It references no pool storage (every array is
+        a copy), so the blocks can be freed immediately after and the
+        payload handed to any host-side spill store. Lazy per-block K
+        plans and V caches are *not* captured: :meth:`restore` rebuilds
+        them from the codes on first use, bit-identically, exactly as a
+        CoW clone does.
+        """
+        if self._released:
+            raise ServingError("cache was released back to the pool")
+        pool = self.pool
+        arrays = pool._FLOAT_ARRAYS + (
+            pool._QUANT_ARRAYS if pool.bits is not None else ()
+        )
+        blocks = []
+        for bid in self.block_ids:
+            payload = {
+                name: np.copy(getattr(pool, name)[bid]) for name in arrays
+            }
+            payload["fill"] = int(pool._fill[bid])
+            blocks.append(payload)
+        return {
+            "layer": self.layer,
+            "length": self.length,
+            "tokens": list(self._tokens),
+            "blocks": blocks,
+        }
+
+    @classmethod
+    def restore(cls, pool: BlockAllocator, payload: dict) -> PagedLayerCache:
+        """Rebuild a spilled table in *pool* from a :meth:`serialize`
+        payload — O(context) memcpy instead of O(context) model FLOPs.
+
+        Every block is allocated fresh and its slabs written back
+        verbatim, so decode over the restored table is bit-identical to
+        decode over the original (the arena slabs come back as-is;
+        frozen K plans and V caches rebuild lazily from the identical
+        codes, the CoW guarantee). When the payload tracked tokens, the
+        restored blocks re-enter the prefix index under their recomputed
+        chained digests — the same registration the appends that built
+        them performed. Raises :class:`ServingError` (with nothing
+        leaked) when the pool cannot hold the footprint; the caller
+        falls back to recompute-on-resume, which can adopt shared
+        blocks instead of allocating.
+        """
+        cache = cls(pool, layer=payload["layer"])
+        arrays = pool._FLOAT_ARRAYS + (
+            pool._QUANT_ARRAYS if pool.bits is not None else ()
+        )
+        try:
+            for bp in payload["blocks"]:
+                bid = pool.allocate()
+                cache.block_ids.append(bid)
+                for name in arrays:
+                    getattr(pool, name)[bid] = bp[name]
+                pool._fill[bid] = bp["fill"]
+        except ServingError:
+            for bid in cache.block_ids:
+                # Not yet registered/shared: free() scrubs them back.
+                pool.free(bid)
+            cache.block_ids = []
+            raise
+        cache.length = int(payload["length"])
+        cache._tokens = [int(t) for t in payload["tokens"]]
+        if cache.layer is not None and len(cache._tokens) == cache.length:
+            prev = b""
+            for i, bid in enumerate(cache.block_ids):
+                start = i * pool.block_size
+                segment = cache._tokens[start:start + cache.block_fill(i)]
+                prev = pool.prefix_key(cache.layer, prev, segment)
+                cache._chain.append(prev)
+                pool.register_prefix(bid, prev, segment)
+        return cache
 
     # ------------------------------------------------------------------
     def k_view(self) -> np.ndarray:
@@ -1881,14 +2078,31 @@ def fused_paged_verify_attention(
     return out.reshape(b, t, heads, hd)
 
 
+def spill_nbytes(payload: dict) -> int:
+    """Host bytes one :meth:`PagedLayerCache.serialize` payload holds
+    (array storage only — the engine's swap accounting reads this)."""
+    return sum(
+        arr.nbytes
+        for bp in payload["blocks"]
+        for arr in bp.values()
+        if isinstance(arr, np.ndarray)
+    )
+
+
 __all__ = [
     "BlockAllocator",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_PREFIX_CACHE_BLOCKS",
     "INITIAL_POOL_BLOCKS",
+    "LfuEvictionPolicy",
+    "LruEvictionPolicy",
+    "PREFIX_EVICTION_POLICIES",
     "PagedLayerCache",
+    "PrefixEvictionPolicy",
     "batched_decode_append",
     "fused_paged_decode_attention",
     "fused_paged_verify_attention",
+    "get_prefix_eviction_policy",
     "paged_decode_attention",
+    "spill_nbytes",
 ]

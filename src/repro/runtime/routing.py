@@ -1,0 +1,245 @@
+"""Replica placement policies for the multi-worker router.
+
+The router in :mod:`repro.runtime.cluster` fronts N shared-nothing
+:class:`~repro.runtime.engine.ServingEngine` workers; this module
+decides **which worker a request lands on**. Placement is the whole
+game for prefix-cache locality: two requests sharing a long prompt
+prefix only share KV blocks if they land on the *same* replica.
+
+The headline ``prefix-aware`` policy exploits that the prefix index
+built in PR 5 is content-addressed: a block chain is identified by
+chained sha256 digests of token ids alone
+(:meth:`~repro.runtime.paging.BlockAllocator.prefix_key`), so the
+router can predict which replica holds a prompt's prefix **without
+querying worker memory**. Each worker gets a :class:`ShadowPrefixIndex`
+— a digest-set the *router* maintains from its own placement records
+(every routed prompt's full-block chain keys are inserted) — and an
+incoming prompt routes to the replica whose shadow chain covers the
+most leading tokens. The shadow is an over-approximation (workers
+evict under pressure; the shadow evicts by its own bounded policy),
+which can only cost a missed sharing opportunity, never correctness:
+workers re-verify token ids on every real match.
+
+Policies implement :class:`RoutingPolicy` and are registered in
+:data:`ROUTING_POLICIES` (same registry idiom as
+:data:`~repro.runtime.scheduler.SCHEDULERS`):
+
+- ``round-robin`` — rotate over workers in submission order;
+- ``least-loaded`` — fewest in-flight requests (router-tracked, ties
+  by lowest worker index);
+- ``prefix-aware`` — longest shadow-index prefix chain; zero-match
+  and ties fall back to least-loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ServingError
+from repro.runtime.paging import (
+    BlockAllocator,
+    get_prefix_eviction_policy,
+)
+
+
+class ShadowPrefixIndex:
+    """Router-side mirror of one worker's prefix-cache *reachability*.
+
+    Holds the chained content digests of every **full** block of every
+    prompt placed on the worker — partial trailing blocks are not
+    mirrored (the router cannot know a worker block's live fill, and a
+    partial match is at most ``block_size - 1`` tokens of signal).
+    Bounded at *capacity* keys; over capacity the configured eviction
+    policy (same names as the worker-pool seam:
+    :data:`~repro.runtime.paging.PREFIX_EVICTION_POLICIES`) picks
+    victims from the insertion-ordered key set.
+
+    Matching never touches the worker: equal chained digests imply
+    equal leading token histories, so the longest matched chain is a
+    placement *prediction*. The worker's own index stays the source of
+    truth for actual sharing.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        capacity: int = 4096,
+        eviction: str = "lru",
+    ) -> None:
+        if block_size < 1:
+            raise ServingError("block_size must be >= 1")
+        if capacity < 1:
+            raise ServingError("shadow capacity must be >= 1")
+        self.block_size = block_size
+        self.capacity = capacity
+        self.eviction = get_prefix_eviction_policy(eviction)
+        #: Insertion-ordered digest set (dict-as-ordered-set, the same
+        #: structure the pool uses for parked blocks).
+        self._keys: dict[bytes, None] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def _chain_keys(self, prompt: Sequence[int]) -> list[bytes]:
+        """Chained digests of the prompt's full blocks, first to last.
+
+        Layer 0 only: every layer's chain digests the same token ids,
+        so one layer carries all the placement signal.
+        """
+        ids = [int(t) for t in prompt]
+        keys: list[bytes] = []
+        prev = b""
+        for start in range(0, len(ids) - self.block_size + 1,
+                           self.block_size):
+            segment = tuple(ids[start:start + self.block_size])
+            prev = BlockAllocator.prefix_key(0, prev, segment)
+            keys.append(prev)
+        return keys
+
+    def record(self, prompt: Sequence[int]) -> None:
+        """Index a placed prompt's full-block chain."""
+        for key in self._chain_keys(prompt):
+            if key in self._keys:
+                # Move-to-end: recency for the lru policy's victim
+                # order (first key = coldest).
+                del self._keys[key]
+            self._keys[key] = None
+            self.eviction.record_use(key)
+        while len(self._keys) > self.capacity:
+            victim = self.eviction.select_victim(self._keys)
+            self.eviction.forget(victim)
+            del self._keys[victim]
+
+    def match(self, prompt: Sequence[int]) -> int:
+        """Leading tokens of *prompt* covered by the recorded chains.
+
+        Walks full-block digests until the first miss; hits are
+        re-touched so a matched chain stays warm in the shadow.
+        """
+        covered = 0
+        for key in self._chain_keys(prompt):
+            if key not in self._keys:
+                break
+            del self._keys[key]
+            self._keys[key] = None
+            self.eviction.record_use(key)
+            covered += self.block_size
+        return covered
+
+
+@dataclass(frozen=True)
+class RoutingContext:
+    """Router state one placement decision may consult.
+
+    Attributes
+    ----------
+    loads:
+        In-flight request count per worker, router-tracked from its
+        own submissions and completions (never queried from workers).
+    shadows:
+        Per-worker :class:`ShadowPrefixIndex`, maintained by the
+        router from placement records.
+    """
+
+    loads: Sequence[int]
+    shadows: Sequence[ShadowPrefixIndex]
+
+
+@runtime_checkable
+class RoutingPolicy(Protocol):
+    """Contract every placement policy implements."""
+
+    name: str
+
+    def place(self, request, context: RoutingContext) -> int:
+        """Worker index for *request* (a
+        :class:`~repro.runtime.engine.Request`). *context* always has
+        at least one worker."""
+        ...
+
+
+class RoundRobinPolicy:
+    """Rotate over workers in submission order (the default)."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def place(self, request, context):
+        worker = self._next % len(context.loads)
+        self._next = worker + 1
+        return worker
+
+
+class LeastLoadedPolicy:
+    """Fewest in-flight requests, ties by lowest worker index."""
+
+    name = "least-loaded"
+
+    def place(self, request, context):
+        return min(
+            range(len(context.loads)),
+            key=lambda i: (context.loads[i], i),
+        )
+
+
+class PrefixAwarePolicy:
+    """Longest shadow-index prefix chain wins the placement.
+
+    Workers whose shadow covers the most leading prompt tokens get the
+    request — landing it where its KV prefix most plausibly already
+    lives. Zero coverage everywhere (cold prompt) and exact coverage
+    ties fall back to least-loaded so the policy degrades to load
+    balancing, never to starvation of one replica.
+    """
+
+    name = "prefix-aware"
+
+    def place(self, request, context):
+        matches = [
+            shadow.match(request.prompt) for shadow in context.shadows
+        ]
+        best = max(matches)
+        if best == 0:
+            return LeastLoadedPolicy().place(request, context)
+        candidates = [i for i, m in enumerate(matches) if m == best]
+        return min(candidates, key=lambda i: (context.loads[i], i))
+
+
+#: Built-in routing policy constructors by name.
+ROUTING_POLICIES: dict[str, Callable[[], RoutingPolicy]] = {
+    "round-robin": RoundRobinPolicy,
+    "least-loaded": LeastLoadedPolicy,
+    "prefix-aware": PrefixAwarePolicy,
+}
+
+
+def get_routing_policy(policy: str | RoutingPolicy) -> RoutingPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, str):
+        try:
+            return ROUTING_POLICIES[policy]()
+        except KeyError:
+            raise ServingError(
+                f"unknown routing policy {policy!r}; "
+                f"available: {', '.join(sorted(ROUTING_POLICIES))}"
+            ) from None
+    if not isinstance(policy, RoutingPolicy):
+        raise ServingError(
+            "routing must be a policy name or implement RoutingPolicy"
+        )
+    return policy
+
+
+__all__ = [
+    "LeastLoadedPolicy",
+    "PrefixAwarePolicy",
+    "ROUTING_POLICIES",
+    "RoundRobinPolicy",
+    "RoutingContext",
+    "RoutingPolicy",
+    "ShadowPrefixIndex",
+    "get_routing_policy",
+]

@@ -70,6 +70,34 @@ def worst_case_blocks(
     return layers * (-(-tokens // block_size))
 
 
+def resume_blocks_needed(
+    context_tokens: int,
+    remaining_tokens: int,
+    block_size: int,
+    layers: int,
+    live_shareable: int = 0,
+    swapped: bool = False,
+) -> int:
+    """Pool headroom one preempted sequence's resumption must find.
+
+    Both resume paths peak at the sequence's full original worst case
+    (``context_tokens`` rebuilt now, ``remaining_tokens`` grown later),
+    but they *acquire* blocks differently: recompute-on-resume
+    re-prefills through the prefix index, so blocks *live* holders
+    already keep in the pool are adopted, not allocated — discounted
+    via ``live_shareable``. A **swapped** sequence restores its spilled
+    slabs into freshly allocated private blocks (restore-into-pool
+    never adopts: the spilled contents, not the index, are the source
+    of truth), so its headroom is the undiscounted worst case.
+    """
+    needed = worst_case_blocks(
+        context_tokens, remaining_tokens, block_size, layers
+    )
+    if swapped:
+        return needed
+    return max(0, needed - live_shareable)
+
+
 @dataclass(frozen=True)
 class SchedulingContext:
     """Engine/pool state a policy may consult for one admission decision.
@@ -290,5 +318,6 @@ __all__ = [
     "ShortestPromptFirstPolicy",
     "get_preemption_policy",
     "get_scheduler",
+    "resume_blocks_needed",
     "worst_case_blocks",
 ]

@@ -10,6 +10,7 @@ from repro.experiments.serving_guard import (
     SPEC_SPEEDUP_FLOOR,
     SPEEDUP_FLOOR,
     STALL_RATIO_CEILING,
+    SWAP_SPEEDUP_FLOOR,
     compare_reports,
     main,
     variant_floor,
@@ -203,6 +204,50 @@ class TestSpeculativeSection:
         assert len(compare_reports(current, baseline)) == 1
 
 
+def _with_swap(report, speedup):
+    report = dict(report)
+    report["swap"] = {
+        "bench": "serving-swap-resume",
+        "speedup": speedup,
+        "swap_resume_ms": 2.0,
+        "recompute_resume_ms": 2.0 * speedup,
+        "context_tokens": 257,
+        "spill_mib": 1.5,
+        "threshold_tokens": 64,
+    }
+    return report
+
+
+class TestSwapSection:
+    def test_above_floor_passes(self):
+        current = _with_swap(_report(a=2.6), 8.0)
+        baseline = _with_swap(_report(a=2.6), 6.0)
+        assert compare_reports(current, baseline) == []
+
+    def test_below_floor_fails(self):
+        current = _with_swap(_report(a=2.6), SWAP_SPEEDUP_FLOOR - 0.5)
+        baseline = _with_swap(_report(a=2.6), 6.0)
+        failures = compare_reports(current, baseline)
+        assert len(failures) == 1
+        assert "swap" in failures[0] and "floor" in failures[0]
+
+    def test_missing_section_fails(self):
+        baseline = _with_swap(_report(a=2.6), 6.0)
+        failures = compare_reports(_report(a=2.6), baseline)
+        assert len(failures) == 1
+        assert "swap" in failures[0]
+
+    def test_baseline_without_swap_is_backwards_compatible(self):
+        current = _with_swap(_report(a=2.6), 1.0)
+        assert compare_reports(current, _report(a=2.6)) == []
+
+    def test_custom_swap_floor(self):
+        current = _with_swap(_report(a=2.6), 2.5)
+        baseline = _with_swap(_report(a=2.6), 2.5)
+        assert compare_reports(current, baseline, swap_floor=2.0) == []
+        assert len(compare_reports(current, baseline)) == 1
+
+
 class TestCli:
     def _write(self, path, report):
         path.write_text(json.dumps(report))
@@ -240,6 +285,18 @@ class TestCli:
         assert main([current, baseline, "--spec-floor", "1.2"]) == 0
         out = capsys.readouterr().out
         assert "speculative/high-acceptance" in out
+
+    def test_swap_floor_flag_and_row_printed(self, tmp_path, capsys):
+        current = self._write(
+            tmp_path / "cur.json", _with_swap(_report(a=2.6), 2.5)
+        )
+        baseline = self._write(
+            tmp_path / "base.json", _with_swap(_report(a=2.6), 6.0)
+        )
+        assert main([current, baseline]) == 1
+        assert main([current, baseline, "--swap-floor", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "swap: resume speedup" in out
 
     def test_env_provenance_printed_on_failure(self, tmp_path, capsys):
         report = _report(a=1.5)
@@ -281,6 +338,10 @@ class TestBaselineFile:
         assert float(high["speedup"]) >= SPEC_SPEEDUP_FLOOR
         assert float(high["acceptance_rate"]) > 0.8
         assert "low-acceptance" in spec
+        swap = baseline["swap"]
+        assert float(swap["speedup"]) >= SWAP_SPEEDUP_FLOOR
+        assert int(swap["context_tokens"]) >= 256
+        assert float(swap["spill_mib"]) > 0
         env = baseline["env"]
         assert env["numpy"] and env["platform"] and env["cpus"] > 0
         assert compare_reports(baseline, baseline) == []

@@ -1,0 +1,385 @@
+"""Cluster-level parity: N routed workers == one engine, bit for bit.
+
+The router's design invariant is that placement is output-invisible:
+every worker is an identically-configured, identically-seeded engine,
+the LUT backends are batch-invariant, and preemption/sharing/swap/
+speculation are individually output-transparent — so a request's token
+stream cannot depend on which replica runs it or what else shares that
+replica. Pinned here with a seeded random-schedule differential fuzz
+(every routing policy x worker counts x transports, bounded pools with
+swap thresholds, speculative decoding), plus the async streaming
+surface (incremental iteration, backpressure, duplicate/oversize
+rejection), the worker-handle event protocol, and the wire-format
+serde round-trips.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.models.configs import ModelConfig
+from repro.runtime import (
+    AsyncRouter,
+    DecoderModel,
+    InlineWorkerHandle,
+    Request,
+    RequestResult,
+    RuntimeConfig,
+    SamplingParams,
+    ServingEngine,
+    SpeculativeConfig,
+)
+
+FUZZ = ModelConfig(
+    "cluster-fuzz", hidden=32, ffn=48, layers=2, heads=4, kv_heads=2,
+    vocab=64, gated_ffn=True,
+)
+
+POLICIES = ("round-robin", "least-loaded", "prefix-aware")
+
+
+def _random_requests(rng, n_lo=4, n_hi=9):
+    shared = [
+        int(t)
+        for t in rng.integers(0, FUZZ.vocab, size=int(rng.integers(6, 16)))
+    ]
+    requests = []
+    for i in range(int(rng.integers(n_lo, n_hi))):
+        if rng.random() < 0.5:
+            take = int(rng.integers(2, len(shared) + 1))
+            prompt = tuple(shared[:take])
+            if rng.random() < 0.5:
+                prompt = prompt + tuple(
+                    int(t)
+                    for t in rng.integers(0, FUZZ.vocab,
+                                          size=int(rng.integers(1, 6)))
+                )
+        else:
+            prompt = tuple(
+                int(t)
+                for t in rng.integers(0, FUZZ.vocab,
+                                      size=int(rng.integers(1, 13)))
+            )
+        top_k = None if rng.random() < 0.6 else int(rng.integers(1, 6))
+        requests.append(Request(
+            request_id=f"r{i}",
+            prompt=prompt,
+            max_new_tokens=int(rng.integers(4, 17)),
+            sampling=SamplingParams(top_k=top_k, seed=i),
+            priority=int(rng.integers(0, 3)),
+        ))
+    return requests
+
+
+def _factory(backend="lut-naive", *, pool_blocks=None, swap=None,
+             spec=None, max_batch=4):
+    def make():
+        model = DecoderModel(FUZZ, RuntimeConfig(
+            weight_bits=4, kv_bits=4, backend=backend, max_seq_len=96,
+            kv_block_size=8, kv_pool_blocks=pool_blocks,
+            prefix_sharing=True, swap_threshold_tokens=swap,
+            speculative=spec,
+        ))
+        return ServingEngine(model, max_batch_size=max_batch)
+    return make
+
+
+def _single_engine_streams(factory, requests):
+    engine = factory()
+    for request in requests:
+        engine.submit(request)
+    results, _ = engine.run()
+    return {r.request_id: tuple(r.tokens) for r in results}
+
+
+class TestClusterParityFuzz:
+    @pytest.mark.parametrize("backend", ("lut-naive", "lut-blocked"))
+    def test_routed_streams_match_single_engine(self, backend):
+        """Random schedules x policies x worker counts: identical
+        per-request token streams, inline transport (deterministic)."""
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            requests = _random_requests(rng)
+            factory = _factory(backend)
+            base = _single_engine_streams(factory, requests)
+            policy = POLICIES[seed % len(POLICIES)]
+            workers = int(rng.integers(1, 4))
+            router = AsyncRouter(factory, workers=workers, routing=policy)
+            results = router.run_sync(requests)
+            got = {r.request_id: tuple(r.tokens) for r in results}
+            assert got == base, (seed, policy, workers)
+            assert router.stats().requests == len(requests)
+            router.close()
+
+    def test_parity_under_pressure_swap_and_spec(self):
+        """Forced worker-side evictions (recompute *and* swap resume,
+        ``swap_threshold_tokens=1``) plus speculative decoding still
+        cannot change routed streams — preemption is output-transparent
+        per worker, so the unpreempted single engine stays the oracle."""
+
+        async def routed(requests, factory, policy, preempt_steps):
+            router = AsyncRouter(factory, workers=2, routing=policy)
+            streams = [await router.submit(r) for r in requests]
+            step = 0
+            while router.pending:
+                await router._advance()
+                step += 1
+                if step in preempt_steps:
+                    for handle in router.handles:
+                        if handle.engine.active:
+                            handle.engine._preempt(
+                                handle.engine.active[0]
+                            )
+            for stream in streams:
+                async for _token in stream:
+                    pass
+            stats = router.stats()
+            router.close()
+            return {
+                s.request_id: tuple(s.result.tokens) for s in streams
+            }, stats
+
+        preemptions = swaps = 0
+        for seed in (1, 3, 5, 7):
+            rng = np.random.default_rng(seed)
+            requests = _random_requests(rng)
+            spec = SpeculativeConfig(k=2) if seed % 2 else None
+            factory = _factory(
+                "lut-blocked", pool_blocks=64, swap=1, spec=spec,
+                max_batch=4,
+            )
+            base = _single_engine_streams(factory, requests)
+            got, stats = asyncio.run(routed(
+                requests, factory, POLICIES[seed % len(POLICIES)],
+                {3, 6, 9},
+            ))
+            assert got == base, seed
+            preemptions += stats.preemptions
+            swaps += stats.swaps
+        assert preemptions > 0, "no schedule forced an eviction"
+        assert swaps > 0, "no schedule spilled a sequence"
+
+    def test_thread_transport_matches_inline(self):
+        """Thread scheduling may reorder events, never token content."""
+        rng = np.random.default_rng(9)
+        requests = _random_requests(rng)
+        factory = _factory("lut-naive")
+        base = _single_engine_streams(factory, requests)
+        router = AsyncRouter(factory, workers=3, routing="prefix-aware",
+                             transport="thread")
+        try:
+            results = router.run_sync(requests)
+        finally:
+            router.close()
+        assert {r.request_id: tuple(r.tokens) for r in results} == base
+
+    def test_prefix_aware_shares_more_than_round_robin(self):
+        """On a shared-prefix workload, locality-aware placement must
+        allocate strictly fewer pool blocks cluster-wide."""
+        rng = np.random.default_rng(0)
+        prefix = tuple(int(t) for t in rng.integers(0, FUZZ.vocab, 24))
+        requests = [
+            Request(f"s{i}",
+                    prefix + tuple(
+                        int(t) for t in rng.integers(0, FUZZ.vocab, 3)
+                    ),
+                    max_new_tokens=6,
+                    sampling=SamplingParams(seed=i))
+            for i in range(8)
+        ]
+        allocated = {}
+        for policy in ("round-robin", "prefix-aware"):
+            router = AsyncRouter(_factory("lut-naive"), workers=2,
+                                 routing=policy)
+            router.run_sync(requests)
+            allocated[policy] = router.stats().blocks_allocated
+            router.close()
+        assert allocated["prefix-aware"] < allocated["round-robin"]
+
+
+class TestAsyncSurface:
+    def test_tokens_stream_incrementally(self):
+        """Tokens must be observable before the request finishes."""
+
+        async def scenario():
+            router = AsyncRouter(_factory(), workers=1)
+            request = Request("r0", (1, 2, 3), max_new_tokens=8,
+                              sampling=SamplingParams(seed=0))
+            stream = await router.submit(request)
+            first = await stream.__anext__()
+            assert stream.result is None, (
+                "first token must arrive before completion"
+            )
+            rest = [t async for t in stream]
+            assert stream.result is not None
+            assert [first] + rest == stream.result.tokens
+            router.close()
+
+        asyncio.run(scenario())
+
+    def test_backpressure_bounds_inflight(self):
+        async def scenario():
+            router = AsyncRouter(_factory(), workers=2, max_pending=2)
+            requests = _random_requests(np.random.default_rng(2))
+            peak = 0
+
+            async def one(request):
+                nonlocal peak
+                stream = await router.submit(request)
+                peak = max(peak, router.pending)
+                async for _token in stream:
+                    pass
+                return stream.result
+
+            results = await asyncio.gather(*(one(r) for r in requests))
+            assert all(r is not None for r in results)
+            assert peak <= 2
+            router.close()
+
+        asyncio.run(scenario())
+
+    def test_run_sync_preserves_request_order(self):
+        requests = _random_requests(np.random.default_rng(4))
+        router = AsyncRouter(_factory(), workers=2)
+        results = router.run_sync(requests)
+        assert [r.request_id for r in results] == [
+            r.request_id for r in requests
+        ]
+        router.close()
+
+    def test_duplicate_id_rejected(self):
+        async def scenario():
+            router = AsyncRouter(_factory(), workers=2)
+            request = Request("dup", (1, 2), max_new_tokens=2,
+                              sampling=SamplingParams(seed=0))
+            stream = await router.submit(request)
+            with pytest.raises(ServingError, match="duplicate"):
+                await router.submit(request)
+            async for _token in stream:
+                pass
+            router.close()
+
+        asyncio.run(scenario())
+
+    def test_submit_after_close_rejected(self):
+        router = AsyncRouter(_factory(), workers=1)
+        router.close()
+        with pytest.raises(ServingError, match="closed"):
+            asyncio.run(router.submit(
+                Request("r", (1,), max_new_tokens=1,
+                        sampling=SamplingParams(seed=0))
+            ))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ServingError):
+            AsyncRouter(_factory(), workers=0)
+        with pytest.raises(ServingError):
+            AsyncRouter(_factory(), workers=1, max_pending=0)
+        with pytest.raises(ServingError):
+            AsyncRouter(_factory(), workers=1, transport="carrier-pigeon")
+        with pytest.raises(ServingError, match="unknown routing"):
+            AsyncRouter(_factory(), workers=1, routing="best-fit")
+
+    def test_oversize_request_error_reaches_stream(self):
+        """An invalid submission surfaces as the request's own failure
+        on the thread transport (inline raises synchronously)."""
+        router = AsyncRouter(_factory(), workers=1)
+        big = Request("big", tuple(range(1, 50)), max_new_tokens=90,
+                      sampling=SamplingParams(seed=0))
+        with pytest.raises(ServingError, match="max_seq_len"):
+            router.run_sync([big])
+        router.close()
+
+        async def scenario():
+            threaded = AsyncRouter(_factory(), workers=1,
+                                   transport="thread")
+            stream = await threaded.submit(big)
+            with pytest.raises(ServingError, match="max_seq_len"):
+                async for _token in stream:
+                    pass
+            threaded.close()
+
+        asyncio.run(scenario())
+
+
+class TestWorkerHandleProtocol:
+    def test_inline_event_stream(self):
+        handle = InlineWorkerHandle(_factory()())
+        request = Request("r0", (1, 2, 3), max_new_tokens=4,
+                          sampling=SamplingParams(seed=0))
+        handle.submit(request.to_dict())
+        events = []
+        while not handle.idle():
+            handle.pump()
+            events.extend(handle.drain())
+        kinds = [e["type"] for e in events]
+        assert kinds.count("done") == 1
+        assert kinds[-1] == "done"
+        tokens = [e["token"] for e in events if e["type"] == "token"]
+        result = RequestResult.from_dict(events[-1]["result"])
+        assert tokens == result.tokens
+        assert handle.summary()["requests"] == 1
+
+    def test_inline_streams_survive_preemption(self):
+        """A preempted sequence keeps its generated prefix; emitted
+        token counts must never regress or duplicate."""
+        engine = _factory(pool_blocks=64)()
+        handle = InlineWorkerHandle(engine)
+        request = Request("r0", (1, 2, 3), max_new_tokens=8,
+                          sampling=SamplingParams(seed=0))
+        handle.submit(request.to_dict())
+        events = []
+        steps = 0
+        while not handle.idle():
+            handle.pump()
+            steps += 1
+            if steps == 3 and engine.active:
+                engine._preempt(engine.active[0])
+            events.extend(handle.drain())
+        tokens = [e["token"] for e in events if e["type"] == "token"]
+        done = [e for e in events if e["type"] == "done"]
+        assert tokens == RequestResult.from_dict(done[0]["result"]).tokens
+
+
+class TestWireSerde:
+    def test_sampling_round_trip(self):
+        for params in (
+            SamplingParams(),
+            SamplingParams(top_k=5, temperature=0.7, seed=42),
+        ):
+            data = json.loads(json.dumps(params.to_dict()))
+            assert SamplingParams.from_dict(data) == params
+
+    def test_request_round_trip(self):
+        request = Request(
+            "req-1", (3, 1, 4, 1, 5), max_new_tokens=7,
+            sampling=SamplingParams(top_k=2, temperature=1.5, seed=9),
+            eos_token_id=0, priority=2,
+        )
+        data = json.loads(json.dumps(request.to_dict()))
+        back = Request.from_dict(data)
+        assert back == request
+        assert isinstance(back.prompt, tuple)
+
+    def test_request_result_round_trip(self):
+        result = RequestResult(
+            request_id="req-1", prompt=(1, 2, 3), tokens=[4, 5, 6],
+            finish_reason="length", prefill_ms=1.5, first_token_ms=2.5,
+            latency_ms=10.0, decode_steps=3, preemptions=1,
+            tpot_ms=3.75, spec_accepted=2,
+        )
+        data = json.loads(json.dumps(result.to_dict()))
+        back = RequestResult.from_dict(data)
+        assert back == result
+        assert isinstance(back.prompt, tuple)
+
+    def test_engine_results_round_trip(self):
+        engine = _factory()()
+        engine.submit(Request("r0", (1, 2, 3), max_new_tokens=5,
+                              sampling=SamplingParams(seed=0)))
+        results, _ = engine.run()
+        data = json.loads(json.dumps(results[0].to_dict()))
+        assert RequestResult.from_dict(data) == results[0]

@@ -1,0 +1,255 @@
+"""Routing policies, the shadow prefix index, and pool eviction seams.
+
+The router predicts prefix-cache locality from token ids alone: a
+:class:`ShadowPrefixIndex` mirrors each worker's *reachable* block
+chains using the same chained-sha256 digests as the worker pool's
+prefix index, maintained purely from placement records. Pinned here:
+digest equivalence with :meth:`BlockAllocator.match_prefix` coverage,
+full-block-only mirroring, bounded capacity under both eviction
+policies, each placement policy's decision rule, and the
+:data:`PREFIX_EVICTION_POLICIES` seam on the pool itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.runtime import (
+    Request,
+    SamplingParams,
+)
+from repro.runtime.paging import (
+    PREFIX_EVICTION_POLICIES,
+    BlockAllocator,
+    LfuEvictionPolicy,
+    LruEvictionPolicy,
+    PagedLayerCache,
+    get_prefix_eviction_policy,
+)
+from repro.runtime.routing import (
+    ROUTING_POLICIES,
+    LeastLoadedPolicy,
+    PrefixAwarePolicy,
+    RoundRobinPolicy,
+    RoutingContext,
+    ShadowPrefixIndex,
+    get_routing_policy,
+)
+
+
+def _request(rid, prompt, priority=0):
+    return Request(
+        request_id=rid, prompt=tuple(prompt), max_new_tokens=4,
+        sampling=SamplingParams(seed=0), priority=priority,
+    )
+
+
+class TestShadowPrefixIndex:
+    def test_match_counts_full_block_coverage(self):
+        shadow = ShadowPrefixIndex(block_size=4)
+        shadow.record(range(10))  # 2 full blocks + partial tail
+        assert shadow.match(range(10)) == 8
+        assert shadow.match(range(8)) == 8
+        assert shadow.match(range(4)) == 4
+        assert shadow.match(range(3)) == 0  # partial: never mirrored
+        assert shadow.match([9, 9, 9, 9]) == 0
+
+    def test_chain_is_history_pinned(self):
+        """A block's digest chains its predecessor: the same segment
+        after a different history must not match."""
+        shadow = ShadowPrefixIndex(block_size=4)
+        shadow.record([1, 2, 3, 4, 5, 6, 7, 8])
+        assert shadow.match([9, 9, 9, 9, 5, 6, 7, 8]) == 0
+
+    def test_agrees_with_pool_match_prefix(self):
+        """Shadow coverage equals the full-block part of what the real
+        pool would match for the same recorded prompt."""
+        pool = BlockAllocator(kv_heads=2, head_dim=8, block_size=4)
+        cache = PagedLayerCache(pool, layer=0)
+        rng = np.random.default_rng(0)
+        prompt = list(range(11))
+        for t in prompt:
+            cache.append(rng.standard_normal((1, 2, 8)),
+                         rng.standard_normal((1, 2, 8)), token_ids=[t])
+        shadow = ShadowPrefixIndex(block_size=4)
+        shadow.record(prompt)
+        matched = pool.match_prefix(0, prompt)
+        full = sum(
+            fill for _bid, fill in matched if fill == pool.block_size
+        )
+        assert shadow.match(prompt) == full == 8
+
+    def test_capacity_bounds_lru(self):
+        shadow = ShadowPrefixIndex(block_size=4, capacity=2)
+        shadow.record(range(8))        # chain A: 2 keys
+        shadow.record([9] * 8)         # chain B evicts A entirely
+        assert len(shadow) == 2
+        assert shadow.match(range(8)) == 0
+        assert shadow.match([9] * 8) == 8
+
+    def test_match_keeps_chains_warm(self):
+        shadow = ShadowPrefixIndex(block_size=4, capacity=3)
+        shadow.record(range(8))        # A1, A2
+        assert shadow.match(range(8)) == 8  # re-touch A
+        shadow.record([9] * 4)         # B1: capacity evicts coldest
+        assert shadow.match(range(8)) == 8, "touched chain was evicted"
+
+    def test_lfu_eviction_protects_hot_keys(self):
+        shadow = ShadowPrefixIndex(block_size=4, capacity=2,
+                                   eviction="lfu")
+        shadow.record([1] * 4)
+        for _ in range(3):
+            assert shadow.match([1] * 4) == 4  # hot
+        shadow.record([2] * 4)         # cold
+        shadow.record([3] * 4)         # evicts the cold key, not the hot
+        assert shadow.match([1] * 4) == 4
+        assert shadow.match([2] * 4) == 0
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            ShadowPrefixIndex(block_size=0)
+        with pytest.raises(ServingError):
+            ShadowPrefixIndex(block_size=4, capacity=0)
+        with pytest.raises(ServingError):
+            ShadowPrefixIndex(block_size=4, eviction="nope")
+
+
+def _context(loads, shadows=None, block_size=4):
+    if shadows is None:
+        shadows = [ShadowPrefixIndex(block_size) for _ in loads]
+    return RoutingContext(loads=tuple(loads), shadows=tuple(shadows))
+
+
+class TestPolicies:
+    def test_round_robin_rotates(self):
+        policy = RoundRobinPolicy()
+        context = _context([0, 0, 0])
+        request = _request("r", [1, 2])
+        assert [policy.place(request, context) for _ in range(5)] == [
+            0, 1, 2, 0, 1,
+        ]
+
+    def test_least_loaded_picks_minimum(self):
+        policy = LeastLoadedPolicy()
+        assert policy.place(_request("r", [1]), _context([3, 1, 2])) == 1
+        # Ties break to the lowest index.
+        assert policy.place(_request("r", [1]), _context([2, 1, 1])) == 1
+
+    def test_prefix_aware_follows_longest_chain(self):
+        shadows = [ShadowPrefixIndex(4) for _ in range(3)]
+        shadows[2].record(range(12))
+        shadows[1].record(range(4))
+        policy = PrefixAwarePolicy()
+        context = _context([5, 0, 9], shadows)
+        # Worker 2 covers 8 tokens of this prompt, worker 1 only 4 —
+        # locality beats load.
+        assert policy.place(_request("r", range(10)), context) == 2
+
+    def test_prefix_aware_cold_prompt_falls_back_to_load(self):
+        policy = PrefixAwarePolicy()
+        context = _context([2, 0, 1])
+        assert policy.place(_request("r", [50, 51, 52, 53]), context) == 1
+
+    def test_prefix_aware_ties_break_by_load(self):
+        shadows = [ShadowPrefixIndex(4) for _ in range(2)]
+        shadows[0].record(range(4))
+        shadows[1].record(range(4))
+        policy = PrefixAwarePolicy()
+        context = _context([3, 1], shadows)
+        assert policy.place(_request("r", range(4)), context) == 1
+
+    def test_registry(self):
+        for name in ("round-robin", "least-loaded", "prefix-aware"):
+            assert name in ROUTING_POLICIES
+            assert get_routing_policy(name).name == name
+        instance = RoundRobinPolicy()
+        assert get_routing_policy(instance) is instance
+        with pytest.raises(ServingError, match="unknown routing"):
+            get_routing_policy("best-fit")
+        with pytest.raises(ServingError):
+            get_routing_policy(object())
+
+
+class TestPoolEvictionSeam:
+    def test_registry_and_resolver(self):
+        assert set(PREFIX_EVICTION_POLICIES) == {"lru", "lfu"}
+        assert isinstance(get_prefix_eviction_policy("lru"),
+                          LruEvictionPolicy)
+        assert isinstance(get_prefix_eviction_policy("lfu"),
+                          LfuEvictionPolicy)
+        instance = LfuEvictionPolicy()
+        assert get_prefix_eviction_policy(instance) is instance
+        with pytest.raises(ServingError, match="unknown prefix eviction"):
+            get_prefix_eviction_policy("mru")
+        with pytest.raises(ServingError):
+            get_prefix_eviction_policy(42)
+
+    def test_lru_victim_is_insertion_order(self):
+        policy = LruEvictionPolicy()
+        parked = {"a": None, "b": None, "c": None}
+        assert policy.select_victim(parked) == "a"
+
+    def test_lfu_victim_is_least_used(self):
+        policy = LfuEvictionPolicy()
+        parked = {"a": None, "b": None, "c": None}
+        policy.record_use("a")
+        policy.record_use("a")
+        policy.record_use("c")
+        assert policy.select_victim(parked) == "b"
+        policy.forget("a")  # forgotten => count resets to zero
+        assert policy.select_victim(parked) == "a"
+
+    def _fill_and_park(self, allocator):
+        """Park two indexed single-block chains, returning their ids."""
+        ids = {}
+        for name, tokens in (("x", [1, 2, 3, 4]), ("y", [5, 6, 7, 8])):
+            cache = PagedLayerCache(allocator, layer=0)
+            rng = np.random.default_rng(0)
+            for t in tokens:
+                cache.append(rng.standard_normal((1, 2, 8)),
+                             rng.standard_normal((1, 2, 8)),
+                             token_ids=[t])
+            ids[name] = cache.block_ids[0]
+            cache.release()
+        return ids
+
+    def test_lfu_pool_keeps_adopted_blocks(self):
+        """Under reclaim pressure the lfu pool evicts the never-adopted
+        parked block while lru would evict the older one."""
+        for eviction, survivor in (("lru", [5, 6, 7, 8]),
+                                   ("lfu", [1, 2, 3, 4])):
+            allocator = BlockAllocator(
+                kv_heads=2, head_dim=8, block_size=4, num_blocks=2,
+                prefix_eviction=eviction,
+            )
+            ids = self._fill_and_park(allocator)
+            if eviction == "lfu":
+                # Make chain x hot: adopt and release it once.
+                match = allocator.match_prefix(0, [1, 2, 3, 4])
+                assert match and match[0][0] == ids["x"]
+                allocator.adopt(ids["x"])
+                allocator.free(ids["x"])
+            # Pool is full of parked blocks; a fresh allocation must
+            # reclaim one of them — the policy's victim.
+            allocator.allocate()
+            assert allocator.match_prefix(0, survivor), (eviction, survivor)
+
+    def test_engine_accepts_lfu(self):
+        from repro.models.configs import ModelConfig
+        from repro.runtime import DecoderModel, RuntimeConfig, ServingEngine
+
+        cfg = ModelConfig("lfu-smoke", hidden=32, ffn=48, layers=2,
+                          heads=4, kv_heads=2, vocab=64, gated_ffn=True)
+        model = DecoderModel(cfg, RuntimeConfig(
+            weight_bits=4, kv_bits=8, backend="lut-naive", max_seq_len=64,
+            kv_pool_blocks=32, prefix_eviction="lfu",
+        ))
+        assert model.kv_pool.eviction.name == "lfu"
+        engine = ServingEngine(model)
+        engine.submit(_request("r0", [1, 2, 3]))
+        results, _ = engine.run()
+        assert results[0].tokens
+        with pytest.raises(ServingError):
+            DecoderModel(cfg, RuntimeConfig(
+                weight_bits=4, prefix_eviction="mru",
+            ))
