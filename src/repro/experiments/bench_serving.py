@@ -64,7 +64,14 @@ from repro.runtime import (
     RuntimeConfig,
     SamplingParams,
     ServingEngine,
+    SloClass,
     SpeculativeConfig,
+    Trace,
+    WorkloadSpec,
+    evaluate_slo,
+    generate_trace,
+    replay_trace,
+    replay_trace_router,
 )
 
 #: The benchmark model: small enough to decode in seconds, but with
@@ -90,7 +97,9 @@ SEED = 2025
 PROBE_PROMPT = 8
 PROBE_WINDOW = 0.25
 #: Selectable request streams (see module docstring).
-WORKLOADS = ("mixed", "shared-prefix", "pool-pressure", "prefill-heavy")
+WORKLOADS = (
+    "mixed", "shared-prefix", "pool-pressure", "prefill-heavy", "trace",
+)
 #: Shared-prefix workload: length of the common system prompt (spans
 #: two full 16-token KV blocks, the shareable unit) and request count.
 SHARED_PREFIX_LEN = 40
@@ -154,6 +163,15 @@ SWAP_RUNS = 3
 #: Router smoke: worker count and the policies the parity sweep covers.
 ROUTER_WORKERS = 2
 ROUTER_POLICIES = ("round-robin", "least-loaded", "prefix-aware")
+#: Trace/SLO guard: the seeded burst trace replays through a bounded
+#: pool under chunked prefill, so admission order is the contended
+#: resource; budgets live in the trace in reference decode-step units
+#: and resolve to wall ms through a host-calibrated step time.
+TRACE_MAX_BATCH = 4
+TRACE_POOL_BLOCKS = 14
+TRACE_PREFILL_CHUNK = 16
+TRACE_STEPS_PER_S = 20.0
+TRACE_SEQ_LEN = 96
 
 META = ExperimentMeta(
     title="Serving engine: continuous-batching throughput per kernel backend",
@@ -1048,6 +1066,234 @@ def format_router_result(report: dict) -> str:
     return "\n".join(lines)
 
 
+def _trace_spec() -> WorkloadSpec:
+    """The SLO-guard workload: a bursty two-class mix over a bounded
+    pool.
+
+    ``interactive`` requests are short, frequent, and deadlined (tight
+    TTFT, loose TPOT); ``batch`` requests are long, heavy, and
+    best-effort (no budgets — they never earn goodput, they only
+    occupy slots and pool blocks). During a burst the waiting queue
+    backs up, so *admission order* decides whether interactive TTFTs
+    land inside budget: FIFO makes them wait behind batch prefills,
+    EDF jumps them ahead — the measured goodput gap.
+    """
+    return WorkloadSpec(
+        name="trace-pressure",
+        classes=(
+            SloClass(
+                name="interactive", weight=3.0, priority=2,
+                ttft_budget_steps=10.0, tpot_budget_steps=6.0,
+                prompt_mu=1.6, prompt_sigma=0.4,
+                prompt_min=2, prompt_max=12,
+                output_buckets=(4, 8), output_zipf_a=1.2,
+            ),
+            SloClass(
+                name="batch", weight=1.0, priority=0,
+                prompt_mu=3.2, prompt_sigma=0.4,
+                prompt_min=16, prompt_max=48,
+                output_buckets=(24, 32), output_zipf_a=1.0,
+            ),
+        ),
+        arrival="burst", rate_rps=2.0, duration_s=6.0,
+        burst_rate_rps=14.0, on_s=1.0, off_s=1.5,
+        tenants=3, vocab=BENCH_MODEL.vocab, max_total_tokens=80,
+    )
+
+
+def _trace_engine(
+    scheduler: str = "fifo", preemption: str = "priority-remaining"
+) -> ServingEngine:
+    model = DecoderModel(
+        BENCH_MODEL,
+        RuntimeConfig(
+            weight_bits=WEIGHT_BITS, kv_bits=4, backend="lut-blocked",
+            max_seq_len=TRACE_SEQ_LEN, kv_pool_blocks=TRACE_POOL_BLOCKS,
+            prefill_chunk=TRACE_PREFILL_CHUNK, seed=SEED,
+        ),
+    )
+    return ServingEngine(
+        model, max_batch_size=TRACE_MAX_BATCH,
+        scheduler=scheduler, preemption=preemption,
+    )
+
+
+def _calibrate_step_ms() -> float:
+    """One reference decode-step time on this host (ms).
+
+    A short full-batch greedy run on the guard's engine configuration;
+    the mean wall time per decode step resolves the trace's
+    step-denominated budgets into this machine's milliseconds, which
+    keeps committed traces machine-independent while the guard itself
+    only ever compares same-machine ratios.
+    """
+    engine = _trace_engine()
+    rng = np.random.default_rng(SEED)
+    for i in range(TRACE_MAX_BATCH):
+        engine.submit(Request(
+            request_id=f"cal-{i}",
+            prompt=tuple(
+                int(t) for t in rng.integers(0, BENCH_MODEL.vocab, 8)
+            ),
+            max_new_tokens=32,
+        ))
+    _, stats = engine.run()
+    return stats.wall_s * 1e3 / max(1, stats.decode_steps)
+
+
+def measure_slo_guard(require_improvement: bool = True) -> dict:
+    """Trace replay determinism + SLO goodput guard.
+
+    Generates the seeded burst trace, self-checks its JSON round trip,
+    calibrates ``step_ms``, then replays it four ways on the quantized
+    ``lut-blocked`` engine: twice under ``fifo`` (must be
+    bit-identical — the replay-determinism criterion), once through a
+    2-worker ``AsyncRouter`` (must match — placement transparency),
+    and once under ``slo-aware`` admission + preemption (must match —
+    deadline scheduling is output-transparent, it only moves
+    latency). **Fails** (RuntimeError) on any token divergence, and —
+    the CI slo-guard criterion — unless ``slo-aware`` strictly beats
+    ``fifo`` on goodput-under-deadline. Returns ``BENCH_serving.json``'s
+    ``slo`` section: per-policy goodput/fairness/per-class p99s plus
+    the tracked goodput ratio ``serving_guard`` floors.
+    """
+    import json as _json
+
+    spec = _trace_spec()
+    trace = generate_trace(spec, SEED)
+    round_tripped = Trace.from_dict(
+        _json.loads(_json.dumps(trace.to_dict()))
+    )
+    if round_tripped != trace:
+        raise RuntimeError(
+            "slo guard: trace JSON round trip is not bit-identical"
+        )
+    step_ms = _calibrate_step_ms()
+
+    def replay(scheduler, preemption):
+        return replay_trace(
+            _trace_engine(scheduler, preemption), trace,
+            steps_per_s=TRACE_STEPS_PER_S, step_ms=step_ms,
+        )
+
+    fifo_results, fifo_stats = replay("fifo", "priority-remaining")
+    fifo_tokens = {r.request_id: tuple(r.tokens) for r in fifo_results}
+    again_results, _ = replay("fifo", "priority-remaining")
+    if {r.request_id: tuple(r.tokens) for r in again_results} != fifo_tokens:
+        raise RuntimeError(
+            "slo guard: replaying the same trace twice diverged"
+        )
+    router = AsyncRouter(_trace_engine, workers=ROUTER_WORKERS)
+    try:
+        router_results = replay_trace_router(router, trace, step_ms=step_ms)
+    finally:
+        router.close()
+    if {
+        r.request_id: tuple(r.tokens) for r in router_results
+    } != fifo_tokens:
+        raise RuntimeError(
+            "slo guard: router replay token streams diverged from the "
+            "single-engine replay"
+        )
+    slo_results, slo_stats = replay("slo-aware", "slo-aware")
+    if {r.request_id: tuple(r.tokens) for r in slo_results} != fifo_tokens:
+        raise RuntimeError(
+            "slo guard: slo-aware scheduling changed token content "
+            "(must be output-transparent)"
+        )
+    fifo_report = evaluate_slo(trace, fifo_results, step_ms)
+    slo_report = evaluate_slo(trace, slo_results, step_ms)
+    ratio = slo_report["goodput_tokens"] / max(
+        1, fifo_report["goodput_tokens"]
+    )
+    if require_improvement and (
+        slo_report["goodput_tokens"] <= fifo_report["goodput_tokens"]
+    ):
+        raise RuntimeError(
+            "slo guard: slo-aware goodput "
+            f"{slo_report['goodput_tokens']} tokens does not beat fifo "
+            f"{fifo_report['goodput_tokens']} tokens"
+        )
+
+    def policy_summary(report, stats):
+        return {
+            "goodput_tokens": report["goodput_tokens"],
+            "goodput_fraction": round(report["goodput_fraction"], 3),
+            "fairness_max_min_ratio": round(
+                report["fairness"]["max_min_ratio"], 2
+            ),
+            "ttft_p99_ms": round(stats.ttft_p99, 2),
+            "tpot_p99_ms": round(stats.tpot_p99, 2),
+            "preemptions": stats.preemptions,
+            "classes": {
+                name: {
+                    "requests": row["requests"],
+                    "met": row["met"],
+                    "goodput_tokens": row["goodput_tokens"],
+                    "ttft_p99_ms": round(row["ttft_ms"]["p99"], 2),
+                    "tpot_p99_ms": round(row["tpot_ms"]["p99"], 2),
+                }
+                for name, row in report["classes"].items()
+            },
+        }
+
+    return {
+        "bench": "serving-slo-trace",
+        "model": BENCH_MODEL.name,
+        "backend": "lut-blocked",
+        "weight_bits": WEIGHT_BITS,
+        "kv_bits": 4,
+        "workload": spec.name,
+        "arrival": spec.arrival,
+        "requests": len(trace.entries),
+        "total_tokens": fifo_report["total_tokens"],
+        "max_batch": TRACE_MAX_BATCH,
+        "pool_blocks": TRACE_POOL_BLOCKS,
+        "prefill_chunk": TRACE_PREFILL_CHUNK,
+        "steps_per_s": TRACE_STEPS_PER_S,
+        "step_ms": round(step_ms, 3),
+        "parity": {
+            "replay_deterministic": True,
+            "router_matches_engine": True,
+            "slo_aware_output_transparent": True,
+        },
+        "fifo": policy_summary(fifo_report, fifo_stats),
+        "slo_aware": policy_summary(slo_report, slo_stats),
+        "goodput_ratio": round(ratio, 2),
+        "seed": SEED,
+    }
+
+
+def format_slo_result(report: dict) -> str:
+    lines = [
+        f"SLO trace guard: {report['requests']} requests "
+        f"({report['arrival']} arrivals, {report['total_tokens']} "
+        f"tokens), {report['backend']} W{report['weight_bits']} "
+        f"int{report['kv_bits']}-KV, pool={report['pool_blocks']} "
+        f"blocks, max_batch={report['max_batch']}, "
+        f"step_ms={report['step_ms']}",
+        "replay determinism OK: engine x2 and "
+        f"{ROUTER_WORKERS}-worker router bit-identical; slo-aware "
+        "output-transparent",
+        f"{'policy':>10} {'goodput':>8} {'fraction':>9} {'ttft p99':>9} "
+        f"{'tpot p99':>9} {'fairness':>9} {'preempt':>8}",
+    ]
+    for key in ("fifo", "slo_aware"):
+        row = report[key]
+        lines.append(
+            f"{key:>10} {row['goodput_tokens']:>8} "
+            f"{row['goodput_fraction']:>9.3f} "
+            f"{row['ttft_p99_ms']:>9.1f} {row['tpot_p99_ms']:>9.1f} "
+            f"{row['fairness_max_min_ratio']:>9.2f} "
+            f"{row['preemptions']:>8}"
+        )
+    lines.append(
+        f"slo-guard OK: slo-aware goodput = "
+        f"{report['goodput_ratio']:.2f}x fifo under the same trace."
+    )
+    return "\n".join(lines)
+
+
 def env_provenance() -> dict:
     """Where a tracked measurement was taken: enough to judge whether a
     regression is a code change or a machine change."""
@@ -1076,6 +1322,11 @@ def run(
             "prefill-heavy is a chunked-vs-monolithic comparison, not a "
             "per-variant row bench; use measure_prefill_interleaving() "
             "(CLI: --workload prefill-heavy)"
+        )
+    if workload == "trace":
+        raise ValueError(
+            "trace is a replay/SLO comparison, not a per-variant row "
+            "bench; use measure_slo_guard() (CLI: --workload trace)"
         )
     if workload == "pool-pressure":
         # The relief valve only fires under optimistic admission:
@@ -1251,14 +1502,57 @@ def format_result(rows) -> str:
     return "\n".join(lines)
 
 
-if __name__ == "__main__":
+def _write_verdict(
+    verdict_dir, name: str, ok: bool, detail: str
+) -> None:
+    """Write one machine-readable per-workload verdict file.
+
+    ``{verdict_dir}/{name}.json`` holds ``{"workload", "ok",
+    "detail"}`` — the CI contract ``serving_guard --check-verdicts``
+    consumes instead of grepping stdout. No-op when *verdict_dir* is
+    ``None``.
+    """
+    if verdict_dir is None:
+        return
+    import json
+    import pathlib
+
+    path = pathlib.Path(verdict_dir) / f"{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(
+        {"workload": name, "ok": ok, "detail": detail}, indent=2
+    ) + "\n")
+
+
+def _guarded(verdict_dir, name: str, fn):
+    """Run one guard measurement, recording its verdict either way.
+
+    A guard that raises writes ``ok: false`` with the exception text
+    before re-raising (the CI step still fails loudly); success writes
+    ``ok: true``.
+    """
+    try:
+        result = fn()
+    except Exception as exc:
+        _write_verdict(
+            verdict_dir, name, False, f"{type(exc).__name__}: {exc}"
+        )
+        raise
+    _write_verdict(verdict_dir, name, True, "passed")
+    return result
+
+
+def build_parser():
+    """The bench CLI surface (separate from parsing so tests can
+    introspect the registered workloads and flags)."""
     import argparse
 
     from repro.runtime import SCHEDULERS
 
     parser = argparse.ArgumentParser(
+        prog="bench_serving",
         description="Serving bench (direct CLI, used by the CI scheduler "
-        "smoke and serving-perf-guard steps)"
+        "smoke and serving-perf-guard steps)",
     )
     parser.add_argument(
         "--scheduler", default="fifo", choices=sorted(SCHEDULERS),
@@ -1266,8 +1560,9 @@ if __name__ == "__main__":
     )
     parser.add_argument(
         "--workload", default="mixed", choices=WORKLOADS,
-        help="request stream: mixed batch, shared-prefix guard, or "
-        "pool-pressure preemption guard",
+        help="request stream: mixed batch, shared-prefix guard, "
+        "pool-pressure preemption guard, prefill-heavy chunking "
+        "comparison, or the trace/SLO replay",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -1291,6 +1586,13 @@ if __name__ == "__main__":
         "report carries the result as its 'swap' section",
     )
     parser.add_argument(
+        "--slo-guard", action="store_true",
+        help="replay the seeded burst trace (determinism + router "
+        "parity + slo-aware output transparency) and require slo-aware "
+        "to beat fifo on goodput-under-deadline; the JSON report "
+        "carries the result as its 'slo' section",
+    )
+    parser.add_argument(
         "--router-smoke", action="store_true",
         help="N-worker AsyncRouter parity across every routing policy "
         "plus the prefix-aware placement savings check (CI "
@@ -1298,50 +1600,88 @@ if __name__ == "__main__":
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --fused-guard / --spec-guard / --swap-guard: also "
-        "write the measurement as JSON (the BENCH_serving.json schema "
-        "the perf guard diffs)",
+        help="with the guard flags: also write the measurement as JSON "
+        "(the BENCH_serving.json schema the perf guard diffs)",
     )
-    args = parser.parse_args()
-    run_guard = args.fused_guard or args.spec_guard or args.swap_guard
+    parser.add_argument(
+        "--verdict-dir", metavar="DIR", default=None,
+        help="write one machine-readable {workload}.json verdict per "
+        "guard/workload run under DIR (consumed by serving_guard "
+        "--check-verdicts)",
+    )
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    vdir = args.verdict_dir
+    run_guard = (
+        args.fused_guard or args.spec_guard or args.swap_guard
+        or args.slo_guard
+    )
     if run_guard:
         import json
         import pathlib
 
         # One tracked file for the whole serving-perf trajectory: the
-        # fused ratios plus the chunked-prefill, speculative, and
-        # swap-resume sections, stamped with the machine it was
-        # measured on.
+        # fused ratios plus the chunked-prefill, speculative,
+        # swap-resume, and trace/SLO sections, stamped with the machine
+        # they were measured on.
         report: dict = {"env": env_provenance()}
         if args.fused_guard:
-            report.update(measure_fused_speedup())
-            report["prefill"] = measure_prefill_interleaving()
+            report.update(
+                _guarded(vdir, "fused-guard", measure_fused_speedup)
+            )
+            report["prefill"] = _guarded(
+                vdir, "prefill-heavy", measure_prefill_interleaving
+            )
             print(format_fused_result(report))
             print(format_prefill_result(report["prefill"]))
         if args.spec_guard:
-            report["speculative"] = measure_spec_speedup()
+            report["speculative"] = _guarded(
+                vdir, "spec-guard", measure_spec_speedup
+            )
             print(format_spec_result(report["speculative"]))
         if args.swap_guard:
-            report["swap"] = measure_swap_resume()
+            report["swap"] = _guarded(
+                vdir, "swap-guard", measure_swap_resume
+            )
             print(format_swap_result(report["swap"]))
+        if args.slo_guard:
+            report["slo"] = _guarded(
+                vdir, "slo-guard", measure_slo_guard
+            )
+            print(format_slo_result(report["slo"]))
         if args.json:
             path = pathlib.Path(args.json)
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(report, indent=2) + "\n")
             print(f"wrote {path}")
     if args.router_smoke:
-        print(format_router_result(measure_router_smoke()))
+        print(format_router_result(
+            _guarded(vdir, "router-smoke", measure_router_smoke)
+        ))
     if not run_guard and not args.router_smoke:
         if args.workload == "prefill-heavy":
-            print(format_prefill_result(measure_prefill_interleaving()))
+            print(format_prefill_result(_guarded(
+                vdir, "prefill-heavy", measure_prefill_interleaving
+            )))
+        elif args.workload == "trace":
+            print(format_slo_result(
+                _guarded(vdir, "slo-guard", measure_slo_guard)
+            ))
         else:
             smoke_variants = (("lut-blocked", 4),)
             print(
                 format_result(
-                    run(
+                    _guarded(vdir, args.workload, lambda: run(
                         variants=smoke_variants if args.smoke else VARIANTS,
                         scheduler=args.scheduler,
                         workload=args.workload,
-                    )
+                    ))
                 )
             )
+
+
+if __name__ == "__main__":
+    main()

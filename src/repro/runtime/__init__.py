@@ -87,11 +87,29 @@ from repro.runtime.scheduler import (
     PreemptionPolicy,
     SchedulerPolicy,
     SchedulingContext,
+    SloAwareAdmissionPolicy,
+    SloAwarePreemptionPolicy,
+    SloSpec,
+    WaitingRequest,
+    deadline_slack_ms,
     get_preemption_policy,
     get_scheduler,
 )
+from repro.runtime.stats import percentiles
+from repro.runtime.workload import (
+    ARRIVALS,
+    SloClass,
+    Trace,
+    TraceEntry,
+    WorkloadSpec,
+    evaluate_slo,
+    generate_trace,
+    replay_trace,
+    replay_trace_router,
+)
 
 __all__ = [
+    "ARRIVALS",
     "AsyncRouter",
     "BlockAllocator",
     "ClusterStats",
@@ -117,17 +135,31 @@ __all__ = [
     "SchedulingContext",
     "ServingEngine",
     "ShadowPrefixIndex",
+    "SloAwareAdmissionPolicy",
+    "SloAwarePreemptionPolicy",
+    "SloClass",
+    "SloSpec",
     "SpeculativeConfig",
     "StepTrace",
     "ThreadWorkerHandle",
     "TokenStream",
+    "Trace",
+    "TraceEntry",
+    "WaitingRequest",
     "WorkerHandle",
+    "WorkloadSpec",
     "batched_decode_append",
+    "deadline_slack_ms",
+    "evaluate_slo",
     "fused_paged_decode_attention",
     "fused_paged_verify_attention",
+    "generate_trace",
     "get_preemption_policy",
     "get_prefix_eviction_policy",
     "get_routing_policy",
     "get_scheduler",
     "paged_decode_attention",
+    "percentiles",
+    "replay_trace",
+    "replay_trace_router",
 ]

@@ -157,6 +157,9 @@ class InlineWorkerHandle:
             "preemptions": self.engine._preemptions,
             "swaps": self.engine._swaps,
             "swap_resumes": self.engine._swap_resumes,
+            "generated_tokens": sum(
+                len(r.tokens) for r in self.engine.finished
+            ),
         }
 
     def close(self) -> None:
@@ -313,6 +316,10 @@ class ClusterStats:
     @property
     def swaps(self) -> int:
         return self._total("swaps")
+
+    @property
+    def generated_tokens(self) -> int:
+        return self._total("generated_tokens")
 
 
 class AsyncRouter:

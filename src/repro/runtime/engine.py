@@ -115,11 +115,14 @@ from repro.runtime.scheduler import (
     PreemptionPolicy,
     SchedulerPolicy,
     SchedulingContext,
+    SloSpec,
+    WaitingRequest,
     get_preemption_policy,
     get_scheduler,
     resume_blocks_needed,
     worst_case_blocks,
 )
+from repro.runtime.stats import percentiles
 
 
 @dataclass(frozen=True)
@@ -165,7 +168,11 @@ class Request:
 
     ``priority`` feeds the preemption policy: when a bounded pool runs
     hot, lower-priority sequences are evicted first (default 0; higher
-    values are safer from eviction).
+    values are safer from eviction). ``slo`` optionally attaches
+    latency budgets (:class:`~repro.runtime.scheduler.SloSpec`):
+    deadline-aware policies order admission/eviction by them, and SLO
+    evaluation counts the request's tokens toward goodput only when
+    both budgets are met. A request without one is best-effort.
     """
 
     request_id: str
@@ -174,6 +181,7 @@ class Request:
     sampling: SamplingParams = SamplingParams()
     eos_token_id: int | None = None
     priority: int = 0
+    slo: SloSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.prompt:
@@ -193,10 +201,12 @@ class Request:
             "sampling": self.sampling.to_dict(),
             "eos_token_id": self.eos_token_id,
             "priority": self.priority,
+            "slo": None if self.slo is None else self.slo.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "Request":
+        slo = data.get("slo")
         return cls(
             request_id=data["request_id"],
             prompt=tuple(int(t) for t in data["prompt"]),
@@ -204,6 +214,7 @@ class Request:
             sampling=SamplingParams.from_dict(data.get("sampling", {})),
             eos_token_id=data.get("eos_token_id"),
             priority=int(data.get("priority", 0)),
+            slo=None if slo is None else SloSpec.from_dict(slo),
         )
 
 
@@ -340,6 +351,13 @@ class EngineStats:
     #: requests that generated more than one token.
     tpot_p50: float = 0.0
     tpot_p95: float = 0.0
+    tpot_p99: float = 0.0
+    #: Per-request time-to-first-token percentiles (ms), over every
+    #: completed request (submit -> first sampled token, queue wait
+    #: included).
+    ttft_p50: float = 0.0
+    ttft_p95: float = 0.0
+    ttft_p99: float = 0.0
     #: Per-decode-step history — occupancy, queue depth, pool usage —
     #: so a finished run can be audited instead of reduced to means.
     trace: list[StepTrace] = field(default_factory=list)
@@ -357,9 +375,7 @@ class EngineStats:
 
     def occupancy_percentile(self, q: float) -> float:
         """Batch-occupancy percentile over the run's decode steps."""
-        if not self.batch_occupancy:
-            return 0.0
-        return float(np.percentile(self.batch_occupancy, q))
+        return percentiles(self.batch_occupancy, (q,))[0]
 
     @property
     def occupancy_p50(self) -> float:
@@ -456,6 +472,19 @@ class _Sequence:
     def remaining_tokens(self) -> int:
         """Generation budget still outstanding."""
         return self.request.max_new_tokens - len(self.generated)
+
+    @property
+    def observed_tpot_ms(self) -> float:
+        """Live mean time-per-output-token after the first (ms); 0.0
+        until a second token exists. Feeds deadline-slack estimates."""
+        n = len(self.generated)
+        if n < 2:
+            return 0.0
+        generated_ms = (
+            (self.last_token_time - self.submit_time) * 1e3
+            - self.first_token_ms
+        )
+        return max(0.0, generated_ms) / (n - 1)
 
     @property
     def resume_tokens(self) -> tuple[int, ...]:
@@ -1092,7 +1121,10 @@ class ServingEngine:
                 self._requeue_prefill(head)
         while self.waiting and occupied() < self.max_batch_size:
             choice = self.scheduler.select(
-                [request for request, _ in self.waiting],
+                [
+                    WaitingRequest(request, submitted)
+                    for request, submitted in self.waiting
+                ],
                 self._scheduling_context(),
             )
             if choice is None:
@@ -1344,14 +1376,46 @@ class ServingEngine:
         self._trace.append(StepTrace(**entry))
         return done
 
-    def run(self) -> tuple[list[RequestResult], EngineStats]:
-        """Drive the engine until every submitted request completes."""
+    def run(self, feed=None) -> tuple[list[RequestResult], EngineStats]:
+        """Drive the engine until every submitted request completes.
+
+        With *feed* set, the run is **open-loop**: before each step,
+        ``feed(step)`` is called with the loop-iteration index and
+        returns the requests arriving *now* (submitted before the step
+        runs), or ``None`` once the arrival process is exhausted — the
+        engine then drains the in-flight work and stops. The step index
+        advances every loop iteration, including idle ones where
+        nothing is in flight yet, so a feed can map wall-clock arrival
+        offsets onto a virtual step clock (trace replay does exactly
+        that). Without *feed* the behavior is unchanged: drain whatever
+        was submitted beforehand.
+        """
         started = time.perf_counter()
-        while self.has_work:
-            self.step()
+        if feed is None:
+            while self.has_work:
+                self.step()
+        else:
+            step = 0
+            draining = False
+            while True:
+                if not draining:
+                    batch = feed(step)
+                    if batch is None:
+                        draining = True
+                    else:
+                        for request in batch:
+                            self.submit(request)
+                if self.has_work:
+                    self.step()
+                elif draining:
+                    break
+                step += 1
         wall = time.perf_counter() - started
         results = list(self.finished)
         tpots = [r.tpot_ms for r in results if len(r.tokens) > 1]
+        ttfts = [r.first_token_ms for r in results]
+        tpot_p50, tpot_p95, tpot_p99 = percentiles(tpots, (50, 95, 99))
+        ttft_p50, ttft_p95, ttft_p99 = percentiles(ttfts, (50, 95, 99))
         stats = EngineStats(
             requests=len(results),
             prompt_tokens=self._prompt_tokens,
@@ -1366,8 +1430,12 @@ class ServingEngine:
             swaps=self._swaps,
             swap_resumes=self._swap_resumes,
             swap_bytes=self._swap_bytes,
-            tpot_p50=float(np.percentile(tpots, 50)) if tpots else 0.0,
-            tpot_p95=float(np.percentile(tpots, 95)) if tpots else 0.0,
+            tpot_p50=tpot_p50,
+            tpot_p95=tpot_p95,
+            tpot_p99=tpot_p99,
+            ttft_p50=ttft_p50,
+            ttft_p95=ttft_p95,
+            ttft_p99=ttft_p99,
             trace=list(self._trace),
         )
         return results, stats

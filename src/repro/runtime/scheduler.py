@@ -45,10 +45,37 @@ prefix index, so re-admission is mostly block-table reconstruction.
   blocks longest), then by latest admission;
 - ``latest-first`` — LIFO: the most recently admitted sequence goes
   first, protecting the oldest in-flight work.
+
+**SLO-aware scheduling** closes the loop between deadlines and both
+seams. A request may carry an :class:`SloSpec` — a TTFT budget and a
+per-output-token (TPOT) budget, both in wall milliseconds from submit.
+The ``slo-aware`` admission policy runs earliest-deadline-first over
+the waiting queue (each entry's TTFT deadline is ``submitted_at +
+ttft_ms``; requests without an SLO sort last), and the ``slo-aware``
+preemption policy ranks victims by **deadline slack** — the budget
+milliseconds left once the estimated remaining work (remaining tokens
+x the sequence's *observed* TPOT, falling back to the TPOT budget
+before any is observed) is paid::
+
+    slack = ttft_ms + tpot_ms * max_new_tokens      # total budget
+            - elapsed_ms_since_submit               # spent
+            - remaining_tokens * observed_tpot_ms   # still owed
+
+Victims, best first: sequences whose deadline is already unmeetable
+(negative slack — their tokens cannot count toward goodput, so
+delaying them further loses nothing), most-blown first; then sequences
+by *descending* slack (the most headroom absorbs a preemption with the
+least SLO damage; no-SLO sequences have infinite slack and go first in
+this tier); ties by lower priority, then latest admission. Both
+policies are output-transparent like every other policy here —
+admission order and eviction choice never change a request's token
+stream, only its latency.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
@@ -137,6 +164,129 @@ class SchedulingContext:
         )
 
 
+@dataclass(frozen=True)
+class SloSpec:
+    """Per-request latency budgets, in wall milliseconds from submit.
+
+    ``ttft_ms`` bounds time-to-first-token; ``tpot_ms`` bounds the mean
+    per-output-token latency after the first. Either may be ``None``
+    (unconstrained). A request with no :class:`SloSpec` at all is
+    best-effort: it never counts toward goodput and the ``slo-aware``
+    policies deprioritize it behind every deadlined request.
+    """
+
+    ttft_ms: float | None = None
+    tpot_ms: float | None = None
+
+    def to_dict(self) -> dict:
+        return {"ttft_ms": self.ttft_ms, "tpot_ms": self.tpot_ms}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SloSpec":
+        return cls(
+            ttft_ms=payload.get("ttft_ms"),
+            tpot_ms=payload.get("tpot_ms"),
+        )
+
+
+class WaitingRequest:
+    """A waiting-queue entry: the request plus its submit timestamp.
+
+    The engine hands these to :meth:`SchedulerPolicy.select` so
+    deadline-aware policies can order by ``submitted_at + slo.ttft_ms``.
+    Every request attribute (``prompt``, ``max_new_tokens``, ``slo``,
+    ...) delegates to the wrapped request, so policies written against
+    bare :class:`~repro.runtime.engine.Request` objects keep working
+    unchanged — and tests may still pass bare requests, which simply
+    lack ``submitted_at``.
+    """
+
+    __slots__ = ("request", "submitted_at")
+
+    def __init__(self, request, submitted_at: float):
+        self.request = request
+        self.submitted_at = submitted_at
+
+    def __getattr__(self, name):
+        return getattr(self.request, name)
+
+
+def deadline_slack_ms(seq, now: float) -> float:
+    """Budget milliseconds left for *seq* after paying estimated work.
+
+    ``inf`` when the sequence's request carries no SLO. The remaining
+    work is priced at the sequence's *observed* TPOT — falling back to
+    the TPOT budget itself before any token has been produced (the
+    request is presumed on-budget until measured otherwise).
+    """
+    slo = getattr(seq.request, "slo", None)
+    if slo is None or (slo.ttft_ms is None and slo.tpot_ms is None):
+        return math.inf
+    budget = (slo.ttft_ms or 0.0) + (slo.tpot_ms or 0.0) * (
+        seq.request.max_new_tokens
+    )
+    elapsed = (now - seq.submit_time) * 1e3
+    est_tpot = seq.observed_tpot_ms or slo.tpot_ms or 0.0
+    return budget - elapsed - seq.remaining_tokens * est_tpot
+
+
+class SloAwareAdmissionPolicy:
+    """Earliest-TTFT-deadline-first admission.
+
+    Each waiting entry's deadline is ``submitted_at + slo.ttft_ms``;
+    entries without a TTFT budget (or without an SLO at all) sort
+    last, and ties fall back to arrival order so the policy degrades
+    to FIFO on an SLO-free queue. Entries that arrive as bare requests
+    (no ``submitted_at``) are ordered by budget alone.
+    """
+
+    name = "slo-aware"
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+
+    def select(self, waiting, context):
+        def deadline(entry) -> float:
+            slo = getattr(entry, "slo", None)
+            if slo is None or slo.ttft_ms is None:
+                return math.inf
+            submitted = getattr(entry, "submitted_at", None)
+            if submitted is None:
+                return slo.ttft_ms
+            return submitted * 1e3 + slo.ttft_ms
+
+        return min(range(len(waiting)), key=lambda i: (deadline(waiting[i]), i))
+
+
+class SloAwarePreemptionPolicy:
+    """Deadline-slack victim ranking for the pool relief valve.
+
+    Best victims first: sequences whose deadline is already unmeetable
+    (negative :func:`deadline_slack_ms` — their tokens cannot count
+    toward goodput, so stalling them loses nothing), most blown first;
+    then sequences by descending slack — the most headroom absorbs a
+    preemption with the least SLO damage, and no-SLO sequences
+    (infinite slack) lead that tier. Ties break by lower request
+    priority, then latest admission.
+    """
+
+    name = "slo-aware"
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+
+    def select_victims(self, active, context):
+        now = self._clock()
+
+        def key(i):
+            slack = deadline_slack_ms(active[i], now)
+            if slack < 0:
+                return (0, slack, active[i].priority, -i)
+            return (1, -slack, active[i].priority, -i)
+
+        return sorted(range(len(active)), key=key)
+
+
 @runtime_checkable
 class SchedulerPolicy(Protocol):
     """Contract every admission policy implements."""
@@ -209,6 +359,7 @@ SCHEDULERS: dict[str, Callable[[], SchedulerPolicy]] = {
     "fifo": FifoPolicy,
     "sjf": ShortestPromptFirstPolicy,
     "memory-aware": MemoryAwareAdmissionPolicy,
+    "slo-aware": SloAwareAdmissionPolicy,
 }
 
 
@@ -282,6 +433,7 @@ class LatestAdmittedFirstPolicy:
 PREEMPTION_POLICIES: dict[str, Callable[[], PreemptionPolicy]] = {
     "priority-remaining": PriorityRemainingPolicy,
     "latest-first": LatestAdmittedFirstPolicy,
+    "slo-aware": SloAwarePreemptionPolicy,
 }
 
 
@@ -316,6 +468,11 @@ __all__ = [
     "SchedulerPolicy",
     "SchedulingContext",
     "ShortestPromptFirstPolicy",
+    "SloAwareAdmissionPolicy",
+    "SloAwarePreemptionPolicy",
+    "SloSpec",
+    "WaitingRequest",
+    "deadline_slack_ms",
     "get_preemption_policy",
     "get_scheduler",
     "resume_blocks_needed",

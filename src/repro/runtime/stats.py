@@ -1,0 +1,45 @@
+"""Shared latency/occupancy statistics helpers for the runtime.
+
+Percentile reporting used to be recomputed ad hoc per metric —
+``EngineStats`` called ``np.percentile`` for TPOT and occupancy, the
+serving bench again for TTFT and completion latency, each with its own
+empty-input guard (or none).  :func:`percentiles` is the single
+implementation every consumer dispatches through, with the edge
+behavior pinned by regression test:
+
+- an **empty** input returns ``0.0`` for every requested quantile
+  (matching the long-standing ``EngineStats.occupancy_percentile``
+  empty-trace pin — a run with no decode steps reports zeros, it never
+  raises);
+- a **one-element** input returns that element for every quantile
+  (``np.percentile`` degenerates to the sample itself);
+- otherwise values follow ``np.percentile``'s default linear
+  interpolation, so numbers are bit-identical to the previous ad hoc
+  call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def percentiles(
+    values: Iterable[float], qs: Sequence[float]
+) -> tuple[float, ...]:
+    """Percentiles of *values* at each quantile in *qs* (0..100).
+
+    Returns one float per entry of *qs*.  Empty input yields ``0.0``
+    everywhere; a single value is returned for every quantile.
+    """
+    arr = np.asarray(
+        values if isinstance(values, np.ndarray) else list(values),
+        dtype=float,
+    )
+    if arr.size == 0:
+        return tuple(0.0 for _ in qs)
+    return tuple(float(q) for q in np.percentile(arr, list(qs)))
+
+
+__all__ = ["percentiles"]

@@ -1,0 +1,564 @@
+"""Trace-driven workloads: seeded arrival traces and SLO evaluation.
+
+``bench_serving``'s synthetic workloads submit everything up front —
+no arrival process, no deadlines, no tenants — so the scheduler,
+preemption, and routing seams have never been exercised against the
+traffic shape a real serving deployment sees. This module closes that
+gap with three pieces:
+
+**Trace generation** (:func:`generate_trace`). A
+:class:`WorkloadSpec` describes the traffic: an arrival process —
+``poisson`` (memoryless at ``rate_rps``) or ``burst`` (MMPP-style
+on/off modulation: ``burst_rate_rps`` inside ``on_s``-second windows,
+``rate_rps`` outside, so queues build and drain) — plus a set of
+:class:`SloClass` request classes with weights, priorities, lognormal
+(heavy-tailed) prompt lengths, and Zipf-weighted output-length
+buckets. Generation is fully seeded (one ``numpy`` generator, one
+draw order) and the resulting :class:`Trace` is JSON-round-trippable:
+``Trace.from_dict(json.loads(json.dumps(t.to_dict())))`` reproduces
+it bit-for-bit, so a trace can be committed, shipped, and replayed
+anywhere.
+
+**Replay** (:func:`replay_trace`, :func:`replay_trace_router`). Budgets
+in the trace are stored in *reference decode-step units* so traces are
+machine-independent; replay resolves them to wall milliseconds with a
+caller-calibrated ``step_ms`` (one measured decode step on the host).
+Engine replay drives :meth:`ServingEngine.run`'s open-loop feed: a
+virtual clock maps ``arrival_s`` onto step indices (``steps_per_s``
+steps per trace second), submitting each request before the step at
+which it "arrives". Because the LUT backends are batch-invariant,
+sampling RNGs are per-request, and preemption/sharing/speculation are
+output-transparent, the token streams of a replay are bit-identical
+across schedulers, worker counts, and replays — only latency moves.
+Router replay submits the same requests through
+:meth:`AsyncRouter.run_sync`.
+
+**SLO evaluation** (:func:`evaluate_slo`). A request *meets its SLO*
+when its measured TTFT and TPOT both land within its class budgets
+(resolved at the same ``step_ms``). The report carries per-class
+TTFT/TPOT p50/p95/p99, **goodput** — generated tokens from requests
+that met both budgets (best-effort classes contribute nothing) — and
+a max/min per-tenant token-throughput **fairness ratio**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.runtime.engine import Request, SamplingParams
+from repro.runtime.scheduler import SloSpec
+from repro.runtime.stats import percentiles
+
+
+@dataclass(frozen=True)
+class SloClass:
+    """One request class in a workload: mix weight, latency budgets,
+    and length distributions.
+
+    Budgets are in **reference decode-step units**, not milliseconds —
+    a trace must mean the same thing on a fast and a slow machine.
+    Replay resolves ``ttft_budget_steps``/``tpot_budget_steps`` to
+    wall budgets by multiplying with a host-calibrated ``step_ms``.
+    ``None`` budgets make the class best-effort (no goodput credit).
+
+    Prompt lengths are lognormal (``exp(N(prompt_mu, prompt_sigma))``
+    clipped to ``[prompt_min, prompt_max]``) — heavy-tailed like real
+    prompt mixes. Output lengths draw from ``output_buckets`` with
+    Zipf rank weights (``rank^-output_zipf_a``): short completions
+    dominate, long tails stay present.
+    """
+
+    name: str
+    weight: float = 1.0
+    priority: int = 0
+    ttft_budget_steps: float | None = None
+    tpot_budget_steps: float | None = None
+    prompt_mu: float = 2.5
+    prompt_sigma: float = 0.6
+    prompt_min: int = 2
+    prompt_max: int = 64
+    output_buckets: tuple[int, ...] = (4, 8, 16, 32)
+    output_zipf_a: float = 1.5
+    top_k: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ServingError(f"class {self.name!r}: weight must be > 0")
+        if not self.output_buckets:
+            raise ServingError(
+                f"class {self.name!r}: output_buckets must be non-empty"
+            )
+        if not 1 <= self.prompt_min <= self.prompt_max:
+            raise ServingError(
+                f"class {self.name!r}: need 1 <= prompt_min <= prompt_max"
+            )
+
+    def slo(self, step_ms: float | None) -> SloSpec | None:
+        """Wall-clock budgets at *step_ms*; ``None`` while unresolved
+        or for a best-effort class."""
+        if step_ms is None or (
+            self.ttft_budget_steps is None and self.tpot_budget_steps is None
+        ):
+            return None
+        return SloSpec(
+            ttft_ms=(
+                None if self.ttft_budget_steps is None
+                else self.ttft_budget_steps * step_ms
+            ),
+            tpot_ms=(
+                None if self.tpot_budget_steps is None
+                else self.tpot_budget_steps * step_ms
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "priority": self.priority,
+            "ttft_budget_steps": self.ttft_budget_steps,
+            "tpot_budget_steps": self.tpot_budget_steps,
+            "prompt_mu": self.prompt_mu,
+            "prompt_sigma": self.prompt_sigma,
+            "prompt_min": self.prompt_min,
+            "prompt_max": self.prompt_max,
+            "output_buckets": list(self.output_buckets),
+            "output_zipf_a": self.output_zipf_a,
+            "top_k": self.top_k,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SloClass":
+        return cls(
+            name=data["name"],
+            weight=float(data.get("weight", 1.0)),
+            priority=int(data.get("priority", 0)),
+            ttft_budget_steps=data.get("ttft_budget_steps"),
+            tpot_budget_steps=data.get("tpot_budget_steps"),
+            prompt_mu=float(data.get("prompt_mu", 2.5)),
+            prompt_sigma=float(data.get("prompt_sigma", 0.6)),
+            prompt_min=int(data.get("prompt_min", 2)),
+            prompt_max=int(data.get("prompt_max", 64)),
+            output_buckets=tuple(
+                int(b) for b in data.get("output_buckets", (4, 8, 16, 32))
+            ),
+            output_zipf_a=float(data.get("output_zipf_a", 1.5)),
+            top_k=data.get("top_k"),
+        )
+
+
+#: Arrival process names accepted by :class:`WorkloadSpec`.
+ARRIVALS = ("poisson", "burst")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything :func:`generate_trace` needs to emit a trace.
+
+    ``rate_rps``/``duration_s`` shape the base Poisson process (trace
+    seconds are virtual — replay maps them onto engine steps). With
+    ``arrival="burst"`` the rate is modulated MMPP-style: windows of
+    ``on_s`` seconds arrive at ``burst_rate_rps``, the ``off_s``
+    seconds between them at ``rate_rps``. Requests round-robin over
+    nothing — each draws a uniform tenant in ``[0, tenants)`` and a
+    weight-proportional :class:`SloClass`. ``max_total_tokens`` caps
+    ``prompt + output`` per request so every generated request is
+    servable under the engine's ``max_seq_len``.
+    """
+
+    name: str
+    classes: tuple[SloClass, ...]
+    arrival: str = "poisson"
+    rate_rps: float = 4.0
+    duration_s: float = 8.0
+    burst_rate_rps: float = 16.0
+    on_s: float = 1.0
+    off_s: float = 2.0
+    tenants: int = 2
+    vocab: int = 256
+    max_total_tokens: int = 96
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVALS:
+            raise ServingError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"available: {', '.join(ARRIVALS)}"
+            )
+        if not self.classes:
+            raise ServingError("workload needs at least one SloClass")
+        if self.tenants < 1:
+            raise ServingError("tenants must be >= 1")
+        if self.rate_rps < 0 or self.duration_s <= 0:
+            raise ServingError("need rate_rps >= 0 and duration_s > 0")
+        if self.arrival == "burst" and (
+            self.burst_rate_rps <= 0 or self.on_s <= 0 or self.off_s < 0
+        ):
+            raise ServingError(
+                "burst arrivals need burst_rate_rps > 0, on_s > 0, "
+                "off_s >= 0"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "classes": [c.to_dict() for c in self.classes],
+            "arrival": self.arrival,
+            "rate_rps": self.rate_rps,
+            "duration_s": self.duration_s,
+            "burst_rate_rps": self.burst_rate_rps,
+            "on_s": self.on_s,
+            "off_s": self.off_s,
+            "tenants": self.tenants,
+            "vocab": self.vocab,
+            "max_total_tokens": self.max_total_tokens,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        return cls(
+            name=data["name"],
+            classes=tuple(
+                SloClass.from_dict(c) for c in data["classes"]
+            ),
+            arrival=data.get("arrival", "poisson"),
+            rate_rps=float(data.get("rate_rps", 4.0)),
+            duration_s=float(data.get("duration_s", 8.0)),
+            burst_rate_rps=float(data.get("burst_rate_rps", 16.0)),
+            on_s=float(data.get("on_s", 1.0)),
+            off_s=float(data.get("off_s", 2.0)),
+            tenants=int(data.get("tenants", 2)),
+            vocab=int(data.get("vocab", 256)),
+            max_total_tokens=int(data.get("max_total_tokens", 96)),
+        )
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One arrival in a trace: a fully materialized request plus its
+    arrival offset and class/tenant labels."""
+
+    request_id: str
+    arrival_s: float
+    tenant: int
+    slo_class: str
+    prompt: tuple[int, ...]
+    max_new_tokens: int
+    priority: int = 0
+    top_k: int | None = None
+    seed: int = 0
+
+    def to_request(
+        self, step_ms: float | None, cls: SloClass
+    ) -> Request:
+        """Materialize the engine request, resolving SLO budgets at
+        *step_ms* (``None`` leaves the request best-effort)."""
+        return Request(
+            request_id=self.request_id,
+            prompt=self.prompt,
+            max_new_tokens=self.max_new_tokens,
+            sampling=SamplingParams(top_k=self.top_k, seed=self.seed),
+            priority=self.priority,
+            slo=cls.slo(step_ms),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "arrival_s": self.arrival_s,
+            "tenant": self.tenant,
+            "slo_class": self.slo_class,
+            "prompt": [int(t) for t in self.prompt],
+            "max_new_tokens": self.max_new_tokens,
+            "priority": self.priority,
+            "top_k": self.top_k,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEntry":
+        return cls(
+            request_id=data["request_id"],
+            arrival_s=float(data["arrival_s"]),
+            tenant=int(data["tenant"]),
+            slo_class=data["slo_class"],
+            prompt=tuple(int(t) for t in data["prompt"]),
+            max_new_tokens=int(data["max_new_tokens"]),
+            priority=int(data.get("priority", 0)),
+            top_k=data.get("top_k"),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A seeded, replayable arrival trace.
+
+    ``to_dict``/``from_dict`` round-trip through JSON bit-for-bit
+    (arrival offsets are Python floats, which JSON serializes by
+    shortest-exact ``repr``), so equality of two traces is plain
+    ``==``.
+    """
+
+    spec: WorkloadSpec
+    seed: int
+    entries: tuple[TraceEntry, ...] = field(default_factory=tuple)
+
+    def class_of(self, entry: TraceEntry) -> SloClass:
+        return self._classes[entry.slo_class]
+
+    @property
+    def _classes(self) -> dict[str, SloClass]:
+        return {c.name: c for c in self.spec.classes}
+
+    def requests(self, step_ms: float | None = None) -> list[Request]:
+        """Engine requests in arrival order, SLO budgets resolved at
+        *step_ms* (``None`` => best-effort requests, e.g. for a
+        baseline replay that should ignore deadlines)."""
+        classes = self._classes
+        return [
+            e.to_request(step_ms, classes[e.slo_class])
+            for e in self.entries
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "seed": self.seed,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        return cls(
+            spec=WorkloadSpec.from_dict(data["spec"]),
+            seed=int(data["seed"]),
+            entries=tuple(
+                TraceEntry.from_dict(e) for e in data["entries"]
+            ),
+        )
+
+
+def _arrival_times(spec: WorkloadSpec, rng: np.random.Generator) -> list[float]:
+    """Arrival offsets (seconds) for *spec*'s process, in order.
+
+    The burst process exploits memorylessness: when the next
+    exponential gap would cross an on/off boundary, time jumps to the
+    boundary and the gap is redrawn at the new phase's rate — exactly
+    the Markov-modulated process, without thinning.
+    """
+    times: list[float] = []
+    t = 0.0
+    if spec.arrival == "poisson":
+        if spec.rate_rps <= 0:
+            return times
+        while True:
+            t += rng.exponential(1.0 / spec.rate_rps)
+            if t >= spec.duration_s:
+                return times
+            times.append(t)
+    cycle = spec.on_s + spec.off_s
+    while t < spec.duration_s:
+        phase = t % cycle
+        in_on = phase < spec.on_s
+        rate = spec.burst_rate_rps if in_on else spec.rate_rps
+        boundary = (spec.on_s - phase) if in_on else (cycle - phase)
+        if rate <= 0:
+            t += boundary
+            continue
+        gap = rng.exponential(1.0 / rate)
+        if gap >= boundary:
+            t += boundary
+            continue
+        t += gap
+        if t >= spec.duration_s:
+            break
+        times.append(t)
+    return times
+
+
+def generate_trace(spec: WorkloadSpec, seed: int) -> Trace:
+    """Generate the deterministic trace of *spec* at *seed*.
+
+    One ``numpy`` generator drives every draw in a fixed order, so the
+    same ``(spec, seed)`` always yields the identical trace. Request
+    sampling seeds are derived per entry (``seed * 100003 + index``)
+    so stochastic decoding replays identically regardless of admission
+    order or placement.
+    """
+    rng = np.random.default_rng(seed)
+    arrivals = _arrival_times(spec, rng)
+    weights = np.array([c.weight for c in spec.classes], dtype=float)
+    weights /= weights.sum()
+    ranks = {
+        c.name: np.arange(1, len(c.output_buckets) + 1, dtype=float)
+        ** -c.output_zipf_a
+        for c in spec.classes
+    }
+    entries: list[TraceEntry] = []
+    for i, arrival in enumerate(arrivals):
+        cls = spec.classes[int(rng.choice(len(spec.classes), p=weights))]
+        tenant = int(rng.integers(spec.tenants))
+        plen = int(np.clip(
+            round(np.exp(rng.normal(cls.prompt_mu, cls.prompt_sigma))),
+            cls.prompt_min,
+            cls.prompt_max,
+        ))
+        bucket_p = ranks[cls.name] / ranks[cls.name].sum()
+        out = int(cls.output_buckets[
+            int(rng.choice(len(cls.output_buckets), p=bucket_p))
+        ])
+        # Keep every request servable: cap prompt + output to the
+        # spec's total-token budget, trimming the prompt first.
+        if plen + out > spec.max_total_tokens:
+            plen = max(1, spec.max_total_tokens - out)
+        prompt = tuple(
+            int(t) for t in rng.integers(0, spec.vocab, size=plen)
+        )
+        entries.append(TraceEntry(
+            request_id=f"{spec.name}-{i:04d}",
+            arrival_s=float(arrival),
+            tenant=tenant,
+            slo_class=cls.name,
+            prompt=prompt,
+            max_new_tokens=out,
+            priority=cls.priority,
+            top_k=cls.top_k,
+            seed=seed * 100003 + i,
+        ))
+    return Trace(spec=spec, seed=seed, entries=tuple(entries))
+
+
+def replay_trace(
+    engine, trace: Trace, steps_per_s: float, step_ms: float | None = None
+):
+    """Replay *trace* through a :class:`ServingEngine` open loop.
+
+    A virtual clock maps trace seconds onto engine steps: before step
+    ``n``, every entry with ``arrival_s <= n / steps_per_s`` that has
+    not yet been submitted is submitted (in arrival order). Returns
+    ``engine.run(feed)``'s ``(results, stats)``.
+    """
+    requests = trace.requests(step_ms)
+    i = 0
+
+    def feed(step: int):
+        nonlocal i
+        if i >= len(requests):
+            return None
+        now = step / steps_per_s
+        batch: list[Request] = []
+        while i < len(requests) and trace.entries[i].arrival_s <= now:
+            batch.append(requests[i])
+            i += 1
+        return batch
+
+    return engine.run(feed)
+
+
+def replay_trace_router(
+    router, trace: Trace, step_ms: float | None = None
+):
+    """Replay *trace* through an :class:`AsyncRouter` (closed loop —
+    the router's backpressure window is the pacing). Returns results
+    ordered like ``trace.entries``."""
+    return router.run_sync(trace.requests(step_ms))
+
+
+def evaluate_slo(trace: Trace, results, step_ms: float) -> dict:
+    """Score a replay's results against the trace's budgets.
+
+    Returns a JSON-ready report: overall goodput (tokens from requests
+    whose TTFT *and* TPOT landed within their class budgets at
+    *step_ms*; best-effort classes never earn credit), a max/min
+    per-tenant token fairness ratio (the min clamped to one token so an
+    empty tenant reads as a huge ratio, not a crash), and per-class
+    counts plus TTFT/TPOT p50/p95/p99 milliseconds.
+    """
+    by_id = {r.request_id: r for r in results}
+    missing = [e.request_id for e in trace.entries if e.request_id not in by_id]
+    if missing:
+        raise ServingError(
+            f"results missing {len(missing)} trace entr(ies), "
+            f"first: {missing[0]!r}"
+        )
+    classes = {c.name: c for c in trace.spec.classes}
+    per_class: dict[str, dict] = {
+        name: {"requests": 0, "met": 0, "goodput_tokens": 0,
+               "ttft": [], "tpot": []}
+        for name in classes
+    }
+    tenant_tokens: dict[int, int] = {
+        t: 0 for t in range(trace.spec.tenants)
+    }
+    goodput = 0
+    total = 0
+    for entry in trace.entries:
+        result = by_id[entry.request_id]
+        cls = classes[entry.slo_class]
+        agg = per_class[entry.slo_class]
+        tokens = len(result.tokens)
+        agg["requests"] += 1
+        agg["ttft"].append(result.first_token_ms)
+        agg["tpot"].append(result.tpot_ms)
+        tenant_tokens[entry.tenant] += tokens
+        total += tokens
+        has_budget = (
+            cls.ttft_budget_steps is not None
+            or cls.tpot_budget_steps is not None
+        )
+        ttft_ok = (
+            cls.ttft_budget_steps is None
+            or result.first_token_ms <= cls.ttft_budget_steps * step_ms
+        )
+        tpot_ok = (
+            cls.tpot_budget_steps is None
+            or tokens <= 1
+            or result.tpot_ms <= cls.tpot_budget_steps * step_ms
+        )
+        if has_budget and ttft_ok and tpot_ok:
+            agg["met"] += 1
+            agg["goodput_tokens"] += tokens
+            goodput += tokens
+    report_classes = {}
+    for name, agg in per_class.items():
+        t50, t95, t99 = percentiles(agg["ttft"], (50, 95, 99))
+        p50, p95, p99 = percentiles(agg["tpot"], (50, 95, 99))
+        report_classes[name] = {
+            "requests": agg["requests"],
+            "met": agg["met"],
+            "goodput_tokens": agg["goodput_tokens"],
+            "ttft_ms": {"p50": t50, "p95": t95, "p99": t99},
+            "tpot_ms": {"p50": p50, "p95": p95, "p99": p99},
+        }
+    counts = list(tenant_tokens.values())
+    fairness = float(max(counts) / max(1, min(counts))) if counts else 0.0
+    return {
+        "step_ms": step_ms,
+        "requests": len(trace.entries),
+        "goodput_tokens": goodput,
+        "total_tokens": total,
+        "goodput_fraction": goodput / total if total else 0.0,
+        "fairness": {
+            "per_tenant_tokens": {
+                str(t): n for t, n in sorted(tenant_tokens.items())
+            },
+            "max_min_ratio": fairness,
+        },
+        "classes": report_classes,
+    }
+
+
+__all__ = [
+    "ARRIVALS",
+    "SloClass",
+    "Trace",
+    "TraceEntry",
+    "WorkloadSpec",
+    "evaluate_slo",
+    "generate_trace",
+    "replay_trace",
+    "replay_trace_router",
+]

@@ -7,10 +7,13 @@ import pytest
 from repro.experiments.serving_guard import (
     FLOAT_SPEEDUP_FLOOR,
     MAX_REGRESSION,
+    SECTIONS,
+    SLO_GOODPUT_FLOOR,
     SPEC_SPEEDUP_FLOOR,
     SPEEDUP_FLOOR,
     STALL_RATIO_CEILING,
     SWAP_SPEEDUP_FLOOR,
+    check_verdicts,
     compare_reports,
     main,
     variant_floor,
@@ -248,6 +251,138 @@ class TestSwapSection:
         assert len(compare_reports(current, baseline)) == 1
 
 
+def _with_slo(report, goodput_ratio, parity_ok=True):
+    report = dict(report)
+    report["slo"] = {
+        "bench": "serving-slo-trace",
+        "goodput_ratio": goodput_ratio,
+        "requests": 40,
+        "arrival": "burst",
+        "parity": {
+            "replay_deterministic": True,
+            "router_matches_engine": True,
+            "slo_aware_output_transparent": parity_ok,
+        },
+        "fifo": {"goodput_tokens": 100, "ttft_p99_ms": 700.0},
+        "slo_aware": {
+            "goodput_tokens": int(100 * goodput_ratio),
+            "ttft_p99_ms": 500.0,
+        },
+    }
+    return report
+
+
+class TestSloSection:
+    def test_above_floor_passes(self):
+        current = _with_slo(_report(a=2.6), 1.3)
+        baseline = _with_slo(_report(a=2.6), 1.2)
+        assert compare_reports(current, baseline) == []
+
+    def test_below_floor_fails(self):
+        current = _with_slo(_report(a=2.6), SLO_GOODPUT_FLOOR - 0.05)
+        baseline = _with_slo(_report(a=2.6), 1.3)
+        failures = compare_reports(current, baseline)
+        assert len(failures) == 1
+        assert "slo" in failures[0] and "goodput" in failures[0]
+
+    def test_missing_section_fails(self):
+        baseline = _with_slo(_report(a=2.6), 1.3)
+        failures = compare_reports(_report(a=2.6), baseline)
+        assert len(failures) == 1
+        assert "slo" in failures[0] and "missing" in failures[0]
+
+    def test_baseline_without_slo_is_backwards_compatible(self):
+        current = _with_slo(_report(a=2.6), 0.5)
+        assert compare_reports(current, _report(a=2.6)) == []
+
+    def test_broken_parity_fails_even_above_floor(self):
+        current = _with_slo(_report(a=2.6), 1.5, parity_ok=False)
+        baseline = _with_slo(_report(a=2.6), 1.2)
+        failures = compare_reports(current, baseline)
+        assert len(failures) == 1
+        assert "parity" in failures[0]
+        assert "slo_aware_output_transparent" in failures[0]
+
+    def test_custom_slo_floor(self):
+        current = _with_slo(_report(a=2.6), 1.05)
+        baseline = _with_slo(_report(a=2.6), 1.05)
+        assert compare_reports(current, baseline, slo_floor=1.0) == []
+        assert len(compare_reports(current, baseline)) == 1
+
+
+class TestSectionsFilter:
+    def test_slo_only_report_passes_against_full_baseline(self):
+        """The CI slo-guard step's BENCH_slo.json carries only env +
+        slo; --sections slo must not trip the missing-variant checks."""
+        current = _with_slo({"env": {}}, 1.3)
+        baseline = _with_slo(
+            _with_swap(_with_prefill(_report(a=2.6), 0.4), 6.0), 1.2,
+        )
+        assert compare_reports(
+            current, baseline, sections={"slo"}
+        ) == []
+        # Without the filter the same pair fails on every other section.
+        assert len(compare_reports(current, baseline)) >= 3
+
+    def test_excluding_slo_skips_its_floor(self):
+        current = _with_slo(_report(a=2.6), 0.5)   # under the floor
+        baseline = _with_slo(_report(a=2.6), 1.2)
+        assert compare_reports(
+            current, baseline, sections={"variants"}
+        ) == []
+
+    def test_unknown_section_raises(self):
+        with pytest.raises(ValueError):
+            compare_reports(
+                _report(a=2.6), _report(a=2.6), sections={"latency"}
+            )
+        assert set(SECTIONS) == {
+            "variants", "prefill", "speculative", "swap", "slo",
+        }
+
+
+class TestCheckVerdicts:
+    def _verdict(self, directory, name, ok, detail="passed"):
+        (directory / f"{name}.json").write_text(json.dumps(
+            {"workload": name, "ok": ok, "detail": detail}
+        ))
+
+    def test_all_ok_passes(self, tmp_path):
+        for name in ("shared-prefix", "slo-guard"):
+            self._verdict(tmp_path, name, True)
+        lines, failures = check_verdicts(
+            tmp_path, ["shared-prefix", "slo-guard"]
+        )
+        assert failures == []
+        assert len(lines) == 2
+
+    def test_failed_verdict_fails(self, tmp_path):
+        self._verdict(tmp_path, "slo-guard", False,
+                      "ServingError: goodput did not improve")
+        _, failures = check_verdicts(tmp_path, ["slo-guard"])
+        assert len(failures) == 1
+        assert "goodput did not improve" in failures[0]
+
+    def test_missing_expected_verdict_fails(self, tmp_path):
+        self._verdict(tmp_path, "shared-prefix", True)
+        _, failures = check_verdicts(
+            tmp_path, ["shared-prefix", "swap-guard"]
+        )
+        assert len(failures) == 1
+        assert "swap-guard" in failures[0]
+
+    def test_empty_or_missing_dir_fails(self, tmp_path):
+        _, failures = check_verdicts(tmp_path / "nope", [])
+        assert failures
+        _, failures = check_verdicts(tmp_path, [])
+        assert failures
+
+    def test_unreadable_verdict_fails(self, tmp_path):
+        (tmp_path / "broken.json").write_text("{not json")
+        _, failures = check_verdicts(tmp_path, [])
+        assert any("broken" in f for f in failures)
+
+
 class TestCli:
     def _write(self, path, report):
         path.write_text(json.dumps(report))
@@ -298,6 +433,53 @@ class TestCli:
         out = capsys.readouterr().out
         assert "swap: resume speedup" in out
 
+    def test_slo_floor_flag_and_row_printed(self, tmp_path, capsys):
+        current = self._write(
+            tmp_path / "cur.json", _with_slo(_report(a=2.6), 1.05)
+        )
+        baseline = self._write(
+            tmp_path / "base.json", _with_slo(_report(a=2.6), 1.3)
+        )
+        assert main([current, baseline]) == 1
+        assert main([current, baseline, "--slo-floor", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "slo: slo-aware goodput" in out
+
+    def test_sections_flag_filters_the_diff(self, tmp_path, capsys):
+        current = self._write(
+            tmp_path / "slo_only.json", _with_slo({"env": {}}, 1.3)
+        )
+        baseline = self._write(
+            tmp_path / "base.json", _with_slo(_report(a=2.6), 1.2)
+        )
+        assert main([current, baseline]) == 1
+        assert main([current, baseline, "--sections", "slo"]) == 0
+        out = capsys.readouterr().out
+        assert "serving-perf-guard OK (slo sections)" in out
+
+    def test_unknown_section_flag_errors(self, tmp_path):
+        current = self._write(tmp_path / "cur.json", _report(a=2.6))
+        with pytest.raises(SystemExit):
+            main([current, current, "--sections", "latency"])
+
+    def test_missing_positionals_without_verdict_mode_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_check_verdicts_mode(self, tmp_path, capsys):
+        (tmp_path / "slo-guard.json").write_text(json.dumps(
+            {"workload": "slo-guard", "ok": True, "detail": "passed"}
+        ))
+        assert main([
+            "--check-verdicts", str(tmp_path), "--expect", "slo-guard",
+        ]) == 0
+        assert "serving-verdict-guard OK" in capsys.readouterr().out
+        assert main([
+            "--check-verdicts", str(tmp_path),
+            "--expect", "slo-guard", "swap-guard",
+        ]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
     def test_env_provenance_printed_on_failure(self, tmp_path, capsys):
         report = _report(a=1.5)
         report["env"] = {
@@ -342,6 +524,9 @@ class TestBaselineFile:
         assert float(swap["speedup"]) >= SWAP_SPEEDUP_FLOOR
         assert int(swap["context_tokens"]) >= 256
         assert float(swap["spill_mib"]) > 0
+        slo = baseline["slo"]
+        assert float(slo["goodput_ratio"]) >= SLO_GOODPUT_FLOOR
+        assert all(slo["parity"].values())
         env = baseline["env"]
         assert env["numpy"] and env["platform"] and env["cpus"] > 0
         assert compare_reports(baseline, baseline) == []

@@ -51,7 +51,7 @@ def _ctx():
 class TestPolicySeam:
     def test_registry_and_resolution(self):
         assert set(PREEMPTION_POLICIES) == {
-            "priority-remaining", "latest-first",
+            "priority-remaining", "latest-first", "slo-aware",
         }
         assert get_preemption_policy("latest-first").name == "latest-first"
         policy = PriorityRemainingPolicy()

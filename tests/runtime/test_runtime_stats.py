@@ -1,0 +1,42 @@
+"""percentiles: the shared runtime stats helper's pinned edge behavior.
+
+Every latency/occupancy percentile in the runtime and the serving
+bench dispatches through :func:`repro.runtime.stats.percentiles`; its
+empty- and one-element behavior is a compatibility contract (an empty
+trace reports zeros, never raises) pinned here.
+"""
+
+import numpy as np
+
+from repro.runtime import percentiles
+
+
+class TestPercentiles:
+    def test_empty_input_returns_zero_per_quantile(self):
+        assert percentiles([], (50, 95, 99)) == (0.0, 0.0, 0.0)
+        assert percentiles((), (50,)) == (0.0,)
+        assert percentiles([], ()) == ()
+
+    def test_single_element_returns_it_for_every_quantile(self):
+        assert percentiles([7.5], (0, 50, 99, 100)) == (7.5, 7.5, 7.5, 7.5)
+
+    def test_matches_numpy_linear_interpolation(self):
+        values = [1.0, 2.0, 3.0, 10.0, 100.0]
+        got = percentiles(values, (50, 95, 99))
+        want = tuple(
+            float(np.percentile(values, q)) for q in (50, 95, 99)
+        )
+        assert got == want
+
+    def test_accepts_generators_and_arrays(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentiles(iter(values), (50,)) == (2.0,)
+        assert percentiles(np.array(values), (50,)) == (2.0,)
+
+    def test_one_result_per_requested_quantile(self):
+        qs = (10, 25, 50, 75, 90)
+        result = percentiles([1.0, 2.0], qs)
+        assert len(result) == len(qs)
+        assert all(isinstance(v, float) for v in result)
+        # Monotone in q for a fixed sample.
+        assert list(result) == sorted(result)

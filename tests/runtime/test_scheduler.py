@@ -50,7 +50,9 @@ def _ctx(free_slots=2, free_blocks=None, block_size=16, layers=2):
 
 class TestPolicies:
     def test_registry_and_resolution(self):
-        assert set(SCHEDULERS) == {"fifo", "sjf", "memory-aware"}
+        assert set(SCHEDULERS) == {
+            "fifo", "sjf", "memory-aware", "slo-aware",
+        }
         assert get_scheduler("fifo").name == "fifo"
         policy = ShortestPromptFirstPolicy()
         assert get_scheduler(policy) is policy

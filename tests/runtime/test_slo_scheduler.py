@@ -1,0 +1,247 @@
+"""SLO-aware scheduling: SloSpec budgets, the WaitingRequest wrapper,
+deadline slack, EDF admission, and slack-ranked preemption."""
+
+import math
+
+import pytest
+
+from repro.models.configs import ModelConfig
+from repro.runtime import (
+    DecoderModel,
+    Request,
+    RuntimeConfig,
+    ServingEngine,
+    SloAwareAdmissionPolicy,
+    SloAwarePreemptionPolicy,
+    SloSpec,
+    WaitingRequest,
+    deadline_slack_ms,
+    get_preemption_policy,
+    get_scheduler,
+)
+from repro.runtime.scheduler import SchedulingContext
+
+TINY = ModelConfig(
+    "slo-tiny", hidden=32, ffn=64, layers=2, heads=4, kv_heads=2,
+    vocab=64, gated_ffn=True,
+)
+
+
+def _request(rid, ttft_ms=None, tpot_ms=None, max_new=4, priority=0):
+    slo = None
+    if ttft_ms is not None or tpot_ms is not None:
+        slo = SloSpec(ttft_ms=ttft_ms, tpot_ms=tpot_ms)
+    return Request(
+        request_id=rid, prompt=(1, 2, 3), max_new_tokens=max_new,
+        priority=priority, slo=slo,
+    )
+
+
+def _ctx():
+    return SchedulingContext(
+        free_slots=1, free_blocks=None, block_size=16, layers=2,
+    )
+
+
+class _FakeSeq:
+    """The slice of an engine sequence the preemption policy reads."""
+
+    def __init__(self, request, submit_time=0.0, observed_tpot_ms=0.0,
+                 remaining=4):
+        self.request = request
+        self.submit_time = submit_time
+        self.observed_tpot_ms = observed_tpot_ms
+        self.remaining_tokens = remaining
+        self.priority = request.priority
+
+
+class TestSloSpec:
+    def test_dict_round_trip(self):
+        spec = SloSpec(ttft_ms=120.0, tpot_ms=8.5)
+        assert SloSpec.from_dict(spec.to_dict()) == spec
+        partial = SloSpec(ttft_ms=50.0)
+        assert SloSpec.from_dict(partial.to_dict()) == partial
+        assert partial.tpot_ms is None
+
+    def test_request_dict_round_trip_carries_slo(self):
+        request = _request("r", ttft_ms=100.0, tpot_ms=5.0)
+        clone = Request.from_dict(request.to_dict())
+        assert clone.slo == request.slo
+        bare = Request.from_dict(_request("b").to_dict())
+        assert bare.slo is None
+
+    def test_registry_resolution(self):
+        assert get_scheduler("slo-aware").name == "slo-aware"
+        assert get_preemption_policy("slo-aware").name == "slo-aware"
+
+
+class TestWaitingRequest:
+    def test_delegates_request_attributes(self):
+        request = _request("r", ttft_ms=10.0)
+        entry = WaitingRequest(request, submitted_at=3.25)
+        assert entry.request is request
+        assert entry.submitted_at == 3.25
+        assert entry.request_id == "r"
+        assert entry.prompt == request.prompt
+        assert entry.max_new_tokens == request.max_new_tokens
+        assert entry.slo is request.slo
+
+    def test_missing_attribute_still_raises(self):
+        entry = WaitingRequest(_request("r"), submitted_at=0.0)
+        with pytest.raises(AttributeError):
+            entry.not_a_field
+
+
+class TestDeadlineSlack:
+    def test_no_slo_is_infinite(self):
+        seq = _FakeSeq(_request("free"))
+        assert deadline_slack_ms(seq, now=123.0) == math.inf
+        empty = _FakeSeq(Request(
+            "e", prompt=(1,), max_new_tokens=1, slo=SloSpec(),
+        ))
+        assert deadline_slack_ms(empty, now=0.0) == math.inf
+
+    def test_slack_arithmetic(self):
+        # budget 10 + 5*10 = 60ms; elapsed 100ms; owed 5*5 = 25ms.
+        seq = _FakeSeq(
+            _request("r", ttft_ms=10.0, tpot_ms=5.0, max_new=10),
+            submit_time=0.9, observed_tpot_ms=5.0, remaining=5,
+        )
+        assert deadline_slack_ms(seq, now=1.0) == pytest.approx(-65.0)
+
+    def test_falls_back_to_budget_tpot_before_first_measurement(self):
+        # Nothing observed yet: remaining work priced at the budget
+        # itself (presumed on-budget until measured otherwise).
+        seq = _FakeSeq(
+            _request("r", ttft_ms=1000.0, tpot_ms=10.0, max_new=10),
+            submit_time=0.99, observed_tpot_ms=0.0, remaining=10,
+        )
+        # budget 1000 + 100 = 1100; elapsed 10; owed 10*10 = 100.
+        assert deadline_slack_ms(seq, now=1.0) == pytest.approx(990.0)
+
+
+class TestEdfAdmission:
+    def test_earliest_deadline_first(self):
+        policy = SloAwareAdmissionPolicy()
+        waiting = [
+            WaitingRequest(_request("late", ttft_ms=100.0), 0.0),
+            WaitingRequest(_request("tight", ttft_ms=50.0), 0.0),
+        ]
+        assert policy.select(waiting, _ctx()) == 1
+        # An earlier submit beats a larger budget.
+        waiting = [
+            WaitingRequest(_request("old", ttft_ms=100.0), 0.0),
+            WaitingRequest(_request("new", ttft_ms=50.0), 0.1),
+        ]
+        assert policy.select(waiting, _ctx()) == 0
+
+    def test_no_slo_sorts_last_and_ties_keep_arrival_order(self):
+        policy = SloAwareAdmissionPolicy()
+        waiting = [
+            WaitingRequest(_request("free"), 0.0),
+            WaitingRequest(_request("slo", ttft_ms=500.0), 0.0),
+        ]
+        assert policy.select(waiting, _ctx()) == 1
+        # All best-effort: degrade to FIFO.
+        waiting = [
+            WaitingRequest(_request("a"), 0.0),
+            WaitingRequest(_request("b"), 0.0),
+        ]
+        assert policy.select(waiting, _ctx()) == 0
+
+    def test_bare_requests_order_by_budget_alone(self):
+        # Policies must accept bare Requests (no submitted_at) — the
+        # documented test/compat path.
+        policy = SloAwareAdmissionPolicy()
+        waiting = [
+            _request("loose", ttft_ms=200.0),
+            _request("tight", ttft_ms=20.0),
+        ]
+        assert policy.select(waiting, _ctx()) == 1
+
+
+class TestSlackPreemption:
+    def test_victim_ranking_tiers(self):
+        policy = SloAwarePreemptionPolicy(clock=lambda: 1.0)
+        active = [
+            # slack 990 (headroom) — tier 1, after no-SLO.
+            _FakeSeq(_request("roomy", ttft_ms=1000.0, tpot_ms=10.0,
+                              max_new=10),
+                     submit_time=0.99, remaining=10),
+            # slack -65 (blown) — tier 0, first overall.
+            _FakeSeq(_request("blown", ttft_ms=10.0, tpot_ms=5.0,
+                              max_new=10),
+                     submit_time=0.9, observed_tpot_ms=5.0, remaining=5),
+            # no SLO: infinite slack leads tier 1.
+            _FakeSeq(_request("free")),
+            # slack 60 (tight) — last: preempting it hurts most.
+            _FakeSeq(_request("tight", ttft_ms=50.0, tpot_ms=10.0,
+                              max_new=4),
+                     submit_time=0.99, observed_tpot_ms=10.0, remaining=2),
+        ]
+        order = policy.select_victims(active, _ctx())
+        assert [active[i].request.request_id for i in order] == [
+            "blown", "free", "roomy", "tight",
+        ]
+
+    def test_most_blown_goes_first_within_tier_zero(self):
+        policy = SloAwarePreemptionPolicy(clock=lambda: 1.0)
+        barely = _FakeSeq(
+            _request("barely", ttft_ms=95.0, tpot_ms=0.0, max_new=1),
+            submit_time=0.9, remaining=1,
+        )   # slack -5
+        badly = _FakeSeq(
+            _request("badly", ttft_ms=10.0, tpot_ms=0.0, max_new=1),
+            submit_time=0.9, remaining=1,
+        )   # slack -90
+        order = policy.select_victims([barely, badly], _ctx())
+        assert [o for o in order] == [1, 0]
+
+    def test_ties_break_by_priority_then_latest_admission(self):
+        policy = SloAwarePreemptionPolicy(clock=lambda: 1.0)
+        low = _FakeSeq(_request("low", priority=0))
+        high = _FakeSeq(_request("high", priority=2))
+        assert policy.select_victims([high, low], _ctx()) == [1, 0]
+        # Equal priority and slack: the latest-admitted goes first.
+        a = _FakeSeq(_request("a"))
+        b = _FakeSeq(_request("b"))
+        assert policy.select_victims([a, b], _ctx()) == [1, 0]
+
+
+class TestEngineIntegration:
+    def test_edf_jumps_deadline_request_ahead_of_best_effort(self):
+        model = DecoderModel(
+            TINY, RuntimeConfig(weight_bits=4, kv_bits=4, max_seq_len=32),
+        )
+        engine = ServingEngine(model, max_batch_size=1,
+                               scheduler="slo-aware")
+        engine.submit(_request("best-effort", max_new=2))
+        engine.submit(_request("deadline", ttft_ms=5.0, max_new=2))
+        results, _ = engine.run()
+        assert [r.request_id for r in results] == [
+            "deadline", "best-effort",
+        ]
+
+    def test_output_transparency_vs_fifo(self):
+        """slo-aware reorders admissions, never token streams."""
+        def streams(scheduler):
+            model = DecoderModel(
+                TINY, RuntimeConfig(weight_bits=4, kv_bits=4,
+                                    max_seq_len=32),
+            )
+            engine = ServingEngine(model, max_batch_size=2,
+                                   scheduler=scheduler,
+                                   preemption=scheduler
+                                   if scheduler == "slo-aware"
+                                   else "priority-remaining")
+            for i in range(4):
+                engine.submit(Request(
+                    f"r{i}", prompt=tuple(range(1 + i, 6 + i)),
+                    max_new_tokens=6,
+                    slo=SloSpec(ttft_ms=50.0 * (i + 1), tpot_ms=20.0)
+                    if i % 2 else None,
+                ))
+            results, _ = engine.run()
+            return {r.request_id: tuple(r.tokens) for r in results}
+
+        assert streams("slo-aware") == streams("fifo")

@@ -1,0 +1,265 @@
+"""Trace-driven workloads: seeded generation, JSON round-trip, arrival
+processes, budget resolution, replay determinism, SLO evaluation."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ServingError
+from repro.models.configs import ModelConfig
+from repro.runtime import (
+    ARRIVALS,
+    DecoderModel,
+    RuntimeConfig,
+    ServingEngine,
+    SloClass,
+    Trace,
+    WorkloadSpec,
+    evaluate_slo,
+    generate_trace,
+    replay_trace,
+)
+
+TINY = ModelConfig(
+    "wl-tiny", hidden=32, ffn=64, layers=2, heads=4, kv_heads=2,
+    vocab=64, gated_ffn=True,
+)
+
+INTERACTIVE = SloClass(
+    "interactive", weight=3.0, priority=2,
+    ttft_budget_steps=10.0, tpot_budget_steps=6.0,
+    prompt_mu=1.6, prompt_sigma=0.4, prompt_min=2, prompt_max=8,
+    output_buckets=(2, 4), output_zipf_a=1.2,
+)
+BATCH = SloClass(
+    "batch", weight=1.0, priority=0,
+    prompt_mu=2.2, prompt_sigma=0.3, prompt_min=4, prompt_max=12,
+    output_buckets=(4, 8), output_zipf_a=1.0,
+)
+
+
+def _spec(**kwargs):
+    defaults = dict(
+        name="wl-test", classes=(INTERACTIVE, BATCH),
+        arrival="poisson", rate_rps=4.0, duration_s=3.0,
+        tenants=2, vocab=TINY.vocab, max_total_tokens=20,
+    )
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+class TestValidation:
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(ServingError):
+            _spec(arrival="lognormal")
+        assert set(ARRIVALS) == {"poisson", "burst"}
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ServingError):
+            _spec(classes=())
+
+    def test_bad_class_parameters_rejected(self):
+        with pytest.raises(ServingError):
+            SloClass("zero-weight", weight=0.0)
+        with pytest.raises(ServingError):
+            SloClass("no-buckets", output_buckets=())
+        with pytest.raises(ServingError):
+            SloClass("bad-bounds", prompt_min=9, prompt_max=4)
+
+    def test_bad_burst_parameters_rejected(self):
+        with pytest.raises(ServingError):
+            _spec(arrival="burst", burst_rate_rps=0.0)
+        with pytest.raises(ServingError):
+            _spec(arrival="burst", on_s=0.0)
+        with pytest.raises(ServingError):
+            _spec(tenants=0)
+
+
+class TestGeneration:
+    def test_same_seed_same_trace(self):
+        spec = _spec()
+        assert generate_trace(spec, 7) == generate_trace(spec, 7)
+        assert generate_trace(spec, 7) != generate_trace(spec, 8)
+
+    def test_entries_well_formed(self):
+        spec = _spec()
+        trace = generate_trace(spec, 11)
+        assert trace.entries, "a 4 rps x 3 s trace must not be empty"
+        arrivals = [e.arrival_s for e in trace.entries]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 < a < spec.duration_s for a in arrivals)
+        ids = [e.request_id for e in trace.entries]
+        assert len(set(ids)) == len(ids)
+        seeds = [e.seed for e in trace.entries]
+        assert len(set(seeds)) == len(seeds)
+        classes = {c.name: c for c in spec.classes}
+        for entry in trace.entries:
+            cls = classes[entry.slo_class]
+            assert 0 <= entry.tenant < spec.tenants
+            assert len(entry.prompt) <= cls.prompt_max
+            assert entry.max_new_tokens in cls.output_buckets
+            assert (
+                len(entry.prompt) + entry.max_new_tokens
+                <= spec.max_total_tokens
+            )
+            assert all(0 <= t < spec.vocab for t in entry.prompt)
+            assert entry.priority == cls.priority
+
+    def test_zero_rate_poisson_is_empty(self):
+        trace = generate_trace(_spec(rate_rps=0.0), 3)
+        assert trace.entries == ()
+
+    def test_weighted_class_mix(self):
+        # 3:1 weights over a long trace: interactive must dominate.
+        trace = generate_trace(_spec(duration_s=30.0), 5)
+        kinds = [e.slo_class for e in trace.entries]
+        assert kinds.count("interactive") > kinds.count("batch")
+
+    def test_burst_arrivals_concentrate_in_on_windows(self):
+        spec = _spec(
+            arrival="burst", rate_rps=1.0, burst_rate_rps=20.0,
+            on_s=1.0, off_s=2.0, duration_s=12.0,
+        )
+        trace = generate_trace(spec, 9)
+        cycle = spec.on_s + spec.off_s
+        on = sum(
+            1 for e in trace.entries if e.arrival_s % cycle < spec.on_s
+        )
+        off = len(trace.entries) - on
+        # On-windows are 1/3 of the time at 20x the rate.
+        assert on > 2 * max(1, off)
+        assert generate_trace(spec, 9) == trace
+
+
+class TestJsonRoundTrip:
+    def test_trace_round_trips_bit_for_bit(self):
+        trace = generate_trace(_spec(arrival="burst"), 13)
+        clone = Trace.from_dict(json.loads(json.dumps(trace.to_dict())))
+        assert clone == trace
+        assert clone.spec == trace.spec
+        assert clone.entries == trace.entries
+
+    def test_class_and_spec_round_trip(self):
+        assert SloClass.from_dict(INTERACTIVE.to_dict()) == INTERACTIVE
+        assert SloClass.from_dict(BATCH.to_dict()) == BATCH
+        spec = _spec()
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestBudgetResolution:
+    def test_budgets_scale_with_step_ms(self):
+        slo = INTERACTIVE.slo(step_ms=2.5)
+        assert slo.ttft_ms == pytest.approx(25.0)
+        assert slo.tpot_ms == pytest.approx(15.0)
+
+    def test_unresolved_and_best_effort_are_none(self):
+        assert INTERACTIVE.slo(None) is None
+        assert BATCH.slo(2.5) is None
+
+    def test_requests_carry_resolved_slos(self):
+        trace = generate_trace(_spec(), 17)
+        resolved = trace.requests(step_ms=2.0)
+        for entry, request in zip(trace.entries, resolved):
+            assert request.request_id == entry.request_id
+            assert request.prompt == entry.prompt
+            if entry.slo_class == "interactive":
+                assert request.slo.ttft_ms == pytest.approx(20.0)
+            else:
+                assert request.slo is None
+        # step_ms=None: every request best-effort (baseline replay).
+        assert all(r.slo is None for r in trace.requests(None))
+
+
+@dataclass
+class _FakeResult:
+    request_id: str
+    tokens: tuple
+    first_token_ms: float
+    tpot_ms: float
+
+
+def _fake_results(trace, ttft_ms=1.0, tpot_ms=1.0):
+    return [
+        _FakeResult(e.request_id, tuple(range(e.max_new_tokens)),
+                    ttft_ms, tpot_ms)
+        for e in trace.entries
+    ]
+
+
+class TestEvaluateSlo:
+    def test_missing_results_raise(self):
+        trace = generate_trace(_spec(), 19)
+        with pytest.raises(ServingError):
+            evaluate_slo(trace, _fake_results(trace)[:-1], step_ms=1.0)
+
+    def test_on_budget_requests_earn_goodput_best_effort_never_does(self):
+        trace = generate_trace(_spec(), 19)
+        report = evaluate_slo(trace, _fake_results(trace), step_ms=1.0)
+        interactive = report["classes"]["interactive"]
+        batch = report["classes"]["batch"]
+        assert interactive["met"] == interactive["requests"]
+        assert batch["met"] == 0 and batch["goodput_tokens"] == 0
+        assert report["goodput_tokens"] == interactive["goodput_tokens"]
+        assert report["total_tokens"] > report["goodput_tokens"] > 0
+        assert 0.0 < report["goodput_fraction"] < 1.0
+
+    def test_blown_ttft_loses_goodput(self):
+        trace = generate_trace(_spec(), 19)
+        # interactive TTFT budget = 10 steps x 1 ms; 50 ms blows it.
+        report = evaluate_slo(
+            trace, _fake_results(trace, ttft_ms=50.0), step_ms=1.0,
+        )
+        assert report["goodput_tokens"] == 0
+        assert report["classes"]["interactive"]["met"] == 0
+
+    def test_percentiles_and_fairness_reported(self):
+        trace = generate_trace(_spec(), 19)
+        report = evaluate_slo(trace, _fake_results(trace), step_ms=1.0)
+        ttft = report["classes"]["interactive"]["ttft_ms"]
+        assert ttft["p50"] == ttft["p95"] == ttft["p99"] == 1.0
+        fairness = report["fairness"]
+        per_tenant = fairness["per_tenant_tokens"]
+        assert set(per_tenant) == {"0", "1"}
+        counts = list(per_tenant.values())
+        assert fairness["max_min_ratio"] == pytest.approx(
+            max(counts) / max(1, min(counts))
+        )
+
+
+class TestEngineReplay:
+    def _engine(self, scheduler="fifo"):
+        model = DecoderModel(
+            TINY, RuntimeConfig(weight_bits=4, kv_bits=4, max_seq_len=32),
+        )
+        return ServingEngine(model, max_batch_size=2, scheduler=scheduler)
+
+    def test_replay_is_deterministic_and_scheduler_transparent(self):
+        trace = generate_trace(
+            _spec(rate_rps=3.0, duration_s=2.0), 23,
+        )
+
+        def streams(scheduler):
+            results, _ = replay_trace(
+                self._engine(scheduler), trace, steps_per_s=10.0,
+                step_ms=1.0,
+            )
+            assert len(results) == len(trace.entries)
+            return {r.request_id: tuple(r.tokens) for r in results}
+
+        first = streams("fifo")
+        assert streams("fifo") == first          # replay x2 bit-identical
+        assert streams("slo-aware") == first     # policy transparent
+
+    def test_feed_paces_submissions_by_virtual_clock(self):
+        trace = generate_trace(_spec(rate_rps=2.0, duration_s=2.0), 29)
+        engine = self._engine()
+        results, stats = replay_trace(
+            engine, trace, steps_per_s=50.0, step_ms=1.0,
+        )
+        # Open loop: arrivals spread over the run, so the engine must
+        # have stepped at least as far as the last arrival's step.
+        last_step = int(trace.entries[-1].arrival_s * 50.0)
+        assert stats.decode_steps + stats.preemptions >= 1
+        assert len(results) == len(trace.entries)
+        assert last_step > 0
